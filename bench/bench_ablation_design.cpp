@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Ablations of this library's own design decisions (the DESIGN.md §5
+ * list) — not a paper figure, but the evidence for the choices:
+ *
+ *  1. Per-pair fixed-scalar shifts: the D16->M8 path needs a 20-bit
+ *     shift; with the naive 7-bit shift the multiplier quantizes to zero
+ *     and training freezes.
+ *  2. Shared-randomness refresh period: the §5.2 smooth trade-off between
+ *     statistical quality and PRNG cost.
+ *  3. Cache-simulator parameter sensitivity: the Fig-2 communication-
+ *     bound shape must be robust to the exact service-time constant.
+ */
+#include "bench/bench_util.h"
+#include "buckwild/buckwild.h"
+#include "cachesim/sgd_trace.h"
+
+int
+main()
+{
+    using namespace buckwild;
+    bench::banner("Ablations — the library's own design choices",
+                  "each block justifies one DESIGN.md decision");
+
+    // ---- 1. Per-pair shift: emulate a 7-bit shift for D16M8 by showing
+    // the multiplier that shift would produce.
+    {
+        TablePrinter table("fixed-scalar shift for D16M8 (eta*qx/qm ~ "
+                           "eta/256)",
+                           {"eta", "c (model units)", "mult @ shift 7",
+                            "mult @ shift 20 (ours)"});
+        for (float eta : {0.5f, 0.1f, 0.02f}) {
+            const float c = eta * 0.5f / 256.0f; // typical |g| = 0.5
+            table.add_row({format_num(eta, 3), format_num(c, 4),
+                           std::to_string(std::lround(c * (1 << 7))),
+                           std::to_string(std::lround(c * (1 << 20)))});
+        }
+        bench::emit(table);
+        std::printf("-> at shift 7 every realistic step rounds to mult=0: "
+                    "updates vanish, training freezes.\n");
+    }
+
+    // ---- 2. Shared refresh period: statistical vs hardware efficiency.
+    {
+        const auto problem =
+            dataset::generate_logistic_dense(1 << 12, 1024, 13);
+        TablePrinter table("shared-randomness refresh period (D8M8)",
+                           {"refresh every N AXPYs", "final loss", "GNPS"});
+        for (std::size_t period : {1u, 4u, 16u, 64u, 256u}) {
+            core::TrainerConfig cfg;
+            cfg.signature = dmgc::parse_signature("D8M8");
+            cfg.rounding = core::RoundingStrategy::kSharedXorshift;
+            cfg.shared_refresh_iters = period;
+            cfg.epochs = 6;
+            core::Trainer trainer(cfg);
+            const auto m = trainer.fit(problem);
+            table.add_row({std::to_string(period),
+                           format_num(m.final_loss),
+                           format_num(m.gnps(), 3)});
+        }
+        bench::emit(table);
+        std::printf("-> quality degrades only gently with the period; the "
+                    "PRNG cost is already amortized at period 1 (the AVX2 "
+                    "generator is cheap), matching §5.2.\n");
+    }
+
+    // ---- 3. Simulator sensitivity: the small-vs-large model ratio under
+    // perturbed coherence service times.
+    {
+        TablePrinter table("cachesim: small/large cycles-per-number ratio "
+                           "vs service-time constant",
+                           {"service cycles", "n=1K c/n", "n=256K c/n",
+                            "ratio"});
+        for (double service : {120.0, 240.0, 480.0}) {
+            cachesim::ChipConfig chip;
+            chip.coherence_service_cycles = service;
+            cachesim::SgdWorkload small;
+            small.model_size = 1 << 10;
+            small.iterations_per_core = 32;
+            cachesim::SgdWorkload large;
+            large.model_size = 1 << 18;
+            large.iterations_per_core = 2;
+            const auto rs = simulate_sgd(chip, small);
+            const auto rl = simulate_sgd(chip, large);
+            const double cs = rs.wall_cycles / rs.numbers_processed;
+            const double cl = rl.wall_cycles / rl.numbers_processed;
+            table.add_row({format_num(service, 4), format_num(cs, 3),
+                           format_num(cl, 3), format_num(cs / cl, 3)});
+        }
+        bench::emit(table);
+        std::printf("-> the communication-bound penalty for small models "
+                    "persists across a 4x range of the constant.\n");
+    }
+    return 0;
+}

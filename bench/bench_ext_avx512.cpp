@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Extension: AVX-512 kernels — one SIMD generation past the paper.
+ *
+ * §5.1 motivates low precision with "the ever-widening SIMD capabilities
+ * of modern CPUs"; this bench measures the next widening step on the
+ * flagship D8M8 inner loop and on full-precision FMA.
+ *
+ * Expected shape: AVX-512 >= AVX2 on the D8M8 loop (the gain is capped
+ * by memory bandwidth once vectors stream); the low-precision advantage
+ * over float persists at 512-bit width.
+ */
+#include <cstdint>
+
+#include "bench/bench_util.h"
+#include "rng/xorshift.h"
+#include "simd/ops.h"
+#include "util/aligned_buffer.h"
+
+int
+main()
+{
+    using namespace buckwild;
+    bench::banner("Extension — AVX-512 kernels vs AVX2",
+                  "avx512 >= avx2 on D8M8; 8-bit advantage persists");
+    if (!simd::avx512::available()) {
+        std::printf("AVX-512 not supported on this CPU; nothing to "
+                    "measure.\n");
+        return 0;
+    }
+
+    TablePrinter table("D8M8 and float inner loops across vector widths",
+                       {"n", "D8M8 avx2", "D8M8 avx512", "gain",
+                        "f32 avx2", "f32 avx512"});
+    for (std::size_t n : {1u << 12, 1u << 15, 1u << 18, 1u << 20}) {
+        rng::Xorshift128 gen(3);
+        AlignedBuffer<std::int8_t> x8(n), w8(n);
+        AlignedBuffer<float> xf(n), wf(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            x8[i] = static_cast<std::int8_t>(gen() % 255 - 127);
+            w8[i] = static_cast<std::int8_t>(gen() % 255 - 127);
+            xf[i] = rng::to_unit_float(gen()) - 0.5f;
+            wf[i] = rng::to_unit_float(gen()) - 0.5f;
+        }
+        const auto dither = simd::biased_fixed(simd::kShiftD8M8);
+        volatile float sink = 0.0f;
+        auto pass8 = [&](simd::Impl impl) {
+            const double sec = measure_seconds_per_call(
+                [&](std::size_t) {
+                    sink = sink + simd::DenseOps<std::int8_t, std::int8_t>::
+                                      dot(impl, x8.data(), w8.data(), n,
+                                          0.01f, 0.01f);
+                    simd::DenseOps<std::int8_t, std::int8_t>::axpy(
+                        impl, w8.data(), x8.data(), n, 0.001f, 0.01f, 0.01f,
+                        dither);
+                },
+                0.04);
+            return n / sec / 1e9;
+        };
+        auto passf = [&](simd::Impl impl) {
+            const double sec = measure_seconds_per_call(
+                [&](std::size_t) {
+                    sink = sink + simd::DenseOps<float, float>::dot(
+                                      impl, xf.data(), wf.data(), n, 1, 1);
+                    simd::DenseOps<float, float>::axpy(impl, wf.data(),
+                                                       xf.data(), n,
+                                                       1e-6f, 1, 1, dither);
+                },
+                0.04);
+            return n / sec / 1e9;
+        };
+        const double a2 = pass8(simd::Impl::kAvx2);
+        const double a5 = pass8(simd::Impl::kAvx512);
+        const double f2 = passf(simd::Impl::kAvx2);
+        const double f5 = passf(simd::Impl::kAvx512);
+        table.add_row({format_si(static_cast<double>(n)),
+                       format_num(a2, 3), format_num(a5, 3),
+                       format_num(a5 / a2, 3), format_num(f2, 3),
+                       format_num(f5, 3)});
+    }
+    bench::emit(table);
+    return 0;
+}

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Figure 2: throughput bounds as the model size changes.
+ *
+ * Two views of the same phenomenon:
+ *  (a) the DMGC performance model (§4) at 18 threads — the bandwidth
+ *      bound is flat in n, the communication bound collapses p(n) for
+ *      small n;
+ *  (b) the cycle-level cache simulator — the mechanism: coherence
+ *      ownership transfers serialize on small shared models.
+ *
+ * Expected shape: throughput rises with model size and saturates
+ * (bandwidth-bound) around n ~ 256K; below that it is communication-
+ * bound and falls as n shrinks.
+ */
+#include "bench/bench_util.h"
+#include "cachesim/sgd_trace.h"
+#include "dmgc/perf_model.h"
+
+int
+main()
+{
+    using namespace buckwild;
+    bench::banner("Figure 2 — throughput vs model size (D8M8, 18 threads)",
+                  "communication-bound below ~256K, flat bandwidth-bound "
+                  "above");
+
+    const auto model = dmgc::PerfModel::paper_model();
+    const auto sig = dmgc::parse_signature("D8M8");
+
+    TablePrinter table("Fig 2 data series",
+                       {"model size n", "p(n)", "model GNPS (18t)",
+                        "sim cycles/number", "sim regime"});
+
+    for (std::size_t n = 1 << 8; n <= (1 << 22); n <<= 2) {
+        const double p = model.parallel_fraction(n);
+        const double predicted = model.predict_gnps(sig, 18, n);
+
+        // Simulator point (kept small: iterations scale down with n so
+        // every row costs roughly the same wall time).
+        cachesim::ChipConfig chip;
+        cachesim::SgdWorkload work;
+        work.model_size = n;
+        work.iterations_per_core =
+            std::max<std::size_t>(2, (1 << 16) / std::max<std::size_t>(n, 1));
+        const auto sim = simulate_sgd(chip, work);
+        const bool comm_bound =
+            sim.serialization_cycles >= sim.bandwidth_cycles &&
+            sim.serialization_cycles >= sim.core_cycles_max * 0.9;
+
+        table.add_row({format_si(static_cast<double>(n)), format_num(p, 3),
+                       format_num(predicted, 3),
+                       format_num(sim.wall_cycles / sim.numbers_processed,
+                                  3),
+                       comm_bound ? "communication" : "bandwidth/compute"});
+    }
+    bench::emit(table);
+    return 0;
+}

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Figure 3: measured vs model-predicted throughput.
+ *
+ * The paper fits Eq. 2/3 once per machine (T1 per signature from Table 2,
+ * p(n) from Eq. 3) and shows predictions within ~50% of measurements for
+ * 90% of configurations. We recalibrate on this machine: T1 is measured
+ * at one thread, p is inferred from a 2-thread measurement via the Amdahl
+ * inversion, Eq. 3 is refit, and predictions are compared against fresh
+ * measurements across model sizes.
+ *
+ * NOTE: this container exposes a single hardware core; multi-thread
+ * "measurements" therefore exercise the code path but show little real
+ * scaling. The fit/inversion machinery is identical to what an 18-core
+ * host would use.
+ */
+#include "bench/bench_util.h"
+#include "buckwild/buckwild.h"
+#include "cachesim/sgd_trace.h"
+
+namespace {
+
+using namespace buckwild;
+
+double
+measure(const dataset::DenseProblem& problem, const char* sig,
+        std::size_t threads)
+{
+    core::TrainerConfig cfg;
+    cfg.signature = dmgc::parse_signature(sig);
+    cfg.threads = threads;
+    cfg.epochs = 2;
+    cfg.record_loss_trace = false;
+    core::Trainer trainer(cfg);
+    return trainer.fit(problem).gnps();
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Figure 3 — measured vs predicted throughput",
+                  "prediction within ~50% of measurement for most "
+                  "configurations (paper: 90% of configs)");
+
+    const char* signatures[] = {"D8M8", "D16M16", "D32fM32f"};
+    const std::size_t sizes[] = {1 << 10, 1 << 13, 1 << 16};
+
+    // --- calibration: T1 per signature at n = 2^13, p from 2 threads.
+    std::vector<dmgc::CalibrationRow> calib;
+    std::vector<std::pair<std::size_t, double>> p_samples;
+    for (const char* sig : signatures) {
+        const auto prob = dataset::generate_logistic_dense(1 << 13, 256, 5);
+        const double t1 = measure(prob, sig, 1);
+        calib.push_back({sig, {t1, t1}});
+    }
+    for (std::size_t n : sizes) {
+        const auto prob = dataset::generate_logistic_dense(
+            n, std::max<std::size_t>(64, (1 << 19) / n), 6);
+        const double t1 = measure(prob, "D8M8", 1);
+        const double t2 = measure(prob, "D8M8", 2);
+        p_samples.emplace_back(
+            n, dmgc::infer_parallel_fraction(t1, std::max(t2, t1 * 1.001),
+                                             2));
+    }
+    const auto coeffs = dmgc::fit_coefficients(p_samples);
+    const dmgc::PerfModel model(calib, coeffs);
+    std::printf("refit Eq.3: p(n) = %.3f - %.1f/sqrt(n)   (paper: 0.890 - "
+                "22.0/sqrt(n))\n",
+                coeffs.bandwidth_fraction, coeffs.comm_coeff);
+
+    // --- validation sweep.
+    TablePrinter table("Fig 3: measured vs predicted (1 thread)",
+                       {"signature", "n", "measured GNPS", "predicted",
+                        "ratio"});
+    std::size_t within = 0, total = 0;
+    for (const char* sig : signatures) {
+        for (std::size_t n : sizes) {
+            const auto prob = dataset::generate_logistic_dense(
+                n, std::max<std::size_t>(64, (1 << 19) / n), 7);
+            const double measured = measure(prob, sig, 1);
+            const double predicted =
+                model.predict_gnps(dmgc::parse_signature(sig), 1, n);
+            const double ratio = predicted / measured;
+            within += (ratio > 0.5 && ratio < 1.5);
+            ++total;
+            table.add_row({sig, format_si(static_cast<double>(n)),
+                           format_num(measured, 3), format_num(predicted, 3),
+                           format_num(ratio, 3)});
+        }
+    }
+    bench::emit(table);
+    std::printf("\npredictions within 50%%: %zu/%zu (paper: 90%%)\n", within,
+                total);
+
+    // ---- multi-thread series on the cycle simulator: Eq. 2 scaling with
+    // T1 taken from the 1-core simulation and p(n) refit from the
+    // simulator's own 18-core data, mirroring the paper's calibration.
+    TablePrinter threads_table(
+        "Fig 3 (threads): simulated vs Amdahl-predicted GNPS, D8M8",
+        {"n", "t", "sim GNPS", "predicted", "ratio"});
+    std::size_t t_within = 0, t_total = 0;
+    for (std::size_t n : {std::size_t{1} << 12, std::size_t{1} << 16}) {
+        cachesim::SgdWorkload work;
+        work.model_size = n;
+        work.iterations_per_core =
+            std::max<std::size_t>(4, (1 << 16) / n);
+        auto sim_gnps = [&](std::size_t cores) {
+            cachesim::ChipConfig chip;
+            chip.cores = cores;
+            return simulate_sgd(chip, work).gnps(2.5);
+        };
+        const double t1 = sim_gnps(1);
+        // Infer p from the 18-core point, as the paper fits Eq. 3.
+        const double t18 = sim_gnps(18);
+        const double p = dmgc::infer_parallel_fraction(
+            t1, std::max(t18, t1 * 1.001), 18);
+        for (std::size_t t : {4u, 9u, 18u}) {
+            const double measured = sim_gnps(t);
+            const double predicted = dmgc::PerfModel::amdahl(t1, t, p);
+            const double ratio = predicted / measured;
+            t_within += (ratio > 0.5 && ratio < 1.5);
+            ++t_total;
+            threads_table.add_row(
+                {format_si(static_cast<double>(n)), std::to_string(t),
+                 format_num(measured, 3), format_num(predicted, 3),
+                 format_num(ratio, 3)});
+        }
+    }
+    bench::emit(threads_table);
+    std::printf("\nthread-scaling predictions within 50%%: %zu/%zu\n",
+                t_within, t_total);
+    return 0;
+}

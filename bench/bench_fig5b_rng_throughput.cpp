@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Figure 5b: hardware efficiency of the rounding-randomness strategies.
+ *
+ * Measures end-to-end training throughput (GNPS) of D8M8 Buckwild! under
+ * each strategy, plus the raw generator rates.
+ *
+ * Expected shape: biased fastest; Mersenne-per-write slowest (the PRNG
+ * dominates); XORSHIFT-per-write in between; shared randomness within a
+ * few percent of biased — "allowing us to match the hardware efficiency
+ * of the [biased] version".
+ */
+#include "bench/bench_util.h"
+#include "buckwild/buckwild.h"
+#include "rng/avx2_xorshift.h"
+
+int
+main()
+{
+    using namespace buckwild;
+    bench::banner("Figure 5b — rounding strategies, hardware efficiency",
+                  "biased ~ shared > xorshift/write > mersenne/write");
+
+    // Raw generator rates first (words/second).
+    {
+        TablePrinter gen_table("raw generator throughput",
+                               {"generator", "32-bit words / s"});
+        rng::MersenneSource mt(1);
+        volatile std::uint32_t sink = 0;
+        double sec = measure_seconds_per_call(
+            [&](std::size_t) {
+                for (int i = 0; i < 4096; ++i) sink = sink + mt.next_word();
+            },
+            0.05);
+        gen_table.add_row({"Mersenne twister", format_si(4096.0 / sec)});
+
+        rng::XorshiftSource xs(1);
+        sec = measure_seconds_per_call(
+            [&](std::size_t) {
+                for (int i = 0; i < 4096; ++i) sink = sink + xs.next_word();
+            },
+            0.05);
+        gen_table.add_row({"XORSHIFT (scalar)", format_si(4096.0 / sec)});
+
+        rng::Avx2Xorshift128Plus vec(1);
+        alignas(32) std::uint32_t words[8];
+        sec = measure_seconds_per_call(
+            [&](std::size_t) {
+                for (int i = 0; i < 512; ++i) {
+                    vec.fill(words, 8);
+                    sink = sink + words[0];
+                }
+            },
+            0.05);
+        gen_table.add_row({"XORSHIFT (AVX2, 256b/step)",
+                           format_si(512.0 * 8.0 / sec)});
+        bench::emit(gen_table);
+    }
+
+    // End-to-end D8M8 training throughput per strategy.
+    const auto problem = dataset::generate_logistic_dense(1 << 13, 512, 3);
+    TablePrinter table("Fig 5b: D8M8 training throughput per strategy",
+                       {"strategy", "GNPS", "vs biased"});
+    double biased_gnps = 0.0;
+    const std::pair<const char*, core::RoundingStrategy> cases[] = {
+        {"biased", core::RoundingStrategy::kBiased},
+        {"mersenne/write", core::RoundingStrategy::kMersennePerWrite},
+        {"xorshift/write", core::RoundingStrategy::kXorshiftPerWrite},
+        {"shared xorshift", core::RoundingStrategy::kSharedXorshift},
+    };
+    for (const auto& [name, strategy] : cases) {
+        core::TrainerConfig cfg;
+        cfg.signature = dmgc::parse_signature("D8M8");
+        cfg.rounding = strategy;
+        cfg.epochs = 3;
+        cfg.record_loss_trace = false;
+        core::Trainer trainer(cfg);
+        const double gnps = trainer.fit(problem).gnps();
+        if (strategy == core::RoundingStrategy::kBiased) biased_gnps = gnps;
+        table.add_row({name, format_num(gnps, 3),
+                       format_num(gnps / biased_gnps, 3)});
+    }
+    bench::emit(table);
+    return 0;
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Figure 5c: hypothetical 4-bit SGD (D4M4) vs D8M8, via the paper's
+ * proxy-instruction methodology (§6.1): nibble-packed data processed
+ * with 8-bit-latency instructions over half the bytes.
+ *
+ * Expected shape: D4M4 ~2x faster than D8M8 across model sizes (it
+ * halves both memory traffic and vector count).
+ */
+#include <cstdint>
+
+#include "bench/bench_util.h"
+#include "isa/nibble_kernels.h"
+#include "isa/proxy_kernels.h"
+#include "rng/xorshift.h"
+#include "simd/dense_avx2.h"
+#include "util/aligned_buffer.h"
+
+int
+main()
+{
+    using namespace buckwild;
+    bench::banner("Figure 5c — hypothetical 4-bit (D4M4) vs D8M8 throughput",
+                  "D4M4 ~2x faster across sizes (proxy timing; outputs of "
+                  "proxy kernels are invalid by design)");
+
+    TablePrinter table("Fig 5c: dot+AXPY inner-loop throughput",
+                       {"model size", "D8M8 GNPS", "D4M4 GNPS (proxy)",
+                        "speedup"});
+
+    for (std::size_t n : {1u << 12, 1u << 14, 1u << 16, 1u << 18}) {
+        rng::Xorshift128 gen(7);
+        AlignedBuffer<std::int8_t> x8(n), w8(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            x8[i] = static_cast<std::int8_t>(gen() % 255 - 127);
+            w8[i] = static_cast<std::int8_t>(gen() % 255 - 127);
+        }
+        AlignedBuffer<std::uint8_t> x4(n / 2), w4(n / 2);
+        for (std::size_t i = 0; i < n / 2; ++i) {
+            x4[i] = static_cast<std::uint8_t>(gen());
+            w4[i] = static_cast<std::uint8_t>(gen());
+        }
+
+        const auto cs8 = simd::make_scalar_d8m8(0.5f);
+        const auto dither = simd::biased_fixed(simd::kShiftD8M8);
+        volatile float sink = 0.0f;
+        const double sec8 = measure_seconds_per_call(
+            [&](std::size_t) {
+                sink = sink +
+                       simd::avx2::dot_d8m8(x8.data(), w8.data(), n, 1.0f);
+                simd::avx2::axpy_d8m8(w8.data(), x8.data(), n, cs8, dither);
+            },
+            0.04);
+
+        const double sec4 = measure_seconds_per_call(
+            [&](std::size_t) {
+                sink = sink + isa::dot_d4m4_proxy(x4.data(), w4.data(), n);
+                isa::axpy_d4m4_proxy(w4.data(), x4.data(), n, cs8);
+            },
+            0.04);
+
+        const double g8 = n / sec8 / 1e9;
+        const double g4 = n / sec4 / 1e9;
+        table.add_row({format_si(static_cast<double>(n)), format_num(g8, 3),
+                       format_num(g4, 3), format_num(g4 / g8, 3)});
+    }
+    bench::emit(table);
+
+    std::printf("\n(statistical side: see bench_fig7b_lenet, which sweeps "
+                "model precision down to 4 bits)\n");
+    return 0;
+}

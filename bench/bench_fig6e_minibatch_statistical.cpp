@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Figure 6e: mini-batch size vs statistical efficiency (§5.4).
+ *
+ * Trains logistic regression for a fixed number of examples at several
+ * mini-batch sizes.
+ *
+ * Expected shape: small B matches plain SGD; very large B degrades the
+ * loss at equal examples processed (fewer model updates) — "an empirical
+ * or theoretical analysis of the accuracy is needed to decide how large
+ * the minibatch size can be set".
+ */
+#include "bench/bench_util.h"
+#include "buckwild/buckwild.h"
+
+int
+main()
+{
+    using namespace buckwild;
+    bench::banner("Figure 6e — mini-batch size vs statistical efficiency",
+                  "loss flat for small B, degrading for very large B");
+
+    const auto problem = dataset::generate_logistic_dense(256, 6000, 77);
+
+    TablePrinter table("Fig 6e: loss after 5 epochs, D8M8",
+                       {"B", "epoch 1", "epoch 3", "final loss",
+                        "accuracy"});
+    for (std::size_t b : {1u, 4u, 16u, 64u, 256u, 1024u}) {
+        core::TrainerConfig cfg;
+        cfg.signature = dmgc::parse_signature("D8M8");
+        cfg.batch_size = b;
+        cfg.epochs = 5;
+        cfg.step_size = 0.2f;
+        core::Trainer trainer(cfg);
+        const auto m = trainer.fit(problem);
+        table.add_row({std::to_string(b), format_num(m.loss_trace[0]),
+                       format_num(m.loss_trace[2]),
+                       format_num(m.final_loss), format_num(m.accuracy)});
+    }
+    bench::emit(table);
+    return 0;
+}

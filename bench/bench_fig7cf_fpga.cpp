@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Figure 7c/7f and the §8 FPGA study.
+ *
+ * 7c: the 2-stage vs 3-stage pipeline structures;
+ * 7f: throughput and area vs precision for tuned designs;
+ * §8 text: the mini-batch / plain-SGD crossover near ~100 DRAM bursts
+ *     per example, and GNPS/watt vs the CPU.
+ *
+ * Expected shape: lower precision -> higher throughput (up to ~2.5x in
+ * the paper's designs) AND lower area; halving only the dataset
+ * precision already helps both; FPGA GNPS/W > CPU GNPS/W (0.339 vs
+ * 0.143 in the paper).
+ */
+#include "bench/bench_util.h"
+#include "fpga/search.h"
+
+int
+main()
+{
+    using namespace buckwild;
+    using namespace buckwild::fpga;
+    bench::banner("Figure 7c/7f + §8 — FPGA designs",
+                  "lower precision: more throughput, less area; "
+                  "mini-batch wins until ~100 bursts/example; FPGA "
+                  "GNPS/W > CPU");
+
+    const Device device;
+
+    // ---- Fig 7f: tuned design per precision pair.
+    TablePrinter fig7f("Fig 7f: tuned designs per precision",
+                       {"D bits", "M bits", "GNPS", "vs D32M32", "DSP%",
+                        "BRAM%", "GNPS/W"});
+    double base_gnps = 0.0;
+    const int pairs[][2] = {{32, 32}, {16, 16}, {8, 16}, {8, 8}, {4, 4}};
+    for (const auto& p : pairs) {
+        SearchSpace space;
+        space.dataset_bits = p[0];
+        space.model_bits = p[1];
+        space.model_size = 1 << 14;
+        const auto best = best_design(space, device);
+        if (base_gnps == 0.0) base_gnps = best.throughput.gnps;
+        fig7f.add_row({std::to_string(p[0]), std::to_string(p[1]),
+                       format_num(best.throughput.gnps, 3),
+                       format_num(best.throughput.gnps / base_gnps, 3),
+                       format_num(100 * best.resources.dsp_frac(device), 3),
+                       format_num(100 * best.resources.bram_frac(device),
+                                  3),
+                       format_num(best.gnps_per_watt(), 3)});
+    }
+    bench::emit(fig7f);
+
+    // ---- Fig 7c: stage structures at fixed precision/lanes.
+    TablePrinter fig7c("Fig 7c: 2-stage vs 3-stage (D8M8, 64 lanes, B=4)",
+                       {"shape", "compute elem/cyc", "GNPS", "BRAM kbit"});
+    for (auto shape :
+         {PipelineShape::kTwoStage, PipelineShape::kThreeStage}) {
+        DesignPoint d;
+        d.lanes = 64;
+        d.batch_size = 4;
+        d.shape = shape;
+        d.model_size = 1 << 14;
+        const auto t = estimate_throughput(d, device);
+        const auto r = estimate_resources(d, device);
+        fig7c.add_row({to_string(shape),
+                       format_num(t.compute_elements_per_cycle, 3),
+                       format_num(t.gnps, 3),
+                       format_num(r.bram_kbits, 4)});
+    }
+    bench::emit(fig7c);
+
+    // ---- §8 crossover: plain vs mini-batch across model sizes.
+    TablePrinter cross("mini-batch crossover (D8, 256 lanes)",
+                       {"model size", "bursts/example", "plain GNPS",
+                        "B=16 GNPS", "batch wins?"});
+    for (std::size_t n :
+         {1u << 9, 1u << 11, 1u << 13, 1u << 15, 1u << 18}) {
+        DesignPoint d;
+        d.lanes = 256;
+        d.model_size = n;
+        d.shape = PipelineShape::kThreeStage;
+        d.batch_size = 1;
+        const auto plain = estimate_throughput(d, device);
+        d.batch_size = 16;
+        const auto batched = estimate_throughput(d, device);
+        cross.add_row(
+            {format_si(static_cast<double>(n)),
+             format_num(plain.bursts_per_example, 3),
+             format_num(plain.gnps, 3), format_num(batched.gnps, 3),
+             batched.gnps > plain.gnps * 1.02 ? "yes" : "no (>=100 bursts)"});
+    }
+    bench::emit(cross);
+
+    // ---- §8 efficiency comparison.
+    SearchSpace space;
+    space.dataset_bits = 8;
+    space.model_bits = 8;
+    const auto best = best_design(space, device);
+    std::printf("\ntuned D8M8 design: %s -> %.3f GNPS/W "
+                "(paper: FPGA 0.339, Xeon 0.143)\n",
+                best.design.to_string().c_str(), best.gnps_per_watt());
+    return 0;
+}

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Table 1: DMGC signatures of previous algorithms.
+ *
+ * Regenerates the paper's classification of prior low-precision systems
+ * from the taxonomy registry, and demonstrates the parse/format
+ * round-trip for each entry.
+ */
+#include "bench/bench_util.h"
+#include "dmgc/taxonomy.h"
+
+int
+main()
+{
+    using namespace buckwild;
+    bench::banner("Table 1 — DMGC signatures of previous algorithms",
+                  "static taxonomy; signatures must round-trip through the "
+                  "parser");
+
+    TablePrinter table("Table 1", {"paper", "DMGC signature", "round-trip",
+                                   "what is quantized"});
+    for (const auto& entry : dmgc::prior_work_taxonomy()) {
+        table.add_row({entry.paper, entry.signature_text,
+                       entry.signature.to_string(), entry.note});
+    }
+    bench::emit(table);
+    return 0;
+}

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Table 2: base sequential throughput T1 per DMGC signature, dense and
+ * sparse, measured on this machine with the best (hand-optimized SIMD +
+ * shared-randomness) implementation — the same measurement methodology as
+ * the paper's Table 2 (which notes "throughputs vary by CPU").
+ *
+ * Expected shape: dense throughput scales near-linearly as precision
+ * drops (D8M8 fastest, ~3-4x over D32fM32f); sparse throughput improves
+ * sub-linearly, with the M8 schemes on top.
+ */
+#include "bench/bench_util.h"
+#include "buckwild/buckwild.h"
+
+namespace {
+
+using namespace buckwild;
+
+double
+dense_t1(const dataset::DenseProblem& problem, const char* signature)
+{
+    core::TrainerConfig cfg;
+    cfg.signature = dmgc::parse_signature(signature);
+    cfg.threads = 1; // T1 is the sequential base throughput
+    cfg.epochs = 2;
+    cfg.record_loss_trace = false;
+    core::Trainer trainer(cfg);
+    return trainer.fit(problem).gnps();
+}
+
+double
+sparse_t1(const dataset::SparseProblem& problem, const char* signature)
+{
+    core::TrainerConfig cfg;
+    cfg.signature = dmgc::parse_signature(signature);
+    cfg.threads = 1;
+    cfg.epochs = 2;
+    cfg.record_loss_trace = false;
+    core::Trainer trainer(cfg);
+    return trainer.fit(problem).gnps();
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner(
+        "Table 2 — base sequential throughput T1 (GNPS) per signature",
+        "dense: near-linear speedup with precision, D8M8 on top; "
+        "sparse: sub-linear, M8 schemes on top");
+
+    // Dense: n = 2^18 model — large enough that the dataset streams well
+    // past the private caches, the paper's bandwidth-bound regime.
+    const auto dense = dataset::generate_logistic_dense(1 << 18, 32, 99);
+    // Sparse: 3% density as in the paper; sized so the nonzero stream
+    // (values + indices) spills past the private caches.
+    const auto sparse =
+        dataset::generate_logistic_sparse(1 << 16, 4096, 0.03, 99);
+
+    struct Row
+    {
+        const char* dense_sig;
+        const char* sparse_sig;
+        double paper_dense;
+        double paper_sparse;
+    };
+    // The paper's Table 2 rows (Xeon E7-8890 v3 values for reference).
+    const Row rows[] = {
+        {"D32fM8", "D32fi32M8", 0.203, 0.103},
+        {"D32fM16", "D32fi32M16", 0.208, 0.080},
+        {"D32fM32f", "D32fi32M32f", 0.936, 0.101},
+        {"D8M32f", "D8i8M32f", 0.999, 0.089},
+        {"D16M32f", "D16i16M32f", 1.183, 0.089},
+        {"D16M16", "D16i16M16", 1.739, 0.106},
+        {"D8M16", "D8i8M16", 2.238, 0.105},
+        {"D16M8", "D16i16M8", 2.526, 0.172},
+        {"D8M8", "D8i8M8", 3.339, 0.166},
+    };
+
+    TablePrinter table("Table 2 (measured on this machine vs paper's Xeon)",
+                       {"signature", "dense T1", "paper", "sparse T1",
+                        "paper "});
+    double dense_d8m8 = 0, dense_full = 0;
+    for (const auto& row : rows) {
+        const double d = dense_t1(dense, row.dense_sig);
+        const double s = sparse_t1(sparse, row.sparse_sig);
+        if (std::string(row.dense_sig) == "D8M8") dense_d8m8 = d;
+        if (std::string(row.dense_sig) == "D32fM32f") dense_full = d;
+        table.add_row({row.dense_sig, format_num(d, 3),
+                       format_num(row.paper_dense, 3), format_num(s, 3),
+                       format_num(row.paper_sparse, 3)});
+    }
+    bench::emit(table);
+    std::printf("\ndense D8M8 / D32fM32f speedup: %.2fx (paper: %.2fx)\n",
+                dense_d8m8 / dense_full, 3.339 / 0.936);
+    return 0;
+}

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Table 3: summary of the optimizations discussed in the paper, each with
+ * a quick measurement (or simulation) of its effect in this repository.
+ */
+#include "bench/bench_util.h"
+#include "buckwild/buckwild.h"
+#include "cachesim/sgd_trace.h"
+#include "isa/proxy_kernels.h"
+#include "rng/xorshift.h"
+
+namespace {
+
+using namespace buckwild;
+
+double
+train_gnps(const dataset::DenseProblem& problem, const char* sig,
+           simd::Impl impl, core::RoundingStrategy rounding,
+           std::size_t batch)
+{
+    core::TrainerConfig cfg;
+    cfg.signature = dmgc::parse_signature(sig);
+    cfg.impl = impl;
+    cfg.rounding = rounding;
+    cfg.batch_size = batch;
+    cfg.epochs = 3;
+    cfg.record_loss_trace = false;
+    core::Trainer trainer(cfg);
+    return trainer.fit(problem).gnps();
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Table 3 — summary of optimizations",
+                  "each row: when it helps and its measured effect here");
+
+    const auto problem = dataset::generate_logistic_dense(1 << 12, 1024, 4);
+    const auto small = dataset::generate_logistic_dense(1 << 10, 2048, 4);
+
+    TablePrinter table("Table 3",
+                       {"optimization", "beneficial when", "stat. eff. loss",
+                        "measured effect"});
+
+    // Optimized SIMD (§5.1).
+    {
+        const double naive = train_gnps(problem, "D8M8", simd::Impl::kNaive,
+                                        core::RoundingStrategy::kBiased, 1);
+        const double avx = train_gnps(problem, "D8M8", simd::Impl::kAvx2,
+                                      core::RoundingStrategy::kBiased, 1);
+        table.add_row({"Optimized SIMD", "Always", "None",
+                       format_num(avx / naive, 3) + "x vs compiler"});
+    }
+    // Fast PRNG (§5.2).
+    {
+        const double mt = train_gnps(
+            problem, "D8M8", simd::Impl::kAvx2,
+            core::RoundingStrategy::kMersennePerWrite, 1);
+        const double shared = train_gnps(
+            problem, "D8M8", simd::Impl::kAvx2,
+            core::RoundingStrategy::kSharedXorshift, 1);
+        table.add_row({"Fast PRNG (shared XORSHIFT)",
+                       "Using unbiased rounding", "Negligible",
+                       format_num(shared / mt, 3) + "x vs Mersenne/write"});
+    }
+    // No prefetching (§5.3) — simulated.
+    {
+        cachesim::SgdWorkload work;
+        work.model_size = 1 << 10;
+        work.iterations_per_core = 32;
+        cachesim::ChipConfig chip;
+        chip.prefetcher = cachesim::Prefetcher::kNextLine;
+        const auto on = simulate_sgd(chip, work);
+        chip.prefetcher = cachesim::Prefetcher::kNone;
+        const auto off = simulate_sgd(chip, work);
+        table.add_row({"No prefetching", "Communication-bound",
+                       "Negligible",
+                       format_num(on.wall_cycles / off.wall_cycles, 3) +
+                           "x (simulated, small model)"});
+    }
+    // Mini-batch (§5.4).
+    {
+        const double b1 = train_gnps(small, "D8M8", simd::Impl::kAvx2,
+                                     core::RoundingStrategy::kBiased, 1);
+        const double b64 = train_gnps(small, "D8M8", simd::Impl::kAvx2,
+                                      core::RoundingStrategy::kBiased, 64);
+        table.add_row({"Mini-batch", "Communication-bound", "Possible",
+                       format_num(b64 / b1, 3) + "x at B=64 (small model)"});
+    }
+    // New instructions (§6.1) — proxy timing.
+    {
+        constexpr std::size_t kN = 1 << 16;
+        rng::Xorshift128 gen(9);
+        AlignedBuffer<std::int8_t> x(kN), w(kN);
+        for (std::size_t i = 0; i < kN; ++i)
+            x[i] = static_cast<std::int8_t>(gen() % 255 - 127);
+        const auto cs = simd::make_scalar_d8m8(0.5f);
+        const auto dither = simd::biased_fixed(simd::kShiftD8M8);
+        volatile float sink = 0;
+        const double base = measure_seconds_per_call(
+            [&](std::size_t) {
+                sink = sink +
+                       simd::avx2::dot_d8m8(x.data(), w.data(), kN, 1.0f);
+                simd::avx2::axpy_d8m8(w.data(), x.data(), kN, cs, dither);
+            },
+            0.04);
+        const double proxy = measure_seconds_per_call(
+            [&](std::size_t) {
+                sink = sink +
+                       isa::dot_d8m8_fused_proxy(x.data(), w.data(), kN);
+                isa::axpy_d8m8_fused_proxy(w.data(), x.data(), kN, cs);
+            },
+            0.04);
+        table.add_row({"New instructions", "Always", "None",
+                       format_num(base / proxy, 3) + "x (proxy method)"});
+    }
+    // Obstinate cache (§6.2) — simulated.
+    {
+        cachesim::SgdWorkload work;
+        work.model_size = 1 << 10;
+        work.iterations_per_core = 32;
+        cachesim::ChipConfig chip;
+        const auto q0 = simulate_sgd(chip, work);
+        chip.obstinacy = 0.95;
+        const auto q95 = simulate_sgd(chip, work);
+        table.add_row({"Obstinate cache", "Communication-bound",
+                       "Negligible",
+                       format_num(q0.wall_cycles / q95.wall_cycles, 3) +
+                           "x at q=0.95 (simulated)"});
+    }
+    bench::emit(table);
+    return 0;
+}

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Shared helpers for the experiment-reproduction benches.
+ *
+ * Every binary in bench/ regenerates one table or figure of the paper
+ * (see DESIGN.md's experiment index): it prints the same rows/series the
+ * paper reports, measured on this machine or on the simulators. Headers
+ * announce which experiment is being reproduced and what shape to expect.
+ */
+#ifndef BUCKWILD_BENCH_BENCH_UTIL_H
+#define BUCKWILD_BENCH_BENCH_UTIL_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "util/stopwatch.h"
+#include "util/table.h"
+
+namespace buckwild::bench {
+
+/// True when BUCKWILD_CSV=1: benches should ALSO emit machine-readable
+/// CSV after each table (for plotting pipelines).
+inline bool
+csv_requested()
+{
+    const char* env = std::getenv("BUCKWILD_CSV");
+    return env != nullptr && env[0] == '1';
+}
+
+/// Prints a table, and its CSV twin when BUCKWILD_CSV=1.
+inline void
+emit(const TablePrinter& table)
+{
+    table.print(std::cout);
+    if (csv_requested()) {
+        std::cout << "-- csv --\n";
+        table.print_csv(std::cout);
+    }
+}
+
+/// Prints the standard experiment banner.
+inline void
+banner(const std::string& experiment, const std::string& expectation)
+{
+    std::printf("==========================================================="
+                "=====\n%s\n", experiment.c_str());
+    std::printf("expected shape: %s\n", expectation.c_str());
+    std::printf("==========================================================="
+                "=====\n");
+}
+
+/// Measures GNPS of `body`, which must process `numbers` dataset numbers
+/// per call.
+inline double
+measure_gnps(double numbers, const std::function<void(std::size_t)>& body,
+             double min_seconds = 0.05)
+{
+    const double sec = measure_seconds_per_call(body, min_seconds);
+    return numbers / sec / 1e9;
+}
+
+} // namespace buckwild::bench
+
+#endif // BUCKWILD_BENCH_BENCH_UTIL_H

@@ -1,0 +1,37 @@
+# One binary per reproduced table/figure (see the experiment index in
+# DESIGN.md). Included from the top-level CMakeLists so that build/bench/
+# contains only the bench executables:
+#   for b in build/bench/*; do $b; done
+# regenerates every table and figure.
+set(BUCKWILD_BENCHES
+  bench_table1_taxonomy
+  bench_table2_base_throughput
+  bench_fig2_model_size
+  bench_fig3_perf_model
+  bench_fig4_simd
+  bench_fig5a_rng_statistical
+  bench_fig5b_rng_throughput
+  bench_fig5c_4bit
+  bench_fig6ab_prefetch
+  bench_fig6c_obstinate
+  bench_fig6d_minibatch
+  bench_fig6e_minibatch_statistical
+  bench_fig6f_obstinate_statistical
+  bench_sec61_new_instructions
+  bench_fig7a_conv
+  bench_fig7b_lenet
+  bench_fig7cf_fpga
+  bench_fig7de_svm
+  bench_table3_summary
+  bench_ablation_design
+  bench_ext_comm_precision
+  bench_ext_avx512
+  bench_ext_async_staleness)
+
+foreach(name IN LISTS BUCKWILD_BENCHES)
+  add_executable(${name} bench/${name}.cpp)
+  target_link_libraries(${name} PRIVATE buckwild)
+  target_include_directories(${name} PRIVATE ${CMAKE_SOURCE_DIR})
+  set_target_properties(${name} PROPERTIES
+    RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+endforeach()

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * FPGA design-space exploration example (§8): for each precision, search
+ * lanes x pipeline-shape x mini-batch for the best-fitting design on a
+ * Stratix-V-class device, and report throughput, area, and GNPS/watt.
+ */
+#include <cstdio>
+#include <iostream>
+
+#include "fpga/search.h"
+#include "util/table.h"
+
+int
+main()
+{
+    using namespace buckwild;
+    using namespace buckwild::fpga;
+
+    const Device device;
+    std::printf("device: %zu ALMs, %zu DSPs, %zu kbit BRAM, %.0f MHz, "
+                "%.1f GB/s DRAM\n",
+                device.alms, device.dsps, device.bram_kbits,
+                device.clock_mhz, device.dram_gbps);
+
+    TablePrinter table("best design per precision (model n = 16384)",
+                       {"precision", "design", "GNPS", "bound", "DSP%",
+                        "BRAM%", "GNPS/W"});
+
+    for (int bits : {4, 8, 16, 32}) {
+        SearchSpace space;
+        space.dataset_bits = bits;
+        space.model_bits = bits;
+        space.model_size = 1 << 14;
+        const auto best = best_design(space, device);
+        table.add_row(
+            {bits == 32 ? "float32" : std::to_string(bits) + "-bit",
+             best.design.to_string(),
+             format_num(best.throughput.gnps, 3),
+             best.throughput.memory_bound ? "memory" : "compute",
+             format_num(100.0 * best.resources.dsp_frac(device), 3),
+             format_num(100.0 * best.resources.bram_frac(device), 3),
+             format_num(best.gnps_per_watt(), 3)});
+    }
+    table.print(std::cout);
+
+    // The 2-stage vs 3-stage trade-off at a fixed precision (Fig 7c).
+    TablePrinter shapes("2-stage vs 3-stage at D8M8, 64 lanes",
+                        {"shape", "GNPS", "BRAM kbit", "note"});
+    for (PipelineShape shape :
+         {PipelineShape::kTwoStage, PipelineShape::kThreeStage}) {
+        DesignPoint d;
+        d.lanes = 64;
+        d.shape = shape;
+        d.model_size = 1 << 14;
+        const auto t = estimate_throughput(d, device);
+        const auto r = estimate_resources(d, device);
+        shapes.add_row({to_string(shape), format_num(t.gnps, 3),
+                        format_num(r.bram_kbits, 4),
+                        shape == PipelineShape::kTwoStage
+                            ? "no copy; reads data twice"
+                            : "BRAM copy; full-rate stream"});
+    }
+    shapes.print(std::cout);
+
+    std::printf("\npaper reference points: FPGA 0.339 GNPS/W vs "
+                "Xeon E7-8890 0.143 GNPS/W\n");
+    return 0;
+}

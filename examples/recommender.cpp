@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Recommender-system example: low-precision SGD matrix factorization on
+ * naturally quantized (half-star) ratings — the application class §3
+ * highlights because dataset quantization is fidelity-free.
+ */
+#include <cstdio>
+#include <iostream>
+
+#include "core/matrix_fact.h"
+#include "util/table.h"
+
+int
+main()
+{
+    using namespace buckwild;
+
+    const auto problem = core::generate_ratings(
+        /*users=*/500, /*items=*/800, /*rank=*/12,
+        /*train=*/60000, /*test=*/10000, /*seed=*/7);
+    std::printf("ratings: %zu users x %zu items, %zu train / %zu test "
+                "(half-star steps: naturally quantized)\n",
+                problem.users, problem.items, problem.train.size(),
+                problem.test.size());
+
+    TablePrinter table("factor precision sweep (k = 64)",
+                       {"factor bits", "train RMSE", "test RMSE", "GNPS",
+                        "factor memory"});
+    for (int bits : {32, 16, 8}) {
+        core::MfConfig cfg;
+        cfg.factor_bits = bits;
+        cfg.factor_dim = 64;
+        cfg.epochs = 6;
+        const auto r = core::train_matrix_factorization(problem, cfg);
+        const double mbytes = static_cast<double>(
+                                  (problem.users + problem.items) * 64) *
+                              bits / 8.0 / 1e6;
+        table.add_row({bits == 32 ? "float32" : std::to_string(bits),
+                       format_num(r.train_rmse, 3),
+                       format_num(r.test_rmse, 3), format_num(r.gnps, 3),
+                       format_num(mbytes, 3) + " MB"});
+    }
+    table.print(std::cout);
+    std::printf("\n8-bit factors quarter the model memory; the half-star "
+                "input needed no dataset quantization at all.\n");
+    return 0;
+}

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Sparse-data example: a bag-of-words-style spam filter.
+ *
+ * Text classification produces extremely sparse feature vectors (each
+ * document touches a handful of a large vocabulary). This example builds
+ * a synthetic sparse problem shaped like that workload (50K-dimensional
+ * vocabulary, ~0.2% density) and sweeps DMGC signatures, showing:
+ *   - the role of *index precision* (the i term): 16-bit indices cannot
+ *     address 50K coordinates directly, so the dataset builder switches
+ *     to delta encoding (footnote 6) transparently;
+ *   - the paper's sparse finding: low precision still wins, but far less
+ *     than linearly (Table 2's sparse column).
+ */
+#include <cstdio>
+#include <iostream>
+
+#include "buckwild/buckwild.h"
+#include "util/table.h"
+
+int
+main()
+{
+    using namespace buckwild;
+
+    const std::size_t vocabulary = 50000;
+    const auto problem = dataset::generate_logistic_sparse(
+        vocabulary, /*examples=*/4000, /*density=*/0.002, /*seed=*/7);
+    std::printf("spam-filter problem: vocabulary=%zu, documents=%zu, "
+                "nnz/document=%zu\n",
+                vocabulary, problem.examples(),
+                problem.rows.front().index.size());
+
+    TablePrinter table("sparse signatures on the spam filter",
+                       {"signature", "loss", "accuracy", "GNPS",
+                        "index encoding"});
+
+    for (const char* text : {"D32fi32M32f", "D8i32M8", "D8i16M8", "D8i8M8"}) {
+        core::TrainerConfig cfg;
+        cfg.signature = dmgc::parse_signature(text);
+        cfg.epochs = 10;
+        cfg.step_size = 0.3f;
+        cfg.threads = 2;
+        core::Trainer trainer(cfg);
+        const auto metrics = trainer.fit(problem);
+
+        // 8/16-bit indices can't span 50K coordinates -> delta encoding.
+        const int bits = cfg.signature.index_bits.value_or(32);
+        const bool delta = (vocabulary - 1) > ((1ull << bits) - 1);
+        table.add_row({text, format_num(metrics.final_loss),
+                       format_num(metrics.accuracy),
+                       format_num(metrics.gnps(), 3),
+                       delta ? "delta+padding" : "absolute"});
+    }
+    table.print(std::cout);
+
+    std::printf("\nNote the paper's sparse result: lowering precision "
+                "helps, but sub-linearly —\nsparse kernels are bound by "
+                "irregular model accesses, not by data volume.\n");
+    return 0;
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The DMGC advisor in action: ask for tuning advice for several
+ * configurations and print the recommended optimization plans.
+ */
+#include <cstdio>
+#include <iostream>
+
+#include "dmgc/advisor.h"
+#include "util/table.h"
+
+namespace {
+
+void
+report(const char* title, const buckwild::dmgc::AdvisorQuery& query)
+{
+    using namespace buckwild;
+    const auto advice =
+        dmgc::advise(query, dmgc::PerfModel::paper_model());
+    std::printf("\n--- %s ---\n", title);
+    std::printf("signature %s, n = %zu, %zu threads\n",
+                query.signature.to_string().c_str(), query.model_size,
+                query.threads);
+    std::printf("regime: %s (p = %.3f), predicted %.2f GNPS on the "
+                "paper's Xeon\n",
+                to_string(advice.regime).c_str(),
+                advice.parallel_fraction, advice.predicted_gnps);
+    TablePrinter table("recommendations",
+                       {"action", "why", "stat. eff. cost"});
+    for (const auto& r : advice.recommendations)
+        table.add_row({r.action, r.rationale, r.stat_eff_cost});
+    table.print(std::cout);
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace buckwild;
+
+    // A full-precision user with a small model: the advisor should push
+    // precision down and the communication-bound mitigations.
+    dmgc::AdvisorQuery small;
+    small.signature = dmgc::Signature::dense_hogwild();
+    small.model_size = 1 << 11;
+    report("full-precision, small model", small);
+
+    // An already-low-precision user with a big model.
+    dmgc::AdvisorQuery large;
+    large.signature = dmgc::Signature::dense_fixed(8, 8);
+    large.model_size = 1 << 22;
+    report("D8M8, large model", large);
+
+    // A sparse user with biased rounding.
+    dmgc::AdvisorQuery sparse;
+    sparse.signature = dmgc::Signature::sparse_hogwild();
+    sparse.model_size = 1 << 18;
+    sparse.unbiased_rounding = false;
+    report("sparse full-precision, biased rounding", sparse);
+    return 0;
+}

@@ -1,0 +1,85 @@
+#include "cachesim/cache.h"
+
+#include "util/logging.h"
+
+namespace buckwild::cachesim {
+
+TagArray::TagArray(const CacheGeometry& geometry)
+    : sets_(geometry.sets()), ways_(geometry.ways),
+      ways_storage_(geometry.sets() * geometry.ways)
+{
+    if (sets_ == 0) fatal("cache must have at least one set");
+    // Power-of-two set counts index by mask; others (e.g. the 45 MB L3)
+    // fall back to modulo.
+    pow2_ = (sets_ & (sets_ - 1)) == 0;
+}
+
+TagArray::Way*
+TagArray::find(std::uint64_t line)
+{
+    const std::size_t set = set_of(line);
+    Way* base = ways_storage_.data() + set * ways_;
+    for (std::size_t k = 0; k < ways_; ++k)
+        if (base[k].state != Mesi::kInvalid && base[k].tag == line)
+            return base + k;
+    return nullptr;
+}
+
+Mesi
+TagArray::lookup(std::uint64_t line, bool touch)
+{
+    Way* way = find(line);
+    if (way == nullptr) return Mesi::kInvalid;
+    if (touch) way->lru = ++clock_;
+    return way->state;
+}
+
+void
+TagArray::set_state(std::uint64_t line, Mesi state)
+{
+    Way* way = find(line);
+    if (way != nullptr) way->state = state;
+}
+
+bool
+TagArray::invalidate(std::uint64_t line)
+{
+    Way* way = find(line);
+    if (way == nullptr) return false;
+    const bool dirty = way->state == Mesi::kModified;
+    way->state = Mesi::kInvalid;
+    return dirty;
+}
+
+bool
+TagArray::install(std::uint64_t line, Mesi state, std::uint64_t& evicted,
+                  bool& evicted_dirty)
+{
+    Way* existing = find(line);
+    if (existing != nullptr) {
+        existing->state = state;
+        existing->lru = ++clock_;
+        return false;
+    }
+    const std::size_t set = set_of(line);
+    Way* base = ways_storage_.data() + set * ways_;
+    Way* victim = base;
+    for (std::size_t k = 0; k < ways_; ++k) {
+        if (base[k].state == Mesi::kInvalid) {
+            victim = base + k;
+            break;
+        }
+        if (base[k].lru < victim->lru) victim = base + k;
+    }
+    const bool evicting = victim->state != Mesi::kInvalid;
+    if (evicting) {
+        evicted = victim->tag;
+        evicted_dirty = victim->state == Mesi::kModified;
+    }
+    victim->tag = line;
+    victim->state = state;
+    victim->lru = ++clock_;
+    return evicting;
+}
+
+} // namespace buckwild::cachesim

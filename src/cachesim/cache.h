@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Set-associative cache tag arrays with MESI states — building blocks of
+ * the multicore hierarchy simulator (§6.2 methodology: "we ran experiments
+ * using ZSim ... we simulated an 18-core processor ... 32 KB 4-cycle L1,
+ * 256 KB 12-cycle L2, and a 45 MB 36-cycle shared L3", MESI coherence, no
+ * congestion modeling).
+ *
+ * The simulator tracks *lines* (64-byte granularity); data values are not
+ * stored — only tags, states, and LRU order.
+ */
+#ifndef BUCKWILD_CACHESIM_CACHE_H
+#define BUCKWILD_CACHESIM_CACHE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace buckwild::cachesim {
+
+/// Cache line size in bytes (and the granularity of all addresses below).
+inline constexpr std::uint64_t kLineBytes = 64;
+
+/// MESI coherence states.
+enum class Mesi : std::uint8_t {
+    kInvalid,
+    kShared,
+    kExclusive,
+    kModified,
+};
+
+/// Geometry + latency of one cache level.
+struct CacheGeometry
+{
+    std::size_t size_bytes;
+    std::size_t ways;
+    unsigned latency; ///< access latency in cycles
+
+    std::size_t sets() const { return size_bytes / kLineBytes / ways; }
+};
+
+/**
+ * A set-associative tag array with per-line MESI state and LRU
+ * replacement. Addresses are *line* numbers (byte address / 64).
+ */
+class TagArray
+{
+  public:
+    explicit TagArray(const CacheGeometry& geometry);
+
+    /// Looks up a line; returns its state (kInvalid if absent). Updates
+    /// LRU on hit when `touch` is true.
+    Mesi lookup(std::uint64_t line, bool touch = true);
+
+    /// Changes the state of a present line; no-op if absent.
+    void set_state(std::uint64_t line, Mesi state);
+
+    /// Removes a line (invalidate). Returns true if it was present and
+    /// modified (i.e. a writeback would occur).
+    bool invalidate(std::uint64_t line);
+
+    /**
+     * Installs a line with the given state, evicting the LRU way if the
+     * set is full.
+     *
+     * @param[out] evicted       set to the evicted line number (if any)
+     * @param[out] evicted_dirty true if the evicted line was modified
+     * @return true if an eviction occurred.
+     */
+    bool install(std::uint64_t line, Mesi state, std::uint64_t& evicted,
+                 bool& evicted_dirty);
+
+    bool contains(std::uint64_t line) { return lookup(line, false) != Mesi::kInvalid; }
+
+    std::size_t sets() const { return sets_; }
+    std::size_t ways() const { return ways_; }
+
+  private:
+    struct Way
+    {
+        std::uint64_t tag = 0;
+        Mesi state = Mesi::kInvalid;
+        std::uint64_t lru = 0; ///< last-touch counter
+    };
+
+    Way* find(std::uint64_t line);
+
+    std::size_t
+    set_of(std::uint64_t line) const
+    {
+        return pow2_ ? (line & (sets_ - 1)) : (line % sets_);
+    }
+
+    bool pow2_ = true;
+    std::size_t sets_;
+    std::size_t ways_;
+    std::uint64_t clock_ = 0;
+    std::vector<Way> ways_storage_; ///< sets_ x ways_, row-major
+};
+
+} // namespace buckwild::cachesim
+
+#endif // BUCKWILD_CACHESIM_CACHE_H

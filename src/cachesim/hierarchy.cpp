@@ -1,0 +1,335 @@
+#include "cachesim/hierarchy.h"
+
+#include "util/logging.h"
+
+namespace buckwild::cachesim {
+
+Chip::Chip(const ChipConfig& config)
+    : config_(config), l3_(config.l3),
+      rng_(static_cast<std::uint32_t>(config.seed))
+{
+    if (config.cores == 0 || config.cores > 32)
+        fatal("Chip supports 1..32 cores");
+    cores_.reserve(config.cores);
+    for (std::size_t c = 0; c < config.cores; ++c)
+        cores_.push_back(CoreCaches{TagArray(config.l1), TagArray(config.l2),
+                                    {}});
+}
+
+void
+Chip::set_model_range(std::uint64_t begin, std::uint64_t end)
+{
+    model_begin_ = begin;
+    model_end_ = end;
+}
+
+void
+Chip::count_transfer(std::uint64_t line)
+{
+    if (!in_model_range(line)) return;
+    ++stats_.coherence_transfers;
+    const std::uint64_t count = ++line_transfers_[line];
+    if (count > max_line_transfers_) max_line_transfers_ = count;
+}
+
+bool
+Chip::shared_elsewhere(std::size_t core, std::uint64_t line) const
+{
+    auto dir = directory_.find(line);
+    if (dir == directory_.end()) return false;
+    return (dir->second & ~(1u << core)) != 0;
+}
+
+std::size_t
+Chip::invalidate_others(std::size_t writer, std::uint64_t line)
+{
+    auto dir = directory_.find(line);
+    if (dir == directory_.end()) return 0;
+    std::size_t delivered = 0;
+    const bool model = in_model_range(line);
+    std::uint32_t mask = dir->second;
+    std::uint32_t remaining = 0;
+    for (std::size_t c = 0; c < cores_.size(); ++c) {
+        const std::uint32_t bit = 1u << c;
+        if ((mask & bit) == 0 || c == writer) {
+            remaining |= mask & bit;
+            continue;
+        }
+        ++stats_.invalidates_sent;
+        if (model && config_.obstinacy > 0.0 &&
+            rng::to_unit_float(rng_()) <
+                static_cast<float>(config_.obstinacy)) {
+            // Obstinate cache: the invalidate is dropped; the line stays
+            // readable (Shared, stale) in core c.
+            ++stats_.invalidates_ignored;
+            cores_[c].l1.set_state(line, Mesi::kShared);
+            cores_[c].l2.set_state(line, Mesi::kShared);
+            remaining |= bit;
+            continue;
+        }
+        ++delivered;
+        CoreCaches& cc = cores_[c];
+        cc.l1.invalidate(line);
+        cc.l2.invalidate(line);
+        auto pf = cc.prefetched.find(line);
+        if (pf != cc.prefetched.end()) {
+            // A useless prefetch: the fill and its invalidation both
+            // occupied the line's home directory.
+            ++stats_.prefetched_invalidated;
+            count_transfer(line);
+            cc.prefetched.erase(pf);
+        }
+    }
+    dir->second = remaining | (1u << writer);
+    return delivered;
+}
+
+void
+Chip::fill_private(std::size_t core, std::uint64_t line, Mesi state,
+                   bool prefetch)
+{
+    CoreCaches& cc = cores_[core];
+    std::uint64_t evicted = 0;
+    bool evicted_dirty = false;
+    if (cc.l2.install(line, state, evicted, evicted_dirty)) {
+        // The evicted line leaves this core entirely.
+        cc.l1.invalidate(evicted);
+        cc.prefetched.erase(evicted);
+        auto dir = directory_.find(evicted);
+        if (dir != directory_.end()) {
+            dir->second &= ~(1u << core);
+            if (dir->second == 0) directory_.erase(dir);
+        }
+        auto own = owner_.find(evicted);
+        if (own != owner_.end() && own->second == static_cast<int>(core))
+            owner_.erase(own); // dirty data written back to L3
+    }
+    if (!prefetch) {
+        std::uint64_t e2 = 0;
+        bool d2 = false;
+        cc.l1.install(line, state, e2, d2); // L1 evictions stay in L2
+    }
+    directory_[line] |= 1u << core;
+    if (state == Mesi::kModified) owner_[line] = static_cast<int>(core);
+}
+
+bool
+Chip::fill_shared(std::uint64_t line)
+{
+    if (l3_.lookup(line) != Mesi::kInvalid) return false;
+    std::uint64_t evicted = 0;
+    bool evicted_dirty = false;
+    if (l3_.install(line, Mesi::kExclusive, evicted, evicted_dirty)) {
+        // Inclusive L3: back-invalidate every private copy of the victim.
+        auto dir = directory_.find(evicted);
+        if (dir != directory_.end()) {
+            for (std::size_t c = 0; c < cores_.size(); ++c) {
+                if ((dir->second & (1u << c)) == 0) continue;
+                cores_[c].l1.invalidate(evicted);
+                cores_[c].l2.invalidate(evicted);
+                cores_[c].prefetched.erase(evicted);
+            }
+            directory_.erase(dir);
+        }
+        owner_.erase(evicted);
+    }
+    return true; // came from DRAM
+}
+
+const char*
+to_string(Prefetcher kind)
+{
+    switch (kind) {
+      case Prefetcher::kNone: return "off";
+      case Prefetcher::kNextLine: return "next-line";
+      case Prefetcher::kAdjacentLine: return "adjacent-line";
+      case Prefetcher::kStream2: return "stream-2";
+    }
+    return "?";
+}
+
+void
+Chip::prefetch_line(std::size_t core, std::uint64_t target)
+{
+    CoreCaches& cc = cores_[core];
+    if (cc.l2.contains(target)) return;
+    ++stats_.prefetches_issued;
+    if (fill_shared(target))
+        ++fills_from_dram_;
+    else
+        ++fills_from_l3_;
+    // Another core holding the line Modified must downgrade before the
+    // prefetcher can install a Shared copy.
+    auto own = owner_.find(target);
+    if (own != owner_.end() && own->second != static_cast<int>(core)) {
+        cores_[own->second].l1.set_state(target, Mesi::kShared);
+        cores_[own->second].l2.set_state(target, Mesi::kShared);
+        owner_.erase(own);
+    }
+    fill_private(core, target, Mesi::kShared, /*prefetch=*/true);
+    cc.prefetched[target] = true;
+}
+
+void
+Chip::maybe_prefetch(std::size_t core, std::uint64_t line)
+{
+    switch (config_.prefetcher) {
+      case Prefetcher::kNone:
+        return;
+      case Prefetcher::kNextLine:
+        prefetch_line(core, line + 1);
+        return;
+      case Prefetcher::kAdjacentLine:
+        // The 128-byte pair buddy (even<->odd line).
+        prefetch_line(core, line ^ 1);
+        return;
+      case Prefetcher::kStream2:
+        prefetch_line(core, line + 1);
+        prefetch_line(core, line + 2);
+        return;
+    }
+}
+
+double
+Chip::read(std::size_t core, std::uint64_t line)
+{
+    CoreCaches& cc = cores_[core];
+    // L1 hit?
+    if (cc.l1.lookup(line) != Mesi::kInvalid) {
+        ++stats_.l1_hits;
+        if (config_.obstinacy > 0.0 && in_model_range(line) &&
+            owner_.count(line) != 0 &&
+            owner_[line] != static_cast<int>(core))
+            ++stats_.stale_reads;
+        return config_.l1.latency / config_.hit_mlp;
+    }
+    // L2 hit?
+    if (cc.l2.lookup(line) != Mesi::kInvalid) {
+        ++stats_.l2_hits;
+        auto pf = cc.prefetched.find(line);
+        if (pf != cc.prefetched.end()) {
+            ++stats_.prefetch_hits;
+            cc.prefetched.erase(pf);
+        }
+        std::uint64_t e = 0;
+        bool d = false;
+        cc.l1.install(line, cc.l2.lookup(line, false), e, d);
+        return config_.l2.latency / config_.hit_mlp;
+    }
+    // Miss classification: a *dirty transfer* (another core holds the
+    // line Modified — it was recently written, i.e. our copy was
+    // invalidated) stalls at full latency. A capacity/cold miss is part
+    // of a prefetchable sequential stream and overlaps (streaming_mlp).
+    // This discriminator scales with cache size automatically: small
+    // models stay Modified in the last writer's L2, large models get
+    // evicted (written back) before the next reader arrives.
+    auto own_it = owner_.find(line);
+    const bool coherence =
+        own_it != owner_.end() && own_it->second != static_cast<int>(core);
+    double latency = config_.l3.latency;
+    const bool from_dram = fill_shared(line);
+    if (from_dram) {
+        latency += config_.dram_latency;
+        ++stats_.dram_fills;
+        ++fills_from_dram_;
+    } else {
+        ++stats_.l3_hits;
+        ++fills_from_l3_;
+    }
+    if (!coherence)
+        latency /= config_.streaming_mlp;
+    else
+        count_transfer(line);
+    // Any other private copy (Exclusive or Modified) downgrades to Shared;
+    // a Modified owner writes back to the L3 first.
+    auto own = owner_.find(line);
+    if (own != owner_.end() && own->second != static_cast<int>(core))
+        owner_.erase(own);
+    const std::uint32_t sharers = directory_[line];
+    for (std::size_t c = 0; c < cores_.size(); ++c) {
+        if (c == core || (sharers & (1u << c)) == 0) continue;
+        cores_[c].l1.set_state(line, Mesi::kShared);
+        cores_[c].l2.set_state(line, Mesi::kShared);
+    }
+    const bool alone = sharers == 0;
+    fill_private(core, line, alone ? Mesi::kExclusive : Mesi::kShared,
+                 /*prefetch=*/false);
+    maybe_prefetch(core, line);
+    return latency;
+}
+
+double
+Chip::write(std::size_t core, std::uint64_t line)
+{
+    CoreCaches& cc = cores_[core];
+    const Mesi l1_state = cc.l1.lookup(line);
+    const Mesi l2_state = cc.l2.lookup(line);
+    const Mesi best = (l1_state == Mesi::kModified ||
+                       l2_state == Mesi::kModified)
+        ? Mesi::kModified
+        : ((l1_state == Mesi::kExclusive || l2_state == Mesi::kExclusive)
+               ? Mesi::kExclusive
+               : ((l1_state != Mesi::kInvalid || l2_state != Mesi::kInvalid)
+                      ? Mesi::kShared
+                      : Mesi::kInvalid));
+
+    if (best == Mesi::kModified || best == Mesi::kExclusive) {
+        // Silent E->M upgrade or plain M hit.
+        cc.l1.set_state(line, Mesi::kModified);
+        cc.l2.set_state(line, Mesi::kModified);
+        owner_[line] = static_cast<int>(core);
+        ++stats_.l1_hits;
+        return config_.l1.latency;
+    }
+
+    if (best == Mesi::kShared) {
+        // Upgrade: invalidate the other sharers via the directory. The
+        // writer pays a directory round trip plus per-sharer fan-out.
+        ++stats_.upgrades;
+        const std::size_t delivered = invalidate_others(core, line);
+        // An upgrade whose every invalidate was obstinately dropped is
+        // fire-and-forget: no victim acknowledgment serializes at the
+        // line's home.
+        if (delivered > 0) count_transfer(line);
+        cc.l1.set_state(line, Mesi::kModified);
+        cc.l2.set_state(line, Mesi::kModified);
+        if (cc.l1.lookup(line, false) == Mesi::kInvalid) {
+            std::uint64_t e = 0;
+            bool d = false;
+            cc.l1.install(line, Mesi::kModified, e, d);
+        }
+        owner_[line] = static_cast<int>(core);
+        ++stats_.l2_hits;
+        return config_.l2.latency + config_.l3.latency +
+               config_.invalidate_cost * static_cast<double>(delivered);
+    }
+
+    // Read-for-ownership miss: a full-latency dirty transfer only when
+    // another core holds the line Modified.
+    auto own_it = owner_.find(line);
+    const bool coherence =
+        own_it != owner_.end() && own_it->second != static_cast<int>(core);
+    double latency = config_.l3.latency;
+    const bool from_dram = fill_shared(line);
+    if (from_dram) {
+        latency += config_.dram_latency;
+        ++stats_.dram_fills;
+        ++fills_from_dram_;
+    } else {
+        ++stats_.l3_hits;
+        ++fills_from_l3_;
+    }
+    if (!coherence)
+        latency /= config_.streaming_mlp;
+    else
+        count_transfer(line);
+    auto own = owner_.find(line);
+    if (own != owner_.end() && own->second != static_cast<int>(core))
+        owner_.erase(own);
+    const std::size_t delivered = invalidate_others(core, line);
+    latency += config_.invalidate_cost * static_cast<double>(delivered);
+    fill_private(core, line, Mesi::kModified, /*prefetch=*/false);
+    return latency;
+}
+
+} // namespace buckwild::cachesim

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * The multicore cache-hierarchy simulator.
+ *
+ * Models an 18-core (configurable) chip in the style the paper used ZSim:
+ * per-core private L1 + L2, a large shared inclusive L3 with a sharer
+ * directory, MESI coherence with instantaneous invalidate delivery, an
+ * optional next-line L2 hardware prefetcher (§5.3), and the *obstinate
+ * cache* (§6.2): invalidates targeting model-range lines are ignored with
+ * probability q, leaving the stale line readable in the Shared state.
+ *
+ * Like the paper's simulations, congestion is not modeled on a
+ * per-message basis; instead a bandwidth roofline accounts for DRAM and
+ * L3 fill occupancy when converting access streams to wall-clock cycles
+ * (simulate_sgd in sgd_trace.h).
+ */
+#ifndef BUCKWILD_CACHESIM_HIERARCHY_H
+#define BUCKWILD_CACHESIM_HIERARCHY_H
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "cachesim/cache.h"
+#include "rng/xorshift.h"
+
+namespace buckwild::cachesim {
+
+/// Hardware prefetcher variants. The real MSR 0x1A4 exposes several
+/// independent prefetchers; the paper found all-on or all-off optimal
+/// (footnote 12) — the simulator lets that be re-examined.
+enum class Prefetcher {
+    kNone,         ///< everything off (the §5.3 recommendation, small models)
+    kNextLine,     ///< L2 next-line (DCU IP-style)
+    kAdjacentLine, ///< fetch the 128-byte pair buddy (spatial prefetcher)
+    kStream2,      ///< degree-2 streamer: next two lines
+};
+
+/// "off" / "next-line" / "adjacent-line" / "stream-2".
+const char* to_string(Prefetcher kind);
+
+/// Full chip configuration (defaults: the paper's Xeon-like 18-core).
+struct ChipConfig
+{
+    std::size_t cores = 18;
+    CacheGeometry l1{32 * 1024, 8, 4};
+    CacheGeometry l2{256 * 1024, 8, 12};
+    CacheGeometry l3{45 * 1024 * 1024, 16, 36};
+    unsigned dram_latency = 200; ///< added on top of the L3 latency
+
+    Prefetcher prefetcher = Prefetcher::kNextLine; ///< the §5.3 switch
+    double obstinacy = 0.0; ///< q of §6.2, for model-range lines
+
+    /// Memory-level parallelism for *streaming* (capacity) misses: an
+    /// out-of-order core overlaps independent sequential-stream fills, so
+    /// their latency is divided by this factor. Coherence-caused events
+    /// (ownership transfers, reads of lines other cores hold) stall the
+    /// pipeline and are charged at full latency — this is the "processor
+    /// stalls as the cores must wait for data from the shared L3" of §5.3.
+    double streaming_mlp = 8.0;
+    /// Cycles the writer pays per invalidate acknowledged by a victim
+    /// (directory fan-out / snoop-ack cost). Obstinately dropped
+    /// invalidates are fire-and-forget and cost the writer nothing.
+    double invalidate_cost = 6.0;
+    /// L1/L2 hits are pipelined on an out-of-order core; their latency is
+    /// divided by this overlap factor.
+    double hit_mlp = 4.0;
+    /// Service time of one ownership transfer at a line's home directory.
+    /// Transfers to the same line serialize globally; this is the
+    /// communication bound of §4 ("the latency at which updates can be
+    /// sent between the cores").
+    double coherence_service_cycles = 240.0;
+
+    /// Bandwidth roofline: cycles of DRAM channel occupancy per 64B fill
+    /// (aggregate across channels) and of the shared L3 port per fill.
+    double dram_cycles_per_fill = 2.5;
+    double l3_cycles_per_fill = 0.7;
+
+    std::uint64_t seed = 99;
+};
+
+/// Aggregate event counters.
+struct ChipStats
+{
+    std::uint64_t l1_hits = 0;
+    std::uint64_t l2_hits = 0;
+    std::uint64_t l3_hits = 0;
+    std::uint64_t dram_fills = 0;
+    std::uint64_t invalidates_sent = 0;
+    std::uint64_t invalidates_ignored = 0; ///< obstinate-cache events
+    std::uint64_t upgrades = 0;            ///< S -> M ownership requests
+    std::uint64_t prefetches_issued = 0;
+    std::uint64_t prefetch_hits = 0; ///< demand hits on prefetched lines
+    std::uint64_t prefetched_invalidated = 0; ///< invalidated before use
+    std::uint64_t stale_reads = 0; ///< reads served from an obstinate line
+    std::uint64_t coherence_transfers = 0; ///< model-line ownership moves
+
+    std::uint64_t
+    accesses() const
+    {
+        return l1_hits + l2_hits + l3_hits + dram_fills;
+    }
+};
+
+/**
+ * The chip: per-core private hierarchies plus a shared L3 with directory.
+ *
+ * Addresses are line numbers. The caller declares which line range holds
+ * *model* data (the obstinate cache applies only to those lines, matching
+ * the per-page flag the paper proposes).
+ */
+class Chip
+{
+  public:
+    explicit Chip(const ChipConfig& config);
+
+    /// Declares [begin, end) as the model line range.
+    void set_model_range(std::uint64_t begin, std::uint64_t end);
+
+    /// A load by `core`; returns the core-visible cost in cycles.
+    double read(std::size_t core, std::uint64_t line);
+
+    /// A store by `core`; returns the core-visible cost in cycles.
+    double write(std::size_t core, std::uint64_t line);
+
+    const ChipStats& stats() const { return stats_; }
+    const ChipConfig& config() const { return config_; }
+
+    /// Total cycles of DRAM-channel occupancy consumed so far.
+    double dram_occupancy_cycles() const
+    {
+        return static_cast<double>(fills_from_dram_) *
+               config_.dram_cycles_per_fill;
+    }
+
+    /// Total cycles of L3-port occupancy consumed so far.
+    double l3_occupancy_cycles() const
+    {
+        return static_cast<double>(fills_from_l3_) *
+               config_.l3_cycles_per_fill;
+    }
+
+    /// Serialization roofline: the busiest model line's ownership
+    /// transfers each occupy its home directory for
+    /// coherence_service_cycles; transfers to one line cannot overlap.
+    double
+    coherence_serialization_cycles() const
+    {
+        return static_cast<double>(max_line_transfers_) *
+               config_.coherence_service_cycles;
+    }
+
+  private:
+    struct CoreCaches
+    {
+        TagArray l1;
+        TagArray l2;
+        /// Lines brought in by the prefetcher and not yet demanded.
+        std::unordered_map<std::uint64_t, bool> prefetched;
+    };
+
+    bool in_model_range(std::uint64_t line) const
+    {
+        return line >= model_begin_ && line < model_end_;
+    }
+
+    /// Delivers an invalidate to every private copy except `writer`'s;
+    /// returns the number of invalidates actually delivered (ignored ones
+    /// included — the writer still issues them).
+    std::size_t invalidate_others(std::size_t writer, std::uint64_t line);
+
+    /// True when some other core holds a private copy of `line`.
+    bool shared_elsewhere(std::size_t core, std::uint64_t line) const;
+
+    /// Installs a line into a core's L2 (+directory), handling evictions.
+    void fill_private(std::size_t core, std::uint64_t line, Mesi state,
+                      bool prefetch);
+
+    /// Fetches a line into the shared L3 if absent; returns true if the
+    /// fill came from DRAM.
+    bool fill_shared(std::uint64_t line);
+
+    /// Issues the configured prefetches after a demand L2 miss.
+    void maybe_prefetch(std::size_t core, std::uint64_t line);
+
+    /// Brings one prefetch target into a core's L2.
+    void prefetch_line(std::size_t core, std::uint64_t line);
+
+    ChipConfig config_;
+    std::vector<CoreCaches> cores_;
+    TagArray l3_;
+    /// line -> bitmask of cores holding a private copy.
+    std::unordered_map<std::uint64_t, std::uint32_t> directory_;
+    /// line -> core that holds it Modified (or -1).
+    std::unordered_map<std::uint64_t, int> owner_;
+    /// Records one ownership transfer of a model line.
+    void count_transfer(std::uint64_t line);
+
+    std::uint64_t model_begin_ = 0;
+    std::uint64_t model_end_ = 0;
+    std::unordered_map<std::uint64_t, std::uint64_t> line_transfers_;
+    std::uint64_t max_line_transfers_ = 0;
+    rng::Xorshift128 rng_;
+    ChipStats stats_;
+    std::uint64_t fills_from_dram_ = 0;
+    std::uint64_t fills_from_l3_ = 0;
+};
+
+} // namespace buckwild::cachesim
+
+#endif // BUCKWILD_CACHESIM_HIERARCHY_H

@@ -1,0 +1,169 @@
+#include "cachesim/sgd_trace.h"
+
+#include <algorithm>
+
+#include "rng/xorshift.h"
+#include "util/logging.h"
+
+namespace buckwild::cachesim {
+
+namespace {
+
+/// Lines covering n values of the given bit width.
+std::uint64_t
+lines_for(std::size_t n, int bits)
+{
+    const std::uint64_t bytes =
+        (static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(bits) +
+         7) /
+        8;
+    return (bytes + kLineBytes - 1) / kLineBytes;
+}
+
+} // namespace
+
+SgdSimResult
+simulate_sgd(const ChipConfig& chip_cfg, const SgdWorkload& work)
+{
+    if (work.batch_size == 0) fatal("batch_size must be >= 1");
+    if (work.density <= 0.0 || work.density > 1.0)
+        fatal("density must be in (0, 1]");
+    const bool sparse = work.density < 1.0;
+    if (sparse && work.batch_size != 1)
+        fatal("sparse workloads support batch_size == 1 only");
+    Chip chip(chip_cfg);
+
+    // Address map (line granularity):
+    //   [0, model_lines)                      the shared model
+    //   [scratch_base_c, +scratch_lines)      per-core batch scratch
+    //   [dataset_base_c, +slice)              per-core dataset slice
+    const std::uint64_t model_lines =
+        std::max<std::uint64_t>(1, lines_for(work.model_size,
+                                             work.model_bits));
+    const std::size_t nnz = sparse
+        ? std::max<std::size_t>(
+              1, static_cast<std::size_t>(work.density *
+                                          static_cast<double>(
+                                              work.model_size)))
+        : work.model_size;
+    // Sparse streams carry the index stream too (the "i" term).
+    const int stream_bits =
+        work.dataset_bits + (sparse ? work.index_bits : 0);
+    const std::uint64_t example_lines =
+        std::max<std::uint64_t>(1, lines_for(nnz, stream_bits));
+    const std::uint64_t scratch_lines =
+        work.batch_size > 1
+            ? std::max<std::uint64_t>(1, lines_for(work.model_size, 32))
+            : 0;
+
+    chip.set_model_range(0, model_lines);
+    std::uint64_t next_base = model_lines + 16; // guard gap
+    std::vector<std::uint64_t> scratch_base(chip_cfg.cores);
+    for (std::size_t c = 0; c < chip_cfg.cores; ++c) {
+        scratch_base[c] = next_base;
+        next_base += scratch_lines + 16;
+    }
+    // Dataset slices: each core streams through its own examples; sized
+    // so an epoch never revisits a line (true streaming).
+    const std::uint64_t slice_lines =
+        example_lines * work.iterations_per_core;
+    std::vector<std::uint64_t> dataset_base(chip_cfg.cores);
+    for (std::size_t c = 0; c < chip_cfg.cores; ++c) {
+        dataset_base[c] = next_base;
+        next_base += slice_lines + 16;
+    }
+
+    std::vector<double> core_cycles(chip_cfg.cores, 0.0);
+    // Scattered model-line selection for sparse iterations.
+    rng::Xorshift128 scatter(static_cast<std::uint32_t>(chip_cfg.seed + 1));
+    const std::uint64_t touched_model_lines = sparse
+        ? std::max<std::uint64_t>(
+              1, std::min<std::uint64_t>(
+                     model_lines,
+                     lines_for(nnz, work.model_bits) * 4))
+        : model_lines;
+    std::vector<std::uint64_t> scattered(sparse ? touched_model_lines : 0);
+
+    // Interleave iterations round-robin across cores so coherence events
+    // (invalidates) land mid-epoch like they would in a real run.
+    for (std::size_t it = 0; it < work.iterations_per_core; ++it) {
+        for (std::size_t c = 0; c < chip_cfg.cores; ++c) {
+            double& cycles = core_cycles[c];
+            const std::uint64_t ex =
+                dataset_base[c] + it * example_lines;
+
+            // Sparse iterations touch scattered model lines; dense
+            // iterations sweep all of them.
+            if (sparse) {
+                for (auto& line : scattered)
+                    line = scatter() % model_lines;
+            }
+            const std::uint64_t model_touch =
+                sparse ? scattered.size() : model_lines;
+            auto model_line = [&](std::uint64_t l) {
+                return sparse ? scattered[l] : l;
+            };
+
+            // --- dot: stream the example, read the model.
+            for (std::uint64_t l = 0; l < example_lines; ++l)
+                cycles += chip.read(c, ex + l);
+            for (std::uint64_t l = 0; l < model_touch; ++l)
+                cycles += chip.read(c, model_line(l));
+            cycles += work.compute_cycles_per_line *
+                      static_cast<double>(example_lines + model_touch);
+
+            if (work.batch_size == 1) {
+                // --- AXPY: re-read the example, read-modify-write the
+                // model.
+                for (std::uint64_t l = 0; l < example_lines; ++l)
+                    cycles += chip.read(c, ex + l);
+                for (std::uint64_t l = 0; l < model_touch; ++l) {
+                    cycles += chip.read(c, model_line(l));
+                    cycles += chip.write(c, model_line(l));
+                }
+                cycles += work.compute_cycles_per_line *
+                          static_cast<double>(example_lines + model_touch);
+            } else {
+                // --- gradient accumulate into private scratch.
+                for (std::uint64_t l = 0; l < example_lines; ++l)
+                    cycles += chip.read(c, ex + l);
+                for (std::uint64_t l = 0; l < scratch_lines; ++l) {
+                    cycles += chip.read(c, scratch_base[c] + l);
+                    cycles += chip.write(c, scratch_base[c] + l);
+                }
+                cycles += work.compute_cycles_per_line *
+                          static_cast<double>(example_lines +
+                                              scratch_lines);
+                // --- batch boundary: apply scratch to the model.
+                if ((it + 1) % work.batch_size == 0) {
+                    for (std::uint64_t l = 0; l < model_lines; ++l) {
+                        cycles += chip.read(c, l);
+                        cycles += chip.write(c, l);
+                    }
+                    for (std::uint64_t l = 0; l < scratch_lines; ++l)
+                        cycles += chip.read(c, scratch_base[c] + l);
+                    cycles += work.compute_cycles_per_line *
+                              static_cast<double>(model_lines +
+                                                  scratch_lines);
+                }
+            }
+        }
+    }
+
+    SgdSimResult result;
+    result.stats = chip.stats();
+    result.core_cycles_max =
+        *std::max_element(core_cycles.begin(), core_cycles.end());
+    result.bandwidth_cycles =
+        chip.dram_occupancy_cycles() + chip.l3_occupancy_cycles();
+    result.serialization_cycles = chip.coherence_serialization_cycles();
+    result.wall_cycles =
+        std::max({result.core_cycles_max, result.bandwidth_cycles,
+                  result.serialization_cycles});
+    result.numbers_processed =
+        static_cast<double>(work.iterations_per_core) *
+        static_cast<double>(chip_cfg.cores) * static_cast<double>(nnz);
+    return result;
+}
+
+} // namespace buckwild::cachesim

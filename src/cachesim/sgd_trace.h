@@ -1,0 +1,73 @@
+/**
+ * @file
+ * SGD address-trace generation and the trace-driven throughput simulation.
+ *
+ * One Buckwild! iteration on core c touches:
+ *   - its example's dataset lines, twice (once for the dot, once for the
+ *     AXPY) — sequential streaming reads from the core's slice of the
+ *     dataset region;
+ *   - every model line, read for the dot; read+written for the AXPY.
+ * With mini-batch size B, the per-example gradient accumulates into a
+ *   per-core private float scratch vector and the model is read+written
+ *   only once per B examples (§5.4).
+ *
+ * Wall-clock cycles per epoch combine (a) the slowest core's latency-chain
+ * cycles and (b) the bandwidth roofline on DRAM/L3 fill occupancy, which
+ * is what makes useless prefetch traffic costly (§5.3).
+ */
+#ifndef BUCKWILD_CACHESIM_SGD_TRACE_H
+#define BUCKWILD_CACHESIM_SGD_TRACE_H
+
+#include <cstddef>
+#include <cstdint>
+
+#include "cachesim/hierarchy.h"
+
+namespace buckwild::cachesim {
+
+/// Workload parameters for the trace generator.
+struct SgdWorkload
+{
+    std::size_t model_size = 1 << 16; ///< n
+    int dataset_bits = 8;             ///< D precision (memory footprint)
+    int model_bits = 8;               ///< M precision
+    std::size_t iterations_per_core = 64; ///< examples per core
+    std::size_t batch_size = 1;           ///< B (§5.4)
+    /// Fraction of coordinates that are nonzero. 1.0 = dense sweep; below
+    /// that, each example touches ceil(density*n) *scattered* model lines
+    /// and its stored stream carries index_bits per number on top of the
+    /// value bits (the sparse traffic pattern of Fig 6b).
+    double density = 1.0;
+    int index_bits = 32; ///< sparse index precision (ignored when dense)
+    /// Compute cycles a core spends per 64-byte line of kernel work
+    /// (vector ALU work overlapping nothing, on top of memory latency).
+    double compute_cycles_per_line = 2.0;
+    double clock_ghz = 2.5;
+};
+
+/// Result of one trace-driven simulation.
+struct SgdSimResult
+{
+    double wall_cycles = 0.0;
+    double core_cycles_max = 0.0;  ///< slowest core's latency chain
+    double bandwidth_cycles = 0.0; ///< DRAM/L3 occupancy roofline
+    double serialization_cycles = 0.0; ///< hottest-line coherence bound
+    double numbers_processed = 0.0;
+    ChipStats stats;
+
+    /// Dataset throughput in giga-numbers-per-second at `clock_ghz`.
+    double
+    gnps(double clock_ghz) const
+    {
+        return wall_cycles > 0.0
+            ? numbers_processed * clock_ghz / wall_cycles
+            : 0.0;
+    }
+};
+
+/// Runs the SGD trace on a chip configuration and reports throughput.
+SgdSimResult simulate_sgd(const ChipConfig& chip, const SgdWorkload& work);
+
+} // namespace buckwild::cachesim
+
+#endif // BUCKWILD_CACHESIM_SGD_TRACE_H

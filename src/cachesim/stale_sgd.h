@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Statistical-efficiency harness for the obstinate cache (Fig 6f).
+ *
+ * The hardware question ("does ignoring invalidates slow the chip?") is
+ * answered by the trace simulator; this harness answers the *statistical*
+ * question: does reading stale model values — which is what an obstinate
+ * line serves — hurt convergence?
+ *
+ * It emulates T logical Hogwild! workers deterministically in one thread.
+ * Each worker keeps a private copy of the model; writes go through to the
+ * shared model (and the writer's copy), while each model line of a
+ * worker's copy refreshes from the shared model with probability (1 - q)
+ * per iteration — with probability q the worker obstinately keeps its
+ * stale line, exactly the coherence relaxation of §6.2.
+ */
+#ifndef BUCKWILD_CACHESIM_STALE_SGD_H
+#define BUCKWILD_CACHESIM_STALE_SGD_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/loss.h"
+#include "dataset/problem.h"
+
+namespace buckwild::cachesim {
+
+/// Configuration of the stale-read training emulation.
+struct StaleSgdConfig
+{
+    std::size_t workers = 18;
+    double obstinacy = 0.0; ///< q: probability a stale line is kept
+    std::size_t epochs = 10;
+    float step_size = 0.15f;
+    float step_decay = 0.9f;
+    std::uint64_t seed = 7;
+    /// Model values per coherence "line" (64B of 32f values = 16).
+    std::size_t line_values = 16;
+};
+
+/// Outcome: the loss trace and final metrics on the shared model.
+struct StaleSgdResult
+{
+    std::vector<double> loss_trace;
+    double final_loss = 0.0;
+    double accuracy = 0.0;
+    std::uint64_t stale_line_reads = 0;
+    std::uint64_t refreshes = 0;
+};
+
+/// Trains full-precision logistic regression under q-stale model reads.
+StaleSgdResult train_with_stale_reads(const dataset::DenseProblem& problem,
+                                      const StaleSgdConfig& config);
+
+} // namespace buckwild::cachesim
+
+#endif // BUCKWILD_CACHESIM_STALE_SGD_H

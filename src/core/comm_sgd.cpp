@@ -1,0 +1,139 @@
+#include "core/comm_sgd.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace buckwild::core {
+
+namespace {
+
+/// Quantizes a gradient vector for exchange at `bits` precision and
+/// leaves the quantization error in `residual` (if feedback is on).
+/// Returns the vector actually transmitted.
+std::vector<float>
+quantize_gradient(const std::vector<float>& g, int bits,
+                  std::vector<float>* residual)
+{
+    const std::size_t n = g.size();
+    std::vector<float> q(n);
+    if (bits >= 32) {
+        q = g;
+        if (residual != nullptr)
+            for (auto& r : *residual) r = 0.0f;
+        return q;
+    }
+
+    if (bits == 1) {
+        // Seide-style 1-bit: transmit sign(g) and one shared magnitude
+        // (the mean absolute value); the untransmitted remainder stays in
+        // the residual.
+        double mag = 0.0;
+        for (float v : g) mag += std::fabs(v);
+        const float scale =
+            n > 0 ? static_cast<float>(mag / static_cast<double>(n)) : 0.0f;
+        for (std::size_t k = 0; k < n; ++k)
+            q[k] = g[k] >= 0.0f ? scale : -scale;
+    } else {
+        // k-bit linear quantization with a per-round scale.
+        float maxabs = 0.0f;
+        for (float v : g) maxabs = std::max(maxabs, std::fabs(v));
+        const float levels = static_cast<float>((1 << (bits - 1)) - 1);
+        const float scale = maxabs > 0.0f ? maxabs / levels : 1.0f;
+        for (std::size_t k = 0; k < n; ++k)
+            q[k] = std::nearbyintf(g[k] / scale) * scale;
+    }
+    if (residual != nullptr)
+        for (std::size_t k = 0; k < n; ++k) (*residual)[k] = g[k] - q[k];
+    return q;
+}
+
+} // namespace
+
+CommSgdResult
+train_comm_sgd(const dataset::DenseProblem& problem,
+               const CommSgdConfig& cfg)
+{
+    if (cfg.workers == 0) fatal("workers must be >= 1");
+    if (cfg.batch_per_worker == 0) fatal("batch_per_worker must be >= 1");
+    if (cfg.comm_bits != 1 && cfg.comm_bits != 8 && cfg.comm_bits != 32)
+        fatal("comm_bits must be 1, 8, or 32");
+
+    const std::size_t n = problem.dim;
+    std::vector<float> model(n, 0.0f);
+    std::vector<std::vector<float>> residual(
+        cfg.workers, std::vector<float>(n, 0.0f));
+
+    CommSgdResult result;
+    result.signature = cfg.comm_bits == 32
+        ? "Cs32"
+        : "Cs" + std::to_string(cfg.comm_bits);
+    result.bytes_per_round =
+        static_cast<double>(n) * cfg.comm_bits / 8.0 + sizeof(float);
+
+    auto eval = [&] {
+        double total = 0.0;
+        std::size_t correct = 0;
+        for (std::size_t i = 0; i < problem.examples; ++i) {
+            float z = 0.0f;
+            const float* x = problem.row(i);
+            for (std::size_t k = 0; k < n; ++k) z += model[k] * x[k];
+            total += loss_value(cfg.loss, z, problem.y[i]);
+            if (loss_correct(cfg.loss, z, problem.y[i])) ++correct;
+        }
+        result.accuracy = static_cast<double>(correct) /
+                          static_cast<double>(problem.examples);
+        return total / static_cast<double>(problem.examples);
+    };
+
+    const std::size_t round_examples = cfg.workers * cfg.batch_per_worker;
+    float eta = cfg.step_size;
+    std::vector<float> gradient(n);
+    std::vector<float> reduced(n);
+
+    for (std::size_t epoch = 0; epoch < cfg.epochs; ++epoch) {
+        for (std::size_t base = 0; base + round_examples <= problem.examples;
+             base += round_examples) {
+            std::fill(reduced.begin(), reduced.end(), 0.0f);
+            for (std::size_t w = 0; w < cfg.workers; ++w) {
+                // Worker w's shard of this round's examples.
+                std::fill(gradient.begin(), gradient.end(), 0.0f);
+                for (std::size_t b = 0; b < cfg.batch_per_worker; ++b) {
+                    const std::size_t i =
+                        base + w * cfg.batch_per_worker + b;
+                    const float* x = problem.row(i);
+                    float z = 0.0f;
+                    for (std::size_t k = 0; k < n; ++k)
+                        z += model[k] * x[k];
+                    const float g =
+                        loss_gradient_coefficient(cfg.loss, z, problem.y[i]);
+                    if (g == 0.0f) continue;
+                    for (std::size_t k = 0; k < n; ++k)
+                        gradient[k] += g * x[k];
+                }
+                // Error feedback: add the carried residual before
+                // quantizing, as in Seide et al.
+                if (cfg.error_feedback)
+                    for (std::size_t k = 0; k < n; ++k)
+                        gradient[k] += residual[w][k];
+                const auto q = quantize_gradient(
+                    gradient, cfg.comm_bits,
+                    cfg.error_feedback ? &residual[w] : nullptr);
+                for (std::size_t k = 0; k < n; ++k) reduced[k] += q[k];
+            }
+            // Synchronous model update from the all-reduced gradient.
+            const float scale =
+                eta / static_cast<float>(round_examples);
+            for (std::size_t k = 0; k < n; ++k)
+                model[k] -= scale * reduced[k];
+            ++result.rounds;
+        }
+        eta *= cfg.step_decay;
+        result.loss_trace.push_back(eval());
+    }
+    result.final_loss =
+        result.loss_trace.empty() ? eval() : result.loss_trace.back();
+    return result;
+}
+
+} // namespace buckwild::core

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Bounded-staleness SGD emulation — the asynchrony axis.
+ *
+ * Hogwild!'s convergence analyses (Niu et al. [36], the perturbed-iterate
+ * view of Mania et al. [31], and the unified Buckwild! analysis of De Sa
+ * et al. [11]) model asynchrony as *delayed updates*: a gradient computed
+ * at time t lands in the shared model up to tau steps later. This harness
+ * injects exactly that delay deterministically, so the paper's claim that
+ * "race conditions ... only marginally affect statistical efficiency" can
+ * be tested as a function of tau — including regimes far beyond what real
+ * hardware produces.
+ *
+ * One logical step:
+ *   1. apply every enqueued update whose scheduled time has arrived;
+ *   2. compute a gradient against the (stale) current model;
+ *   3. enqueue its update with delay ~ U{1 .. max_delay}.
+ */
+#ifndef BUCKWILD_CORE_DELAYED_SGD_H
+#define BUCKWILD_CORE_DELAYED_SGD_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/loss.h"
+#include "dataset/problem.h"
+
+namespace buckwild::core {
+
+/// Configuration of the delayed-update emulation.
+struct DelayedSgdConfig
+{
+    /// Maximum update delay tau in iterations (0 = fully synchronous).
+    std::size_t max_delay = 0;
+    std::size_t epochs = 10;
+    float step_size = 0.15f;
+    float step_decay = 0.9f;
+    Loss loss = Loss::kLogistic;
+    std::uint64_t seed = 3;
+};
+
+/// Outcome metrics.
+struct DelayedSgdResult
+{
+    std::vector<double> loss_trace;
+    double final_loss = 0.0;
+    double accuracy = 0.0;
+    double average_delay = 0.0; ///< realized mean delay in iterations
+};
+
+/// Trains full-precision logistic/hinge/squared SGD with delayed updates.
+DelayedSgdResult train_with_delayed_updates(
+    const dataset::DenseProblem& problem, const DelayedSgdConfig& config);
+
+} // namespace buckwild::core
+
+#endif // BUCKWILD_CORE_DELAYED_SGD_H

@@ -1,0 +1,61 @@
+#include "core/loss.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace buckwild::core {
+
+std::string
+to_string(Loss loss)
+{
+    switch (loss) {
+      case Loss::kLogistic: return "logistic";
+      case Loss::kSquared: return "squared";
+      case Loss::kHinge: return "hinge";
+    }
+    throw std::invalid_argument("unknown Loss");
+}
+
+float
+loss_value(Loss loss, float z, float y)
+{
+    switch (loss) {
+      case Loss::kLogistic: {
+        // Numerically stable log(1 + exp(-y z)).
+        const float m = -y * z;
+        return m > 0.0f ? m + std::log1p(std::exp(-m))
+                        : std::log1p(std::exp(m));
+      }
+      case Loss::kSquared: {
+        const float d = z - y;
+        return 0.5f * d * d;
+      }
+      case Loss::kHinge: return std::max(0.0f, 1.0f - y * z);
+    }
+    throw std::invalid_argument("unknown Loss");
+}
+
+float
+loss_gradient_coefficient(Loss loss, float z, float y)
+{
+    switch (loss) {
+      case Loss::kLogistic: {
+        // d/dz log(1+exp(-y z)) = -y * sigmoid(-y z)
+        const float m = -y * z;
+        const float s = 1.0f / (1.0f + std::exp(-m));
+        return -y * s;
+      }
+      case Loss::kSquared: return z - y;
+      case Loss::kHinge: return (y * z < 1.0f) ? -y : 0.0f;
+    }
+    throw std::invalid_argument("unknown Loss");
+}
+
+bool
+loss_correct(Loss loss, float z, float y)
+{
+    if (loss == Loss::kSquared) return std::fabs(z - y) < 0.5f;
+    return (z >= 0.0f) == (y >= 0.0f);
+}
+
+} // namespace buckwild::core

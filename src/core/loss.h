@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Loss functions for the single dot-and-AXPY SGD family.
+ *
+ * §2: "many other problems can be solved using SGD with a single
+ * dot-and-AXPY pair ... including linear regression and support vector
+ * machines". For all three losses here the gradient of one example is
+ * coefficient(y, w.x) * x, so one SGD step is:
+ *
+ *     z = dot(w, x)
+ *     c = -eta * coefficient(y, z)
+ *     w = w + c * x            (the AXPY)
+ *
+ * which is exactly the structure the hardware analysis of the paper rests
+ * on.
+ */
+#ifndef BUCKWILD_CORE_LOSS_H
+#define BUCKWILD_CORE_LOSS_H
+
+#include <string>
+
+namespace buckwild::core {
+
+/// The supported single-dot-and-AXPY losses.
+enum class Loss {
+    kLogistic, ///< log(1 + exp(-y z)) — the paper's running example
+    kSquared,  ///< (z - y)^2 / 2 — linear regression (the FPGA study, §8)
+    kHinge,    ///< max(0, 1 - y z) — linear SVM (the RFF kernel SVM, §7)
+};
+
+/// "logistic" / "squared" / "hinge".
+std::string to_string(Loss loss);
+
+/// Loss value of one example given margin-input z = w.x and label y.
+float loss_value(Loss loss, float z, float y);
+
+/**
+ * The gradient coefficient g(y, z) such that grad = g * x.
+ * (The caller multiplies by -eta to form the AXPY coefficient.)
+ */
+float loss_gradient_coefficient(Loss loss, float z, float y);
+
+/// True if the example is classified correctly (sign agreement); for
+/// squared loss, true if |z - y| < 0.5.
+bool loss_correct(Loss loss, float z, float y);
+
+} // namespace buckwild::core
+
+#endif // BUCKWILD_CORE_LOSS_H

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Low-precision matrix factorization — the recommender-system workload.
+ *
+ * §3 singles out recommender systems as an application where "the input
+ * dataset is naturally quantized" (star ratings), so dataset quantization
+ * is free of fidelity loss. SGD matrix completion is also one of the
+ * classic Hogwild! workloads (the paper cites Yu et al. [54]).
+ *
+ * The model here is two factor matrices U (users x k) and V (items x k);
+ * one SGD step on a rating (u, i, r):
+ *
+ *     e   = r - dot(U_u, V_i)
+ *     U_u = Q(U_u + eta * e * V_i)        (AXPY, rounded to the M grid)
+ *     V_i = Q(V_i + eta * e * U_u_old)
+ *
+ * Both the dot and the AXPYs run through the library's kernels with the
+ * factor rows as both "dataset" and "model" reps, so the whole update is
+ * genuinely low-precision (signature D{b}M{b} with b the factor width).
+ */
+#ifndef BUCKWILD_CORE_MATRIX_FACT_H
+#define BUCKWILD_CORE_MATRIX_FACT_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "simd/ops.h"
+
+namespace buckwild::core {
+
+/// One observed rating.
+struct Rating
+{
+    std::uint32_t user;
+    std::uint32_t item;
+    float value; ///< naturally quantized (e.g. 1..5 stars)
+};
+
+/// A rating dataset plus its ground truth for evaluation.
+struct RatingProblem
+{
+    std::size_t users = 0;
+    std::size_t items = 0;
+    std::vector<Rating> train;
+    std::vector<Rating> test;
+};
+
+/// Samples a synthetic low-rank rating problem: true rank-`rank` factors,
+/// ratings rounded to half-star steps in [1, 5] (the natural
+/// quantization), split into train/test.
+RatingProblem generate_ratings(std::size_t users, std::size_t items,
+                               std::size_t rank, std::size_t train_count,
+                               std::size_t test_count, std::uint64_t seed);
+
+/// Matrix-factorization trainer configuration.
+struct MfConfig
+{
+    std::size_t factor_dim = 32; ///< k
+    int factor_bits = 32;        ///< 8, 16, or 32 (float) factor storage
+    simd::Impl impl = simd::best_impl();
+    std::size_t epochs = 10;
+    float step_size = 0.05f;
+    float step_decay = 0.92f;
+    std::uint64_t seed = 88;
+};
+
+/// Outcome metrics.
+struct MfResult
+{
+    std::vector<double> train_rmse_trace;
+    double train_rmse = 0.0;
+    double test_rmse = 0.0;
+    /// Dataset numbers processed per second (2k numbers per rating step).
+    double gnps = 0.0;
+};
+
+/// Trains low-precision SGD matrix factorization.
+/// @throws std::runtime_error for unsupported factor widths.
+MfResult train_matrix_factorization(const RatingProblem& problem,
+                                    const MfConfig& config);
+
+} // namespace buckwild::core
+
+#endif // BUCKWILD_CORE_MATRIX_FACT_H

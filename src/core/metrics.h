@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Training outcome metrics: statistical efficiency (loss/accuracy traces)
+ * and hardware efficiency (dataset throughput in GNPS, §4).
+ */
+#ifndef BUCKWILD_CORE_METRICS_H
+#define BUCKWILD_CORE_METRICS_H
+
+#include <cstddef>
+#include <vector>
+
+namespace buckwild::core {
+
+/// Result of a training run.
+struct TrainingMetrics
+{
+    std::size_t epochs = 0;
+    /// Wall-clock seconds spent in the update loop (excludes evaluation).
+    double train_seconds = 0.0;
+    /// Dataset numbers processed: epochs * m * n dense, epochs * nnz
+    /// sparse — the numerator of the paper's GNPS metric.
+    double numbers_processed = 0.0;
+    /// Average training loss after each epoch (if recording was enabled).
+    std::vector<double> loss_trace;
+    /// Final average training loss.
+    double final_loss = 0.0;
+    /// Final training accuracy in [0, 1].
+    double accuracy = 0.0;
+
+    /// Dataset throughput in giga-numbers-per-second (§4).
+    double
+    gnps() const
+    {
+        return train_seconds > 0.0
+            ? numbers_processed / train_seconds / 1e9
+            : 0.0;
+    }
+};
+
+} // namespace buckwild::core
+
+#endif // BUCKWILD_CORE_METRICS_H

@@ -1,0 +1,94 @@
+#include "core/model_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace buckwild::core {
+
+namespace {
+
+Loss
+loss_from_string(const std::string& name)
+{
+    if (name == "logistic") return Loss::kLogistic;
+    if (name == "squared") return Loss::kSquared;
+    if (name == "hinge") return Loss::kHinge;
+    fatal("unknown loss in model file: " + name);
+}
+
+} // namespace
+
+void
+save_model(const SavedModel& model, std::ostream& out)
+{
+    out << "BUCKWILD-MODEL v1\n";
+    out << "signature " << model.signature.to_string() << '\n';
+    out << "loss " << to_string(model.loss) << '\n';
+    out << "dim " << model.weights.size() << '\n';
+    out.precision(9);
+    for (float w : model.weights) out << w << '\n';
+    if (!out) fatal("model write failed");
+}
+
+void
+save_model_file(const SavedModel& model, const std::string& path)
+{
+    std::ofstream out(path);
+    if (!out) fatal("cannot open model file for writing: " + path);
+    save_model(model, out);
+}
+
+SavedModel
+load_model(std::istream& in)
+{
+    std::string line;
+    if (!std::getline(in, line) || line != "BUCKWILD-MODEL v1")
+        fatal("not a BUCKWILD-MODEL v1 file");
+
+    SavedModel model;
+    std::size_t dim = 0;
+    bool have_sig = false, have_dim = false;
+    while (std::getline(in, line)) {
+        std::istringstream ls(line);
+        std::string key;
+        ls >> key;
+        if (key == "signature") {
+            std::string text;
+            ls >> text;
+            model.signature = dmgc::parse_signature(text);
+            have_sig = true;
+        } else if (key == "loss") {
+            std::string name;
+            ls >> name;
+            model.loss = loss_from_string(name);
+        } else if (key == "dim") {
+            if (!(ls >> dim)) fatal("malformed dim line");
+            have_dim = true;
+            break; // weights follow
+        } else {
+            fatal("unexpected header line in model file: " + line);
+        }
+    }
+    if (!have_sig || !have_dim)
+        fatal("model file missing signature or dim header");
+
+    model.weights.resize(dim);
+    for (std::size_t k = 0; k < dim; ++k) {
+        if (!(in >> model.weights[k]))
+            fatal("model file truncated at coordinate " +
+                  std::to_string(k));
+    }
+    return model;
+}
+
+SavedModel
+load_model_file(const std::string& path)
+{
+    std::ifstream in(path);
+    if (!in) fatal("cannot open model file: " + path);
+    return load_model(in);
+}
+
+} // namespace buckwild::core

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Model serialization: save/load trained models with their DMGC metadata.
+ *
+ * Text format ("BUCKWILD-MODEL v1"):
+ *
+ *     BUCKWILD-MODEL v1
+ *     signature <textual DMGC signature>
+ *     loss <logistic|squared|hinge>
+ *     dim <n>
+ *     <n lines of float coordinates>
+ *
+ * Models are stored dequantized (floats); the signature line records how
+ * they were trained so downstream consumers can reason about the
+ * precision provenance.
+ */
+#ifndef BUCKWILD_CORE_MODEL_IO_H
+#define BUCKWILD_CORE_MODEL_IO_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/loss.h"
+#include "dmgc/signature.h"
+
+namespace buckwild::core {
+
+/// A persisted model: coordinates plus training provenance.
+struct SavedModel
+{
+    dmgc::Signature signature;
+    Loss loss = Loss::kLogistic;
+    std::vector<float> weights;
+};
+
+/// Writes a model to a stream / file.
+void save_model(const SavedModel& model, std::ostream& out);
+void save_model_file(const SavedModel& model, const std::string& path);
+
+/// Reads a model back. @throws std::runtime_error on malformed input.
+SavedModel load_model(std::istream& in);
+SavedModel load_model_file(const std::string& path);
+
+} // namespace buckwild::core
+
+#endif // BUCKWILD_CORE_MODEL_IO_H

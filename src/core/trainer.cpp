@@ -1,0 +1,212 @@
+#include "core/trainer.h"
+
+#include <cstdint>
+
+#include "core/engine.h"
+#include "util/logging.h"
+
+namespace buckwild::core {
+
+const char*
+to_string(RoundingStrategy strategy)
+{
+    switch (strategy) {
+      case RoundingStrategy::kBiased: return "biased";
+      case RoundingStrategy::kMersennePerWrite: return "mersenne";
+      case RoundingStrategy::kXorshiftPerWrite: return "xorshift";
+      case RoundingStrategy::kSharedXorshift: return "shared";
+    }
+    return "?";
+}
+
+namespace {
+
+/// Adapts a concrete engine (and its owned dataset copy) to IEngine.
+template <typename Engine, typename Data>
+class EngineAdapter final : public IEngine
+{
+  public:
+    EngineAdapter(std::shared_ptr<Data> data, const TrainerConfig& cfg)
+        : data_(std::move(data)), engine_(*data_, cfg)
+    {}
+
+    TrainingMetrics train() override { return engine_.train(); }
+    double average_loss() const override { return engine_.average_loss(); }
+    double accuracy() const override { return engine_.accuracy(); }
+    std::vector<float>
+    model_floats() const override
+    {
+        return engine_.model_floats();
+    }
+
+  private:
+    std::shared_ptr<Data> data_;
+    Engine engine_;
+};
+
+/// Validates and normalizes a precision term into a rep-width selector.
+int
+rep_width(const dmgc::Precision& p, const char* what)
+{
+    if (p.is_float) {
+        if (p.bits != 32)
+            fatal(std::string(what) + " float precision must be 32 bits");
+        return 32;
+    }
+    if (p.bits != 8 && p.bits != 16)
+        fatal(std::string(what) +
+              " fixed precision must be 8 or 16 bits (got " +
+              std::to_string(p.bits) + "); use src/isa for 4-bit emulation");
+    return p.bits;
+}
+
+template <typename D>
+std::unique_ptr<IEngine>
+make_dense_with_data(const dataset::DenseProblem& problem,
+                     const TrainerConfig& cfg, int model_width)
+{
+    const fixed::FixedFormat fmt = std::is_same_v<D, float>
+        ? fixed::FixedFormat{32, 0}
+        : fixed::default_format(static_cast<int>(sizeof(D)) * 8);
+    auto data = std::make_shared<dataset::DenseData<D>>(problem, fmt);
+    switch (model_width) {
+      case 8:
+        return std::make_unique<EngineAdapter<
+            DenseEngine<D, std::int8_t>, dataset::DenseData<D>>>(data, cfg);
+      case 16:
+        return std::make_unique<EngineAdapter<
+            DenseEngine<D, std::int16_t>, dataset::DenseData<D>>>(data,
+                                                                  cfg);
+      default:
+        return std::make_unique<EngineAdapter<
+            DenseEngine<D, float>, dataset::DenseData<D>>>(data, cfg);
+    }
+}
+
+template <typename V, typename I>
+std::unique_ptr<IEngine>
+make_sparse_with_data(const dataset::SparseProblem& problem,
+                      const TrainerConfig& cfg, int model_width)
+{
+    const fixed::FixedFormat fmt = std::is_same_v<V, float>
+        ? fixed::FixedFormat{32, 0}
+        : fixed::default_format(static_cast<int>(sizeof(V)) * 8);
+    auto data =
+        std::make_shared<dataset::SparseData<V, I>>(problem, fmt);
+    switch (model_width) {
+      case 8:
+        return std::make_unique<
+            EngineAdapter<SparseEngine<V, I, std::int8_t>,
+                          dataset::SparseData<V, I>>>(data, cfg);
+      case 16:
+        return std::make_unique<
+            EngineAdapter<SparseEngine<V, I, std::int16_t>,
+                          dataset::SparseData<V, I>>>(data, cfg);
+      default:
+        return std::make_unique<
+            EngineAdapter<SparseEngine<V, I, float>,
+                          dataset::SparseData<V, I>>>(data, cfg);
+    }
+}
+
+template <typename V>
+std::unique_ptr<IEngine>
+make_sparse_with_index(const dataset::SparseProblem& problem,
+                       const TrainerConfig& cfg, int index_bits,
+                       int model_width)
+{
+    switch (index_bits) {
+      case 8:
+        return make_sparse_with_data<V, std::uint8_t>(problem, cfg,
+                                                      model_width);
+      case 16:
+        return make_sparse_with_data<V, std::uint16_t>(problem, cfg,
+                                                       model_width);
+      case 32:
+        return make_sparse_with_data<V, std::uint32_t>(problem, cfg,
+                                                       model_width);
+      default:
+        fatal("index precision must be 8, 16, or 32 bits (got " +
+              std::to_string(index_bits) + ")");
+    }
+}
+
+} // namespace
+
+Trainer::Trainer(TrainerConfig config) : config_(std::move(config)) {}
+
+TrainingMetrics
+Trainer::fit(const dataset::DenseProblem& problem)
+{
+    if (config_.signature.sparse)
+        fatal("signature " + config_.signature.to_string() +
+              " is sparse but a dense problem was supplied");
+    const int d = rep_width(config_.signature.dataset, "dataset");
+    const int m = rep_width(config_.signature.model, "model");
+    switch (d) {
+      case 8:
+        engine_ = make_dense_with_data<std::int8_t>(problem, config_, m);
+        break;
+      case 16:
+        engine_ = make_dense_with_data<std::int16_t>(problem, config_, m);
+        break;
+      default:
+        engine_ = make_dense_with_data<float>(problem, config_, m);
+    }
+    return engine_->train();
+}
+
+TrainingMetrics
+Trainer::fit(const dataset::SparseProblem& problem)
+{
+    if (!config_.signature.sparse)
+        fatal("signature " + config_.signature.to_string() +
+              " is dense but a sparse problem was supplied");
+    const int d = rep_width(config_.signature.dataset, "dataset");
+    const int m = rep_width(config_.signature.model, "model");
+    const int i = config_.signature.index_bits.value_or(32);
+    switch (d) {
+      case 8:
+        engine_ = make_sparse_with_index<std::int8_t>(problem, config_, i,
+                                                      m);
+        break;
+      case 16:
+        engine_ = make_sparse_with_index<std::int16_t>(problem, config_, i,
+                                                       m);
+        break;
+      default:
+        engine_ = make_sparse_with_index<float>(problem, config_, i, m);
+    }
+    return engine_->train();
+}
+
+std::vector<float>
+Trainer::model() const
+{
+    if (!engine_) return {};
+    return engine_->model_floats();
+}
+
+double
+Trainer::loss() const
+{
+    if (!engine_) panic("Trainer::loss() called before fit()");
+    return engine_->average_loss();
+}
+
+double
+Trainer::accuracy() const
+{
+    if (!engine_) panic("Trainer::accuracy() called before fit()");
+    return engine_->accuracy();
+}
+
+float
+predict_margin(const std::vector<float>& model, const float* x)
+{
+    float z = 0.0f;
+    for (std::size_t k = 0; k < model.size(); ++k) z += model[k] * x[k];
+    return z;
+}
+
+} // namespace buckwild::core

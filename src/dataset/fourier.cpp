@@ -1,0 +1,61 @@
+#include "dataset/fourier.h"
+
+#include <cmath>
+
+#include "rng/xorshift.h"
+#include "util/logging.h"
+
+namespace buckwild::dataset {
+
+FourierFeatures::FourierFeatures(std::size_t input_dim,
+                                 std::size_t feature_dim, float sigma,
+                                 std::uint64_t seed)
+    : input_dim_(input_dim), feature_dim_(feature_dim),
+      weights_(input_dim * feature_dim), phases_(feature_dim),
+      scale_(std::sqrt(2.0f / static_cast<float>(feature_dim)))
+{
+    if (input_dim == 0 || feature_dim == 0)
+        fatal("FourierFeatures requires positive dimensions");
+    if (sigma <= 0.0f) fatal("FourierFeatures requires sigma > 0");
+
+    rng::Xorshift128Plus gen(seed);
+    auto uniform = [&gen] {
+        return rng::to_unit_float(static_cast<std::uint32_t>(gen() >> 32));
+    };
+    // Box-Muller for the Gaussian frequency matrix.
+    const float inv_sigma = 1.0f / sigma;
+    for (std::size_t k = 0; k < weights_.size(); k += 2) {
+        float u1 = uniform();
+        if (u1 < 1e-7f) u1 = 1e-7f;
+        const float u2 = uniform();
+        const float r = std::sqrt(-2.0f * std::log(u1));
+        const float a = 2.0f * static_cast<float>(M_PI) * u2;
+        weights_[k] = r * std::cos(a) * inv_sigma;
+        if (k + 1 < weights_.size())
+            weights_[k + 1] = r * std::sin(a) * inv_sigma;
+    }
+    for (auto& b : phases_)
+        b = 2.0f * static_cast<float>(M_PI) * uniform();
+}
+
+void
+FourierFeatures::transform(const float* x, float* out) const
+{
+    for (std::size_t j = 0; j < feature_dim_; ++j) {
+        const float* row = weights_.data() + j * input_dim_;
+        float dot = phases_[j];
+        for (std::size_t k = 0; k < input_dim_; ++k) dot += row[k] * x[k];
+        out[j] = scale_ * std::cos(dot);
+    }
+}
+
+std::vector<float>
+FourierFeatures::transform_batch(const float* x, std::size_t count) const
+{
+    std::vector<float> out(count * feature_dim_);
+    for (std::size_t i = 0; i < count; ++i)
+        transform(x + i * input_dim_, out.data() + i * feature_dim_);
+    return out;
+}
+
+} // namespace buckwild::dataset

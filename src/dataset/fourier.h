@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Random Fourier features (Rahimi & Recht, 2007) — the kernel-SVM proxy of
+ * §7: "we evaluated our techniques by running kernel SVMs on MNIST using
+ * the random Fourier features technique, a standard proxy for Gaussian
+ * kernels".
+ *
+ * The transform maps an input x in R^d to
+ *     z(x) = sqrt(2 / D) * cos(W x + b),   W_ij ~ N(0, 1/sigma^2),
+ *     b_j ~ U[0, 2*pi),
+ * so that z(x).z(x') approximates the Gaussian kernel
+ * exp(-|x-x'|^2 / (2 sigma^2)). A linear SVM on z is then an approximate
+ * kernel SVM — and our Buckwild! trainer can quantize z like any dataset.
+ */
+#ifndef BUCKWILD_DATASET_FOURIER_H
+#define BUCKWILD_DATASET_FOURIER_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace buckwild::dataset {
+
+/// A sampled random Fourier feature map.
+class FourierFeatures
+{
+  public:
+    /**
+     * Samples the feature map.
+     *
+     * @param input_dim   d, the dimensionality of raw inputs
+     * @param feature_dim D, the number of random features
+     * @param sigma       Gaussian kernel bandwidth
+     */
+    FourierFeatures(std::size_t input_dim, std::size_t feature_dim,
+                    float sigma, std::uint64_t seed);
+
+    std::size_t input_dim() const { return input_dim_; }
+    std::size_t feature_dim() const { return feature_dim_; }
+
+    /// Transforms one input vector; `out` must hold feature_dim() floats.
+    /// Output components lie in [-sqrt(2/D), sqrt(2/D)].
+    void transform(const float* x, float* out) const;
+
+    /// Transforms a batch of `count` row-major inputs.
+    std::vector<float> transform_batch(const float* x,
+                                       std::size_t count) const;
+
+  private:
+    std::size_t input_dim_;
+    std::size_t feature_dim_;
+    std::vector<float> weights_; ///< feature_dim x input_dim, row-major
+    std::vector<float> phases_;  ///< feature_dim
+    float scale_;                ///< sqrt(2 / feature_dim)
+};
+
+} // namespace buckwild::dataset
+
+#endif // BUCKWILD_DATASET_FOURIER_H

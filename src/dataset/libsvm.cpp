@@ -1,0 +1,102 @@
+#include "dataset/libsvm.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace buckwild::dataset {
+
+SparseProblem
+load_libsvm(std::istream& in, std::size_t dim)
+{
+    SparseProblem p;
+    std::size_t max_index = 0;
+    std::string line;
+    std::size_t line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        // Strip comments and blank lines.
+        const std::size_t hash = line.find('#');
+        if (hash != std::string::npos) line.resize(hash);
+        std::istringstream ls(line);
+        float label;
+        if (!(ls >> label)) continue; // blank line
+
+        SparseRow row;
+        std::string token;
+        std::uint64_t prev = 0;
+        bool first = true;
+        while (ls >> token) {
+            const std::size_t colon = token.find(':');
+            if (colon == std::string::npos)
+                fatal("libsvm line " + std::to_string(line_no) +
+                      ": expected index:value, got '" + token + "'");
+            std::uint64_t index = 0;
+            float value = 0.0f;
+            try {
+                index = std::stoull(token.substr(0, colon));
+                value = std::stof(token.substr(colon + 1));
+            } catch (const std::exception&) {
+                fatal("libsvm line " + std::to_string(line_no) +
+                      ": malformed token '" + token + "'");
+            }
+            if (index == 0)
+                fatal("libsvm line " + std::to_string(line_no) +
+                      ": indices are 1-based");
+            if (!first && index <= prev)
+                fatal("libsvm line " + std::to_string(line_no) +
+                      ": indices must be strictly ascending");
+            first = false;
+            prev = index;
+            const std::uint64_t zero_based = index - 1;
+            if (dim != 0 && zero_based >= dim)
+                fatal("libsvm line " + std::to_string(line_no) +
+                      ": index " + std::to_string(index) +
+                      " exceeds dim " + std::to_string(dim));
+            max_index = std::max<std::size_t>(max_index, zero_based);
+            row.index.push_back(static_cast<std::uint32_t>(zero_based));
+            row.value.push_back(value);
+        }
+        p.rows.push_back(std::move(row));
+        p.y.push_back(label >= 0.0f ? 1.0f : -1.0f);
+    }
+    if (p.rows.empty()) fatal("libsvm stream contained no examples");
+    p.dim = dim != 0 ? dim : max_index + 1;
+    return p;
+}
+
+SparseProblem
+load_libsvm_file(const std::string& path, std::size_t dim)
+{
+    std::ifstream in(path);
+    if (!in) fatal("cannot open libsvm file: " + path);
+    return load_libsvm(in, dim);
+}
+
+void
+save_libsvm(const SparseProblem& problem, std::ostream& out)
+{
+    char buf[64];
+    for (std::size_t i = 0; i < problem.rows.size(); ++i) {
+        out << (problem.y[i] >= 0.0f ? "+1" : "-1");
+        const SparseRow& row = problem.rows[i];
+        for (std::size_t j = 0; j < row.index.size(); ++j) {
+            std::snprintf(buf, sizeof(buf), " %u:%g", row.index[j] + 1,
+                          static_cast<double>(row.value[j]));
+            out << buf;
+        }
+        out << '\n';
+    }
+}
+
+void
+save_libsvm_file(const SparseProblem& problem, const std::string& path)
+{
+    std::ofstream out(path);
+    if (!out) fatal("cannot open libsvm file for writing: " + path);
+    save_libsvm(problem, out);
+}
+
+} // namespace buckwild::dataset

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * LIBSVM-format dataset I/O.
+ *
+ * The de-facto interchange format for sparse classification data (used by
+ * LIBSVM/liblinear and most public benchmark datasets):
+ *
+ *     <label> <index>:<value> <index>:<value> ...
+ *
+ * one example per line, 1-based ascending indices, labels +1/-1 (other
+ * labels are mapped by sign). load_libsvm() produces a SparseProblem
+ * ready for the sparse Buckwild! trainer; save_libsvm() writes one back,
+ * so synthetic problems can be exported to other tools.
+ */
+#ifndef BUCKWILD_DATASET_LIBSVM_H
+#define BUCKWILD_DATASET_LIBSVM_H
+
+#include <iosfwd>
+#include <string>
+
+#include "dataset/problem.h"
+
+namespace buckwild::dataset {
+
+/**
+ * Parses a LIBSVM stream.
+ *
+ * @param in   the text stream
+ * @param dim  model dimensionality; 0 = infer from the largest index
+ * @throws std::runtime_error on malformed lines, non-ascending or
+ *         out-of-range indices.
+ */
+SparseProblem load_libsvm(std::istream& in, std::size_t dim = 0);
+
+/// Convenience: load from a file path.
+SparseProblem load_libsvm_file(const std::string& path,
+                               std::size_t dim = 0);
+
+/// Writes `problem` in LIBSVM format (1-based indices, %g values).
+void save_libsvm(const SparseProblem& problem, std::ostream& out);
+
+/// Convenience: save to a file path.
+void save_libsvm_file(const SparseProblem& problem,
+                      const std::string& path);
+
+} // namespace buckwild::dataset
+
+#endif // BUCKWILD_DATASET_LIBSVM_H

@@ -1,0 +1,135 @@
+#include "dataset/problem.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rng/xorshift.h"
+#include "util/logging.h"
+
+namespace buckwild::dataset {
+
+namespace {
+
+float
+unit_to_pm1(std::uint32_t word)
+{
+    return rng::to_unit_float(word) * 2.0f - 1.0f;
+}
+
+float
+sigmoid(double z)
+{
+    return static_cast<float>(1.0 / (1.0 + std::exp(-z)));
+}
+
+} // namespace
+
+std::size_t
+SparseProblem::nnz() const
+{
+    std::size_t total = 0;
+    for (const auto& row : rows) total += row.index.size();
+    return total;
+}
+
+DenseProblem
+generate_logistic_dense(std::size_t dim, std::size_t examples,
+                        std::uint64_t seed)
+{
+    if (dim == 0 || examples == 0)
+        fatal("generate_logistic_dense requires dim, examples >= 1");
+    rng::Xorshift128Plus gen(seed);
+    auto next_pm1 = [&gen] {
+        return unit_to_pm1(static_cast<std::uint32_t>(gen() >> 32));
+    };
+
+    DenseProblem p;
+    p.dim = dim;
+    p.examples = examples;
+    p.w_true.resize(dim);
+    for (auto& w : p.w_true) w = next_pm1();
+
+    p.x.resize(dim * examples);
+    p.y.resize(examples);
+    for (std::size_t i = 0; i < examples; ++i) {
+        double dot = 0.0;
+        float* row = p.x.data() + i * dim;
+        for (std::size_t k = 0; k < dim; ++k) {
+            row[k] = next_pm1();
+            dot += static_cast<double>(row[k]) * p.w_true[k];
+        }
+        // Scale the margin so labels stay learnable-but-noisy across n.
+        const double z = dot * 8.0 / std::sqrt(static_cast<double>(dim));
+        const float u = rng::to_unit_float(
+            static_cast<std::uint32_t>(gen() >> 32));
+        p.y[i] = (u < sigmoid(z)) ? 1.0f : -1.0f;
+    }
+    return p;
+}
+
+SparseProblem
+generate_logistic_sparse(std::size_t dim, std::size_t examples,
+                         double density, std::uint64_t seed)
+{
+    if (dim == 0 || examples == 0)
+        fatal("generate_logistic_sparse requires dim, examples >= 1");
+    if (density <= 0.0 || density > 1.0)
+        fatal("density must be in (0, 1]");
+    rng::Xorshift128Plus gen(seed);
+    auto next_word = [&gen] {
+        return static_cast<std::uint32_t>(gen() >> 32);
+    };
+    auto next_pm1 = [&] { return unit_to_pm1(next_word()); };
+
+    const auto nnz_per_row = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::ceil(density *
+                                              static_cast<double>(dim))));
+
+    SparseProblem p;
+    p.dim = dim;
+    p.w_true.resize(dim);
+    for (auto& w : p.w_true) w = next_pm1();
+
+    p.rows.resize(examples);
+    p.y.resize(examples);
+    std::vector<std::uint32_t> coords(nnz_per_row);
+    for (std::size_t i = 0; i < examples; ++i) {
+        // Sample distinct sorted coordinates (rejection on duplicates is
+        // cheap at 3% density).
+        for (auto& c : coords) {
+            for (;;) {
+                const auto cand = static_cast<std::uint32_t>(
+                    next_word() % dim);
+                bool dup = false;
+                for (const auto& prev : coords) {
+                    if (&prev == &c) break;
+                    if (prev == cand) {
+                        dup = true;
+                        break;
+                    }
+                }
+                if (!dup) {
+                    c = cand;
+                    break;
+                }
+            }
+        }
+        std::sort(coords.begin(), coords.end());
+
+        SparseRow& row = p.rows[i];
+        row.index = coords;
+        row.value.resize(nnz_per_row);
+        double dot = 0.0;
+        for (std::size_t j = 0; j < nnz_per_row; ++j) {
+            row.value[j] = next_pm1();
+            dot += static_cast<double>(row.value[j]) * p.w_true[coords[j]];
+        }
+        const double z =
+            dot * 8.0 / std::sqrt(static_cast<double>(nnz_per_row));
+        p.y[i] = (rng::to_unit_float(next_word()) < sigmoid(z)) ? 1.0f
+                                                                : -1.0f;
+    }
+    return p;
+}
+
+} // namespace buckwild::dataset

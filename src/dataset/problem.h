@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Full-precision problem containers — the "ground truth" data that the
+ * quantized dataset containers are built from.
+ *
+ * The paper's experiments (§4) use artificially generated datasets
+ * "sampled from the generative model for logistic regression, using a true
+ * model vector w* and example vectors xi all sampled uniformly from
+ * [-1, 1]^n" (footnote 9), both dense and sparse (3% density).
+ */
+#ifndef BUCKWILD_DATASET_PROBLEM_H
+#define BUCKWILD_DATASET_PROBLEM_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace buckwild::dataset {
+
+/// A dense binary-classification problem in full precision.
+struct DenseProblem
+{
+    std::size_t dim = 0;      ///< model size n
+    std::size_t examples = 0; ///< example count m
+    std::vector<float> x;     ///< row-major examples, examples x dim
+    std::vector<float> y;     ///< labels in {-1, +1}
+    std::vector<float> w_true; ///< the generating model (for diagnostics)
+
+    const float* row(std::size_t i) const { return x.data() + i * dim; }
+};
+
+/// One sparse example: sorted coordinates and their values.
+struct SparseRow
+{
+    std::vector<std::uint32_t> index;
+    std::vector<float> value;
+};
+
+/// A sparse binary-classification problem in full precision.
+struct SparseProblem
+{
+    std::size_t dim = 0;
+    std::vector<SparseRow> rows;
+    std::vector<float> y;
+    std::vector<float> w_true;
+
+    std::size_t examples() const { return rows.size(); }
+
+    /// Total nonzeros across all rows.
+    std::size_t nnz() const;
+};
+
+/**
+ * Samples a dense logistic-regression problem from the generative model:
+ * w* ~ U[-1,1]^n, x_i ~ U[-1,1]^n, y_i = +1 with prob sigmoid(w*.x_i).
+ */
+DenseProblem generate_logistic_dense(std::size_t dim, std::size_t examples,
+                                     std::uint64_t seed);
+
+/**
+ * Samples the sparse analogue: each example has ceil(density*dim) nonzero
+ * coordinates chosen uniformly (sorted), values ~ U[-1,1]; the label is
+ * drawn from the logistic model restricted to the support.
+ *
+ * @param density  fraction of nonzero coordinates, e.g. 0.03 (the paper's
+ *                 3%).
+ */
+SparseProblem generate_logistic_sparse(std::size_t dim, std::size_t examples,
+                                       double density, std::uint64_t seed);
+
+} // namespace buckwild::dataset
+
+#endif // BUCKWILD_DATASET_PROBLEM_H

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * The DMGC advisor: turns the paper's decision rules into executable
+ * recommendations.
+ *
+ * The paper's pitch is that the DMGC model gives "a principled way of
+ * reasoning about these decisions" instead of ad-hoc per-system analysis.
+ * Given a configuration (signature, model size, thread count), the
+ * advisor:
+ *
+ *  - classifies the operating regime via the §4 performance model
+ *    (bandwidth-bound vs communication-bound);
+ *  - predicts throughput, and the speedup available from lowering
+ *    precision (from the Table-2 calibration);
+ *  - emits the applicable Table-3 optimizations with their
+ *    statistical-efficiency caveats (prefetch off / mini-batch /
+ *    obstinate cache only when communication-bound; fast PRNG only when
+ *    rounding unbiased; etc.).
+ */
+#ifndef BUCKWILD_DMGC_ADVISOR_H
+#define BUCKWILD_DMGC_ADVISOR_H
+
+#include <string>
+#include <vector>
+
+#include "dmgc/perf_model.h"
+#include "dmgc/signature.h"
+
+namespace buckwild::dmgc {
+
+/// The §4 operating regimes.
+enum class Regime {
+    kCommunicationBound, ///< small model: coherence latency dominates
+    kBandwidthBound,     ///< large model: memory bandwidth dominates
+};
+
+/// "communication-bound" / "bandwidth-bound".
+std::string to_string(Regime regime);
+
+/// One actionable recommendation.
+struct Recommendation
+{
+    std::string action;        ///< what to do
+    std::string rationale;     ///< why (tied to the paper's analysis)
+    std::string stat_eff_cost; ///< Table 3's statistical-efficiency column
+};
+
+/// The advisor's full report for one configuration.
+struct Advice
+{
+    Regime regime;
+    double parallel_fraction;   ///< p(n) from Eq. 3
+    double predicted_gnps;      ///< at the requested thread count
+    /// Best calibrated signature of the same sparsity and its predicted
+    /// speedup over the requested one (1.0 when already optimal).
+    Signature best_signature;
+    double best_speedup;
+    std::vector<Recommendation> recommendations;
+};
+
+/// Parameters the advisor reasons over.
+struct AdvisorQuery
+{
+    Signature signature = Signature::dense_fixed(8, 8);
+    std::size_t model_size = 1 << 16;
+    std::size_t threads = 18;
+    bool unbiased_rounding = true;
+    /// Model sizes below this p(n) threshold count as communication-bound.
+    double comm_bound_p = 0.6;
+};
+
+/// Produces advice from a performance model (use PerfModel::paper_model()
+/// or a host-recalibrated model).
+Advice advise(const AdvisorQuery& query, const PerfModel& model);
+
+} // namespace buckwild::dmgc
+
+#endif // BUCKWILD_DMGC_ADVISOR_H

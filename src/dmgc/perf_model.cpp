@@ -1,0 +1,140 @@
+#include "dmgc/perf_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace buckwild::dmgc {
+
+const std::vector<CalibrationRow>&
+xeon_e7_8890_calibration()
+{
+    // Table 2 of the paper, with the "[i]" bracket expanded: the same row
+    // calibrates both the dense signature and the sparse signature whose
+    // index width equals the dataset width.
+    static const std::vector<CalibrationRow> kTable2 = {
+        {"D32fM8", {0.203, 0.103}},
+        {"D32fM16", {0.208, 0.080}},
+        {"D32fM32f", {0.936, 0.101}},
+        {"D8M32f", {0.999, 0.089}},
+        {"D16M32f", {1.183, 0.089}},
+        {"D16M16", {1.739, 0.106}},
+        {"D8M16", {2.238, 0.105}},
+        {"D16M8", {2.526, 0.172}},
+        {"D8M8", {3.339, 0.166}},
+    };
+    return kTable2;
+}
+
+PerfModel::PerfModel(std::vector<CalibrationRow> calibration,
+                     Coefficients coeffs)
+    : rows_(std::move(calibration)), coeffs_(coeffs)
+{
+    for (const auto& row : rows_) {
+        const Signature sig = parse_signature(row.signature_text);
+        by_key_[key_of(sig)] = row.t1;
+    }
+}
+
+PerfModel
+PerfModel::paper_model()
+{
+    return PerfModel(xeon_e7_8890_calibration(), Coefficients{});
+}
+
+double
+PerfModel::parallel_fraction(std::size_t model_size) const
+{
+    if (model_size == 0) return 0.0;
+    const double p = coeffs_.bandwidth_fraction -
+        coeffs_.comm_coeff / std::sqrt(static_cast<double>(model_size));
+    return std::clamp(p, 0.0, 1.0);
+}
+
+double
+PerfModel::amdahl(double t1, std::size_t threads, double p)
+{
+    const double t = static_cast<double>(threads);
+    return t1 * t / (1.0 + (t - 1.0) * (1.0 - p));
+}
+
+std::string
+PerfModel::key_of(const Signature& sig)
+{
+    // Calibration rows are keyed on the D and M precisions only: the i
+    // term follows the dataset width and the remaining terms are omitted
+    // for every Table-2 configuration.
+    return "D" + sig.dataset.to_string() + "M" + sig.model.to_string();
+}
+
+bool
+PerfModel::is_calibrated(const Signature& sig) const
+{
+    return by_key_.contains(key_of(sig));
+}
+
+double
+PerfModel::base_throughput(const Signature& sig) const
+{
+    const auto it = by_key_.find(key_of(sig));
+    if (it == by_key_.end())
+        fatal("signature " + sig.to_string() +
+              " has no calibration row in the performance model");
+    return sig.sparse ? it->second.sparse_gnps : it->second.dense_gnps;
+}
+
+double
+PerfModel::predict_gnps(const Signature& sig, std::size_t threads,
+                        std::size_t model_size) const
+{
+    if (threads == 0) fatal("predict_gnps requires threads >= 1");
+    return amdahl(base_throughput(sig), threads,
+                  parallel_fraction(model_size));
+}
+
+std::vector<std::string>
+PerfModel::calibrated_signatures() const
+{
+    std::vector<std::string> out;
+    out.reserve(rows_.size());
+    for (const auto& row : rows_) out.push_back(row.signature_text);
+    return out;
+}
+
+PerfModel::Coefficients
+fit_coefficients(const std::vector<std::pair<std::size_t, double>>& samples)
+{
+    if (samples.size() < 2)
+        fatal("fit_coefficients needs at least two (n, p) samples");
+    // Least squares for p = a - b * x with x = 1/sqrt(n).
+    double sx = 0, sy = 0, sxx = 0, sxy = 0;
+    const double m = static_cast<double>(samples.size());
+    for (const auto& [n, p] : samples) {
+        const double x = 1.0 / std::sqrt(static_cast<double>(n));
+        sx += x;
+        sy += p;
+        sxx += x * x;
+        sxy += x * p;
+    }
+    const double denom = m * sxx - sx * sx;
+    if (std::fabs(denom) < 1e-18)
+        fatal("fit_coefficients: degenerate sample set (all same n)");
+    const double slope = (m * sxy - sx * sy) / denom;
+    const double intercept = (sy - slope * sx) / m;
+    return {intercept, -slope};
+}
+
+double
+infer_parallel_fraction(double t1, double tt, std::size_t threads)
+{
+    if (threads < 2) fatal("infer_parallel_fraction requires threads >= 2");
+    if (t1 <= 0.0 || tt <= 0.0)
+        fatal("infer_parallel_fraction requires positive throughputs");
+    const double t = static_cast<double>(threads);
+    const double r = tt / t1;
+    const double p = t * (r - 1.0) / (r * (t - 1.0));
+    return std::clamp(p, 0.0, 1.0);
+}
+
+} // namespace buckwild::dmgc

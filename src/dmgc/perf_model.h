@@ -1,0 +1,124 @@
+/**
+ * @file
+ * The DMGC roofline-like performance model (§4).
+ *
+ * Hardware efficiency is expressed as *dataset throughput* in
+ * giga-numbers-per-second (GNPS): the rate at which dataset numbers are
+ * consumed. The paper's model has three parts:
+ *
+ *   (1) Amdahl scaling over threads t:      T(t) = T1 * t / (1 + (t-1)(1-p))
+ *   (2) base throughput T1 = f(DMGC signature)            [Table 2]
+ *   (3) parallelizable fraction p = f(model size n):
+ *           p(n) = 0.89 - 22 / sqrt(n)                    [Eq. 3]
+ *
+ * The first term of p is the *bandwidth bound* (model-size independent);
+ * the second is the *communication bound*, which grows as the model
+ * shrinks because coherence invalidates become more frequent.
+ *
+ * A PerfModel can be constructed from the paper's Xeon E7-8890 v3
+ * calibration (Table 2) or refit from measurements taken on the host, so
+ * bench_fig3_perf_model can compare measured-vs-predicted on any machine.
+ */
+#ifndef BUCKWILD_DMGC_PERF_MODEL_H
+#define BUCKWILD_DMGC_PERF_MODEL_H
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dmgc/signature.h"
+
+namespace buckwild::dmgc {
+
+/// Base sequential throughput for one signature (dense and sparse), GNPS.
+struct BaseThroughput
+{
+    double dense_gnps;
+    double sparse_gnps;
+};
+
+/// One (signature, T1) calibration row — Table 2 of the paper.
+struct CalibrationRow
+{
+    std::string signature_text; ///< with the paper's [i] bracket expanded
+    BaseThroughput t1;
+};
+
+/// The paper's published Table 2 (Xeon E7-8890 v3, 2.5 GHz).
+const std::vector<CalibrationRow>& xeon_e7_8890_calibration();
+
+/**
+ * The throughput model. Immutable after construction; all methods are
+ * const and thread-safe.
+ */
+class PerfModel
+{
+  public:
+    /// Eq. 3 coefficients: p(n) = bandwidth_fraction - comm_coeff/sqrt(n).
+    struct Coefficients
+    {
+        double bandwidth_fraction = 0.89;
+        double comm_coeff = 22.0;
+    };
+
+    /// Builds the model from calibration rows + Eq. 3 coefficients.
+    PerfModel(std::vector<CalibrationRow> calibration, Coefficients coeffs);
+
+    /// The paper's model: Table 2 T1 values with the published Eq. 3.
+    static PerfModel paper_model();
+
+    /// Parallelizable fraction p(n), clamped into [0, 1].
+    double parallel_fraction(std::size_t model_size) const;
+
+    /// Amdahl throughput T(t) given T1 and p — Eq. 2.
+    static double amdahl(double t1, std::size_t threads, double p);
+
+    /**
+     * Predicted dataset throughput (GNPS) for `sig` at `threads` threads
+     * and model size `model_size`.
+     *
+     * @throws std::runtime_error if the signature is not calibrated.
+     */
+    double predict_gnps(const Signature& sig, std::size_t threads,
+                        std::size_t model_size) const;
+
+    /// Base T1 for a calibrated signature.
+    double base_throughput(const Signature& sig) const;
+
+    /// True if `sig` has a calibration row.
+    bool is_calibrated(const Signature& sig) const;
+
+    /// All calibrated signatures (textual form), in calibration order.
+    std::vector<std::string> calibrated_signatures() const;
+
+    const Coefficients& coefficients() const { return coeffs_; }
+
+  private:
+    /// Canonical lookup key (dense and sparse variants share a row).
+    static std::string key_of(const Signature& sig);
+
+    std::vector<CalibrationRow> rows_;
+    std::map<std::string, BaseThroughput> by_key_;
+    Coefficients coeffs_;
+};
+
+/**
+ * Fits Eq. 3 coefficients from (model_size, measured p) samples via least
+ * squares on the basis {1, 1/sqrt(n)}. Used to recalibrate the model on
+ * the host machine.
+ */
+PerfModel::Coefficients fit_coefficients(
+    const std::vector<std::pair<std::size_t, double>>& samples);
+
+/**
+ * Recovers an empirical p from throughput measurements at 1 and t threads:
+ * inverting Eq. 2 gives p = (t - T(t)/T1) * T(t)/T1 ... solved exactly:
+ *     p = t (r - 1) / (r (t - 1)),  r = T(t)/T1.
+ * Returns p clamped to [0, 1]; requires t >= 2.
+ */
+double infer_parallel_fraction(double t1, double tt, std::size_t threads);
+
+} // namespace buckwild::dmgc
+
+#endif // BUCKWILD_DMGC_PERF_MODEL_H

@@ -1,0 +1,179 @@
+#include "dmgc/signature.h"
+
+#include <cctype>
+#include <cstddef>
+
+#include "util/logging.h"
+
+namespace buckwild::dmgc {
+
+std::string
+Precision::to_string() const
+{
+    return std::to_string(bits) + (is_float ? "f" : "");
+}
+
+std::string
+Signature::to_string() const
+{
+    std::string out;
+    // For sparse problems the paper always spells out the D/i/M terms
+    // (e.g. sparse Hogwild! is written "D32f i32 M32f"); for dense
+    // problems, full-precision D and M are omitted.
+    if (sparse || !(dataset == Precision::full()))
+        out += "D" + dataset.to_string();
+    if (sparse)
+        out += "i" + std::to_string(index_bits.value_or(32));
+    if (sparse || !(model == Precision::full()))
+        out += "M" + model.to_string();
+    if (gradient.has_value())
+        out += "G" + gradient->to_string();
+    if (communication != Communication::kImplicitCache) {
+        out += "C";
+        if (communication == Communication::kSynchronous) out += "s";
+        if (comm_precision.has_value()) out += comm_precision->to_string();
+    }
+    if (out.empty()) out = sparse ? "D32fi32M32f" : "D32fM32f";
+    return out;
+}
+
+bool
+Signature::is_full_precision() const
+{
+    return dataset == Precision::full() && model == Precision::full() &&
+           !gradient.has_value();
+}
+
+int
+Signature::dataset_bits_per_number() const
+{
+    int bits = dataset.bits;
+    if (sparse) bits += index_bits.value_or(32);
+    return bits;
+}
+
+Signature
+Signature::dense_fixed(int dataset_bits, int model_bits)
+{
+    Signature sig;
+    sig.dataset = dataset_bits == 32 ? Precision::full()
+                                     : Precision::fixed(dataset_bits);
+    sig.model = model_bits == 32 ? Precision::full()
+                                 : Precision::fixed(model_bits);
+    return sig;
+}
+
+Signature
+Signature::sparse_fixed(int dataset_bits, int index_bits, int model_bits)
+{
+    Signature sig = dense_fixed(dataset_bits, model_bits);
+    sig.sparse = true;
+    sig.index_bits = index_bits;
+    return sig;
+}
+
+Signature
+Signature::dense_hogwild()
+{
+    return Signature{};
+}
+
+Signature
+Signature::sparse_hogwild()
+{
+    Signature sig;
+    sig.sparse = true;
+    sig.index_bits = 32;
+    return sig;
+}
+
+namespace {
+
+/// Cursor over the signature text.
+struct Cursor
+{
+    const std::string& text;
+    std::size_t pos = 0;
+
+    bool done() const { return pos >= text.size(); }
+    char peek() const { return text[pos]; }
+
+    int
+    read_int()
+    {
+        if (done() || !std::isdigit(static_cast<unsigned char>(peek())))
+            fatal("expected a bit-width at position " + std::to_string(pos) +
+                  " of DMGC signature '" + text + "'");
+        int v = 0;
+        while (!done() && std::isdigit(static_cast<unsigned char>(peek()))) {
+            v = v * 10 + (text[pos] - '0');
+            ++pos;
+        }
+        return v;
+    }
+
+    Precision
+    read_precision()
+    {
+        Precision p;
+        p.bits = read_int();
+        p.is_float = !done() && peek() == 'f';
+        if (p.is_float) ++pos;
+        return p;
+    }
+};
+
+} // namespace
+
+Signature
+parse_signature(const std::string& text)
+{
+    Signature sig;
+    Cursor cur{text};
+    bool saw_any = false;
+    while (!cur.done()) {
+        const char c = cur.peek();
+        ++cur.pos;
+        switch (c) {
+          case 'D':
+            sig.dataset = cur.read_precision();
+            saw_any = true;
+            break;
+          case 'i':
+            sig.sparse = true;
+            sig.index_bits = cur.read_int();
+            saw_any = true;
+            break;
+          case 'M':
+            sig.model = cur.read_precision();
+            saw_any = true;
+            break;
+          case 'G':
+            sig.gradient = cur.read_precision();
+            saw_any = true;
+            break;
+          case 'C': {
+            sig.communication = Communication::kAsynchronous;
+            if (!cur.done() && cur.peek() == 's') {
+                sig.communication = Communication::kSynchronous;
+                ++cur.pos;
+            }
+            if (!cur.done() &&
+                std::isdigit(static_cast<unsigned char>(cur.peek())))
+                sig.comm_precision = cur.read_precision();
+            saw_any = true;
+            break;
+          }
+          case ' ':
+            break; // the paper writes "D32f i32 M32f" with spaces
+          default:
+            fatal(std::string("unexpected character '") + c +
+                  "' in DMGC signature '" + text + "'");
+        }
+    }
+    if (!saw_any)
+        fatal("empty DMGC signature");
+    return sig;
+}
+
+} // namespace buckwild::dmgc

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * DMGC signatures (§3) — the paper's conceptual contribution.
+ *
+ * A DMGC signature classifies a low-precision SGD implementation by the
+ * precision of four classes of numbers:
+ *
+ *   D — dataset numbers (with an optional i index precision when sparse)
+ *   M — model numbers
+ *   G — gradient (intermediate) numbers
+ *   C — communication numbers (subscript s = synchronous)
+ *
+ * written e.g. `D8i8M16G32fCs32`. Rules from the paper:
+ *   - an `f` suffix marks floating point (otherwise fixed point);
+ *   - the G term is omitted when gradient computation loses no fidelity;
+ *   - D and M are omitted when full precision (32-bit float);
+ *   - C is omitted when communication is implicit through cache coherence
+ *     (Hogwild!-style), `Cs` marks explicit synchronous communication;
+ *   - `i` appears only for sparse problems.
+ *
+ * This header provides the Signature value type, a parser/formatter for the
+ * textual notation, and helpers the trainer uses to dispatch kernels.
+ */
+#ifndef BUCKWILD_DMGC_SIGNATURE_H
+#define BUCKWILD_DMGC_SIGNATURE_H
+
+#include <optional>
+#include <string>
+
+namespace buckwild::dmgc {
+
+/// One term of a signature: a bit-width plus float/fixed flag.
+struct Precision
+{
+    int bits = 32;
+    bool is_float = true;
+
+    bool operator==(const Precision&) const = default;
+
+    /// Full-precision IEEE float, the implicit default for omitted terms.
+    static Precision
+    full()
+    {
+        return {32, true};
+    }
+
+    /// k-bit fixed point.
+    static Precision
+    fixed(int k)
+    {
+        return {k, false};
+    }
+
+    /// e.g. "32f" or "8".
+    std::string to_string() const;
+};
+
+/// How workers communicate (the C term).
+enum class Communication {
+    kImplicitCache, ///< Hogwild!-style: coherence protocol only (C omitted)
+    kAsynchronous,  ///< explicit asynchronous messages (C)
+    kSynchronous,   ///< explicit synchronous exchange (Cs)
+};
+
+/**
+ * A full DMGC signature.
+ *
+ * `gradient` and `comm_precision` are optional: disengaged means the term
+ * is omitted from the textual form (lossless gradients / implicit
+ * communication respectively).
+ */
+struct Signature
+{
+    Precision dataset = Precision::full();
+    /// Index precision; only meaningful when `sparse` is true.
+    std::optional<int> index_bits;
+    Precision model = Precision::full();
+    std::optional<Precision> gradient;
+    Communication communication = Communication::kImplicitCache;
+    std::optional<Precision> comm_precision;
+    bool sparse = false;
+
+    bool operator==(const Signature&) const = default;
+
+    /// Renders the paper's textual notation, applying the omission rules.
+    std::string to_string() const;
+
+    /// True when both D and M are full-precision floats (plain Hogwild!).
+    bool is_full_precision() const;
+
+    /// Total data bits moved from the dataset per processed number
+    /// (dataset bits plus index bits when sparse).
+    int dataset_bits_per_number() const;
+
+    // --- Common signatures used throughout the paper -------------------
+
+    /// Dense D{d}M{m} fixed-point Buckwild! (implicit communication).
+    static Signature dense_fixed(int dataset_bits, int model_bits);
+
+    /// Sparse D{d}i{i}M{m} Buckwild!.
+    static Signature sparse_fixed(int dataset_bits, int index_bits,
+                                  int model_bits);
+
+    /// Plain dense Hogwild!: D32fM32f.
+    static Signature dense_hogwild();
+
+    /// Plain sparse Hogwild!: D32f i32 M32f.
+    static Signature sparse_hogwild();
+};
+
+/**
+ * Parses the textual notation, e.g. "D8i8M16", "D32fi32M32f", "G10",
+ * "Cs1" (Seide et al.), "D8M16G32fCs32".
+ *
+ * @throws std::runtime_error on malformed input.
+ */
+Signature parse_signature(const std::string& text);
+
+} // namespace buckwild::dmgc
+
+#endif // BUCKWILD_DMGC_SIGNATURE_H

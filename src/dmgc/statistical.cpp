@@ -1,0 +1,77 @@
+#include "dmgc/statistical.h"
+
+#include <cmath>
+
+#include "fixed/fixed_point.h"
+#include "util/logging.h"
+
+namespace buckwild::dmgc {
+
+double
+quantization_variance(double quantum)
+{
+    return quantum * quantum / 12.0;
+}
+
+double
+default_quantum(const Precision& p)
+{
+    if (p.is_float) return 0.0;
+    if (!fixed::is_supported_width(p.bits))
+        fatal("no default quantum for " + std::to_string(p.bits) +
+              "-bit precision");
+    return fixed::default_format(p.bits).quantum();
+}
+
+double
+NoiseQuery::w_rms() const
+{
+    const double n = static_cast<double>(model_size);
+    return target_margin / (std::sqrt(n) * x_rms);
+}
+
+double
+margin_noise_std(const NoiseQuery& q)
+{
+    if (q.model_size == 0) fatal("model_size must be >= 1");
+    if (q.x_rms <= 0.0 || q.target_margin <= 0.0)
+        fatal("x_rms and target_margin must be positive");
+    const double n = static_cast<double>(q.model_size);
+    const double qm = default_quantum(q.signature.model);
+    const double qx = default_quantum(q.signature.dataset);
+    const double wr = q.w_rms();
+    const double variance = n * q.x_rms * q.x_rms *
+                                quantization_variance(qm) +
+                            n * wr * wr * quantization_variance(qx);
+    return std::sqrt(variance);
+}
+
+double
+margin_snr(const NoiseQuery& q)
+{
+    const double noise = margin_noise_std(q);
+    if (noise == 0.0) return std::numeric_limits<double>::infinity();
+    return q.target_margin / noise;
+}
+
+std::size_t
+max_model_size_for_snr(const Signature& signature, double snr,
+                       double x_rms, double target_margin)
+{
+    if (snr <= 0.0) fatal("snr must be positive");
+    NoiseQuery q;
+    q.signature = signature;
+    q.x_rms = x_rms;
+    q.target_margin = target_margin;
+    std::size_t best = 0;
+    for (std::size_t n = 1; n <= (std::size_t{1} << 30); n <<= 1) {
+        q.model_size = n;
+        if (margin_snr(q) >= snr)
+            best = n;
+        else
+            break;
+    }
+    return best;
+}
+
+} // namespace buckwild::dmgc

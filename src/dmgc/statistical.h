@@ -1,0 +1,74 @@
+/**
+ * @file
+ * First-principles statistical-efficiency estimates.
+ *
+ * §3: "The information in a DMGC signature is enough to model the
+ * statistical efficiency of an algorithm from first principles by using
+ * techniques from previous work like De Sa et al. [11]." This header
+ * implements the first-order version of that claim for the dot-and-AXPY
+ * problem family:
+ *
+ *  - *dataset quantization* leaves each stored value with an error
+ *    ~ U[-qx/2, qx/2] (variance qx^2 / 12);
+ *  - *model quantization* with unbiased rounding keeps each coordinate
+ *    hovering within about a quantum of its target (steady-state residue
+ *    modeled as U[-qm/2, qm/2], variance qm^2 / 12);
+ *  - the margin z = w.x therefore carries zero-mean noise of variance
+ *
+ *        n * x_rms^2 * qm^2 / 12   (model residue)
+ *      + n * w_rms^2 * qx^2 / 12   (dataset rounding).
+ *
+ * For classification the useful margin is O(1) regardless of n (the
+ * model spreads it over n coordinates: w_rms ~ margin / (sqrt(n) x_rms)),
+ * while the model-residue noise grows as sqrt(n) * qm. The margin
+ * signal-to-noise ratio therefore *falls* as the model grows — the
+ * quantitative form of the paper's "round-off error ... is especially
+ * significant when the precision of the model is small", and the reason
+ * 8-bit models misbehave on very high-dimensional problems. The advisor
+ * surfaces a warning when the predicted SNR is low.
+ */
+#ifndef BUCKWILD_DMGC_STATISTICAL_H
+#define BUCKWILD_DMGC_STATISTICAL_H
+
+#include <cstddef>
+
+#include "dmgc/signature.h"
+
+namespace buckwild::dmgc {
+
+/// Variance of the value error from storing a real number on a grid with
+/// the given quantum (uniform residue model): q^2 / 12.
+double quantization_variance(double quantum);
+
+/// The library's default quantum for a precision term (0 for float).
+double default_quantum(const Precision& p);
+
+/// Inputs for the margin-noise estimate.
+struct NoiseQuery
+{
+    Signature signature;
+    std::size_t model_size = 1 << 16; ///< n
+    double x_rms = 0.577;             ///< RMS dataset value (U[-1,1])
+    /// The margin magnitude the trained model aims for (logistic/hinge
+    /// classifiers: O(1); 2.0 is a comfortable working value).
+    double target_margin = 2.0;
+
+    /// Implied RMS model coordinate: margin spread over n coordinates.
+    double w_rms() const;
+};
+
+/// Standard deviation of the quantization-induced margin noise.
+double margin_noise_std(const NoiseQuery& query);
+
+/// target_margin / margin_noise_std — below ~3 the precision is
+/// statistically risky for this model size.
+double margin_snr(const NoiseQuery& query);
+
+/// Largest model size at which the signature keeps margin_snr >= snr.
+std::size_t max_model_size_for_snr(const Signature& signature, double snr,
+                                   double x_rms = 0.577,
+                                   double target_margin = 2.0);
+
+} // namespace buckwild::dmgc
+
+#endif // BUCKWILD_DMGC_STATISTICAL_H

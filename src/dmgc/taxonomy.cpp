@@ -1,0 +1,37 @@
+#include "dmgc/taxonomy.h"
+
+namespace buckwild::dmgc {
+
+const std::vector<TaxonomyEntry>&
+prior_work_taxonomy()
+{
+    static const std::vector<TaxonomyEntry> kTable = [] {
+        std::vector<TaxonomyEntry> t;
+        auto add = [&t](std::string paper, std::string text,
+                        std::string note) {
+            TaxonomyEntry e;
+            e.paper = std::move(paper);
+            e.signature_text = text;
+            e.signature = parse_signature(text);
+            e.note = std::move(note);
+            t.push_back(std::move(e));
+        };
+        add("Niu et al. [36] (Hogwild!, sparse)", "D32fi32M32f",
+            "full precision; implicit communication via cache coherence");
+        add("Savich and Moussa [45], 18-bit", "G18",
+            "18-bit intermediate (gradient) arithmetic on an FPGA RBM");
+        add("Seide et al. [46] (1-bit SGD)", "Cs1",
+            "1-bit quantized gradients exchanged synchronously; "
+            "full-precision dataset/model carry the quantization error");
+        add("Courbariaux et al. [9], 10-bit", "G10",
+            "10-bit multipliers with full-precision accumulators");
+        add("Gupta et al. [14]", "D8M16",
+            "8-bit data, 16-bit model, stochastic (unbiased) rounding");
+        add("De Sa et al. [11] (Buckwild!), 8-bit", "D8M8",
+            "8-bit data and model, asynchronous, unbiased rounding");
+        return t;
+    }();
+    return kTable;
+}
+
+} // namespace buckwild::dmgc

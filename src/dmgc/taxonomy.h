@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Taxonomy of prior low-precision SGD systems (Table 1 of the paper).
+ *
+ * The DMGC model doubles as a classification scheme: each previously
+ * published low-precision system corresponds to a signature. This registry
+ * reproduces Table 1 and is used by `bench_table1_taxonomy` and the unit
+ * tests that check the classification rules round-trip.
+ */
+#ifndef BUCKWILD_DMGC_TAXONOMY_H
+#define BUCKWILD_DMGC_TAXONOMY_H
+
+#include <string>
+#include <vector>
+
+#include "dmgc/signature.h"
+
+namespace buckwild::dmgc {
+
+/// One prior-work entry of Table 1.
+struct TaxonomyEntry
+{
+    std::string paper;          ///< citation, e.g. "Seide et al. [46]"
+    std::string signature_text; ///< textual signature as printed in Table 1
+    Signature signature;        ///< parsed form
+    std::string note;           ///< what the system quantizes
+};
+
+/// The five rows of Table 1 plus standard Hogwild! as a reference row.
+const std::vector<TaxonomyEntry>& prior_work_taxonomy();
+
+} // namespace buckwild::dmgc
+
+#endif // BUCKWILD_DMGC_TAXONOMY_H

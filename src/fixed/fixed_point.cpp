@@ -1,0 +1,33 @@
+#include "fixed/fixed_point.h"
+
+#include "util/logging.h"
+
+namespace buckwild::fixed {
+
+std::string
+FixedFormat::to_string() const
+{
+    return "fix" + std::to_string(bits) + "." + std::to_string(frac_bits);
+}
+
+FixedFormat
+default_format(int bits)
+{
+    switch (bits) {
+      // One integer bit of headroom above the [-1, 1] data range.
+      case 4: return {4, 2};
+      case 8: return {8, 6};
+      case 16: return {16, 14};
+      case 32: return {32, 30};
+      default:
+        fatal("unsupported fixed-point width: " + std::to_string(bits));
+    }
+}
+
+bool
+is_supported_width(int bits)
+{
+    return bits == 4 || bits == 8 || bits == 16 || bits == 32;
+}
+
+} // namespace buckwild::fixed

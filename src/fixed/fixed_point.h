@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Fixed-point number formats.
+ *
+ * Buckwild! replaces the 32-bit floats of standard SGD with low-precision
+ * two's-complement fixed-point values: a k-bit integer `raw` represents the
+ * real number raw * 2^-f where f is the number of fraction bits. The
+ * dataset and model of the paper's experiments live in [-1, 1], so the
+ * default formats place the binary point to use nearly the full dynamic
+ * range for that interval (e.g. 8-bit / 6 fraction bits spans [-2, 2)).
+ *
+ * Formats are runtime values (struct FixedFormat) so the DMGC-configured
+ * trainer can pick precision at run time; the SIMD kernels additionally use
+ * the compile-time `Rep` (int8_t / int16_t) for register layout.
+ */
+#ifndef BUCKWILD_FIXED_FIXED_POINT_H
+#define BUCKWILD_FIXED_FIXED_POINT_H
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace buckwild::fixed {
+
+/// Compile-time properties of a fixed-point representation type.
+template <typename Rep>
+struct RepTraits
+{
+    static_assert(std::numeric_limits<Rep>::is_integer &&
+                      std::numeric_limits<Rep>::is_signed,
+                  "fixed-point reps are signed integers");
+    static constexpr int kBits = std::numeric_limits<Rep>::digits + 1;
+    static constexpr long kMin = std::numeric_limits<Rep>::min();
+    static constexpr long kMax = std::numeric_limits<Rep>::max();
+};
+
+/// A runtime fixed-point format: total bits and fraction bits.
+struct FixedFormat
+{
+    int bits;      ///< total width incl. sign (4, 8, 16, or 32)
+    int frac_bits; ///< position of the binary point
+
+    /// Real value of one least-significant bit: 2^-frac_bits.
+    double quantum() const { return 1.0 / static_cast<double>(1L << frac_bits); }
+
+    /// Largest representable value, (2^(bits-1) - 1) * quantum.
+    double
+    max_value() const
+    {
+        return static_cast<double>((1L << (bits - 1)) - 1) * quantum();
+    }
+
+    /// Smallest representable value, -2^(bits-1) * quantum.
+    double
+    min_value() const
+    {
+        return -static_cast<double>(1L << (bits - 1)) * quantum();
+    }
+
+    /// Raw-integer saturation bounds.
+    long raw_min() const { return -(1L << (bits - 1)); }
+    long raw_max() const { return (1L << (bits - 1)) - 1; }
+
+    bool operator==(const FixedFormat&) const = default;
+
+    /// e.g. "Q1.6" style "fix8.6" (8 bits total, 6 fractional).
+    std::string to_string() const;
+};
+
+/// The library's default formats for data/models in [-1, 1]: leave one
+/// integer bit of headroom so sums of a few values do not saturate
+/// immediately.
+FixedFormat default_format(int bits);
+
+/// True if `bits` is a width the library has kernels for (4, 8, 16, 32).
+bool is_supported_width(int bits);
+
+} // namespace buckwild::fixed
+
+#endif // BUCKWILD_FIXED_FIXED_POINT_H

@@ -1,0 +1,18 @@
+#include "fixed/nibble.h"
+
+namespace buckwild::fixed {
+
+void
+pack_nibbles(const std::int8_t* in, std::uint8_t* packed, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i) store_nibble(packed, i, in[i]);
+}
+
+void
+unpack_nibbles(const std::uint8_t* packed, std::int8_t* out, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = static_cast<std::int8_t>(load_nibble(packed, i));
+}
+
+} // namespace buckwild::fixed

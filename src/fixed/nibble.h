@@ -1,0 +1,76 @@
+/**
+ * @file
+ * 4-bit ("nibble") packed fixed-point storage (§6.1, Fig 5c).
+ *
+ * AVX2 has no 4-bit arithmetic, so the paper evaluates a hypothetical D4M4
+ * Buckwild! using 8-bit proxies. We store 4-bit values packed two per byte
+ * (low nibble = even index) so the memory footprint — and hence the
+ * bandwidth behaviour — is genuinely 4-bit, and provide pack/unpack
+ * helpers that the emulated 4-bit kernels use.
+ */
+#ifndef BUCKWILD_FIXED_NIBBLE_H
+#define BUCKWILD_FIXED_NIBBLE_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace buckwild::fixed {
+
+/// Signed 4-bit range.
+inline constexpr int kNibbleMin = -8;
+inline constexpr int kNibbleMax = 7;
+
+/// Saturates an int into [-8, 7].
+inline int
+saturate_nibble(int v)
+{
+    if (v < kNibbleMin) return kNibbleMin;
+    if (v > kNibbleMax) return kNibbleMax;
+    return v;
+}
+
+/// Sign-extends the low 4 bits of `v`.
+inline int
+sign_extend_nibble(std::uint8_t v)
+{
+    const int x = v & 0xF;
+    return x >= 8 ? x - 16 : x;
+}
+
+/// Number of bytes needed to hold `n` packed nibbles.
+inline std::size_t
+packed_nibble_bytes(std::size_t n)
+{
+    return (n + 1) / 2;
+}
+
+/// Reads element `i` from a packed nibble array.
+inline int
+load_nibble(const std::uint8_t* packed, std::size_t i)
+{
+    const std::uint8_t byte = packed[i / 2];
+    return sign_extend_nibble((i % 2 == 0) ? byte : byte >> 4);
+}
+
+/// Writes (saturated) element `i` of a packed nibble array.
+inline void
+store_nibble(std::uint8_t* packed, std::size_t i, int value)
+{
+    const auto v = static_cast<std::uint8_t>(saturate_nibble(value) & 0xF);
+    std::uint8_t& byte = packed[i / 2];
+    if (i % 2 == 0)
+        byte = static_cast<std::uint8_t>((byte & 0xF0) | v);
+    else
+        byte = static_cast<std::uint8_t>((byte & 0x0F) | (v << 4));
+}
+
+/// Packs `n` int8 values (assumed already in [-8, 7]; saturated otherwise).
+void pack_nibbles(const std::int8_t* in, std::uint8_t* packed, std::size_t n);
+
+/// Unpacks `n` nibbles to int8.
+void unpack_nibbles(const std::uint8_t* packed, std::int8_t* out,
+                    std::size_t n);
+
+} // namespace buckwild::fixed
+
+#endif // BUCKWILD_FIXED_NIBBLE_H

@@ -1,0 +1,11 @@
+#include "fixed/quantize.h"
+
+namespace buckwild::fixed {
+
+const char*
+to_string(Rounding mode)
+{
+    return mode == Rounding::kBiased ? "biased" : "unbiased";
+}
+
+} // namespace buckwild::fixed

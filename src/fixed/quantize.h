@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Quantizers: real -> fixed-point conversion with biased or unbiased
+ * rounding (§3 "Model numbers", §5.2).
+ *
+ * Biased (nearest-neighbor) rounding maps x to the closest representable
+ * value. Unbiased (stochastic) rounding implements Eq. (4) of the paper:
+ *
+ *     Q(x) = floor(x + rand()),   rand() uniform on [0, 1)
+ *
+ * in units of the format's quantum, so E[Q(x)] = x for any x in range.
+ * Both quantizers saturate at the format bounds (matching the behaviour of
+ * hardware pack-with-saturation instructions used by the SIMD kernels).
+ */
+#ifndef BUCKWILD_FIXED_QUANTIZE_H
+#define BUCKWILD_FIXED_QUANTIZE_H
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+#include "fixed/fixed_point.h"
+#include "rng/random_source.h"
+
+namespace buckwild::fixed {
+
+/// Saturates a raw (quantum-unit) value into `fmt`'s representable range.
+inline long
+saturate_raw(long raw, const FixedFormat& fmt)
+{
+    if (raw < fmt.raw_min()) return fmt.raw_min();
+    if (raw > fmt.raw_max()) return fmt.raw_max();
+    return raw;
+}
+
+/// Nearest-neighbor ("biased") rounding of real `x` to raw units of `fmt`.
+inline long
+quantize_biased_raw(double x, const FixedFormat& fmt)
+{
+    const double scaled = x / fmt.quantum();
+    return saturate_raw(std::lround(scaled), fmt);
+}
+
+/**
+ * Unbiased (stochastic) rounding of real `x` to raw units of `fmt`,
+ * per Eq. (4): floor(scaled + u), u ~ U[0, 1).
+ *
+ * Saturation at the ends of the range technically reintroduces bias for
+ * out-of-range inputs; in-range inputs are exactly unbiased.
+ */
+inline long
+quantize_unbiased_raw(double x, const FixedFormat& fmt,
+                      rng::RandomWordSource& source)
+{
+    const double scaled = x / fmt.quantum();
+    const double u = static_cast<double>(source.next_unit_float());
+    return saturate_raw(static_cast<long>(std::floor(scaled + u)), fmt);
+}
+
+/// Reconstructs the real value of raw units under `fmt`.
+inline double
+dequantize(long raw, const FixedFormat& fmt)
+{
+    return static_cast<double>(raw) * fmt.quantum();
+}
+
+/// Rounding mode selector used throughout the trainer API.
+enum class Rounding {
+    kBiased,   ///< nearest-neighbor
+    kUnbiased, ///< stochastic, Eq. (4)
+};
+
+/// "biased" / "unbiased".
+const char* to_string(Rounding mode);
+
+/**
+ * Array quantizer: fills `out[0..n)` (Rep = int8_t or int16_t) from float
+ * input. For kUnbiased, `source` supplies the randomness (one word per
+ * element consumed — shared-randomness sources simply return repeated
+ * words, so the same code path exercises all three §5.2 strategies).
+ */
+template <typename Rep>
+void
+quantize_array(const float* in, Rep* out, std::size_t n,
+               const FixedFormat& fmt, Rounding mode,
+               rng::RandomWordSource* source)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        const long raw = (mode == Rounding::kBiased)
+            ? quantize_biased_raw(in[i], fmt)
+            : quantize_unbiased_raw(in[i], fmt, *source);
+        out[i] = static_cast<Rep>(raw);
+    }
+}
+
+/// Array dequantizer: floats from fixed-point reps.
+template <typename Rep>
+void
+dequantize_array(const Rep* in, float* out, std::size_t n,
+                 const FixedFormat& fmt)
+{
+    const float q = static_cast<float>(fmt.quantum());
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = static_cast<float>(in[i]) * q;
+}
+
+} // namespace buckwild::fixed
+
+#endif // BUCKWILD_FIXED_QUANTIZE_H

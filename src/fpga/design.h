@@ -1,0 +1,64 @@
+/**
+ * @file
+ * FPGA design-space types for the §8 study.
+ *
+ * The paper implements linear-regression SGD on an Altera Stratix V via
+ * DHDL, exploring: dataset/model precision (the DMGC axes), SIMD lane
+ * count ("effectively any length"), plain vs mini-batch SGD, and a
+ * 2-stage (data-load / data-process) vs 3-stage (load / error-compute /
+ * update-compute) pipeline (Fig 7c). We reproduce that exploration with
+ * a parameterized analytic model: resource estimation (DSP/BRAM/ALM),
+ * a DRAM burst model with per-command issue overhead, pipeline-rate
+ * throughput, and a power model for GNPS/watt.
+ */
+#ifndef BUCKWILD_FPGA_DESIGN_H
+#define BUCKWILD_FPGA_DESIGN_H
+
+#include <cstddef>
+#include <string>
+
+namespace buckwild::fpga {
+
+/// The two dataflow structures of Fig 7c.
+enum class PipelineShape {
+    kTwoStage,   ///< load | process (process reads each element twice)
+    kThreeStage, ///< load | error-compute | update-compute (BRAM copy)
+};
+
+/// "2-stage" / "3-stage".
+std::string to_string(PipelineShape shape);
+
+/// One point in the design space.
+struct DesignPoint
+{
+    int dataset_bits = 8;  ///< D precision (4, 8, 16, or 32 for float)
+    int model_bits = 8;    ///< M precision
+    std::size_t lanes = 32;   ///< SIMD elements processed per cycle
+    PipelineShape shape = PipelineShape::kTwoStage;
+    std::size_t batch_size = 1; ///< examples per model update
+    bool unbiased_rounding = true; ///< XORSHIFT dither modules on chip
+
+    std::size_t model_size = 1 << 14; ///< n (model must fit in BRAM)
+    std::string to_string() const;
+};
+
+/// The target device (defaults: Stratix V GS 5SGSD8-class).
+struct Device
+{
+    std::size_t alms = 262400;
+    std::size_t dsps = 1963;
+    std::size_t bram_kbits = 2567 * 20; ///< M20K blocks x 20 kbit
+    double clock_mhz = 200.0;
+    double dram_gbps = 12.8;      ///< off-chip bandwidth, GB/s
+    double burst_bytes = 64.0;    ///< one DRAM burst
+    double command_overhead_cycles = 24.0; ///< per memory command issue
+    double static_watts = 8.0;
+    /// Dynamic power per utilized resource (rough Stratix-V-class fits).
+    double watts_per_dsp = 0.0025;
+    double watts_per_alm = 2.0e-5;
+    double watts_per_bram_kbit = 6.0e-5;
+};
+
+} // namespace buckwild::fpga
+
+#endif // BUCKWILD_FPGA_DESIGN_H

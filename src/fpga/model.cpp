@@ -1,0 +1,160 @@
+#include "fpga/model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace buckwild::fpga {
+
+std::string
+to_string(PipelineShape shape)
+{
+    return shape == PipelineShape::kTwoStage ? "2-stage" : "3-stage";
+}
+
+std::string
+DesignPoint::to_string() const
+{
+    return "D" + std::to_string(dataset_bits) + "M" +
+           std::to_string(model_bits) + " x" + std::to_string(lanes) + " " +
+           fpga::to_string(shape) + " B" + std::to_string(batch_size) +
+           (unbiased_rounding ? " unbiased" : " biased");
+}
+
+bool
+ResourceEstimate::fits(const Device& dev) const
+{
+    return dsp_frac(dev) <= 1.0 && alm_frac(dev) <= 1.0 &&
+           bram_frac(dev) <= 1.0;
+}
+
+namespace {
+
+void
+validate(const DesignPoint& d)
+{
+    if (d.dataset_bits != 4 && d.dataset_bits != 8 && d.dataset_bits != 16 &&
+        d.dataset_bits != 32)
+        fatal("dataset_bits must be 4, 8, 16, or 32");
+    if (d.model_bits != 4 && d.model_bits != 8 && d.model_bits != 16 &&
+        d.model_bits != 32)
+        fatal("model_bits must be 4, 8, 16, or 32");
+    if (d.lanes == 0) fatal("lanes must be >= 1");
+    if (d.batch_size == 0) fatal("batch_size must be >= 1");
+    if (d.model_size == 0) fatal("model_size must be >= 1");
+}
+
+/// MAC lanes one DSP block provides at a given multiplier width
+/// (9x9 packing for narrow fixed point, DSP pairs + glue for fp32).
+double
+macs_per_dsp(int bits)
+{
+    switch (bits) {
+      case 4: return 4.0;
+      case 8: return 3.0;
+      case 16: return 2.0;
+      default: return 0.5; // fp32 needs ~2 DSPs per multiply
+    }
+}
+
+/// ALM glue per MAC lane (accumulators, muxing, rounding datapath).
+double
+alms_per_lane(int dataset_bits, int model_bits)
+{
+    return 30.0 + 1.5 * static_cast<double>(dataset_bits + model_bits);
+}
+
+} // namespace
+
+ResourceEstimate
+estimate_resources(const DesignPoint& d, const Device& dev)
+{
+    validate(d);
+    (void)dev;
+    ResourceEstimate r;
+
+    // One MAC per lane for the dot; the AXPY multiplier is shared (the
+    // stages are time-multiplexed against memory), plus one multiplier
+    // per lane for the update path in the 3-stage shape.
+    const double mac_lanes = static_cast<double>(d.lanes) *
+                             (d.shape == PipelineShape::kThreeStage ? 2.0
+                                                                    : 1.5);
+    const int mult_bits = std::max(d.dataset_bits, d.model_bits);
+    r.dsps = mac_lanes / macs_per_dsp(mult_bits);
+
+    r.alms = static_cast<double>(d.lanes) *
+             alms_per_lane(d.dataset_bits, d.model_bits);
+    if (d.unbiased_rounding) {
+        // One 128-bit XORSHIFT module per 32 lanes (~400 ALMs each).
+        r.alms += 400.0 * std::ceil(static_cast<double>(d.lanes) / 32.0);
+    }
+    r.alms += 5000.0; // control, AGUs, memory command generators
+
+    // BRAM: model + example buffering. The 3-stage shape double-buffers
+    // the example data (the stage-2 -> stage-3 copy); mini-batching
+    // buffers B examples.
+    const double model_kbits =
+        static_cast<double>(d.model_size) * d.model_bits / 1024.0;
+    const double example_kbits = static_cast<double>(d.model_size) *
+                                 d.dataset_bits / 1024.0 *
+                                 static_cast<double>(d.batch_size);
+    const double copies =
+        d.shape == PipelineShape::kThreeStage ? 2.0 : 1.0;
+    r.bram_kbits = model_kbits + copies * example_kbits;
+    return r;
+}
+
+ThroughputEstimate
+estimate_throughput(const DesignPoint& d, const Device& dev)
+{
+    validate(d);
+    ThroughputEstimate t;
+
+    // ---- memory side: sustained elements/cycle from DRAM.
+    const double cycles_per_second = dev.clock_mhz * 1e6;
+    const double bytes_per_cycle = dev.dram_gbps * 1e9 / cycles_per_second;
+    const double example_bytes =
+        static_cast<double>(d.model_size) * d.dataset_bits / 8.0;
+    t.bursts_per_example = example_bytes / dev.burst_bytes;
+    // One command sequence fetches a whole batch; its issue overhead is
+    // paid once per command.
+    const double bursts_per_command =
+        t.bursts_per_example * static_cast<double>(d.batch_size);
+    const double burst_cycles = dev.burst_bytes / bytes_per_cycle;
+    const double command_cycles =
+        dev.command_overhead_cycles + bursts_per_command * burst_cycles;
+    const double elements_per_command =
+        static_cast<double>(d.model_size) *
+        static_cast<double>(d.batch_size);
+    t.memory_elements_per_cycle = elements_per_command / command_cycles;
+
+    // ---- compute side: lanes per cycle; the 2-stage shape reads every
+    // element twice through the process stage.
+    const double reuse = d.shape == PipelineShape::kTwoStage ? 2.0 : 1.0;
+    t.compute_elements_per_cycle = static_cast<double>(d.lanes) / reuse;
+
+    t.elements_per_cycle = std::min(t.memory_elements_per_cycle,
+                                    t.compute_elements_per_cycle);
+    t.memory_bound =
+        t.memory_elements_per_cycle < t.compute_elements_per_cycle;
+    t.gnps = t.elements_per_cycle * cycles_per_second / 1e9;
+    return t;
+}
+
+double
+estimate_watts(const DesignPoint& d, const Device& dev)
+{
+    const ResourceEstimate r = estimate_resources(d, dev);
+    return dev.static_watts + r.dsps * dev.watts_per_dsp +
+           r.alms * dev.watts_per_alm +
+           r.bram_kbits * dev.watts_per_bram_kbit;
+}
+
+double
+gnps_per_watt(const DesignPoint& d, const Device& dev)
+{
+    return estimate_throughput(d, dev).gnps / estimate_watts(d, dev);
+}
+
+} // namespace buckwild::fpga

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Resource, throughput, and power estimation for FPGA SGD designs (§8).
+ *
+ * Resource model:
+ *  - multipliers: a DSP block packs more narrow multiplies (9x9 pairs)
+ *    than wide ones; fp32 needs DSPs plus ALM glue — so halving precision
+ *    "reclaims freed logic resources";
+ *  - BRAM: the model vector, the example buffers (two copies for the
+ *    3-stage shape — "the second stage [copies] data from the BRAM it
+ *    reads from to the BRAM that the third stage reads from"), and the
+ *    mini-batch buffer;
+ *  - ALMs: per-lane datapath glue plus XORSHIFT dither modules when
+ *    unbiased rounding is on.
+ *
+ * Throughput model (elements per cycle):
+ *  - memory: DRAM bandwidth minus per-command issue overhead; plain SGD
+ *    issues one command sequence per example, mini-batch amortizes it
+ *    over B examples — reproducing "mini-batch SGD has the highest
+ *    throughput unless a single data vector spans at least 100 DRAM
+ *    bursts";
+ *  - compute: `lanes` elements per cycle; the 2-stage shape must read
+ *    each element twice through the same datapath (half rate), the
+ *    3-stage shape streams at full rate but needs the extra BRAM copy.
+ *
+ * Dataset throughput GNPS = min(memory, compute) * clock, as in §4.
+ */
+#ifndef BUCKWILD_FPGA_MODEL_H
+#define BUCKWILD_FPGA_MODEL_H
+
+#include <cstddef>
+
+#include "fpga/design.h"
+
+namespace buckwild::fpga {
+
+/// Estimated resource usage of one design.
+struct ResourceEstimate
+{
+    double dsps = 0.0;
+    double alms = 0.0;
+    double bram_kbits = 0.0;
+
+    /// Utilization fractions against a device.
+    double dsp_frac(const Device& dev) const
+    {
+        return dsps / static_cast<double>(dev.dsps);
+    }
+    double alm_frac(const Device& dev) const
+    {
+        return alms / static_cast<double>(dev.alms);
+    }
+    double bram_frac(const Device& dev) const
+    {
+        return bram_kbits / static_cast<double>(dev.bram_kbits);
+    }
+
+    /// True if the design fits on the device.
+    bool fits(const Device& dev) const;
+};
+
+/// Throughput breakdown of one design.
+struct ThroughputEstimate
+{
+    double memory_elements_per_cycle = 0.0;
+    double compute_elements_per_cycle = 0.0;
+    double elements_per_cycle = 0.0; ///< min of the two
+    double gnps = 0.0;               ///< at the device clock
+    bool memory_bound = false;
+
+    /// DRAM bursts one example spans (the §8 crossover variable).
+    double bursts_per_example = 0.0;
+};
+
+/// Estimates resources for a design.
+ResourceEstimate estimate_resources(const DesignPoint& design,
+                                    const Device& device);
+
+/// Estimates throughput for a design on a device.
+ThroughputEstimate estimate_throughput(const DesignPoint& design,
+                                       const Device& device);
+
+/// Estimated total power draw (static + dynamic), watts.
+double estimate_watts(const DesignPoint& design, const Device& device);
+
+/// GNPS per watt — the paper reports 0.339 for the FPGA vs 0.143 for the
+/// Xeon.
+double gnps_per_watt(const DesignPoint& design, const Device& device);
+
+} // namespace buckwild::fpga
+
+#endif // BUCKWILD_FPGA_MODEL_H

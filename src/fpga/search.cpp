@@ -1,0 +1,55 @@
+#include "fpga/search.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace buckwild::fpga {
+
+std::vector<EvaluatedDesign>
+enumerate_designs(const SearchSpace& space, const Device& device)
+{
+    std::vector<EvaluatedDesign> out;
+    for (std::size_t lanes : space.lane_options) {
+        for (PipelineShape shape :
+             {PipelineShape::kTwoStage, PipelineShape::kThreeStage}) {
+            for (std::size_t batch : space.batch_options) {
+                DesignPoint d;
+                d.dataset_bits = space.dataset_bits;
+                d.model_bits = space.model_bits;
+                d.lanes = lanes;
+                d.shape = shape;
+                d.batch_size = batch;
+                d.unbiased_rounding = space.unbiased_rounding;
+                d.model_size = space.model_size;
+
+                EvaluatedDesign e;
+                e.design = d;
+                e.resources = estimate_resources(d, device);
+                if (!e.resources.fits(device)) continue;
+                e.throughput = estimate_throughput(d, device);
+                e.watts = estimate_watts(d, device);
+                out.push_back(e);
+            }
+        }
+    }
+    std::sort(out.begin(), out.end(),
+              [](const EvaluatedDesign& a, const EvaluatedDesign& b) {
+                  if (a.throughput.gnps != b.throughput.gnps)
+                      return a.throughput.gnps > b.throughput.gnps;
+                  // Ties: prefer fewer resources (less area, less power).
+                  return a.watts < b.watts;
+              });
+    return out;
+}
+
+EvaluatedDesign
+best_design(const SearchSpace& space, const Device& device)
+{
+    const auto designs = enumerate_designs(space, device);
+    if (designs.empty())
+        fatal("no design in the search space fits the device");
+    return designs.front();
+}
+
+} // namespace buckwild::fpga

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Heuristic design-space search, in the spirit of DHDL's parameter tuning
+ * ("uses heuristic search to choose optimal parameters for a particular
+ * design", §8).
+ *
+ * Given fixed precisions and a model size, the search sweeps lane counts,
+ * pipeline shapes, and mini-batch sizes, keeps only designs that fit the
+ * device, and returns the Pareto-best by throughput (ties broken by
+ * fewer resources).
+ */
+#ifndef BUCKWILD_FPGA_SEARCH_H
+#define BUCKWILD_FPGA_SEARCH_H
+
+#include <vector>
+
+#include "fpga/model.h"
+
+namespace buckwild::fpga {
+
+/// A fully evaluated candidate design.
+struct EvaluatedDesign
+{
+    DesignPoint design;
+    ResourceEstimate resources;
+    ThroughputEstimate throughput;
+    double watts = 0.0;
+
+    double gnps_per_watt() const
+    {
+        return watts > 0.0 ? throughput.gnps / watts : 0.0;
+    }
+};
+
+/// Search constraints.
+struct SearchSpace
+{
+    int dataset_bits = 8;
+    int model_bits = 8;
+    std::size_t model_size = 1 << 14;
+    bool unbiased_rounding = true;
+    std::vector<std::size_t> lane_options = {8, 16, 32, 64, 128, 256};
+    std::vector<std::size_t> batch_options = {1, 2, 4, 8, 16, 32};
+};
+
+/// Evaluates every (lanes, shape, batch) combination that fits; sorted
+/// descending by GNPS.
+std::vector<EvaluatedDesign> enumerate_designs(const SearchSpace& space,
+                                               const Device& device);
+
+/// The best-fitting design by throughput.
+/// @throws std::runtime_error if nothing fits.
+EvaluatedDesign best_design(const SearchSpace& space, const Device& device);
+
+} // namespace buckwild::fpga
+
+#endif // BUCKWILD_FPGA_SEARCH_H

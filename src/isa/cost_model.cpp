@@ -1,0 +1,76 @@
+#include "isa/cost_model.h"
+
+#include "util/logging.h"
+
+namespace buckwild::isa {
+
+std::string
+to_string(Strategy strategy)
+{
+    switch (strategy) {
+      case Strategy::kCompilerFloatCast: return "compiler";
+      case Strategy::kHandAvx2: return "avx2";
+      case Strategy::kProposedIsa: return "proposed";
+    }
+    fatal("unknown Strategy");
+}
+
+LoopCost
+loop_cost(int dataset_bits, int model_bits, Strategy strategy)
+{
+    // Elements covered by one 256-bit vector of the *narrower* stream
+    // (the loop is structured around it).
+    const int narrow = dataset_bits < model_bits ? dataset_bits
+                                                 : model_bits;
+    const int elements = narrow > 0 ? 256 / narrow : 8;
+
+    auto make = [elements](int dot, int axpy) {
+        return LoopCost{dot, axpy, elements};
+    };
+
+    const bool fixed_fixed = dataset_bits <= 16 && model_bits <= 16;
+
+    switch (strategy) {
+      case Strategy::kCompilerFloatCast:
+        // The float-cast path widens every low-precision element to a
+        // 32-bit float: 4 widen + 4 convert per input stream per vector,
+        // then float multiplies/adds — "almost a dozen instructions" per
+        // fused-op's worth of work, repeated for the four sub-vectors.
+        if (dataset_bits == 32 && model_bits == 32)
+            return make(2, 2); // mul+add / mul+add-store: already float
+        if (fixed_fixed) return make(26, 34);
+        return make(14, 18); // one stream already float
+
+      case Strategy::kHandAvx2:
+        if (dataset_bits == 32 && model_bits == 32)
+            return make(1, 1); // one FMA each
+        if (dataset_bits == 8 && model_bits == 8)
+            // dot: abs, sign, maddubs, madd, add; AXPY: widen x2,
+            // mullo x2, add x2, srai x2, widen w x2, add x2, pack,
+            // permute, max.
+            return make(5, 15);
+        if (fixed_fixed)
+            // 16-bit-involved paths: madd-based dot, 32-bit-lane AXPY.
+            return make(6, 13);
+        return make(4, 3); // mixed fixed/float: widen + cvt + FMA
+
+      case Strategy::kProposedIsa:
+        if (dataset_bits == 4 || model_bits == 4)
+            return make(1, 2); // native 4-bit fused ops
+        if (fixed_fixed) return make(1, 2); // §6.1: dot 1, AXPY 2
+        return make(2, 2);
+    }
+    fatal("unknown Strategy");
+}
+
+double
+predicted_speedup(int dataset_bits, int model_bits, Strategy from,
+                  Strategy to)
+{
+    const double a = loop_cost(dataset_bits, model_bits, from).per_element();
+    const double b = loop_cost(dataset_bits, model_bits, to).per_element();
+    if (b <= 0.0) fatal("degenerate cost");
+    return a / b;
+}
+
+} // namespace buckwild::isa

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Instruction cost model for the SGD inner loops (§5.1 / §6.1).
+ *
+ * Estimates the instruction count per 256-bit vector of the dot and AXPY
+ * inner-loop bodies for each implementation strategy, which is what the
+ * paper's hand-optimization and new-instruction arguments are about:
+ *
+ *  - GCC's float-cast code: "almost a dozen instructions to accomplish
+ *    what the hand-optimized version does in a single instruction";
+ *  - hand-optimized AVX2 (this library's kernels);
+ *  - the §6.1 proposed instructions: dot in 1 instruction, AXPY in 2 —
+ *    "an upper bound on the speedup that can result from new ALU
+ *    instructions", measured at 5-15%.
+ *
+ * The model counts arithmetic/shuffle instructions only (loads/stores are
+ * common to every strategy and typically hidden), so relative counts
+ * approximate relative compute-bound throughput.
+ */
+#ifndef BUCKWILD_ISA_COST_MODEL_H
+#define BUCKWILD_ISA_COST_MODEL_H
+
+#include <string>
+
+namespace buckwild::isa {
+
+/// Implementation strategy being costed.
+enum class Strategy {
+    kCompilerFloatCast, ///< GCC -Ofast on Figure-1-style code
+    kHandAvx2,          ///< §5.1 hand-optimized kernels
+    kProposedIsa,       ///< §6.1 fused instructions
+};
+
+/// "compiler" / "avx2" / "proposed".
+std::string to_string(Strategy strategy);
+
+/// Instruction-count estimate for one (dot + AXPY) inner-loop pass over
+/// one 256-bit vector of data.
+struct LoopCost
+{
+    int dot_instructions;
+    int axpy_instructions;
+    int elements_per_vector; ///< how many numbers one vector covers
+
+    /// Instructions per processed number (lower is better).
+    double
+    per_element() const
+    {
+        return static_cast<double>(dot_instructions + axpy_instructions) /
+               static_cast<double>(elements_per_vector);
+    }
+};
+
+/// Cost of the D-bit dataset / M-bit model inner loop under `strategy`.
+/// Supported widths: 4 (proposed ISA only), 8, 16, 32 (float).
+LoopCost loop_cost(int dataset_bits, int model_bits, Strategy strategy);
+
+/// Predicted compute-bound speedup of `to` over `from` for the same
+/// precisions (ratio of per-element instruction counts).
+double predicted_speedup(int dataset_bits, int model_bits, Strategy from,
+                         Strategy to);
+
+} // namespace buckwild::isa
+
+#endif // BUCKWILD_ISA_COST_MODEL_H

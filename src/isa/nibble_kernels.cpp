@@ -1,0 +1,36 @@
+#include "isa/nibble_kernels.h"
+
+namespace buckwild::isa {
+
+float
+dot_d4m4(const std::uint8_t* x_packed, const std::uint8_t* w_packed,
+         std::size_t n, float scale)
+{
+    std::int64_t acc = 0;
+    for (std::size_t i = 0; i < n; ++i)
+        acc += static_cast<std::int64_t>(fixed::load_nibble(x_packed, i)) *
+               static_cast<std::int64_t>(fixed::load_nibble(w_packed, i));
+    return static_cast<float>(acc) * scale;
+}
+
+void
+axpy_d4m4(std::uint8_t* w_packed, const std::uint8_t* x_packed,
+          std::size_t n, simd::FixedScalar cs,
+          const simd::DitherBlock& dither)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        const int x = fixed::load_nibble(x_packed, i);
+        const int w = fixed::load_nibble(w_packed, i);
+        const std::int32_t delta =
+            (cs.mult * x +
+             static_cast<std::int32_t>(dither.dither_fixed(i, cs.shift))) >>
+            cs.shift;
+        // Symmetric 4-bit model saturation, [-7, 7].
+        int v = w + delta;
+        if (v > 7) v = 7;
+        if (v < -7) v = -7;
+        fixed::store_nibble(w_packed, i, v);
+    }
+}
+
+} // namespace buckwild::isa

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Functional (numerically correct) 4-bit kernels over nibble-packed
+ * arrays, plus a D4M4 training step helper.
+ *
+ * These complement isa/proxy_kernels.h: the proxies measure what native
+ * 4-bit instructions would *cost*; these compute what 4-bit arithmetic
+ * *does* — used by the statistical-efficiency side of Fig 5c ("it often
+ * affects statistical efficiency") and by the D4M4 LeNet sweeps.
+ *
+ * Semantics mirror the 8-bit contract at 4-bit width:
+ *   dot: exact int64 accumulation of nibble products, times scale;
+ *   axpy: delta = (mult * x + dither) >> shift, model saturated to the
+ *         symmetric range [-7, 7].
+ */
+#ifndef BUCKWILD_ISA_NIBBLE_KERNELS_H
+#define BUCKWILD_ISA_NIBBLE_KERNELS_H
+
+#include <cstddef>
+#include <cstdint>
+
+#include "fixed/nibble.h"
+#include "simd/fixed_scalar.h"
+
+namespace buckwild::isa {
+
+/// Fixed-scalar shift for the 4-bit AXPY (dither from bytes, 4 bits).
+inline constexpr int kShiftD4M4 = 4;
+inline constexpr int kMultLimitD4M4 = 255;
+
+/// Builds the 4-bit AXPY scale (model quanta per raw x unit).
+inline simd::FixedScalar
+make_scalar_d4m4(float c)
+{
+    const long raw = std::lround(static_cast<double>(c) * (1 << kShiftD4M4));
+    return {static_cast<std::int32_t>(
+                std::clamp<long>(raw, -kMultLimitD4M4, kMultLimitD4M4)),
+            kShiftD4M4};
+}
+
+/// Exact dot of two nibble-packed vectors of n logical elements.
+float dot_d4m4(const std::uint8_t* x_packed, const std::uint8_t* w_packed,
+               std::size_t n, float scale);
+
+/// In-place 4-bit AXPY: w <- sat4(w + (mult*x + dither) >> shift), with
+/// the dither read from the shared block (masked to `shift` bits).
+void axpy_d4m4(std::uint8_t* w_packed, const std::uint8_t* x_packed,
+               std::size_t n, simd::FixedScalar cs,
+               const simd::DitherBlock& dither);
+
+} // namespace buckwild::isa
+
+#endif // BUCKWILD_ISA_NIBBLE_KERNELS_H

@@ -1,0 +1,136 @@
+#include "isa/proxy_kernels.h"
+
+#ifdef __AVX2__
+#include <immintrin.h>
+#endif
+
+#include "simd/dense_avx2.h"
+#include "simd/dense_ref.h"
+
+namespace buckwild::isa {
+
+#ifndef __AVX2__
+
+// Scalar fallbacks so non-AVX2 builds still link; timings are then not
+// meaningful as instruction proxies.
+float
+dot_d8m8_fused_proxy(const std::int8_t* x, const std::int8_t* w,
+                     std::size_t n)
+{
+    return simd::ref::dot_d8m8(x, w, n, 1.0f);
+}
+
+void
+axpy_d8m8_fused_proxy(std::int8_t* w, const std::int8_t* x, std::size_t n,
+                      simd::FixedScalar cs)
+{
+    simd::ref::axpy_d8m8(w, x, n, cs, simd::biased_fixed(cs.shift));
+}
+
+float
+dot_d4m4_proxy(const std::uint8_t* x_packed, const std::uint8_t* w_packed,
+               std::size_t n)
+{
+    float acc = 0.0f;
+    for (std::size_t i = 0; i < n / 2; ++i)
+        acc += static_cast<float>(x_packed[i]) * w_packed[i];
+    return acc;
+}
+
+void
+axpy_d4m4_proxy(std::uint8_t* w_packed, const std::uint8_t* x_packed,
+                std::size_t n, simd::FixedScalar cs)
+{
+    for (std::size_t i = 0; i < n / 2; ++i)
+        w_packed[i] = static_cast<std::uint8_t>(
+            w_packed[i] + ((cs.mult * x_packed[i]) >> cs.shift));
+}
+
+#else // __AVX2__
+
+namespace {
+
+inline float
+hsum_epi32_as_float(__m256i v)
+{
+    const __m128i s =
+        _mm_add_epi32(_mm256_castsi256_si128(v),
+                      _mm256_extracti128_si256(v, 1));
+    const __m128i s2 = _mm_add_epi32(s, _mm_srli_si128(s, 8));
+    const __m128i s3 = _mm_add_epi32(s2, _mm_srli_si128(s2, 4));
+    return static_cast<float>(_mm_cvtsi128_si32(s3));
+}
+
+} // namespace
+
+float
+dot_d8m8_fused_proxy(const std::int8_t* x, const std::int8_t* w,
+                     std::size_t n)
+{
+    // One vpmaddwd per 32 bytes: the latency proxy for the proposed
+    // "multiply 8-bit, horizontal-add to 32-bit float" instruction. The
+    // operands are reinterpreted as int16, so the value is garbage — only
+    // the instruction count/latency matches the proposal.
+    __m256i acc = _mm256_setzero_si256();
+    std::size_t i = 0;
+    for (; i + 32 <= n; i += 32) {
+        const __m256i xv =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(x + i));
+        const __m256i wv =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + i));
+        acc = _mm256_add_epi32(acc, _mm256_madd_epi16(xv, wv));
+    }
+    float total = hsum_epi32_as_float(acc);
+    for (; i < n; ++i) total += static_cast<float>(x[i]) * w[i];
+    return total;
+}
+
+void
+axpy_d8m8_fused_proxy(std::int8_t* w, const std::int8_t* x, std::size_t n,
+                      simd::FixedScalar cs)
+{
+    // vpmullw (the multiply proxy) + vpaddb (the dither-add/truncate
+    // proxy): two instruction slots per 32 bytes, matching the proposed
+    // AXPY instruction pair.
+    const __m256i mult = _mm256_set1_epi16(static_cast<short>(cs.mult));
+    std::size_t i = 0;
+    for (; i + 32 <= n; i += 32) {
+        const __m256i xv =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(x + i));
+        const __m256i wv =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + i));
+        const __m256i prod = _mm256_mullo_epi16(xv, mult);
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(w + i),
+                            _mm256_add_epi8(wv, prod));
+    }
+    for (; i < n; ++i)
+        w[i] = static_cast<std::int8_t>(w[i] + ((cs.mult * x[i]) >> cs.shift));
+}
+
+float
+dot_d4m4_proxy(const std::uint8_t* x_packed, const std::uint8_t* w_packed,
+               std::size_t n)
+{
+    // The paper's assumption: native 4-bit instructions with "the same
+    // latency characteristics as their 8-bit equivalents". So the proxy
+    // is exactly the hand-optimized 8-bit dot run over the packed byte
+    // stream (half the bytes of the logical 8-bit problem).
+    return simd::avx2::dot_d8m8(
+        reinterpret_cast<const std::int8_t*>(x_packed),
+        reinterpret_cast<const std::int8_t*>(w_packed), n / 2, 1.0f);
+}
+
+void
+axpy_d4m4_proxy(std::uint8_t* w_packed, const std::uint8_t* x_packed,
+                std::size_t n, simd::FixedScalar cs)
+{
+    // Likewise: the full 8-bit AXPY chain over half the bytes.
+    static const simd::DitherBlock kDither = simd::biased_fixed(cs.shift);
+    simd::avx2::axpy_d8m8(reinterpret_cast<std::int8_t*>(w_packed),
+                          reinterpret_cast<const std::int8_t*>(x_packed),
+                          n / 2, cs, kDither);
+}
+
+#endif // __AVX2__
+
+} // namespace buckwild::isa

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Proxy kernels for the proposed vector ALU instructions (§6.1).
+ *
+ * The paper evaluates hypothetical instructions by running "an existing
+ * ALU instruction ... as a proxy in place of the new instruction": the
+ * proxy program produces *invalid output* but, because the proxied
+ * instruction has the same latency class and does not affect control
+ * flow, its runtime is exactly the runtime the program would have with
+ * the real instruction.
+ *
+ * Two families are modeled:
+ *
+ *  1. The §6.1 fused instructions for D8M8:
+ *     - a dot instruction that multiplies signed 8-bit vectors into
+ *       16-bit intermediates and horizontally reduces to 32-bit floats
+ *       (proxied by `vpmaddwd`), collapsing the dot inner loop to ONE
+ *       instruction per vector;
+ *     - an AXPY instruction that multiplies an 8-bit vector by a scalar,
+ *       adds a hardware-generated pseudorandom dither, and truncates
+ *       (proxied by `vpmullw` + add), collapsing the AXPY body to TWO
+ *       instructions.
+ *
+ *  2. Hypothetical 4-bit (D4M4) arithmetic: nibble-packed arrays are
+ *     processed with the 8-bit instructions as latency proxies — half the
+ *     memory traffic, same per-vector instruction latency (Fig 5c).
+ *
+ * WARNING: every function here returns numerically meaningless results by
+ * design. Use isa/nibble_kernels.h for *functional* 4-bit arithmetic.
+ */
+#ifndef BUCKWILD_ISA_PROXY_KERNELS_H
+#define BUCKWILD_ISA_PROXY_KERNELS_H
+
+#include <cstddef>
+#include <cstdint>
+
+#include "simd/fixed_scalar.h"
+
+namespace buckwild::isa {
+
+/// Timing proxy for the proposed fused D8M8 dot instruction: one
+/// vpmaddwd-class instruction per 32 bytes. Output is invalid.
+float dot_d8m8_fused_proxy(const std::int8_t* x, const std::int8_t* w,
+                           std::size_t n);
+
+/// Timing proxy for the proposed D8M8 AXPY instruction with hardware
+/// dither: two instruction-slots per 32 bytes. Output is invalid.
+void axpy_d8m8_fused_proxy(std::int8_t* w, const std::int8_t* x,
+                           std::size_t n, simd::FixedScalar cs);
+
+/// Timing proxy for a native 4-bit dot on nibble-packed arrays: the
+/// packed byte stream (n/2 bytes for n logical elements) is processed
+/// with 8-bit-latency instructions. Output is invalid.
+float dot_d4m4_proxy(const std::uint8_t* x_packed,
+                     const std::uint8_t* w_packed, std::size_t n);
+
+/// Timing proxy for a native 4-bit AXPY on nibble-packed arrays.
+/// Output is invalid.
+void axpy_d4m4_proxy(std::uint8_t* w_packed, const std::uint8_t* x_packed,
+                     std::size_t n, simd::FixedScalar cs);
+
+} // namespace buckwild::isa
+
+#endif // BUCKWILD_ISA_PROXY_KERNELS_H

@@ -1,0 +1,76 @@
+#include "nn/conv_lowp.h"
+
+#include <type_traits>
+
+#include "rng/xorshift.h"
+
+namespace buckwild::nn {
+
+namespace {
+
+template <typename T>
+T
+random_rep(rng::Xorshift128& gen)
+{
+    if constexpr (std::is_same_v<T, float>) {
+        return rng::to_unit_float(gen()) * 2.0f - 1.0f;
+    } else {
+        // Symmetric range, matching the kernel contracts.
+        const int lim = std::is_same_v<T, std::int8_t> ? 127 : 32767;
+        return static_cast<T>(
+            static_cast<int>(gen() % (2 * lim + 1)) - lim);
+    }
+}
+
+template <typename T>
+constexpr float
+quantum_of()
+{
+    if constexpr (std::is_same_v<T, float>)
+        return 1.0f;
+    else if constexpr (std::is_same_v<T, std::int8_t>)
+        return 1.0f / 64.0f;
+    else
+        return 1.0f / 16384.0f;
+}
+
+} // namespace
+
+template <typename D, typename M>
+LowpConv<D, M>::LowpConv(const ConvShape& shape, std::uint32_t seed)
+    : shape_(shape), patches_(shape.patches() * shape.patch_elements()),
+      filters_(shape.filters * shape.patch_elements()),
+      qd_(quantum_of<D>()), qm_(quantum_of<M>())
+{
+    // The throughput experiment is data-independent: fill the im2col
+    // buffer and filter bank with synthetic values directly. (A real
+    // deployment would run im2col per image; its cost is also linear in
+    // the data precision, so it does not change the Fig 7a shape.)
+    rng::Xorshift128 gen(seed);
+    for (auto& v : patches_) v = random_rep<D>(gen);
+    for (auto& v : filters_) v = random_rep<M>(gen);
+}
+
+template <typename D, typename M>
+std::vector<float>
+LowpConv<D, M>::forward(simd::Impl impl)
+{
+    const std::size_t k = shape_.patch_elements();
+    std::vector<float> out(shape_.filters * shape_.patches());
+    for (std::size_t f = 0; f < shape_.filters; ++f) {
+        const M* wf = filters_.data() + f * k;
+        float* out_row = out.data() + f * shape_.patches();
+        for (std::size_t p = 0; p < shape_.patches(); ++p) {
+            out_row[p] = simd::DenseOps<D, M>::dot(
+                impl, patches_.data() + p * k, wf, k, qd_, qm_);
+        }
+    }
+    return out;
+}
+
+template class LowpConv<std::int8_t, std::int8_t>;
+template class LowpConv<std::int16_t, std::int16_t>;
+template class LowpConv<std::int8_t, std::int16_t>;
+template class LowpConv<float, float>;
+
+} // namespace buckwild::nn

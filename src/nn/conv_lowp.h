@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Genuinely low-precision convolution forward pass (Fig 7a).
+ *
+ * §7 measures "the throughput of a convolution layer as a proxy for the
+ * hardware efficiency of the system", on a layer "structured identically
+ * to the first convolution layer from Caffe's AlexNet example"
+ * (227x227x3 input, 96 filters of 11x11x3, stride 4 -> 55x55x96).
+ *
+ * The layer is lowered to im2col + GEMM, and the GEMM inner products run
+ * through the same hand-optimized kernels as the SGD engine (simd::
+ * DenseOps), so the Fig 7a expectation — throughput linear in 1/bits when
+ * hand-optimized, flat when compiled naively — follows from the same
+ * code paths as the rest of the paper.
+ */
+#ifndef BUCKWILD_NN_CONV_LOWP_H
+#define BUCKWILD_NN_CONV_LOWP_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "simd/ops.h"
+#include "util/aligned_buffer.h"
+
+namespace buckwild::nn {
+
+/// Geometry of a convolution layer.
+struct ConvShape
+{
+    std::size_t in_channels = 3;
+    std::size_t in_size = 227;  ///< square input
+    std::size_t filters = 96;
+    std::size_t kernel = 11;
+    std::size_t stride = 4;
+
+    /// AlexNet conv1, the paper's proxy layer.
+    static ConvShape alexnet_conv1() { return {}; }
+
+    std::size_t out_size() const
+    {
+        return (in_size - kernel) / stride + 1;
+    }
+    std::size_t patch_elements() const
+    {
+        return in_channels * kernel * kernel;
+    }
+    std::size_t patches() const { return out_size() * out_size(); }
+
+    /// MACs of one forward pass.
+    double
+    macs() const
+    {
+        return static_cast<double>(filters) *
+               static_cast<double>(patches()) *
+               static_cast<double>(patch_elements());
+    }
+};
+
+/**
+ * A convolution layer lowered to quantized im2col + GEMM with rep types
+ * D (activations / im2col patches) and M (filter weights).
+ */
+template <typename D, typename M>
+class LowpConv
+{
+  public:
+    explicit LowpConv(const ConvShape& shape, std::uint32_t seed = 1);
+
+    /// Runs one forward pass over a synthetic image; returns the output
+    /// volume (filters x out x out) in floats. `impl` selects kernels.
+    std::vector<float> forward(simd::Impl impl);
+
+    const ConvShape& shape() const { return shape_; }
+
+  private:
+    ConvShape shape_;
+    AlignedBuffer<D> patches_;  ///< patches() x patch_elements (row-major)
+    AlignedBuffer<M> filters_;  ///< filters x patch_elements
+    float qd_;
+    float qm_;
+};
+
+// Implemented for: (int8, int8), (int16, int16), (float, float),
+// (int8, int16). Explicit instantiations live in conv_lowp.cpp.
+
+} // namespace buckwild::nn
+
+#endif // BUCKWILD_NN_CONV_LOWP_H

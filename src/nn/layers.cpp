@@ -1,0 +1,231 @@
+#include "nn/layers.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace buckwild::nn {
+
+namespace {
+
+/// He-style uniform init in [-s, s], then snapped to the weight grid.
+void
+init_weights(std::vector<float>& w, float scale, QuantSpec spec,
+             rng::Xorshift128& gen)
+{
+    for (auto& v : w) {
+        v = (rng::to_unit_float(gen()) * 2.0f - 1.0f) * scale;
+        v = quantize(v, spec, gen);
+    }
+}
+
+} // namespace
+
+Conv2d::Conv2d(std::size_t in_channels, std::size_t out_channels,
+               std::size_t kernel, QuantSpec weight_spec, std::uint32_t seed)
+    : in_channels_(in_channels), out_channels_(out_channels),
+      kernel_(kernel), spec_(weight_spec),
+      weights_(out_channels * in_channels * kernel * kernel),
+      bias_(out_channels, 0.0f), gen_(seed)
+{
+    if (kernel == 0 || in_channels == 0 || out_channels == 0)
+        fatal("Conv2d requires positive dimensions");
+    const float scale = std::sqrt(
+        2.0f / static_cast<float>(in_channels * kernel * kernel));
+    init_weights(weights_, scale, spec_, gen_);
+}
+
+Volume
+Conv2d::forward(const Volume& in)
+{
+    if (in.channels != in_channels_)
+        fatal("Conv2d input channel mismatch");
+    if (in.height < kernel_ || in.width < kernel_)
+        fatal("Conv2d input smaller than kernel");
+    input_ = in;
+    const std::size_t oh = in.height - kernel_ + 1;
+    const std::size_t ow = in.width - kernel_ + 1;
+    Volume out(out_channels_, oh, ow);
+    for (std::size_t f = 0; f < out_channels_; ++f) {
+        const float* wf =
+            weights_.data() + f * in_channels_ * kernel_ * kernel_;
+        for (std::size_t y = 0; y < oh; ++y) {
+            for (std::size_t x = 0; x < ow; ++x) {
+                float acc = bias_[f];
+                const float* wk = wf;
+                for (std::size_t c = 0; c < in_channels_; ++c)
+                    for (std::size_t ky = 0; ky < kernel_; ++ky)
+                        for (std::size_t kx = 0; kx < kernel_; ++kx)
+                            acc += *wk++ * in.at(c, y + ky, x + kx);
+                out.at(f, y, x) = acc;
+            }
+        }
+    }
+    return out;
+}
+
+Volume
+Conv2d::backward(const Volume& grad_out, float eta)
+{
+    const std::size_t oh = grad_out.height;
+    const std::size_t ow = grad_out.width;
+    Volume grad_in(in_channels_, input_.height, input_.width);
+    std::vector<float> grad_w(weights_.size(), 0.0f);
+    std::vector<float> grad_b(out_channels_, 0.0f);
+
+    for (std::size_t f = 0; f < out_channels_; ++f) {
+        const float* wf =
+            weights_.data() + f * in_channels_ * kernel_ * kernel_;
+        float* gwf = grad_w.data() + f * in_channels_ * kernel_ * kernel_;
+        for (std::size_t y = 0; y < oh; ++y) {
+            for (std::size_t x = 0; x < ow; ++x) {
+                const float g = grad_out.at(f, y, x);
+                if (g == 0.0f) continue;
+                grad_b[f] += g;
+                std::size_t k = 0;
+                for (std::size_t c = 0; c < in_channels_; ++c)
+                    for (std::size_t ky = 0; ky < kernel_; ++ky)
+                        for (std::size_t kx = 0; kx < kernel_; ++kx, ++k) {
+                            gwf[k] += g * input_.at(c, y + ky, x + kx);
+                            grad_in.at(c, y + ky, x + kx) += g * wf[k];
+                        }
+            }
+        }
+    }
+    // SGD step with grid re-quantization (Buckwild! semantics).
+    for (std::size_t k = 0; k < weights_.size(); ++k)
+        weights_[k] = quantize(weights_[k] - eta * grad_w[k], spec_, gen_);
+    for (std::size_t f = 0; f < out_channels_; ++f)
+        bias_[f] -= eta * grad_b[f]; // biases stay full precision
+    return grad_in;
+}
+
+Volume
+MaxPool2::forward(const Volume& in)
+{
+    input_ = in;
+    const std::size_t oh = in.height / 2;
+    const std::size_t ow = in.width / 2;
+    Volume out(in.channels, oh, ow);
+    argmax_.assign(out.size(), 0);
+    for (std::size_t c = 0; c < in.channels; ++c) {
+        for (std::size_t y = 0; y < oh; ++y) {
+            for (std::size_t x = 0; x < ow; ++x) {
+                float best = in.at(c, 2 * y, 2 * x);
+                std::size_t best_idx =
+                    (c * in.height + 2 * y) * in.width + 2 * x;
+                for (int dy = 0; dy < 2; ++dy)
+                    for (int dx = 0; dx < 2; ++dx) {
+                        const float v = in.at(c, 2 * y + dy, 2 * x + dx);
+                        if (v > best) {
+                            best = v;
+                            best_idx = (c * in.height + 2 * y + dy) *
+                                           in.width +
+                                       2 * x + dx;
+                        }
+                    }
+                out.at(c, y, x) = best;
+                argmax_[(c * oh + y) * ow + x] = best_idx;
+            }
+        }
+    }
+    return out;
+}
+
+Volume
+MaxPool2::backward(const Volume& grad_out)
+{
+    Volume grad_in(input_.channels, input_.height, input_.width);
+    for (std::size_t i = 0; i < grad_out.size(); ++i)
+        grad_in.data[argmax_[i]] += grad_out.data[i];
+    return grad_in;
+}
+
+Volume
+Relu::forward(const Volume& in)
+{
+    input_ = in;
+    Volume out = in;
+    for (auto& v : out.data) v = std::max(0.0f, v);
+    return out;
+}
+
+Volume
+Relu::backward(const Volume& grad_out)
+{
+    Volume grad_in = grad_out;
+    for (std::size_t i = 0; i < grad_in.size(); ++i)
+        if (input_.data[i] <= 0.0f) grad_in.data[i] = 0.0f;
+    return grad_in;
+}
+
+Dense::Dense(std::size_t in_features, std::size_t out_features,
+             QuantSpec weight_spec, std::uint32_t seed)
+    : in_(in_features), out_(out_features), spec_(weight_spec),
+      weights_(in_features * out_features), bias_(out_features, 0.0f),
+      gen_(seed)
+{
+    if (in_features == 0 || out_features == 0)
+        fatal("Dense requires positive dimensions");
+    const float scale =
+        std::sqrt(2.0f / static_cast<float>(in_features));
+    init_weights(weights_, scale, spec_, gen_);
+}
+
+std::vector<float>
+Dense::forward(const std::vector<float>& in)
+{
+    if (in.size() != in_) fatal("Dense input size mismatch");
+    input_ = in;
+    std::vector<float> out(out_);
+    for (std::size_t o = 0; o < out_; ++o) {
+        const float* row = weights_.data() + o * in_;
+        float acc = bias_[o];
+        for (std::size_t k = 0; k < in_; ++k) acc += row[k] * in[k];
+        out[o] = acc;
+    }
+    return out;
+}
+
+std::vector<float>
+Dense::backward(const std::vector<float>& grad_out, float eta)
+{
+    std::vector<float> grad_in(in_, 0.0f);
+    for (std::size_t o = 0; o < out_; ++o) {
+        float* row = weights_.data() + o * in_;
+        const float g = grad_out[o];
+        for (std::size_t k = 0; k < in_; ++k) {
+            grad_in[k] += g * row[k];
+            row[k] = quantize(row[k] - eta * g * input_[k], spec_, gen_);
+        }
+        bias_[o] -= eta * g;
+    }
+    return grad_in;
+}
+
+std::pair<float, std::vector<float>>
+SoftmaxXent::loss_and_grad(const std::vector<float>& logits, int label)
+{
+    const float maxv = *std::max_element(logits.begin(), logits.end());
+    std::vector<float> p(logits.size());
+    float sum = 0.0f;
+    for (std::size_t k = 0; k < logits.size(); ++k) {
+        p[k] = std::exp(logits[k] - maxv);
+        sum += p[k];
+    }
+    for (auto& v : p) v /= sum;
+    const float loss =
+        -std::log(std::max(p[static_cast<std::size_t>(label)], 1e-12f));
+    p[static_cast<std::size_t>(label)] -= 1.0f; // dL/dlogits
+    return {loss, std::move(p)};
+}
+
+int
+SoftmaxXent::predict(const std::vector<float>& logits)
+{
+    return static_cast<int>(
+        std::max_element(logits.begin(), logits.end()) - logits.begin());
+}
+
+} // namespace buckwild::nn

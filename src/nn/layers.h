@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Neural-network layers for the LeNet-style CNN of §7 (Fig 7b).
+ *
+ * Single-example (SGD) forward/backward passes in NCHW layout. Weights
+ * are stored *on the quantization grid* of their QuantSpec: every update
+ * re-quantizes with the configured rounding, reproducing the paper's
+ * Mocha-based simulation of arbitrary-bit-width training. Activations
+ * may also be quantized (the D term of the DMGC model).
+ */
+#ifndef BUCKWILD_NN_LAYERS_H
+#define BUCKWILD_NN_LAYERS_H
+
+#include <cstddef>
+#include <vector>
+
+#include "nn/quantizer.h"
+#include "rng/xorshift.h"
+
+namespace buckwild::nn {
+
+/// 3D activation volume (channels x height x width), flat storage.
+struct Volume
+{
+    std::size_t channels = 0;
+    std::size_t height = 0;
+    std::size_t width = 0;
+    std::vector<float> data;
+
+    Volume() = default;
+    Volume(std::size_t c, std::size_t h, std::size_t w)
+        : channels(c), height(h), width(w), data(c * h * w, 0.0f)
+    {}
+
+    std::size_t size() const { return data.size(); }
+    float&
+    at(std::size_t c, std::size_t y, std::size_t x)
+    {
+        return data[(c * height + y) * width + x];
+    }
+    float
+    at(std::size_t c, std::size_t y, std::size_t x) const
+    {
+        return data[(c * height + y) * width + x];
+    }
+};
+
+/// Valid (no padding), stride-1 2D convolution with bias.
+class Conv2d
+{
+  public:
+    Conv2d(std::size_t in_channels, std::size_t out_channels,
+           std::size_t kernel, QuantSpec weight_spec, std::uint32_t seed);
+
+    /// Forward; caches the input for backward.
+    Volume forward(const Volume& in);
+
+    /// Backward: returns dL/d(input); accumulates nothing — applies the
+    /// SGD step immediately (step size eta), with grid re-quantization.
+    Volume backward(const Volume& grad_out, float eta);
+
+    std::size_t out_channels() const { return out_channels_; }
+    std::size_t kernel() const { return kernel_; }
+    const std::vector<float>& weights() const { return weights_; }
+
+  private:
+    std::size_t in_channels_;
+    std::size_t out_channels_;
+    std::size_t kernel_;
+    QuantSpec spec_;
+    std::vector<float> weights_; ///< [out][in][k][k]
+    std::vector<float> bias_;    ///< [out]
+    Volume input_;
+    rng::Xorshift128 gen_;
+};
+
+/// 2x2 max pooling, stride 2 (odd trailing row/column dropped).
+class MaxPool2
+{
+  public:
+    Volume forward(const Volume& in);
+    Volume backward(const Volume& grad_out);
+
+  private:
+    Volume input_;
+    std::vector<std::size_t> argmax_;
+};
+
+/// Elementwise ReLU.
+class Relu
+{
+  public:
+    Volume forward(const Volume& in);
+    Volume backward(const Volume& grad_out);
+
+  private:
+    Volume input_;
+};
+
+/// Fully connected layer with bias.
+class Dense
+{
+  public:
+    Dense(std::size_t in_features, std::size_t out_features,
+          QuantSpec weight_spec, std::uint32_t seed);
+
+    std::vector<float> forward(const std::vector<float>& in);
+    std::vector<float> backward(const std::vector<float>& grad_out,
+                                float eta);
+
+    std::size_t in_features() const { return in_; }
+    std::size_t out_features() const { return out_; }
+    const std::vector<float>& weights() const { return weights_; }
+
+  private:
+    std::size_t in_;
+    std::size_t out_;
+    QuantSpec spec_;
+    std::vector<float> weights_; ///< [out][in]
+    std::vector<float> bias_;
+    std::vector<float> input_;
+    rng::Xorshift128 gen_;
+};
+
+/// Softmax + cross-entropy head.
+struct SoftmaxXent
+{
+    /// Returns (loss, gradient wrt logits) for the true label.
+    static std::pair<float, std::vector<float>> loss_and_grad(
+        const std::vector<float>& logits, int label);
+
+    /// Index of the max logit.
+    static int predict(const std::vector<float>& logits);
+};
+
+} // namespace buckwild::nn
+
+#endif // BUCKWILD_NN_LAYERS_H

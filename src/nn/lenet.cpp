@@ -1,0 +1,102 @@
+#include "nn/lenet.h"
+
+#include "util/logging.h"
+
+namespace buckwild::nn {
+
+namespace {
+
+Volume
+as_volume(const std::vector<float>& v)
+{
+    Volume vol(1, 1, v.size());
+    vol.data = v;
+    return vol;
+}
+
+} // namespace
+
+Lenet::Lenet(const LenetConfig& config)
+    : cfg_(config),
+      conv1_(1, 8, 3, config.weight_spec, config.seed + 1),
+      conv2_(8, 16, 3, config.weight_spec, config.seed + 2),
+      fc1_(64, 32, config.weight_spec, config.seed + 3),
+      fc2_(32, dataset::kDigitClasses, config.weight_spec, config.seed + 4)
+{}
+
+std::vector<float>
+Lenet::forward(const float* image)
+{
+    Volume in(1, dataset::kDigitSide, dataset::kDigitSide);
+    std::copy(image, image + dataset::kDigitPixels, in.data.begin());
+    quantize_array(in.data.data(), in.size(), cfg_.activation_spec,
+                   act_gen_);
+
+    Volume v = pool1_.forward(relu1_.forward(conv1_.forward(in)));
+    quantize_array(v.data.data(), v.size(), cfg_.activation_spec, act_gen_);
+    pooled2_ = pool2_.forward(relu2_.forward(conv2_.forward(v)));
+    quantize_array(pooled2_.data.data(), pooled2_.size(),
+                   cfg_.activation_spec, act_gen_);
+    if (pooled2_.size() != fc1_.in_features())
+        panic("LeNet flatten size mismatch");
+
+    std::vector<float> flat = pooled2_.data;
+    std::vector<float> h = fc1_.forward(flat);
+    const Volume hr = relu3_.forward(as_volume(h));
+    return fc2_.forward(hr.data);
+}
+
+int
+Lenet::predict(const float* image)
+{
+    return SoftmaxXent::predict(forward(image));
+}
+
+LenetMetrics
+Lenet::train(const dataset::DigitDataset& train,
+             const dataset::DigitDataset& test)
+{
+    LenetMetrics metrics;
+    float eta = cfg_.step_size;
+    for (std::size_t epoch = 0; epoch < cfg_.epochs; ++epoch) {
+        double loss_sum = 0.0;
+        for (std::size_t i = 0; i < train.count; ++i) {
+            const std::vector<float> logits = forward(train.image(i));
+            auto [loss, grad] =
+                SoftmaxXent::loss_and_grad(logits, train.labels[i]);
+            loss_sum += loss;
+
+            // Backward through the stack, applying SGD steps in place.
+            std::vector<float> g = fc2_.backward(grad, eta);
+            const Volume gr = relu3_.backward(as_volume(g));
+            g = fc1_.backward(gr.data, eta);
+
+            Volume gv(pooled2_.channels, pooled2_.height, pooled2_.width);
+            gv.data = g;
+            Volume back = pool2_.backward(gv);
+            back = relu2_.backward(back);
+            back = conv2_.backward(back, eta);
+            back = pool1_.backward(back);
+            back = relu1_.backward(back);
+            conv1_.backward(back, eta);
+        }
+        metrics.train_loss_trace.push_back(
+            loss_sum / static_cast<double>(train.count));
+        eta *= cfg_.step_decay;
+    }
+
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < train.count; ++i)
+        if (predict(train.image(i)) == train.labels[i]) ++correct;
+    metrics.train_accuracy =
+        static_cast<double>(correct) / static_cast<double>(train.count);
+
+    correct = 0;
+    for (std::size_t i = 0; i < test.count; ++i)
+        if (predict(test.image(i)) == test.labels[i]) ++correct;
+    metrics.test_accuracy =
+        static_cast<double>(correct) / static_cast<double>(test.count);
+    return metrics;
+}
+
+} // namespace buckwild::nn

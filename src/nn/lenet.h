@@ -1,0 +1,81 @@
+/**
+ * @file
+ * A LeNet-style CNN for the Fig 7b experiment: test error vs model
+ * precision under biased/unbiased rounding on the synthetic digit task.
+ *
+ * Architecture (16x16x1 input):
+ *   conv 8@3x3 -> ReLU -> maxpool2   (14x14x8 -> 7x7x8)
+ *   conv 16@3x3 -> ReLU -> maxpool2  (5x5x16  -> 2x2x16)
+ *   dense 64 -> 32 -> ReLU -> dense 32 -> 10 -> softmax
+ *
+ * Every weight tensor lives on the QuantSpec grid; "model precision" in
+ * the Fig 7b sense sets the bits of all layers at once.
+ */
+#ifndef BUCKWILD_NN_LENET_H
+#define BUCKWILD_NN_LENET_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "dataset/digits.h"
+#include "nn/layers.h"
+
+namespace buckwild::nn {
+
+/// Training configuration for the CNN.
+struct LenetConfig
+{
+    QuantSpec weight_spec;     ///< model precision (bits 32 = baseline)
+    /// Activation precision — the D term of the DMGC model applied to the
+    /// network's intermediate feature maps (quantized after every layer).
+    QuantSpec activation_spec;
+    std::size_t epochs = 4;
+    float step_size = 0.02f;
+    float step_decay = 0.85f;
+    std::uint32_t seed = 2017;
+};
+
+/// Training outcome.
+struct LenetMetrics
+{
+    std::vector<double> train_loss_trace;
+    double train_accuracy = 0.0;
+    double test_accuracy = 0.0;
+    double test_error() const { return 1.0 - test_accuracy; }
+};
+
+/// The network.
+class Lenet
+{
+  public:
+    explicit Lenet(const LenetConfig& config);
+
+    /// Trains on `train`, evaluates on `test`.
+    LenetMetrics train(const dataset::DigitDataset& train,
+                       const dataset::DigitDataset& test);
+
+    /// Predicted class of one image (16x16 floats in [-1, 1]).
+    int predict(const float* image);
+
+  private:
+    /// Forward to logits; `training` keeps caches for backward.
+    std::vector<float> forward(const float* image);
+
+    LenetConfig cfg_;
+    Conv2d conv1_;
+    Relu relu1_;
+    MaxPool2 pool1_;
+    Conv2d conv2_;
+    Relu relu2_;
+    MaxPool2 pool2_;
+    Dense fc1_;
+    Relu relu3_;
+    Dense fc2_;
+    Volume pooled2_; ///< cached shape for backward un-flattening
+    rng::Xorshift128 act_gen_{0xACC5};
+};
+
+} // namespace buckwild::nn
+
+#endif // BUCKWILD_NN_LENET_H

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Arbitrary-bit-width quantization for neural-network training (§7).
+ *
+ * The paper "modified Mocha, a deep learning library, to simulate
+ * low-precision arithmetic of arbitrary bit widths": values are kept in
+ * float storage but constrained to a b-bit fixed-point grid, with biased
+ * or unbiased rounding applied on every write. We use the same
+ * methodology for the Fig 7b LeNet study: weights live *on the grid* (no
+ * full-precision master copy — this is real Buckwild! semantics, so
+ * biased rounding can genuinely stall small updates), and updates are
+ * re-quantized on application.
+ */
+#ifndef BUCKWILD_NN_QUANTIZER_H
+#define BUCKWILD_NN_QUANTIZER_H
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+#include "rng/xorshift.h"
+
+namespace buckwild::nn {
+
+/// Rounding mode for grid writes.
+enum class Round {
+    kNearest,    ///< biased
+    kStochastic, ///< unbiased, Eq. (4)
+};
+
+/// A b-bit symmetric fixed-point grid over [-range, +range].
+struct QuantSpec
+{
+    int bits = 32;        ///< 32 = full precision (no quantization)
+    Round round = Round::kStochastic;
+    float range = 2.0f;   ///< representable magnitude
+
+    bool enabled() const { return bits < 32; }
+
+    /// Grid step: range / 2^(bits-1).
+    float
+    quantum() const
+    {
+        return range / static_cast<float>(1 << (bits - 1));
+    }
+};
+
+/// Quantizes one value onto the grid (no-op when disabled).
+inline float
+quantize(float x, const QuantSpec& spec, rng::Xorshift128& gen)
+{
+    if (!spec.enabled()) return x;
+    const float q = spec.quantum();
+    float scaled = x / q;
+    const float limit = static_cast<float>((1 << (spec.bits - 1)) - 1);
+    float raw;
+    if (spec.round == Round::kNearest) {
+        raw = std::nearbyintf(scaled);
+    } else {
+        const float u = rng::to_unit_float(gen());
+        raw = std::floor(scaled + u);
+    }
+    if (raw > limit) raw = limit;
+    if (raw < -limit) raw = -limit;
+    return raw * q;
+}
+
+/// Quantizes an array in place.
+inline void
+quantize_array(float* data, std::size_t n, const QuantSpec& spec,
+               rng::Xorshift128& gen)
+{
+    if (!spec.enabled()) return;
+    for (std::size_t i = 0; i < n; ++i) data[i] = quantize(data[i], spec, gen);
+}
+
+} // namespace buckwild::nn
+
+#endif // BUCKWILD_NN_QUANTIZER_H

@@ -1,0 +1,51 @@
+#include "rng/random_source.h"
+
+#include <stdexcept>
+
+namespace buckwild::rng {
+
+std::string
+to_string(RoundingRng strategy)
+{
+    switch (strategy) {
+      case RoundingRng::kMersenne: return "mersenne";
+      case RoundingRng::kXorshift: return "xorshift";
+      case RoundingRng::kSharedXorshift: return "shared-xorshift";
+    }
+    throw std::invalid_argument("unknown RoundingRng");
+}
+
+SharedXorshiftSource::SharedXorshiftSource(std::size_t period,
+                                           std::uint32_t seed)
+    : gen_(seed), period_(period)
+{
+    if (period == 0)
+        throw std::invalid_argument("shared-randomness period must be >= 1");
+}
+
+std::uint32_t
+SharedXorshiftSource::next_word()
+{
+    if (remaining_ == 0) {
+        current_ = gen_();
+        remaining_ = period_;
+    }
+    --remaining_;
+    return current_;
+}
+
+std::unique_ptr<RandomWordSource>
+make_source(RoundingRng strategy, std::uint32_t seed, std::size_t shared_period)
+{
+    switch (strategy) {
+      case RoundingRng::kMersenne:
+        return std::make_unique<MersenneSource>(seed);
+      case RoundingRng::kXorshift:
+        return std::make_unique<XorshiftSource>(seed);
+      case RoundingRng::kSharedXorshift:
+        return std::make_unique<SharedXorshiftSource>(shared_period, seed);
+    }
+    throw std::invalid_argument("unknown RoundingRng");
+}
+
+} // namespace buckwild::rng

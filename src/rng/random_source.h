@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Randomness sources for unbiased (stochastic) rounding.
+ *
+ * Section 5.2 compares three strategies for generating the `rand()` term of
+ * the unbiased quantizer Q(x) = floor(x + rand()):
+ *
+ *  1. Mersenne twister, one fresh draw per rounded value (the Boost-default
+ *     baseline) — high statistical quality, dominates compute cost.
+ *  2. XORSHIFT, one fresh draw per rounded value — near-identical rounding
+ *     quality, much cheaper.
+ *  3. *Shared randomness*: one XORSHIFT draw is reused for several rounded
+ *     values before a fresh draw is generated. Each individual rounding
+ *     stays unbiased (the draws are merely correlated across elements),
+ *     and the PRNG cost is amortized to near zero.
+ *
+ * RandomWordSource is the polymorphic interface the scalar quantizers use;
+ * the SIMD kernels inline the vectorized XORSHIFT directly.
+ */
+#ifndef BUCKWILD_RNG_RANDOM_SOURCE_H
+#define BUCKWILD_RNG_RANDOM_SOURCE_H
+
+#include <cstdint>
+#include <memory>
+#include <random>
+#include <string>
+
+#include "rng/xorshift.h"
+
+namespace buckwild::rng {
+
+/// Identifies a rounding-randomness strategy (Fig 5a/5b axes).
+enum class RoundingRng {
+    kMersenne,       ///< fresh Mersenne-twister draw per value
+    kXorshift,       ///< fresh XORSHIFT draw per value
+    kSharedXorshift, ///< one XORSHIFT draw shared across a block of values
+};
+
+/// Human-readable name ("mersenne", "xorshift", "shared-xorshift").
+std::string to_string(RoundingRng strategy);
+
+/// Interface: a stream of uniform 32-bit words.
+class RandomWordSource
+{
+  public:
+    virtual ~RandomWordSource() = default;
+
+    /// Next 32-bit word, uniform over [0, 2^32).
+    virtual std::uint32_t next_word() = 0;
+
+    /// Next float uniform on [0, 1).
+    float next_unit_float() { return to_unit_float(next_word()); }
+};
+
+/// Mersenne twister (std::mt19937 — the same algorithm Boost defaults to).
+class MersenneSource final : public RandomWordSource
+{
+  public:
+    explicit MersenneSource(std::uint32_t seed = 5489u) : gen_(seed) {}
+
+    std::uint32_t next_word() override { return gen_(); }
+
+  private:
+    std::mt19937 gen_;
+};
+
+/// Fresh xorshift128 word per call.
+class XorshiftSource final : public RandomWordSource
+{
+  public:
+    explicit XorshiftSource(std::uint32_t seed = 0x9E3779B9u) : gen_(seed) {}
+
+    std::uint32_t next_word() override { return gen_(); }
+
+  private:
+    Xorshift128 gen_;
+};
+
+/**
+ * Shared-randomness source: returns the same word `period` times before
+ * running the underlying XORSHIFT again. period == 1 degenerates to
+ * XorshiftSource; larger periods trade statistical independence for
+ * amortized generation cost (the smooth trade-off of §5.2).
+ */
+class SharedXorshiftSource final : public RandomWordSource
+{
+  public:
+    explicit SharedXorshiftSource(std::size_t period,
+                                  std::uint32_t seed = 0x9E3779B9u);
+
+    std::uint32_t next_word() override;
+
+    std::size_t period() const { return period_; }
+
+  private:
+    Xorshift128 gen_;
+    std::size_t period_;
+    std::size_t remaining_ = 0;
+    std::uint32_t current_ = 0;
+};
+
+/// Factory: builds the source matching `strategy`. For kSharedXorshift the
+/// share period is `shared_period` (values per fresh draw).
+std::unique_ptr<RandomWordSource> make_source(RoundingRng strategy,
+                                              std::uint32_t seed,
+                                              std::size_t shared_period = 8);
+
+} // namespace buckwild::rng
+
+#endif // BUCKWILD_RNG_RANDOM_SOURCE_H

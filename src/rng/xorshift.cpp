@@ -1,0 +1,46 @@
+#include "rng/xorshift.h"
+
+namespace buckwild::rng {
+
+Xorshift128::Xorshift128(std::uint32_t seed)
+{
+    std::uint64_t sm = seed;
+    // Expand the single word into 128 bits of well-mixed state; xorshift128
+    // requires a not-all-zero state, which splitmix64 guarantees with
+    // overwhelming probability — force it just in case.
+    x_ = static_cast<std::uint32_t>(splitmix64(sm));
+    y_ = static_cast<std::uint32_t>(splitmix64(sm));
+    z_ = static_cast<std::uint32_t>(splitmix64(sm));
+    w_ = static_cast<std::uint32_t>(splitmix64(sm));
+    if ((x_ | y_ | z_ | w_) == 0) w_ = 1;
+}
+
+Xorshift128Plus::Xorshift128Plus(std::uint64_t seed)
+{
+    std::uint64_t sm = seed;
+    s0_ = splitmix64(sm);
+    s1_ = splitmix64(sm);
+    if ((s0_ | s1_) == 0) s1_ = 1;
+}
+
+void
+Xorshift128Plus::jump()
+{
+    // Vigna's published jump constants for xorshift128+.
+    static constexpr std::uint64_t kJump[] = {0x8a5cd789635d2dffull,
+                                              0x121fd2155c472f96ull};
+    std::uint64_t j0 = 0, j1 = 0;
+    for (std::uint64_t word : kJump) {
+        for (int bit = 0; bit < 64; ++bit) {
+            if (word & (1ull << bit)) {
+                j0 ^= s0_;
+                j1 ^= s1_;
+            }
+            (void)(*this)();
+        }
+    }
+    s0_ = j0;
+    s1_ = j1;
+}
+
+} // namespace buckwild::rng

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * XORSHIFT pseudorandom number generators (Marsaglia 2003).
+ *
+ * Section 5.2 of the paper replaces the Mersenne twister used for unbiased
+ * (stochastic) rounding with a hand-vectorized XORSHIFT generator: a "very
+ * fast, but not very statistically reliable" PRNG whose statistical
+ * efficiency for rounding purposes matches the twister while costing a few
+ * instructions per 256 bits.
+ *
+ * Three generators are provided:
+ *  - Xorshift32: the classic 32-bit, 13/17/5 shift triple.
+ *  - Xorshift128: Marsaglia's 128-bit-state generator, one 32-bit word per
+ *    call, period 2^128 - 1.
+ *  - Avx2Xorshift128Plus (in avx2_xorshift.h): four independent 64-bit
+ *    xorshift128+ lanes producing 256 fresh bits per call — the vectorized
+ *    generator used inside the SIMD AXPY kernels.
+ */
+#ifndef BUCKWILD_RNG_XORSHIFT_H
+#define BUCKWILD_RNG_XORSHIFT_H
+
+#include <cstdint>
+
+namespace buckwild::rng {
+
+/// Classic 32-bit xorshift. Period 2^32 - 1; state must be nonzero.
+class Xorshift32
+{
+  public:
+    using result_type = std::uint32_t;
+
+    explicit Xorshift32(std::uint32_t seed = 0x9E3779B9u)
+        : state_(seed != 0 ? seed : 0x9E3779B9u)
+    {}
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return 0xFFFFFFFFu; }
+
+    result_type
+    operator()()
+    {
+        std::uint32_t x = state_;
+        x ^= x << 13;
+        x ^= x >> 17;
+        x ^= x << 5;
+        state_ = x;
+        return x;
+    }
+
+  private:
+    std::uint32_t state_;
+};
+
+/// Marsaglia's xorshift128: 128-bit state, 32-bit output, period 2^128 - 1.
+class Xorshift128
+{
+  public:
+    using result_type = std::uint32_t;
+
+    explicit Xorshift128(std::uint32_t seed = 0x9E3779B9u);
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return 0xFFFFFFFFu; }
+
+    result_type
+    operator()()
+    {
+        const std::uint32_t t = x_ ^ (x_ << 11);
+        x_ = y_;
+        y_ = z_;
+        z_ = w_;
+        w_ = w_ ^ (w_ >> 19) ^ t ^ (t >> 8);
+        return w_;
+    }
+
+  private:
+    std::uint32_t x_, y_, z_, w_;
+};
+
+/// xorshift128+ (Vigna): 64-bit output; the per-lane generator that the
+/// AVX2 implementation replicates across four lanes.
+class Xorshift128Plus
+{
+  public:
+    using result_type = std::uint64_t;
+
+    explicit Xorshift128Plus(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~0ull; }
+
+    result_type
+    operator()()
+    {
+        std::uint64_t s1 = s0_;
+        const std::uint64_t s0 = s1_;
+        s0_ = s0;
+        s1 ^= s1 << 23;
+        s1_ = s1 ^ s0 ^ (s1 >> 18) ^ (s0 >> 5);
+        return s1_ + s0;
+    }
+
+    /**
+     * Jump-ahead by 2^64 steps (Vigna's jump polynomial): calling jump()
+     * k times on generators sharing one seed yields k provably
+     * non-overlapping substreams — the clean way to give Hogwild!
+     * workers independent rounding randomness.
+     */
+    void jump();
+
+  private:
+    std::uint64_t s0_, s1_;
+};
+
+/// SplitMix64: the standard seeding expander — turns one 64-bit seed into a
+/// well-mixed stream used to initialize the xorshift states.
+inline std::uint64_t
+splitmix64(std::uint64_t& state)
+{
+    std::uint64_t z = (state += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+/// Converts a 32-bit word to a float uniform on [0, 1).
+inline float
+to_unit_float(std::uint32_t bits)
+{
+    // Keep the top 24 bits: exactly representable in a float mantissa.
+    return static_cast<float>(bits >> 8) * 0x1.0p-24f;
+}
+
+} // namespace buckwild::rng
+
+#endif // BUCKWILD_RNG_XORSHIFT_H

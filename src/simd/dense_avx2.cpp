@@ -1,0 +1,672 @@
+#include "simd/dense_avx2.h"
+
+#include "simd/dense_ref.h"
+
+#ifdef __AVX2__
+#include <immintrin.h>
+#endif
+
+namespace buckwild::simd::avx2 {
+
+#ifndef __AVX2__
+
+// Fallback build (BUCKWILD_ENABLE_AVX2=OFF): forward to the reference
+// kernels so the library still links and behaves identically.
+bool available() { return false; }
+
+float dot_d8m8(const std::int8_t* x, const std::int8_t* w, std::size_t n,
+               float scale) { return ref::dot_d8m8(x, w, n, scale); }
+float dot_d8m16(const std::int8_t* x, const std::int16_t* w, std::size_t n,
+                float scale) { return ref::dot_d8m16(x, w, n, scale); }
+float dot_d16m8(const std::int16_t* x, const std::int8_t* w, std::size_t n,
+                float scale) { return ref::dot_d16m8(x, w, n, scale); }
+float dot_d16m16(const std::int16_t* x, const std::int16_t* w, std::size_t n,
+                 float scale) { return ref::dot_d16m16(x, w, n, scale); }
+float dot_d8mf(const std::int8_t* x, const float* w, std::size_t n, float qx)
+{ return ref::dot_d8mf(x, w, n, qx); }
+float dot_d16mf(const std::int16_t* x, const float* w, std::size_t n,
+                float qx) { return ref::dot_d16mf(x, w, n, qx); }
+float dot_dfm8(const float* x, const std::int8_t* w, std::size_t n, float qm)
+{ return ref::dot_dfm8(x, w, n, qm); }
+float dot_dfm16(const float* x, const std::int16_t* w, std::size_t n,
+                float qm) { return ref::dot_dfm16(x, w, n, qm); }
+float dot_dfmf(const float* x, const float* w, std::size_t n)
+{ return ref::dot_dfmf(x, w, n); }
+void axpy_d8m8(std::int8_t* w, const std::int8_t* x, std::size_t n,
+               FixedScalar cs, const DitherBlock& d)
+{ ref::axpy_d8m8(w, x, n, cs, d); }
+void axpy_d16m8(std::int8_t* w, const std::int16_t* x, std::size_t n,
+                FixedScalar cs, const DitherBlock& d)
+{ ref::axpy_d16m8(w, x, n, cs, d); }
+void axpy_d8m16(std::int16_t* w, const std::int8_t* x, std::size_t n,
+                FixedScalar cs, const DitherBlock& d)
+{ ref::axpy_d8m16(w, x, n, cs, d); }
+void axpy_d16m16(std::int16_t* w, const std::int16_t* x, std::size_t n,
+                 FixedScalar cs, const DitherBlock& d)
+{ ref::axpy_d16m16(w, x, n, cs, d); }
+void axpy_dfm8(std::int8_t* w, const float* x, std::size_t n, float cf,
+               const DitherBlock& d) { ref::axpy_dfm8(w, x, n, cf, d); }
+void axpy_dfm16(std::int16_t* w, const float* x, std::size_t n, float cf,
+                const DitherBlock& d) { ref::axpy_dfm16(w, x, n, cf, d); }
+void axpy_d8mf(float* w, const std::int8_t* x, std::size_t n, float cf)
+{ ref::axpy_d8mf(w, x, n, cf); }
+void axpy_d16mf(float* w, const std::int16_t* x, std::size_t n, float cf)
+{ ref::axpy_d16mf(w, x, n, cf); }
+void axpy_dfmf(float* w, const float* x, std::size_t n, float cf)
+{ ref::axpy_dfmf(w, x, n, cf); }
+
+#else // __AVX2__
+
+bool
+available()
+{
+    return true;
+}
+
+namespace {
+
+/// Horizontal sum of four int64 lanes.
+inline std::int64_t
+hsum_epi64(__m256i v)
+{
+    const __m128i lo = _mm256_castsi256_si128(v);
+    const __m128i hi = _mm256_extracti128_si256(v, 1);
+    const __m128i s = _mm_add_epi64(lo, hi);
+    return _mm_extract_epi64(s, 0) + _mm_extract_epi64(s, 1);
+}
+
+/// Horizontal sum of eight float lanes.
+inline float
+hsum_ps(__m256 v)
+{
+    __m128 s = _mm_add_ps(_mm256_castps256_ps128(v),
+                          _mm256_extractf128_ps(v, 1));
+    s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+    s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 1));
+    return _mm_cvtss_f32(s);
+}
+
+/// Widens an int32 accumulator into the int64 accumulator pair.
+inline void
+flush_acc32(__m256i& acc32, __m256i& acc64)
+{
+    acc64 = _mm256_add_epi64(
+        acc64,
+        _mm256_cvtepi32_epi64(_mm256_castsi256_si128(acc32)));
+    acc64 = _mm256_add_epi64(
+        acc64,
+        _mm256_cvtepi32_epi64(_mm256_extracti128_si256(acc32, 1)));
+    acc32 = _mm256_setzero_si256();
+}
+
+/// After vpacksswb/vpackssdw, the two source registers' 128-bit halves are
+/// interleaved; this permutation restores element order.
+inline __m256i
+fix_pack_order(__m256i v)
+{
+    return _mm256_permute4x64_epi64(v, 0xD8);
+}
+
+} // namespace
+
+// ==================================================================== dot
+
+float
+dot_d8m8(const std::int8_t* x, const std::int8_t* w, std::size_t n,
+         float scale)
+{
+    const __m256i ones = _mm256_set1_epi16(1);
+    __m256i acc32 = _mm256_setzero_si256();
+    __m256i acc64 = _mm256_setzero_si256();
+    std::size_t i = 0;
+    int pending = 0;
+    for (; i + 32 <= n; i += 32) {
+        const __m256i xv =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(x + i));
+        const __m256i wv =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + i));
+        // Signed*signed via unsigned*signed vpmaddubsw: |x| * sign(w, x).
+        // Model values avoid -128, so vpsignb never overflows; |x| = 128
+        // is fine because the first operand is treated as unsigned.
+        const __m256i a = _mm256_abs_epi8(xv);
+        const __m256i b = _mm256_sign_epi8(wv, xv);
+        const __m256i p16 = _mm256_maddubs_epi16(a, b);
+        acc32 = _mm256_add_epi32(acc32, _mm256_madd_epi16(p16, ones));
+        // Each int32 lane grows by at most 2^17 per iteration; flush well
+        // before 2^31.
+        if (++pending == 8192) {
+            flush_acc32(acc32, acc64);
+            pending = 0;
+        }
+    }
+    flush_acc32(acc32, acc64);
+    std::int64_t total = hsum_epi64(acc64);
+    for (; i < n; ++i)
+        total += static_cast<std::int64_t>(x[i]) * w[i];
+    return static_cast<float>(total) * scale;
+}
+
+float
+dot_d8m16(const std::int8_t* x, const std::int16_t* w, std::size_t n,
+          float scale)
+{
+    __m256i acc32 = _mm256_setzero_si256();
+    __m256i acc64 = _mm256_setzero_si256();
+    std::size_t i = 0;
+    int pending = 0;
+    for (; i + 32 <= n; i += 32) {
+        const __m256i xv =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(x + i));
+        const __m256i xlo =
+            _mm256_cvtepi8_epi16(_mm256_castsi256_si128(xv));
+        const __m256i xhi =
+            _mm256_cvtepi8_epi16(_mm256_extracti128_si256(xv, 1));
+        const __m256i wlo =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + i));
+        const __m256i whi =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + i + 16));
+        acc32 = _mm256_add_epi32(acc32, _mm256_madd_epi16(xlo, wlo));
+        acc32 = _mm256_add_epi32(acc32, _mm256_madd_epi16(xhi, whi));
+        // |x*w| <= 127*32767 ~ 2^22 -> per-lane growth < 2^24 per
+        // iteration; flush every 64 iterations (< 2^30).
+        if (++pending == 64) {
+            flush_acc32(acc32, acc64);
+            pending = 0;
+        }
+    }
+    flush_acc32(acc32, acc64);
+    std::int64_t total = hsum_epi64(acc64);
+    for (; i < n; ++i)
+        total += static_cast<std::int64_t>(x[i]) * w[i];
+    return static_cast<float>(total) * scale;
+}
+
+float
+dot_d16m8(const std::int16_t* x, const std::int8_t* w, std::size_t n,
+          float scale)
+{
+    __m256i acc32 = _mm256_setzero_si256();
+    __m256i acc64 = _mm256_setzero_si256();
+    std::size_t i = 0;
+    int pending = 0;
+    for (; i + 32 <= n; i += 32) {
+        const __m256i wv =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + i));
+        const __m256i wlo =
+            _mm256_cvtepi8_epi16(_mm256_castsi256_si128(wv));
+        const __m256i whi =
+            _mm256_cvtepi8_epi16(_mm256_extracti128_si256(wv, 1));
+        const __m256i xlo =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(x + i));
+        const __m256i xhi =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(x + i + 16));
+        acc32 = _mm256_add_epi32(acc32, _mm256_madd_epi16(xlo, wlo));
+        acc32 = _mm256_add_epi32(acc32, _mm256_madd_epi16(xhi, whi));
+        if (++pending == 64) {
+            flush_acc32(acc32, acc64);
+            pending = 0;
+        }
+    }
+    flush_acc32(acc32, acc64);
+    std::int64_t total = hsum_epi64(acc64);
+    for (; i < n; ++i)
+        total += static_cast<std::int64_t>(x[i]) * w[i];
+    return static_cast<float>(total) * scale;
+}
+
+float
+dot_d16m16(const std::int16_t* x, const std::int16_t* w, std::size_t n,
+           float scale)
+{
+    __m256i acc64 = _mm256_setzero_si256();
+    std::size_t i = 0;
+    for (; i + 16 <= n; i += 16) {
+        const __m256i xv =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(x + i));
+        const __m256i wv =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + i));
+        // Pair sums reach ~2^31, so widen to int64 every iteration.
+        __m256i p = _mm256_madd_epi16(xv, wv);
+        flush_acc32(p, acc64);
+    }
+    std::int64_t total = hsum_epi64(acc64);
+    for (; i < n; ++i)
+        total += static_cast<std::int64_t>(x[i]) * w[i];
+    return static_cast<float>(total) * scale;
+}
+
+float
+dot_d8mf(const std::int8_t* x, const float* w, std::size_t n, float qx)
+{
+    __m256 acc0 = _mm256_setzero_ps();
+    __m256 acc1 = _mm256_setzero_ps();
+    std::size_t i = 0;
+    for (; i + 16 <= n; i += 16) {
+        const __m128i xv =
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(x + i));
+        const __m256 f0 =
+            _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(xv));
+        const __m256 f1 = _mm256_cvtepi32_ps(
+            _mm256_cvtepi8_epi32(_mm_srli_si128(xv, 8)));
+        acc0 = _mm256_fmadd_ps(f0, _mm256_loadu_ps(w + i), acc0);
+        acc1 = _mm256_fmadd_ps(f1, _mm256_loadu_ps(w + i + 8), acc1);
+    }
+    float total = hsum_ps(_mm256_add_ps(acc0, acc1));
+    for (; i < n; ++i) total += static_cast<float>(x[i]) * w[i];
+    return total * qx;
+}
+
+float
+dot_d16mf(const std::int16_t* x, const float* w, std::size_t n, float qx)
+{
+    __m256 acc0 = _mm256_setzero_ps();
+    __m256 acc1 = _mm256_setzero_ps();
+    std::size_t i = 0;
+    for (; i + 16 <= n; i += 16) {
+        const __m256i xv =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(x + i));
+        const __m256 f0 = _mm256_cvtepi32_ps(
+            _mm256_cvtepi16_epi32(_mm256_castsi256_si128(xv)));
+        const __m256 f1 = _mm256_cvtepi32_ps(
+            _mm256_cvtepi16_epi32(_mm256_extracti128_si256(xv, 1)));
+        acc0 = _mm256_fmadd_ps(f0, _mm256_loadu_ps(w + i), acc0);
+        acc1 = _mm256_fmadd_ps(f1, _mm256_loadu_ps(w + i + 8), acc1);
+    }
+    float total = hsum_ps(_mm256_add_ps(acc0, acc1));
+    for (; i < n; ++i) total += static_cast<float>(x[i]) * w[i];
+    return total * qx;
+}
+
+float
+dot_dfm8(const float* x, const std::int8_t* w, std::size_t n, float qm)
+{
+    __m256 acc0 = _mm256_setzero_ps();
+    __m256 acc1 = _mm256_setzero_ps();
+    std::size_t i = 0;
+    for (; i + 16 <= n; i += 16) {
+        const __m128i wv =
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(w + i));
+        const __m256 f0 =
+            _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(wv));
+        const __m256 f1 = _mm256_cvtepi32_ps(
+            _mm256_cvtepi8_epi32(_mm_srli_si128(wv, 8)));
+        acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(x + i), f0, acc0);
+        acc1 = _mm256_fmadd_ps(_mm256_loadu_ps(x + i + 8), f1, acc1);
+    }
+    float total = hsum_ps(_mm256_add_ps(acc0, acc1));
+    for (; i < n; ++i) total += x[i] * static_cast<float>(w[i]);
+    return total * qm;
+}
+
+float
+dot_dfm16(const float* x, const std::int16_t* w, std::size_t n, float qm)
+{
+    __m256 acc0 = _mm256_setzero_ps();
+    __m256 acc1 = _mm256_setzero_ps();
+    std::size_t i = 0;
+    for (; i + 16 <= n; i += 16) {
+        const __m256i wv =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + i));
+        const __m256 f0 = _mm256_cvtepi32_ps(
+            _mm256_cvtepi16_epi32(_mm256_castsi256_si128(wv)));
+        const __m256 f1 = _mm256_cvtepi32_ps(
+            _mm256_cvtepi16_epi32(_mm256_extracti128_si256(wv, 1)));
+        acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(x + i), f0, acc0);
+        acc1 = _mm256_fmadd_ps(_mm256_loadu_ps(x + i + 8), f1, acc1);
+    }
+    float total = hsum_ps(_mm256_add_ps(acc0, acc1));
+    for (; i < n; ++i) total += x[i] * static_cast<float>(w[i]);
+    return total * qm;
+}
+
+float
+dot_dfmf(const float* x, const float* w, std::size_t n)
+{
+    __m256 acc0 = _mm256_setzero_ps();
+    __m256 acc1 = _mm256_setzero_ps();
+    std::size_t i = 0;
+    for (; i + 16 <= n; i += 16) {
+        acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(x + i),
+                               _mm256_loadu_ps(w + i), acc0);
+        acc1 = _mm256_fmadd_ps(_mm256_loadu_ps(x + i + 8),
+                               _mm256_loadu_ps(w + i + 8), acc1);
+    }
+    float total = hsum_ps(_mm256_add_ps(acc0, acc1));
+    for (; i < n; ++i) total += x[i] * w[i];
+    return total;
+}
+
+// =================================================================== AXPY
+
+namespace {
+
+/// Loads the dither block for the D8M8 path as one int16 vector: the u16
+/// lens repeats with period 16, so the same register serves elements
+/// 0..15 and 16..31. Masked to [0, 2^7).
+inline __m256i
+load_dither_d8m8(const DitherBlock& dither)
+{
+    const __m256i raw = _mm256_load_si256(
+        reinterpret_cast<const __m256i*>(dither.bytes));
+    return _mm256_and_si256(raw, _mm256_set1_epi16(0x7F));
+}
+
+/// Loads the dither block for an int32-lane fixed AXPY with the given
+/// pair shift, as two constant int32 vectors (elements i%16 in 0..7 and
+/// 8..15). Mirrors DitherBlock::dither_fixed exactly.
+inline void
+load_dither_fixed_epi32(const DitherBlock& dither, int shift, __m256i& lo,
+                        __m256i& hi)
+{
+    const __m256i raw = _mm256_load_si256(
+        reinterpret_cast<const __m256i*>(dither.bytes));
+    __m256i w0 = _mm256_cvtepu16_epi32(_mm256_castsi256_si128(raw));
+    __m256i w1 = _mm256_cvtepu16_epi32(_mm256_extracti128_si256(raw, 1));
+    if (shift <= 16) {
+        const __m256i mask = _mm256_set1_epi32((1 << shift) - 1);
+        lo = _mm256_and_si256(w0, mask);
+        hi = _mm256_and_si256(w1, mask);
+    } else {
+        const __m128i count = _mm_cvtsi32_si128(shift - 16);
+        lo = _mm256_sll_epi32(w0, count);
+        hi = _mm256_sll_epi32(w1, count);
+    }
+}
+
+/// Loads the unit-dither block (16 u16s scaled by 2^-16) as two constant
+/// float vectors.
+inline void
+load_dither_unit(const DitherBlock& dither, __m256& lo, __m256& hi)
+{
+    const __m256i raw = _mm256_load_si256(
+        reinterpret_cast<const __m256i*>(dither.bytes));
+    const __m256i ulo = _mm256_cvtepu16_epi32(_mm256_castsi256_si128(raw));
+    const __m256i uhi =
+        _mm256_cvtepu16_epi32(_mm256_extracti128_si256(raw, 1));
+    const __m256 scale = _mm256_set1_ps(0x1.0p-16f);
+    lo = _mm256_mul_ps(_mm256_cvtepi32_ps(ulo), scale);
+    hi = _mm256_mul_ps(_mm256_cvtepi32_ps(uhi), scale);
+}
+
+/// Packs four int32 delta vectors (elements 8k..8k+7) into two ordered
+/// int16 vectors with saturation.
+inline void
+pack_delta32_to_16(const __m256i d[4], __m256i& lo, __m256i& hi)
+{
+    lo = fix_pack_order(_mm256_packs_epi32(d[0], d[1]));
+    hi = fix_pack_order(_mm256_packs_epi32(d[2], d[3]));
+}
+
+/// Applies two ordered int16 delta vectors to 32 int8 model elements with
+/// the symmetric [-127, 127] saturation contract.
+inline void
+apply_delta16_to_m8(std::int8_t* w, __m256i dlo, __m256i dhi)
+{
+    const __m256i wv =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w));
+    const __m256i wlo = _mm256_cvtepi8_epi16(_mm256_castsi256_si128(wv));
+    const __m256i whi =
+        _mm256_cvtepi8_epi16(_mm256_extracti128_si256(wv, 1));
+    const __m256i rlo = _mm256_adds_epi16(wlo, dlo);
+    const __m256i rhi = _mm256_adds_epi16(whi, dhi);
+    __m256i packed = fix_pack_order(_mm256_packs_epi16(rlo, rhi));
+    packed = _mm256_max_epi8(packed, _mm256_set1_epi8(-127));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(w), packed);
+}
+
+/// Applies two int32 delta vectors to 16 int16 model elements with the
+/// symmetric [-32767, 32767] saturation contract.
+inline void
+apply_delta32_to_m16(std::int16_t* w, __m256i d0, __m256i d1)
+{
+    const __m256i delta =
+        fix_pack_order(_mm256_packs_epi32(d0, d1));
+    const __m256i wv =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w));
+    __m256i r = _mm256_adds_epi16(wv, delta);
+    r = _mm256_max_epi16(r, _mm256_set1_epi16(-32767));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(w), r);
+}
+
+} // namespace
+
+void
+axpy_d8m8(std::int8_t* w, const std::int8_t* x, std::size_t n, FixedScalar cs,
+          const DitherBlock& dither)
+{
+    const __m256i mult = _mm256_set1_epi16(static_cast<short>(cs.mult));
+    const __m256i dv = load_dither_d8m8(dither);
+    std::size_t i = 0;
+    for (; i + 32 <= n; i += 32) {
+        const __m256i xv =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(x + i));
+        const __m256i xlo =
+            _mm256_cvtepi8_epi16(_mm256_castsi256_si128(xv));
+        const __m256i xhi =
+            _mm256_cvtepi8_epi16(_mm256_extracti128_si256(xv, 1));
+        // mult*x + dither fits int16 (|mult| <= 255, |x| <= 128, d < 128).
+        const __m256i slo = _mm256_srai_epi16(
+            _mm256_add_epi16(_mm256_mullo_epi16(xlo, mult), dv),
+            kShiftD8M8);
+        const __m256i shi = _mm256_srai_epi16(
+            _mm256_add_epi16(_mm256_mullo_epi16(xhi, mult), dv),
+            kShiftD8M8);
+        apply_delta16_to_m8(w + i, slo, shi);
+    }
+    for (; i < n; ++i)
+        w[i] = ref::update_m8(w[i], x[i], cs,
+                              dither.dither_fixed(i, cs.shift));
+}
+
+void
+axpy_d16m8(std::int8_t* w, const std::int16_t* x, std::size_t n,
+           FixedScalar cs, const DitherBlock& dither)
+{
+    const __m256i mult = _mm256_set1_epi32(cs.mult);
+    // Dithers repeat with period 16, so vectors 0/2 share d01[0] and 1/3
+    // share d01[1].
+    __m256i d01[2];
+    load_dither_fixed_epi32(dither, kShiftD16M8, d01[0], d01[1]);
+    std::size_t i = 0;
+    for (; i + 32 <= n; i += 32) {
+        __m256i delta[4];
+        for (int k = 0; k < 4; ++k) {
+            const __m128i x16 = _mm_loadu_si128(
+                reinterpret_cast<const __m128i*>(x + i + 8 * k));
+            const __m256i x32 = _mm256_cvtepi16_epi32(x16);
+            delta[k] = _mm256_srai_epi32(
+                _mm256_add_epi32(_mm256_mullo_epi32(x32, mult),
+                                 d01[k % 2]),
+                kShiftD16M8);
+        }
+        __m256i dlo, dhi;
+        pack_delta32_to_16(delta, dlo, dhi);
+        apply_delta16_to_m8(w + i, dlo, dhi);
+    }
+    for (; i < n; ++i)
+        w[i] = ref::update_m8(w[i], x[i], cs,
+                              dither.dither_fixed(i, cs.shift));
+}
+
+void
+axpy_d8m16(std::int16_t* w, const std::int8_t* x, std::size_t n,
+           FixedScalar cs, const DitherBlock& dither)
+{
+    const __m256i mult = _mm256_set1_epi32(cs.mult);
+    __m256i dlo, dhi;
+    load_dither_fixed_epi32(dither, kShiftD8M16, dlo, dhi);
+    std::size_t i = 0;
+    for (; i + 16 <= n; i += 16) {
+        const __m128i x8 =
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(x + i));
+        const __m256i x0 = _mm256_cvtepi8_epi32(x8);
+        const __m256i x1 = _mm256_cvtepi8_epi32(_mm_srli_si128(x8, 8));
+        const __m256i d0 = _mm256_srai_epi32(
+            _mm256_add_epi32(_mm256_mullo_epi32(x0, mult), dlo),
+            kShiftD8M16);
+        const __m256i d1 = _mm256_srai_epi32(
+            _mm256_add_epi32(_mm256_mullo_epi32(x1, mult), dhi),
+            kShiftD8M16);
+        apply_delta32_to_m16(w + i, d0, d1);
+    }
+    for (; i < n; ++i)
+        w[i] = ref::update_m16(w[i], x[i], cs,
+                               dither.dither_fixed(i, cs.shift));
+}
+
+void
+axpy_d16m16(std::int16_t* w, const std::int16_t* x, std::size_t n,
+            FixedScalar cs, const DitherBlock& dither)
+{
+    const __m256i mult = _mm256_set1_epi32(cs.mult);
+    __m256i dlo, dhi;
+    load_dither_fixed_epi32(dither, kShiftD16M16, dlo, dhi);
+    std::size_t i = 0;
+    for (; i + 16 <= n; i += 16) {
+        const __m256i xv =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(x + i));
+        const __m256i x0 =
+            _mm256_cvtepi16_epi32(_mm256_castsi256_si128(xv));
+        const __m256i x1 =
+            _mm256_cvtepi16_epi32(_mm256_extracti128_si256(xv, 1));
+        const __m256i d0 = _mm256_srai_epi32(
+            _mm256_add_epi32(_mm256_mullo_epi32(x0, mult), dlo),
+            kShiftD16M16);
+        const __m256i d1 = _mm256_srai_epi32(
+            _mm256_add_epi32(_mm256_mullo_epi32(x1, mult), dhi),
+            kShiftD16M16);
+        apply_delta32_to_m16(w + i, d0, d1);
+    }
+    for (; i < n; ++i)
+        w[i] = ref::update_m16(w[i], x[i], cs,
+                               dither.dither_fixed(i, cs.shift));
+}
+
+namespace {
+
+/// Quantizes 8 float deltas (vfmadd of cf*x+u, clamp, floor) to int32 —
+/// the vector counterpart of ref::quantize_delta.
+inline __m256i
+quantize_delta_ps(__m256 cf, __m256 xv, __m256 u)
+{
+    __m256 v = _mm256_fmadd_ps(cf, xv, u);
+    v = _mm256_min_ps(v, _mm256_set1_ps(32767.0f));
+    v = _mm256_max_ps(v, _mm256_set1_ps(-32768.0f));
+    return _mm256_cvttps_epi32(_mm256_floor_ps(v));
+}
+
+} // namespace
+
+void
+axpy_dfm8(std::int8_t* w, const float* x, std::size_t n, float cf,
+          const DitherBlock& dither)
+{
+    const __m256 cfv = _mm256_set1_ps(cf);
+    __m256 ulo, uhi;
+    load_dither_unit(dither, ulo, uhi);
+    std::size_t i = 0;
+    for (; i + 32 <= n; i += 32) {
+        __m256i delta[4];
+        // Unit dithers repeat with period 16, so vectors 0/2 share ulo and
+        // 1/3 share uhi — matching dither_unit(i)'s i % 16 indexing.
+        delta[0] = quantize_delta_ps(cfv, _mm256_loadu_ps(x + i), ulo);
+        delta[1] = quantize_delta_ps(cfv, _mm256_loadu_ps(x + i + 8), uhi);
+        delta[2] = quantize_delta_ps(cfv, _mm256_loadu_ps(x + i + 16), ulo);
+        delta[3] = quantize_delta_ps(cfv, _mm256_loadu_ps(x + i + 24), uhi);
+        __m256i dlo, dhi;
+        pack_delta32_to_16(delta, dlo, dhi);
+        apply_delta16_to_m8(w + i, dlo, dhi);
+    }
+    for (; i < n; ++i) {
+        const std::int32_t delta =
+            ref::quantize_delta(cf, x[i], dither.dither_unit(i));
+        w[i] = static_cast<std::int8_t>(
+            ref::saturate_model8(w[i] + saturate_i16(delta)));
+    }
+}
+
+void
+axpy_dfm16(std::int16_t* w, const float* x, std::size_t n, float cf,
+           const DitherBlock& dither)
+{
+    const __m256 cfv = _mm256_set1_ps(cf);
+    __m256 ulo, uhi;
+    load_dither_unit(dither, ulo, uhi);
+    std::size_t i = 0;
+    for (; i + 16 <= n; i += 16) {
+        const __m256i d0 =
+            quantize_delta_ps(cfv, _mm256_loadu_ps(x + i), ulo);
+        const __m256i d1 =
+            quantize_delta_ps(cfv, _mm256_loadu_ps(x + i + 8), uhi);
+        apply_delta32_to_m16(w + i, d0, d1);
+    }
+    for (; i < n; ++i) {
+        const std::int32_t delta =
+            ref::quantize_delta(cf, x[i], dither.dither_unit(i));
+        w[i] = static_cast<std::int16_t>(
+            ref::saturate_model16(w[i] + saturate_i16(delta)));
+    }
+}
+
+void
+axpy_d8mf(float* w, const std::int8_t* x, std::size_t n, float cf)
+{
+    const __m256 cfv = _mm256_set1_ps(cf);
+    std::size_t i = 0;
+    for (; i + 16 <= n; i += 16) {
+        const __m128i xv =
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(x + i));
+        const __m256 f0 =
+            _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(xv));
+        const __m256 f1 = _mm256_cvtepi32_ps(
+            _mm256_cvtepi8_epi32(_mm_srli_si128(xv, 8)));
+        _mm256_storeu_ps(
+            w + i, _mm256_fmadd_ps(cfv, f0, _mm256_loadu_ps(w + i)));
+        _mm256_storeu_ps(
+            w + i + 8,
+            _mm256_fmadd_ps(cfv, f1, _mm256_loadu_ps(w + i + 8)));
+    }
+    for (; i < n; ++i) w[i] += cf * static_cast<float>(x[i]);
+}
+
+void
+axpy_d16mf(float* w, const std::int16_t* x, std::size_t n, float cf)
+{
+    const __m256 cfv = _mm256_set1_ps(cf);
+    std::size_t i = 0;
+    for (; i + 16 <= n; i += 16) {
+        const __m256i xv =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(x + i));
+        const __m256 f0 = _mm256_cvtepi32_ps(
+            _mm256_cvtepi16_epi32(_mm256_castsi256_si128(xv)));
+        const __m256 f1 = _mm256_cvtepi32_ps(
+            _mm256_cvtepi16_epi32(_mm256_extracti128_si256(xv, 1)));
+        _mm256_storeu_ps(
+            w + i, _mm256_fmadd_ps(cfv, f0, _mm256_loadu_ps(w + i)));
+        _mm256_storeu_ps(
+            w + i + 8,
+            _mm256_fmadd_ps(cfv, f1, _mm256_loadu_ps(w + i + 8)));
+    }
+    for (; i < n; ++i) w[i] += cf * static_cast<float>(x[i]);
+}
+
+void
+axpy_dfmf(float* w, const float* x, std::size_t n, float cf)
+{
+    const __m256 cfv = _mm256_set1_ps(cf);
+    std::size_t i = 0;
+    for (; i + 16 <= n; i += 16) {
+        _mm256_storeu_ps(w + i,
+                         _mm256_fmadd_ps(cfv, _mm256_loadu_ps(x + i),
+                                         _mm256_loadu_ps(w + i)));
+        _mm256_storeu_ps(
+            w + i + 8,
+            _mm256_fmadd_ps(cfv, _mm256_loadu_ps(x + i + 8),
+                            _mm256_loadu_ps(w + i + 8)));
+    }
+    for (; i < n; ++i) w[i] += cf * x[i];
+}
+
+#endif // __AVX2__
+
+} // namespace buckwild::simd::avx2

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Hand-optimized AVX2 dense kernels (§5.1) — the "programming in assembly"
+ * implementation the paper recommends.
+ *
+ * The signature-defining instruction choices, per the paper:
+ *
+ *  - D8M8 dot uses `vpmaddubsw` (8-bit fused multiply-add producing 16-bit
+ *    pairs with no loss of precision) via the abs/sign trick for
+ *    signed x signed inputs, then `vpmaddwd` to widen to 32-bit lanes —
+ *    one or two instructions where GCC's float-cast code needs a dozen.
+ *  - 16-bit dots use `vpmaddwd` directly.
+ *  - fixed-model AXPYs multiply by the fixed-point scalar in 16/32-bit
+ *    lanes, add the shared 256-bit dither register (§5.2: one vectorized
+ *    XORSHIFT draw per iteration), arithmetic-shift, and pack back with
+ *    saturation.
+ *
+ * Every fixed-point kernel here is bit-identical to its reference
+ * counterpart in dense_ref.h (enforced by tests/test_simd.cpp); the
+ * float-accumulating dots differ only in summation order.
+ *
+ * All kernels handle arbitrary n (vector body + exact scalar tail) and
+ * tolerate unaligned pointers.
+ */
+#ifndef BUCKWILD_SIMD_DENSE_AVX2_H
+#define BUCKWILD_SIMD_DENSE_AVX2_H
+
+#include <cstddef>
+#include <cstdint>
+
+#include "simd/fixed_scalar.h"
+
+namespace buckwild::simd::avx2 {
+
+/// True when the library was built with AVX2 kernels (BUCKWILD_ENABLE_AVX2).
+bool available();
+
+float dot_d8m8(const std::int8_t* x, const std::int8_t* w, std::size_t n,
+               float scale);
+float dot_d8m16(const std::int8_t* x, const std::int16_t* w, std::size_t n,
+                float scale);
+float dot_d16m8(const std::int16_t* x, const std::int8_t* w, std::size_t n,
+                float scale);
+float dot_d16m16(const std::int16_t* x, const std::int16_t* w, std::size_t n,
+                 float scale);
+float dot_d8mf(const std::int8_t* x, const float* w, std::size_t n, float qx);
+float dot_d16mf(const std::int16_t* x, const float* w, std::size_t n,
+                float qx);
+float dot_dfm8(const float* x, const std::int8_t* w, std::size_t n, float qm);
+float dot_dfm16(const float* x, const std::int16_t* w, std::size_t n,
+                float qm);
+float dot_dfmf(const float* x, const float* w, std::size_t n);
+
+void axpy_d8m8(std::int8_t* w, const std::int8_t* x, std::size_t n,
+               FixedScalar cs, const DitherBlock& dither);
+void axpy_d16m8(std::int8_t* w, const std::int16_t* x, std::size_t n,
+                FixedScalar cs, const DitherBlock& dither);
+void axpy_d8m16(std::int16_t* w, const std::int8_t* x, std::size_t n,
+                FixedScalar cs, const DitherBlock& dither);
+void axpy_d16m16(std::int16_t* w, const std::int16_t* x, std::size_t n,
+                 FixedScalar cs, const DitherBlock& dither);
+void axpy_dfm8(std::int8_t* w, const float* x, std::size_t n, float cf,
+               const DitherBlock& dither);
+void axpy_dfm16(std::int16_t* w, const float* x, std::size_t n, float cf,
+                const DitherBlock& dither);
+void axpy_d8mf(float* w, const std::int8_t* x, std::size_t n, float cf);
+void axpy_d16mf(float* w, const std::int16_t* x, std::size_t n, float cf);
+void axpy_dfmf(float* w, const float* x, std::size_t n, float cf);
+
+} // namespace buckwild::simd::avx2
+
+#endif // BUCKWILD_SIMD_DENSE_AVX2_H

@@ -1,0 +1,211 @@
+#include "simd/dense_avx512.h"
+
+#include "simd/dense_avx2.h"
+#include "simd/dense_ref.h"
+
+#if defined(__AVX512BW__) && defined(__AVX512F__)
+#define BUCKWILD_HAVE_AVX512 1
+#include <immintrin.h>
+#else
+#define BUCKWILD_HAVE_AVX512 0
+#endif
+
+namespace buckwild::simd::avx512 {
+
+bool
+available()
+{
+#if BUCKWILD_HAVE_AVX512
+    static const bool kSupported =
+        __builtin_cpu_supports("avx512f") &&
+        __builtin_cpu_supports("avx512bw");
+    return kSupported;
+#else
+    return false;
+#endif
+}
+
+#if BUCKWILD_HAVE_AVX512
+
+namespace {
+
+/// Horizontal sum of eight int64 lanes.
+inline std::int64_t
+hsum512_epi64(__m512i v)
+{
+    return _mm512_reduce_add_epi64(v);
+}
+
+/// Widens a 512-bit int32 accumulator into the int64 accumulator.
+inline void
+flush512(__m512i& acc32, __m512i& acc64)
+{
+    acc64 = _mm512_add_epi64(
+        acc64, _mm512_cvtepi32_epi64(_mm512_castsi512_si256(acc32)));
+    acc64 = _mm512_add_epi64(
+        acc64,
+        _mm512_cvtepi32_epi64(_mm512_extracti64x4_epi64(acc32, 1)));
+    acc32 = _mm512_setzero_si512();
+}
+
+/// Restores element order after _mm512_packs_epi16 (which interleaves
+/// the two sources' 128-bit lanes).
+inline __m512i
+fix_pack512(__m512i v)
+{
+    const __m512i idx =
+        _mm512_set_epi64(7, 5, 3, 1, 6, 4, 2, 0);
+    return _mm512_permutexvar_epi64(idx, v);
+}
+
+} // namespace
+
+float
+dot_d8m8(const std::int8_t* x, const std::int8_t* w, std::size_t n,
+         float scale)
+{
+    if (!available()) return avx2::dot_d8m8(x, w, n, scale);
+    __m512i acc32 = _mm512_setzero_si512();
+    __m512i acc64 = _mm512_setzero_si512();
+    std::size_t i = 0;
+    int pending = 0;
+    for (; i + 64 <= n; i += 64) {
+        const __m512i xv = _mm512_loadu_si512(x + i);
+        const __m512i wv = _mm512_loadu_si512(w + i);
+        // Widen both to int16 and vpmaddwd: exact products, pair sums
+        // <= 2 * 128 * 127 per int32 lane.
+        const __m512i xlo =
+            _mm512_cvtepi8_epi16(_mm512_castsi512_si256(xv));
+        const __m512i xhi =
+            _mm512_cvtepi8_epi16(_mm512_extracti64x4_epi64(xv, 1));
+        const __m512i wlo =
+            _mm512_cvtepi8_epi16(_mm512_castsi512_si256(wv));
+        const __m512i whi =
+            _mm512_cvtepi8_epi16(_mm512_extracti64x4_epi64(wv, 1));
+        acc32 = _mm512_add_epi32(acc32, _mm512_madd_epi16(xlo, wlo));
+        acc32 = _mm512_add_epi32(acc32, _mm512_madd_epi16(xhi, whi));
+        // Growth < 2^17 per lane per iteration; flush well before 2^31.
+        if (++pending == 8192) {
+            flush512(acc32, acc64);
+            pending = 0;
+        }
+    }
+    flush512(acc32, acc64);
+    std::int64_t total = hsum512_epi64(acc64);
+    for (; i < n; ++i)
+        total += static_cast<std::int64_t>(x[i]) * w[i];
+    return static_cast<float>(total) * scale;
+}
+
+void
+axpy_d8m8(std::int8_t* w, const std::int8_t* x, std::size_t n,
+          FixedScalar cs, const DitherBlock& dither)
+{
+    if (!available()) {
+        avx2::axpy_d8m8(w, x, n, cs, dither);
+        return;
+    }
+    const __m512i mult = _mm512_set1_epi16(static_cast<short>(cs.mult));
+    // The u16 dither lens repeats with period 16 = one 256-bit half;
+    // broadcast it across both halves of a 512-bit int16 vector.
+    const __m256i d256 = _mm256_and_si256(
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(dither.bytes)),
+        _mm256_set1_epi16(0x7F));
+    const __m512i dv = _mm512_broadcast_i64x4(d256);
+    const __m512i floor8 = _mm512_set1_epi8(-127);
+
+    std::size_t i = 0;
+    for (; i + 64 <= n; i += 64) {
+        const __m512i xv = _mm512_loadu_si512(x + i);
+        const __m512i xlo =
+            _mm512_cvtepi8_epi16(_mm512_castsi512_si256(xv));
+        const __m512i xhi =
+            _mm512_cvtepi8_epi16(_mm512_extracti64x4_epi64(xv, 1));
+        const __m512i slo = _mm512_srai_epi16(
+            _mm512_add_epi16(_mm512_mullo_epi16(xlo, mult), dv),
+            kShiftD8M8);
+        const __m512i shi = _mm512_srai_epi16(
+            _mm512_add_epi16(_mm512_mullo_epi16(xhi, mult), dv),
+            kShiftD8M8);
+        const __m512i wv = _mm512_loadu_si512(w + i);
+        const __m512i wlo =
+            _mm512_cvtepi8_epi16(_mm512_castsi512_si256(wv));
+        const __m512i whi =
+            _mm512_cvtepi8_epi16(_mm512_extracti64x4_epi64(wv, 1));
+        const __m512i rlo = _mm512_adds_epi16(wlo, slo);
+        const __m512i rhi = _mm512_adds_epi16(whi, shi);
+        __m512i packed = fix_pack512(_mm512_packs_epi16(rlo, rhi));
+        packed = _mm512_max_epi8(packed, floor8);
+        _mm512_storeu_si512(w + i, packed);
+    }
+    for (; i < n; ++i)
+        w[i] = ref::update_m8(w[i], x[i], cs,
+                              dither.dither_fixed(i, cs.shift));
+}
+
+float
+dot_dfmf(const float* x, const float* w, std::size_t n)
+{
+    if (!available()) return avx2::dot_dfmf(x, w, n);
+    __m512 acc0 = _mm512_setzero_ps();
+    __m512 acc1 = _mm512_setzero_ps();
+    std::size_t i = 0;
+    for (; i + 32 <= n; i += 32) {
+        acc0 = _mm512_fmadd_ps(_mm512_loadu_ps(x + i),
+                               _mm512_loadu_ps(w + i), acc0);
+        acc1 = _mm512_fmadd_ps(_mm512_loadu_ps(x + i + 16),
+                               _mm512_loadu_ps(w + i + 16), acc1);
+    }
+    float total = _mm512_reduce_add_ps(_mm512_add_ps(acc0, acc1));
+    for (; i < n; ++i) total += x[i] * w[i];
+    return total;
+}
+
+void
+axpy_dfmf(float* w, const float* x, std::size_t n, float cf)
+{
+    if (!available()) {
+        avx2::axpy_dfmf(w, x, n, cf);
+        return;
+    }
+    const __m512 cfv = _mm512_set1_ps(cf);
+    std::size_t i = 0;
+    for (; i + 16 <= n; i += 16) {
+        _mm512_storeu_ps(w + i,
+                         _mm512_fmadd_ps(cfv, _mm512_loadu_ps(x + i),
+                                         _mm512_loadu_ps(w + i)));
+    }
+    for (; i < n; ++i) w[i] += cf * x[i];
+}
+
+#else // !BUCKWILD_HAVE_AVX512
+
+float
+dot_d8m8(const std::int8_t* x, const std::int8_t* w, std::size_t n,
+         float scale)
+{
+    return avx2::dot_d8m8(x, w, n, scale);
+}
+
+void
+axpy_d8m8(std::int8_t* w, const std::int8_t* x, std::size_t n,
+          FixedScalar cs, const DitherBlock& dither)
+{
+    avx2::axpy_d8m8(w, x, n, cs, dither);
+}
+
+float
+dot_dfmf(const float* x, const float* w, std::size_t n)
+{
+    return avx2::dot_dfmf(x, w, n);
+}
+
+void
+axpy_dfmf(float* w, const float* x, std::size_t n, float cf)
+{
+    avx2::axpy_dfmf(w, x, n, cf);
+}
+
+#endif // BUCKWILD_HAVE_AVX512
+
+} // namespace buckwild::simd::avx512

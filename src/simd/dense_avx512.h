@@ -1,0 +1,87 @@
+/**
+ * @file
+ * AVX-512 dense kernels — the "ever-widening SIMD capabilities" the paper
+ * motivates low precision with (§5.1), one generation further than its
+ * AVX2 target.
+ *
+ * Implemented natively at 512-bit width for the flagship D8M8 pair (dot
+ * and AXPY, bit-identical to the reference contract) and the float-float
+ * pair; every other (D, M) combination forwards to the AVX2 kernels.
+ * AVX-512 has no vpsignb, so the D8M8 dot widens to 16-bit lanes and uses
+ * vpmaddwd — two 512-bit madds per 64 elements, exact.
+ *
+ * All entry points are safe to call on any CPU: they check for AVX-512BW
+ * support once at runtime and fall back to AVX2 otherwise.
+ */
+#ifndef BUCKWILD_SIMD_DENSE_AVX512_H
+#define BUCKWILD_SIMD_DENSE_AVX512_H
+
+#include <cstddef>
+#include <cstdint>
+
+#include "simd/dense_avx2.h"
+#include "simd/fixed_scalar.h"
+
+namespace buckwild::simd::avx512 {
+
+/// True when this build has AVX-512 kernels AND the CPU supports them.
+bool available();
+
+float dot_d8m8(const std::int8_t* x, const std::int8_t* w, std::size_t n,
+               float scale);
+void axpy_d8m8(std::int8_t* w, const std::int8_t* x, std::size_t n,
+               FixedScalar cs, const DitherBlock& dither);
+float dot_dfmf(const float* x, const float* w, std::size_t n);
+void axpy_dfmf(float* w, const float* x, std::size_t n, float cf);
+
+// Pairs without native 512-bit kernels forward to the AVX2 versions so
+// Impl::kAvx512 is usable with every signature.
+inline float dot_d8m16(const std::int8_t* x, const std::int16_t* w,
+                       std::size_t n, float scale)
+{ return avx2::dot_d8m16(x, w, n, scale); }
+inline float dot_d16m8(const std::int16_t* x, const std::int8_t* w,
+                       std::size_t n, float scale)
+{ return avx2::dot_d16m8(x, w, n, scale); }
+inline float dot_d16m16(const std::int16_t* x, const std::int16_t* w,
+                        std::size_t n, float scale)
+{ return avx2::dot_d16m16(x, w, n, scale); }
+inline float dot_d8mf(const std::int8_t* x, const float* w, std::size_t n,
+                      float qx)
+{ return avx2::dot_d8mf(x, w, n, qx); }
+inline float dot_d16mf(const std::int16_t* x, const float* w,
+                       std::size_t n, float qx)
+{ return avx2::dot_d16mf(x, w, n, qx); }
+inline float dot_dfm8(const float* x, const std::int8_t* w, std::size_t n,
+                      float qm)
+{ return avx2::dot_dfm8(x, w, n, qm); }
+inline float dot_dfm16(const float* x, const std::int16_t* w,
+                       std::size_t n, float qm)
+{ return avx2::dot_dfm16(x, w, n, qm); }
+inline void axpy_d16m8(std::int8_t* w, const std::int16_t* x,
+                       std::size_t n, FixedScalar cs,
+                       const DitherBlock& d)
+{ avx2::axpy_d16m8(w, x, n, cs, d); }
+inline void axpy_d8m16(std::int16_t* w, const std::int8_t* x,
+                       std::size_t n, FixedScalar cs,
+                       const DitherBlock& d)
+{ avx2::axpy_d8m16(w, x, n, cs, d); }
+inline void axpy_d16m16(std::int16_t* w, const std::int16_t* x,
+                        std::size_t n, FixedScalar cs,
+                        const DitherBlock& d)
+{ avx2::axpy_d16m16(w, x, n, cs, d); }
+inline void axpy_dfm8(std::int8_t* w, const float* x, std::size_t n,
+                      float cf, const DitherBlock& d)
+{ avx2::axpy_dfm8(w, x, n, cf, d); }
+inline void axpy_dfm16(std::int16_t* w, const float* x, std::size_t n,
+                       float cf, const DitherBlock& d)
+{ avx2::axpy_dfm16(w, x, n, cf, d); }
+inline void axpy_d8mf(float* w, const std::int8_t* x, std::size_t n,
+                      float cf)
+{ avx2::axpy_d8mf(w, x, n, cf); }
+inline void axpy_d16mf(float* w, const std::int16_t* x, std::size_t n,
+                       float cf)
+{ avx2::axpy_d16mf(w, x, n, cf); }
+
+} // namespace buckwild::simd::avx512
+
+#endif // BUCKWILD_SIMD_DENSE_AVX512_H

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * See dense_naive.h. This translation unit is compiled with -Ofast
+ * (set in src/simd/CMakeLists.txt) to give the compiler its best shot,
+ * matching the paper's GCC baseline.
+ */
+#include "simd/dense_naive.h"
+
+#include <cmath>
+
+namespace buckwild::simd::naive {
+
+namespace {
+
+// The straightforward "cast up to float and accumulate" dot loop of
+// Figure 1. GCC vectorizes this with cvt + mulps + addps chains — many
+// instructions per element compared to one vpmaddubsw.
+template <typename Dx, typename Dw>
+float
+dot_cast(const Dx* x, const Dw* w, std::size_t n, float scale)
+{
+    float acc = 0.0f;
+    for (std::size_t i = 0; i < n; ++i)
+        acc += static_cast<float>(x[i]) * static_cast<float>(w[i]);
+    return acc * scale;
+}
+
+// The straightforward fixed-model AXPY: everything in float, then round
+// and clamp on the store.
+template <typename Dx, typename Mw>
+void
+axpy_cast(Mw* w, const Dx* x, std::size_t n, FixedScalar cs,
+          const DitherBlock& dither, float lo, float hi)
+{
+    const float mult = static_cast<float>(cs.mult);
+    const float inv = 1.0f / static_cast<float>(1 << cs.shift);
+    for (std::size_t i = 0; i < n; ++i) {
+        const float u =
+            static_cast<float>(dither.dither_fixed(i, cs.shift));
+        const float delta =
+            std::floor((mult * static_cast<float>(x[i]) + u) * inv);
+        float v = static_cast<float>(w[i]) + delta;
+        if (v > hi) v = hi;
+        if (v < lo) v = lo;
+        w[i] = static_cast<Mw>(v);
+    }
+}
+
+template <typename Mw>
+void
+axpy_float_data(Mw* w, const float* x, std::size_t n, float cf,
+                const DitherBlock& dither, float lo, float hi)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        const float delta = std::floor(cf * x[i] + dither.dither_unit(i));
+        float v = static_cast<float>(w[i]) + delta;
+        if (v > hi) v = hi;
+        if (v < lo) v = lo;
+        w[i] = static_cast<Mw>(v);
+    }
+}
+
+} // namespace
+
+float
+dot_d8m8(const std::int8_t* x, const std::int8_t* w, std::size_t n,
+         float scale)
+{
+    return dot_cast(x, w, n, scale);
+}
+
+float
+dot_d8m16(const std::int8_t* x, const std::int16_t* w, std::size_t n,
+          float scale)
+{
+    return dot_cast(x, w, n, scale);
+}
+
+float
+dot_d16m8(const std::int16_t* x, const std::int8_t* w, std::size_t n,
+          float scale)
+{
+    return dot_cast(x, w, n, scale);
+}
+
+float
+dot_d16m16(const std::int16_t* x, const std::int16_t* w, std::size_t n,
+           float scale)
+{
+    return dot_cast(x, w, n, scale);
+}
+
+float
+dot_d8mf(const std::int8_t* x, const float* w, std::size_t n, float qx)
+{
+    return dot_cast(x, w, n, qx);
+}
+
+float
+dot_d16mf(const std::int16_t* x, const float* w, std::size_t n, float qx)
+{
+    return dot_cast(x, w, n, qx);
+}
+
+float
+dot_dfm8(const float* x, const std::int8_t* w, std::size_t n, float qm)
+{
+    return dot_cast(x, w, n, qm);
+}
+
+float
+dot_dfm16(const float* x, const std::int16_t* w, std::size_t n, float qm)
+{
+    return dot_cast(x, w, n, qm);
+}
+
+float
+dot_dfmf(const float* x, const float* w, std::size_t n)
+{
+    return dot_cast(x, w, n, 1.0f);
+}
+
+void
+axpy_d8m8(std::int8_t* w, const std::int8_t* x, std::size_t n, FixedScalar cs,
+          const DitherBlock& dither)
+{
+    axpy_cast(w, x, n, cs, dither, -127.0f, 127.0f);
+}
+
+void
+axpy_d16m8(std::int8_t* w, const std::int16_t* x, std::size_t n,
+           FixedScalar cs, const DitherBlock& dither)
+{
+    axpy_cast(w, x, n, cs, dither, -127.0f, 127.0f);
+}
+
+void
+axpy_d8m16(std::int16_t* w, const std::int8_t* x, std::size_t n,
+           FixedScalar cs, const DitherBlock& dither)
+{
+    axpy_cast(w, x, n, cs, dither, -32767.0f, 32767.0f);
+}
+
+void
+axpy_d16m16(std::int16_t* w, const std::int16_t* x, std::size_t n,
+            FixedScalar cs, const DitherBlock& dither)
+{
+    axpy_cast(w, x, n, cs, dither, -32767.0f, 32767.0f);
+}
+
+void
+axpy_dfm8(std::int8_t* w, const float* x, std::size_t n, float cf,
+          const DitherBlock& dither)
+{
+    axpy_float_data(w, x, n, cf, dither, -127.0f, 127.0f);
+}
+
+void
+axpy_dfm16(std::int16_t* w, const float* x, std::size_t n, float cf,
+           const DitherBlock& dither)
+{
+    axpy_float_data(w, x, n, cf, dither, -32767.0f, 32767.0f);
+}
+
+void
+axpy_d8mf(float* w, const std::int8_t* x, std::size_t n, float cf)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        w[i] += cf * static_cast<float>(x[i]);
+}
+
+void
+axpy_d16mf(float* w, const std::int16_t* x, std::size_t n, float cf)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        w[i] += cf * static_cast<float>(x[i]);
+}
+
+void
+axpy_dfmf(float* w, const float* x, std::size_t n, float cf)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        w[i] += cf * x[i];
+}
+
+} // namespace buckwild::simd::naive

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * "Generic code" dense kernels — the compiler-vectorized baseline of §5.1.
+ *
+ * These loops are written exactly the way the paper's Figure 1 writes SGD:
+ * every low-precision element is cast up to float, the arithmetic happens
+ * in float, and the result is cast back down with rounding. The C++
+ * language semantics force this structure (an int8*int8 multiply would
+ * overflow), and — as §5.1 explains — GCC cannot rediscover the fused
+ * low-precision instructions from it, so even at -Ofast (which this
+ * translation unit is compiled with, matching the paper) these run up to
+ * ~11x slower than the hand kernels in dense_avx2.h.
+ *
+ * Rounding semantics intentionally match the reference kernels so that
+ * Fig 4's comparison is apples-to-apples: same dither block, same
+ * saturation, only the instruction selection differs.
+ */
+#ifndef BUCKWILD_SIMD_DENSE_NAIVE_H
+#define BUCKWILD_SIMD_DENSE_NAIVE_H
+
+#include <cstddef>
+#include <cstdint>
+
+#include "simd/fixed_scalar.h"
+
+namespace buckwild::simd::naive {
+
+// dot: float-cast element products, float accumulation (what Figure 1's
+// `xi_dot_w += x[i] * w[i]` does after type promotion).
+float dot_d8m8(const std::int8_t* x, const std::int8_t* w, std::size_t n,
+               float scale);
+float dot_d8m16(const std::int8_t* x, const std::int16_t* w, std::size_t n,
+                float scale);
+float dot_d16m8(const std::int16_t* x, const std::int8_t* w, std::size_t n,
+                float scale);
+float dot_d16m16(const std::int16_t* x, const std::int16_t* w, std::size_t n,
+                 float scale);
+float dot_d8mf(const std::int8_t* x, const float* w, std::size_t n, float qx);
+float dot_d16mf(const std::int16_t* x, const float* w, std::size_t n,
+                float qx);
+float dot_dfm8(const float* x, const std::int8_t* w, std::size_t n, float qm);
+float dot_dfm16(const float* x, const std::int16_t* w, std::size_t n,
+                float qm);
+float dot_dfmf(const float* x, const float* w, std::size_t n);
+
+// AXPY: float-cast update then quantize back (Figure 1's
+// `w[i] += scale_a * x[i]` with the cast-to-low-precision store).
+void axpy_d8m8(std::int8_t* w, const std::int8_t* x, std::size_t n,
+               FixedScalar cs, const DitherBlock& dither);
+void axpy_d16m8(std::int8_t* w, const std::int16_t* x, std::size_t n,
+                FixedScalar cs, const DitherBlock& dither);
+void axpy_d8m16(std::int16_t* w, const std::int8_t* x, std::size_t n,
+                FixedScalar cs, const DitherBlock& dither);
+void axpy_d16m16(std::int16_t* w, const std::int16_t* x, std::size_t n,
+                 FixedScalar cs, const DitherBlock& dither);
+void axpy_dfm8(std::int8_t* w, const float* x, std::size_t n, float cf,
+               const DitherBlock& dither);
+void axpy_dfm16(std::int16_t* w, const float* x, std::size_t n, float cf,
+                const DitherBlock& dither);
+void axpy_d8mf(float* w, const std::int8_t* x, std::size_t n, float cf);
+void axpy_d16mf(float* w, const std::int16_t* x, std::size_t n, float cf);
+void axpy_dfmf(float* w, const float* x, std::size_t n, float cf);
+
+} // namespace buckwild::simd::naive
+
+#endif // BUCKWILD_SIMD_DENSE_NAIVE_H

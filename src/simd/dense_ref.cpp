@@ -1,0 +1,172 @@
+#include "simd/dense_ref.h"
+
+namespace buckwild::simd::ref {
+
+namespace {
+
+/// Generic exact fixed-fixed dot.
+template <typename Dx, typename Dw>
+float
+dot_fixed(const Dx* x, const Dw* w, std::size_t n, float scale)
+{
+    std::int64_t acc = 0;
+    for (std::size_t i = 0; i < n; ++i)
+        acc += static_cast<std::int64_t>(x[i]) * static_cast<std::int64_t>(w[i]);
+    return static_cast<float>(acc) * scale;
+}
+
+/// Generic mixed dot: fixed x against float w (or vice versa by swapping).
+template <typename Dx>
+float
+dot_fixed_float(const Dx* x, const float* w, std::size_t n, float q)
+{
+    // Double accumulation: the AVX2 kernels keep 8 float partial sums, so
+    // exact float equality is not required here — the tests use relative
+    // tolerance for all float-accumulating paths.
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+        acc += static_cast<double>(x[i]) * static_cast<double>(w[i]);
+    return static_cast<float>(acc * q);
+}
+
+} // namespace
+
+float
+dot_d8m8(const std::int8_t* x, const std::int8_t* w, std::size_t n,
+         float scale)
+{
+    return dot_fixed(x, w, n, scale);
+}
+
+float
+dot_d8m16(const std::int8_t* x, const std::int16_t* w, std::size_t n,
+          float scale)
+{
+    return dot_fixed(x, w, n, scale);
+}
+
+float
+dot_d16m8(const std::int16_t* x, const std::int8_t* w, std::size_t n,
+          float scale)
+{
+    return dot_fixed(x, w, n, scale);
+}
+
+float
+dot_d16m16(const std::int16_t* x, const std::int16_t* w, std::size_t n,
+           float scale)
+{
+    return dot_fixed(x, w, n, scale);
+}
+
+float
+dot_d8mf(const std::int8_t* x, const float* w, std::size_t n, float qx)
+{
+    return dot_fixed_float(x, w, n, qx);
+}
+
+float
+dot_d16mf(const std::int16_t* x, const float* w, std::size_t n, float qx)
+{
+    return dot_fixed_float(x, w, n, qx);
+}
+
+float
+dot_dfm8(const float* x, const std::int8_t* w, std::size_t n, float qm)
+{
+    return dot_fixed_float(w, x, n, qm);
+}
+
+float
+dot_dfm16(const float* x, const std::int16_t* w, std::size_t n, float qm)
+{
+    return dot_fixed_float(w, x, n, qm);
+}
+
+float
+dot_dfmf(const float* x, const float* w, std::size_t n)
+{
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+        acc += static_cast<double>(x[i]) * static_cast<double>(w[i]);
+    return static_cast<float>(acc);
+}
+
+void
+axpy_d8m8(std::int8_t* w, const std::int8_t* x, std::size_t n, FixedScalar cs,
+          const DitherBlock& dither)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        w[i] = update_m8(w[i], x[i], cs, dither.dither_fixed(i, cs.shift));
+}
+
+void
+axpy_d16m8(std::int8_t* w, const std::int16_t* x, std::size_t n,
+           FixedScalar cs, const DitherBlock& dither)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        w[i] = update_m8(w[i], x[i], cs, dither.dither_fixed(i, cs.shift));
+}
+
+void
+axpy_d8m16(std::int16_t* w, const std::int8_t* x, std::size_t n,
+           FixedScalar cs, const DitherBlock& dither)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        w[i] = update_m16(w[i], x[i], cs, dither.dither_fixed(i, cs.shift));
+}
+
+void
+axpy_d16m16(std::int16_t* w, const std::int16_t* x, std::size_t n,
+            FixedScalar cs, const DitherBlock& dither)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        w[i] = update_m16(w[i], x[i], cs, dither.dither_fixed(i, cs.shift));
+}
+
+void
+axpy_dfm8(std::int8_t* w, const float* x, std::size_t n, float cf,
+          const DitherBlock& dither)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::int32_t delta =
+            quantize_delta(cf, x[i], dither.dither_unit(i));
+        w[i] = static_cast<std::int8_t>(
+            saturate_model8(w[i] + saturate_i16(delta)));
+    }
+}
+
+void
+axpy_dfm16(std::int16_t* w, const float* x, std::size_t n, float cf,
+           const DitherBlock& dither)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::int32_t delta =
+            quantize_delta(cf, x[i], dither.dither_unit(i));
+        w[i] = static_cast<std::int16_t>(
+            saturate_model16(w[i] + saturate_i16(delta)));
+    }
+}
+
+void
+axpy_d8mf(float* w, const std::int8_t* x, std::size_t n, float cf)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        w[i] += cf * static_cast<float>(x[i]);
+}
+
+void
+axpy_d16mf(float* w, const std::int16_t* x, std::size_t n, float cf)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        w[i] += cf * static_cast<float>(x[i]);
+}
+
+void
+axpy_dfmf(float* w, const float* x, std::size_t n, float cf)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        w[i] += cf * x[i];
+}
+
+} // namespace buckwild::simd::ref

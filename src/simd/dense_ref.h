@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Reference scalar implementations of the dense dot and AXPY kernels.
+ *
+ * These define the *exact semantic contract* of the library's dense
+ * operations: the hand-optimized AVX2 kernels (dense_avx2.h) must produce
+ * bit-identical results for every fixed-point path, and the unit tests
+ * enforce this. They are deliberately straightforward, unoptimized loops.
+ *
+ * Naming: `dot_d8m16` is the dot product of an 8-bit fixed dataset vector
+ * with a 16-bit fixed model vector; `f` denotes 32-bit float (so `dfm8` is
+ * a float dataset against an 8-bit model). AXPY kernels update the model
+ * in place: w <- saturate(w + round(c * x)).
+ *
+ * Conventions (see fixed_scalar.h for the rounding machinery):
+ *  - fixed x fixed dots accumulate exactly in int64 and scale once at the
+ *    end: result = scale * sum(x_i * w_i), scale = qx * qm;
+ *  - 8-bit model values are saturated *symmetrically* to [-127, 127] (the
+ *    vpmaddubsw sign-trick in the AVX2 dot requires the model to avoid
+ *    -128), 16-bit model values to [-32767, 32767] (vpmaddwd overflow);
+ *  - float-dataset AXPYs quantize  delta = floor(cf*x + u)  with the dither
+ *    u read from the shared DitherBlock, after clamping into int16 range.
+ */
+#ifndef BUCKWILD_SIMD_DENSE_REF_H
+#define BUCKWILD_SIMD_DENSE_REF_H
+
+#include <cstddef>
+#include <cstdint>
+
+#include "simd/fixed_scalar.h"
+
+namespace buckwild::simd::ref {
+
+// ------------------------------------------------------------------- dot
+
+/// Exact int64-accumulated dot of fixed vectors, times `scale` (= qx*qm).
+float dot_d8m8(const std::int8_t* x, const std::int8_t* w, std::size_t n,
+               float scale);
+float dot_d8m16(const std::int8_t* x, const std::int16_t* w, std::size_t n,
+                float scale);
+float dot_d16m8(const std::int16_t* x, const std::int8_t* w, std::size_t n,
+                float scale);
+float dot_d16m16(const std::int16_t* x, const std::int16_t* w, std::size_t n,
+                 float scale);
+
+/// Mixed fixed/float dots: float accumulation, times the fixed quantum.
+float dot_d8mf(const std::int8_t* x, const float* w, std::size_t n, float qx);
+float dot_d16mf(const std::int16_t* x, const float* w, std::size_t n,
+                float qx);
+float dot_dfm8(const float* x, const std::int8_t* w, std::size_t n, float qm);
+float dot_dfm16(const float* x, const std::int16_t* w, std::size_t n,
+                float qm);
+
+/// Full-precision dot.
+float dot_dfmf(const float* x, const float* w, std::size_t n);
+
+// ------------------------------------------------------------------ AXPY
+//
+// Fixed-model AXPYs: cs = FixedScalar for c expressed in (model quanta per
+// dataset raw unit), i.e. cs.value() ~= c_real * qx / qm. The dither block
+// supplies the rounding randomness (or the deterministic biased dither).
+
+void axpy_d8m8(std::int8_t* w, const std::int8_t* x, std::size_t n,
+               FixedScalar cs, const DitherBlock& dither);
+void axpy_d16m8(std::int8_t* w, const std::int16_t* x, std::size_t n,
+                FixedScalar cs, const DitherBlock& dither);
+void axpy_d8m16(std::int16_t* w, const std::int8_t* x, std::size_t n,
+                FixedScalar cs, const DitherBlock& dither);
+void axpy_d16m16(std::int16_t* w, const std::int16_t* x, std::size_t n,
+                 FixedScalar cs, const DitherBlock& dither);
+
+/// Float-dataset, fixed-model: cf = c_real / qm (model quanta per x unit).
+void axpy_dfm8(std::int8_t* w, const float* x, std::size_t n, float cf,
+               const DitherBlock& dither);
+void axpy_dfm16(std::int16_t* w, const float* x, std::size_t n, float cf,
+                const DitherBlock& dither);
+
+/// Float-model AXPYs need no rounding: cf = c_real * qx (or c_real for
+/// float datasets).
+void axpy_d8mf(float* w, const std::int8_t* x, std::size_t n, float cf);
+void axpy_d16mf(float* w, const std::int16_t* x, std::size_t n, float cf);
+void axpy_dfmf(float* w, const float* x, std::size_t n, float cf);
+
+// ------------------------------------------------- shared scalar helpers
+
+/// Symmetric int8 model saturation, [-127, 127].
+inline std::int32_t
+saturate_model8(std::int32_t v)
+{
+    return v < -127 ? -127 : (v > 127 ? 127 : v);
+}
+
+/// Symmetric int16 model saturation, [-32767, 32767].
+inline std::int32_t
+saturate_model16(std::int32_t v)
+{
+    return v < -32767 ? -32767 : (v > 32767 ? 32767 : v);
+}
+
+/// The exact per-element fixed-AXPY update for an 8-bit model.
+inline std::int8_t
+update_m8(std::int8_t w, std::int32_t x, FixedScalar cs, std::uint32_t dither)
+{
+    const std::int32_t delta =
+        (cs.mult * x + static_cast<std::int32_t>(dither)) >> cs.shift;
+    return static_cast<std::int8_t>(saturate_model8(w + saturate_i16(delta)));
+}
+
+/// The exact per-element fixed-AXPY update for a 16-bit model.
+inline std::int16_t
+update_m16(std::int16_t w, std::int32_t x, FixedScalar cs,
+           std::uint32_t dither)
+{
+    const std::int32_t delta =
+        (cs.mult * x + static_cast<std::int32_t>(dither)) >> cs.shift;
+    return static_cast<std::int16_t>(
+        saturate_model16(w + saturate_i16(delta)));
+}
+
+/// The exact float-dataset delta quantization: floor(fma(cf, x, u)),
+/// clamped into int16 range. The fused multiply-add is explicit so the
+/// scalar contract matches the AVX2 kernel's vfmadd exactly.
+inline std::int32_t
+quantize_delta(float cf, float x, float u)
+{
+    float v = __builtin_fmaf(cf, x, u);
+    if (v > 32767.0f) v = 32767.0f;
+    if (v < -32768.0f) v = -32768.0f;
+    return static_cast<std::int32_t>(__builtin_floorf(v));
+}
+
+} // namespace buckwild::simd::ref
+
+#endif // BUCKWILD_SIMD_DENSE_REF_H

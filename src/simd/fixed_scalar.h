@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Fixed-point representation of the AXPY scale factor, and the dither
+ * values that implement rounding inside the kernels.
+ *
+ * The SGD update  w <- w + c * x  (c = -eta * scalar gradient term) is
+ * executed in integer arithmetic: the float coefficient c (expressed in
+ * model quanta per raw dataset unit) is converted once per AXPY into a
+ * (multiplier, shift) pair such that c ~= mult / 2^shift, and every
+ * element update becomes
+ *
+ *     delta_i = (mult * x_i + dither_i) >> shift            (arithmetic)
+ *     w_i     = saturate_model(w_i + saturate16(delta_i))
+ *
+ * The dither term implements the rounding mode:
+ *   - biased (nearest):  dither = 2^(shift-1)  (deterministic half-up)
+ *   - unbiased (Eq. 4):  dither ~ U{0 .. 2^shift - 1}
+ *
+ * This is exactly the structure of the paper's proposed AXPY instruction
+ * (§6.1): "multiplies an 8-bit vector by an 8-bit scalar, producing 16-bit
+ * intermediate values, which it then adds to a hardware-generated
+ * pseudorandom 8-bit vector, before truncating".
+ *
+ * The shift is chosen per (dataset, model) pair so that (a) products never
+ * overflow the kernel's lane width and (b) the multiplier has enough
+ * resolution for realistic step sizes even when the dataset quantum is
+ * tiny (the D16 -> M8 case needs c values around eta * qx/qm ~ eta/256):
+ *
+ *   pair      shift  mult cap  lane math
+ *   D8  M8      7      255     int16: |mult*x| + dither <= 32640+127
+ *   D8  M16     9     32767    int32: |mult*x| <= 2^22
+ *   D16 M16    14     32767    int32: |mult*x| <= 2^30
+ *   D16 M8     20     32767    int32: |mult*x| <= 2^30, dither < 2^20
+ *
+ * Dithers are read from a 256-bit shared block through a single uniform
+ * lens: sixteen u16 words, repeating with period 16. For shift <= 16 the
+ * word is masked to `shift` bits; for shift > 16 it is scaled up by
+ * 2^(shift-16), which quantizes the ideal uniform dither to 2^(shift-16)
+ * levels of granularity — a relative rounding bias below 2^-16, far under
+ * the noise floor of SGD.
+ */
+#ifndef BUCKWILD_SIMD_FIXED_SCALAR_H
+#define BUCKWILD_SIMD_FIXED_SCALAR_H
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+namespace buckwild::simd {
+
+/// Per-pair shift constants (see table above).
+inline constexpr int kShiftD8M8 = 7;
+inline constexpr int kShiftD8M16 = 9;
+inline constexpr int kShiftD16M16 = 14;
+inline constexpr int kShiftD16M8 = 20;
+
+/// Multiplier bound for the int16-lane D8M8 path.
+inline constexpr int kMultLimitM8 = 255;
+/// Multiplier bound for the int32-lane paths.
+inline constexpr int kMultLimit32 = 32767;
+
+/// A fixed-point scale factor c ~= mult / 2^shift.
+struct FixedScalar
+{
+    std::int32_t mult;
+    int shift;
+
+    /// The float value this scalar actually applies.
+    float value() const
+    {
+        return static_cast<float>(mult) /
+               static_cast<float>(1 << shift);
+    }
+};
+
+namespace detail {
+
+inline FixedScalar
+make_scalar(float c, int shift, int limit)
+{
+    const double scaled =
+        static_cast<double>(c) * static_cast<double>(1 << shift);
+    const long raw = std::lround(scaled);
+    return {static_cast<std::int32_t>(std::clamp<long>(raw, -limit, limit)),
+            shift};
+}
+
+} // namespace detail
+
+/// Scale builders, one per (dataset, model) kernel pair.
+inline FixedScalar
+make_scalar_d8m8(float c)
+{
+    return detail::make_scalar(c, kShiftD8M8, kMultLimitM8);
+}
+
+inline FixedScalar
+make_scalar_d8m16(float c)
+{
+    return detail::make_scalar(c, kShiftD8M16, kMultLimit32);
+}
+
+inline FixedScalar
+make_scalar_d16m16(float c)
+{
+    return detail::make_scalar(c, kShiftD16M16, kMultLimit32);
+}
+
+inline FixedScalar
+make_scalar_d16m8(float c)
+{
+    return detail::make_scalar(c, kShiftD16M8, kMultLimit32);
+}
+
+/// Saturates to the int16 range (mirrors packs semantics).
+inline std::int32_t
+saturate_i16(std::int32_t v)
+{
+    return std::clamp<std::int32_t>(v, -32768, 32767);
+}
+
+/// Saturates to the int8 range.
+inline std::int32_t
+saturate_i8(std::int32_t v)
+{
+    return std::clamp<std::int32_t>(v, -128, 127);
+}
+
+/**
+ * The 32-byte dither block shared by one AXPY call (§5.2 footnote 11: the
+ * vectorized XORSHIFT is run "once every iteration to produce 256 fresh
+ * bits of randomness ... shared for rounding throughout the AXPY").
+ *
+ * Fixed-point kernels read it as sixteen u16 words (period 16) shaped to
+ * the pair's shift by dither_fixed(); float-dataset kernels read unit
+ * floats in [0, 1) via dither_unit().
+ */
+struct alignas(32) DitherBlock
+{
+    std::uint8_t bytes[32];
+
+    /// Raw u16 word for element i.
+    std::uint32_t
+    word16(std::size_t i) const
+    {
+        const std::size_t k = (i % 16) * 2;
+        return static_cast<std::uint32_t>(bytes[k]) |
+               (static_cast<std::uint32_t>(bytes[k + 1]) << 8);
+    }
+
+    /// Dither for a fixed-point AXPY with the given shift: uniform-ish on
+    /// [0, 2^shift) (exactly uniform for shift <= 16).
+    std::uint32_t
+    dither_fixed(std::size_t i, int shift) const
+    {
+        const std::uint32_t w = word16(i);
+        if (shift <= 16) return w & ((1u << shift) - 1u);
+        return w << (shift - 16);
+    }
+
+    /// Dither for float-dataset quantization: uniform on [0, 1).
+    float
+    dither_unit(std::size_t i) const
+    {
+        return static_cast<float>(word16(i)) * 0x1.0p-16f;
+    }
+};
+
+/// Deterministic block implementing biased (round-half-up) rounding for a
+/// fixed-point AXPY with the given shift: every dither is 2^(shift-1).
+inline DitherBlock
+biased_fixed(int shift)
+{
+    const std::uint32_t u16 =
+        shift <= 16 ? (1u << (shift - 1)) : (1u << 15);
+    DitherBlock block;
+    for (std::size_t k = 0; k < 32; k += 2) {
+        block.bytes[k] = static_cast<std::uint8_t>(u16 & 0xFF);
+        block.bytes[k + 1] = static_cast<std::uint8_t>(u16 >> 8);
+    }
+    return block;
+}
+
+/// Biased dither block for float-quantization paths: every u16 0x8000 so
+/// dither_unit() = 0.5 exactly.
+inline DitherBlock
+biased_unit()
+{
+    return biased_fixed(17); // u16 = 2^15 -> unit dither 0.5
+}
+
+} // namespace buckwild::simd
+
+#endif // BUCKWILD_SIMD_FIXED_SCALAR_H

@@ -1,0 +1,26 @@
+#include "simd/ops.h"
+
+#include <stdexcept>
+
+namespace buckwild::simd {
+
+const char*
+to_string(Impl impl)
+{
+    switch (impl) {
+      case Impl::kReference: return "reference";
+      case Impl::kNaive: return "naive";
+      case Impl::kAvx2: return "avx2";
+      case Impl::kAvx512: return "avx512";
+    }
+    throw std::invalid_argument("unknown Impl");
+}
+
+Impl
+best_impl()
+{
+    if (avx512::available()) return Impl::kAvx512;
+    return avx2::available() ? Impl::kAvx2 : Impl::kReference;
+}
+
+} // namespace buckwild::simd

@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Uniform typed facade over the kernel implementations.
+ *
+ * The SGD engine (src/core) is templated on the dataset rep D and model
+ * rep M; DenseOps<D, M> routes its dot/AXPY calls to the reference, naive
+ * (compiler-baseline), or hand-optimized AVX2 kernels based on the runtime
+ * `Impl` selector, and converts real-valued scale factors into each
+ * kernel's native parameterization (FixedScalar, pre-multiplied quanta).
+ *
+ * Supported (D, M) pairs are exactly Table 2's nine signatures:
+ * {int8, int16, float} x {int8, int16, float}.
+ */
+#ifndef BUCKWILD_SIMD_OPS_H
+#define BUCKWILD_SIMD_OPS_H
+
+#include <cstdint>
+
+#include "simd/dense_avx2.h"
+#include "simd/dense_avx512.h"
+#include "simd/dense_naive.h"
+#include "simd/dense_ref.h"
+#include "simd/fixed_scalar.h"
+
+namespace buckwild::simd {
+
+/// Which kernel implementation executes the linear algebra.
+enum class Impl {
+    kReference, ///< exact-contract scalar loops
+    kNaive,     ///< Figure-1-style code, compiler-vectorized at -Ofast
+    kAvx2,      ///< hand-optimized AVX2 intrinsics (§5.1)
+    kAvx512,    ///< 512-bit kernels (D8M8 + float native; rest via AVX2)
+};
+
+/// "reference" / "naive" / "avx2".
+const char* to_string(Impl impl);
+
+/// The fastest implementation available in this build.
+Impl best_impl();
+
+template <typename D, typename M>
+struct DenseOps;
+
+// Helper macro: stamps out the three-way dispatch for one (D, M) pair.
+// qx/qm are the dataset/model quanta (1.0f for float reps); c is the
+// real-valued AXPY coefficient (w += c * x in real units).
+#define BUCKWILD_DENSE_OPS(D, M, SUFFIX, DOT_SCALE, MAKE_CS, CS_EXPR)         \
+    template <>                                                               \
+    struct DenseOps<D, M>                                                     \
+    {                                                                         \
+        static float                                                         \
+        dot(Impl impl, const D* x, const M* w, std::size_t n, float qx,      \
+            float qm)                                                        \
+        {                                                                    \
+            const float scale = (DOT_SCALE);                                 \
+            switch (impl) {                                                  \
+              case Impl::kNaive: return naive::dot_##SUFFIX(x, w, n, scale); \
+              case Impl::kAvx2: return avx2::dot_##SUFFIX(x, w, n, scale);   \
+              case Impl::kAvx512:                                            \
+                return avx512::dot_##SUFFIX(x, w, n, scale);                 \
+              default: return ref::dot_##SUFFIX(x, w, n, scale);             \
+            }                                                                \
+        }                                                                    \
+        static void                                                         \
+        axpy(Impl impl, M* w, const D* x, std::size_t n, float c, float qx, \
+             float qm, const DitherBlock& dither)                           \
+        {                                                                    \
+            const auto cs = MAKE_CS(CS_EXPR);                                \
+            switch (impl) {                                                  \
+              case Impl::kNaive:                                             \
+                naive::axpy_##SUFFIX(w, x, n, cs, dither);                   \
+                break;                                                       \
+              case Impl::kAvx2:                                              \
+                avx2::axpy_##SUFFIX(w, x, n, cs, dither);                    \
+                break;                                                       \
+              case Impl::kAvx512:                                            \
+                avx512::axpy_##SUFFIX(w, x, n, cs, dither);                  \
+                break;                                                       \
+              default: ref::axpy_##SUFFIX(w, x, n, cs, dither);              \
+            }                                                                \
+        }                                                                    \
+    };
+
+// Fixed-model pairs: the AXPY coefficient in model quanta per raw x unit.
+BUCKWILD_DENSE_OPS(std::int8_t, std::int8_t, d8m8, qx* qm, make_scalar_d8m8,
+                   c* qx / qm)
+BUCKWILD_DENSE_OPS(std::int16_t, std::int8_t, d16m8, qx* qm,
+                   make_scalar_d16m8, c* qx / qm)
+BUCKWILD_DENSE_OPS(std::int8_t, std::int16_t, d8m16, qx* qm,
+                   make_scalar_d8m16, c* qx / qm)
+BUCKWILD_DENSE_OPS(std::int16_t, std::int16_t, d16m16, qx* qm,
+                   make_scalar_d16m16, c* qx / qm)
+
+#undef BUCKWILD_DENSE_OPS
+
+// The float-involving pairs have enough signature variation that the
+// dispatch is written out explicitly.
+
+template <>
+struct DenseOps<float, std::int8_t>
+{
+    static float
+    dot(Impl impl, const float* x, const std::int8_t* w, std::size_t n,
+        float /*qx*/, float qm)
+    {
+        switch (impl) {
+          case Impl::kNaive: return naive::dot_dfm8(x, w, n, qm);
+          case Impl::kAvx2: return avx2::dot_dfm8(x, w, n, qm);
+          case Impl::kAvx512: return avx512::dot_dfm8(x, w, n, qm);
+          default: return ref::dot_dfm8(x, w, n, qm);
+        }
+    }
+    static void
+    axpy(Impl impl, std::int8_t* w, const float* x, std::size_t n, float c,
+         float /*qx*/, float qm, const DitherBlock& dither)
+    {
+        const float cf = c / qm;
+        switch (impl) {
+          case Impl::kNaive: naive::axpy_dfm8(w, x, n, cf, dither); break;
+          case Impl::kAvx2: avx2::axpy_dfm8(w, x, n, cf, dither); break;
+          case Impl::kAvx512:
+            avx512::axpy_dfm8(w, x, n, cf, dither);
+            break;
+          default: ref::axpy_dfm8(w, x, n, cf, dither);
+        }
+    }
+};
+
+template <>
+struct DenseOps<float, std::int16_t>
+{
+    static float
+    dot(Impl impl, const float* x, const std::int16_t* w, std::size_t n,
+        float /*qx*/, float qm)
+    {
+        switch (impl) {
+          case Impl::kNaive: return naive::dot_dfm16(x, w, n, qm);
+          case Impl::kAvx2: return avx2::dot_dfm16(x, w, n, qm);
+          case Impl::kAvx512: return avx512::dot_dfm16(x, w, n, qm);
+          default: return ref::dot_dfm16(x, w, n, qm);
+        }
+    }
+    static void
+    axpy(Impl impl, std::int16_t* w, const float* x, std::size_t n, float c,
+         float /*qx*/, float qm, const DitherBlock& dither)
+    {
+        const float cf = c / qm;
+        switch (impl) {
+          case Impl::kNaive: naive::axpy_dfm16(w, x, n, cf, dither); break;
+          case Impl::kAvx2: avx2::axpy_dfm16(w, x, n, cf, dither); break;
+          case Impl::kAvx512:
+            avx512::axpy_dfm16(w, x, n, cf, dither);
+            break;
+          default: ref::axpy_dfm16(w, x, n, cf, dither);
+        }
+    }
+};
+
+template <>
+struct DenseOps<std::int8_t, float>
+{
+    static float
+    dot(Impl impl, const std::int8_t* x, const float* w, std::size_t n,
+        float qx, float /*qm*/)
+    {
+        switch (impl) {
+          case Impl::kNaive: return naive::dot_d8mf(x, w, n, qx);
+          case Impl::kAvx2: return avx2::dot_d8mf(x, w, n, qx);
+          case Impl::kAvx512: return avx512::dot_d8mf(x, w, n, qx);
+          default: return ref::dot_d8mf(x, w, n, qx);
+        }
+    }
+    static void
+    axpy(Impl impl, float* w, const std::int8_t* x, std::size_t n, float c,
+         float qx, float /*qm*/, const DitherBlock& /*dither*/)
+    {
+        const float cf = c * qx;
+        switch (impl) {
+          case Impl::kNaive: naive::axpy_d8mf(w, x, n, cf); break;
+          case Impl::kAvx2: avx2::axpy_d8mf(w, x, n, cf); break;
+          case Impl::kAvx512: avx512::axpy_d8mf(w, x, n, cf); break;
+          default: ref::axpy_d8mf(w, x, n, cf);
+        }
+    }
+};
+
+template <>
+struct DenseOps<std::int16_t, float>
+{
+    static float
+    dot(Impl impl, const std::int16_t* x, const float* w, std::size_t n,
+        float qx, float /*qm*/)
+    {
+        switch (impl) {
+          case Impl::kNaive: return naive::dot_d16mf(x, w, n, qx);
+          case Impl::kAvx2: return avx2::dot_d16mf(x, w, n, qx);
+          case Impl::kAvx512: return avx512::dot_d16mf(x, w, n, qx);
+          default: return ref::dot_d16mf(x, w, n, qx);
+        }
+    }
+    static void
+    axpy(Impl impl, float* w, const std::int16_t* x, std::size_t n, float c,
+         float qx, float /*qm*/, const DitherBlock& /*dither*/)
+    {
+        const float cf = c * qx;
+        switch (impl) {
+          case Impl::kNaive: naive::axpy_d16mf(w, x, n, cf); break;
+          case Impl::kAvx2: avx2::axpy_d16mf(w, x, n, cf); break;
+          case Impl::kAvx512: avx512::axpy_d16mf(w, x, n, cf); break;
+          default: ref::axpy_d16mf(w, x, n, cf);
+        }
+    }
+};
+
+template <>
+struct DenseOps<float, float>
+{
+    static float
+    dot(Impl impl, const float* x, const float* w, std::size_t n,
+        float /*qx*/, float /*qm*/)
+    {
+        switch (impl) {
+          case Impl::kNaive: return naive::dot_dfmf(x, w, n);
+          case Impl::kAvx2: return avx2::dot_dfmf(x, w, n);
+          case Impl::kAvx512: return avx512::dot_dfmf(x, w, n);
+          default: return ref::dot_dfmf(x, w, n);
+        }
+    }
+    static void
+    axpy(Impl impl, float* w, const float* x, std::size_t n, float c,
+         float /*qx*/, float /*qm*/, const DitherBlock& /*dither*/)
+    {
+        switch (impl) {
+          case Impl::kNaive: naive::axpy_dfmf(w, x, n, c); break;
+          case Impl::kAvx2: avx2::axpy_dfmf(w, x, n, c); break;
+          case Impl::kAvx512: avx512::axpy_dfmf(w, x, n, c); break;
+          default: ref::axpy_dfmf(w, x, n, c);
+        }
+    }
+};
+
+} // namespace buckwild::simd
+
+#endif // BUCKWILD_SIMD_OPS_H

@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Sparse dot and AXPY kernels.
+ *
+ * Sparse examples are (index, value) pairs from a CSR dataset. The index
+ * stream may be stored at reduced *index precision* (§3: "these integer
+ * values also can be made low-precision ... incurs no loss of statistical
+ * efficiency"): absolute indices for widths that cover the model, or
+ * delta-encoded gaps (footnote 6: "storing the difference between
+ * successive nonzero entries") when the model is too large to index
+ * directly. Gaps wider than the delta type are handled by the dataset
+ * builder, which inserts explicit zero-valued padding entries.
+ *
+ * Unlike the dense case, sparse kernels are dominated by irregular
+ * (gather/scatter) model accesses, so SIMD pays off far less — the paper's
+ * Fig 4b even shows hand-vectorization *hurting* small sparse problems.
+ * We provide:
+ *   - reference scalar kernels (the semantic contract), and
+ *   - "optimized" 4-way unrolled kernels with independent accumulators,
+ *     which is as far as hand-optimization usefully goes here.
+ */
+#ifndef BUCKWILD_SIMD_SPARSE_KERNELS_H
+#define BUCKWILD_SIMD_SPARSE_KERNELS_H
+
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+
+#ifdef __AVX2__
+#include <immintrin.h>
+#endif
+
+#include "simd/dense_ref.h"
+#include "simd/fixed_scalar.h"
+
+namespace buckwild::simd::sparse {
+
+/// Index-stream decoding mode.
+enum class IndexMode {
+    kAbsolute, ///< idx[j] is the model coordinate directly
+    kDelta,    ///< idx[j] is the gap from the previous coordinate
+};
+
+namespace detail {
+
+template <typename I>
+inline std::size_t
+decode(IndexMode mode, std::size_t& cursor, I stored)
+{
+    if (mode == IndexMode::kAbsolute)
+        return static_cast<std::size_t>(
+            static_cast<std::make_unsigned_t<I>>(stored));
+    cursor += static_cast<std::size_t>(
+        static_cast<std::make_unsigned_t<I>>(stored));
+    return cursor;
+}
+
+} // namespace detail
+
+/**
+ * Sparse dot: sum over nonzeros of value(x_j) * value(w[idx_j]).
+ *
+ * @tparam V  value rep: int8_t, int16_t, or float
+ * @tparam W  model rep: int8_t, int16_t, or float
+ * @tparam I  stored index type: uint8_t, uint16_t, or uint32_t
+ * @param scale  qx*qm for fixed-fixed, the single quantum for mixed,
+ *               1.0 for float-float.
+ */
+template <typename V, typename W, typename I>
+float
+dot(const V* val, const I* idx, std::size_t nnz, const W* w, float scale,
+    IndexMode mode)
+{
+    std::size_t cursor = 0;
+    if constexpr (std::is_integral_v<V> && std::is_integral_v<W>) {
+        std::int64_t acc = 0;
+        for (std::size_t j = 0; j < nnz; ++j) {
+            const std::size_t k = detail::decode(mode, cursor, idx[j]);
+            acc += static_cast<std::int64_t>(val[j]) *
+                   static_cast<std::int64_t>(w[k]);
+        }
+        return static_cast<float>(acc) * scale;
+    } else {
+        double acc = 0.0;
+        for (std::size_t j = 0; j < nnz; ++j) {
+            const std::size_t k = detail::decode(mode, cursor, idx[j]);
+            acc += static_cast<double>(val[j]) * static_cast<double>(w[k]);
+        }
+        return static_cast<float>(acc * scale);
+    }
+}
+
+/// 4-way unrolled variant of dot() with independent accumulators — the
+/// "hand-optimized" sparse path. Only valid for absolute indices (delta
+/// decoding carries a loop dependence).
+template <typename V, typename W, typename I>
+float
+dot_unrolled(const V* val, const I* idx, std::size_t nnz, const W* w,
+             float scale)
+{
+    if constexpr (std::is_integral_v<V> && std::is_integral_v<W>) {
+        std::int64_t a0 = 0, a1 = 0, a2 = 0, a3 = 0;
+        std::size_t j = 0;
+        for (; j + 4 <= nnz; j += 4) {
+            a0 += static_cast<std::int64_t>(val[j]) * w[idx[j]];
+            a1 += static_cast<std::int64_t>(val[j + 1]) * w[idx[j + 1]];
+            a2 += static_cast<std::int64_t>(val[j + 2]) * w[idx[j + 2]];
+            a3 += static_cast<std::int64_t>(val[j + 3]) * w[idx[j + 3]];
+        }
+        for (; j < nnz; ++j)
+            a0 += static_cast<std::int64_t>(val[j]) * w[idx[j]];
+        return static_cast<float>(a0 + a1 + a2 + a3) * scale;
+    } else {
+        double a0 = 0, a1 = 0, a2 = 0, a3 = 0;
+        std::size_t j = 0;
+        for (; j + 4 <= nnz; j += 4) {
+            a0 += static_cast<double>(val[j]) * w[idx[j]];
+            a1 += static_cast<double>(val[j + 1]) * w[idx[j + 1]];
+            a2 += static_cast<double>(val[j + 2]) * w[idx[j + 2]];
+            a3 += static_cast<double>(val[j + 3]) * w[idx[j + 3]];
+        }
+        for (; j < nnz; ++j)
+            a0 += static_cast<double>(val[j]) * w[idx[j]];
+        return static_cast<float>((a0 + a1 + a2 + a3) * scale);
+    }
+}
+
+/**
+ * Sparse AXPY for fixed models: w[idx_j] <- update(w[idx_j], val_j).
+ * The rounding dither is indexed by nonzero position j (the dither block
+ * is shared across the whole AXPY, as in the dense kernels).
+ *
+ * @param cs  fixed-point scale in model quanta per value raw unit
+ *            (only used when V is integral)
+ * @param cf  float scale in model quanta per value unit
+ *            (only used when V is float)
+ */
+template <typename V, typename W, typename I>
+void
+axpy(W* w, const V* val, const I* idx, std::size_t nnz, FixedScalar cs,
+     float cf, const DitherBlock& dither, IndexMode mode)
+{
+    std::size_t cursor = 0;
+    for (std::size_t j = 0; j < nnz; ++j) {
+        const std::size_t k = detail::decode(mode, cursor, idx[j]);
+        if constexpr (std::is_same_v<W, std::int8_t>) {
+            if constexpr (std::is_integral_v<V>) {
+                w[k] = ref::update_m8(w[k], val[j], cs, dither.dither_fixed(j, cs.shift));
+            } else {
+                const std::int32_t delta =
+                    ref::quantize_delta(cf, val[j], dither.dither_unit(j));
+                w[k] = static_cast<std::int8_t>(
+                    ref::saturate_model8(w[k] + saturate_i16(delta)));
+            }
+        } else if constexpr (std::is_same_v<W, std::int16_t>) {
+            if constexpr (std::is_integral_v<V>) {
+                w[k] =
+                    ref::update_m16(w[k], val[j], cs, dither.dither_fixed(j, cs.shift));
+            } else {
+                const std::int32_t delta =
+                    ref::quantize_delta(cf, val[j], dither.dither_unit(j));
+                w[k] = static_cast<std::int16_t>(
+                    ref::saturate_model16(w[k] + saturate_i16(delta)));
+            }
+        } else {
+            static_assert(std::is_same_v<W, float>);
+            w[k] += cf * static_cast<float>(val[j]);
+        }
+    }
+}
+
+/**
+ * Gather-vectorized sparse dot for float models with 32-bit absolute
+ * indices: values widened to float, model rows fetched with
+ * vpgatherdps. This is the "fully hand-vectorized" sparse variant the
+ * paper warns about (Fig 4b): gathers are slow enough that it often
+ * loses to the scalar loop — we provide it so the trade-off is
+ * measurable rather than asserted.
+ */
+float dot_gather_d8mf(const std::int8_t* val, const std::uint32_t* idx,
+                      std::size_t nnz, const float* w, float qv);
+
+inline float
+dot_gather_d8mf(const std::int8_t* val, const std::uint32_t* idx,
+                std::size_t nnz, const float* w, float qv)
+{
+#ifdef __AVX2__
+    __m256 acc = _mm256_setzero_ps();
+    std::size_t j = 0;
+    for (; j + 8 <= nnz; j += 8) {
+        const __m128i v8 =
+            _mm_loadl_epi64(reinterpret_cast<const __m128i*>(val + j));
+        const __m256 vf =
+            _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(v8));
+        const __m256i iv = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(idx + j));
+        const __m256 wv = _mm256_i32gather_ps(w, iv, 4);
+        acc = _mm256_fmadd_ps(vf, wv, acc);
+    }
+    __m128 s = _mm_add_ps(_mm256_castps256_ps128(acc),
+                          _mm256_extractf128_ps(acc, 1));
+    s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+    s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 1));
+    float total = _mm_cvtss_f32(s);
+    for (; j < nnz; ++j)
+        total += static_cast<float>(val[j]) * w[idx[j]];
+    return total * qv;
+#else
+    double acc = 0.0;
+    for (std::size_t j = 0; j < nnz; ++j)
+        acc += static_cast<double>(val[j]) * w[idx[j]];
+    return static_cast<float>(acc * qv);
+#endif
+}
+
+} // namespace buckwild::simd::sparse
+
+#endif // BUCKWILD_SIMD_SPARSE_KERNELS_H

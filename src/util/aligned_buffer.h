@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Cache-line / SIMD-register aligned storage.
+ *
+ * The hand-optimized AVX2 kernels in src/simd issue aligned 256-bit loads,
+ * and the Hogwild! model vector must not straddle false-sharing-prone
+ * allocations, so all numeric arrays in the library are allocated through
+ * AlignedBuffer.
+ */
+#ifndef BUCKWILD_UTIL_ALIGNED_BUFFER_H
+#define BUCKWILD_UTIL_ALIGNED_BUFFER_H
+
+#include <cstddef>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace buckwild {
+
+/// Alignment used for every numeric array: one cache line, which is also
+/// enough for 256-bit (AVX2) and 512-bit vector loads.
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+/**
+ * A fixed-capacity, cache-line-aligned array of trivially-copyable T.
+ *
+ * Unlike std::vector, the allocation is guaranteed 64-byte aligned and the
+ * buffer is padded up to a whole number of cache lines so vector kernels may
+ * safely load a full register at the tail.
+ */
+template <typename T>
+class AlignedBuffer
+{
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "AlignedBuffer only holds trivially copyable types");
+
+  public:
+    AlignedBuffer() = default;
+
+    /// Allocates `count` elements, zero-initialized.
+    explicit AlignedBuffer(std::size_t count) { reset(count); }
+
+    AlignedBuffer(const AlignedBuffer& other) { copy_from(other); }
+
+    AlignedBuffer&
+    operator=(const AlignedBuffer& other)
+    {
+        if (this != &other) copy_from(other);
+        return *this;
+    }
+
+    AlignedBuffer(AlignedBuffer&& other) noexcept
+        : data_(std::exchange(other.data_, nullptr)),
+          size_(std::exchange(other.size_, 0))
+    {}
+
+    AlignedBuffer&
+    operator=(AlignedBuffer&& other) noexcept
+    {
+        if (this != &other) {
+            release();
+            data_ = std::exchange(other.data_, nullptr);
+            size_ = std::exchange(other.size_, 0);
+        }
+        return *this;
+    }
+
+    ~AlignedBuffer() { release(); }
+
+    /// Re-allocates to `count` elements and zero-fills (old contents lost).
+    void
+    reset(std::size_t count)
+    {
+        release();
+        size_ = count;
+        if (count == 0) return;
+        const std::size_t bytes = padded_bytes(count);
+        data_ = static_cast<T*>(std::aligned_alloc(kCacheLineBytes, bytes));
+        if (data_ == nullptr) throw std::bad_alloc{};
+        std::memset(data_, 0, bytes);
+    }
+
+    T* data() { return data_; }
+    const T* data() const { return data_; }
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    T& operator[](std::size_t i) { return data_[i]; }
+    const T& operator[](std::size_t i) const { return data_[i]; }
+
+    T* begin() { return data_; }
+    T* end() { return data_ + size_; }
+    const T* begin() const { return data_; }
+    const T* end() const { return data_ + size_; }
+
+    /// Zero-fills the buffer (including tail padding).
+    void
+    clear()
+    {
+        if (data_ != nullptr) std::memset(data_, 0, padded_bytes(size_));
+    }
+
+  private:
+    static std::size_t
+    padded_bytes(std::size_t count)
+    {
+        const std::size_t raw = count * sizeof(T);
+        return (raw + kCacheLineBytes - 1) / kCacheLineBytes * kCacheLineBytes;
+    }
+
+    void
+    release()
+    {
+        std::free(data_);
+        data_ = nullptr;
+        size_ = 0;
+    }
+
+    void
+    copy_from(const AlignedBuffer& other)
+    {
+        reset(other.size_);
+        if (other.size_ != 0)
+            std::memcpy(data_, other.data_, padded_bytes(other.size_));
+    }
+
+    T* data_ = nullptr;
+    std::size_t size_ = 0;
+};
+
+} // namespace buckwild
+
+#endif // BUCKWILD_UTIL_ALIGNED_BUFFER_H

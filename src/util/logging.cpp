@@ -1,0 +1,32 @@
+#include "util/logging.h"
+
+#include <iostream>
+#include <stdexcept>
+
+namespace buckwild {
+
+void
+inform(const std::string& msg)
+{
+    std::cerr << "info: " << msg << '\n';
+}
+
+void
+warn(const std::string& msg)
+{
+    std::cerr << "warn: " << msg << '\n';
+}
+
+void
+fatal(const std::string& msg)
+{
+    throw std::runtime_error("fatal: " + msg);
+}
+
+void
+panic(const std::string& msg)
+{
+    throw std::logic_error("panic: " + msg);
+}
+
+} // namespace buckwild

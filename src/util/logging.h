@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Minimal status-message helpers in the gem5 style: inform / warn for user
+ * status, fatal for unusable configuration, panic for internal invariant
+ * violations.
+ */
+#ifndef BUCKWILD_UTIL_LOGGING_H
+#define BUCKWILD_UTIL_LOGGING_H
+
+#include <string>
+
+namespace buckwild {
+
+/// Normal operating status, printed to stderr as "info: ...".
+void inform(const std::string& msg);
+
+/// Something suspicious but survivable, printed as "warn: ...".
+void warn(const std::string& msg);
+
+/// User error (bad configuration / arguments): throws std::runtime_error.
+[[noreturn]] void fatal(const std::string& msg);
+
+/// Internal bug: throws std::logic_error.
+[[noreturn]] void panic(const std::string& msg);
+
+} // namespace buckwild
+
+#endif // BUCKWILD_UTIL_LOGGING_H

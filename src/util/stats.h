@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Small statistics helpers: running moments, histograms, and summary
+ * aggregation used by the statistical-efficiency experiments (Fig 5a, 6e,
+ * 6f, 7b, 7d/e).
+ */
+#ifndef BUCKWILD_UTIL_STATS_H
+#define BUCKWILD_UTIL_STATS_H
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace buckwild {
+
+/**
+ * Online mean / variance / extrema accumulator (Welford's algorithm).
+ *
+ * Numerically stable for the long loss traces produced by the convergence
+ * experiments.
+ */
+class RunningStats
+{
+  public:
+    void add(double x);
+
+    std::size_t count() const { return n_; }
+    double mean() const { return mean_; }
+    /// Sample variance (n-1 denominator); 0 when fewer than two samples.
+    double variance() const;
+    double stddev() const;
+    double min() const { return min_; }
+    double max() const { return max_; }
+
+    /// Merges another accumulator into this one (parallel reduction).
+    void merge(const RunningStats& other);
+
+  private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Arithmetic mean of a vector; 0 for an empty vector.
+double mean_of(const std::vector<double>& xs);
+
+/// Sample standard deviation of a vector; 0 when fewer than two samples.
+double stddev_of(const std::vector<double>& xs);
+
+/// Geometric mean; all inputs must be positive.
+double geomean_of(const std::vector<double>& xs);
+
+/**
+ * A fixed-width histogram over [lo, hi); samples outside are clamped into
+ * the first / last bin. Used by the PRNG uniformity tests.
+ */
+class Histogram
+{
+  public:
+    Histogram(double lo, double hi, std::size_t bins);
+
+    void add(double x);
+    std::size_t total() const { return total_; }
+    const std::vector<std::size_t>& bins() const { return counts_; }
+
+    /**
+     * Pearson chi-squared statistic against the uniform distribution.
+     * For a uniform source with b bins this is ~chi2(b-1); a value below
+     * roughly b + 3*sqrt(2b) passes at ~99.8% confidence.
+     */
+    double chi_squared_uniform() const;
+
+  private:
+    double lo_;
+    double hi_;
+    std::vector<std::size_t> counts_;
+    std::size_t total_ = 0;
+};
+
+} // namespace buckwild
+
+#endif // BUCKWILD_UTIL_STATS_H

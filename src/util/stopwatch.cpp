@@ -1,0 +1,22 @@
+#include "util/stopwatch.h"
+
+namespace buckwild {
+
+double
+measure_seconds_per_call(const std::function<void(std::size_t)>& body,
+                         double min_seconds, std::size_t min_reps)
+{
+    // Warm-up call: touches the data once so the first timed repetition is
+    // not dominated by cold caches / page faults.
+    body(0);
+
+    Stopwatch watch;
+    std::size_t reps = 0;
+    do {
+        body(reps);
+        ++reps;
+    } while (watch.seconds() < min_seconds || reps < min_reps);
+    return watch.seconds() / static_cast<double>(reps);
+}
+
+} // namespace buckwild

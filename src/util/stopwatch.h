@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Wall-clock timing utilities used by the benchmark harnesses.
+ */
+#ifndef BUCKWILD_UTIL_STOPWATCH_H
+#define BUCKWILD_UTIL_STOPWATCH_H
+
+#include <chrono>
+#include <cstddef>
+#include <functional>
+
+namespace buckwild {
+
+/// A simple steady-clock stopwatch.
+class Stopwatch
+{
+  public:
+    Stopwatch() : start_(Clock::now()) {}
+
+    /// Restarts the stopwatch.
+    void restart() { start_ = Clock::now(); }
+
+    /// Seconds elapsed since construction or the last restart().
+    double
+    seconds() const
+    {
+        return std::chrono::duration<double>(Clock::now() - start_).count();
+    }
+
+    double nanoseconds() const { return seconds() * 1e9; }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+/**
+ * Runs `body` repeatedly until at least `min_seconds` of wall time has been
+ * consumed, and returns the average seconds per call.
+ *
+ * Benchmarks in this repo are time-bounded rather than iteration-bounded so
+ * a single harness works across model sizes spanning 2^8..2^22 elements.
+ *
+ * @param body         the workload; called with the repetition index.
+ * @param min_seconds  minimum total measurement time.
+ * @param min_reps     minimum number of calls regardless of time.
+ */
+double measure_seconds_per_call(const std::function<void(std::size_t)>& body,
+                                double min_seconds = 0.05,
+                                std::size_t min_reps = 3);
+
+} // namespace buckwild
+
+#endif // BUCKWILD_UTIL_STOPWATCH_H

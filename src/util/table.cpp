@@ -1,0 +1,101 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <stdexcept>
+
+namespace buckwild {
+
+TablePrinter::TablePrinter(std::string title, std::vector<std::string> headers)
+    : title_(std::move(title)), headers_(std::move(headers))
+{
+    if (headers_.empty())
+        throw std::invalid_argument("TablePrinter needs at least one column");
+}
+
+void
+TablePrinter::add_row(std::vector<std::string> cells)
+{
+    if (cells.size() != headers_.size())
+        throw std::invalid_argument("row arity does not match headers");
+    rows_.push_back(std::move(cells));
+}
+
+void
+TablePrinter::print(std::ostream& os) const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto& row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto print_row = [&](const std::vector<std::string>& row) {
+        os << "|";
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << ' ' << row[c];
+            for (std::size_t pad = row[c].size(); pad < widths[c]; ++pad)
+                os << ' ';
+            os << " |";
+        }
+        os << '\n';
+    };
+    auto print_rule = [&] {
+        os << "+";
+        for (std::size_t w : widths) {
+            for (std::size_t i = 0; i < w + 2; ++i) os << '-';
+            os << '+';
+        }
+        os << '\n';
+    };
+
+    os << "\n== " << title_ << " ==\n";
+    print_rule();
+    print_row(headers_);
+    print_rule();
+    for (const auto& row : rows_) print_row(row);
+    print_rule();
+}
+
+void
+TablePrinter::print_csv(std::ostream& os) const
+{
+    auto emit = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c != 0) os << ',';
+            os << row[c];
+        }
+        os << '\n';
+    };
+    emit(headers_);
+    for (const auto& row : rows_) emit(row);
+}
+
+std::string
+format_num(double value, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*g", digits, value);
+    return buf;
+}
+
+std::string
+format_si(double value)
+{
+    char buf[64];
+    const double av = std::fabs(value);
+    if (av >= 1e9)
+        std::snprintf(buf, sizeof(buf), "%.2fG", value / 1e9);
+    else if (av >= 1e6)
+        std::snprintf(buf, sizeof(buf), "%.2fM", value / 1e6);
+    else if (av >= 1e3)
+        std::snprintf(buf, sizeof(buf), "%.2fK", value / 1e3);
+    else
+        std::snprintf(buf, sizeof(buf), "%.0f", value);
+    return buf;
+}
+
+} // namespace buckwild

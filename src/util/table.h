@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Plain-text table / CSV printer.
+ *
+ * Every bench binary regenerates one of the paper's tables or figure data
+ * series; TablePrinter renders them in an aligned, human-readable form and
+ * can also emit CSV for plotting.
+ */
+#ifndef BUCKWILD_UTIL_TABLE_H
+#define BUCKWILD_UTIL_TABLE_H
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace buckwild {
+
+/// Collects rows of string cells and pretty-prints them with aligned columns.
+class TablePrinter
+{
+  public:
+    /// @param title   heading printed above the table.
+    /// @param headers column names.
+    TablePrinter(std::string title, std::vector<std::string> headers);
+
+    /// Appends a row; must have the same arity as the headers.
+    void add_row(std::vector<std::string> cells);
+
+    std::size_t rows() const { return rows_.size(); }
+
+    /// Renders with box-drawing alignment to `os`.
+    void print(std::ostream& os) const;
+
+    /// Renders as CSV (headers first) to `os`.
+    void print_csv(std::ostream& os) const;
+
+  private:
+    std::string title_;
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` significant digits (helper for rows).
+std::string format_num(double value, int digits = 4);
+
+/// Formats e.g. 1234567 as "1.23M" / 2048 as "2.00K" for model-size axes.
+std::string format_si(double value);
+
+} // namespace buckwild
+
+#endif // BUCKWILD_UTIL_TABLE_H

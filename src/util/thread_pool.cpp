@@ -1,0 +1,23 @@
+#include "util/thread_pool.h"
+
+#include <stdexcept>
+
+namespace buckwild {
+
+void
+run_parallel(std::size_t threads, const std::function<void(std::size_t)>& fn)
+{
+    if (threads == 0)
+        throw std::invalid_argument("run_parallel requires threads >= 1");
+    if (threads == 1) {
+        fn(0);
+        return;
+    }
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (std::size_t t = 0; t < threads; ++t)
+        pool.emplace_back([&fn, t] { fn(t); });
+    for (auto& th : pool) th.join();
+}
+
+} // namespace buckwild

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Worker-thread utilities for Hogwild!-style execution.
+ *
+ * The Hogwild! training loop launches one long-lived worker per thread; the
+ * workers synchronize only at epoch boundaries (never inside the update
+ * loop, which is the whole point of the algorithm). SpinBarrier provides
+ * the epoch-boundary rendezvous, and ParallelRunner owns the threads.
+ */
+#ifndef BUCKWILD_UTIL_THREAD_POOL_H
+#define BUCKWILD_UTIL_THREAD_POOL_H
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace buckwild {
+
+/**
+ * A reusable spinning barrier.
+ *
+ * Spinning (rather than a condition variable) keeps the epoch-boundary cost
+ * low enough that short benchmark epochs are not dominated by wakeup
+ * latency.
+ */
+class SpinBarrier
+{
+  public:
+    explicit SpinBarrier(std::size_t parties)
+        : parties_(parties), waiting_(0), generation_(0)
+    {}
+
+    SpinBarrier(const SpinBarrier&) = delete;
+    SpinBarrier& operator=(const SpinBarrier&) = delete;
+
+    /// Blocks (spins) until `parties` threads have arrived.
+    void
+    arrive_and_wait()
+    {
+        const std::size_t gen = generation_.load(std::memory_order_acquire);
+        if (waiting_.fetch_add(1, std::memory_order_acq_rel) + 1 == parties_) {
+            waiting_.store(0, std::memory_order_relaxed);
+            generation_.fetch_add(1, std::memory_order_release);
+        } else {
+            while (generation_.load(std::memory_order_acquire) == gen)
+                std::this_thread::yield();
+        }
+    }
+
+  private:
+    const std::size_t parties_;
+    std::atomic<std::size_t> waiting_;
+    std::atomic<std::size_t> generation_;
+};
+
+/**
+ * Runs `fn(thread_index)` on `threads` concurrent std::threads and joins
+ * them all. Thread index 0 runs on a spawned thread as well, so the caller
+ * observes a clean fork/join.
+ */
+void run_parallel(std::size_t threads,
+                  const std::function<void(std::size_t)>& fn);
+
+} // namespace buckwild
+
+#endif // BUCKWILD_UTIL_THREAD_POOL_H

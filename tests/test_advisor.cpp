@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Tests for the DMGC advisor: regime classification, best-signature
+ * selection, and the Table-3 rule logic.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dmgc/advisor.h"
+
+namespace buckwild::dmgc {
+namespace {
+
+bool
+recommends(const Advice& advice, const std::string& needle)
+{
+    for (const auto& r : advice.recommendations)
+        if (r.action.find(needle) != std::string::npos) return true;
+    return false;
+}
+
+TEST(Advisor, SmallModelsAreCommunicationBound)
+{
+    AdvisorQuery q;
+    q.model_size = 1 << 10;
+    const auto a = advise(q, PerfModel::paper_model());
+    EXPECT_EQ(a.regime, Regime::kCommunicationBound);
+    EXPECT_TRUE(recommends(a, "prefetcher"));
+    EXPECT_TRUE(recommends(a, "mini-batches"));
+    EXPECT_TRUE(recommends(a, "obstinate"));
+    EXPECT_EQ(to_string(a.regime), "communication-bound");
+}
+
+TEST(Advisor, LargeModelsAreBandwidthBound)
+{
+    AdvisorQuery q;
+    q.model_size = 1 << 22;
+    const auto a = advise(q, PerfModel::paper_model());
+    EXPECT_EQ(a.regime, Regime::kBandwidthBound);
+    EXPECT_FALSE(recommends(a, "mini-batches"));
+    EXPECT_TRUE(recommends(a, "Keep the hardware prefetcher"));
+    EXPECT_NEAR(a.parallel_fraction,
+                0.89 - 22.0 / std::sqrt(1 << 22), 1e-9);
+}
+
+TEST(Advisor, SuggestsLowerPrecisionWhenAvailable)
+{
+    AdvisorQuery q;
+    q.signature = Signature::dense_hogwild();
+    const auto a = advise(q, PerfModel::paper_model());
+    EXPECT_EQ(a.best_signature, Signature::dense_fixed(8, 8));
+    EXPECT_NEAR(a.best_speedup, 3.339 / 0.936, 1e-6);
+    EXPECT_TRUE(recommends(a, "Lower precision to D8M8"));
+}
+
+TEST(Advisor, AlreadyOptimalDenseSignature)
+{
+    AdvisorQuery q;
+    q.signature = Signature::dense_fixed(8, 8);
+    const auto a = advise(q, PerfModel::paper_model());
+    EXPECT_EQ(a.best_signature, q.signature);
+    EXPECT_DOUBLE_EQ(a.best_speedup, 1.0);
+    EXPECT_FALSE(recommends(a, "Lower precision"));
+}
+
+TEST(Advisor, SparseBestIsAnM8Scheme)
+{
+    AdvisorQuery q;
+    q.signature = Signature::sparse_hogwild();
+    const auto a = advise(q, PerfModel::paper_model());
+    EXPECT_TRUE(a.best_signature.sparse);
+    ASSERT_FALSE(a.best_signature.model.is_float);
+    EXPECT_EQ(a.best_signature.model.bits, 8);
+    EXPECT_GT(a.best_speedup, 1.5);
+}
+
+TEST(Advisor, BiasedRoundingAtEightBitsGetsAWarning)
+{
+    AdvisorQuery q;
+    q.signature = Signature::dense_fixed(8, 8);
+    q.unbiased_rounding = false;
+    const auto a = advise(q, PerfModel::paper_model());
+    EXPECT_TRUE(recommends(a, "unbiased rounding"));
+    EXPECT_FALSE(recommends(a, "kSharedXorshift"));
+
+    q.unbiased_rounding = true;
+    const auto b = advise(q, PerfModel::paper_model());
+    EXPECT_TRUE(recommends(b, "kSharedXorshift"));
+}
+
+TEST(Advisor, PredictionMatchesPerfModel)
+{
+    AdvisorQuery q;
+    q.model_size = 1 << 16;
+    q.threads = 18;
+    const auto model = PerfModel::paper_model();
+    const auto a = advise(q, model);
+    EXPECT_DOUBLE_EQ(a.predicted_gnps,
+                     model.predict_gnps(q.signature, 18, 1 << 16));
+}
+
+TEST(Advisor, RejectsBadQueries)
+{
+    AdvisorQuery q;
+    q.threads = 0;
+    EXPECT_THROW(advise(q, PerfModel::paper_model()), std::runtime_error);
+    q = AdvisorQuery{};
+    q.signature = Signature::dense_fixed(4, 4); // not calibrated
+    EXPECT_THROW(advise(q, PerfModel::paper_model()), std::runtime_error);
+}
+
+} // namespace
+} // namespace buckwild::dmgc

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Tests for the explicit-communication (C-term) trainer: synchronous
+ * data-parallel SGD with quantized gradient exchange, including the
+ * Seide-style 1-bit mode with error feedback.
+ */
+#include <gtest/gtest.h>
+
+#include "core/comm_sgd.h"
+#include "dataset/problem.h"
+
+namespace buckwild::core {
+namespace {
+
+const dataset::DenseProblem&
+problem()
+{
+    static const auto kProblem =
+        dataset::generate_logistic_dense(128, 2048, 321);
+    return kProblem;
+}
+
+CommSgdConfig
+base()
+{
+    CommSgdConfig cfg;
+    cfg.workers = 4;
+    cfg.epochs = 12;
+    cfg.batch_per_worker = 8;
+    cfg.step_size = 0.5f;
+    return cfg;
+}
+
+TEST(CommSgd, FullPrecisionConverges)
+{
+    const auto r = train_comm_sgd(problem(), base());
+    EXPECT_EQ(r.signature, "Cs32");
+    EXPECT_LT(r.final_loss, 0.5);
+    EXPECT_GT(r.accuracy, 0.78);
+    EXPECT_GT(r.rounds, 0u);
+    EXPECT_DOUBLE_EQ(r.bytes_per_round, 128.0 * 4 + 4);
+}
+
+TEST(CommSgd, OneBitWithErrorFeedbackMatchesFullPrecision)
+{
+    // The Seide et al. result: 1 bit per value is enough *with* the
+    // quantization error carried forward.
+    CommSgdConfig cfg = base();
+    const auto full = train_comm_sgd(problem(), cfg);
+    cfg.comm_bits = 1;
+    const auto onebit = train_comm_sgd(problem(), cfg);
+    EXPECT_EQ(onebit.signature, "Cs1");
+    EXPECT_LT(onebit.final_loss, full.final_loss + 0.07)
+        << "1-bit with error feedback must track full precision";
+    // 32x traffic reduction (within the scale scalar).
+    EXPECT_LT(onebit.bytes_per_round, full.bytes_per_round / 20.0);
+}
+
+TEST(CommSgd, OneBitWithoutFeedbackIsWorse)
+{
+    CommSgdConfig cfg = base();
+    cfg.comm_bits = 1;
+    cfg.error_feedback = true;
+    const auto with = train_comm_sgd(problem(), cfg);
+    cfg.error_feedback = false;
+    const auto without = train_comm_sgd(problem(), cfg);
+    EXPECT_LT(with.final_loss, without.final_loss)
+        << "error feedback is what makes 1-bit exchange work";
+}
+
+TEST(CommSgd, EightBitIsIndistinguishable)
+{
+    CommSgdConfig cfg = base();
+    const auto full = train_comm_sgd(problem(), cfg);
+    cfg.comm_bits = 8;
+    const auto q8 = train_comm_sgd(problem(), cfg);
+    EXPECT_NEAR(q8.final_loss, full.final_loss, 0.03);
+}
+
+TEST(CommSgd, WorkerCountPreservesSemantics)
+{
+    // Synchronous exchange: more workers with the same global batch size
+    // compute the same per-round gradient (up to fp order), so the
+    // trajectory is close.
+    CommSgdConfig a = base();
+    a.workers = 1;
+    a.batch_per_worker = 32;
+    CommSgdConfig b = base();
+    b.workers = 8;
+    b.batch_per_worker = 4;
+    const auto ra = train_comm_sgd(problem(), a);
+    const auto rb = train_comm_sgd(problem(), b);
+    EXPECT_NEAR(ra.final_loss, rb.final_loss, 1e-3);
+}
+
+TEST(CommSgd, RejectsBadConfig)
+{
+    CommSgdConfig cfg = base();
+    cfg.workers = 0;
+    EXPECT_THROW(train_comm_sgd(problem(), cfg), std::runtime_error);
+    cfg = base();
+    cfg.comm_bits = 7;
+    EXPECT_THROW(train_comm_sgd(problem(), cfg), std::runtime_error);
+    cfg = base();
+    cfg.batch_per_worker = 0;
+    EXPECT_THROW(train_comm_sgd(problem(), cfg), std::runtime_error);
+}
+
+} // namespace
+} // namespace buckwild::core

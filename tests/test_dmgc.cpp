@@ -1,0 +1,277 @@
+/**
+ * @file
+ * Tests for DMGC signatures (§3), the Table-1 taxonomy, and the §4
+ * performance model.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dmgc/perf_model.h"
+#include "dmgc/signature.h"
+#include "dmgc/taxonomy.h"
+
+namespace buckwild::dmgc {
+namespace {
+
+// ------------------------------------------------------------- signatures
+
+TEST(Signature, DenseBuckwildRoundTrip)
+{
+    const Signature sig = Signature::dense_fixed(8, 8);
+    EXPECT_EQ(sig.to_string(), "D8M8");
+    EXPECT_EQ(parse_signature("D8M8"), sig);
+    EXPECT_FALSE(sig.sparse);
+    EXPECT_FALSE(sig.is_full_precision());
+    EXPECT_EQ(sig.dataset_bits_per_number(), 8);
+}
+
+TEST(Signature, SparseBuckwildRoundTrip)
+{
+    const Signature sig = Signature::sparse_fixed(8, 8, 16);
+    EXPECT_EQ(sig.to_string(), "D8i8M16");
+    EXPECT_EQ(parse_signature("D8i8M16"), sig);
+    EXPECT_TRUE(sig.sparse);
+    EXPECT_EQ(sig.dataset_bits_per_number(), 16);
+}
+
+TEST(Signature, HogwildIsFullPrecision)
+{
+    const Signature dense = Signature::dense_hogwild();
+    EXPECT_TRUE(dense.is_full_precision());
+    EXPECT_EQ(dense.to_string(), "D32fM32f");
+
+    const Signature sparse = Signature::sparse_hogwild();
+    EXPECT_TRUE(sparse.is_full_precision());
+    EXPECT_EQ(sparse.to_string(), "D32fi32M32f");
+    EXPECT_EQ(sparse.dataset_bits_per_number(), 64);
+}
+
+TEST(Signature, ParseWithSpacesAsInPaper)
+{
+    // The paper writes "D32f i32 M32f".
+    const Signature sig = parse_signature("D32f i32 M32f");
+    EXPECT_TRUE(sig.sparse);
+    EXPECT_EQ(sig.index_bits, 32);
+    EXPECT_TRUE(sig.dataset.is_float);
+    EXPECT_TRUE(sig.model.is_float);
+}
+
+TEST(Signature, GradientOnlySignatures)
+{
+    // Courbariaux et al.: G10; Savich & Moussa: G18.
+    const Signature g10 = parse_signature("G10");
+    EXPECT_TRUE(g10.gradient.has_value());
+    EXPECT_EQ(g10.gradient->bits, 10);
+    EXPECT_FALSE(g10.gradient->is_float);
+    EXPECT_TRUE(g10.dataset == Precision::full());
+    EXPECT_EQ(g10.to_string(), "G10");
+}
+
+TEST(Signature, SynchronousCommunication)
+{
+    // Seide et al. 1-bit SGD: Cs1.
+    const Signature sig = parse_signature("Cs1");
+    EXPECT_EQ(sig.communication, Communication::kSynchronous);
+    ASSERT_TRUE(sig.comm_precision.has_value());
+    EXPECT_EQ(sig.comm_precision->bits, 1);
+    EXPECT_EQ(sig.to_string(), "Cs1");
+}
+
+TEST(Signature, ExplicitAsynchronousCommunication)
+{
+    const Signature sig = parse_signature("D8M16G32fC32");
+    EXPECT_EQ(sig.communication, Communication::kAsynchronous);
+    ASSERT_TRUE(sig.comm_precision.has_value());
+    EXPECT_EQ(sig.comm_precision->bits, 32);
+    ASSERT_TRUE(sig.gradient.has_value());
+    EXPECT_TRUE(sig.gradient->is_float);
+    EXPECT_EQ(sig.to_string(), "D8M16G32fC32");
+}
+
+TEST(Signature, FloatSuffixDistinguishesFixedFromFloat)
+{
+    const Signature fx = parse_signature("D32M32f");
+    EXPECT_FALSE(fx.dataset.is_float);
+    EXPECT_EQ(fx.dataset.bits, 32);
+    EXPECT_TRUE(fx.model.is_float);
+}
+
+TEST(Signature, MalformedInputsThrow)
+{
+    EXPECT_THROW(parse_signature(""), std::runtime_error);
+    EXPECT_THROW(parse_signature("D"), std::runtime_error);
+    EXPECT_THROW(parse_signature("Dx8"), std::runtime_error);
+    EXPECT_THROW(parse_signature("Q8"), std::runtime_error);
+    EXPECT_THROW(parse_signature("M"), std::runtime_error);
+}
+
+TEST(Signature, ToStringOmitsFullPrecisionTerms)
+{
+    Signature sig;
+    sig.model = Precision::fixed(8);
+    EXPECT_EQ(sig.to_string(), "M8"); // D32f omitted per the paper's rules
+}
+
+// --------------------------------------------------------------- taxonomy
+
+TEST(Taxonomy, ContainsAllTable1Rows)
+{
+    const auto& tax = prior_work_taxonomy();
+    ASSERT_GE(tax.size(), 5u);
+    auto find = [&tax](const std::string& needle) -> const TaxonomyEntry* {
+        for (const auto& e : tax)
+            if (e.paper.find(needle) != std::string::npos) return &e;
+        return nullptr;
+    };
+    ASSERT_NE(find("Savich"), nullptr);
+    EXPECT_EQ(find("Savich")->signature_text, "G18");
+    ASSERT_NE(find("Seide"), nullptr);
+    EXPECT_EQ(find("Seide")->signature.communication,
+              Communication::kSynchronous);
+    ASSERT_NE(find("Courbariaux"), nullptr);
+    EXPECT_EQ(find("Courbariaux")->signature.gradient->bits, 10);
+    ASSERT_NE(find("Gupta"), nullptr);
+    EXPECT_EQ(find("Gupta")->signature, parse_signature("D8M16"));
+    ASSERT_NE(find("De Sa"), nullptr);
+    EXPECT_EQ(find("De Sa")->signature, Signature::dense_fixed(8, 8));
+}
+
+TEST(Taxonomy, EveryEntryParsesConsistently)
+{
+    for (const auto& e : prior_work_taxonomy())
+        EXPECT_EQ(parse_signature(e.signature_text), e.signature) << e.paper;
+}
+
+// ------------------------------------------------------- performance model
+
+TEST(PerfModel, Table2ValuesAreLoaded)
+{
+    const PerfModel model = PerfModel::paper_model();
+    EXPECT_NEAR(model.base_throughput(Signature::dense_fixed(8, 8)), 3.339,
+                1e-9);
+    EXPECT_NEAR(model.base_throughput(Signature::sparse_fixed(8, 8, 8)),
+                0.166, 1e-9);
+    EXPECT_NEAR(model.base_throughput(Signature::dense_hogwild()), 0.936,
+                1e-9);
+    EXPECT_NEAR(model.base_throughput(Signature::sparse_hogwild()), 0.101,
+                1e-9);
+}
+
+TEST(PerfModel, UncalibratedSignatureThrows)
+{
+    const PerfModel model = PerfModel::paper_model();
+    EXPECT_FALSE(model.is_calibrated(Signature::dense_fixed(4, 4)));
+    EXPECT_THROW(model.base_throughput(Signature::dense_fixed(4, 4)),
+                 std::runtime_error);
+}
+
+TEST(PerfModel, ParallelFractionMatchesEq3)
+{
+    const PerfModel model = PerfModel::paper_model();
+    // p(n) = 0.89 - 22/sqrt(n)
+    EXPECT_NEAR(model.parallel_fraction(1 << 20), 0.89 - 22.0 / 1024.0,
+                1e-12);
+    // Small models clamp at 0 (communication-dominated).
+    EXPECT_DOUBLE_EQ(model.parallel_fraction(256), 0.0);
+    EXPECT_DOUBLE_EQ(model.parallel_fraction(0), 0.0);
+}
+
+TEST(PerfModel, AmdahlLimits)
+{
+    // p = 1: perfect scaling. p = 0: no scaling.
+    EXPECT_DOUBLE_EQ(PerfModel::amdahl(2.0, 8, 1.0), 16.0);
+    EXPECT_DOUBLE_EQ(PerfModel::amdahl(2.0, 8, 0.0), 2.0);
+    // Monotone in threads.
+    double prev = 0.0;
+    for (std::size_t t = 1; t <= 18; ++t) {
+        const double cur = PerfModel::amdahl(1.0, t, 0.85);
+        EXPECT_GT(cur, prev);
+        prev = cur;
+    }
+}
+
+TEST(PerfModel, PredictionsReproducePaperShape)
+{
+    const PerfModel model = PerfModel::paper_model();
+    const auto d8m8 = Signature::dense_fixed(8, 8);
+    const auto hog = Signature::dense_hogwild();
+
+    // Dense D8M8 beats full-precision Hogwild! by ~3.6x at any fixed
+    // (threads, model size), since T1 scales linearly into Eq. 2.
+    const double speedup = model.predict_gnps(d8m8, 18, 1 << 22) /
+                           model.predict_gnps(hog, 18, 1 << 22);
+    EXPECT_NEAR(speedup, 3.339 / 0.936, 1e-9);
+
+    // Large models are bandwidth-bound: throughput roughly flat in n.
+    const double large1 = model.predict_gnps(d8m8, 18, 1 << 20);
+    const double large2 = model.predict_gnps(d8m8, 18, 1 << 24);
+    EXPECT_LT(std::fabs(large1 - large2) / large2, 0.25);
+
+    // Small models are communication-bound: much slower.
+    const double small = model.predict_gnps(d8m8, 18, 1 << 10);
+    EXPECT_LT(small, large2 / 3.0);
+}
+
+TEST(PerfModel, SparseM8SchemesAreFastest)
+{
+    // Table 2's sparse column: the two M8 low-precision schemes (D16i16M8
+    // at 0.172 and D8i8M8 at 0.166) top the table. (The paper's *text*
+    // calls D8i8M8 "the fastest scheme"; its own table puts D16i16M8 a
+    // hair above — we encode the table.) Either way, sub-linear speedup:
+    // ~1.6-1.7x over sparse Hogwild!, well short of the 4x bit ratio.
+    const PerfModel model = PerfModel::paper_model();
+    const double d8 = model.base_throughput(Signature::sparse_fixed(8, 8, 8));
+    const double d16 =
+        model.base_throughput(Signature::sparse_fixed(16, 16, 8));
+    const double hog = model.base_throughput(Signature::sparse_hogwild());
+    for (const auto& text : model.calibrated_signatures()) {
+        Signature sig = parse_signature(text);
+        sig.sparse = true;
+        sig.index_bits = sig.dataset.is_float ? 32 : sig.dataset.bits;
+        EXPECT_LE(model.base_throughput(sig), std::max(d8, d16)) << text;
+    }
+    EXPECT_GT(d8 / hog, 1.5);
+    EXPECT_LT(d8 / hog, 4.0) << "sparse speedup is sub-linear in bits";
+}
+
+TEST(PerfModel, InferParallelFractionInvertsAmdahl)
+{
+    for (double p : {0.0, 0.3, 0.85, 1.0}) {
+        for (std::size_t t : {2UL, 4UL, 18UL}) {
+            const double tt = PerfModel::amdahl(1.7, t, p);
+            EXPECT_NEAR(infer_parallel_fraction(1.7, tt, t), p, 1e-9);
+        }
+    }
+    EXPECT_THROW(infer_parallel_fraction(1.0, 1.0, 1), std::runtime_error);
+    EXPECT_THROW(infer_parallel_fraction(-1.0, 1.0, 2), std::runtime_error);
+}
+
+TEST(PerfModel, FitCoefficientsRecoversEq3)
+{
+    // Generate exact Eq.-3 samples and refit.
+    std::vector<std::pair<std::size_t, double>> samples;
+    for (std::size_t n = 1 << 10; n <= (1 << 24); n <<= 2)
+        samples.emplace_back(
+            n, 0.89 - 22.0 / std::sqrt(static_cast<double>(n)));
+    const auto c = fit_coefficients(samples);
+    EXPECT_NEAR(c.bandwidth_fraction, 0.89, 1e-9);
+    EXPECT_NEAR(c.comm_coeff, 22.0, 1e-6);
+
+    EXPECT_THROW(fit_coefficients({{1024, 0.5}}), std::runtime_error);
+    EXPECT_THROW(fit_coefficients({{1024, 0.5}, {1024, 0.6}}),
+                 std::runtime_error);
+}
+
+TEST(PerfModel, CustomCalibration)
+{
+    PerfModel model({{"D8M8", {10.0, 1.0}}}, {0.5, 10.0});
+    EXPECT_DOUBLE_EQ(model.base_throughput(Signature::dense_fixed(8, 8)),
+                     10.0);
+    EXPECT_DOUBLE_EQ(model.parallel_fraction(400), 0.0);
+    EXPECT_DOUBLE_EQ(model.parallel_fraction(10000), 0.4);
+    EXPECT_EQ(model.calibrated_signatures().size(), 1u);
+}
+
+} // namespace
+} // namespace buckwild::dmgc

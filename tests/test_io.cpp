@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Tests for the I/O layers: LIBSVM dataset parsing/writing and model
+ * serialization, including malformed-input rejection and a full
+ * save -> load -> train round trip.
+ */
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "buckwild/buckwild.h"
+#include "core/model_io.h"
+#include "dataset/libsvm.h"
+
+namespace buckwild {
+namespace {
+
+// ----------------------------------------------------------------- libsvm
+
+TEST(Libsvm, ParsesBasicFile)
+{
+    std::istringstream in("+1 1:0.5 3:-0.25 10:1\n"
+                          "-1 2:0.125\n"
+                          "\n"
+                          "+1 1:1 # trailing comment\n");
+    const auto p = dataset::load_libsvm(in);
+    ASSERT_EQ(p.examples(), 3u);
+    EXPECT_EQ(p.dim, 10u); // inferred from the largest index
+    EXPECT_EQ(p.y[0], 1.0f);
+    EXPECT_EQ(p.y[1], -1.0f);
+    ASSERT_EQ(p.rows[0].index.size(), 3u);
+    EXPECT_EQ(p.rows[0].index[0], 0u); // 1-based -> 0-based
+    EXPECT_EQ(p.rows[0].index[2], 9u);
+    EXPECT_FLOAT_EQ(p.rows[0].value[1], -0.25f);
+    ASSERT_EQ(p.rows[2].index.size(), 1u);
+}
+
+TEST(Libsvm, NonBinaryLabelsMapBySign)
+{
+    std::istringstream in("3 1:1\n0 1:1\n-2 1:1\n");
+    const auto p = dataset::load_libsvm(in);
+    EXPECT_EQ(p.y[0], 1.0f);
+    EXPECT_EQ(p.y[1], 1.0f);
+    EXPECT_EQ(p.y[2], -1.0f);
+}
+
+TEST(Libsvm, ExplicitDimOverridesInference)
+{
+    std::istringstream in("+1 1:1 5:2\n");
+    const auto p = dataset::load_libsvm(in, 100);
+    EXPECT_EQ(p.dim, 100u);
+}
+
+TEST(Libsvm, RejectsMalformedInput)
+{
+    {
+        std::istringstream in("+1 notatoken\n");
+        EXPECT_THROW(dataset::load_libsvm(in), std::runtime_error);
+    }
+    {
+        std::istringstream in("+1 0:1\n"); // 0 index (must be 1-based)
+        EXPECT_THROW(dataset::load_libsvm(in), std::runtime_error);
+    }
+    {
+        std::istringstream in("+1 3:1 2:1\n"); // non-ascending
+        EXPECT_THROW(dataset::load_libsvm(in), std::runtime_error);
+    }
+    {
+        std::istringstream in("+1 7:1\n"); // exceeds explicit dim
+        EXPECT_THROW(dataset::load_libsvm(in, 4), std::runtime_error);
+    }
+    {
+        std::istringstream in("\n\n");
+        EXPECT_THROW(dataset::load_libsvm(in), std::runtime_error);
+    }
+    EXPECT_THROW(dataset::load_libsvm_file("/nonexistent/path.svm"),
+                 std::runtime_error);
+}
+
+TEST(Libsvm, SaveLoadRoundTrip)
+{
+    const auto original =
+        dataset::generate_logistic_sparse(128, 50, 0.1, 44);
+    std::stringstream buffer;
+    dataset::save_libsvm(original, buffer);
+    const auto reloaded = dataset::load_libsvm(buffer, original.dim);
+
+    ASSERT_EQ(reloaded.examples(), original.examples());
+    EXPECT_EQ(reloaded.dim, original.dim);
+    for (std::size_t i = 0; i < original.examples(); ++i) {
+        EXPECT_EQ(reloaded.y[i], original.y[i]);
+        ASSERT_EQ(reloaded.rows[i].index, original.rows[i].index);
+        for (std::size_t j = 0; j < original.rows[i].value.size(); ++j)
+            EXPECT_NEAR(reloaded.rows[i].value[j],
+                        original.rows[i].value[j], 1e-5f);
+    }
+}
+
+TEST(Libsvm, LoadedDataTrains)
+{
+    // End to end: synthesize -> serialize -> parse -> train.
+    const auto original =
+        dataset::generate_logistic_sparse(256, 1500, 0.05, 45);
+    std::stringstream buffer;
+    dataset::save_libsvm(original, buffer);
+    const auto reloaded = dataset::load_libsvm(buffer, 256);
+
+    core::TrainerConfig cfg;
+    cfg.signature = dmgc::parse_signature("D8i16M8");
+    cfg.epochs = 15;
+    cfg.step_size = 0.3f;
+    core::Trainer trainer(cfg);
+    const auto m = trainer.fit(reloaded);
+    EXPECT_LT(m.final_loss, 0.55);
+}
+
+// ------------------------------------------------------------- model io
+
+TEST(ModelIo, SaveLoadRoundTrip)
+{
+    core::SavedModel model;
+    model.signature = dmgc::parse_signature("D8M16");
+    model.loss = core::Loss::kHinge;
+    model.weights = {0.5f, -1.25f, 0.0f, 3.14159f};
+
+    std::stringstream buffer;
+    core::save_model(model, buffer);
+    const auto loaded = core::load_model(buffer);
+    EXPECT_EQ(loaded.signature, model.signature);
+    EXPECT_EQ(loaded.loss, core::Loss::kHinge);
+    ASSERT_EQ(loaded.weights.size(), 4u);
+    for (std::size_t k = 0; k < 4; ++k)
+        EXPECT_FLOAT_EQ(loaded.weights[k], model.weights[k]);
+}
+
+TEST(ModelIo, RejectsMalformedFiles)
+{
+    {
+        std::istringstream in("NOT-A-MODEL\n");
+        EXPECT_THROW(core::load_model(in), std::runtime_error);
+    }
+    {
+        std::istringstream in("BUCKWILD-MODEL v1\ndim 4\n0 0 0 0\n");
+        EXPECT_THROW(core::load_model(in), std::runtime_error)
+            << "missing signature";
+    }
+    {
+        std::istringstream in(
+            "BUCKWILD-MODEL v1\nsignature D8M8\nloss logistic\ndim 4\n0 0\n");
+        EXPECT_THROW(core::load_model(in), std::runtime_error)
+            << "truncated weights";
+    }
+    {
+        std::istringstream in(
+            "BUCKWILD-MODEL v1\nsignature D8M8\nloss banana\ndim 1\n0\n");
+        EXPECT_THROW(core::load_model(in), std::runtime_error);
+    }
+    EXPECT_THROW(core::load_model_file("/nonexistent/model.bw"),
+                 std::runtime_error);
+}
+
+TEST(ModelIo, TrainedModelRoundTripsAndPredicts)
+{
+    const auto problem = dataset::generate_logistic_dense(64, 1000, 46);
+    core::TrainerConfig cfg;
+    cfg.signature = dmgc::parse_signature("D8M8");
+    cfg.epochs = 10;
+    cfg.step_size = 0.15f;
+    core::Trainer trainer(cfg);
+    trainer.fit(problem);
+
+    core::SavedModel model;
+    model.signature = cfg.signature;
+    model.loss = cfg.loss;
+    model.weights = trainer.model();
+
+    std::stringstream buffer;
+    core::save_model(model, buffer);
+    const auto loaded = core::load_model(buffer);
+
+    // Predictions with the reloaded model match the live trainer's.
+    std::size_t agree = 0;
+    for (std::size_t i = 0; i < problem.examples; ++i) {
+        const float a = core::predict_margin(model.weights, problem.row(i));
+        const float b =
+            core::predict_margin(loaded.weights, problem.row(i));
+        if ((a >= 0) == (b >= 0)) ++agree;
+    }
+    EXPECT_EQ(agree, problem.examples);
+}
+
+} // namespace
+} // namespace buckwild

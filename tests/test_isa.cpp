@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Tests for the proposed-ISA substrate (§6.1): functional 4-bit kernels,
+ * proxy-kernel plumbing (timing proxies produce *some* result without
+ * touching out-of-bounds memory), and the instruction cost model.
+ */
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fixed/nibble.h"
+#include "isa/cost_model.h"
+#include "isa/nibble_kernels.h"
+#include "isa/proxy_kernels.h"
+#include "rng/xorshift.h"
+#include "util/aligned_buffer.h"
+
+namespace buckwild::isa {
+namespace {
+
+std::vector<std::uint8_t>
+pack_values(const std::vector<int>& vals)
+{
+    std::vector<std::uint8_t> packed(fixed::packed_nibble_bytes(vals.size()),
+                                     0);
+    for (std::size_t i = 0; i < vals.size(); ++i)
+        fixed::store_nibble(packed.data(), i, vals[i]);
+    return packed;
+}
+
+// ------------------------------------------------------- functional 4-bit
+
+TEST(Nibble4Bit, DotComputesExactProducts)
+{
+    const auto x = pack_values({1, -2, 3, -4, 5, 6, -7, 0, 7});
+    const auto w = pack_values({2, 2, 2, 2, 2, -1, 1, 5, -7});
+    // 2 -4 +6 -8 +10 -6 -7 +0 -49 = -56
+    EXPECT_FLOAT_EQ(dot_d4m4(x.data(), w.data(), 9, 1.0f), -56.0f);
+    EXPECT_FLOAT_EQ(dot_d4m4(x.data(), w.data(), 9, 0.25f), -14.0f);
+    EXPECT_FLOAT_EQ(dot_d4m4(x.data(), w.data(), 0, 1.0f), 0.0f);
+}
+
+TEST(Nibble4Bit, AxpyBiasedRounding)
+{
+    // c = 1.0 (mult 16, shift 4), biased dither 8: delta = x exactly.
+    auto w = pack_values({0, 0, 0, 0});
+    const auto x = pack_values({1, -1, 3, -4});
+    axpy_d4m4(w.data(), x.data(), 4, make_scalar_d4m4(1.0f),
+              simd::biased_fixed(kShiftD4M4));
+    EXPECT_EQ(fixed::load_nibble(w.data(), 0), 1);
+    EXPECT_EQ(fixed::load_nibble(w.data(), 1), -1);
+    EXPECT_EQ(fixed::load_nibble(w.data(), 2), 3);
+    EXPECT_EQ(fixed::load_nibble(w.data(), 3), -4);
+}
+
+TEST(Nibble4Bit, AxpySaturatesSymmetrically)
+{
+    auto w = pack_values({7, -7});
+    const auto x = pack_values({7, -7});
+    axpy_d4m4(w.data(), x.data(), 2, make_scalar_d4m4(1.0f),
+              simd::biased_fixed(kShiftD4M4));
+    EXPECT_EQ(fixed::load_nibble(w.data(), 0), 7);
+    EXPECT_EQ(fixed::load_nibble(w.data(), 1), -7);
+}
+
+TEST(Nibble4Bit, AxpyUnbiasedInExpectation)
+{
+    // c = 0.25: E[delta per unit x] = 0.25. Average over many dithers.
+    rng::Xorshift128 gen(5);
+    double sum = 0.0;
+    constexpr int kTrials = 20000;
+    for (int t = 0; t < kTrials; ++t) {
+        simd::DitherBlock d;
+        for (auto& b : d.bytes) b = static_cast<std::uint8_t>(gen());
+        auto w = pack_values({0});
+        const auto x = pack_values({1});
+        axpy_d4m4(w.data(), x.data(), 1, make_scalar_d4m4(0.25f), d);
+        sum += fixed::load_nibble(w.data(), 0);
+    }
+    EXPECT_NEAR(sum / kTrials, 0.25, 0.02);
+}
+
+TEST(Nibble4Bit, ScalarClamping)
+{
+    EXPECT_EQ(make_scalar_d4m4(0.5f).mult, 8);
+    EXPECT_EQ(make_scalar_d4m4(0.5f).shift, kShiftD4M4);
+    EXPECT_EQ(make_scalar_d4m4(1000.0f).mult, kMultLimitD4M4);
+    EXPECT_EQ(make_scalar_d4m4(-1000.0f).mult, -kMultLimitD4M4);
+}
+
+// ------------------------------------------------------------ proxies
+
+TEST(ProxyKernels, RunOverArbitrarySizesWithoutCorruption)
+{
+    // Proxies produce invalid *values* but must be memory-safe and
+    // deterministic. Guard bytes at the end of w must stay intact.
+    for (std::size_t n : {0u, 1u, 31u, 32u, 33u, 100u, 1024u}) {
+        buckwild::AlignedBuffer<std::int8_t> x(n + 64), w(n + 64);
+        for (std::size_t i = 0; i < n; ++i) {
+            x[i] = static_cast<std::int8_t>(i * 7 + 1);
+            w[i] = static_cast<std::int8_t>(i * 3 + 2);
+        }
+        for (std::size_t i = n; i < n + 64; ++i) w[i] = 111;
+        (void)dot_d8m8_fused_proxy(x.data(), w.data(), n);
+        axpy_d8m8_fused_proxy(w.data(), x.data(), n,
+                              simd::make_scalar_d8m8(0.5f));
+        // The AXPY proxy may write up to the next multiple of 32 within
+        // [0, n) scalar tail; bytes beyond the rounded region are guarded.
+        for (std::size_t i = ((n + 31) / 32) * 32 + 32; i < n + 64; ++i)
+            EXPECT_EQ(w[i], 111) << "guard byte " << i;
+    }
+}
+
+TEST(ProxyKernels, FourBitProxiesTouchHalfTheBytes)
+{
+    constexpr std::size_t kN = 256; // logical 4-bit elements
+    buckwild::AlignedBuffer<std::uint8_t> x(kN), w(kN);
+    for (std::size_t i = 0; i < kN; ++i) w[i] = 7;
+    (void)dot_d4m4_proxy(x.data(), w.data(), kN);
+    axpy_d4m4_proxy(w.data(), x.data(), kN, simd::make_scalar_d8m8(0.5f));
+    // Only the first kN/2 bytes are the packed array; the rest untouched.
+    for (std::size_t i = kN / 2 + 32; i < kN; ++i) EXPECT_EQ(w[i], 7);
+}
+
+// ---------------------------------------------------------- cost model
+
+TEST(CostModel, HandBeatsCompilerForLowPrecision)
+{
+    for (int bits : {8, 16}) {
+        const double speedup = predicted_speedup(
+            bits, bits, Strategy::kCompilerFloatCast, Strategy::kHandAvx2);
+        EXPECT_GT(speedup, 2.0) << bits << " bits";
+    }
+    // Full precision: nothing to gain (compiler emits good FMA code).
+    const double fp = predicted_speedup(32, 32,
+                                        Strategy::kCompilerFloatCast,
+                                        Strategy::kHandAvx2);
+    EXPECT_NEAR(fp, 2.0, 1.0); // small constant-factor advantage at most
+}
+
+TEST(CostModel, ProposedInstructionsCollapseTheLoop)
+{
+    const LoopCost proposed = loop_cost(8, 8, Strategy::kProposedIsa);
+    EXPECT_EQ(proposed.dot_instructions, 1);
+    EXPECT_EQ(proposed.axpy_instructions, 2);
+    // "These instructions are sufficient to compute the inner loop bodies
+    // of dot and AXPY with one and two instructions, respectively."
+    EXPECT_GT(predicted_speedup(8, 8, Strategy::kHandAvx2,
+                                Strategy::kProposedIsa),
+              1.0);
+}
+
+TEST(CostModel, PerElementMonotoneInPrecision)
+{
+    // Fewer bits -> more elements per vector -> fewer instructions per
+    // element (the whole point of low-precision SIMD).
+    const double c8 = loop_cost(8, 8, Strategy::kHandAvx2).per_element();
+    const double c16 = loop_cost(16, 16, Strategy::kHandAvx2).per_element();
+    const double c32 = loop_cost(32, 32, Strategy::kHandAvx2).per_element();
+    EXPECT_LT(c8, c16 * 1.05);
+    EXPECT_LT(c16, c32 * 5.0); // float FMA is compact; allow slack
+    EXPECT_EQ(loop_cost(8, 8, Strategy::kHandAvx2).elements_per_vector, 32);
+    EXPECT_EQ(loop_cost(16, 16, Strategy::kHandAvx2).elements_per_vector,
+              16);
+}
+
+TEST(CostModel, FourBitOnlyViaProposedIsa)
+{
+    const LoopCost c4 = loop_cost(4, 4, Strategy::kProposedIsa);
+    EXPECT_EQ(c4.elements_per_vector, 64);
+    EXPECT_LT(c4.per_element(),
+              loop_cost(8, 8, Strategy::kProposedIsa).per_element());
+}
+
+TEST(CostModel, Names)
+{
+    EXPECT_EQ(to_string(Strategy::kCompilerFloatCast), "compiler");
+    EXPECT_EQ(to_string(Strategy::kHandAvx2), "avx2");
+    EXPECT_EQ(to_string(Strategy::kProposedIsa), "proposed");
+}
+
+} // namespace
+} // namespace buckwild::isa

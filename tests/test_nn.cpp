@@ -1,0 +1,353 @@
+/**
+ * @file
+ * Tests for the NN substrate (§7): quantizer grid semantics, layer
+ * forward/backward correctness (including numeric gradient checks), the
+ * low-precision conv path, and LeNet end-to-end training behaviour
+ * across model precisions (the Fig 7b property).
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dataset/digits.h"
+#include "nn/conv_lowp.h"
+#include "nn/lenet.h"
+#include "nn/layers.h"
+#include "nn/quantizer.h"
+
+namespace buckwild::nn {
+namespace {
+
+// --------------------------------------------------------------- quantizer
+
+TEST(Quantizer, FullPrecisionIsIdentity)
+{
+    rng::Xorshift128 gen(1);
+    QuantSpec spec; // 32 bits
+    EXPECT_FALSE(spec.enabled());
+    EXPECT_EQ(quantize(0.12345f, spec, gen), 0.12345f);
+}
+
+TEST(Quantizer, NearestSnapsToGrid)
+{
+    rng::Xorshift128 gen(1);
+    QuantSpec spec{8, Round::kNearest, 2.0f};
+    const float q = spec.quantum();
+    EXPECT_FLOAT_EQ(q, 2.0f / 128.0f);
+    EXPECT_FLOAT_EQ(quantize(0.0f, spec, gen), 0.0f);
+    EXPECT_FLOAT_EQ(quantize(3.2f * q, spec, gen), 3.0f * q);
+    EXPECT_FLOAT_EQ(quantize(-5.8f * q, spec, gen), -6.0f * q);
+    // Saturation at +-(2^(b-1)-1) quanta.
+    EXPECT_FLOAT_EQ(quantize(100.0f, spec, gen), 127.0f * q);
+    EXPECT_FLOAT_EQ(quantize(-100.0f, spec, gen), -127.0f * q);
+}
+
+TEST(Quantizer, StochasticIsUnbiased)
+{
+    rng::Xorshift128 gen(7);
+    QuantSpec spec{6, Round::kStochastic, 2.0f};
+    const float x = 0.3f;
+    double sum = 0.0;
+    constexpr int kTrials = 200000;
+    for (int t = 0; t < kTrials; ++t) sum += quantize(x, spec, gen);
+    EXPECT_NEAR(sum / kTrials, x, 4e-4);
+}
+
+TEST(Quantizer, ArrayQuantization)
+{
+    rng::Xorshift128 gen(3);
+    QuantSpec spec{4, Round::kNearest, 2.0f};
+    std::vector<float> data = {0.1f, 0.9f, -1.7f, 5.0f};
+    quantize_array(data.data(), data.size(), spec, gen);
+    const float q = spec.quantum();
+    for (float v : data) {
+        const float ratio = v / q;
+        EXPECT_NEAR(ratio, std::nearbyintf(ratio), 1e-5);
+        EXPECT_LE(std::fabs(v), 7.0f * q);
+    }
+}
+
+// ------------------------------------------------------------------ layers
+
+TEST(Layers, ConvForwardKnownValues)
+{
+    QuantSpec fp; // full precision
+    Conv2d conv(1, 1, 2, fp, 9);
+    // 3x3 input of ones: each output = sum of the 2x2 kernel.
+    Volume in(1, 3, 3);
+    for (auto& v : in.data) v = 1.0f;
+    const Volume out = conv.forward(in);
+    EXPECT_EQ(out.height, 2u);
+    EXPECT_EQ(out.width, 2u);
+    float wsum = 0.0f;
+    for (float w : conv.weights()) wsum += w;
+    for (float v : out.data) EXPECT_NEAR(v, wsum, 1e-6);
+}
+
+TEST(Layers, ConvGradientMatchesNumeric)
+{
+    // Numeric gradient check of dL/d(input) with L = sum(out).
+    QuantSpec fp;
+    Conv2d conv(2, 3, 3, fp, 11);
+    Volume in(2, 5, 5);
+    rng::Xorshift128 gen(13);
+    for (auto& v : in.data) v = rng::to_unit_float(gen()) - 0.5f;
+
+    const Volume out = conv.forward(in);
+    Volume ones(out.channels, out.height, out.width);
+    for (auto& v : ones.data) v = 1.0f;
+    // eta = 0 so backward() does not change the weights.
+    Conv2d conv_copy = conv;
+    const Volume grad = conv_copy.backward(ones, 0.0f);
+
+    const float eps = 1e-3f;
+    for (std::size_t i = 0; i < in.size(); i += 7) {
+        Volume in_p = in;
+        in_p.data[i] += eps;
+        Volume in_m = in;
+        in_m.data[i] -= eps;
+        float lp = 0, lm = 0;
+        for (float v : conv.forward(in_p).data) lp += v;
+        for (float v : conv.forward(in_m).data) lm += v;
+        const float numeric = (lp - lm) / (2 * eps);
+        EXPECT_NEAR(grad.data[i], numeric, 1e-2) << "index " << i;
+    }
+}
+
+TEST(Layers, MaxPoolForwardAndRouting)
+{
+    MaxPool2 pool;
+    Volume in(1, 4, 4);
+    for (std::size_t i = 0; i < 16; ++i)
+        in.data[i] = static_cast<float>(i);
+    const Volume out = pool.forward(in);
+    EXPECT_EQ(out.height, 2u);
+    // Max of each 2x2 block: 5, 7, 13, 15.
+    EXPECT_FLOAT_EQ(out.data[0], 5.0f);
+    EXPECT_FLOAT_EQ(out.data[1], 7.0f);
+    EXPECT_FLOAT_EQ(out.data[2], 13.0f);
+    EXPECT_FLOAT_EQ(out.data[3], 15.0f);
+
+    Volume g(1, 2, 2);
+    g.data = {1.0f, 2.0f, 3.0f, 4.0f};
+    const Volume back = pool.backward(g);
+    EXPECT_FLOAT_EQ(back.data[5], 1.0f);
+    EXPECT_FLOAT_EQ(back.data[7], 2.0f);
+    EXPECT_FLOAT_EQ(back.data[13], 3.0f);
+    EXPECT_FLOAT_EQ(back.data[15], 4.0f);
+    EXPECT_FLOAT_EQ(back.data[0], 0.0f);
+}
+
+TEST(Layers, ReluForwardBackward)
+{
+    Relu relu;
+    Volume in(1, 1, 4);
+    in.data = {-1.0f, 0.0f, 2.0f, -3.0f};
+    const Volume out = relu.forward(in);
+    EXPECT_FLOAT_EQ(out.data[0], 0.0f);
+    EXPECT_FLOAT_EQ(out.data[2], 2.0f);
+    Volume g(1, 1, 4);
+    g.data = {5.0f, 5.0f, 5.0f, 5.0f};
+    const Volume back = relu.backward(g);
+    EXPECT_FLOAT_EQ(back.data[0], 0.0f);
+    EXPECT_FLOAT_EQ(back.data[1], 0.0f); // relu'(0) = 0 convention
+    EXPECT_FLOAT_EQ(back.data[2], 5.0f);
+}
+
+TEST(Layers, DenseGradientMatchesNumeric)
+{
+    QuantSpec fp;
+    Dense fc(6, 4, fp, 17);
+    std::vector<float> in = {0.1f, -0.2f, 0.3f, 0.4f, -0.5f, 0.6f};
+    const auto out = fc.forward(in);
+    ASSERT_EQ(out.size(), 4u);
+    std::vector<float> ones(4, 1.0f);
+    Dense fc_copy = fc;
+    const auto grad = fc_copy.backward(ones, 0.0f);
+
+    const float eps = 1e-3f;
+    for (std::size_t i = 0; i < in.size(); ++i) {
+        auto in_p = in;
+        in_p[i] += eps;
+        auto in_m = in;
+        in_m[i] -= eps;
+        float lp = 0, lm = 0;
+        for (float v : fc.forward(in_p)) lp += v;
+        for (float v : fc.forward(in_m)) lm += v;
+        EXPECT_NEAR(grad[i], (lp - lm) / (2 * eps), 1e-2);
+    }
+}
+
+TEST(Layers, DenseSgdStepReducesLoss)
+{
+    QuantSpec fp;
+    Dense fc(4, 2, fp, 19);
+    const std::vector<float> in = {1.0f, -1.0f, 0.5f, -0.5f};
+    for (int step = 0; step < 50; ++step) {
+        const auto out = fc.forward(in);
+        auto [loss, grad] = SoftmaxXent::loss_and_grad(out, 0);
+        (void)loss;
+        fc.backward(grad, 0.1f);
+    }
+    const auto out = fc.forward(in);
+    EXPECT_EQ(SoftmaxXent::predict(out), 0);
+    auto [final_loss, g] = SoftmaxXent::loss_and_grad(out, 0);
+    (void)g;
+    EXPECT_LT(final_loss, 0.1f);
+}
+
+TEST(Layers, SoftmaxXentProperties)
+{
+    const std::vector<float> logits = {1.0f, 2.0f, 3.0f};
+    auto [loss, grad] = SoftmaxXent::loss_and_grad(logits, 2);
+    EXPECT_GT(loss, 0.0f);
+    // Gradient sums to zero (softmax minus one-hot).
+    EXPECT_NEAR(grad[0] + grad[1] + grad[2], 0.0f, 1e-6);
+    EXPECT_LT(grad[2], 0.0f);
+    EXPECT_EQ(SoftmaxXent::predict(logits), 2);
+}
+
+TEST(Layers, QuantizedWeightsStayOnGrid)
+{
+    QuantSpec spec{6, Round::kStochastic, 2.0f};
+    Dense fc(8, 4, spec, 23);
+    std::vector<float> in(8, 0.5f);
+    for (int step = 0; step < 20; ++step) {
+        const auto out = fc.forward(in);
+        auto [loss, grad] = SoftmaxXent::loss_and_grad(out, 1);
+        (void)loss;
+        fc.backward(grad, 0.05f);
+    }
+    const float q = spec.quantum();
+    for (float w : fc.weights()) {
+        const float ratio = w / q;
+        EXPECT_NEAR(ratio, std::nearbyintf(ratio), 1e-4)
+            << "weight off grid: " << w;
+    }
+}
+
+TEST(Layers, ShapeValidation)
+{
+    QuantSpec fp;
+    Conv2d conv(2, 2, 3, fp, 1);
+    Volume wrong_channels(1, 8, 8);
+    EXPECT_THROW(conv.forward(wrong_channels), std::runtime_error);
+    Volume too_small(2, 2, 2);
+    EXPECT_THROW(conv.forward(too_small), std::runtime_error);
+    Dense fc(4, 2, fp, 1);
+    EXPECT_THROW(fc.forward({1.0f, 2.0f}), std::runtime_error);
+}
+
+// ----------------------------------------------------------- lowp conv
+
+TEST(LowpConv, ShapesMatchAlexNetConv1)
+{
+    const ConvShape s = ConvShape::alexnet_conv1();
+    EXPECT_EQ(s.out_size(), 55u);
+    EXPECT_EQ(s.patch_elements(), 363u);
+    EXPECT_EQ(s.patches(), 3025u);
+    EXPECT_NEAR(s.macs(), 96.0 * 3025.0 * 363.0, 1.0);
+}
+
+TEST(LowpConv, ForwardProducesFiniteOutput)
+{
+    ConvShape s;
+    s.in_size = 31;
+    s.filters = 4;
+    s.kernel = 7;
+    s.stride = 4;
+    LowpConv<std::int8_t, std::int8_t> conv(s, 5);
+    const auto out = conv.forward(simd::best_impl());
+    EXPECT_EQ(out.size(), s.filters * s.patches());
+    for (float v : out) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(LowpConv, Avx2MatchesReference)
+{
+    ConvShape s;
+    s.in_size = 23;
+    s.filters = 3;
+    s.kernel = 5;
+    s.stride = 2;
+    LowpConv<std::int8_t, std::int8_t> a(s, 7);
+    LowpConv<std::int8_t, std::int8_t> b(s, 7);
+    const auto ra = a.forward(simd::Impl::kAvx2);
+    const auto rb = b.forward(simd::Impl::kReference);
+    ASSERT_EQ(ra.size(), rb.size());
+    for (std::size_t i = 0; i < ra.size(); ++i) EXPECT_EQ(ra[i], rb[i]);
+}
+
+// --------------------------------------------------------------- LeNet
+
+dataset::DigitDataset
+train_set()
+{
+    return dataset::generate_digits(600, 41, 0.1f);
+}
+
+dataset::DigitDataset
+test_set()
+{
+    return dataset::generate_digits(200, 42, 0.1f);
+}
+
+TEST(LenetTraining, FullPrecisionLearnsDigits)
+{
+    LenetConfig cfg;
+    cfg.epochs = 5;
+    Lenet net(cfg);
+    const auto m = net.train(train_set(), test_set());
+    EXPECT_GT(m.test_accuracy, 0.85)
+        << "seven-segment digits are easy; the CNN must learn them";
+    ASSERT_GE(m.train_loss_trace.size(), 2u);
+    EXPECT_LT(m.train_loss_trace.back(), m.train_loss_trace.front());
+}
+
+TEST(LenetTraining, EightBitUnbiasedMatchesFullPrecision)
+{
+    // Fig 7b: "it is possible to train accurately even below 8-bits,
+    // using unbiased rounding".
+    LenetConfig cfg;
+    cfg.epochs = 3;
+    Lenet fp(cfg);
+    const auto mf = fp.train(train_set(), test_set());
+
+    cfg.weight_spec = QuantSpec{8, Round::kStochastic, 2.0f};
+    Lenet q8(cfg);
+    const auto m8 = q8.train(train_set(), test_set());
+    EXPECT_GT(m8.test_accuracy, mf.test_accuracy - 0.08);
+}
+
+TEST(LenetTraining, QuantizedActivationsStillLearn)
+{
+    // The D term for deep learning: 8-bit activations alongside 8-bit
+    // weights (the paper's D8M8 deep-learning configuration).
+    LenetConfig cfg;
+    cfg.epochs = 4;
+    cfg.weight_spec = QuantSpec{8, Round::kStochastic, 2.0f};
+    cfg.activation_spec = QuantSpec{8, Round::kNearest, 8.0f}; // activations exceed the weight range
+    Lenet net(cfg);
+    const auto m = net.train(train_set(), test_set());
+    EXPECT_GT(m.test_accuracy, 0.85);
+}
+
+TEST(LenetTraining, VeryLowPrecisionBiasedDegrades)
+{
+    // The contrast in Fig 7b: at very low bits, biased rounding loses
+    // noticeably more accuracy than unbiased rounding.
+    LenetConfig cfg;
+    cfg.epochs = 3;
+    cfg.weight_spec = QuantSpec{5, Round::kStochastic, 2.0f};
+    Lenet unbiased(cfg);
+    const auto mu = unbiased.train(train_set(), test_set());
+
+    cfg.weight_spec = QuantSpec{5, Round::kNearest, 2.0f};
+    Lenet biased(cfg);
+    const auto mb = biased.train(train_set(), test_set());
+
+    EXPECT_GT(mu.test_accuracy, mb.test_accuracy - 0.02)
+        << "unbiased must not be worse";
+}
+
+} // namespace
+} // namespace buckwild::nn

@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Unit and statistical tests for the PRNG substrate (§5.2).
+ *
+ * The AVX2 xorshift128+ must bit-exactly match four scalar lanes, and every
+ * source must pass a coarse uniformity check — "not very statistically
+ * reliable" (the paper on XORSHIFT) still means uniform enough for
+ * stochastic rounding.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "rng/avx2_xorshift.h"
+#include "rng/random_source.h"
+#include "rng/xorshift.h"
+#include "util/stats.h"
+
+namespace buckwild::rng {
+namespace {
+
+TEST(Xorshift32, NonZeroAndDeterministic)
+{
+    Xorshift32 a(123), b(123), c(456);
+    bool differs = false;
+    for (int i = 0; i < 1000; ++i) {
+        const auto va = a();
+        EXPECT_EQ(va, b());
+        if (va != c()) differs = true;
+        EXPECT_NE(va, 0u) << "xorshift32 must never emit its fixed point 0";
+    }
+    EXPECT_TRUE(differs);
+}
+
+TEST(Xorshift32, ZeroSeedIsRemapped)
+{
+    Xorshift32 g(0);
+    EXPECT_NE(g(), 0u);
+}
+
+TEST(Xorshift128, PeriodIsLong)
+{
+    // No repeats of the full state projection in a modest window.
+    Xorshift128 g(7);
+    std::set<std::uint32_t> seen;
+    int repeats = 0;
+    for (int i = 0; i < 50000; ++i)
+        if (!seen.insert(g()).second) ++repeats;
+    // Birthday bound: ~50000^2 / 2^33 ≈ 0.3 expected collisions of the
+    // 32-bit *output* — allow a small number, but not a short cycle.
+    EXPECT_LT(repeats, 10);
+}
+
+TEST(Xorshift128Plus, MatchesReferenceRecurrence)
+{
+    // Independent reimplementation of one step.
+    Xorshift128Plus g(42);
+    std::uint64_t sm = 42;
+    std::uint64_t s0 = splitmix64(sm);
+    std::uint64_t s1 = splitmix64(sm);
+    for (int i = 0; i < 100; ++i) {
+        std::uint64_t a = s0;
+        const std::uint64_t b = s1;
+        s0 = b;
+        a ^= a << 23;
+        s1 = a ^ b ^ (a >> 18) ^ (b >> 5);
+        EXPECT_EQ(g(), s1 + b);
+    }
+}
+
+TEST(Avx2Xorshift, LanesMatchScalarGenerator)
+{
+    // The vector generator seeds lane k with the (2k, 2k+1)-th splitmix
+    // outputs; reconstruct each lane with the scalar generator and compare.
+    constexpr std::uint64_t kSeed = 0xDEADBEEFCAFEull;
+    Avx2Xorshift128Plus vec(kSeed);
+
+    std::uint64_t sm = kSeed;
+    struct Lane { std::uint64_t s0, s1; } lanes[4];
+    for (auto& lane : lanes) {
+        lane.s0 = splitmix64(sm);
+        lane.s1 = splitmix64(sm);
+    }
+    auto scalar_next = [](Lane& l) {
+        std::uint64_t a = l.s0;
+        const std::uint64_t b = l.s1;
+        l.s0 = b;
+        a ^= a << 23;
+        l.s1 = a ^ b ^ (a >> 18) ^ (b >> 5);
+        return l.s1 + b;
+    };
+
+    for (int step = 0; step < 64; ++step) {
+        alignas(32) std::uint64_t out[4];
+        _mm256_store_si256(reinterpret_cast<__m256i*>(out), vec.next());
+        for (int lane = 0; lane < 4; ++lane)
+            EXPECT_EQ(out[lane], scalar_next(lanes[lane]))
+                << "step " << step << " lane " << lane;
+    }
+}
+
+TEST(Avx2Xorshift, FillHandlesNonMultipleOfEight)
+{
+    Avx2Xorshift128Plus a(1), b(1);
+    std::vector<std::uint32_t> x(19), y(19);
+    a.fill(x.data(), x.size());
+    // Same seed, filled in two chunks of the vector stream → the first 16
+    // words (two full steps) must agree.
+    b.fill(y.data(), y.size());
+    EXPECT_EQ(x, y);
+    bool nonzero = false;
+    for (auto w : x) nonzero |= (w != 0);
+    EXPECT_TRUE(nonzero);
+}
+
+TEST(Xorshift128Plus, JumpProducesDisjointStreams)
+{
+    // Two generators from one seed, one jumped: their outputs must not
+    // collide in a modest window (they are 2^64 steps apart).
+    Xorshift128Plus a(42), b(42);
+    b.jump();
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 5000; ++i) seen.insert(a());
+    int collisions = 0;
+    for (int i = 0; i < 5000; ++i)
+        if (seen.count(b())) ++collisions;
+    EXPECT_EQ(collisions, 0);
+}
+
+TEST(Xorshift128Plus, JumpIsDeterministic)
+{
+    Xorshift128Plus a(7), b(7);
+    a.jump();
+    b.jump();
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xorshift128Plus, JumpedStreamStaysUniform)
+{
+    Xorshift128Plus g(2024);
+    g.jump();
+    buckwild::Histogram h(0.0, 1.0, 64);
+    for (int i = 0; i < 64 * 4096; ++i)
+        h.add(to_unit_float(static_cast<std::uint32_t>(g() >> 32)));
+    EXPECT_LT(h.chi_squared_uniform(), 63.0 + 5 * 11.3);
+}
+
+TEST(UnitFloat, RangeAndGranularity)
+{
+    EXPECT_EQ(to_unit_float(0), 0.0f);
+    EXPECT_LT(to_unit_float(0xFFFFFFFFu), 1.0f);
+    EXPECT_GT(to_unit_float(0xFFFFFFFFu), 0.9999f);
+    EXPECT_EQ(to_unit_float(0x80000000u), 0.5f);
+}
+
+class SourceUniformity : public ::testing::TestWithParam<RoundingRng>
+{};
+
+TEST_P(SourceUniformity, ChiSquaredWithinBound)
+{
+    // Coarse chi-squared uniformity on [0,1): all three sources must pass.
+    // For the shared source, test the *fresh-draw* stream (period draws
+    // apart) since repeats within a period are by design.
+    const auto strategy = GetParam();
+    auto src = make_source(strategy, /*seed=*/2024, /*shared_period=*/8);
+    constexpr int kBins = 64;
+    constexpr int kSamples = 64 * 4096;
+    Histogram h(0.0, 1.0, kBins);
+    if (strategy == RoundingRng::kSharedXorshift) {
+        for (int i = 0; i < kSamples; ++i) {
+            float v = src->next_unit_float();
+            for (int skip = 1; skip < 8; ++skip) (void)src->next_word();
+            h.add(v);
+        }
+    } else {
+        for (int i = 0; i < kSamples; ++i) h.add(src->next_unit_float());
+    }
+    // chi2 ~ chi2(63): mean 63, stddev ~11.2; 5 sigma bound.
+    EXPECT_LT(h.chi_squared_uniform(), 63.0 + 5 * 11.3)
+        << "strategy " << to_string(strategy);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStrategies, SourceUniformity,
+                         ::testing::Values(RoundingRng::kMersenne,
+                                           RoundingRng::kXorshift,
+                                           RoundingRng::kSharedXorshift),
+                         [](const auto& info) {
+                             std::string name;
+                             for (char c : to_string(info.param))
+                                 if (c != '-') name += c;
+                             return name;
+                         });
+
+TEST(SharedSource, RepeatsWordExactlyPeriodTimes)
+{
+    SharedXorshiftSource src(/*period=*/4, /*seed=*/99);
+    for (int block = 0; block < 16; ++block) {
+        const std::uint32_t first = src.next_word();
+        for (int i = 1; i < 4; ++i) EXPECT_EQ(src.next_word(), first);
+    }
+}
+
+TEST(SharedSource, PeriodOneIsFreshEveryCall)
+{
+    SharedXorshiftSource shared(1, 7);
+    XorshiftSource fresh(7);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(shared.next_word(), fresh.next_word());
+}
+
+TEST(SharedSource, RejectsZeroPeriod)
+{
+    EXPECT_THROW(SharedXorshiftSource(0, 1), std::invalid_argument);
+}
+
+TEST(SourceFactory, BuildsEveryStrategy)
+{
+    for (auto s : {RoundingRng::kMersenne, RoundingRng::kXorshift,
+                   RoundingRng::kSharedXorshift}) {
+        auto src = make_source(s, 1);
+        ASSERT_NE(src, nullptr);
+        (void)src->next_word();
+    }
+}
+
+TEST(SourceMeans, AllSourcesCenterAtOneHalf)
+{
+    for (auto s : {RoundingRng::kMersenne, RoundingRng::kXorshift,
+                   RoundingRng::kSharedXorshift}) {
+        auto src = make_source(s, 31337);
+        buckwild::RunningStats stats;
+        for (int i = 0; i < 100000; ++i)
+            stats.add(src->next_unit_float());
+        EXPECT_NEAR(stats.mean(), 0.5, 0.01) << to_string(s);
+    }
+}
+
+} // namespace
+} // namespace buckwild::rng

@@ -1,0 +1,707 @@
+/**
+ * @file
+ * Tests for the dense and sparse kernels (§5.1).
+ *
+ * The central property: for every fixed-point (D, M) pair, every size, and
+ * both rounding modes, the hand-optimized AVX2 kernels are bit-identical
+ * to the reference scalar kernels. Float-accumulating dots are checked
+ * with relative tolerance (summation order differs); the naive compiler
+ * baseline is checked to within one model quantum.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "rng/avx2_xorshift.h"
+#include "rng/xorshift.h"
+#include "simd/dense_avx2.h"
+#include "simd/dense_avx512.h"
+#include "simd/dense_naive.h"
+#include "simd/dense_ref.h"
+#include "simd/ops.h"
+#include "simd/sparse_kernels.h"
+#include "util/aligned_buffer.h"
+
+namespace buckwild::simd {
+namespace {
+
+using rng::Xorshift128;
+
+/// Deterministic test vectors. Model reps obey the symmetric contract.
+template <typename T>
+AlignedBuffer<T>
+random_fixed(std::size_t n, std::uint32_t seed, int lim)
+{
+    Xorshift128 gen(seed);
+    AlignedBuffer<T> buf(n);
+    for (std::size_t i = 0; i < n; ++i)
+        buf[i] = static_cast<T>(static_cast<int>(gen() % (2 * lim + 1)) - lim);
+    return buf;
+}
+
+AlignedBuffer<float>
+random_floats(std::size_t n, std::uint32_t seed)
+{
+    Xorshift128 gen(seed);
+    AlignedBuffer<float> buf(n);
+    for (std::size_t i = 0; i < n; ++i)
+        buf[i] = rng::to_unit_float(gen()) * 2.0f - 1.0f;
+    return buf;
+}
+
+DitherBlock
+random_dither(std::uint32_t seed)
+{
+    Xorshift128 gen(seed);
+    DitherBlock block;
+    for (auto& b : block.bytes) b = static_cast<std::uint8_t>(gen());
+    return block;
+}
+
+/// Sizes chosen to cover: sub-vector, exactly one vector, vector+tail,
+/// many vectors, and odd tails.
+const std::vector<std::size_t> kSizes = {0,  1,  7,   16,  31,  32,  33,
+                                         64, 100, 255, 256, 1000, 4096};
+
+// ----------------------------------------------------- fixed-dot parity
+
+template <typename D, typename M>
+void
+check_fixed_dot_parity(int dlim, int mlim)
+{
+    for (std::size_t n : kSizes) {
+        const auto x = random_fixed<D>(n, 11 + static_cast<std::uint32_t>(n),
+                                       dlim);
+        const auto w = random_fixed<M>(n, 29 + static_cast<std::uint32_t>(n),
+                                       mlim);
+        const float scale = 1.0f / 4096.0f;
+        float r, a;
+        if constexpr (sizeof(D) == 1 && sizeof(M) == 1) {
+            r = ref::dot_d8m8(x.data(), w.data(), n, scale);
+            a = avx2::dot_d8m8(x.data(), w.data(), n, scale);
+        } else if constexpr (sizeof(D) == 1 && sizeof(M) == 2) {
+            r = ref::dot_d8m16(x.data(), w.data(), n, scale);
+            a = avx2::dot_d8m16(x.data(), w.data(), n, scale);
+        } else if constexpr (sizeof(D) == 2 && sizeof(M) == 1) {
+            r = ref::dot_d16m8(x.data(), w.data(), n, scale);
+            a = avx2::dot_d16m8(x.data(), w.data(), n, scale);
+        } else {
+            r = ref::dot_d16m16(x.data(), w.data(), n, scale);
+            a = avx2::dot_d16m16(x.data(), w.data(), n, scale);
+        }
+        EXPECT_EQ(r, a) << "n=" << n;
+    }
+}
+
+TEST(DotParity, D8M8) { check_fixed_dot_parity<std::int8_t, std::int8_t>(128, 127); }
+TEST(DotParity, D8M16) { check_fixed_dot_parity<std::int8_t, std::int16_t>(127, 32767); }
+TEST(DotParity, D16M8) { check_fixed_dot_parity<std::int16_t, std::int8_t>(32767, 127); }
+TEST(DotParity, D16M16) { check_fixed_dot_parity<std::int16_t, std::int16_t>(32767, 32767); }
+
+TEST(DotParity, D8M8ExtremeValuesNoMaddubsOverflow)
+{
+    // The vpmaddubsw sign-trick edge: x = -128 (|x| = 128 unsigned) against
+    // w = +-127 pairs — the maximum-magnitude pair sums.
+    constexpr std::size_t kN = 64;
+    AlignedBuffer<std::int8_t> x(kN), w(kN);
+    for (std::size_t i = 0; i < kN; ++i) {
+        x[i] = -128;
+        w[i] = (i % 2 == 0) ? 127 : -127;
+    }
+    const float r = ref::dot_d8m8(x.data(), w.data(), kN, 1.0f);
+    const float a = avx2::dot_d8m8(x.data(), w.data(), kN, 1.0f);
+    EXPECT_EQ(r, a);
+    EXPECT_EQ(r, 0.0f); // alternating signs cancel
+    // All-same-sign version: no cancellation, maximal accumulation.
+    for (std::size_t i = 0; i < kN; ++i) w[i] = 127;
+    EXPECT_EQ(ref::dot_d8m8(x.data(), w.data(), kN, 1.0f),
+              avx2::dot_d8m8(x.data(), w.data(), kN, 1.0f));
+}
+
+TEST(DotParity, D16M16NearOverflowPairs)
+{
+    // Pairs at the vpmaddwd edge: 32767 * 32767 * 2 per int32 lane.
+    constexpr std::size_t kN = 128;
+    AlignedBuffer<std::int16_t> x(kN), w(kN);
+    for (std::size_t i = 0; i < kN; ++i) {
+        x[i] = 32767;
+        w[i] = 32767;
+    }
+    EXPECT_EQ(ref::dot_d16m16(x.data(), w.data(), kN, 1.0f),
+              avx2::dot_d16m16(x.data(), w.data(), kN, 1.0f));
+}
+
+TEST(DotParity, LongVectorInt32AccumulatorFlush)
+{
+    // Exercises the periodic int32 -> int64 flush on a long all-positive
+    // vector, where a missing flush would wrap negative.
+    constexpr std::size_t kN = 1 << 20;
+    AlignedBuffer<std::int8_t> x(kN), w(kN);
+    for (std::size_t i = 0; i < kN; ++i) {
+        x[i] = 127;
+        w[i] = 127;
+    }
+    const double expect = 127.0 * 127.0 * kN;
+    EXPECT_EQ(avx2::dot_d8m8(x.data(), w.data(), kN, 1.0f),
+              static_cast<float>(expect));
+}
+
+// ------------------------------------------------------ float-dot checks
+
+TEST(DotFloat, MixedPathsMatchReferenceWithinTolerance)
+{
+    for (std::size_t n : kSizes) {
+        const auto x8 = random_fixed<std::int8_t>(n, 3, 127);
+        const auto x16 = random_fixed<std::int16_t>(n, 5, 32767);
+        const auto wf = random_floats(n, 7);
+        const auto xf = random_floats(n, 9);
+        const auto w8 = random_fixed<std::int8_t>(n, 13, 127);
+        const auto w16 = random_fixed<std::int16_t>(n, 17, 32767);
+
+        const float tol = 1e-4f * (static_cast<float>(n) + 1.0f);
+        EXPECT_NEAR(ref::dot_d8mf(x8.data(), wf.data(), n, 0.01f),
+                    avx2::dot_d8mf(x8.data(), wf.data(), n, 0.01f), tol);
+        EXPECT_NEAR(ref::dot_d16mf(x16.data(), wf.data(), n, 1e-4f),
+                    avx2::dot_d16mf(x16.data(), wf.data(), n, 1e-4f), tol);
+        EXPECT_NEAR(ref::dot_dfm8(xf.data(), w8.data(), n, 0.01f),
+                    avx2::dot_dfm8(xf.data(), w8.data(), n, 0.01f), tol);
+        EXPECT_NEAR(ref::dot_dfm16(xf.data(), w16.data(), n, 1e-4f),
+                    avx2::dot_dfm16(xf.data(), w16.data(), n, 1e-4f), tol);
+        EXPECT_NEAR(ref::dot_dfmf(xf.data(), wf.data(), n),
+                    avx2::dot_dfmf(xf.data(), wf.data(), n), tol);
+    }
+}
+
+// ----------------------------------------------------- fixed-AXPY parity
+
+struct AxpyCase
+{
+    std::size_t n;
+    float c; // scale in model-quanta units fed to make_scalar_*
+    bool biased;
+};
+
+class AxpyParity : public ::testing::TestWithParam<AxpyCase>
+{};
+
+TEST_P(AxpyParity, D8M8BitExact)
+{
+    const auto& p = GetParam();
+    const auto x = random_fixed<std::int8_t>(p.n, 21, 128);
+    auto w_ref = random_fixed<std::int8_t>(p.n, 22, 127);
+    auto w_avx = w_ref;
+    const DitherBlock d =
+        p.biased ? biased_fixed(kShiftD8M8) : random_dither(5);
+    const FixedScalar cs = make_scalar_d8m8(p.c);
+    ref::axpy_d8m8(w_ref.data(), x.data(), p.n, cs, d);
+    avx2::axpy_d8m8(w_avx.data(), x.data(), p.n, cs, d);
+    for (std::size_t i = 0; i < p.n; ++i)
+        ASSERT_EQ(w_ref[i], w_avx[i]) << "i=" << i << " n=" << p.n;
+}
+
+TEST_P(AxpyParity, D16M8BitExact)
+{
+    const auto& p = GetParam();
+    const auto x = random_fixed<std::int16_t>(p.n, 31, 32767);
+    auto w_ref = random_fixed<std::int8_t>(p.n, 32, 127);
+    auto w_avx = w_ref;
+    const DitherBlock d =
+        p.biased ? biased_fixed(kShiftD16M8) : random_dither(6);
+    const FixedScalar cs = make_scalar_d16m8(p.c);
+    ref::axpy_d16m8(w_ref.data(), x.data(), p.n, cs, d);
+    avx2::axpy_d16m8(w_avx.data(), x.data(), p.n, cs, d);
+    for (std::size_t i = 0; i < p.n; ++i)
+        ASSERT_EQ(w_ref[i], w_avx[i]) << "i=" << i << " n=" << p.n;
+}
+
+TEST_P(AxpyParity, D8M16BitExact)
+{
+    const auto& p = GetParam();
+    const auto x = random_fixed<std::int8_t>(p.n, 41, 128);
+    auto w_ref = random_fixed<std::int16_t>(p.n, 42, 32767);
+    auto w_avx = w_ref;
+    const DitherBlock d =
+        p.biased ? biased_fixed(kShiftD8M16) : random_dither(7);
+    const FixedScalar cs = make_scalar_d8m16(p.c);
+    ref::axpy_d8m16(w_ref.data(), x.data(), p.n, cs, d);
+    avx2::axpy_d8m16(w_avx.data(), x.data(), p.n, cs, d);
+    for (std::size_t i = 0; i < p.n; ++i)
+        ASSERT_EQ(w_ref[i], w_avx[i]) << "i=" << i << " n=" << p.n;
+}
+
+TEST_P(AxpyParity, D16M16BitExact)
+{
+    const auto& p = GetParam();
+    const auto x = random_fixed<std::int16_t>(p.n, 51, 32767);
+    auto w_ref = random_fixed<std::int16_t>(p.n, 52, 32767);
+    auto w_avx = w_ref;
+    const DitherBlock d =
+        p.biased ? biased_fixed(kShiftD16M16) : random_dither(8);
+    const FixedScalar cs = make_scalar_d16m16(p.c);
+    ref::axpy_d16m16(w_ref.data(), x.data(), p.n, cs, d);
+    avx2::axpy_d16m16(w_avx.data(), x.data(), p.n, cs, d);
+    for (std::size_t i = 0; i < p.n; ++i)
+        ASSERT_EQ(w_ref[i], w_avx[i]) << "i=" << i << " n=" << p.n;
+}
+
+TEST_P(AxpyParity, DFM8BitExact)
+{
+    const auto& p = GetParam();
+    const auto x = random_floats(p.n, 61);
+    auto w_ref = random_fixed<std::int8_t>(p.n, 62, 127);
+    auto w_avx = w_ref;
+    const DitherBlock d = p.biased ? biased_unit() : random_dither(9);
+    const float cf = p.c * 37.0f; // exercise multi-quantum deltas
+    ref::axpy_dfm8(w_ref.data(), x.data(), p.n, cf, d);
+    avx2::axpy_dfm8(w_avx.data(), x.data(), p.n, cf, d);
+    for (std::size_t i = 0; i < p.n; ++i)
+        ASSERT_EQ(w_ref[i], w_avx[i]) << "i=" << i << " n=" << p.n;
+}
+
+TEST_P(AxpyParity, DFM16BitExact)
+{
+    const auto& p = GetParam();
+    const auto x = random_floats(p.n, 71);
+    auto w_ref = random_fixed<std::int16_t>(p.n, 72, 32767);
+    auto w_avx = w_ref;
+    const DitherBlock d = p.biased ? biased_unit() : random_dither(10);
+    const float cf = p.c * 1000.0f;
+    ref::axpy_dfm16(w_ref.data(), x.data(), p.n, cf, d);
+    avx2::axpy_dfm16(w_avx.data(), x.data(), p.n, cf, d);
+    for (std::size_t i = 0; i < p.n; ++i)
+        ASSERT_EQ(w_ref[i], w_avx[i]) << "i=" << i << " n=" << p.n;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesScalesModes, AxpyParity,
+    ::testing::Values(AxpyCase{0, 0.5f, true}, AxpyCase{1, 0.5f, false},
+                      AxpyCase{31, -0.25f, false}, AxpyCase{32, 1.5f, true},
+                      AxpyCase{33, -1.9f, false}, AxpyCase{100, 0.03f, false},
+                      AxpyCase{256, -0.6f, true},
+                      AxpyCase{1000, 0.9f, false}),
+    [](const auto& info) {
+        const auto& p = info.param;
+        std::string name = "n" + std::to_string(p.n) + "_" +
+                           (p.biased ? "biased" : "unbiased") + "_c";
+        for (char c : std::to_string(p.c))
+            name += (c == '-' ? 'm' : (c == '.' ? 'p' : c));
+        return name;
+    });
+
+// ------------------------------------------------- float-model AXPYs
+
+TEST(AxpyFloatModel, MatchesReferenceWithinUlps)
+{
+    for (std::size_t n : kSizes) {
+        const auto x8 = random_fixed<std::int8_t>(n, 81, 127);
+        const auto x16 = random_fixed<std::int16_t>(n, 82, 32767);
+        const auto xf = random_floats(n, 83);
+        auto w_ref = random_floats(n, 84);
+        auto w_avx = w_ref;
+        ref::axpy_d8mf(w_ref.data(), x8.data(), n, 0.001f);
+        avx2::axpy_d8mf(w_avx.data(), x8.data(), n, 0.001f);
+        for (std::size_t i = 0; i < n; ++i)
+            ASSERT_NEAR(w_ref[i], w_avx[i], 1e-5f);
+
+        w_ref = random_floats(n, 85);
+        w_avx = w_ref;
+        ref::axpy_d16mf(w_ref.data(), x16.data(), n, 1e-6f);
+        avx2::axpy_d16mf(w_avx.data(), x16.data(), n, 1e-6f);
+        for (std::size_t i = 0; i < n; ++i)
+            ASSERT_NEAR(w_ref[i], w_avx[i], 1e-5f);
+
+        w_ref = random_floats(n, 86);
+        w_avx = w_ref;
+        ref::axpy_dfmf(w_ref.data(), xf.data(), n, 0.01f);
+        avx2::axpy_dfmf(w_avx.data(), xf.data(), n, 0.01f);
+        for (std::size_t i = 0; i < n; ++i)
+            ASSERT_NEAR(w_ref[i], w_avx[i], 1e-5f);
+    }
+}
+
+// ----------------------------------------------------- naive equivalence
+
+TEST(NaiveKernels, DotMatchesReferenceWithinTolerance)
+{
+    constexpr std::size_t kN = 777;
+    const auto x = random_fixed<std::int8_t>(kN, 91, 127);
+    const auto w = random_fixed<std::int8_t>(kN, 92, 127);
+    const float r = ref::dot_d8m8(x.data(), w.data(), kN, 1.0f / 4096);
+    const float nv = naive::dot_d8m8(x.data(), w.data(), kN, 1.0f / 4096);
+    EXPECT_NEAR(r, nv, std::fabs(r) * 1e-4f + 1e-3f);
+}
+
+TEST(NaiveKernels, AxpyWithinOneQuantumOfReference)
+{
+    // The naive path computes in float; its rounding can differ from the
+    // exact integer path by at most one model quantum per element.
+    constexpr std::size_t kN = 500;
+    const auto x = random_fixed<std::int8_t>(kN, 93, 127);
+    auto w_ref = random_fixed<std::int8_t>(kN, 94, 120);
+    auto w_naive = w_ref;
+    const DitherBlock d = biased_fixed(kShiftD8M8);
+    const FixedScalar cs = make_scalar_d8m8(0.37f);
+    ref::axpy_d8m8(w_ref.data(), x.data(), kN, cs, d);
+    naive::axpy_d8m8(w_naive.data(), x.data(), kN, cs, d);
+    for (std::size_t i = 0; i < kN; ++i)
+        EXPECT_NEAR(static_cast<int>(w_ref[i]),
+                    static_cast<int>(w_naive[i]), 1)
+            << i;
+}
+
+// -------------------------------------------------------- AXPY semantics
+
+TEST(AxpySemantics, BiasedRoundingIsRoundHalfUp)
+{
+    // c = 1.0 in quanta, x = 1 -> delta exactly 1; x = 0 -> 0.
+    AlignedBuffer<std::int8_t> w(4), x(4);
+    x[0] = 0; x[1] = 1; x[2] = -1; x[3] = 100;
+    const FixedScalar cs = make_scalar_d8m8(1.0f);
+    ref::axpy_d8m8(w.data(), x.data(), 4, cs, biased_fixed(kShiftD8M8));
+    EXPECT_EQ(w[0], 0);
+    EXPECT_EQ(w[1], 1);
+    EXPECT_EQ(w[2], -1);
+    EXPECT_EQ(w[3], 100);
+}
+
+TEST(AxpySemantics, HalfQuantumRoundsUpWithBiasedDither)
+{
+    // c = 0.5: mult = 64, (64*1 + 64) >> 7 = 1 (half rounds up);
+    // x = -1: (-64 + 64) >> 7 = 0.
+    AlignedBuffer<std::int8_t> w(2), x(2);
+    x[0] = 1; x[1] = -1;
+    ref::axpy_d8m8(w.data(), x.data(), 2, make_scalar_d8m8(0.5f),
+                   biased_fixed(kShiftD8M8));
+    EXPECT_EQ(w[0], 1);
+    EXPECT_EQ(w[1], 0);
+}
+
+TEST(AxpySemantics, SaturatesSymmetrically)
+{
+    AlignedBuffer<std::int8_t> w(64), x(64);
+    for (std::size_t i = 0; i < 64; ++i) {
+        w[i] = (i % 2 == 0) ? 127 : -127;
+        x[i] = (i % 2 == 0) ? 127 : -127;
+    }
+    avx2::axpy_d8m8(w.data(), x.data(), 64, make_scalar_d8m8(1.9f),
+                    biased_fixed(kShiftD8M8));
+    for (std::size_t i = 0; i < 64; ++i)
+        EXPECT_EQ(w[i], (i % 2 == 0) ? 127 : -127);
+}
+
+TEST(AxpySemantics, UnbiasedMeanUpdateIsExact)
+{
+    // Statistical property (Eq. 4): averaging the update over many random
+    // dither blocks recovers the real-valued delta.
+    constexpr int kTrials = 4000;
+    constexpr float kC = 0.3f; // delta = 0.3 quanta per unit x
+    rng::Avx2Xorshift128Plus gen(123);
+    double sum = 0.0;
+    AlignedBuffer<std::int8_t> x(32);
+    for (std::size_t i = 0; i < 32; ++i) x[i] = 1;
+    for (int t = 0; t < kTrials; ++t) {
+        DitherBlock d;
+        gen.fill(reinterpret_cast<std::uint32_t*>(d.bytes), 8);
+        AlignedBuffer<std::int8_t> w(32);
+        avx2::axpy_d8m8(w.data(), x.data(), 32, make_scalar_d8m8(kC), d);
+        for (std::size_t i = 0; i < 32; ++i) sum += w[i];
+    }
+    const double mean = sum / (kTrials * 32.0);
+    const double expected =
+        static_cast<double>(make_scalar_d8m8(kC).mult) / 128.0;
+    EXPECT_NEAR(mean, expected, 0.01);
+}
+
+TEST(FixedScalarTests, QuantizationAndClamping)
+{
+    EXPECT_EQ(make_scalar_d8m8(0.5f).mult, 64);
+    EXPECT_EQ(make_scalar_d8m8(0.5f).shift, kShiftD8M8);
+    EXPECT_EQ(make_scalar_d8m8(100.0f).mult, kMultLimitM8);
+    EXPECT_EQ(make_scalar_d8m8(-100.0f).mult, -kMultLimitM8);
+    EXPECT_NEAR(make_scalar_d8m8(0.37f).value(), 0.37f, 1.0f / 128.0f);
+    EXPECT_EQ(make_scalar_d8m16(0.5f).mult, 256);
+    EXPECT_EQ(make_scalar_d8m16(100.0f).mult, kMultLimit32);
+    EXPECT_EQ(make_scalar_d16m16(0.5f).mult, 8192);
+    EXPECT_NEAR(make_scalar_d16m16(-1.7f).value(), -1.7f, 1.0f / 16384.0f);
+    // The D16 -> M8 path resolves tiny coefficients (the eta*qx/qm ~
+    // eta/256 regime) instead of rounding them to zero.
+    EXPECT_EQ(make_scalar_d16m8(1.0f / 1024.0f).mult, 1024);
+    EXPECT_NEAR(make_scalar_d16m8(2.9e-4f).value(), 2.9e-4f, 1e-6f);
+}
+
+TEST(DitherBlocks, BiasedBlocksEncodeHalfQuantum)
+{
+    const DitherBlock unit = biased_unit();
+    for (int shift : {kShiftD8M8, kShiftD8M16, kShiftD16M16, kShiftD16M8}) {
+        const DitherBlock b = biased_fixed(shift);
+        for (std::size_t i = 0; i < 40; ++i)
+            EXPECT_EQ(b.dither_fixed(i, shift),
+                      1u << (shift - 1))
+                << "shift " << shift << " i " << i;
+    }
+    for (std::size_t i = 0; i < 40; ++i)
+        EXPECT_EQ(unit.dither_unit(i), 0.5f);
+}
+
+// ---------------------------------------------------------------- sparse
+
+TEST(Sparse, DotAbsoluteAndDeltaAgree)
+{
+    // Same logical vector twice: absolute u32 indices, and u8 delta gaps
+    // with zero-valued padding entries where a gap exceeds 255 (exactly
+    // what the dataset builder emits).
+    constexpr std::size_t kModel = 2000;
+    const auto w = random_fixed<std::int8_t>(kModel, 101, 127);
+    const std::vector<std::int8_t> abs_val = {5, -3, 7, 100, -128, 22};
+    const std::vector<std::uint32_t> abs_idx = {3, 200, 230, 400, 555, 1999};
+
+    std::vector<std::int8_t> delta_val;
+    std::vector<std::uint8_t> delta_idx;
+    std::size_t prev = 0;
+    for (std::size_t j = 0; j < abs_idx.size(); ++j) {
+        std::size_t gap = abs_idx[j] - prev;
+        while (gap > 255) { // zero padding entry
+            delta_idx.push_back(255);
+            delta_val.push_back(0);
+            gap -= 255;
+        }
+        delta_idx.push_back(static_cast<std::uint8_t>(gap));
+        delta_val.push_back(abs_val[j]);
+        prev = abs_idx[j];
+    }
+    ASSERT_GT(delta_idx.size(), abs_idx.size()); // the 555->1999 gap split
+
+    const float a = sparse::dot(abs_val.data(), abs_idx.data(),
+                                abs_val.size(), w.data(), 0.5f,
+                                sparse::IndexMode::kAbsolute);
+    const float d = sparse::dot(delta_val.data(), delta_idx.data(),
+                                delta_val.size(), w.data(), 0.5f,
+                                sparse::IndexMode::kDelta);
+    EXPECT_EQ(a, d);
+}
+
+TEST(Sparse, DotMatchesDenseOnExpandedVector)
+{
+    constexpr std::size_t kModel = 512;
+    const auto w = random_fixed<std::int16_t>(kModel, 102, 32767);
+    std::vector<std::int8_t> val;
+    std::vector<std::uint16_t> idx;
+    AlignedBuffer<std::int8_t> dense_x(kModel);
+    Xorshift128 gen(103);
+    for (std::size_t k = 0; k < kModel; k += 1 + gen() % 37) {
+        const auto v = static_cast<std::int8_t>(
+            static_cast<int>(gen() % 255) - 127);
+        val.push_back(v);
+        idx.push_back(static_cast<std::uint16_t>(k));
+        dense_x[k] = v;
+    }
+    const float s = 1.0f / 1024.0f;
+    const float sp = sparse::dot(val.data(), idx.data(), val.size(),
+                                 w.data(), s, sparse::IndexMode::kAbsolute);
+    const float dn = ref::dot_d8m16(dense_x.data(), w.data(), kModel, s);
+    EXPECT_EQ(sp, dn);
+    const float un = sparse::dot_unrolled(val.data(), idx.data(), val.size(),
+                                          w.data(), s);
+    EXPECT_EQ(sp, un);
+}
+
+TEST(Sparse, AxpyMatchesDenseUpdateOnTouchedCoordinates)
+{
+    constexpr std::size_t kModel = 300;
+    auto w_sparse = random_fixed<std::int8_t>(kModel, 104, 127);
+    auto w_before = w_sparse;
+    std::vector<std::int8_t> val = {10, -20, 30, 40};
+    std::vector<std::uint16_t> idx = {7, 70, 170, 299};
+    const FixedScalar cs = make_scalar_d8m8(0.8f);
+    const DitherBlock d = biased_fixed(kShiftD8M8);
+    sparse::axpy(w_sparse.data(), val.data(), idx.data(), val.size(), cs,
+                 0.0f, d, sparse::IndexMode::kAbsolute);
+    for (std::size_t k = 0, j = 0; k < kModel; ++k) {
+        if (j < idx.size() && idx[j] == k) {
+            EXPECT_EQ(w_sparse[k],
+                      ref::update_m8(w_before[k], val[j], cs,
+                                     d.dither_fixed(j, cs.shift)))
+                << k;
+            ++j;
+        } else {
+            EXPECT_EQ(w_sparse[k], w_before[k]) << k;
+        }
+    }
+}
+
+TEST(Sparse, AxpyFloatModelAndFloatValues)
+{
+    constexpr std::size_t kModel = 100;
+    AlignedBuffer<float> w(kModel);
+    std::vector<float> val = {0.5f, -0.25f};
+    std::vector<std::uint8_t> idx = {10, 22}; // gaps: coords 10 and 32
+    sparse::axpy(w.data(), val.data(), idx.data(), val.size(), FixedScalar{},
+                 2.0f, biased_unit(), sparse::IndexMode::kDelta);
+    EXPECT_FLOAT_EQ(w[10], 1.0f);
+    EXPECT_FLOAT_EQ(w[32], -0.5f);
+    for (std::size_t k = 0; k < kModel; ++k) {
+        if (k != 10 && k != 32) EXPECT_EQ(w[k], 0.0f);
+    }
+}
+
+TEST(Sparse, SixteenBitModelAxpyDeltaMode)
+{
+    AlignedBuffer<std::int16_t> w(64);
+    std::vector<std::int16_t> val = {1000, -1000, 500};
+    std::vector<std::uint8_t> gaps = {5, 10, 10}; // coords 5, 15, 25
+    const FixedScalar cs = make_scalar_d16m16(1.0f);
+    sparse::axpy(w.data(), val.data(), gaps.data(), val.size(), cs, 0.0f,
+                 biased_fixed(kShiftD16M16), sparse::IndexMode::kDelta);
+    EXPECT_EQ(w[5], 1000);
+    EXPECT_EQ(w[15], -1000);
+    EXPECT_EQ(w[25], 500);
+}
+
+TEST(Sparse, GatherDotMatchesScalar)
+{
+    constexpr std::size_t kModel = 4096;
+    AlignedBuffer<float> w = random_floats(kModel, 301);
+    for (std::size_t nnz : {0u, 1u, 7u, 8u, 9u, 33u, 500u}) {
+        AlignedBuffer<std::int8_t> val = random_fixed<std::int8_t>(
+            nnz, 302 + static_cast<std::uint32_t>(nnz), 127);
+        AlignedBuffer<std::uint32_t> idx(nnz);
+        Xorshift128 gen(303);
+        for (std::size_t j = 0; j < nnz; ++j)
+            idx[j] = gen() % kModel;
+        const float scalar =
+            sparse::dot(val.data(), idx.data(), nnz, w.data(), 0.01f,
+                        sparse::IndexMode::kAbsolute);
+        const float gather = sparse::dot_gather_d8mf(
+            val.data(), idx.data(), nnz, w.data(), 0.01f);
+        EXPECT_NEAR(scalar, gather,
+                    std::fabs(scalar) * 1e-4f + 1e-3f)
+            << "nnz=" << nnz;
+    }
+}
+
+// -------------------------------------------------------------- dispatch
+
+TEST(Ops, DispatchProducesConsistentResults)
+{
+    constexpr std::size_t kN = 200;
+    const auto x = random_fixed<std::int8_t>(kN, 105, 127);
+    const auto w = random_fixed<std::int8_t>(kN, 106, 127);
+    const float qx = 1.0f / 64, qm = 1.0f / 64;
+    const float r = DenseOps<std::int8_t, std::int8_t>::dot(
+        Impl::kReference, x.data(), w.data(), kN, qx, qm);
+    const float a = DenseOps<std::int8_t, std::int8_t>::dot(
+        Impl::kAvx2, x.data(), w.data(), kN, qx, qm);
+    const float nv = DenseOps<std::int8_t, std::int8_t>::dot(
+        Impl::kNaive, x.data(), w.data(), kN, qx, qm);
+    EXPECT_EQ(r, a);
+    EXPECT_NEAR(r, nv, std::fabs(r) * 1e-4f + 1e-3f);
+}
+
+TEST(Ops, AxpyDispatchAppliesRealValuedCoefficient)
+{
+    constexpr std::size_t kN = 64;
+    AlignedBuffer<std::int8_t> x(kN), w(kN);
+    for (std::size_t i = 0; i < kN; ++i) x[i] = 64; // x real value = 1.0
+    const float qx = 1.0f / 64, qm = 1.0f / 64;
+    // c = 0.25 real: delta per element = 0.25/qm = 16 quanta.
+    DenseOps<std::int8_t, std::int8_t>::axpy(Impl::kAvx2, w.data(), x.data(),
+                                             kN, 0.25f, qx, qm,
+                                             biased_fixed(kShiftD8M8));
+    for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(w[i], 16);
+}
+
+TEST(Ops, Names)
+{
+    EXPECT_STREQ(to_string(Impl::kReference), "reference");
+    EXPECT_STREQ(to_string(Impl::kNaive), "naive");
+    EXPECT_STREQ(to_string(Impl::kAvx2), "avx2");
+    EXPECT_STREQ(to_string(Impl::kAvx512), "avx512");
+    if (avx512::available())
+        EXPECT_EQ(best_impl(), Impl::kAvx512);
+    else
+        EXPECT_EQ(best_impl(), avx2::available() ? Impl::kAvx2
+                                                 : Impl::kReference);
+}
+
+// ------------------------------------------------------------- AVX-512
+
+TEST(Avx512, DotD8M8BitExactAgainstReference)
+{
+    if (!avx512::available()) GTEST_SKIP() << "no AVX-512 on this CPU";
+    for (std::size_t n : kSizes) {
+        const auto x = random_fixed<std::int8_t>(n, 211, 128);
+        const auto w = random_fixed<std::int8_t>(n, 212, 127);
+        EXPECT_EQ(ref::dot_d8m8(x.data(), w.data(), n, 0.001f),
+                  avx512::dot_d8m8(x.data(), w.data(), n, 0.001f))
+            << "n=" << n;
+    }
+}
+
+TEST(Avx512, DotD8M8LongVectorFlush)
+{
+    if (!avx512::available()) GTEST_SKIP() << "no AVX-512 on this CPU";
+    constexpr std::size_t kN = 1 << 20;
+    AlignedBuffer<std::int8_t> x(kN), w(kN);
+    for (std::size_t i = 0; i < kN; ++i) {
+        x[i] = 127;
+        w[i] = 127;
+    }
+    EXPECT_EQ(avx512::dot_d8m8(x.data(), w.data(), kN, 1.0f),
+              static_cast<float>(127.0 * 127.0 * kN));
+}
+
+TEST(Avx512, AxpyD8M8BitExactAgainstReference)
+{
+    if (!avx512::available()) GTEST_SKIP() << "no AVX-512 on this CPU";
+    for (std::size_t n : kSizes) {
+        for (bool biased : {true, false}) {
+            const auto x = random_fixed<std::int8_t>(n, 221, 128);
+            auto w_ref = random_fixed<std::int8_t>(n, 222, 127);
+            auto w_512 = w_ref;
+            const DitherBlock d = biased ? biased_fixed(kShiftD8M8)
+                                         : random_dither(223);
+            const FixedScalar cs = make_scalar_d8m8(biased ? 0.7f : -0.3f);
+            ref::axpy_d8m8(w_ref.data(), x.data(), n, cs, d);
+            avx512::axpy_d8m8(w_512.data(), x.data(), n, cs, d);
+            for (std::size_t i = 0; i < n; ++i)
+                ASSERT_EQ(w_ref[i], w_512[i])
+                    << "n=" << n << " i=" << i << " biased=" << biased;
+        }
+    }
+}
+
+TEST(Avx512, FloatKernelsMatchWithinTolerance)
+{
+    if (!avx512::available()) GTEST_SKIP() << "no AVX-512 on this CPU";
+    constexpr std::size_t kN = 1000;
+    const auto x = random_floats(kN, 231);
+    auto w_ref = random_floats(kN, 232);
+    auto w_512 = w_ref;
+    EXPECT_NEAR(ref::dot_dfmf(x.data(), w_ref.data(), kN),
+                avx512::dot_dfmf(x.data(), w_512.data(), kN), 1e-2);
+    ref::axpy_dfmf(w_ref.data(), x.data(), kN, 0.01f);
+    avx512::axpy_dfmf(w_512.data(), x.data(), kN, 0.01f);
+    for (std::size_t i = 0; i < kN; ++i)
+        ASSERT_NEAR(w_ref[i], w_512[i], 1e-5f);
+}
+
+TEST(Avx512, TrainerRunsAtAvx512)
+{
+    if (!avx512::available()) GTEST_SKIP() << "no AVX-512 on this CPU";
+    // End-to-end: a D8M8 training run at kAvx512 must be bit-identical to
+    // the reference implementation (the native 512-bit paths share the
+    // exact integer contract).
+    // Covered at engine level in test_core (ImplParity); here we check
+    // the forwarding pairs dispatch without error.
+    AlignedBuffer<std::int16_t> w(64);
+    AlignedBuffer<std::int8_t> x(64);
+    DenseOps<std::int8_t, std::int16_t>::axpy(
+        Impl::kAvx512, w.data(), x.data(), 64, 0.1f, 0.01f, 0.01f,
+        biased_fixed(kShiftD8M16));
+    SUCCEED();
+}
+
+} // namespace
+} // namespace buckwild::simd

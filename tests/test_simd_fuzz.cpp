@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Randomized property ("fuzz") tests for the kernel stack: for many
+ * random seeds, random sizes, random coefficients, and random dither
+ * blocks, every vectorized implementation must match the reference
+ * contract bit-for-bit on the fixed paths.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "rng/xorshift.h"
+#include "simd/dense_avx2.h"
+#include "simd/dense_avx512.h"
+#include "simd/dense_naive.h"
+#include "simd/dense_ref.h"
+#include "simd/sparse_kernels.h"
+#include "util/aligned_buffer.h"
+
+namespace buckwild::simd {
+namespace {
+
+struct Fuzz
+{
+    explicit Fuzz(std::uint32_t seed) : gen(seed) {}
+
+    std::size_t
+    size()
+    {
+        return gen() % 600; // covers sub-vector through multi-vector
+    }
+
+    template <typename T>
+    AlignedBuffer<T>
+    values(std::size_t n, int lim)
+    {
+        AlignedBuffer<T> buf(n);
+        for (std::size_t i = 0; i < n; ++i)
+            buf[i] = static_cast<T>(
+                static_cast<int>(gen() % (2 * lim + 1)) - lim);
+        return buf;
+    }
+
+    AlignedBuffer<float>
+    floats(std::size_t n)
+    {
+        AlignedBuffer<float> buf(n);
+        for (std::size_t i = 0; i < n; ++i)
+            buf[i] = rng::to_unit_float(gen()) * 4.0f - 2.0f;
+        return buf;
+    }
+
+    float
+    coefficient(float range)
+    {
+        return (rng::to_unit_float(gen()) * 2.0f - 1.0f) * range;
+    }
+
+    DitherBlock
+    dither()
+    {
+        DitherBlock block;
+        for (auto& b : block.bytes) b = static_cast<std::uint8_t>(gen());
+        return block;
+    }
+
+    rng::Xorshift128 gen;
+};
+
+class KernelFuzz : public ::testing::TestWithParam<std::uint32_t>
+{};
+
+TEST_P(KernelFuzz, D8M8DotAndAxpyAllImplsAgree)
+{
+    Fuzz fuzz(GetParam());
+    for (int round = 0; round < 8; ++round) {
+        const std::size_t n = fuzz.size();
+        const auto x = fuzz.values<std::int8_t>(n, 128);
+        auto w_ref = fuzz.values<std::int8_t>(n, 127);
+        auto w_avx = w_ref;
+        auto w_512 = w_ref;
+
+        ASSERT_EQ(ref::dot_d8m8(x.data(), w_ref.data(), n, 1.0f),
+                  avx2::dot_d8m8(x.data(), w_avx.data(), n, 1.0f));
+        if (avx512::available()) {
+            ASSERT_EQ(ref::dot_d8m8(x.data(), w_ref.data(), n, 1.0f),
+                      avx512::dot_d8m8(x.data(), w_512.data(), n, 1.0f));
+        }
+
+        const FixedScalar cs = make_scalar_d8m8(fuzz.coefficient(2.0f));
+        const DitherBlock d = fuzz.dither();
+        ref::axpy_d8m8(w_ref.data(), x.data(), n, cs, d);
+        avx2::axpy_d8m8(w_avx.data(), x.data(), n, cs, d);
+        avx512::axpy_d8m8(w_512.data(), x.data(), n, cs, d);
+        for (std::size_t i = 0; i < n; ++i) {
+            ASSERT_EQ(w_ref[i], w_avx[i]) << "avx2 i=" << i << " n=" << n;
+            if (avx512::available()) {
+                ASSERT_EQ(w_ref[i], w_512[i])
+                    << "avx512 i=" << i << " n=" << n;
+            }
+        }
+    }
+}
+
+TEST_P(KernelFuzz, MixedWidthPairsAgree)
+{
+    Fuzz fuzz(GetParam() ^ 0xABCD);
+    for (int round = 0; round < 6; ++round) {
+        const std::size_t n = fuzz.size();
+        const auto x8 = fuzz.values<std::int8_t>(n, 128);
+        const auto x16 = fuzz.values<std::int16_t>(n, 32767);
+        const DitherBlock d = fuzz.dither();
+
+        { // D16M8
+            auto a = fuzz.values<std::int8_t>(n, 127);
+            auto b = a;
+            const FixedScalar cs =
+                make_scalar_d16m8(fuzz.coefficient(0.02f));
+            ref::axpy_d16m8(a.data(), x16.data(), n, cs, d);
+            avx2::axpy_d16m8(b.data(), x16.data(), n, cs, d);
+            for (std::size_t i = 0; i < n; ++i)
+                ASSERT_EQ(a[i], b[i]) << "d16m8 i=" << i;
+        }
+        { // D8M16
+            auto a = fuzz.values<std::int16_t>(n, 32767);
+            auto b = a;
+            const FixedScalar cs =
+                make_scalar_d8m16(fuzz.coefficient(8.0f));
+            ref::axpy_d8m16(a.data(), x8.data(), n, cs, d);
+            avx2::axpy_d8m16(b.data(), x8.data(), n, cs, d);
+            for (std::size_t i = 0; i < n; ++i)
+                ASSERT_EQ(a[i], b[i]) << "d8m16 i=" << i;
+        }
+        { // D16M16
+            auto a = fuzz.values<std::int16_t>(n, 32767);
+            auto b = a;
+            const FixedScalar cs =
+                make_scalar_d16m16(fuzz.coefficient(2.0f));
+            ref::axpy_d16m16(a.data(), x16.data(), n, cs, d);
+            avx2::axpy_d16m16(b.data(), x16.data(), n, cs, d);
+            for (std::size_t i = 0; i < n; ++i)
+                ASSERT_EQ(a[i], b[i]) << "d16m16 i=" << i;
+        }
+        { // dots
+            const auto w8 = fuzz.values<std::int8_t>(n, 127);
+            const auto w16 = fuzz.values<std::int16_t>(n, 32767);
+            ASSERT_EQ(ref::dot_d8m16(x8.data(), w16.data(), n, 1.0f),
+                      avx2::dot_d8m16(x8.data(), w16.data(), n, 1.0f));
+            ASSERT_EQ(ref::dot_d16m8(x16.data(), w8.data(), n, 1.0f),
+                      avx2::dot_d16m8(x16.data(), w8.data(), n, 1.0f));
+            ASSERT_EQ(ref::dot_d16m16(x16.data(), w16.data(), n, 1.0f),
+                      avx2::dot_d16m16(x16.data(), w16.data(), n, 1.0f));
+        }
+    }
+}
+
+TEST_P(KernelFuzz, FloatDatasetFixedModelAgree)
+{
+    Fuzz fuzz(GetParam() ^ 0x1234);
+    for (int round = 0; round < 6; ++round) {
+        const std::size_t n = fuzz.size();
+        const auto xf = fuzz.floats(n);
+        const DitherBlock d = fuzz.dither();
+        const float cf = fuzz.coefficient(50.0f);
+        {
+            auto a = fuzz.values<std::int8_t>(n, 127);
+            auto b = a;
+            ref::axpy_dfm8(a.data(), xf.data(), n, cf, d);
+            avx2::axpy_dfm8(b.data(), xf.data(), n, cf, d);
+            for (std::size_t i = 0; i < n; ++i)
+                ASSERT_EQ(a[i], b[i]) << "dfm8 i=" << i;
+        }
+        {
+            auto a = fuzz.values<std::int16_t>(n, 32767);
+            auto b = a;
+            ref::axpy_dfm16(a.data(), xf.data(), n, cf * 100.0f, d);
+            avx2::axpy_dfm16(b.data(), xf.data(), n, cf * 100.0f, d);
+            for (std::size_t i = 0; i < n; ++i)
+                ASSERT_EQ(a[i], b[i]) << "dfm16 i=" << i;
+        }
+    }
+}
+
+TEST_P(KernelFuzz, SparseAxpyMatchesScalarReplay)
+{
+    Fuzz fuzz(GetParam() ^ 0x7777);
+    constexpr std::size_t kModel = 512;
+    for (int round = 0; round < 6; ++round) {
+        const std::size_t nnz = fuzz.gen() % 64;
+        auto w = fuzz.values<std::int8_t>(kModel, 127);
+        auto w_expect = w;
+        const auto val = fuzz.values<std::int8_t>(nnz, 127);
+        AlignedBuffer<std::uint16_t> idx(nnz);
+        for (std::size_t j = 0; j < nnz; ++j)
+            idx[j] = static_cast<std::uint16_t>(fuzz.gen() % kModel);
+        const FixedScalar cs = make_scalar_d8m8(fuzz.coefficient(1.5f));
+        const DitherBlock d = fuzz.dither();
+
+        sparse::axpy(w.data(), val.data(), idx.data(), nnz, cs, 0.0f, d,
+                     sparse::IndexMode::kAbsolute);
+        // Scalar replay (duplicate indices must apply sequentially).
+        for (std::size_t j = 0; j < nnz; ++j)
+            w_expect[idx[j]] = ref::update_m8(
+                w_expect[idx[j]], val[j], cs, d.dither_fixed(j, cs.shift));
+        for (std::size_t k = 0; k < kModel; ++k)
+            ASSERT_EQ(w[k], w_expect[k]) << "k=" << k;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KernelFuzz,
+                         ::testing::Range<std::uint32_t>(1, 17),
+                         [](const auto& info) {
+                             return "seed" + std::to_string(info.param);
+                         });
+
+} // namespace
+} // namespace buckwild::simd

@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Unit tests for the util substrate: aligned buffers, statistics, tables,
+ * timing, and the parallel runner / spin barrier.
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <sstream>
+
+#include "util/aligned_buffer.h"
+#include "util/logging.h"
+#include "util/stats.h"
+#include "util/stopwatch.h"
+#include "util/table.h"
+#include "util/thread_pool.h"
+
+namespace buckwild {
+namespace {
+
+TEST(AlignedBuffer, AllocationIsCacheLineAligned)
+{
+    for (std::size_t n : {1u, 7u, 64u, 1000u}) {
+        AlignedBuffer<float> buf(n);
+        EXPECT_EQ(reinterpret_cast<std::uintptr_t>(buf.data()) %
+                      kCacheLineBytes,
+                  0u);
+    }
+}
+
+TEST(AlignedBuffer, ZeroInitialized)
+{
+    AlignedBuffer<int> buf(129);
+    for (std::size_t i = 0; i < buf.size(); ++i) EXPECT_EQ(buf[i], 0);
+}
+
+TEST(AlignedBuffer, CopyPreservesContents)
+{
+    AlignedBuffer<int> a(10);
+    for (std::size_t i = 0; i < a.size(); ++i) a[i] = static_cast<int>(i * i);
+    AlignedBuffer<int> b(a);
+    AlignedBuffer<int> c;
+    c = a;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(b[i], a[i]);
+        EXPECT_EQ(c[i], a[i]);
+    }
+}
+
+TEST(AlignedBuffer, MoveTransfersOwnership)
+{
+    AlignedBuffer<int> a(4);
+    a[0] = 42;
+    int* ptr = a.data();
+    AlignedBuffer<int> b(std::move(a));
+    EXPECT_EQ(b.data(), ptr);
+    EXPECT_EQ(b[0], 42);
+    EXPECT_TRUE(a.empty()); // NOLINT(bugprone-use-after-move): spec'd empty
+}
+
+TEST(AlignedBuffer, TailPaddingAllowsFullVectorLoad)
+{
+    // 1 float = 4 bytes, but the allocation must cover a whole cache line,
+    // so reading 16 floats' worth of bytes stays in bounds.
+    AlignedBuffer<float> buf(1);
+    volatile float sink = 0.0f;
+    for (std::size_t i = 0; i < kCacheLineBytes / sizeof(float); ++i)
+        sink = sink + buf.data()[i];
+    EXPECT_EQ(sink, 0.0f);
+}
+
+TEST(RunningStats, MeanVarianceMinMax)
+{
+    RunningStats s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential)
+{
+    RunningStats all, a, b;
+    for (int i = 0; i < 100; ++i) {
+        const double x = 0.37 * i - 3.0;
+        all.add(x);
+        (i < 37 ? a : b).add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+}
+
+TEST(RunningStats, MergeWithEmpty)
+{
+    RunningStats a, empty;
+    a.add(1.0);
+    a.add(3.0);
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+
+    RunningStats b;
+    b.merge(a);
+    EXPECT_EQ(b.count(), 2u);
+    EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(Stats, VectorHelpers)
+{
+    const std::vector<double> xs = {1.0, 2.0, 4.0, 8.0};
+    EXPECT_DOUBLE_EQ(mean_of(xs), 3.75);
+    EXPECT_NEAR(geomean_of(xs), std::pow(64.0, 0.25), 1e-12);
+    EXPECT_NEAR(stddev_of(xs), std::sqrt((7.5625 + 3.0625 + 0.0625 + 18.0625) / 3.0), 1e-12);
+    EXPECT_DOUBLE_EQ(mean_of({}), 0.0);
+    EXPECT_DOUBLE_EQ(stddev_of({5.0}), 0.0);
+    EXPECT_THROW(geomean_of({1.0, -1.0}), std::invalid_argument);
+}
+
+TEST(Histogram, UniformDataHasSmallChiSquared)
+{
+    Histogram h(0.0, 1.0, 16);
+    for (int i = 0; i < 16000; ++i) h.add((i % 16 + 0.5) / 16.0);
+    EXPECT_EQ(h.total(), 16000u);
+    EXPECT_NEAR(h.chi_squared_uniform(), 0.0, 1e-9);
+}
+
+TEST(Histogram, OutOfRangeSamplesClampIntoEdgeBins)
+{
+    Histogram h(0.0, 1.0, 4);
+    h.add(-5.0);
+    h.add(9.0);
+    EXPECT_EQ(h.bins().front(), 1u);
+    EXPECT_EQ(h.bins().back(), 1u);
+}
+
+TEST(Histogram, RejectsBadConstruction)
+{
+    EXPECT_THROW(Histogram(1.0, 0.0, 4), std::invalid_argument);
+    EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(TablePrinter, RendersAlignedTableAndCsv)
+{
+    TablePrinter t("demo", {"name", "value"});
+    t.add_row({"alpha", "1"});
+    t.add_row({"b", "22"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string s = os.str();
+    EXPECT_NE(s.find("demo"), std::string::npos);
+    EXPECT_NE(s.find("alpha"), std::string::npos);
+
+    std::ostringstream csv;
+    t.print_csv(csv);
+    EXPECT_EQ(csv.str(), "name,value\nalpha,1\nb,22\n");
+}
+
+TEST(TablePrinter, RejectsArityMismatch)
+{
+    TablePrinter t("demo", {"a", "b"});
+    EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(TableFormat, NumberHelpers)
+{
+    EXPECT_EQ(format_num(3.14159, 3), "3.14");
+    EXPECT_EQ(format_si(2048), "2.05K");
+    EXPECT_EQ(format_si(3.0e6), "3.00M");
+    EXPECT_EQ(format_si(12), "12");
+}
+
+TEST(Stopwatch, MeasuresElapsedTime)
+{
+    Stopwatch w;
+    volatile double x = 1.0;
+    for (int i = 0; i < 100000; ++i) x = x * 1.0000001;
+    EXPECT_GT(w.seconds(), 0.0);
+}
+
+TEST(Stopwatch, MeasureSecondsPerCallRespectsMinReps)
+{
+    std::size_t calls = 0;
+    const double per = measure_seconds_per_call(
+        [&calls](std::size_t) { ++calls; }, /*min_seconds=*/0.0,
+        /*min_reps=*/5);
+    EXPECT_GE(calls, 6u); // warm-up + 5 timed
+    EXPECT_GE(per, 0.0);
+}
+
+TEST(ParallelRunner, RunsEveryIndexExactlyOnce)
+{
+    constexpr std::size_t kThreads = 4;
+    std::atomic<unsigned> mask{0};
+    run_parallel(kThreads, [&mask](std::size_t t) {
+        mask.fetch_or(1u << t);
+    });
+    EXPECT_EQ(mask.load(), (1u << kThreads) - 1);
+}
+
+TEST(ParallelRunner, SingleThreadRunsInline)
+{
+    std::size_t seen = 99;
+    run_parallel(1, [&seen](std::size_t t) { seen = t; });
+    EXPECT_EQ(seen, 0u);
+}
+
+TEST(ParallelRunner, RejectsZeroThreads)
+{
+    EXPECT_THROW(run_parallel(0, [](std::size_t) {}), std::invalid_argument);
+}
+
+TEST(SpinBarrier, SynchronizesPhases)
+{
+    constexpr std::size_t kThreads = 4;
+    constexpr int kPhases = 8;
+    SpinBarrier barrier(kThreads);
+    std::atomic<int> counter{0};
+    std::atomic<bool> violated{false};
+    run_parallel(kThreads, [&](std::size_t) {
+        for (int phase = 0; phase < kPhases; ++phase) {
+            counter.fetch_add(1);
+            barrier.arrive_and_wait();
+            // After the barrier every thread of this phase has incremented.
+            if (counter.load() < (phase + 1) * static_cast<int>(kThreads))
+                violated.store(true);
+            barrier.arrive_and_wait();
+        }
+    });
+    EXPECT_FALSE(violated.load());
+    EXPECT_EQ(counter.load(), kPhases * static_cast<int>(kThreads));
+}
+
+TEST(Logging, FatalAndPanicThrow)
+{
+    EXPECT_THROW(fatal("bad config"), std::runtime_error);
+    EXPECT_THROW(panic("bug"), std::logic_error);
+}
+
+} // namespace
+} // namespace buckwild

@@ -1,0 +1,250 @@
+/**
+ * @file
+ * buckwild_train — command-line trainer.
+ *
+ * Train asynchronous low-precision SGD from a shell, on synthetic data or
+ * a LIBSVM file, with every DMGC/optimization knob exposed:
+ *
+ *     buckwild_train --dense 4096 10000 --signature D8M8 --threads 4
+ *     buckwild_train --libsvm data.svm --signature D8i16M8 --epochs 20 \
+ *                    --save model.bw
+ *     buckwild_train --dense 2048 5000 --advise
+ *
+ * Run with --help for the full flag list.
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "buckwild/buckwild.h"
+#include "core/model_io.h"
+#include "dataset/libsvm.h"
+#include "dmgc/advisor.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace buckwild;
+
+void
+usage()
+{
+    std::printf(
+        "buckwild_train — asynchronous low-precision SGD (Buckwild!)\n"
+        "\n"
+        "data source (choose one):\n"
+        "  --dense N M            synthetic dense logistic problem\n"
+        "  --sparse N M DENSITY   synthetic sparse logistic problem\n"
+        "  --libsvm PATH [DIM]    LIBSVM-format file (sparse)\n"
+        "\n"
+        "training:\n"
+        "  --signature SIG        DMGC signature (default D8M8 / D8i16M8)\n"
+        "  --loss L               logistic | squared | hinge\n"
+        "  --threads T            Hogwild! workers (default 1)\n"
+        "  --epochs E             (default 10)\n"
+        "  --eta S                step size (default 0.15)\n"
+        "  --decay D              per-epoch step decay (default 0.95)\n"
+        "  --batch B              mini-batch size (default 1)\n"
+        "  --rounding R           biased | mersenne | xorshift | shared\n"
+        "  --impl I               reference | naive | avx2 | avx512\n"
+        "  --shuffle              shuffle example order per epoch\n"
+        "  --seed X               RNG seed\n"
+        "\n"
+        "outputs:\n"
+        "  --save PATH            write the trained model\n"
+        "  --advise               print DMGC-advisor recommendations\n"
+        "  --quiet                suppress the per-epoch loss trace\n");
+}
+
+[[noreturn]] void
+die(const std::string& message)
+{
+    std::fprintf(stderr, "error: %s (try --help)\n", message.c_str());
+    std::exit(1);
+}
+
+struct Options
+{
+    enum class Source { kNone, kDense, kSparse, kLibsvm } source =
+        Source::kNone;
+    std::size_t dim = 0, examples = 0;
+    double density = 0.03;
+    std::string libsvm_path;
+    std::size_t libsvm_dim = 0;
+
+    std::optional<std::string> signature;
+    core::TrainerConfig cfg;
+    std::optional<std::string> save_path;
+    bool advise = false;
+    bool quiet = false;
+};
+
+Options
+parse_args(int argc, char** argv)
+{
+    Options opt;
+    opt.cfg.epochs = 10;
+    opt.cfg.step_size = 0.15f;
+    auto need = [&](int& i, const char* flag) -> const char* {
+        if (i + 1 >= argc) die(std::string("missing value for ") + flag);
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--help" || a == "-h") {
+            usage();
+            std::exit(0);
+        } else if (a == "--dense") {
+            opt.source = Options::Source::kDense;
+            opt.dim = std::strtoull(need(i, "--dense"), nullptr, 10);
+            opt.examples = std::strtoull(need(i, "--dense"), nullptr, 10);
+        } else if (a == "--sparse") {
+            opt.source = Options::Source::kSparse;
+            opt.dim = std::strtoull(need(i, "--sparse"), nullptr, 10);
+            opt.examples = std::strtoull(need(i, "--sparse"), nullptr, 10);
+            opt.density = std::strtod(need(i, "--sparse"), nullptr);
+        } else if (a == "--libsvm") {
+            opt.source = Options::Source::kLibsvm;
+            opt.libsvm_path = need(i, "--libsvm");
+            if (i + 1 < argc && argv[i + 1][0] != '-')
+                opt.libsvm_dim =
+                    std::strtoull(argv[++i], nullptr, 10);
+        } else if (a == "--signature") {
+            opt.signature = need(i, "--signature");
+        } else if (a == "--loss") {
+            const std::string l = need(i, "--loss");
+            if (l == "logistic") opt.cfg.loss = core::Loss::kLogistic;
+            else if (l == "squared") opt.cfg.loss = core::Loss::kSquared;
+            else if (l == "hinge") opt.cfg.loss = core::Loss::kHinge;
+            else die("unknown loss: " + l);
+        } else if (a == "--threads") {
+            opt.cfg.threads =
+                std::strtoull(need(i, "--threads"), nullptr, 10);
+        } else if (a == "--epochs") {
+            opt.cfg.epochs =
+                std::strtoull(need(i, "--epochs"), nullptr, 10);
+        } else if (a == "--eta") {
+            opt.cfg.step_size =
+                static_cast<float>(std::strtod(need(i, "--eta"), nullptr));
+        } else if (a == "--decay") {
+            opt.cfg.step_decay = static_cast<float>(
+                std::strtod(need(i, "--decay"), nullptr));
+        } else if (a == "--batch") {
+            opt.cfg.batch_size =
+                std::strtoull(need(i, "--batch"), nullptr, 10);
+        } else if (a == "--rounding") {
+            const std::string r = need(i, "--rounding");
+            if (r == "biased")
+                opt.cfg.rounding = core::RoundingStrategy::kBiased;
+            else if (r == "mersenne")
+                opt.cfg.rounding =
+                    core::RoundingStrategy::kMersennePerWrite;
+            else if (r == "xorshift")
+                opt.cfg.rounding =
+                    core::RoundingStrategy::kXorshiftPerWrite;
+            else if (r == "shared")
+                opt.cfg.rounding = core::RoundingStrategy::kSharedXorshift;
+            else die("unknown rounding: " + r);
+        } else if (a == "--impl") {
+            const std::string m = need(i, "--impl");
+            if (m == "reference") opt.cfg.impl = simd::Impl::kReference;
+            else if (m == "naive") opt.cfg.impl = simd::Impl::kNaive;
+            else if (m == "avx2") opt.cfg.impl = simd::Impl::kAvx2;
+            else if (m == "avx512") opt.cfg.impl = simd::Impl::kAvx512;
+            else die("unknown impl: " + m);
+        } else if (a == "--shuffle") {
+            opt.cfg.shuffle = true;
+        } else if (a == "--seed") {
+            opt.cfg.seed = std::strtoull(need(i, "--seed"), nullptr, 10);
+        } else if (a == "--save") {
+            opt.save_path = need(i, "--save");
+        } else if (a == "--advise") {
+            opt.advise = true;
+        } else if (a == "--quiet") {
+            opt.quiet = true;
+        } else {
+            die("unknown flag: " + a);
+        }
+    }
+    if (opt.source == Options::Source::kNone)
+        die("no data source given (--dense / --sparse / --libsvm)");
+    return opt;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    Options opt;
+    try {
+        opt = parse_args(argc, argv);
+        const bool sparse = opt.source != Options::Source::kDense;
+        opt.cfg.signature = dmgc::parse_signature(
+            opt.signature.value_or(sparse ? "D8i16M8" : "D8M8"));
+
+        core::Trainer trainer(opt.cfg);
+        core::TrainingMetrics metrics;
+        std::size_t model_dim = 0;
+        if (opt.source == Options::Source::kDense) {
+            const auto p = dataset::generate_logistic_dense(
+                opt.dim, opt.examples, opt.cfg.seed);
+            model_dim = p.dim;
+            metrics = trainer.fit(p);
+        } else if (opt.source == Options::Source::kSparse) {
+            const auto p = dataset::generate_logistic_sparse(
+                opt.dim, opt.examples, opt.density, opt.cfg.seed);
+            model_dim = p.dim;
+            metrics = trainer.fit(p);
+        } else {
+            const auto p = dataset::load_libsvm_file(opt.libsvm_path,
+                                                     opt.libsvm_dim);
+            model_dim = p.dim;
+            metrics = trainer.fit(p);
+        }
+
+        if (!opt.quiet) {
+            std::printf("epoch losses:");
+            for (double l : metrics.loss_trace) std::printf(" %.4f", l);
+            std::printf("\n");
+        }
+        std::printf("signature %s | loss %.4f | accuracy %.4f | "
+                    "%.3f GNPS | %.2fs\n",
+                    opt.cfg.signature.to_string().c_str(),
+                    metrics.final_loss, metrics.accuracy, metrics.gnps(),
+                    metrics.train_seconds);
+
+        if (opt.save_path) {
+            core::SavedModel model;
+            model.signature = opt.cfg.signature;
+            model.loss = opt.cfg.loss;
+            model.weights = trainer.model();
+            core::save_model_file(model, *opt.save_path);
+            std::printf("model saved to %s\n", opt.save_path->c_str());
+        }
+        if (opt.advise) {
+            dmgc::AdvisorQuery query;
+            query.signature = opt.cfg.signature;
+            query.model_size = model_dim;
+            query.threads = std::max<std::size_t>(opt.cfg.threads, 1);
+            query.unbiased_rounding =
+                opt.cfg.rounding != core::RoundingStrategy::kBiased;
+            const auto advice =
+                advise(query, dmgc::PerfModel::paper_model());
+            std::printf("\nadvisor: regime %s, p(n) = %.3f\n",
+                        to_string(advice.regime).c_str(),
+                        advice.parallel_fraction);
+            for (const auto& r : advice.recommendations)
+                std::printf("  - %s\n      (%s; stat. eff.: %s)\n",
+                            r.action.c_str(), r.rationale.c_str(),
+                            r.stat_eff_cost.c_str());
+        }
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+    return 0;
+}
