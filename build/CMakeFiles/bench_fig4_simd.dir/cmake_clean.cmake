@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_simd.dir/bench/bench_fig4_simd.cpp.o"
+  "CMakeFiles/bench_fig4_simd.dir/bench/bench_fig4_simd.cpp.o.d"
+  "bench/bench_fig4_simd"
+  "bench/bench_fig4_simd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_simd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig5a_rng_statistical.cpp" "CMakeFiles/bench_fig5a_rng_statistical.dir/bench/bench_fig5a_rng_statistical.cpp.o" "gcc" "CMakeFiles/bench_fig5a_rng_statistical.dir/bench/bench_fig5a_rng_statistical.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cachesim/CMakeFiles/buckwild_cachesim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/buckwild_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dmgc/CMakeFiles/buckwild_dmgc.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/buckwild_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/fpga/CMakeFiles/buckwild_fpga.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/buckwild_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataset/CMakeFiles/buckwild_dataset.dir/DependInfo.cmake"
+  "/root/repo/build/src/simd/CMakeFiles/buckwild_simd.dir/DependInfo.cmake"
+  "/root/repo/build/src/fixed/CMakeFiles/buckwild_fixed.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/buckwild_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/buckwild_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

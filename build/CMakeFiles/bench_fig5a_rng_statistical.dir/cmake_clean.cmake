@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5a_rng_statistical.dir/bench/bench_fig5a_rng_statistical.cpp.o"
+  "CMakeFiles/bench_fig5a_rng_statistical.dir/bench/bench_fig5a_rng_statistical.cpp.o.d"
+  "bench/bench_fig5a_rng_statistical"
+  "bench/bench_fig5a_rng_statistical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5a_rng_statistical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5c_4bit.dir/bench/bench_fig5c_4bit.cpp.o"
+  "CMakeFiles/bench_fig5c_4bit.dir/bench/bench_fig5c_4bit.cpp.o.d"
+  "bench/bench_fig5c_4bit"
+  "bench/bench_fig5c_4bit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5c_4bit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

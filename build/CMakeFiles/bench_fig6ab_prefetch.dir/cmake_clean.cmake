@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6ab_prefetch.dir/bench/bench_fig6ab_prefetch.cpp.o"
+  "CMakeFiles/bench_fig6ab_prefetch.dir/bench/bench_fig6ab_prefetch.cpp.o.d"
+  "bench/bench_fig6ab_prefetch"
+  "bench/bench_fig6ab_prefetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6ab_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

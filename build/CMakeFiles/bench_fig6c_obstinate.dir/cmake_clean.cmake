@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6c_obstinate.dir/bench/bench_fig6c_obstinate.cpp.o"
+  "CMakeFiles/bench_fig6c_obstinate.dir/bench/bench_fig6c_obstinate.cpp.o.d"
+  "bench/bench_fig6c_obstinate"
+  "bench/bench_fig6c_obstinate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6c_obstinate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

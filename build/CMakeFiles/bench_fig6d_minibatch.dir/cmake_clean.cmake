@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6d_minibatch.dir/bench/bench_fig6d_minibatch.cpp.o"
+  "CMakeFiles/bench_fig6d_minibatch.dir/bench/bench_fig6d_minibatch.cpp.o.d"
+  "bench/bench_fig6d_minibatch"
+  "bench/bench_fig6d_minibatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6d_minibatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

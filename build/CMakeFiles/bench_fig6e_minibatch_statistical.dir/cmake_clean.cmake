@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6e_minibatch_statistical.dir/bench/bench_fig6e_minibatch_statistical.cpp.o"
+  "CMakeFiles/bench_fig6e_minibatch_statistical.dir/bench/bench_fig6e_minibatch_statistical.cpp.o.d"
+  "bench/bench_fig6e_minibatch_statistical"
+  "bench/bench_fig6e_minibatch_statistical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6e_minibatch_statistical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig6e_minibatch_statistical.
+# This may be replaced when dependencies are built.

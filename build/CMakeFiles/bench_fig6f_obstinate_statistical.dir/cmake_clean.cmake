@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6f_obstinate_statistical.dir/bench/bench_fig6f_obstinate_statistical.cpp.o"
+  "CMakeFiles/bench_fig6f_obstinate_statistical.dir/bench/bench_fig6f_obstinate_statistical.cpp.o.d"
+  "bench/bench_fig6f_obstinate_statistical"
+  "bench/bench_fig6f_obstinate_statistical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6f_obstinate_statistical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

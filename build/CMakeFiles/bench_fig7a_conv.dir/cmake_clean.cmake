@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7a_conv.dir/bench/bench_fig7a_conv.cpp.o"
+  "CMakeFiles/bench_fig7a_conv.dir/bench/bench_fig7a_conv.cpp.o.d"
+  "bench/bench_fig7a_conv"
+  "bench/bench_fig7a_conv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7a_conv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7b_lenet.dir/bench/bench_fig7b_lenet.cpp.o"
+  "CMakeFiles/bench_fig7b_lenet.dir/bench/bench_fig7b_lenet.cpp.o.d"
+  "bench/bench_fig7b_lenet"
+  "bench/bench_fig7b_lenet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7b_lenet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

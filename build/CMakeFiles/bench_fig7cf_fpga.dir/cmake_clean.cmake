@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7cf_fpga.dir/bench/bench_fig7cf_fpga.cpp.o"
+  "CMakeFiles/bench_fig7cf_fpga.dir/bench/bench_fig7cf_fpga.cpp.o.d"
+  "bench/bench_fig7cf_fpga"
+  "bench/bench_fig7cf_fpga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7cf_fpga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

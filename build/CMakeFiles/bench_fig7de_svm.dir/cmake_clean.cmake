@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7de_svm.dir/bench/bench_fig7de_svm.cpp.o"
+  "CMakeFiles/bench_fig7de_svm.dir/bench/bench_fig7de_svm.cpp.o.d"
+  "bench/bench_fig7de_svm"
+  "bench/bench_fig7de_svm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7de_svm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec61_new_instructions.dir/bench/bench_sec61_new_instructions.cpp.o"
+  "CMakeFiles/bench_sec61_new_instructions.dir/bench/bench_sec61_new_instructions.cpp.o.d"
+  "bench/bench_sec61_new_instructions"
+  "bench/bench_sec61_new_instructions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec61_new_instructions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

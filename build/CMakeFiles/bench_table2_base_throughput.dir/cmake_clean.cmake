@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_base_throughput.dir/bench/bench_table2_base_throughput.cpp.o"
+  "CMakeFiles/bench_table2_base_throughput.dir/bench/bench_table2_base_throughput.cpp.o.d"
+  "bench/bench_table2_base_throughput"
+  "bench/bench_table2_base_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_base_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

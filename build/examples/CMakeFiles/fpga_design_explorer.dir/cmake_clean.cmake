@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpga_design_explorer.dir/fpga_design_explorer.cpp.o"
+  "CMakeFiles/fpga_design_explorer.dir/fpga_design_explorer.cpp.o.d"
+  "fpga_design_explorer"
+  "fpga_design_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpga_design_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

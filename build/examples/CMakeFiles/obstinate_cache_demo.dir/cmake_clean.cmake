@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/obstinate_cache_demo.dir/obstinate_cache_demo.cpp.o"
+  "CMakeFiles/obstinate_cache_demo.dir/obstinate_cache_demo.cpp.o.d"
+  "obstinate_cache_demo"
+  "obstinate_cache_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/obstinate_cache_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

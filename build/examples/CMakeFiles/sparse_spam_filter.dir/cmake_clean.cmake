@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparse_spam_filter.dir/sparse_spam_filter.cpp.o"
+  "CMakeFiles/sparse_spam_filter.dir/sparse_spam_filter.cpp.o.d"
+  "sparse_spam_filter"
+  "sparse_spam_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparse_spam_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cachesim/cache.cpp" "src/cachesim/CMakeFiles/buckwild_cachesim.dir/cache.cpp.o" "gcc" "src/cachesim/CMakeFiles/buckwild_cachesim.dir/cache.cpp.o.d"
+  "/root/repo/src/cachesim/hierarchy.cpp" "src/cachesim/CMakeFiles/buckwild_cachesim.dir/hierarchy.cpp.o" "gcc" "src/cachesim/CMakeFiles/buckwild_cachesim.dir/hierarchy.cpp.o.d"
+  "/root/repo/src/cachesim/sgd_trace.cpp" "src/cachesim/CMakeFiles/buckwild_cachesim.dir/sgd_trace.cpp.o" "gcc" "src/cachesim/CMakeFiles/buckwild_cachesim.dir/sgd_trace.cpp.o.d"
+  "/root/repo/src/cachesim/stale_sgd.cpp" "src/cachesim/CMakeFiles/buckwild_cachesim.dir/stale_sgd.cpp.o" "gcc" "src/cachesim/CMakeFiles/buckwild_cachesim.dir/stale_sgd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/buckwild_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/buckwild_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/buckwild_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataset/CMakeFiles/buckwild_dataset.dir/DependInfo.cmake"
+  "/root/repo/build/src/simd/CMakeFiles/buckwild_simd.dir/DependInfo.cmake"
+  "/root/repo/build/src/dmgc/CMakeFiles/buckwild_dmgc.dir/DependInfo.cmake"
+  "/root/repo/build/src/fixed/CMakeFiles/buckwild_fixed.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

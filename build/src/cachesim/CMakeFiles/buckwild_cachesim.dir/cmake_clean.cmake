@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/buckwild_cachesim.dir/cache.cpp.o"
+  "CMakeFiles/buckwild_cachesim.dir/cache.cpp.o.d"
+  "CMakeFiles/buckwild_cachesim.dir/hierarchy.cpp.o"
+  "CMakeFiles/buckwild_cachesim.dir/hierarchy.cpp.o.d"
+  "CMakeFiles/buckwild_cachesim.dir/sgd_trace.cpp.o"
+  "CMakeFiles/buckwild_cachesim.dir/sgd_trace.cpp.o.d"
+  "CMakeFiles/buckwild_cachesim.dir/stale_sgd.cpp.o"
+  "CMakeFiles/buckwild_cachesim.dir/stale_sgd.cpp.o.d"
+  "libbuckwild_cachesim.a"
+  "libbuckwild_cachesim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/buckwild_cachesim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

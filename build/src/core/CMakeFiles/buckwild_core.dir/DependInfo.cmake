@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/comm_sgd.cpp" "src/core/CMakeFiles/buckwild_core.dir/comm_sgd.cpp.o" "gcc" "src/core/CMakeFiles/buckwild_core.dir/comm_sgd.cpp.o.d"
+  "/root/repo/src/core/delayed_sgd.cpp" "src/core/CMakeFiles/buckwild_core.dir/delayed_sgd.cpp.o" "gcc" "src/core/CMakeFiles/buckwild_core.dir/delayed_sgd.cpp.o.d"
+  "/root/repo/src/core/loss.cpp" "src/core/CMakeFiles/buckwild_core.dir/loss.cpp.o" "gcc" "src/core/CMakeFiles/buckwild_core.dir/loss.cpp.o.d"
+  "/root/repo/src/core/matrix_fact.cpp" "src/core/CMakeFiles/buckwild_core.dir/matrix_fact.cpp.o" "gcc" "src/core/CMakeFiles/buckwild_core.dir/matrix_fact.cpp.o.d"
+  "/root/repo/src/core/model_io.cpp" "src/core/CMakeFiles/buckwild_core.dir/model_io.cpp.o" "gcc" "src/core/CMakeFiles/buckwild_core.dir/model_io.cpp.o.d"
+  "/root/repo/src/core/trainer.cpp" "src/core/CMakeFiles/buckwild_core.dir/trainer.cpp.o" "gcc" "src/core/CMakeFiles/buckwild_core.dir/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/buckwild_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/buckwild_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/fixed/CMakeFiles/buckwild_fixed.dir/DependInfo.cmake"
+  "/root/repo/build/src/simd/CMakeFiles/buckwild_simd.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataset/CMakeFiles/buckwild_dataset.dir/DependInfo.cmake"
+  "/root/repo/build/src/dmgc/CMakeFiles/buckwild_dmgc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/buckwild_core.dir/comm_sgd.cpp.o"
+  "CMakeFiles/buckwild_core.dir/comm_sgd.cpp.o.d"
+  "CMakeFiles/buckwild_core.dir/delayed_sgd.cpp.o"
+  "CMakeFiles/buckwild_core.dir/delayed_sgd.cpp.o.d"
+  "CMakeFiles/buckwild_core.dir/loss.cpp.o"
+  "CMakeFiles/buckwild_core.dir/loss.cpp.o.d"
+  "CMakeFiles/buckwild_core.dir/matrix_fact.cpp.o"
+  "CMakeFiles/buckwild_core.dir/matrix_fact.cpp.o.d"
+  "CMakeFiles/buckwild_core.dir/model_io.cpp.o"
+  "CMakeFiles/buckwild_core.dir/model_io.cpp.o.d"
+  "CMakeFiles/buckwild_core.dir/trainer.cpp.o"
+  "CMakeFiles/buckwild_core.dir/trainer.cpp.o.d"
+  "libbuckwild_core.a"
+  "libbuckwild_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/buckwild_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

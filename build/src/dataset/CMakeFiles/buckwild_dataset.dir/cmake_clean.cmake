@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/buckwild_dataset.dir/digits.cpp.o"
+  "CMakeFiles/buckwild_dataset.dir/digits.cpp.o.d"
+  "CMakeFiles/buckwild_dataset.dir/fourier.cpp.o"
+  "CMakeFiles/buckwild_dataset.dir/fourier.cpp.o.d"
+  "CMakeFiles/buckwild_dataset.dir/libsvm.cpp.o"
+  "CMakeFiles/buckwild_dataset.dir/libsvm.cpp.o.d"
+  "CMakeFiles/buckwild_dataset.dir/problem.cpp.o"
+  "CMakeFiles/buckwild_dataset.dir/problem.cpp.o.d"
+  "libbuckwild_dataset.a"
+  "libbuckwild_dataset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/buckwild_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

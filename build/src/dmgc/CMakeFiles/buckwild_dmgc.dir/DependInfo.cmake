@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dmgc/advisor.cpp" "src/dmgc/CMakeFiles/buckwild_dmgc.dir/advisor.cpp.o" "gcc" "src/dmgc/CMakeFiles/buckwild_dmgc.dir/advisor.cpp.o.d"
+  "/root/repo/src/dmgc/perf_model.cpp" "src/dmgc/CMakeFiles/buckwild_dmgc.dir/perf_model.cpp.o" "gcc" "src/dmgc/CMakeFiles/buckwild_dmgc.dir/perf_model.cpp.o.d"
+  "/root/repo/src/dmgc/signature.cpp" "src/dmgc/CMakeFiles/buckwild_dmgc.dir/signature.cpp.o" "gcc" "src/dmgc/CMakeFiles/buckwild_dmgc.dir/signature.cpp.o.d"
+  "/root/repo/src/dmgc/statistical.cpp" "src/dmgc/CMakeFiles/buckwild_dmgc.dir/statistical.cpp.o" "gcc" "src/dmgc/CMakeFiles/buckwild_dmgc.dir/statistical.cpp.o.d"
+  "/root/repo/src/dmgc/taxonomy.cpp" "src/dmgc/CMakeFiles/buckwild_dmgc.dir/taxonomy.cpp.o" "gcc" "src/dmgc/CMakeFiles/buckwild_dmgc.dir/taxonomy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/buckwild_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/fixed/CMakeFiles/buckwild_fixed.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/buckwild_rng.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/buckwild_dmgc.dir/advisor.cpp.o"
+  "CMakeFiles/buckwild_dmgc.dir/advisor.cpp.o.d"
+  "CMakeFiles/buckwild_dmgc.dir/perf_model.cpp.o"
+  "CMakeFiles/buckwild_dmgc.dir/perf_model.cpp.o.d"
+  "CMakeFiles/buckwild_dmgc.dir/signature.cpp.o"
+  "CMakeFiles/buckwild_dmgc.dir/signature.cpp.o.d"
+  "CMakeFiles/buckwild_dmgc.dir/statistical.cpp.o"
+  "CMakeFiles/buckwild_dmgc.dir/statistical.cpp.o.d"
+  "CMakeFiles/buckwild_dmgc.dir/taxonomy.cpp.o"
+  "CMakeFiles/buckwild_dmgc.dir/taxonomy.cpp.o.d"
+  "libbuckwild_dmgc.a"
+  "libbuckwild_dmgc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/buckwild_dmgc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbuckwild_dmgc.a"
+)

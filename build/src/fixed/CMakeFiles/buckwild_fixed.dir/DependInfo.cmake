@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fixed/fixed_point.cpp" "src/fixed/CMakeFiles/buckwild_fixed.dir/fixed_point.cpp.o" "gcc" "src/fixed/CMakeFiles/buckwild_fixed.dir/fixed_point.cpp.o.d"
+  "/root/repo/src/fixed/nibble.cpp" "src/fixed/CMakeFiles/buckwild_fixed.dir/nibble.cpp.o" "gcc" "src/fixed/CMakeFiles/buckwild_fixed.dir/nibble.cpp.o.d"
+  "/root/repo/src/fixed/quantize.cpp" "src/fixed/CMakeFiles/buckwild_fixed.dir/quantize.cpp.o" "gcc" "src/fixed/CMakeFiles/buckwild_fixed.dir/quantize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/buckwild_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/buckwild_rng.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

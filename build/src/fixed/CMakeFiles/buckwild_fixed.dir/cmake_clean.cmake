@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/buckwild_fixed.dir/fixed_point.cpp.o"
+  "CMakeFiles/buckwild_fixed.dir/fixed_point.cpp.o.d"
+  "CMakeFiles/buckwild_fixed.dir/nibble.cpp.o"
+  "CMakeFiles/buckwild_fixed.dir/nibble.cpp.o.d"
+  "CMakeFiles/buckwild_fixed.dir/quantize.cpp.o"
+  "CMakeFiles/buckwild_fixed.dir/quantize.cpp.o.d"
+  "libbuckwild_fixed.a"
+  "libbuckwild_fixed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/buckwild_fixed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/buckwild_fpga.dir/model.cpp.o"
+  "CMakeFiles/buckwild_fpga.dir/model.cpp.o.d"
+  "CMakeFiles/buckwild_fpga.dir/search.cpp.o"
+  "CMakeFiles/buckwild_fpga.dir/search.cpp.o.d"
+  "libbuckwild_fpga.a"
+  "libbuckwild_fpga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/buckwild_fpga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

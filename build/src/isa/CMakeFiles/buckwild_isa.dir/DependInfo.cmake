@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/isa/cost_model.cpp" "src/isa/CMakeFiles/buckwild_isa.dir/cost_model.cpp.o" "gcc" "src/isa/CMakeFiles/buckwild_isa.dir/cost_model.cpp.o.d"
+  "/root/repo/src/isa/nibble_kernels.cpp" "src/isa/CMakeFiles/buckwild_isa.dir/nibble_kernels.cpp.o" "gcc" "src/isa/CMakeFiles/buckwild_isa.dir/nibble_kernels.cpp.o.d"
+  "/root/repo/src/isa/proxy_kernels.cpp" "src/isa/CMakeFiles/buckwild_isa.dir/proxy_kernels.cpp.o" "gcc" "src/isa/CMakeFiles/buckwild_isa.dir/proxy_kernels.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/buckwild_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/fixed/CMakeFiles/buckwild_fixed.dir/DependInfo.cmake"
+  "/root/repo/build/src/simd/CMakeFiles/buckwild_simd.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/buckwild_rng.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

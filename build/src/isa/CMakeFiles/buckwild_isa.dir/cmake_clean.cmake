@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/buckwild_isa.dir/cost_model.cpp.o"
+  "CMakeFiles/buckwild_isa.dir/cost_model.cpp.o.d"
+  "CMakeFiles/buckwild_isa.dir/nibble_kernels.cpp.o"
+  "CMakeFiles/buckwild_isa.dir/nibble_kernels.cpp.o.d"
+  "CMakeFiles/buckwild_isa.dir/proxy_kernels.cpp.o"
+  "CMakeFiles/buckwild_isa.dir/proxy_kernels.cpp.o.d"
+  "libbuckwild_isa.a"
+  "libbuckwild_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/buckwild_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

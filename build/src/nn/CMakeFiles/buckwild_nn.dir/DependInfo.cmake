@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/conv_lowp.cpp" "src/nn/CMakeFiles/buckwild_nn.dir/conv_lowp.cpp.o" "gcc" "src/nn/CMakeFiles/buckwild_nn.dir/conv_lowp.cpp.o.d"
+  "/root/repo/src/nn/layers.cpp" "src/nn/CMakeFiles/buckwild_nn.dir/layers.cpp.o" "gcc" "src/nn/CMakeFiles/buckwild_nn.dir/layers.cpp.o.d"
+  "/root/repo/src/nn/lenet.cpp" "src/nn/CMakeFiles/buckwild_nn.dir/lenet.cpp.o" "gcc" "src/nn/CMakeFiles/buckwild_nn.dir/lenet.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/buckwild_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/buckwild_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/simd/CMakeFiles/buckwild_simd.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataset/CMakeFiles/buckwild_dataset.dir/DependInfo.cmake"
+  "/root/repo/build/src/fixed/CMakeFiles/buckwild_fixed.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/buckwild_nn.dir/conv_lowp.cpp.o"
+  "CMakeFiles/buckwild_nn.dir/conv_lowp.cpp.o.d"
+  "CMakeFiles/buckwild_nn.dir/layers.cpp.o"
+  "CMakeFiles/buckwild_nn.dir/layers.cpp.o.d"
+  "CMakeFiles/buckwild_nn.dir/lenet.cpp.o"
+  "CMakeFiles/buckwild_nn.dir/lenet.cpp.o.d"
+  "libbuckwild_nn.a"
+  "libbuckwild_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/buckwild_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

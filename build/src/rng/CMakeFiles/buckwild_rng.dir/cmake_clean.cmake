@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/buckwild_rng.dir/random_source.cpp.o"
+  "CMakeFiles/buckwild_rng.dir/random_source.cpp.o.d"
+  "CMakeFiles/buckwild_rng.dir/xorshift.cpp.o"
+  "CMakeFiles/buckwild_rng.dir/xorshift.cpp.o.d"
+  "libbuckwild_rng.a"
+  "libbuckwild_rng.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/buckwild_rng.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

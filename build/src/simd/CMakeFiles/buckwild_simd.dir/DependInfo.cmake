@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simd/dense_avx2.cpp" "src/simd/CMakeFiles/buckwild_simd.dir/dense_avx2.cpp.o" "gcc" "src/simd/CMakeFiles/buckwild_simd.dir/dense_avx2.cpp.o.d"
+  "/root/repo/src/simd/dense_avx512.cpp" "src/simd/CMakeFiles/buckwild_simd.dir/dense_avx512.cpp.o" "gcc" "src/simd/CMakeFiles/buckwild_simd.dir/dense_avx512.cpp.o.d"
+  "/root/repo/src/simd/dense_naive.cpp" "src/simd/CMakeFiles/buckwild_simd.dir/dense_naive.cpp.o" "gcc" "src/simd/CMakeFiles/buckwild_simd.dir/dense_naive.cpp.o.d"
+  "/root/repo/src/simd/dense_ref.cpp" "src/simd/CMakeFiles/buckwild_simd.dir/dense_ref.cpp.o" "gcc" "src/simd/CMakeFiles/buckwild_simd.dir/dense_ref.cpp.o.d"
+  "/root/repo/src/simd/ops.cpp" "src/simd/CMakeFiles/buckwild_simd.dir/ops.cpp.o" "gcc" "src/simd/CMakeFiles/buckwild_simd.dir/ops.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/buckwild_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/fixed/CMakeFiles/buckwild_fixed.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/buckwild_rng.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/buckwild_simd.dir/dense_avx2.cpp.o"
+  "CMakeFiles/buckwild_simd.dir/dense_avx2.cpp.o.d"
+  "CMakeFiles/buckwild_simd.dir/dense_avx512.cpp.o"
+  "CMakeFiles/buckwild_simd.dir/dense_avx512.cpp.o.d"
+  "CMakeFiles/buckwild_simd.dir/dense_naive.cpp.o"
+  "CMakeFiles/buckwild_simd.dir/dense_naive.cpp.o.d"
+  "CMakeFiles/buckwild_simd.dir/dense_ref.cpp.o"
+  "CMakeFiles/buckwild_simd.dir/dense_ref.cpp.o.d"
+  "CMakeFiles/buckwild_simd.dir/ops.cpp.o"
+  "CMakeFiles/buckwild_simd.dir/ops.cpp.o.d"
+  "libbuckwild_simd.a"
+  "libbuckwild_simd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/buckwild_simd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/buckwild_util.dir/logging.cpp.o"
+  "CMakeFiles/buckwild_util.dir/logging.cpp.o.d"
+  "CMakeFiles/buckwild_util.dir/stats.cpp.o"
+  "CMakeFiles/buckwild_util.dir/stats.cpp.o.d"
+  "CMakeFiles/buckwild_util.dir/stopwatch.cpp.o"
+  "CMakeFiles/buckwild_util.dir/stopwatch.cpp.o.d"
+  "CMakeFiles/buckwild_util.dir/table.cpp.o"
+  "CMakeFiles/buckwild_util.dir/table.cpp.o.d"
+  "CMakeFiles/buckwild_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/buckwild_util.dir/thread_pool.cpp.o.d"
+  "libbuckwild_util.a"
+  "libbuckwild_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/buckwild_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

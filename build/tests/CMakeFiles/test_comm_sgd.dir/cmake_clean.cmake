@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_comm_sgd.dir/test_comm_sgd.cpp.o"
+  "CMakeFiles/test_comm_sgd.dir/test_comm_sgd.cpp.o.d"
+  "test_comm_sgd"
+  "test_comm_sgd.pdb"
+  "test_comm_sgd[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_comm_sgd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_delayed_sgd.dir/test_delayed_sgd.cpp.o"
+  "CMakeFiles/test_delayed_sgd.dir/test_delayed_sgd.cpp.o.d"
+  "test_delayed_sgd"
+  "test_delayed_sgd.pdb"
+  "test_delayed_sgd[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_delayed_sgd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dmgc.dir/test_dmgc.cpp.o"
+  "CMakeFiles/test_dmgc.dir/test_dmgc.cpp.o.d"
+  "test_dmgc"
+  "test_dmgc.pdb"
+  "test_dmgc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dmgc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_matrix_fact.dir/test_matrix_fact.cpp.o"
+  "CMakeFiles/test_matrix_fact.dir/test_matrix_fact.cpp.o.d"
+  "test_matrix_fact"
+  "test_matrix_fact.pdb"
+  "test_matrix_fact[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_matrix_fact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

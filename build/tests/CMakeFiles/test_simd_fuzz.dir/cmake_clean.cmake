@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simd_fuzz.dir/test_simd_fuzz.cpp.o"
+  "CMakeFiles/test_simd_fuzz.dir/test_simd_fuzz.cpp.o.d"
+  "test_simd_fuzz"
+  "test_simd_fuzz.pdb"
+  "test_simd_fuzz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simd_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_statistical.dir/test_statistical.cpp.o"
+  "CMakeFiles/test_statistical.dir/test_statistical.cpp.o.d"
+  "test_statistical"
+  "test_statistical.pdb"
+  "test_statistical[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_statistical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/buckwild_train.dir/buckwild_train.cpp.o"
+  "CMakeFiles/buckwild_train.dir/buckwild_train.cpp.o.d"
+  "buckwild_train"
+  "buckwild_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/buckwild_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
