@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Serving throughput: precision x micro-batch sweep.
+ *
+ * The serving counterpart of Figure 6d: a closed-loop client drives the
+ * inference Server and we sweep the serving precision (Ms8 / Ms16 /
+ * Ms32f) against the micro-batch bound B. Two effects should be visible:
+ *   - along B: request throughput rises as the per-request queue and
+ *     wakeup bookkeeping is amortized over each kernel sweep (the §5.4
+ *     mini-batching argument replayed at serving time);
+ *   - along precision: serving GNPS rises as the model stream shrinks
+ *     (§3: inference is the dot half of the step and is bound on the
+ *     model bytes).
+ *
+ * Besides the usual table/CSV output, this bench emits a machine-readable
+ * JSON sweep (one object per cell) for plotting pipelines.
+ */
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "buckwild/buckwild.h"
+#include "core/model_io.h"
+#include "serve/serve.h"
+
+namespace {
+
+using namespace buckwild;
+
+struct Cell
+{
+    serve::Precision precision;
+    std::size_t max_batch = 0;
+    double req_per_s = 0.0;
+    double p50_us = 0.0;
+    double p99_us = 0.0;
+    double mean_batch = 0.0;
+    double gnps = 0.0;
+};
+
+/// Drives `requests` dense requests through a fresh server in a closed
+/// loop (single client, pipelined window, vectored zero-copy submits) and
+/// returns the measured cell.
+Cell
+run_cell(const serve::ModelRegistry& registry,
+         const dataset::DenseProblem& load, std::size_t max_batch,
+         std::size_t requests)
+{
+    serve::ServerConfig cfg;
+    cfg.max_batch = max_batch;
+    serve::Server server(registry, cfg);
+
+    constexpr std::size_t kWindow = 64;
+    std::vector<serve::ReplySlot> slots(kWindow);
+    std::size_t head = 0, tail = 0;
+    Stopwatch wall;
+    while (head < requests || tail < head) {
+        const std::size_t want =
+            std::min(kWindow - (head - tail), requests - head);
+        if (want == 0) {
+            if (!slots[tail % kWindow].wait())
+                fatal("bench request failed: " +
+                      slots[tail % kWindow].error);
+            ++tail;
+            continue;
+        }
+        std::vector<serve::ViewRequest> burst;
+        burst.reserve(want);
+        for (std::size_t k = 0; k < want; ++k) {
+            serve::ReplySlot& slot = slots[(head + k) % kWindow];
+            slot.reset();
+            serve::ViewRequest view;
+            view.dense = load.row((head + k) % load.examples);
+            view.length = load.dim;
+            view.slot = &slot;
+            burst.push_back(view);
+        }
+        std::size_t sent = 0;
+        while (sent < want)
+            sent += server.submit_views(burst.data() + sent, want - sent);
+        head += want;
+    }
+    const double seconds = wall.seconds();
+    server.stop();
+
+    const auto metrics = server.metrics();
+    Cell cell;
+    cell.max_batch = max_batch;
+    cell.req_per_s = static_cast<double>(requests) / seconds;
+    cell.p50_us = metrics.latency_percentile(50) * 1e6;
+    cell.p99_us = metrics.latency_percentile(99) * 1e6;
+    cell.mean_batch = metrics.mean_batch_size();
+    cell.gnps = metrics.gnps();
+    return cell;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace buckwild;
+    bench::banner("Serving throughput — precision x micro-batch sweep",
+                  "req/s rises with B (bookkeeping amortized); GNPS rises "
+                  "as the model stream narrows (Ms32f -> Ms8)");
+
+    // A quick in-process model: what matters here is the serving data
+    // movement, not the model's quality.
+    const std::size_t dim = 256;
+    const auto problem = dataset::generate_logistic_dense(dim, 2048, 17);
+    core::TrainerConfig cfg;
+    cfg.signature = dmgc::parse_signature("D32fM32f");
+    cfg.epochs = 2;
+    cfg.record_loss_trace = false;
+    core::Trainer trainer(cfg);
+    trainer.fit(problem);
+    core::SavedModel saved;
+    saved.signature = cfg.signature;
+    saved.loss = cfg.loss;
+    saved.weights = trainer.model();
+
+    const std::size_t requests = 30000;
+    const std::vector<serve::Precision> precisions = {
+        serve::Precision::kInt8, serve::Precision::kInt16,
+        serve::Precision::kFloat32};
+    const std::vector<std::size_t> batches = {1, 4, 16, 64};
+
+    std::vector<Cell> cells;
+    for (const serve::Precision precision : precisions) {
+        serve::ModelRegistry registry;
+        registry.publish(saved, precision);
+        TablePrinter table("serving, n = " + std::to_string(dim) + ", " +
+                               to_string(precision),
+                           {"B", "req/s", "p50 us", "p99 us", "mean B",
+                            "GNPS"});
+        for (const std::size_t b : batches) {
+            Cell cell = run_cell(registry, problem, b, requests);
+            cell.precision = precision;
+            table.add_row({std::to_string(b), format_num(cell.req_per_s, 4),
+                           format_num(cell.p50_us, 3),
+                           format_num(cell.p99_us, 3),
+                           format_num(cell.mean_batch, 3),
+                           format_num(cell.gnps, 3)});
+            cells.push_back(cell);
+        }
+        bench::emit(table);
+    }
+
+    // Machine-readable sweep for plotting pipelines.
+    std::printf("-- json --\n[");
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const Cell& cell = cells[i];
+        std::printf("%s\n  {\"precision\": \"%s\", \"batch\": %zu, "
+                    "\"req_per_s\": %.1f, \"p50_us\": %.3f, "
+                    "\"p99_us\": %.3f, \"mean_batch\": %.3f, "
+                    "\"gnps\": %.4f}",
+                    i == 0 ? "" : ",", to_string(cell.precision).c_str(),
+                    cell.max_batch, cell.req_per_s, cell.p50_us,
+                    cell.p99_us, cell.mean_batch, cell.gnps);
+    }
+    std::printf("\n]\n");
+    return 0;
+}

@@ -26,7 +26,8 @@ set(BUCKWILD_BENCHES
   bench_ablation_design
   bench_ext_comm_precision
   bench_ext_avx512
-  bench_ext_async_staleness)
+  bench_ext_async_staleness
+  bench_serve_throughput)
 
 foreach(name IN LISTS BUCKWILD_BENCHES)
   add_executable(${name} bench/${name}.cpp)

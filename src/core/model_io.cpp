@@ -15,8 +15,14 @@ loss_from_string(const std::string& name)
     if (name == "logistic") return Loss::kLogistic;
     if (name == "squared") return Loss::kSquared;
     if (name == "hinge") return Loss::kHinge;
-    fatal("unknown loss in model file: " + name);
+    fatal("unknown loss in model file: \"" + name +
+          "\" (expected logistic, squared, or hinge)");
 }
+
+/// Upper bound on a plausible model dimension (2^31 coordinates = 8 GiB
+/// of float weights). Rejecting here turns a hostile or corrupt dim line
+/// into a clean error instead of an attempted giant allocation.
+constexpr long long kMaxModelDim = 1LL << 31;
 
 } // namespace
 
@@ -64,7 +70,20 @@ load_model(std::istream& in)
             ls >> name;
             model.loss = loss_from_string(name);
         } else if (key == "dim") {
-            if (!(ls >> dim)) fatal("malformed dim line");
+            // Parse through a signed type so "dim -5" is a clear error
+            // rather than a wrapped-around huge unsigned value; overflow
+            // of long long sets failbit and is caught the same way.
+            long long sdim = 0;
+            if (!(ls >> sdim))
+                fatal("malformed or overflowing dim line in model file: " +
+                      line);
+            if (sdim < 0)
+                fatal("negative dim in model file: " +
+                      std::to_string(sdim));
+            if (sdim > kMaxModelDim)
+                fatal("implausibly large dim in model file: " +
+                      std::to_string(sdim));
+            dim = static_cast<std::size_t>(sdim);
             have_dim = true;
             break; // weights follow
         } else {
@@ -77,8 +96,8 @@ load_model(std::istream& in)
     model.weights.resize(dim);
     for (std::size_t k = 0; k < dim; ++k) {
         if (!(in >> model.weights[k]))
-            fatal("model file truncated at coordinate " +
-                  std::to_string(k));
+            fatal("model file truncated or malformed at coordinate " +
+                  std::to_string(k) + " of " + std::to_string(dim));
     }
     return model;
 }

@@ -1,0 +1,52 @@
+#include "serve/metrics.h"
+
+#include "util/stats.h"
+
+namespace buckwild::serve {
+
+double
+ServeMetrics::latency_percentile(double p) const
+{
+    return percentile_of(latencies, p);
+}
+
+void
+MetricsCollector::record_batch(const std::vector<double>& request_latencies,
+                               double numbers, double busy_seconds)
+{
+    const std::size_t b = request_latencies.size();
+    if (b == 0) return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    metrics_.requests += b;
+    metrics_.batches += 1;
+    metrics_.numbers += numbers;
+    metrics_.busy_seconds += busy_seconds;
+    if (metrics_.batch_size_counts.size() <= b)
+        metrics_.batch_size_counts.resize(b + 1, 0);
+    metrics_.batch_size_counts[b] += 1;
+    metrics_.latencies.insert(metrics_.latencies.end(),
+                              request_latencies.begin(),
+                              request_latencies.end());
+}
+
+void
+MetricsCollector::record_reject()
+{
+    record_rejects(1);
+}
+
+void
+MetricsCollector::record_rejects(std::size_t count)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    metrics_.rejects += count;
+}
+
+ServeMetrics
+MetricsCollector::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return metrics_;
+}
+
+} // namespace buckwild::serve

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * ServeMetrics — the serving counterpart of core::TrainingMetrics.
+ *
+ * Tracks the four things a serving operator watches:
+ *   - volume: requests served, requests rejected by backpressure;
+ *   - batching: a histogram of coalesced batch sizes (is micro-batching
+ *     actually engaging under this load?);
+ *   - latency: per-request queue+compute latency, summarized as
+ *     p50/p95/p99 via util/stats percentile_of;
+ *   - throughput: serving GNPS — dataset numbers scored per second of
+ *     worker compute time, directly comparable to TrainingMetrics::gnps()
+ *     since inference is the dot half of the training step.
+ *
+ * ServeMetrics itself is a plain value (snapshot / single-thread view);
+ * MetricsCollector is the mutex-guarded accumulator the server threads
+ * write through. Workers record one batch per lock acquisition, so the
+ * metrics cost is itself amortized by micro-batching.
+ */
+#ifndef BUCKWILD_SERVE_METRICS_H
+#define BUCKWILD_SERVE_METRICS_H
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace buckwild::serve {
+
+/// A consistent snapshot of serving counters.
+struct ServeMetrics
+{
+    std::uint64_t requests = 0; ///< completed (scored) requests
+    std::uint64_t rejects = 0;  ///< requests shed by backpressure
+    std::uint64_t batches = 0;  ///< kernel sweeps executed
+    double numbers = 0.0;       ///< dataset numbers scored
+    double busy_seconds = 0.0;  ///< summed worker compute time
+    /// batch_size_counts[b] = batches that coalesced exactly b requests
+    /// (index 0 unused).
+    std::vector<std::uint64_t> batch_size_counts;
+    /// One entry per completed request: queue wait + compute, in seconds.
+    std::vector<double> latencies;
+
+    double mean_batch_size() const
+    {
+        return batches > 0
+            ? static_cast<double>(requests) / static_cast<double>(batches)
+            : 0.0;
+    }
+
+    /// Serving throughput in giga-numbers-per-second of worker time.
+    double gnps() const
+    {
+        return busy_seconds > 0.0 ? numbers / busy_seconds / 1e9 : 0.0;
+    }
+
+    /// Latency percentile in seconds (p in [0, 100]).
+    double latency_percentile(double p) const;
+};
+
+/// Thread-safe accumulator shared by the server's workers and producers.
+class MetricsCollector
+{
+  public:
+    /// Records one completed batch: per-request latencies (seconds), the
+    /// dataset numbers scored, and the worker compute time consumed.
+    void record_batch(const std::vector<double>& request_latencies,
+                      double numbers, double busy_seconds);
+
+    /// Records one backpressure rejection.
+    void record_reject();
+
+    /// Records `count` backpressure rejections under one lock (vectored
+    /// submit path).
+    void record_rejects(std::size_t count);
+
+    ServeMetrics snapshot() const;
+
+  private:
+    mutable std::mutex mutex_;
+    ServeMetrics metrics_;
+};
+
+} // namespace buckwild::serve
+
+#endif // BUCKWILD_SERVE_METRICS_H

@@ -1,0 +1,105 @@
+#include "serve/model_registry.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "fixed/quantize.h"
+#include "util/logging.h"
+
+namespace buckwild::serve {
+
+namespace {
+
+/// Fits a fixed-point format to the published weights: start from the
+/// library default for the width and move the binary point down until the
+/// largest magnitude is representable (trained weights are not confined
+/// to the [-1, 1] training-data range).
+fixed::FixedFormat
+fit_format(int bits, const std::vector<float>& weights)
+{
+    fixed::FixedFormat fmt = fixed::default_format(bits);
+    float max_abs = 0.0f;
+    for (float w : weights) max_abs = std::max(max_abs, std::fabs(w));
+    while (fmt.frac_bits > 0 && max_abs > fmt.max_value())
+        --fmt.frac_bits;
+    return fmt;
+}
+
+template <typename Rep, typename Buffer>
+void
+quantize_weights(const std::vector<float>& weights,
+                 const fixed::FixedFormat& fmt, Buffer& out)
+{
+    out.reset(weights.size());
+    for (std::size_t k = 0; k < weights.size(); ++k)
+        out[k] = static_cast<Rep>(
+            fixed::quantize_biased_raw(weights[k], fmt));
+}
+
+} // namespace
+
+ServingModel::ServingModel(const core::SavedModel& source,
+                           Precision precision, std::uint64_t version)
+    : version_(version), precision_(precision), loss_(source.loss),
+      trained_sig_(source.signature), dim_(source.weights.size()),
+      format_{32, 0}, quantum_(1.0f)
+{
+    switch (precision_) {
+      case Precision::kInt8:
+        format_ = fit_format(8, source.weights);
+        quantum_ = static_cast<float>(format_.quantum());
+        quantize_weights<std::int8_t>(source.weights, format_, w8_);
+        break;
+      case Precision::kInt16:
+        format_ = fit_format(16, source.weights);
+        quantum_ = static_cast<float>(format_.quantum());
+        quantize_weights<std::int16_t>(source.weights, format_, w16_);
+        break;
+      case Precision::kFloat32:
+        wf_.reset(dim_);
+        std::copy(source.weights.begin(), source.weights.end(),
+                  wf_.begin());
+        break;
+    }
+}
+
+std::uint64_t
+ModelRegistry::publish(const core::SavedModel& model, Precision precision)
+{
+    // Quantize outside the lock; only the pointer swap is serialized.
+    std::uint64_t version;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        version = next_version_++;
+    }
+    auto snapshot =
+        std::make_shared<const ServingModel>(model, precision, version);
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Concurrent publishers may finish quantizing out of order; never let
+    // an older version overwrite a newer one.
+    if (!current_ || current_->version() < version)
+        current_ = std::move(snapshot);
+    return version;
+}
+
+std::uint64_t
+ModelRegistry::load_file(const std::string& path, Precision precision)
+{
+    return publish(core::load_model_file(path), precision);
+}
+
+std::shared_ptr<const ServingModel>
+ModelRegistry::current() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return current_;
+}
+
+std::uint64_t
+ModelRegistry::current_version() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return current_ ? current_->version() : 0;
+}
+
+} // namespace buckwild::serve

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * ModelRegistry — versioned, hot-swappable serving models.
+ *
+ * A ServingModel is an immutable snapshot: a SavedModel's float weights
+ * re-quantized once, at publish time, to the chosen serving precision
+ * (Ms8 / Ms16 / Ms32f). This is the serve-side instance of the paper's §3
+ * observation about dataset numbers — values that are written once and
+ * then only read should be quantized once, up front, not per use. The
+ * fixed-point format is fitted to the published weights (fraction bits
+ * chosen so the largest |w| is representable) rather than hard-coding the
+ * training default, since trained models routinely escape [-1, 1].
+ *
+ * The registry hands out std::shared_ptr<const ServingModel> snapshots.
+ * publish() swaps the current pointer atomically (under a mutex — swaps
+ * are rare, snapshots cheap), so a scorer mid-batch keeps the version it
+ * started with while new batches pick up the new one; the old model is
+ * freed when its last in-flight reader drops it.
+ */
+#ifndef BUCKWILD_SERVE_MODEL_REGISTRY_H
+#define BUCKWILD_SERVE_MODEL_REGISTRY_H
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "core/model_io.h"
+#include "fixed/fixed_point.h"
+#include "serve/precision.h"
+#include "util/aligned_buffer.h"
+
+namespace buckwild::serve {
+
+/// An immutable, quantized, scoring-ready model snapshot.
+class ServingModel
+{
+  public:
+    /// Quantizes `source.weights` to `precision` (biased rounding — there
+    /// is no accumulation at inference, so stochastic rounding buys
+    /// nothing and would make scores non-deterministic).
+    ServingModel(const core::SavedModel& source, Precision precision,
+                 std::uint64_t version);
+
+    std::uint64_t version() const { return version_; }
+    Precision precision() const { return precision_; }
+    core::Loss loss() const { return loss_; }
+    std::size_t dim() const { return dim_; }
+    /// The signature the model was *trained* at (provenance).
+    const dmgc::Signature& trained_signature() const { return trained_sig_; }
+    /// The fitted fixed-point format (meaningful for Ms8/Ms16).
+    const fixed::FixedFormat& format() const { return format_; }
+    /// Real value of one raw model unit (1.0 for Ms32f).
+    float quantum() const { return quantum_; }
+    /// Model bytes read per scored dense request.
+    std::size_t bytes() const { return dim_ * bytes_per_weight(precision_); }
+
+    // Raw weight arrays; exactly one is non-empty, per precision().
+    const std::int8_t* weights_i8() const { return w8_.data(); }
+    const std::int16_t* weights_i16() const { return w16_.data(); }
+    const float* weights_f32() const { return wf_.data(); }
+
+  private:
+    std::uint64_t version_;
+    Precision precision_;
+    core::Loss loss_;
+    dmgc::Signature trained_sig_;
+    std::size_t dim_;
+    fixed::FixedFormat format_;
+    float quantum_;
+    AlignedBuffer<std::int8_t> w8_;
+    AlignedBuffer<std::int16_t> w16_;
+    AlignedBuffer<float> wf_;
+};
+
+/// Thread-safe holder of the current serving model, with atomic hot-swap.
+class ModelRegistry
+{
+  public:
+    /// Publishes a new model version; returns its version id (monotonic,
+    /// starting at 1). Readers holding older snapshots are unaffected.
+    std::uint64_t publish(const core::SavedModel& model,
+                          Precision precision);
+
+    /// Loads a BUCKWILD-MODEL file and publishes it.
+    /// @throws std::runtime_error on I/O or parse failure.
+    std::uint64_t load_file(const std::string& path, Precision precision);
+
+    /// The current model snapshot; null until the first publish().
+    std::shared_ptr<const ServingModel> current() const;
+
+    /// Version of the current model; 0 when none is published.
+    std::uint64_t current_version() const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::shared_ptr<const ServingModel> current_;
+    std::uint64_t next_version_ = 1;
+};
+
+} // namespace buckwild::serve
+
+#endif // BUCKWILD_SERVE_MODEL_REGISTRY_H

@@ -1,0 +1,49 @@
+#include "serve/precision.h"
+
+#include "util/logging.h"
+
+namespace buckwild::serve {
+
+std::string
+to_string(Precision p)
+{
+    switch (p) {
+      case Precision::kInt8: return "Ms8";
+      case Precision::kInt16: return "Ms16";
+      case Precision::kFloat32: return "Ms32f";
+    }
+    panic("unreachable serve::Precision");
+}
+
+std::size_t
+bytes_per_weight(Precision p)
+{
+    switch (p) {
+      case Precision::kInt8: return 1;
+      case Precision::kInt16: return 2;
+      case Precision::kFloat32: return 4;
+    }
+    panic("unreachable serve::Precision");
+}
+
+Precision
+parse_precision(const std::string& text)
+{
+    std::string body = text;
+    if (body.rfind("Ms", 0) == 0) body = body.substr(2);
+    if (body == "8") return Precision::kInt8;
+    if (body == "16") return Precision::kInt16;
+    if (body == "32f" || body == "32") return Precision::kFloat32;
+    fatal("unknown serving precision: \"" + text +
+          "\" (expected Ms8, Ms16, or Ms32f)");
+}
+
+Precision
+precision_from_signature(const dmgc::Signature& sig)
+{
+    if (sig.model.is_float) return Precision::kFloat32;
+    if (sig.model.bits <= 8) return Precision::kInt8;
+    return Precision::kInt16;
+}
+
+} // namespace buckwild::serve

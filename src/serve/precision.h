@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Serve-side precision vocabulary — the DMGC letters that survive to
+ * inference time.
+ *
+ * At inference there is no gradient and no inter-worker communication, so
+ * of the training signature `D M G C` only two letters remain meaningful:
+ *
+ *   D — the request's feature numbers (held at 32f here: requests arrive
+ *       as floats from the outside world and are read exactly once, so
+ *       quantizing them buys no repeated-bandwidth savings), and
+ *   M — the serving copy of the model, re-quantized once at publish time.
+ *
+ * We write the serving model precision with an `s` subscript — `Ms8`,
+ * `Ms16`, `Ms32f` — mirroring the paper's `Cs` notation for "synchronous"
+ * to mark "serving": the serving rep is chosen independently of the rep
+ * the model was trained at (a D8M8-trained model can be served at Ms32f
+ * and vice versa). Low-precision serving wins for the same §3 reason
+ * low-precision training does: the dot product is memory-bandwidth-bound,
+ * and Ms8 moves a quarter of the bytes of Ms32f per scored request.
+ */
+#ifndef BUCKWILD_SERVE_PRECISION_H
+#define BUCKWILD_SERVE_PRECISION_H
+
+#include <string>
+
+#include "dmgc/signature.h"
+
+namespace buckwild::serve {
+
+/// The serving rep of model numbers (the Ms term).
+enum class Precision {
+    kInt8,    ///< Ms8  — 8-bit fixed point
+    kInt16,   ///< Ms16 — 16-bit fixed point
+    kFloat32, ///< Ms32f — IEEE float (no re-quantization)
+};
+
+/// "Ms8" / "Ms16" / "Ms32f".
+std::string to_string(Precision p);
+
+/// Model bytes moved per coordinate per scored request.
+std::size_t bytes_per_weight(Precision p);
+
+/**
+ * Parses the serve-side notation: "Ms8", "Ms16", "Ms32f" (a bare
+ * "8" / "16" / "32f" is accepted as shorthand).
+ *
+ * @throws std::runtime_error on anything else.
+ */
+Precision parse_precision(const std::string& text);
+
+/**
+ * The natural serving precision for a model trained at `sig`: serve at
+ * the precision the model was trained at (its M term), so the serving
+ * copy represents the trained weights exactly.
+ */
+Precision precision_from_signature(const dmgc::Signature& sig);
+
+} // namespace buckwild::serve
+
+#endif // BUCKWILD_SERVE_PRECISION_H

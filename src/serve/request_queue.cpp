@@ -1,0 +1,91 @@
+#include "serve/request_queue.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace buckwild::serve {
+
+RequestQueue::RequestQueue(std::size_t capacity, std::size_t batch_hint)
+    : capacity_(capacity), batch_hint_(batch_hint == 0 ? 1 : batch_hint)
+{
+    if (capacity == 0) fatal("RequestQueue requires capacity >= 1");
+}
+
+bool
+RequestQueue::try_push(Request&& request)
+{
+    return try_push_many(&request, 1) == 1;
+}
+
+std::size_t
+RequestQueue::try_push_many(Request* requests, std::size_t count)
+{
+    if (count == 0) return 0;
+    std::size_t admitted, depth;
+    bool was_empty;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (closed_) return 0;
+        was_empty = items_.empty();
+        admitted = std::min(count, capacity_ - items_.size());
+        for (std::size_t i = 0; i < admitted; ++i)
+            items_.push_back(std::move(requests[i]));
+        depth = items_.size();
+    }
+    // Wake a consumer on the empty -> non-empty edge (someone may be
+    // waiting for the first request) and once the batch target is met (a
+    // lingering consumer can stop early). Pushes in between stay silent:
+    // the consumer either has work or is lingering on a deadline.
+    if (admitted > 0 && (was_empty || depth >= batch_hint_))
+        not_empty_.notify_one();
+    return admitted;
+}
+
+std::size_t
+RequestQueue::pop_batch(std::vector<Request>& out, std::size_t max_batch,
+                        std::chrono::microseconds linger)
+{
+    out.clear();
+    if (max_batch == 0) fatal("pop_batch requires max_batch >= 1");
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (linger.count() > 0 && !closed_ && items_.size() < max_batch) {
+        const auto deadline = std::chrono::steady_clock::now() + linger;
+        not_empty_.wait_until(lock, deadline, [this, max_batch] {
+            return closed_ || items_.size() >= max_batch;
+        });
+    }
+    const std::size_t take = std::min(max_batch, items_.size());
+    for (std::size_t i = 0; i < take; ++i) {
+        out.push_back(std::move(items_.front()));
+        items_.pop_front();
+    }
+    return take;
+}
+
+void
+RequestQueue::close()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        closed_ = true;
+    }
+    not_empty_.notify_all();
+}
+
+std::size_t
+RequestQueue::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+}
+
+bool
+RequestQueue::closed() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+}
+
+} // namespace buckwild::serve

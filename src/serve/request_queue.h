@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Bounded request queue with backpressure — the admission control of the
+ * serving subsystem.
+ *
+ * Producers (frontend/client threads) try_push() scoring requests; the
+ * call NEVER blocks — when the queue is at capacity it returns false and
+ * the caller must shed or retry (reject-with-error beats unbounded
+ * buffering under overload: latency stays bounded and the failure is
+ * explicit). Consumers (scoring workers) pop_batch(): block until at
+ * least one request is pending, then take up to `max_batch` of them in
+ * one critical section. That coalescing is the serving analog of §5.4
+ * mini-batching — it amortizes the per-request synchronization (lock,
+ * wakeup, model-snapshot acquisition) over B requests the same way
+ * training mini-batches amortize the model update over B gradients.
+ */
+#ifndef BUCKWILD_SERVE_REQUEST_QUEUE_H
+#define BUCKWILD_SERVE_REQUEST_QUEUE_H
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/engine.h"
+
+namespace buckwild::serve {
+
+/**
+ * A client-owned completion slot — the zero-allocation alternative to a
+ * std::future for high-throughput callers.
+ *
+ * The submitter keeps the slot (and the feature storage it submitted a
+ * view of) alive until the slot completes; the worker publishes the
+ * result with a release store, the client observes it with an acquire
+ * load. wait() yields rather than parking on a futex, so completing a
+ * request costs the worker one atomic store — per-request wakeup
+ * syscalls would otherwise dominate the serving overhead that
+ * micro-batching exists to amortize.
+ */
+struct ReplySlot
+{
+    enum : int { kPending = 0, kOk = 1, kError = 2 };
+
+    std::atomic<int> state{kPending};
+    ScoreResult result;
+    std::string error; ///< set before the kError release store
+
+    /// Re-arms the slot for reuse. Only call when no request references it.
+    void reset()
+    {
+        error.clear();
+        state.store(kPending, std::memory_order_relaxed);
+    }
+
+    /// True once a result (or error) is visible.
+    bool ready() const
+    {
+        return state.load(std::memory_order_acquire) != kPending;
+    }
+
+    /// Spin-yields until ready; returns true on success, false on error.
+    bool wait() const
+    {
+        int s;
+        while ((s = state.load(std::memory_order_acquire)) == kPending)
+            std::this_thread::yield();
+        return s == kOk;
+    }
+};
+
+/**
+ * One pending scoring request. Two completion styles:
+ *   - future path: `reply` is engaged and delivers the result or an
+ *     exception (convenient; one shared-state allocation per request);
+ *   - slot path: `slot` points at a client-owned ReplySlot and the
+ *     feature fields are non-owning views (zero allocation, zero copy —
+ *     the fast path the load generators use).
+ * Dense requests fill dense/dense_view; sparse requests the
+ * (index, value) pair.
+ */
+struct Request
+{
+    // Owned storage (future path).
+    std::vector<float> dense;
+    std::vector<std::uint32_t> index;
+    std::vector<float> value;
+    // Non-owning views (slot path); valid when slot != nullptr.
+    const float* dense_view = nullptr;
+    const std::uint32_t* index_view = nullptr;
+    const float* value_view = nullptr;
+    std::size_t view_length = 0;
+
+    std::chrono::steady_clock::time_point enqueued;
+    std::optional<std::promise<ScoreResult>> reply;
+    ReplySlot* slot = nullptr;
+
+    bool is_sparse() const
+    {
+        return slot != nullptr ? value_view != nullptr : dense.empty();
+    }
+    /// Dataset numbers this request moves (the GNPS numerator).
+    std::size_t numbers() const
+    {
+        if (slot != nullptr) return view_length;
+        return is_sparse() ? value.size() : dense.size();
+    }
+};
+
+/// Bounded MPSC/MPMC queue: non-blocking producers, batching consumers.
+class RequestQueue
+{
+  public:
+    /**
+     * @param capacity    admission bound (try_push rejects beyond it).
+     * @param batch_hint  the consumers' target batch size. Producers only
+     *                    wake a consumer when the queue becomes non-empty
+     *                    or reaches this depth; intermediate pushes are
+     *                    silent so a lingering consumer is not thrashed
+     *                    awake once per request (which would defeat the
+     *                    batching on a loaded machine).
+     */
+    explicit RequestQueue(std::size_t capacity, std::size_t batch_hint = 1);
+
+    /// Enqueues without blocking; false when full or closed (the request
+    /// is untouched and still owned by the caller, who should fail it).
+    bool try_push(Request&& request);
+
+    /**
+     * Enqueues up to `count` requests under ONE lock acquisition and at
+     * most one consumer wakeup — the producer-side analog of pop_batch.
+     * Admits a prefix bounded by the remaining capacity and returns its
+     * length (0 when full or closed); admitted requests are moved from,
+     * the rest stay owned by the caller for retry or shedding.
+     */
+    std::size_t try_push_many(Request* requests, std::size_t count);
+
+    /**
+     * Pops up to `max_batch` requests into `out` (cleared first).
+     * Blocks while the queue is empty and open. Once at least one
+     * request is pending, waits up to `linger` longer for the batch to
+     * fill before taking what is there — the §5.4 throughput-for-latency
+     * trade made explicit and bounded. Returns the number taken; 0 means
+     * closed-and-drained — the consumer should exit.
+     */
+    std::size_t pop_batch(std::vector<Request>& out, std::size_t max_batch,
+                          std::chrono::microseconds linger =
+                              std::chrono::microseconds{0});
+
+    /// Closes the queue: producers are rejected, consumers drain what is
+    /// left and then get 0 from pop_batch.
+    void close();
+
+    std::size_t capacity() const { return capacity_; }
+    std::size_t size() const;
+    bool closed() const;
+
+  private:
+    const std::size_t capacity_;
+    const std::size_t batch_hint_;
+    mutable std::mutex mutex_;
+    std::condition_variable not_empty_;
+    std::deque<Request> items_;
+    bool closed_ = false;
+};
+
+} // namespace buckwild::serve
+
+#endif // BUCKWILD_SERVE_REQUEST_QUEUE_H

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Umbrella header for the serving subsystem.
+ *
+ * The path from a trained model to scored traffic:
+ *
+ *     core::SavedModel model = core::load_model_file("model.bw");
+ *     serve::ModelRegistry registry;
+ *     registry.publish(model, serve::parse_precision("Ms8"));
+ *
+ *     serve::ServerConfig cfg;
+ *     cfg.workers = 2;
+ *     cfg.max_batch = 16;
+ *     serve::Server server(registry, cfg);
+ *
+ *     auto pending = server.submit_dense(features);   // nullopt = shed
+ *     if (pending) serve::ScoreResult r = pending->get();
+ *
+ *     registry.publish(new_model, precision);         // atomic hot-swap
+ *     serve::ServeMetrics m = server.metrics();       // p50/p99, GNPS, ...
+ */
+#ifndef BUCKWILD_SERVE_SERVE_H
+#define BUCKWILD_SERVE_SERVE_H
+
+#include "serve/engine.h"
+#include "serve/metrics.h"
+#include "serve/model_registry.h"
+#include "serve/precision.h"
+#include "serve/request_queue.h"
+#include "serve/server.h"
+
+#endif // BUCKWILD_SERVE_SERVE_H

@@ -1,0 +1,183 @@
+#include "serve/server.h"
+
+#include <stdexcept>
+
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace buckwild::serve {
+
+Server::Server(const ModelRegistry& registry, ServerConfig config)
+    : registry_(registry), config_(config), engine_(config.impl),
+      queue_(config.queue_capacity, config.max_batch)
+{
+    if (config_.workers == 0) fatal("Server requires workers >= 1");
+    if (config_.max_batch == 0) fatal("Server requires max_batch >= 1");
+    workers_.start(config_.workers, [this](std::size_t) { worker_loop(); });
+}
+
+Server::~Server()
+{
+    stop();
+}
+
+std::optional<std::future<ScoreResult>>
+Server::submit(Request&& request)
+{
+    request.enqueued = std::chrono::steady_clock::now();
+    request.reply.emplace();
+    auto future = request.reply->get_future();
+    if (!queue_.try_push(std::move(request))) {
+        collector_.record_reject();
+        return std::nullopt;
+    }
+    return future;
+}
+
+bool
+Server::submit_dense_view(const float* x, std::size_t n, ReplySlot* slot)
+{
+    Request request;
+    request.dense_view = x;
+    request.view_length = n;
+    request.slot = slot;
+    request.enqueued = std::chrono::steady_clock::now();
+    if (!queue_.try_push(std::move(request))) {
+        collector_.record_reject();
+        return false;
+    }
+    return true;
+}
+
+bool
+Server::submit_sparse_view(const std::uint32_t* index, const float* value,
+                           std::size_t nnz, ReplySlot* slot)
+{
+    Request request;
+    request.index_view = index;
+    request.value_view = value;
+    request.view_length = nnz;
+    request.slot = slot;
+    request.enqueued = std::chrono::steady_clock::now();
+    if (!queue_.try_push(std::move(request))) {
+        collector_.record_reject();
+        return false;
+    }
+    return true;
+}
+
+std::size_t
+Server::submit_views(const ViewRequest* requests, std::size_t count)
+{
+    if (count == 0) return 0;
+    const auto now = std::chrono::steady_clock::now();
+    std::vector<Request> staged;
+    staged.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        const ViewRequest& view = requests[i];
+        Request request;
+        request.dense_view = view.dense;
+        request.index_view = view.index;
+        request.value_view = view.value;
+        request.view_length = view.length;
+        request.slot = view.slot;
+        request.enqueued = now;
+        staged.push_back(std::move(request));
+    }
+    const std::size_t admitted =
+        queue_.try_push_many(staged.data(), staged.size());
+    if (admitted < count) collector_.record_rejects(count - admitted);
+    return admitted;
+}
+
+std::optional<std::future<ScoreResult>>
+Server::submit_dense(std::vector<float> features)
+{
+    Request request;
+    request.dense = std::move(features);
+    return submit(std::move(request));
+}
+
+std::optional<std::future<ScoreResult>>
+Server::submit_sparse(std::vector<std::uint32_t> index,
+                      std::vector<float> value)
+{
+    if (index.size() != value.size())
+        fatal("sparse request index/value length mismatch");
+    Request request;
+    request.index = std::move(index);
+    request.value = std::move(value);
+    return submit(std::move(request));
+}
+
+void
+Server::stop()
+{
+    if (stopped_) return;
+    stopped_ = true;
+    queue_.close();
+    workers_.join();
+}
+
+void
+Server::worker_loop()
+{
+    std::vector<Request> batch;
+    std::vector<double> latencies;
+    const std::chrono::microseconds linger{
+        config_.max_batch > 1 ? config_.linger_us : 0};
+    while (queue_.pop_batch(batch, config_.max_batch, linger) > 0) {
+        const auto model = registry_.current();
+        Stopwatch compute;
+        double numbers = 0.0;
+        latencies.clear();
+        for (Request& request : batch) {
+            try {
+                if (!model)
+                    throw std::runtime_error(
+                        "no model published in the registry");
+                ScoreResult result;
+                if (request.slot != nullptr) {
+                    result = request.is_sparse()
+                        ? engine_.score_sparse(*model, request.index_view,
+                                               request.value_view,
+                                               request.view_length)
+                        : engine_.score_dense(*model, request.dense_view,
+                                              request.view_length);
+                } else {
+                    result = request.is_sparse()
+                        ? engine_.score_sparse(*model, request.index.data(),
+                                               request.value.data(),
+                                               request.value.size())
+                        : engine_.score_dense(*model, request.dense.data(),
+                                              request.dense.size());
+                }
+                numbers += static_cast<double>(request.numbers());
+                if (request.slot != nullptr) {
+                    request.slot->result = result;
+                    request.slot->state.store(ReplySlot::kOk,
+                                              std::memory_order_release);
+                } else {
+                    request.reply->set_value(result);
+                }
+            } catch (const std::exception& e) {
+                if (request.slot != nullptr) {
+                    request.slot->error = e.what();
+                    request.slot->state.store(ReplySlot::kError,
+                                              std::memory_order_release);
+                } else {
+                    request.reply->set_exception(std::current_exception());
+                }
+            }
+        }
+        const double busy = compute.seconds();
+        const auto now = std::chrono::steady_clock::now();
+        for (const Request& request : batch)
+            latencies.push_back(
+                std::chrono::duration<double>(now - request.enqueued)
+                    .count());
+        collector_.record_batch(latencies, numbers, busy);
+    }
+}
+
+} // namespace buckwild::serve

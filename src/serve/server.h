@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Server — the micro-batched low-precision inference engine.
+ *
+ * Wiring:
+ *
+ *     clients ──try_push──▶ RequestQueue ──pop_batch(B)──▶ workers
+ *        ▲ (reject when full)                  │  one ModelRegistry
+ *        └── std::future<ScoreResult> ◀────────┘  snapshot per batch
+ *
+ * Each worker loops: take up to `max_batch` requests in one queue
+ * critical section, grab ONE model snapshot, score every request in the
+ * batch through the InferenceEngine (same kernels, same order as
+ * one-at-a-time — batched results are bit-identical to B=1 at the same
+ * serving signature), fulfill the futures, and record the batch into the
+ * shared MetricsCollector. All per-request fixed costs — queue lock,
+ * condvar wakeup, snapshot refcount, metrics lock — are paid once per
+ * batch, which is where the §5.4 mini-batching throughput win comes from
+ * at serving time.
+ *
+ * Every request in a batch is scored against the same model version, so
+ * hot-swapping models mid-stream never yields a mixed batch.
+ */
+#ifndef BUCKWILD_SERVE_SERVER_H
+#define BUCKWILD_SERVE_SERVER_H
+
+#include <cstddef>
+#include <future>
+#include <optional>
+#include <vector>
+
+#include "serve/engine.h"
+#include "serve/metrics.h"
+#include "serve/model_registry.h"
+#include "serve/request_queue.h"
+#include "util/thread_pool.h"
+
+namespace buckwild::serve {
+
+/// Serving knobs.
+struct ServerConfig
+{
+    std::size_t workers = 1;         ///< scoring threads
+    std::size_t max_batch = 16;      ///< micro-batch coalescing bound B
+    std::size_t queue_capacity = 1024; ///< backpressure admission bound
+    /// How long a worker lingers for a batch to fill once at least one
+    /// request is pending (0 = take whatever is there). The bounded
+    /// latency cost that buys the batching throughput win; ignored when
+    /// max_batch == 1.
+    std::size_t linger_us = 200;
+    simd::Impl impl = simd::best_impl(); ///< kernel implementation
+};
+
+/**
+ * A borrowed view of one scoring request for the vectored submit path.
+ * Dense requests set `dense`; sparse requests set `index` + `value`.
+ * The pointed-to storage and the slot stay caller-owned until the slot
+ * completes.
+ */
+struct ViewRequest
+{
+    const float* dense = nullptr;         ///< dense features
+    const std::uint32_t* index = nullptr; ///< sparse coordinates
+    const float* value = nullptr;         ///< sparse values
+    std::size_t length = 0;               ///< feature count / nnz
+    ReplySlot* slot = nullptr;            ///< caller-owned completion slot
+};
+
+/**
+ * A running inference server over a ModelRegistry.
+ *
+ * The registry is borrowed and must outlive the server; publishing to it
+ * while the server runs performs an atomic hot-swap visible to the next
+ * batch.
+ */
+class Server
+{
+  public:
+    Server(const ModelRegistry& registry, ServerConfig config);
+    ~Server();
+
+    Server(const Server&) = delete;
+    Server& operator=(const Server&) = delete;
+
+    /**
+     * Submits a dense scoring request. Returns the future delivering the
+     * result, or std::nullopt when the queue is full (backpressure
+     * reject — recorded in the metrics). The future carries an exception
+     * if the request is malformed (e.g. dimension mismatch) or the
+     * server stops before scoring it.
+     */
+    std::optional<std::future<ScoreResult>>
+    submit_dense(std::vector<float> features);
+
+    /// Sparse counterpart: ascending coordinates + values.
+    std::optional<std::future<ScoreResult>>
+    submit_sparse(std::vector<std::uint32_t> index,
+                  std::vector<float> value);
+
+    /**
+     * Zero-copy fast path: submits a *view* of the caller's feature
+     * buffer with a caller-owned completion slot (no allocation, no
+     * future). Returns false on backpressure reject. The caller must
+     * keep `x` and `slot` alive and unmodified until the slot is ready,
+     * and must have reset() the slot beforehand.
+     */
+    bool submit_dense_view(const float* x, std::size_t n, ReplySlot* slot);
+
+    /// Sparse view fast path; index/value have `nnz` entries.
+    bool submit_sparse_view(const std::uint32_t* index, const float* value,
+                            std::size_t nnz, ReplySlot* slot);
+
+    /**
+     * Vectored fast path: submits up to `count` view requests under one
+     * queue lock and at most one worker wakeup, so pipelined clients pay
+     * the submission synchronization once per burst instead of once per
+     * request. Admits a prefix (bounded by queue capacity), records the
+     * rest as backpressure rejects, and returns the admitted length; the
+     * caller retries or sheds the unadmitted suffix, whose slots remain
+     * untouched.
+     */
+    std::size_t submit_views(const ViewRequest* requests, std::size_t count);
+
+    /**
+     * Stops accepting requests, drains what is queued, and joins the
+     * workers. Idempotent; also called by the destructor.
+     */
+    void stop();
+
+    /// A consistent snapshot of the serving counters.
+    ServeMetrics metrics() const { return collector_.snapshot(); }
+
+    const ServerConfig& config() const { return config_; }
+
+  private:
+    std::optional<std::future<ScoreResult>> submit(Request&& request);
+    void worker_loop();
+
+    const ModelRegistry& registry_;
+    ServerConfig config_;
+    InferenceEngine engine_;
+    RequestQueue queue_;
+    MetricsCollector collector_;
+    WorkerGroup workers_;
+    bool stopped_ = false;
+};
+
+} // namespace buckwild::serve
+
+#endif // BUCKWILD_SERVE_SERVER_H

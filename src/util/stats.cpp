@@ -50,6 +50,23 @@ RunningStats::merge(const RunningStats& other)
 }
 
 double
+percentile_of(std::vector<double> xs, double p)
+{
+    if (xs.empty()) return 0.0;
+    if (p <= 0.0) return *std::min_element(xs.begin(), xs.end());
+    if (p >= 100.0) return *std::max_element(xs.begin(), xs.end());
+    const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(rank);
+    std::nth_element(xs.begin(), xs.begin() + lo, xs.end());
+    const double below = xs[lo];
+    if (lo + 1 == xs.size()) return below;
+    const double above =
+        *std::min_element(xs.begin() + lo + 1, xs.end());
+    const double frac = rank - static_cast<double>(lo);
+    return below + (above - below) * frac;
+}
+
+double
 mean_of(const std::vector<double>& xs)
 {
     if (xs.empty()) return 0.0;

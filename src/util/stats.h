@@ -53,6 +53,14 @@ double stddev_of(const std::vector<double>& xs);
 double geomean_of(const std::vector<double>& xs);
 
 /**
+ * The p-th percentile (p in [0, 100]) of a sample by linear interpolation
+ * between order statistics; 0 for an empty sample. Takes the sample by
+ * value because selection reorders it. Used for serving-latency summaries
+ * (p50/p95/p99).
+ */
+double percentile_of(std::vector<double> xs, double p);
+
+/**
  * A fixed-width histogram over [lo, hi); samples outside are clamped into
  * the first / last bin. Used by the PRNG uniformity tests.
  */

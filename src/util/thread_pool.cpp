@@ -20,4 +20,24 @@ run_parallel(std::size_t threads, const std::function<void(std::size_t)>& fn)
     for (auto& th : pool) th.join();
 }
 
+void
+WorkerGroup::start(std::size_t threads, std::function<void(std::size_t)> fn)
+{
+    if (!threads_.empty())
+        throw std::logic_error("WorkerGroup already running; join() first");
+    if (threads == 0)
+        throw std::invalid_argument("WorkerGroup requires threads >= 1");
+    threads_.reserve(threads);
+    for (std::size_t t = 0; t < threads; ++t)
+        threads_.emplace_back([fn, t] { fn(t); });
+}
+
+void
+WorkerGroup::join()
+{
+    for (auto& th : threads_)
+        if (th.joinable()) th.join();
+    threads_.clear();
+}
+
 } // namespace buckwild

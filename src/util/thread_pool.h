@@ -63,6 +63,37 @@ class SpinBarrier
 void run_parallel(std::size_t threads,
                   const std::function<void(std::size_t)>& fn);
 
+/**
+ * A detachable fork/join group for long-lived workers (the serving loop's
+ * thread primitive, as run_parallel is the training loop's).
+ *
+ * Unlike run_parallel the caller keeps control after start(): the workers
+ * run until their function returns (typically when a request queue is
+ * closed), and join() — or the destructor — reaps them. start() may be
+ * called again after join() to reuse the group.
+ */
+class WorkerGroup
+{
+  public:
+    WorkerGroup() = default;
+    ~WorkerGroup() { join(); }
+
+    WorkerGroup(const WorkerGroup&) = delete;
+    WorkerGroup& operator=(const WorkerGroup&) = delete;
+
+    /// Launches `threads` workers running `fn(worker_index)`.
+    /// @throws std::logic_error if the group is already running.
+    void start(std::size_t threads, std::function<void(std::size_t)> fn);
+
+    /// Joins all workers; idempotent (a no-op when none are running).
+    void join();
+
+    std::size_t size() const { return threads_.size(); }
+
+  private:
+    std::vector<std::thread> threads_;
+};
+
 } // namespace buckwild
 
 #endif // BUCKWILD_UTIL_THREAD_POOL_H

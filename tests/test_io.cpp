@@ -159,6 +159,46 @@ TEST(ModelIo, RejectsMalformedFiles)
                  std::runtime_error);
 }
 
+TEST(ModelIo, RejectsHostileDimLines)
+{
+    const auto model_with_dim = [](const std::string& dim_line) {
+        return "BUCKWILD-MODEL v1\nsignature D8M8\nloss logistic\n" +
+            dim_line + "\n0 0 0 0\n";
+    };
+    {
+        std::istringstream in(model_with_dim("dim -5"));
+        EXPECT_THROW(core::load_model(in), std::runtime_error)
+            << "negative dim";
+    }
+    {
+        // Overflows long long -> failbit -> clean rejection, never a
+        // wrapped-around allocation.
+        std::istringstream in(model_with_dim("dim 99999999999999999999"));
+        EXPECT_THROW(core::load_model(in), std::runtime_error)
+            << "overflowing dim";
+    }
+    {
+        // Parses fine but is past the plausibility bound; must be
+        // rejected before the weight buffer is allocated.
+        std::istringstream in(model_with_dim("dim 4611686018427387904"));
+        EXPECT_THROW(core::load_model(in), std::runtime_error)
+            << "implausibly large dim";
+    }
+    {
+        std::istringstream in(model_with_dim("dim banana"));
+        EXPECT_THROW(core::load_model(in), std::runtime_error)
+            << "non-numeric dim";
+    }
+    {
+        // Garbage where a weight should be is malformed, not silently 0.
+        std::istringstream in(
+            "BUCKWILD-MODEL v1\nsignature D8M8\nloss logistic\ndim 4\n"
+            "0.5 oops 0.25 0\n");
+        EXPECT_THROW(core::load_model(in), std::runtime_error)
+            << "garbage weight token";
+    }
+}
+
 TEST(ModelIo, TrainedModelRoundTripsAndPredicts)
 {
     const auto problem = dataset::generate_logistic_dense(64, 1000, 46);

@@ -122,6 +122,19 @@ TEST(Stats, VectorHelpers)
     EXPECT_THROW(geomean_of({1.0, -1.0}), std::invalid_argument);
 }
 
+TEST(Stats, PercentileInterpolatesAndClamps)
+{
+    const std::vector<double> xs = {10.0, 40.0, 20.0, 30.0};
+    EXPECT_DOUBLE_EQ(percentile_of(xs, 0), 10.0);
+    EXPECT_DOUBLE_EQ(percentile_of(xs, 100), 40.0);
+    EXPECT_DOUBLE_EQ(percentile_of(xs, 50), 25.0);
+    EXPECT_DOUBLE_EQ(percentile_of(xs, 75), 32.5);
+    EXPECT_DOUBLE_EQ(percentile_of(xs, -5), 10.0) << "clamps below";
+    EXPECT_DOUBLE_EQ(percentile_of(xs, 200), 40.0) << "clamps above";
+    EXPECT_DOUBLE_EQ(percentile_of({7.0}, 99), 7.0);
+    EXPECT_DOUBLE_EQ(percentile_of({}, 50), 0.0);
+}
+
 TEST(Histogram, UniformDataHasSmallChiSquared)
 {
     Histogram h(0.0, 1.0, 16);
@@ -213,6 +226,28 @@ TEST(ParallelRunner, SingleThreadRunsInline)
 TEST(ParallelRunner, RejectsZeroThreads)
 {
     EXPECT_THROW(run_parallel(0, [](std::size_t) {}), std::invalid_argument);
+}
+
+TEST(WorkerGroup, RunsAllWorkersAndJoinsIdempotently)
+{
+    WorkerGroup group;
+    std::atomic<unsigned> mask{0};
+    group.start(3, [&mask](std::size_t t) { mask.fetch_or(1u << t); });
+    EXPECT_EQ(group.size(), 3u);
+    EXPECT_THROW(group.start(1, [](std::size_t) {}), std::logic_error)
+        << "already running";
+    group.join();
+    group.join(); // second join is a no-op
+    EXPECT_EQ(mask.load(), 0b111u);
+    group.start(1, [&mask](std::size_t) { mask.fetch_or(1u << 5); });
+    group.join();
+    EXPECT_EQ(mask.load(), 0b100111u) << "restartable after join";
+}
+
+TEST(WorkerGroup, RejectsZeroWorkers)
+{
+    WorkerGroup group;
+    EXPECT_THROW(group.start(0, [](std::size_t) {}), std::invalid_argument);
 }
 
 TEST(SpinBarrier, SynchronizesPhases)

@@ -1,0 +1,385 @@
+/**
+ * @file
+ * buckwild_serve — low-precision inference server with a closed-loop
+ * synthetic load generator.
+ *
+ * Loads a BUCKWILD-MODEL file (written by buckwild_train --save),
+ * re-quantizes it to a serving precision, and drives a closed-loop load
+ * through the micro-batched serving engine, printing a metrics table:
+ *
+ *     buckwild_train --dense 256 4000 --save model.bw
+ *     buckwild_serve --model model.bw --precision Ms8 --batch 1,16
+ *     buckwild_serve --model model.bw --libsvm data.svm --workers 2
+ *
+ * Run with --help for the full flag list.
+ */
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dataset/digits.h"
+#include "dataset/libsvm.h"
+#include "dataset/problem.h"
+#include "serve/serve.h"
+#include "util/stopwatch.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace buckwild;
+
+void
+usage()
+{
+    std::printf(
+        "buckwild_serve — micro-batched low-precision inference serving\n"
+        "\n"
+        "model:\n"
+        "  --model PATH           BUCKWILD-MODEL file (required)\n"
+        "  --precision P          serving precision Ms8 | Ms16 | Ms32f\n"
+        "                         (default: the precision the model was\n"
+        "                         trained at)\n"
+        "\n"
+        "load (default: synthetic dense requests at the model dimension):\n"
+        "  --libsvm PATH          sparse requests from a LIBSVM file\n"
+        "  --digits N             N synthetic digit images (dim must be %zu)\n"
+        "  --requests N           total requests to serve (default 20000)\n"
+        "  --clients C            closed-loop client threads (default 1)\n"
+        "  --window W             in-flight requests per client (default 64;\n"
+        "                         1 = strict request-response)\n"
+        "\n"
+        "serving:\n"
+        "  --workers W            scoring worker threads (default 1)\n"
+        "  --batch B[,B,...]      micro-batch bound sweep (default 1,16)\n"
+        "  --queue N              queue capacity (default 1024)\n"
+        "  --linger US            batch-fill linger in microseconds\n"
+        "                         (default 200; 0 = no linger)\n"
+        "  --impl I               reference | naive | avx2 | avx512\n"
+        "  --seed X               load-generator RNG seed\n"
+        "  --csv                  also print the table as CSV\n",
+        dataset::kDigitPixels);
+}
+
+[[noreturn]] void
+die(const std::string& message)
+{
+    std::fprintf(stderr, "error: %s (try --help)\n", message.c_str());
+    std::exit(1);
+}
+
+struct Options
+{
+    std::string model_path;
+    std::optional<std::string> precision;
+    std::string libsvm_path;
+    std::size_t digit_count = 0;
+    std::size_t requests = 20000;
+    std::size_t clients = 1;
+    std::size_t window = 64;
+    std::size_t workers = 1;
+    std::vector<std::size_t> batches = {1, 16};
+    std::size_t queue_capacity = 1024;
+    std::size_t linger_us = 200;
+    std::optional<simd::Impl> impl;
+    // Matches buckwild_train's default so the synthetic load is drawn
+    // from the same generative model the trained weights fit.
+    std::uint64_t seed = 0x5EED;
+    bool csv = false;
+};
+
+std::vector<std::size_t>
+parse_batch_list(const std::string& text)
+{
+    std::vector<std::size_t> out;
+    std::istringstream in(text);
+    std::string tok;
+    while (std::getline(in, tok, ',')) {
+        const std::size_t b = std::strtoull(tok.c_str(), nullptr, 10);
+        if (b == 0) die("batch sizes must be >= 1: " + text);
+        out.push_back(b);
+    }
+    if (out.empty()) die("empty --batch list");
+    return out;
+}
+
+Options
+parse_args(int argc, char** argv)
+{
+    Options opt;
+    auto need = [&](int& i, const char* flag) -> const char* {
+        if (i + 1 >= argc) die(std::string("missing value for ") + flag);
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--help" || a == "-h") {
+            usage();
+            std::exit(0);
+        } else if (a == "--model") {
+            opt.model_path = need(i, "--model");
+        } else if (a == "--precision") {
+            opt.precision = need(i, "--precision");
+        } else if (a == "--libsvm") {
+            opt.libsvm_path = need(i, "--libsvm");
+        } else if (a == "--digits") {
+            opt.digit_count =
+                std::strtoull(need(i, "--digits"), nullptr, 10);
+        } else if (a == "--requests") {
+            opt.requests =
+                std::strtoull(need(i, "--requests"), nullptr, 10);
+        } else if (a == "--clients") {
+            opt.clients =
+                std::strtoull(need(i, "--clients"), nullptr, 10);
+        } else if (a == "--window") {
+            opt.window =
+                std::strtoull(need(i, "--window"), nullptr, 10);
+        } else if (a == "--workers") {
+            opt.workers =
+                std::strtoull(need(i, "--workers"), nullptr, 10);
+        } else if (a == "--batch") {
+            opt.batches = parse_batch_list(need(i, "--batch"));
+        } else if (a == "--queue") {
+            opt.queue_capacity =
+                std::strtoull(need(i, "--queue"), nullptr, 10);
+        } else if (a == "--linger") {
+            opt.linger_us =
+                std::strtoull(need(i, "--linger"), nullptr, 10);
+        } else if (a == "--impl") {
+            const std::string m = need(i, "--impl");
+            if (m == "reference") opt.impl = simd::Impl::kReference;
+            else if (m == "naive") opt.impl = simd::Impl::kNaive;
+            else if (m == "avx2") opt.impl = simd::Impl::kAvx2;
+            else if (m == "avx512") opt.impl = simd::Impl::kAvx512;
+            else die("unknown impl: " + m);
+        } else if (a == "--seed") {
+            opt.seed = std::strtoull(need(i, "--seed"), nullptr, 10);
+        } else if (a == "--csv") {
+            opt.csv = true;
+        } else {
+            die("unknown flag: " + a);
+        }
+    }
+    if (opt.model_path.empty()) die("no --model given");
+    if (opt.requests == 0 || opt.clients == 0) die("need requests/clients >= 1");
+    return opt;
+}
+
+/// One pre-generated request: dense features or a sparse row, plus the
+/// label the load generator knows (for the accuracy column).
+struct LoadSet
+{
+    bool sparse = false;
+    std::size_t dim = 0;
+    std::vector<std::vector<float>> dense;
+    std::vector<std::vector<std::uint32_t>> index;
+    std::vector<std::vector<float>> value;
+    std::vector<float> labels;
+
+    std::size_t size() const { return labels.size(); }
+};
+
+LoadSet
+build_load(const Options& opt, std::size_t model_dim)
+{
+    LoadSet load;
+    load.dim = model_dim;
+    if (!opt.libsvm_path.empty()) {
+        const auto p =
+            dataset::load_libsvm_file(opt.libsvm_path, model_dim);
+        load.sparse = true;
+        for (std::size_t i = 0; i < p.examples(); ++i) {
+            load.index.push_back(p.rows[i].index);
+            load.value.push_back(p.rows[i].value);
+            load.labels.push_back(p.y[i]);
+        }
+    } else if (opt.digit_count > 0) {
+        if (model_dim != dataset::kDigitPixels)
+            die("--digits needs a model of dimension " +
+                std::to_string(dataset::kDigitPixels));
+        const auto d = dataset::generate_digits(opt.digit_count, opt.seed);
+        for (std::size_t i = 0; i < d.count; ++i) {
+            load.dense.emplace_back(d.image(i),
+                                    d.image(i) + dataset::kDigitPixels);
+            // Binary view of the 10-class task: digit >= 5 is +1.
+            load.labels.push_back(d.labels[i] >= 5 ? 1.0f : -1.0f);
+        }
+    } else {
+        const auto p = dataset::generate_logistic_dense(
+            model_dim, std::min<std::size_t>(opt.requests, 4096), opt.seed);
+        for (std::size_t i = 0; i < p.examples; ++i) {
+            load.dense.emplace_back(p.row(i), p.row(i) + p.dim);
+            load.labels.push_back(p.y[i]);
+        }
+    }
+    if (load.size() == 0) die("empty load set");
+    return load;
+}
+
+struct RunResult
+{
+    serve::ServeMetrics metrics;
+    double wall_seconds = 0.0;
+    double accuracy = 0.0;
+};
+
+/**
+ * Drives `opt.requests` requests through a fresh server in a closed
+ * loop: each client keeps at most `opt.window` requests in flight
+ * through the zero-copy slot path, submitting the free part of its
+ * window as one vectored burst and reaping the oldest slot when the
+ * window fills (window 1 = strict request-response). Backpressure
+ * rejects are retried after a yield and counted by the server's
+ * metrics.
+ */
+RunResult
+run_closed_loop(const Options& opt, const serve::ModelRegistry& registry,
+                const LoadSet& load, std::size_t max_batch)
+{
+    serve::ServerConfig cfg;
+    cfg.workers = opt.workers;
+    cfg.max_batch = max_batch;
+    cfg.queue_capacity = opt.queue_capacity;
+    cfg.linger_us = opt.linger_us;
+    if (opt.impl) cfg.impl = *opt.impl;
+    serve::Server server(registry, cfg);
+
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> correct{0};
+    Stopwatch wall;
+    run_parallel(opt.clients, [&](std::size_t) {
+        const std::size_t window = std::max<std::size_t>(opt.window, 1);
+        std::vector<serve::ReplySlot> slots(window);
+        std::vector<std::size_t> in_flight(window); // load index per slot
+        std::size_t head = 0, tail = 0, local_correct = 0;
+
+        auto reap_oldest = [&] {
+            serve::ReplySlot& slot = slots[tail % window];
+            if (!slot.wait())
+                throw std::runtime_error("request failed: " + slot.error);
+            if (slot.result.label == load.labels[in_flight[tail % window]])
+                ++local_correct;
+            ++tail;
+        };
+
+        std::vector<serve::ViewRequest> burst;
+        burst.reserve(window);
+        for (;;) {
+            // Claim one ticket per free window slot; a final over-claim
+            // past opt.requests just stops the other clients too.
+            const std::size_t want = window - (head - tail);
+            std::size_t got = 0, first = 0;
+            if (want > 0) {
+                first = next.fetch_add(want, std::memory_order_relaxed);
+                if (first < opt.requests)
+                    got = std::min(want, opt.requests - first);
+            }
+            if (got == 0) {
+                if (tail == head) break; // no tickets, nothing in flight
+                reap_oldest();
+                continue;
+            }
+            burst.clear();
+            for (std::size_t k = 0; k < got; ++k) {
+                const std::size_t i = (first + k) % load.size();
+                serve::ReplySlot& slot = slots[(head + k) % window];
+                slot.reset();
+                in_flight[(head + k) % window] = i;
+                serve::ViewRequest view;
+                if (load.sparse) {
+                    view.index = load.index[i].data();
+                    view.value = load.value[i].data();
+                    view.length = load.value[i].size();
+                } else {
+                    view.dense = load.dense[i].data();
+                    view.length = load.dense[i].size();
+                }
+                view.slot = &slot;
+                burst.push_back(view);
+            }
+            std::size_t sent = 0;
+            while (sent < got) {
+                sent += server.submit_views(burst.data() + sent,
+                                            got - sent);
+                if (sent < got) std::this_thread::yield(); // shed + retry
+            }
+            head += got;
+            if (head - tail == window) reap_oldest();
+        }
+        while (tail < head) reap_oldest();
+        correct.fetch_add(local_correct, std::memory_order_relaxed);
+    });
+    RunResult result;
+    result.wall_seconds = wall.seconds();
+    server.stop();
+    result.metrics = server.metrics();
+    result.accuracy = static_cast<double>(correct.load()) /
+        static_cast<double>(opt.requests);
+    return result;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    Options opt;
+    try {
+        opt = parse_args(argc, argv);
+
+        const auto saved = core::load_model_file(opt.model_path);
+        const serve::Precision precision = opt.precision
+            ? serve::parse_precision(*opt.precision)
+            : serve::precision_from_signature(saved.signature);
+
+        serve::ModelRegistry registry;
+        registry.publish(saved, precision);
+        const auto model = registry.current();
+        std::printf("model %s: dim %zu, loss %s, trained %s, serving %s "
+                    "(%zu model bytes/request)\n",
+                    opt.model_path.c_str(), model->dim(),
+                    to_string(model->loss()).c_str(),
+                    model->trained_signature().to_string().c_str(),
+                    to_string(precision).c_str(), model->bytes());
+
+        const LoadSet load = build_load(opt, model->dim());
+        std::printf("load: %zu unique %s requests, %zu total, %zu clients, "
+                    "%zu workers, queue %zu\n",
+                    load.size(), load.sparse ? "sparse" : "dense",
+                    opt.requests, opt.clients, opt.workers,
+                    opt.queue_capacity);
+
+        TablePrinter table(
+            "serving throughput/latency (" + to_string(precision) + ")",
+            {"batch B", "req/s", "p50 us", "p95 us", "p99 us",
+             "mean B", "GNPS", "rejects", "accuracy"});
+        for (const std::size_t b : opt.batches) {
+            const RunResult run =
+                run_closed_loop(opt, registry, load, b);
+            const auto& m = run.metrics;
+            table.add_row(
+                {std::to_string(b),
+                 format_num(static_cast<double>(m.requests) /
+                                run.wall_seconds,
+                            5),
+                 format_num(m.latency_percentile(50) * 1e6, 4),
+                 format_num(m.latency_percentile(95) * 1e6, 4),
+                 format_num(m.latency_percentile(99) * 1e6, 4),
+                 format_num(m.mean_batch_size(), 3),
+                 format_num(m.gnps(), 3), std::to_string(m.rejects),
+                 format_num(run.accuracy, 4)});
+        }
+        table.print(std::cout);
+        if (opt.csv) table.print_csv(std::cout);
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+    return 0;
+}

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Sanitizer gate for the serving subsystem (and everything it leans on):
+#
+#   1. build the whole tree under ASan+UBSan and run the full gtest suite;
+#   2. build under TSan and run test_serve, which exercises the registry
+#      hot-swap, the request queue, and the worker loop concurrently —
+#      the races a serving subsystem could plausibly have.
+#
+# Usage: tools/check.sh [-j N]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs=$(nproc)
+while getopts "j:" opt; do
+  case "$opt" in
+    j) jobs="$OPTARG" ;;
+    *) echo "usage: tools/check.sh [-j N]" >&2; exit 2 ;;
+  esac
+done
+
+echo "== ASan+UBSan: full suite =="
+cmake --preset asan
+cmake --build --preset asan -j "$jobs"
+ctest --preset asan
+
+echo "== TSan: serving concurrency suite =="
+cmake --preset tsan
+cmake --build --preset tsan -j "$jobs" --target test_serve
+ctest --preset tsan -R '^(Serve|Serving|ModelRegistry|InferenceEngine|RequestQueue|Server)'
+
+echo "check.sh: all gates passed"
