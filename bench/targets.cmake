@@ -27,7 +27,8 @@ set(BUCKWILD_BENCHES
   bench_ext_comm_precision
   bench_ext_avx512
   bench_ext_async_staleness
-  bench_serve_throughput)
+  bench_serve_throughput
+  bench_cluster_scaling)
 
 foreach(name IN LISTS BUCKWILD_BENCHES)
   add_executable(${name} bench/${name}.cpp)

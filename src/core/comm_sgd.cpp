@@ -1,54 +1,9 @@
 #include "core/comm_sgd.h"
 
-#include <cmath>
-
+#include "ps/quantize.h"
 #include "util/logging.h"
 
 namespace buckwild::core {
-
-namespace {
-
-/// Quantizes a gradient vector for exchange at `bits` precision and
-/// leaves the quantization error in `residual` (if feedback is on).
-/// Returns the vector actually transmitted.
-std::vector<float>
-quantize_gradient(const std::vector<float>& g, int bits,
-                  std::vector<float>* residual)
-{
-    const std::size_t n = g.size();
-    std::vector<float> q(n);
-    if (bits >= 32) {
-        q = g;
-        if (residual != nullptr)
-            for (auto& r : *residual) r = 0.0f;
-        return q;
-    }
-
-    if (bits == 1) {
-        // Seide-style 1-bit: transmit sign(g) and one shared magnitude
-        // (the mean absolute value); the untransmitted remainder stays in
-        // the residual.
-        double mag = 0.0;
-        for (float v : g) mag += std::fabs(v);
-        const float scale =
-            n > 0 ? static_cast<float>(mag / static_cast<double>(n)) : 0.0f;
-        for (std::size_t k = 0; k < n; ++k)
-            q[k] = g[k] >= 0.0f ? scale : -scale;
-    } else {
-        // k-bit linear quantization with a per-round scale.
-        float maxabs = 0.0f;
-        for (float v : g) maxabs = std::max(maxabs, std::fabs(v));
-        const float levels = static_cast<float>((1 << (bits - 1)) - 1);
-        const float scale = maxabs > 0.0f ? maxabs / levels : 1.0f;
-        for (std::size_t k = 0; k < n; ++k)
-            q[k] = std::nearbyintf(g[k] / scale) * scale;
-    }
-    if (residual != nullptr)
-        for (std::size_t k = 0; k < n; ++k) (*residual)[k] = g[k] - q[k];
-    return q;
-}
-
-} // namespace
 
 CommSgdResult
 train_comm_sgd(const dataset::DenseProblem& problem,
@@ -56,8 +11,12 @@ train_comm_sgd(const dataset::DenseProblem& problem,
 {
     if (cfg.workers == 0) fatal("workers must be >= 1");
     if (cfg.batch_per_worker == 0) fatal("batch_per_worker must be >= 1");
-    if (cfg.comm_bits != 1 && cfg.comm_bits != 8 && cfg.comm_bits != 32)
-        fatal("comm_bits must be 1, 8, or 32");
+    ps::validate_comm_bits(cfg.comm_bits);
+    if (!(cfg.step_size > 0.0f)) fatal("step_size must be positive");
+    if (!(cfg.step_decay > 0.0f)) fatal("step_decay must be positive");
+    if (cfg.workers * cfg.batch_per_worker > problem.examples)
+        fatal("one exchange round needs workers * batch_per_worker <= " +
+              std::to_string(problem.examples) + " examples");
 
     const std::size_t n = problem.dim;
     std::vector<float> model(n, 0.0f);
@@ -116,7 +75,7 @@ train_comm_sgd(const dataset::DenseProblem& problem,
                 if (cfg.error_feedback)
                     for (std::size_t k = 0; k < n; ++k)
                         gradient[k] += residual[w][k];
-                const auto q = quantize_gradient(
+                const auto q = ps::quantize_gradient(
                     gradient, cfg.comm_bits,
                     cfg.error_feedback ? &residual[w] : nullptr);
                 for (std::size_t k = 0; k < n; ++k) reduced[k] += q[k];

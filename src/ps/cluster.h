@@ -1,0 +1,100 @@
+/**
+ * @file
+ * ClusterTrainer — data-parallel SGD over the sharded parameter server.
+ *
+ * W worker threads each own a contiguous slice of the training examples.
+ * A worker's round: pull every shard's slice (assembling its local model
+ * replica), compute a mini-batch gradient, add the carried error-feedback
+ * residual, quantize each shard's slice of it to the communication
+ * precision (Cs32 / Cs8 / Cs1, via ps/quantize), and push the wire
+ * gradients; a push bounced by the staleness gate is retried after a
+ * short backoff. This is the *executed* version of the DMGC C axis that
+ * core/comm_sgd only emulates: real threads, real message traffic, real
+ * asynchrony — with convergence preserved by the same error-feedback
+ * trick (Seide et al.) the emulation validates statistically.
+ *
+ * When a serve::ModelRegistry is supplied, a publisher on the caller's
+ * thread checkpoints the shards every `publish_every` applied worker
+ * rounds (and once at the end) straight into the registry — a serving
+ * cluster hot-swaps onto the training cluster's progress with no file in
+ * between.
+ */
+#ifndef BUCKWILD_PS_CLUSTER_H
+#define BUCKWILD_PS_CLUSTER_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/loss.h"
+#include "core/model_io.h"
+#include "dataset/problem.h"
+#include "ps/server.h"
+#include "serve/model_registry.h"
+#include "serve/precision.h"
+
+namespace buckwild::ps {
+
+/// Configuration of a training cluster run.
+struct ClusterConfig
+{
+    std::size_t workers = 2;
+    std::size_t shards = 2;
+    /// Communication precision in bits per gradient value: 32, 8, or 1.
+    int comm_bits = 32;
+    /// Carry the quantization error forward (essential below 32 bits).
+    bool error_feedback = true;
+    /// Rounds (mini-batch pushes) per worker.
+    std::size_t rounds = 200;
+    /// Examples per mini-batch gradient.
+    std::size_t batch = 16;
+    /// Staleness bound: max rounds a worker may run ahead of the slowest.
+    std::size_t tau = 8;
+    float step_size = 0.25f;
+    core::Loss loss = core::Loss::kLogistic;
+    simd::Impl impl = simd::best_impl();
+    FaultModel faults;
+    /// Publish a checkpoint into the registry every this many applied
+    /// worker rounds (0 = only the final publish). Ignored without a
+    /// registry.
+    std::size_t publish_every = 0;
+    serve::Precision publish_precision = serve::Precision::kFloat32;
+};
+
+/// Outcome of a cluster run: convergence, traffic, and cluster metrics.
+struct ClusterResult
+{
+    /// Communication-precision label, e.g. "Cs1" (matching the emulated
+    /// trainer's signatures).
+    std::string comm;
+    double final_loss = 0.0;
+    double accuracy = 0.0;
+    /// Wire bytes one worker pushes per round (all shard slices).
+    double bytes_per_round = 0.0;
+    /// Worker rounds applied across the cluster.
+    std::uint64_t rounds = 0;
+    double wall_seconds = 0.0;
+    /// The final model with its async-C DMGC provenance — ready for
+    /// core::save_model_file or another registry publish.
+    core::SavedModel checkpoint;
+    /// Shard, fabric, and worker counters.
+    PsMetrics metrics;
+    /// Registry versions published during the run (last one is final).
+    std::vector<std::uint64_t> published_versions;
+};
+
+/**
+ * Trains on `problem` with a freshly started parameter-server cluster
+ * and returns once every worker finished its rounds and the shards
+ * stopped. Publishes into `registry` when non-null.
+ *
+ * @throws std::runtime_error on an invalid configuration.
+ */
+ClusterResult train_cluster(const dataset::DenseProblem& problem,
+                            const ClusterConfig& config,
+                            serve::ModelRegistry* registry = nullptr);
+
+} // namespace buckwild::ps
+
+#endif // BUCKWILD_PS_CLUSTER_H

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Parameter-server metrics — what a training-cluster operator watches.
+ *
+ * Each ServerShard owns a ShardMetrics and mutates it from its own
+ * thread only (no locks on the hot path); the ParameterServer collects
+ * them into a PsMetrics snapshot once the shards have stopped, and adds
+ * the transport's fabric counters plus the workers' compute totals. The
+ * structure mirrors serve::ServeMetrics: plain value types, derived
+ * quantities as methods, a histogram for the distribution that matters —
+ * there it was batch sizes, here it is push staleness.
+ */
+#ifndef BUCKWILD_PS_METRICS_H
+#define BUCKWILD_PS_METRICS_H
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace buckwild::ps {
+
+/// Counters one server shard accumulates while serving its slice.
+struct ShardMetrics
+{
+    std::uint64_t pushes = 0;     ///< gradients applied
+    std::uint64_t duplicates = 0; ///< retransmitted pushes deduplicated
+    std::uint64_t gated = 0;      ///< pushes bounced by the staleness bound
+    std::uint64_t pulls = 0;      ///< slice snapshots served
+    std::uint64_t push_bytes = 0; ///< wire bytes of applied pushes
+    std::uint64_t pull_bytes = 0; ///< wire bytes of served kModel replies
+    double apply_seconds = 0.0;   ///< time inside the update kernel
+    double numbers = 0.0;         ///< gradient numbers applied (GNPS numerator)
+    /// staleness_counts[s] = applied pushes whose worker was s rounds
+    /// ahead of the slowest live worker at apply time.
+    std::vector<std::uint64_t> staleness_counts;
+
+    std::size_t
+    max_staleness() const
+    {
+        for (std::size_t s = staleness_counts.size(); s > 0; --s)
+            if (staleness_counts[s - 1] > 0) return s - 1;
+        return 0;
+    }
+};
+
+/// A consistent snapshot of the whole cluster's counters.
+struct PsMetrics
+{
+    std::vector<ShardMetrics> shards;
+    // Fabric (transport) totals.
+    std::uint64_t messages_sent = 0;
+    std::uint64_t messages_dropped = 0;
+    std::uint64_t wire_bytes_sent = 0;
+    std::uint64_t rpc_retries = 0; ///< worker + control retransmissions
+    // Worker compute totals.
+    double worker_seconds = 0.0; ///< summed worker wall time
+    double numbers = 0.0;        ///< gradient numbers computed
+
+    std::uint64_t
+    total_pushes() const
+    {
+        std::uint64_t total = 0;
+        for (const auto& s : shards) total += s.pushes;
+        return total;
+    }
+
+    std::uint64_t
+    total_push_bytes() const
+    {
+        std::uint64_t total = 0;
+        for (const auto& s : shards) total += s.push_bytes;
+        return total;
+    }
+
+    std::uint64_t
+    total_pull_bytes() const
+    {
+        std::uint64_t total = 0;
+        for (const auto& s : shards) total += s.pull_bytes;
+        return total;
+    }
+
+    std::uint64_t
+    total_gated() const
+    {
+        std::uint64_t total = 0;
+        for (const auto& s : shards) total += s.gated;
+        return total;
+    }
+
+    std::size_t
+    max_staleness() const
+    {
+        std::size_t worst = 0;
+        for (const auto& s : shards)
+            worst = std::max(worst, s.max_staleness());
+        return worst;
+    }
+
+    /// Merged staleness histogram across shards.
+    std::vector<std::uint64_t>
+    staleness_histogram() const
+    {
+        std::vector<std::uint64_t> merged;
+        for (const auto& s : shards) {
+            if (s.staleness_counts.size() > merged.size())
+                merged.resize(s.staleness_counts.size(), 0);
+            for (std::size_t i = 0; i < s.staleness_counts.size(); ++i)
+                merged[i] += s.staleness_counts[i];
+        }
+        return merged;
+    }
+
+    /// Training throughput in giga-numbers-per-second of worker time.
+    double
+    gnps() const
+    {
+        return worker_seconds > 0.0 ? numbers / worker_seconds / 1e9 : 0.0;
+    }
+};
+
+} // namespace buckwild::ps
+
+#endif // BUCKWILD_PS_METRICS_H

@@ -1,0 +1,136 @@
+#include "ps/quantize.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace buckwild::ps {
+
+void
+validate_comm_bits(int bits)
+{
+    if (bits != 1 && bits != 8 && bits != 32)
+        fatal("comm_bits must be 1, 8, or 32");
+}
+
+std::size_t
+payload_bytes(std::size_t count, int bits)
+{
+    validate_comm_bits(bits);
+    if (bits >= 32) return count * sizeof(float);
+    if (bits == 8) return count;
+    return (count + 7) / 8;
+}
+
+namespace {
+
+/**
+ * The shared quantization core: writes the transmitted values into
+ * q[0..n), the error into residual[0..n) (when non-null), and the packed
+ * wire payload into `payload` (when non-null, sized by payload_bytes and
+ * zeroed), exactly as the seed emulation computed them. Packing happens
+ * here — not from the already-rounded q — so the stored Cs8 level is the
+ * very nearbyintf() result whose product with the scale IS q[k], keeping
+ * decode bit-identical. Returns the per-message scale.
+ */
+float
+quantize_into(const float* g, std::size_t n, int bits, float* q,
+              float* residual, std::uint8_t* payload)
+{
+    float scale = 0.0f;
+    if (bits >= 32) {
+        std::copy(g, g + n, q);
+        if (residual != nullptr)
+            for (std::size_t k = 0; k < n; ++k) residual[k] = 0.0f;
+        if (payload != nullptr)
+            std::memcpy(payload, g, n * sizeof(float));
+        return scale;
+    }
+
+    if (bits == 1) {
+        // Seide-style 1-bit: transmit sign(g) and one shared magnitude
+        // (the mean absolute value); the untransmitted remainder stays in
+        // the residual.
+        double mag = 0.0;
+        for (std::size_t k = 0; k < n; ++k) mag += std::fabs(g[k]);
+        scale =
+            n > 0 ? static_cast<float>(mag / static_cast<double>(n)) : 0.0f;
+        for (std::size_t k = 0; k < n; ++k) {
+            const bool negative = !(g[k] >= 0.0f);
+            q[k] = negative ? -scale : scale;
+            if (payload != nullptr && negative)
+                payload[k / 8] |= static_cast<std::uint8_t>(1u << (k % 8));
+        }
+    } else {
+        // k-bit linear quantization with a per-round scale.
+        float maxabs = 0.0f;
+        for (std::size_t k = 0; k < n; ++k)
+            maxabs = std::max(maxabs, std::fabs(g[k]));
+        const float levels = static_cast<float>((1 << (bits - 1)) - 1);
+        scale = maxabs > 0.0f ? maxabs / levels : 1.0f;
+        for (std::size_t k = 0; k < n; ++k) {
+            const float level = std::nearbyintf(g[k] / scale);
+            q[k] = level * scale;
+            if (payload != nullptr)
+                payload[k] = static_cast<std::uint8_t>(
+                    static_cast<std::int8_t>(level));
+        }
+    }
+    if (residual != nullptr)
+        for (std::size_t k = 0; k < n; ++k) residual[k] = g[k] - q[k];
+    return scale;
+}
+
+} // namespace
+
+std::vector<float>
+quantize_gradient(const std::vector<float>& g, int bits,
+                  std::vector<float>* residual)
+{
+    validate_comm_bits(bits);
+    std::vector<float> q(g.size());
+    quantize_into(g.data(), g.size(), bits, q.data(),
+                  residual != nullptr ? residual->data() : nullptr, nullptr);
+    return q;
+}
+
+WireGradient
+encode_gradient(const float* g, std::size_t n, int bits, float* residual)
+{
+    validate_comm_bits(bits);
+    std::vector<float> q(n);
+    WireGradient wire;
+    wire.bits = bits;
+    wire.count = static_cast<std::uint32_t>(n);
+    wire.payload.assign(payload_bytes(n, bits), 0);
+    wire.scale = quantize_into(g, n, bits, q.data(), residual,
+                               wire.payload.data());
+    return wire;
+}
+
+std::vector<float>
+decode_gradient(const WireGradient& wire)
+{
+    validate_comm_bits(wire.bits);
+    const std::size_t n = wire.count;
+    if (wire.payload.size() != payload_bytes(n, wire.bits))
+        fatal("wire gradient payload size does not match its count");
+    std::vector<float> g(n);
+    if (wire.bits >= 32) {
+        std::memcpy(g.data(), wire.payload.data(), n * sizeof(float));
+    } else if (wire.bits == 8) {
+        for (std::size_t k = 0; k < n; ++k)
+            g[k] = static_cast<float>(
+                       static_cast<std::int8_t>(wire.payload[k])) *
+                   wire.scale;
+    } else {
+        for (std::size_t k = 0; k < n; ++k)
+            g[k] = (wire.payload[k / 8] >> (k % 8)) & 1u ? -wire.scale
+                                                         : wire.scale;
+    }
+    return g;
+}
+
+} // namespace buckwild::ps

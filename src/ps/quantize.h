@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Communication-precision gradient quantizers — the shared C-term codec.
+ *
+ * Both executions of the DMGC C axis use the same quantization math:
+ *
+ *  - the deterministic single-thread *emulation* in core/comm_sgd (the
+ *    statistical-efficiency harness), via quantize_gradient(); and
+ *  - the real sharded parameter server in src/ps, via the wire codec
+ *    encode_gradient() / decode_gradient(), which actually packs the
+ *    quantized values into the bytes a network would carry.
+ *
+ * Three communication precisions, per the paper's Table 1 classification:
+ *
+ *  - Cs32: full-precision float exchange (classic data-parallel SGD);
+ *  - Cs8: linear 8-bit quantization with a per-message scale (QSGD-style
+ *    [Alistarh et al.]);
+ *  - Cs1: Seide-style 1-bit sign exchange — one shared magnitude (the
+ *    mean |g|) plus one sign bit per coordinate.
+ *
+ * At 8 and 1 bits the *error feedback* residual is what preserves
+ * convergence: the untransmitted remainder g - q is carried forward in
+ * full precision and added to the next round's gradient. Both quantizers
+ * maintain the invariant  q[k] + r[k] == g[k]  (exactly as float
+ * arithmetic allows), and decode(encode(g)) is bit-identical to
+ * quantize_gradient(g) — asserted by tests/test_ps.cpp.
+ */
+#ifndef BUCKWILD_PS_QUANTIZE_H
+#define BUCKWILD_PS_QUANTIZE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace buckwild::ps {
+
+/// @throws std::runtime_error unless bits is 1, 8, or 32.
+void validate_comm_bits(int bits);
+
+/// Fixed per-message wire overhead: message kind/bits tags, sender,
+/// worker clock, element count, and the quantization scale.
+inline constexpr std::size_t kWireHeaderBytes = 16;
+
+/// Payload bytes for `count` gradient values at `bits` precision:
+/// 4*count (Cs32), count (Cs8), or ceil(count/8) sign bits (Cs1).
+std::size_t payload_bytes(std::size_t count, int bits);
+
+/**
+ * Quantizes a gradient vector for exchange at `bits` precision and
+ * leaves the quantization error in `residual` (if error feedback is on).
+ * Returns the vector actually transmitted. This is the seed emulation's
+ * quantizer, extracted verbatim: core/comm_sgd's loss traces are
+ * bit-identical to its pre-extraction behaviour.
+ *
+ * @param residual  same length as `g`, or nullptr to discard the error.
+ */
+std::vector<float> quantize_gradient(const std::vector<float>& g, int bits,
+                                     std::vector<float>* residual);
+
+/// A quantized gradient as it travels: the packed payload plus the
+/// per-message scale needed to decode it.
+struct WireGradient
+{
+    int bits = 32;
+    std::uint32_t count = 0;
+    /// Per-message scale: the 1-bit magnitude or the 8-bit quantum
+    /// (unused at 32 bits).
+    float scale = 0.0f;
+    /// Packed values: raw floats (Cs32), int8 levels (Cs8), or sign bits
+    /// (Cs1, bit set = negative, 8 coordinates per byte).
+    std::vector<std::uint8_t> payload;
+
+    /// Bytes this message occupies on the wire (header + payload).
+    std::size_t wire_bytes() const
+    {
+        return kWireHeaderBytes + payload.size();
+    }
+};
+
+/**
+ * Quantizes and packs `g[0..n)` for transmission; the quantization error
+ * is left in `residual[0..n)` when non-null (error feedback). The decoded
+ * values are bit-identical to quantize_gradient() on the same input.
+ */
+WireGradient encode_gradient(const float* g, std::size_t n, int bits,
+                             float* residual);
+
+/// Unpacks a wire gradient back into dequantized float values.
+std::vector<float> decode_gradient(const WireGradient& wire);
+
+} // namespace buckwild::ps
+
+#endif // BUCKWILD_PS_QUANTIZE_H

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * ParameterServer — S range-partitioned shards behind one Transport.
+ *
+ * Endpoint layout: shards own endpoints [0, S), workers reply-receive at
+ * [S, S+W), and one control endpoint S+W serves the snapshot/publish
+ * path. start() launches one thread per shard (util::WorkerGroup);
+ * stop() closes the transport, which drains and joins them.
+ *
+ * snapshot() assembles the full model by pulling every shard over the
+ * same message path the workers use — so a checkpoint taken mid-training
+ * observes each shard atomically (a shard answers a pull between
+ * pushes, never inside one) though shards may sit at different versions,
+ * exactly like any other asynchronous reader.
+ *
+ * publish() closes the train-to-serve loop: checkpoint the shards,
+ * re-quantize to a serving precision, and hot-swap the result into a
+ * serve::ModelRegistry — a serving cluster scoring from that registry
+ * picks up the training cluster's progress on its next batch, with no
+ * file in between.
+ */
+#ifndef BUCKWILD_PS_SERVER_H
+#define BUCKWILD_PS_SERVER_H
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "core/loss.h"
+#include "core/model_io.h"
+#include "ps/metrics.h"
+#include "ps/shard.h"
+#include "ps/transport.h"
+#include "serve/model_registry.h"
+#include "serve/precision.h"
+#include "util/thread_pool.h"
+
+namespace buckwild::ps {
+
+/// Cluster-wide parameter-server knobs.
+struct PsConfig
+{
+    std::size_t shards = 2;
+    std::size_t workers = 1; ///< worker endpoints / clock-table size
+    std::size_t tau = 16;    ///< staleness bound (rounds)
+    float step_size = 0.25f;
+    std::size_t batch = 16; ///< examples per pushed gradient
+    int comm_bits = 32;     ///< Cs32 / Cs8 / Cs1 wire precision
+    core::Loss loss = core::Loss::kLogistic;
+    simd::Impl impl = simd::best_impl();
+    FaultModel faults;
+};
+
+class ParameterServer
+{
+  public:
+    /// Partitions a dim-coordinate model across config.shards shards.
+    /// @throws std::runtime_error on an invalid configuration.
+    ParameterServer(std::size_t dim, const PsConfig& config);
+    ~ParameterServer();
+
+    ParameterServer(const ParameterServer&) = delete;
+    ParameterServer& operator=(const ParameterServer&) = delete;
+
+    void start();
+    /// Closes the transport and joins the shard threads. Idempotent.
+    void stop();
+
+    std::size_t dim() const { return dim_; }
+    std::size_t shards() const { return shards_.size(); }
+    const PsConfig& config() const { return config_; }
+    Transport& transport() { return transport_; }
+
+    std::size_t shard_begin(std::size_t s) const;
+    std::size_t shard_end(std::size_t s) const;
+    /// Endpoint of worker w's reply mailbox.
+    std::size_t worker_endpoint(std::size_t w) const;
+
+    /// Total applied pushes across shards (any thread, any time).
+    std::uint64_t version() const;
+
+    /// Assembles the full model by pulling every shard; safe while
+    /// training is running (serialized on the control endpoint).
+    std::vector<float> snapshot();
+
+    /// snapshot() wrapped in provenance: the async-C DMGC signature at
+    /// the configured wire precision plus the training loss.
+    core::SavedModel checkpoint();
+
+    /// checkpoint() published into `registry` at `precision`; returns
+    /// the registry version — the train-to-serve hot-swap.
+    std::uint64_t publish(serve::ModelRegistry& registry,
+                          serve::Precision precision);
+
+    /// Shard + fabric counters. Shard entries are only filled in once
+    /// stop() has run (they are owned by the shard threads until then).
+    PsMetrics metrics() const;
+
+  private:
+    const std::size_t dim_;
+    const PsConfig config_;
+    Transport transport_;
+    std::vector<std::unique_ptr<ServerShard>> shards_;
+    WorkerGroup threads_;
+    mutable std::mutex control_mutex_; ///< serializes snapshot()/publish()
+    std::uint64_t control_retries_ = 0; ///< guarded by control_mutex_
+    bool running_ = false;
+    bool stopped_ = false;
+};
+
+} // namespace buckwild::ps
+
+#endif // BUCKWILD_PS_SERVER_H

@@ -1,0 +1,142 @@
+#include "ps/shard.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace buckwild::ps {
+
+ServerShard::ServerShard(std::size_t index, std::size_t begin,
+                         std::size_t end, const ShardConfig& config,
+                         Transport& transport)
+    : index_(index), begin_(begin), end_(end), config_(config),
+      transport_(transport), weights_(end - begin, 0.0f),
+      clocks_(config.workers, 0), retired_(config.workers, false)
+{
+    if (end <= begin) fatal("shard range must be non-empty");
+    if (config.workers == 0) fatal("shard needs at least one worker");
+    if (!(config.step_size > 0.0f)) fatal("step_size must be positive");
+    if (config.batch == 0) fatal("batch must be >= 1");
+}
+
+void
+ServerShard::run()
+{
+    Message message;
+    for (;;) {
+        if (!transport_.recv(index_, message,
+                             std::chrono::microseconds(1000))) {
+            // recv fails on an idle timeout or once closed-and-drained;
+            // a closed mailbox returns its backlog before failing.
+            if (transport_.closed()) break;
+            continue;
+        }
+        switch (message.kind) {
+          case Message::Kind::kPush: handle_push(std::move(message)); break;
+          case Message::Kind::kPull: handle_pull(std::move(message)); break;
+          case Message::Kind::kRetire:
+            handle_retire(std::move(message));
+            break;
+          default: panic("shard received a reply-kind message");
+        }
+    }
+}
+
+std::uint64_t
+ServerShard::min_live_clock() const
+{
+    std::uint64_t lowest = std::numeric_limits<std::uint64_t>::max();
+    for (std::size_t w = 0; w < clocks_.size(); ++w)
+        if (!retired_[w]) lowest = std::min(lowest, clocks_[w]);
+    return lowest == std::numeric_limits<std::uint64_t>::max() ? 0 : lowest;
+}
+
+void
+ServerShard::handle_push(Message&& push)
+{
+    if (push.worker >= clocks_.size()) panic("push from unknown worker");
+    Message ack;
+    ack.kind = Message::Kind::kAck;
+    ack.token = push.token;
+    ack.worker = push.worker;
+
+    // Exactly-once over a lossy fabric: a retransmission of an
+    // already-applied push (its ack was dropped) is acked, not re-applied.
+    if (push.clock <= clocks_[push.worker]) {
+        ++metrics_.duplicates;
+        ack.accepted = true;
+        ack.version = version_.load(std::memory_order_relaxed);
+        transport_.send(push.sender, std::move(ack));
+        return;
+    }
+
+    // The SSP gate: admitting this push would put the worker
+    // `lead` rounds ahead of the slowest live worker.
+    const std::uint64_t lead = clocks_[push.worker] - min_live_clock();
+    if (lead > config_.tau) {
+        ++metrics_.gated;
+        ack.accepted = false;
+        ack.version = version_.load(std::memory_order_relaxed);
+        transport_.send(push.sender, std::move(ack));
+        return;
+    }
+
+    if (push.gradient.count != size())
+        panic("push gradient does not match the shard slice");
+    const std::vector<float> gradient = decode_gradient(push.gradient);
+
+    // Apply through the same float AXPY kernel the Hogwild! trainer
+    // uses: w -= (eta / batch) * g.
+    Stopwatch apply;
+    const float c = -config_.step_size / static_cast<float>(config_.batch);
+    simd::DenseOps<float, float>::axpy(config_.impl, weights_.data(),
+                                       gradient.data(), size(), c, 1.0f,
+                                       1.0f, simd::biased_unit());
+    metrics_.apply_seconds += apply.seconds();
+
+    clocks_[push.worker] = push.clock;
+    ++metrics_.pushes;
+    metrics_.push_bytes += push.gradient.wire_bytes();
+    metrics_.numbers += static_cast<double>(size());
+    if (metrics_.staleness_counts.size() <= lead)
+        metrics_.staleness_counts.resize(lead + 1, 0);
+    ++metrics_.staleness_counts[lead];
+    const std::uint64_t version =
+        version_.fetch_add(1, std::memory_order_acq_rel) + 1;
+
+    ack.accepted = true;
+    ack.version = version;
+    transport_.send(push.sender, std::move(ack));
+}
+
+void
+ServerShard::handle_pull(Message&& pull)
+{
+    Message reply;
+    reply.kind = Message::Kind::kModel;
+    reply.token = pull.token;
+    reply.worker = pull.worker;
+    reply.version = version_.load(std::memory_order_relaxed);
+    reply.weights = weights_;
+    ++metrics_.pulls;
+    metrics_.pull_bytes += reply.wire_bytes();
+    transport_.send(pull.sender, std::move(reply));
+}
+
+void
+ServerShard::handle_retire(Message&& retire)
+{
+    if (retire.worker >= retired_.size()) panic("retire of unknown worker");
+    retired_[retire.worker] = true;
+    Message ack;
+    ack.kind = Message::Kind::kAck;
+    ack.token = retire.token;
+    ack.worker = retire.worker;
+    ack.accepted = true;
+    ack.version = version_.load(std::memory_order_relaxed);
+    transport_.send(retire.sender, std::move(ack));
+}
+
+} // namespace buckwild::ps

@@ -1,0 +1,160 @@
+#include "ps/transport.h"
+
+#include <thread>
+
+#include "util/logging.h"
+
+namespace buckwild::ps {
+
+// --------------------------------------------------------------- Mailbox
+
+void
+Mailbox::push(Message&& message)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (closed_) return; // late delivery after shutdown: drop
+        items_.push_back(std::move(message));
+    }
+    not_empty_.notify_one();
+}
+
+bool
+Mailbox::pop(Message& out, std::chrono::microseconds timeout)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (!not_empty_.wait_for(lock, timeout,
+                             [&] { return !items_.empty() || closed_; }))
+        return false;
+    if (items_.empty()) return false; // closed and drained
+    std::size_t pick = 0;
+    if (reorder_window_ > 1 && items_.size() > 1) {
+        const std::size_t window =
+            std::min(reorder_window_, items_.size());
+        pick = static_cast<std::size_t>(rng_() % window);
+    }
+    out = std::move(items_[pick]);
+    items_.erase(items_.begin() + static_cast<std::ptrdiff_t>(pick));
+    return true;
+}
+
+void
+Mailbox::close()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        closed_ = true;
+    }
+    not_empty_.notify_all();
+}
+
+std::size_t
+Mailbox::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+}
+
+// ------------------------------------------------------------- Transport
+
+Transport::Transport(std::size_t endpoints, FaultModel faults)
+    : faults_(faults), fault_rng_(faults.seed)
+{
+    if (endpoints == 0) fatal("transport needs at least one endpoint");
+    if (faults_.drop_prob < 0.0 || faults_.drop_prob >= 1.0)
+        fatal("drop_prob must be in [0, 1)");
+    mailboxes_.reserve(endpoints);
+    std::uint64_t seed = faults.seed;
+    for (std::size_t e = 0; e < endpoints; ++e)
+        mailboxes_.push_back(std::make_unique<Mailbox>(
+            faults.reorder_window, rng::splitmix64(seed)));
+}
+
+void
+Transport::send(std::size_t to, Message&& message)
+{
+    if (to >= mailboxes_.size()) panic("send to unknown endpoint");
+    sent_.fetch_add(1, std::memory_order_relaxed);
+    sent_bytes_.fetch_add(message.wire_bytes(), std::memory_order_relaxed);
+    if (faults_.any()) {
+        std::size_t delay_us = 0;
+        bool drop = false;
+        {
+            std::lock_guard<std::mutex> lock(fault_mutex_);
+            if (faults_.drop_prob > 0.0) {
+                const double u =
+                    static_cast<double>(fault_rng_() >> 11) * 0x1.0p-53;
+                drop = u < faults_.drop_prob;
+            }
+            if (!drop && faults_.jitter_us > 0)
+                delay_us = static_cast<std::size_t>(
+                    fault_rng_() % (faults_.jitter_us + 1));
+        }
+        if (drop) {
+            dropped_.fetch_add(1, std::memory_order_relaxed);
+            return;
+        }
+        if (delay_us > 0)
+            std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
+    }
+    mailboxes_[to]->push(std::move(message));
+}
+
+bool
+Transport::recv(std::size_t at, Message& out,
+                std::chrono::microseconds timeout)
+{
+    if (at >= mailboxes_.size()) panic("recv at unknown endpoint");
+    return mailboxes_[at]->pop(out, timeout);
+}
+
+void
+Transport::close()
+{
+    closed_.store(true, std::memory_order_release);
+    for (auto& mailbox : mailboxes_) mailbox->close();
+}
+
+// ------------------------------------------------------------- RpcClient
+
+Message
+RpcClient::call(std::size_t to, Message request)
+{
+    request.sender = static_cast<std::uint32_t>(self_);
+    request.token = next_token_++;
+
+    // The per-attempt reply timeout must comfortably exceed the injected
+    // jitter (both directions), or healthy-but-slow messages would be
+    // retransmitted forever.
+    const auto base = std::chrono::microseconds(
+        std::max<std::size_t>(200, 8 * transport_.faults().jitter_us));
+    constexpr int kMaxAttempts = 400;
+
+    for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+        if (attempt > 0) ++retries_;
+        Message copy = request;
+        transport_.send(to, std::move(copy));
+
+        const auto deadline = std::chrono::steady_clock::now() +
+            base * (attempt < 8 ? (1 << attempt) : 256);
+        for (;;) {
+            const auto now = std::chrono::steady_clock::now();
+            if (now >= deadline) break; // retransmit
+            Message reply;
+            if (!transport_.recv(
+                    self_, reply,
+                    std::chrono::duration_cast<std::chrono::microseconds>(
+                        deadline - now))) {
+                if (transport_.closed())
+                    fatal("rpc: transport closed mid-call");
+                break; // timeout: retransmit
+            }
+            if (reply.token == request.token) return reply;
+            // Stale duplicate from an earlier retransmission: discard.
+        }
+    }
+    fatal("rpc: no reply after " + std::to_string(kMaxAttempts) +
+          " attempts (drop_prob too high or peer gone)");
+}
+
+} // namespace buckwild::ps

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * In-process message transport between workers and parameter-server
+ * shards, with an injectable fault model.
+ *
+ * Every endpoint (shard, worker, control) owns a Mailbox; send() never
+ * blocks the receiver's processing and recv() blocks with a timeout.
+ * The point of routing all shard traffic through messages — rather than
+ * calling shard methods directly — is that the communication layer
+ * becomes a testable component: the FaultModel can delay (latency
+ * jitter), reorder (bounded out-of-order delivery), or drop messages,
+ * and the training protocol on top must still converge.
+ *
+ * Reliability is the *protocol's* job, exactly as on a real network:
+ * RpcClient implements request/reply with timeout-and-retransmit
+ * (drop-with-retry) and token matching, and the shard side deduplicates
+ * retransmitted pushes by worker clock, so an applied-but-unacked push
+ * is never applied twice.
+ */
+#ifndef BUCKWILD_PS_TRANSPORT_H
+#define BUCKWILD_PS_TRANSPORT_H
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "ps/quantize.h"
+#include "rng/xorshift.h"
+
+namespace buckwild::ps {
+
+/// Communication faults injected by the transport, seeded for
+/// reproducibility.
+struct FaultModel
+{
+    /// Probability a send is silently dropped (sender learns nothing —
+    /// recovery is the RPC layer's timeout-and-retransmit).
+    double drop_prob = 0.0;
+    /// Max extra delivery latency in microseconds, uniform per message.
+    std::size_t jitter_us = 0;
+    /// Delivery window: a recv may return any of the first `window`
+    /// queued messages (1 = strict FIFO).
+    std::size_t reorder_window = 1;
+    std::uint64_t seed = 0xFA17;
+
+    bool any() const
+    {
+        return drop_prob > 0.0 || jitter_us > 0 || reorder_window > 1;
+    }
+};
+
+/// One message between a worker and a shard.
+struct Message
+{
+    enum class Kind {
+        kPush,   ///< worker -> shard: quantized gradient for the shard's slice
+        kAck,    ///< shard -> worker: push outcome (accepted / staleness-gated)
+        kPull,   ///< worker -> shard: request the current slice
+        kModel,  ///< shard -> worker: slice weights + version
+        kRetire, ///< worker -> shard: done pushing; drop me from the SSP gate
+    };
+
+    Kind kind = Kind::kPush;
+    std::uint32_t sender = 0;  ///< endpoint to reply to
+    std::uint64_t token = 0;   ///< request/reply correlation (RpcClient)
+    std::uint32_t worker = 0;  ///< logical worker id (clock owner)
+    std::uint64_t clock = 0;   ///< worker's round counter (kPush: 1-based)
+    std::uint64_t version = 0; ///< shard version (kAck / kModel)
+    bool accepted = true;      ///< kAck: false = gated, retry after backoff
+    WireGradient gradient;     ///< kPush payload
+    std::vector<float> weights; ///< kModel payload
+
+    /// Bytes this message would occupy on a real wire.
+    std::size_t wire_bytes() const
+    {
+        if (kind == Kind::kPush) return gradient.wire_bytes();
+        if (kind == Kind::kModel)
+            return kWireHeaderBytes + weights.size() * sizeof(float);
+        return kWireHeaderBytes;
+    }
+};
+
+/// A closable MPMC mailbox with optional bounded-reorder delivery.
+class Mailbox
+{
+  public:
+    explicit Mailbox(std::size_t reorder_window, std::uint64_t seed)
+        : reorder_window_(reorder_window == 0 ? 1 : reorder_window),
+          rng_(seed)
+    {}
+
+    void push(Message&& message);
+
+    /// Pops one message (any of the first reorder_window, under faults).
+    /// Returns false on timeout, or when closed and drained.
+    bool pop(Message& out, std::chrono::microseconds timeout);
+
+    void close();
+    std::size_t size() const;
+
+  private:
+    const std::size_t reorder_window_;
+    mutable std::mutex mutex_;
+    std::condition_variable not_empty_;
+    std::deque<Message> items_;
+    rng::Xorshift128Plus rng_; ///< reorder choice; guarded by mutex_
+    bool closed_ = false;
+};
+
+/// The endpoint-indexed fabric: shards at [0, shards), workers and
+/// control after them (the ParameterServer defines the layout).
+class Transport
+{
+  public:
+    Transport(std::size_t endpoints, FaultModel faults = {});
+
+    std::size_t endpoints() const { return mailboxes_.size(); }
+    const FaultModel& faults() const { return faults_; }
+
+    /**
+     * Delivers `message` to endpoint `to` — unless the fault model drops
+     * it (the sender cannot tell; counted in dropped()). Latency jitter
+     * is served on the sender's clock before delivery.
+     */
+    void send(std::size_t to, Message&& message);
+
+    /// Receives at endpoint `at`. False on timeout or closed-and-drained.
+    bool recv(std::size_t at, Message& out,
+              std::chrono::microseconds timeout);
+
+    /// Closes every mailbox: receivers drain, then see closed.
+    void close();
+    bool closed() const { return closed_.load(std::memory_order_acquire); }
+
+    // Fabric counters (messages and wire bytes attempted / lost).
+    std::uint64_t sent() const { return sent_.load(); }
+    std::uint64_t dropped() const { return dropped_.load(); }
+    std::uint64_t sent_bytes() const { return sent_bytes_.load(); }
+
+  private:
+    FaultModel faults_;
+    std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+    std::mutex fault_mutex_; ///< guards fault_rng_
+    rng::Xorshift128Plus fault_rng_;
+    std::atomic<bool> closed_{false};
+    std::atomic<std::uint64_t> sent_{0};
+    std::atomic<std::uint64_t> dropped_{0};
+    std::atomic<std::uint64_t> sent_bytes_{0};
+};
+
+/**
+ * Request/reply over the unreliable fabric: sends, waits for the reply
+ * carrying the request's token, and retransmits on timeout with capped
+ * exponential backoff. One client per thread (it owns its endpoint's
+ * recv side while a call is in flight).
+ */
+class RpcClient
+{
+  public:
+    RpcClient(Transport& transport, std::size_t self)
+        : transport_(transport), self_(self)
+    {}
+
+    /**
+     * Issues `request` to endpoint `to` and returns the matching reply.
+     * Stale replies (retransmission duplicates, reordered leftovers) are
+     * discarded by token.
+     * @throws std::runtime_error when the transport closes mid-call or
+     *         the retransmission cap is exhausted.
+     */
+    Message call(std::size_t to, Message request);
+
+    /// Retransmissions performed so far (drop-with-retry at work).
+    std::uint64_t retries() const { return retries_; }
+
+  private:
+    Transport& transport_;
+    std::size_t self_;
+    std::uint64_t next_token_ = 1;
+    std::uint64_t retries_ = 0;
+};
+
+} // namespace buckwild::ps
+
+#endif // BUCKWILD_PS_TRANSPORT_H

@@ -104,6 +104,20 @@ TEST(CommSgd, RejectsBadConfig)
     cfg = base();
     cfg.batch_per_worker = 0;
     EXPECT_THROW(train_comm_sgd(problem(), cfg), std::runtime_error);
+    cfg = base();
+    cfg.step_size = 0.0f;
+    EXPECT_THROW(train_comm_sgd(problem(), cfg), std::runtime_error);
+    cfg = base();
+    cfg.step_size = -0.1f;
+    EXPECT_THROW(train_comm_sgd(problem(), cfg), std::runtime_error);
+    cfg = base();
+    cfg.step_decay = 0.0f;
+    EXPECT_THROW(train_comm_sgd(problem(), cfg), std::runtime_error);
+    cfg = base();
+    // One exchange round must fit in the dataset.
+    cfg.workers = 1024;
+    cfg.batch_per_worker = 1024;
+    EXPECT_THROW(train_comm_sgd(problem(), cfg), std::runtime_error);
 }
 
 } // namespace

@@ -1,0 +1,277 @@
+/**
+ * @file
+ * buckwild_cluster — sharded parameter-server training with quantized
+ * push/pull, bounded staleness, and fault injection.
+ *
+ * Trains a synthetic dense logistic problem on W worker threads pushing
+ * quantized gradients into S model shards, sweeping the communication
+ * precision, and prints a per-precision table of convergence, wire
+ * traffic, and cluster health:
+ *
+ *     buckwild_cluster --workers 4 --shards 2 --bits 32,8,1
+ *     buckwild_cluster --bits 1 --drop 0.02 --jitter-us 50 --reorder 4
+ *     buckwild_cluster --bits 8 --publish-every 100 --save model.bw
+ *
+ * --publish-every checkpoints the shards straight into a
+ * serve::ModelRegistry mid-run (the train-to-serve hot-swap path); the
+ * final model is always published, and --save also writes it as a
+ * BUCKWILD-MODEL file that buckwild_serve can load.
+ *
+ * Run with --help for the full flag list.
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "dataset/problem.h"
+#include "ps/ps.h"
+#include "serve/serve.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace buckwild;
+
+void
+usage()
+{
+    std::printf(
+        "buckwild_cluster — sharded parameter-server training\n"
+        "\n"
+        "problem:\n"
+        "  --dense DIM EXAMPLES   synthetic dense logistic problem\n"
+        "                         (default 256 4096)\n"
+        "  --loss L               logistic | squared | hinge\n"
+        "  --seed X               problem RNG seed (default 0x5EED)\n"
+        "\n"
+        "cluster:\n"
+        "  --workers W            worker threads (default 4)\n"
+        "  --shards S             model shards (default 2)\n"
+        "  --bits B[,B,...]       comm precision sweep: 32 | 8 | 1\n"
+        "                         (default 32,8,1)\n"
+        "  --tau T                staleness bound in rounds (default 8)\n"
+        "  --rounds N             rounds per worker (default 400)\n"
+        "  --batch B              examples per worker round (default 16)\n"
+        "  --step S               step size (default 0.25)\n"
+        "  --no-feedback          disable error feedback (shows why Cs1\n"
+        "                         needs it)\n"
+        "  --impl I               reference | naive | avx2 | avx512\n"
+        "\n"
+        "fault injection (the transport's FaultModel):\n"
+        "  --drop P               message drop probability (default 0)\n"
+        "  --jitter-us N          max delivery jitter in us (default 0)\n"
+        "  --reorder W            delivery reorder window (default 1 = FIFO)\n"
+        "\n"
+        "publish / save:\n"
+        "  --publish-every N      registry checkpoint every N applied\n"
+        "                         worker rounds (0 = final only)\n"
+        "  --precision P          registry precision Ms8 | Ms16 | Ms32f\n"
+        "                         (default Ms32f)\n"
+        "  --save PATH            write the last run's final model\n"
+        "  --csv                  also print the table as CSV\n");
+}
+
+[[noreturn]] void
+die(const std::string& message)
+{
+    std::fprintf(stderr, "error: %s (try --help)\n", message.c_str());
+    std::exit(1);
+}
+
+struct Options
+{
+    std::size_t dim = 256;
+    std::size_t examples = 4096;
+    core::Loss loss = core::Loss::kLogistic;
+    std::uint64_t seed = 0x5EED;
+    ps::ClusterConfig cluster;
+    std::vector<int> bits = {32, 8, 1};
+    std::size_t publish_every = 0;
+    std::string precision = "Ms32f";
+    std::string save_path;
+    bool csv = false;
+};
+
+std::vector<int>
+parse_bits_list(const std::string& text)
+{
+    std::vector<int> out;
+    std::istringstream in(text);
+    std::string tok;
+    while (std::getline(in, tok, ','))
+        out.push_back(static_cast<int>(std::strtol(tok.c_str(), nullptr, 10)));
+    if (out.empty()) die("empty --bits list");
+    return out;
+}
+
+Options
+parse_args(int argc, char** argv)
+{
+    Options opt;
+    opt.cluster.workers = 4;
+    opt.cluster.shards = 2;
+    opt.cluster.tau = 8;
+    opt.cluster.rounds = 400;
+    opt.cluster.batch = 16;
+    opt.cluster.step_size = 0.25f;
+    auto need = [&](int& i, const char* flag) -> const char* {
+        if (i + 1 >= argc) die(std::string("missing value for ") + flag);
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--help" || a == "-h") {
+            usage();
+            std::exit(0);
+        } else if (a == "--dense") {
+            opt.dim = std::strtoull(need(i, "--dense"), nullptr, 10);
+            opt.examples = std::strtoull(need(i, "--dense"), nullptr, 10);
+        } else if (a == "--loss") {
+            const std::string l = need(i, "--loss");
+            if (l == "logistic") opt.loss = core::Loss::kLogistic;
+            else if (l == "squared") opt.loss = core::Loss::kSquared;
+            else if (l == "hinge") opt.loss = core::Loss::kHinge;
+            else die("unknown loss: " + l);
+        } else if (a == "--seed") {
+            opt.seed = std::strtoull(need(i, "--seed"), nullptr, 10);
+        } else if (a == "--workers") {
+            opt.cluster.workers =
+                std::strtoull(need(i, "--workers"), nullptr, 10);
+        } else if (a == "--shards") {
+            opt.cluster.shards =
+                std::strtoull(need(i, "--shards"), nullptr, 10);
+        } else if (a == "--bits") {
+            opt.bits = parse_bits_list(need(i, "--bits"));
+        } else if (a == "--tau") {
+            opt.cluster.tau = std::strtoull(need(i, "--tau"), nullptr, 10);
+        } else if (a == "--rounds") {
+            opt.cluster.rounds =
+                std::strtoull(need(i, "--rounds"), nullptr, 10);
+        } else if (a == "--batch") {
+            opt.cluster.batch =
+                std::strtoull(need(i, "--batch"), nullptr, 10);
+        } else if (a == "--step") {
+            opt.cluster.step_size =
+                std::strtof(need(i, "--step"), nullptr);
+        } else if (a == "--no-feedback") {
+            opt.cluster.error_feedback = false;
+        } else if (a == "--impl") {
+            const std::string m = need(i, "--impl");
+            if (m == "reference") opt.cluster.impl = simd::Impl::kReference;
+            else if (m == "naive") opt.cluster.impl = simd::Impl::kNaive;
+            else if (m == "avx2") opt.cluster.impl = simd::Impl::kAvx2;
+            else if (m == "avx512") opt.cluster.impl = simd::Impl::kAvx512;
+            else die("unknown impl: " + m);
+        } else if (a == "--drop") {
+            opt.cluster.faults.drop_prob =
+                std::strtod(need(i, "--drop"), nullptr);
+        } else if (a == "--jitter-us") {
+            opt.cluster.faults.jitter_us =
+                std::strtoull(need(i, "--jitter-us"), nullptr, 10);
+        } else if (a == "--reorder") {
+            opt.cluster.faults.reorder_window =
+                std::strtoull(need(i, "--reorder"), nullptr, 10);
+        } else if (a == "--publish-every") {
+            opt.publish_every =
+                std::strtoull(need(i, "--publish-every"), nullptr, 10);
+        } else if (a == "--precision") {
+            opt.precision = need(i, "--precision");
+        } else if (a == "--save") {
+            opt.save_path = need(i, "--save");
+        } else if (a == "--csv") {
+            opt.csv = true;
+        } else {
+            die("unknown flag: " + a);
+        }
+    }
+    if (opt.dim == 0 || opt.examples == 0) die("need --dense DIM EXAMPLES >= 1");
+    return opt;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    try {
+        const Options opt = parse_args(argc, argv);
+        const serve::Precision precision =
+            serve::parse_precision(opt.precision);
+        const auto problem =
+            dataset::generate_logistic_dense(opt.dim, opt.examples, opt.seed);
+
+        std::printf("problem: dense logistic, dim %zu, %zu examples\n",
+                    problem.dim, problem.examples);
+        std::printf("cluster: %zu workers x %zu shards, tau %zu, "
+                    "%zu rounds x batch %zu, step %.3g%s\n",
+                    opt.cluster.workers, opt.cluster.shards, opt.cluster.tau,
+                    opt.cluster.rounds, opt.cluster.batch,
+                    static_cast<double>(opt.cluster.step_size),
+                    opt.cluster.error_feedback ? "" : ", no error feedback");
+        if (opt.cluster.faults.any())
+            std::printf("faults: drop %.3g, jitter %zu us, reorder %zu\n",
+                        opt.cluster.faults.drop_prob,
+                        opt.cluster.faults.jitter_us,
+                        opt.cluster.faults.reorder_window);
+
+        TablePrinter table(
+            "parameter-server training (publishes " +
+                to_string(precision) + ")",
+            {"comm", "loss", "acc", "B/round", "pushes", "gated", "dup",
+             "stale", "retry", "drops", "wall s", "GNPS", "registry v"});
+
+        serve::ModelRegistry registry;
+        std::optional<ps::ClusterResult> last;
+        for (const int bits : opt.bits) {
+            ps::ClusterConfig cfg = opt.cluster;
+            cfg.comm_bits = bits;
+            cfg.publish_every = opt.publish_every;
+            cfg.publish_precision = precision;
+            const auto r = ps::train_cluster(problem, cfg, &registry);
+            const auto& m = r.metrics;
+            table.add_row(
+                {r.comm, format_num(r.final_loss, 4),
+                 format_num(r.accuracy, 4),
+                 format_num(r.bytes_per_round, 4),
+                 std::to_string(m.total_pushes()),
+                 std::to_string(m.total_gated()),
+                 std::to_string([&] {
+                     std::uint64_t d = 0;
+                     for (const auto& s : m.shards) d += s.duplicates;
+                     return d;
+                 }()),
+                 std::to_string(m.max_staleness()),
+                 std::to_string(m.rpc_retries),
+                 std::to_string(m.messages_dropped),
+                 format_num(r.wall_seconds, 3), format_num(m.gnps(), 3),
+                 std::to_string(r.published_versions.empty()
+                                    ? 0
+                                    : r.published_versions.back())});
+            last = std::move(r);
+        }
+        table.print(std::cout);
+        if (opt.csv) table.print_csv(std::cout);
+
+        if (last) {
+            std::printf("registry: version %llu published (%zu checkpoints "
+                        "over the last run)\n",
+                        static_cast<unsigned long long>(
+                            registry.current_version()),
+                        last->published_versions.size());
+            if (!opt.save_path.empty()) {
+                core::save_model_file(last->checkpoint, opt.save_path);
+                std::printf("saved %s (%s) to %s\n", last->comm.c_str(),
+                            last->checkpoint.signature.to_string().c_str(),
+                            opt.save_path.c_str());
+            }
+        }
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+    return 0;
+}

@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
-# Sanitizer gate for the serving subsystem (and everything it leans on):
+# Sanitizer gate for the concurrent subsystems (and everything they lean
+# on):
 #
 #   1. build the whole tree under ASan+UBSan and run the full gtest suite;
-#   2. build under TSan and run test_serve, which exercises the registry
-#      hot-swap, the request queue, and the worker loop concurrently —
-#      the races a serving subsystem could plausibly have.
+#   2. build under TSan and run test_serve + test_ps, which exercise the
+#      registry hot-swap, the request queue, the serving worker loop, and
+#      the parameter-server shards/transport/cluster concurrently — the
+#      races these subsystems could plausibly have.
 #
 # Usage: tools/check.sh [-j N]
 set -euo pipefail
@@ -23,9 +25,9 @@ cmake --preset asan
 cmake --build --preset asan -j "$jobs"
 ctest --preset asan
 
-echo "== TSan: serving concurrency suite =="
+echo "== TSan: serving + parameter-server concurrency suites =="
 cmake --preset tsan
-cmake --build --preset tsan -j "$jobs" --target test_serve
-ctest --preset tsan -R '^(Serve|Serving|ModelRegistry|InferenceEngine|RequestQueue|Server)'
+cmake --build --preset tsan -j "$jobs" --target test_serve test_ps
+ctest --preset tsan -R '^(Serve|Serving|ModelRegistry|InferenceEngine|RequestQueue|Server|Ps)'
 
 echo "check.sh: all gates passed"
