@@ -15,11 +15,13 @@
  * staleness; along the worker axis convergence holds as the same gradient
  * budget is spread over more (staler) pushers.
  */
+#include <iostream>
 #include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "dataset/problem.h"
+#include "obs/export.h"
 #include "ps/ps.h"
 
 namespace {
@@ -84,26 +86,31 @@ main()
     }
 
     // Machine-readable sweep for plotting pipelines (and the acceptance
-    // check: Cs1 bytes_per_round >= 20x under Cs32 at matched accuracy).
-    std::printf("-- json --\n[");
-    for (std::size_t i = 0; i < cells.size(); ++i) {
-        const auto& r = cells[i].result;
-        std::printf("%s\n  {\"workers\": %zu, \"comm\": \"%s\", "
-                    "\"final_loss\": %.6f, \"accuracy\": %.6f, "
-                    "\"bytes_per_round\": %.1f, \"push_bytes\": %llu, "
-                    "\"rounds\": %llu, \"gated\": %llu, "
-                    "\"max_staleness\": %zu, \"rpc_retries\": %llu, "
-                    "\"wall_s\": %.4f, \"gnps\": %.4f}",
-                    i == 0 ? "" : ",", cells[i].workers, r.comm.c_str(),
-                    r.final_loss, r.accuracy, r.bytes_per_round,
-                    static_cast<unsigned long long>(
-                        r.metrics.total_push_bytes()),
-                    static_cast<unsigned long long>(r.rounds),
-                    static_cast<unsigned long long>(r.metrics.total_gated()),
-                    r.metrics.max_staleness(),
-                    static_cast<unsigned long long>(r.metrics.rpc_retries),
-                    r.wall_seconds, r.metrics.gnps());
+    // check: Cs1 bytes_per_round >= 20x under Cs32 at matched accuracy),
+    // via the shared obs JSON writer.
+    std::printf("-- json --\n");
+    obs::JsonWriter json(std::cout);
+    json.begin_array();
+    for (const Cell& cell : cells) {
+        const auto& r = cell.result;
+        std::cout << '\n';
+        json.begin_object();
+        json.key("workers").value(cell.workers);
+        json.key("comm").value(r.comm);
+        json.key("final_loss").value(r.final_loss);
+        json.key("accuracy").value(r.accuracy);
+        json.key("bytes_per_round").value(r.bytes_per_round);
+        json.key("push_bytes").value(r.metrics.total_push_bytes());
+        json.key("rounds").value(r.rounds);
+        json.key("gated").value(r.metrics.total_gated());
+        json.key("max_staleness")
+            .value(static_cast<std::uint64_t>(r.metrics.max_staleness()));
+        json.key("rpc_retries").value(r.metrics.rpc_retries);
+        json.key("wall_s").value(r.wall_seconds);
+        json.key("gnps").value(r.metrics.gnps());
+        json.end_object();
     }
-    std::printf("\n]\n");
+    json.end_array();
+    std::cout << '\n';
     return 0;
 }

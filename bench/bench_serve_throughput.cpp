@@ -15,11 +15,13 @@
  * Besides the usual table/CSV output, this bench emits a machine-readable
  * JSON sweep (one object per cell) for plotting pipelines.
  */
+#include <iostream>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "buckwild/buckwild.h"
 #include "core/model_io.h"
+#include "obs/export.h"
 #include "serve/serve.h"
 
 namespace {
@@ -145,18 +147,24 @@ main()
         bench::emit(table);
     }
 
-    // Machine-readable sweep for plotting pipelines.
-    std::printf("-- json --\n[");
-    for (std::size_t i = 0; i < cells.size(); ++i) {
-        const Cell& cell = cells[i];
-        std::printf("%s\n  {\"precision\": \"%s\", \"batch\": %zu, "
-                    "\"req_per_s\": %.1f, \"p50_us\": %.3f, "
-                    "\"p99_us\": %.3f, \"mean_batch\": %.3f, "
-                    "\"gnps\": %.4f}",
-                    i == 0 ? "" : ",", to_string(cell.precision).c_str(),
-                    cell.max_batch, cell.req_per_s, cell.p50_us,
-                    cell.p99_us, cell.mean_batch, cell.gnps);
+    // Machine-readable sweep for plotting pipelines, via the shared
+    // obs JSON writer (same escaping/number formatting as --metrics-out).
+    std::printf("-- json --\n");
+    obs::JsonWriter json(std::cout);
+    json.begin_array();
+    for (const Cell& cell : cells) {
+        std::cout << '\n';
+        json.begin_object();
+        json.key("precision").value(to_string(cell.precision));
+        json.key("batch").value(cell.max_batch);
+        json.key("req_per_s").value(cell.req_per_s);
+        json.key("p50_us").value(cell.p50_us);
+        json.key("p99_us").value(cell.p99_us);
+        json.key("mean_batch").value(cell.mean_batch);
+        json.key("gnps").value(cell.gnps);
+        json.end_object();
     }
-    std::printf("\n]\n");
+    json.end_array();
+    std::cout << '\n';
     return 0;
 }

@@ -31,6 +31,7 @@
 
 #include "core/config.h"
 #include "core/metrics.h"
+#include "obs/obs.h"
 #include "dataset/quantized.h"
 #include "rng/avx2_xorshift.h"
 #include "rng/random_source.h"
@@ -242,6 +243,7 @@ class DenseEngine
         float eta = cfg_.step_size;
         for (std::size_t epoch = 0; epoch < cfg_.epochs; ++epoch) {
             if (cfg_.shuffle) reshuffle(epoch);
+            BUCKWILD_OBS_SPAN("core", "sgd.epoch");
             Stopwatch watch;
             run_epoch(eta);
             metrics.train_seconds += watch.seconds();
@@ -468,6 +470,7 @@ class SparseEngine
         float eta = cfg_.step_size;
         for (std::size_t epoch = 0; epoch < cfg_.epochs; ++epoch) {
             if (cfg_.shuffle) reshuffle(epoch);
+            BUCKWILD_OBS_SPAN("core", "sgd.epoch");
             Stopwatch watch;
             run_parallel(cfg_.threads, [this, eta](std::size_t tid) {
                 worker(tid, eta);

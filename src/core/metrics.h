@@ -7,7 +7,10 @@
 #define BUCKWILD_CORE_METRICS_H
 
 #include <cstddef>
+#include <string>
 #include <vector>
+
+#include "obs/registry.h"
 
 namespace buckwild::core {
 
@@ -34,6 +37,23 @@ struct TrainingMetrics
         return train_seconds > 0.0
             ? numbers_processed / train_seconds / 1e9
             : 0.0;
+    }
+
+    /// Copies the run's totals into `registry` under `prefix` (e.g.
+    /// "train.") so CLI runs can export them as flat metrics JSON. The
+    /// struct itself stays the per-run value the engines return; this
+    /// bridge runs once per completed run.
+    void
+    publish(obs::MetricsRegistry& registry, const std::string& prefix) const
+    {
+        registry.counter(prefix + "epochs").add(epochs);
+        registry.gauge(prefix + "train_seconds").add(train_seconds);
+        registry.gauge(prefix + "numbers_processed").add(numbers_processed);
+        registry.gauge(prefix + "final_loss").set(final_loss);
+        registry.gauge(prefix + "accuracy").set(accuracy);
+        registry.gauge(prefix + "gnps").set(gnps());
+        obs::Histo& trace = registry.histogram(prefix + "epoch_loss");
+        for (double l : loss_trace) trace.record(l);
     }
 };
 

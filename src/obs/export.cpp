@@ -1,0 +1,225 @@
+#include "obs/export.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "util/logging.h"
+
+namespace buckwild::obs {
+
+std::string json_escape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+void JsonWriter::separate()
+{
+    if (pending_key_) {
+        // A key was just written; this value completes the pair.
+        pending_key_ = false;
+        return;
+    }
+    if (!has_element_.empty()) {
+        if (has_element_.back()) out_ << ',';
+        has_element_.back() = true;
+    }
+}
+
+JsonWriter& JsonWriter::begin_object()
+{
+    separate();
+    out_ << '{';
+    has_element_.push_back(false);
+    return *this;
+}
+
+JsonWriter& JsonWriter::end_object()
+{
+    has_element_.pop_back();
+    out_ << '}';
+    return *this;
+}
+
+JsonWriter& JsonWriter::begin_array()
+{
+    separate();
+    out_ << '[';
+    has_element_.push_back(false);
+    return *this;
+}
+
+JsonWriter& JsonWriter::end_array()
+{
+    has_element_.pop_back();
+    out_ << ']';
+    return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k)
+{
+    separate();
+    out_ << '"' << json_escape(k) << "\":";
+    pending_key_ = true;
+    return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v)
+{
+    separate();
+    out_ << '"' << json_escape(v) << '"';
+    return *this;
+}
+
+JsonWriter& JsonWriter::value(double v)
+{
+    separate();
+    if (!std::isfinite(v)) {
+        out_ << "null"; // JSON has no NaN / Inf
+        return *this;
+    }
+    char buf[32];
+    auto res = std::to_chars(buf, buf + sizeof(buf), v);
+    out_.write(buf, res.ptr - buf);
+    return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v)
+{
+    separate();
+    out_ << v;
+    return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v)
+{
+    separate();
+    out_ << v;
+    return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v)
+{
+    separate();
+    out_ << (v ? "true" : "false");
+    return *this;
+}
+
+void write_chrome_trace(std::ostream& out, const std::vector<TraceEvent>& events)
+{
+    JsonWriter w(out);
+    w.begin_object();
+    w.key("displayTimeUnit").value("ms");
+    w.key("traceEvents").begin_array();
+    for (const TraceEvent& ev : events) {
+        out << '\n';
+        w.begin_object();
+        w.key("name").value(ev.name);
+        w.key("cat").value(ev.category);
+        w.key("pid").value(std::uint64_t{1});
+        w.key("tid").value(static_cast<std::uint64_t>(ev.tid));
+        w.key("ts").value(static_cast<double>(ev.ts_ns) / 1000.0);
+        switch (ev.type) {
+        case TraceEvent::Type::kComplete:
+            w.key("ph").value("X");
+            w.key("dur").value(static_cast<double>(ev.dur_ns) / 1000.0);
+            break;
+        case TraceEvent::Type::kInstant:
+            w.key("ph").value("i");
+            w.key("s").value("t");
+            break;
+        case TraceEvent::Type::kCounter:
+            w.key("ph").value("C");
+            w.key("args").begin_object().key("value").value(ev.value).end_object();
+            break;
+        }
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    out << '\n';
+}
+
+void write_flat_metrics(std::ostream& out, const MetricsSnapshot& snap)
+{
+    JsonWriter w(out);
+    w.begin_object();
+    w.key("counters").begin_object();
+    for (const auto& [name, v] : snap.counters) {
+        out << '\n';
+        w.key(name).value(v);
+    }
+    w.end_object();
+    w.key("gauges").begin_object();
+    for (const auto& [name, v] : snap.gauges) {
+        out << '\n';
+        w.key(name).value(v);
+    }
+    w.end_object();
+    w.key("histograms").begin_object();
+    for (const auto& [name, h] : snap.histograms) {
+        out << '\n';
+        w.key(name).begin_object();
+        w.key("count").value(h.count);
+        w.key("sum").value(h.sum);
+        w.key("min").value(h.min);
+        w.key("max").value(h.max);
+        w.key("p50").value(h.p50);
+        w.key("p95").value(h.p95);
+        w.key("p99").value(h.p99);
+        w.end_object();
+    }
+    w.end_object();
+    w.end_object();
+    out << '\n';
+}
+
+bool export_trace_file(const std::string& path)
+{
+    std::ofstream out(path);
+    if (!out) {
+        warn("obs: cannot open trace output file '" + path + "'");
+        return false;
+    }
+    std::uint64_t dropped = Tracer::global().dropped();
+    if (dropped > 0) {
+        warn("obs: " + std::to_string(dropped) +
+             " trace events dropped (ring full); raise the ring capacity or "
+             "trace a shorter run");
+    }
+    write_chrome_trace(out, Tracer::global().flush());
+    return static_cast<bool>(out);
+}
+
+bool export_metrics_file(const std::string& path, const MetricsRegistry& registry)
+{
+    std::ofstream out(path);
+    if (!out) {
+        warn("obs: cannot open metrics output file '" + path + "'");
+        return false;
+    }
+    write_flat_metrics(out, registry.snapshot());
+    return static_cast<bool>(out);
+}
+
+} // namespace buckwild::obs

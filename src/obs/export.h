@@ -1,0 +1,85 @@
+/**
+ * @file
+ * JSON exporters for the observability layer: a tiny comma-managing
+ * JsonWriter (shared with the bench emitters), the Chrome trace_event
+ * exporter for chrome://tracing / Perfetto, and the flat metrics
+ * exporter for diffing runs.
+ */
+#ifndef BUCKWILD_OBS_EXPORT_H
+#define BUCKWILD_OBS_EXPORT_H
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/registry.h"
+#include "obs/trace.h"
+
+namespace buckwild::obs {
+
+/// Escapes a string for inclusion inside JSON quotes.
+std::string json_escape(std::string_view s);
+
+/**
+ * Minimal streaming JSON writer: tracks nesting and inserts commas so
+ * call sites read linearly. Numbers are emitted via std::to_chars
+ * (shortest round-trip form); non-finite doubles become null. No
+ * pretty-printing beyond a newline per top-level element — the output
+ * is for machines, diffs, and chrome://tracing.
+ */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream& out) : out_(out) {}
+
+    JsonWriter& begin_object();
+    JsonWriter& end_object();
+    JsonWriter& begin_array();
+    JsonWriter& end_array();
+    /// Starts a `"key":` inside an object; follow with a value call.
+    JsonWriter& key(std::string_view k);
+    JsonWriter& value(std::string_view v);
+    JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+    JsonWriter& value(double v);
+    JsonWriter& value(std::uint64_t v);
+    JsonWriter& value(std::int64_t v);
+    JsonWriter& value(bool v);
+    JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+
+  private:
+    void separate();
+
+    std::ostream& out_;
+    // One entry per open container: true once the first element has
+    // been written (so the next one needs a comma).
+    std::vector<bool> has_element_;
+    bool pending_key_ = false;
+};
+
+/**
+ * Writes the Chrome trace_event JSON object (`{"traceEvents":[...]}`)
+ * for a merged event stream. Timestamps and durations are microseconds
+ * as the format requires; each ring's tid becomes the trace tid so
+ * per-thread lanes line up in chrome://tracing.
+ */
+void write_chrome_trace(std::ostream& out, const std::vector<TraceEvent>& events);
+
+/**
+ * Writes a flat metrics JSON object:
+ * `{"counters":{...},"gauges":{...},"histograms":{name:{count,sum,min,max,p50,p95,p99}}}`.
+ * Keys are sorted (the snapshot's map order) so two runs diff cleanly.
+ */
+void write_flat_metrics(std::ostream& out, const MetricsSnapshot& snap);
+
+/// Flushes the global tracer into `path` as Chrome trace JSON.
+/// Returns false (after logging a warning) if the file can't be opened.
+bool export_trace_file(const std::string& path);
+
+/// Writes a registry snapshot into `path` as flat metrics JSON.
+bool export_metrics_file(const std::string& path, const MetricsRegistry& registry);
+
+} // namespace buckwild::obs
+
+#endif // BUCKWILD_OBS_EXPORT_H

@@ -1,0 +1,114 @@
+#include "obs/registry.h"
+
+#include <algorithm>
+
+#include "util/stats.h"
+
+namespace buckwild::obs {
+
+void Histo::record(double x)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    samples_.push_back(x);
+}
+
+void Histo::record_many(const std::vector<double>& xs)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    samples_.insert(samples_.end(), xs.begin(), xs.end());
+}
+
+std::size_t Histo::count() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return samples_.size();
+}
+
+double Histo::percentile(double p) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return percentile_of(samples_, p);
+}
+
+double Histo::sum() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    double s = 0.0;
+    for (double x : samples_) s += x;
+    return s;
+}
+
+std::vector<double> Histo::samples() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return samples_;
+}
+
+void Histo::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    samples_.clear();
+}
+
+Counter& MetricsRegistry::counter(const std::string& name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto& slot = counters_[name];
+    if (!slot) slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto& slot = gauges_[name];
+    if (!slot) slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+Histo& MetricsRegistry::histogram(const std::string& name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto& slot = histograms_[name];
+    if (!slot) slot = std::make_unique<Histo>();
+    return *slot;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const
+{
+    MetricsSnapshot snap;
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
+    for (const auto& [name, g] : gauges_) snap.gauges[name] = g->value();
+    for (const auto& [name, h] : histograms_) {
+        MetricsSnapshot::HistoSummary s;
+        std::vector<double> xs = h->samples();
+        s.count = xs.size();
+        for (double x : xs) s.sum += x;
+        if (!xs.empty()) {
+            s.min = *std::min_element(xs.begin(), xs.end());
+            s.max = *std::max_element(xs.begin(), xs.end());
+        }
+        s.p50 = percentile_of(xs, 50.0);
+        s.p95 = percentile_of(xs, 95.0);
+        s.p99 = percentile_of(xs, 99.0);
+        snap.histograms[name] = s;
+    }
+    return snap;
+}
+
+void MetricsRegistry::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& [name, c] : counters_) c->reset();
+    for (auto& [name, g] : gauges_) g->reset();
+    for (auto& [name, h] : histograms_) h->reset();
+}
+
+MetricsRegistry& MetricsRegistry::global()
+{
+    static MetricsRegistry registry;
+    return registry;
+}
+
+} // namespace buckwild::obs

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Process-wide metrics registry: named counters, gauges, and histograms
+ * with stable addresses, cheap hot-path updates, and a consistent
+ * snapshot for export.
+ *
+ * Design notes (DESIGN.md §9):
+ *  - Handles returned by counter()/gauge()/histogram() are references to
+ *    heap-allocated instruments owned by the registry; they stay valid
+ *    for the registry's lifetime, so hot paths look the name up once
+ *    (e.g. through a function-local static) and then touch only an
+ *    atomic.
+ *  - Counters and gauges are lock-free atomics; histograms take a small
+ *    mutex per record because they keep raw samples so that summaries
+ *    can reuse util::percentile_of, the same estimator the serving
+ *    latency reports were already built on.
+ *  - snapshot() is ordered by name so exports are deterministic.
+ */
+#ifndef BUCKWILD_OBS_REGISTRY_H
+#define BUCKWILD_OBS_REGISTRY_H
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace buckwild::obs {
+
+/// Monotonically increasing event count. Lock-free; relaxed ordering is
+/// enough because readers only ever want an eventually-consistent total.
+class Counter
+{
+  public:
+    void add(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+    std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+    void reset() { value_.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<std::uint64_t> value_{0};
+};
+
+/// A last-written double with atomic add, for point-in-time values
+/// (seconds spent, queue depth) that may also be accumulated.
+class Gauge
+{
+  public:
+    void set(double v) { value_.store(v, std::memory_order_relaxed); }
+    void add(double dv)
+    {
+        double cur = value_.load(std::memory_order_relaxed);
+        while (!value_.compare_exchange_weak(cur, cur + dv, std::memory_order_relaxed)) {
+        }
+    }
+    double value() const { return value_.load(std::memory_order_relaxed); }
+    void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<double> value_{0.0};
+};
+
+/// Raw-sample histogram. Keeps every recorded value so percentiles come
+/// from util::percentile_of exactly (no bucketing error); record() is a
+/// mutex push_back, so hot paths should record per batch, not per item.
+class Histo
+{
+  public:
+    void record(double x);
+    /// Appends every sample under one lock (batch-amortized hot paths).
+    void record_many(const std::vector<double>& xs);
+    std::size_t count() const;
+    /// Percentile via util::percentile_of on a snapshot of the samples.
+    double percentile(double p) const;
+    double sum() const;
+    std::vector<double> samples() const;
+    void reset();
+
+  private:
+    mutable std::mutex mutex_;
+    std::vector<double> samples_;
+};
+
+/// Value-type view of every instrument at one instant, ordered by name.
+struct MetricsSnapshot
+{
+    struct HistoSummary
+    {
+        std::size_t count = 0;
+        double sum = 0.0;
+        double min = 0.0;
+        double max = 0.0;
+        double p50 = 0.0;
+        double p95 = 0.0;
+        double p99 = 0.0;
+    };
+
+    std::map<std::string, std::uint64_t> counters;
+    std::map<std::string, double> gauges;
+    std::map<std::string, HistoSummary> histograms;
+};
+
+/**
+ * Named-instrument registry. create-or-get semantics: the first call for
+ * a name allocates the instrument, later calls return the same object.
+ * Instances can be constructed for per-run isolation (the serving
+ * MetricsCollector does this); global() is the process-wide one the
+ * instrumentation macros use.
+ */
+class MetricsRegistry
+{
+  public:
+    MetricsRegistry() = default;
+    MetricsRegistry(const MetricsRegistry&) = delete;
+    MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+    Counter& counter(const std::string& name);
+    Gauge& gauge(const std::string& name);
+    Histo& histogram(const std::string& name);
+
+    MetricsSnapshot snapshot() const;
+
+    /// Zeroes every instrument but keeps all handles valid.
+    void reset();
+
+    static MetricsRegistry& global();
+
+  private:
+    mutable std::mutex mutex_;
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+    std::map<std::string, std::unique_ptr<Histo>> histograms_;
+};
+
+} // namespace buckwild::obs
+
+#endif // BUCKWILD_OBS_REGISTRY_H

@@ -1,0 +1,132 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace buckwild::obs {
+
+std::int64_t trace_now_ns()
+{
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+TraceRing::TraceRing(std::size_t capacity, std::uint32_t tid)
+    : capacity_(capacity), tid_(tid)
+{
+    events_.reserve(capacity_);
+}
+
+bool TraceRing::record(const TraceEvent& ev)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (events_.size() >= capacity_) {
+        dropped_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+    }
+    events_.push_back(ev);
+    return true;
+}
+
+std::size_t TraceRing::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return events_.size();
+}
+
+void TraceRing::drain(std::vector<TraceEvent>& out)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    out.insert(out.end(), events_.begin(), events_.end());
+    events_.clear();
+    dropped_.store(0, std::memory_order_relaxed);
+}
+
+Tracer& Tracer::global()
+{
+    static Tracer tracer;
+    return tracer;
+}
+
+TraceRing& Tracer::ring()
+{
+    // One ring per (thread, process lifetime). The thread_local holds a
+    // shared_ptr copy so the registry's copy keeps the events alive for
+    // a flush that happens after the thread has exited.
+    thread_local std::shared_ptr<TraceRing> t_ring;
+    if (!t_ring) {
+        t_ring = std::make_shared<TraceRing>(
+            ring_capacity_.load(std::memory_order_relaxed),
+            next_tid_.fetch_add(1, std::memory_order_relaxed));
+        std::lock_guard<std::mutex> lock(rings_mutex_);
+        rings_.push_back(t_ring);
+    }
+    return *t_ring;
+}
+
+void Tracer::complete(const char* category, const char* name, std::int64_t ts_ns,
+                      std::int64_t dur_ns)
+{
+    if (!enabled()) return;
+    TraceEvent ev;
+    ev.category = category;
+    ev.name = name;
+    ev.type = TraceEvent::Type::kComplete;
+    ev.ts_ns = ts_ns;
+    ev.dur_ns = dur_ns;
+    TraceRing& r = ring();
+    ev.tid = r.tid();
+    r.record(ev);
+}
+
+void Tracer::instant(const char* category, const char* name)
+{
+    if (!enabled()) return;
+    TraceEvent ev;
+    ev.category = category;
+    ev.name = name;
+    ev.type = TraceEvent::Type::kInstant;
+    ev.ts_ns = trace_now_ns();
+    TraceRing& r = ring();
+    ev.tid = r.tid();
+    r.record(ev);
+}
+
+void Tracer::counter(const char* category, const char* name, double value)
+{
+    if (!enabled()) return;
+    TraceEvent ev;
+    ev.category = category;
+    ev.name = name;
+    ev.type = TraceEvent::Type::kCounter;
+    ev.ts_ns = trace_now_ns();
+    ev.value = value;
+    TraceRing& r = ring();
+    ev.tid = r.tid();
+    r.record(ev);
+}
+
+std::vector<TraceEvent> Tracer::flush()
+{
+    std::vector<TraceEvent> merged;
+    {
+        std::lock_guard<std::mutex> lock(rings_mutex_);
+        for (auto& r : rings_) r->drain(merged);
+    }
+    std::stable_sort(merged.begin(), merged.end(),
+                     [](const TraceEvent& a, const TraceEvent& b) {
+                         return a.ts_ns < b.ts_ns;
+                     });
+    return merged;
+}
+
+std::uint64_t Tracer::dropped() const
+{
+    std::uint64_t total = 0;
+    std::lock_guard<std::mutex> lock(rings_mutex_);
+    for (const auto& r : rings_) total += r->dropped();
+    return total;
+}
+
+} // namespace buckwild::obs

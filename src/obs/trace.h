@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Low-overhead event tracer: fixed-capacity per-thread rings merged on
+ * flush, exported as Chrome trace_event JSON (see obs/export.h).
+ *
+ * The recording fast path is: one relaxed atomic load (is tracing on?),
+ * a steady_clock read, and an uncontended per-ring mutex push into a
+ * preallocated buffer — ~100ns per event on this box, and a single
+ * branch when tracing is off. Rings drop new events once full and count
+ * the drops; flush() merges every thread's ring into one time-sorted
+ * stream and clears them.
+ *
+ * Event names/categories are stored as `const char*` and are NOT
+ * copied: pass string literals (the instrumentation macros do).
+ */
+#ifndef BUCKWILD_OBS_TRACE_H
+#define BUCKWILD_OBS_TRACE_H
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace buckwild::obs {
+
+/// Monotonic timestamp in nanoseconds (steady_clock).
+std::int64_t trace_now_ns();
+
+struct TraceEvent
+{
+    enum class Type : std::uint8_t {
+        kComplete, ///< span with duration ("ph":"X")
+        kInstant,  ///< point event ("ph":"i")
+        kCounter,  ///< sampled value ("ph":"C")
+    };
+
+    const char* category = "";
+    const char* name = "";
+    Type type = Type::kInstant;
+    std::uint32_t tid = 0;
+    std::int64_t ts_ns = 0;
+    std::int64_t dur_ns = 0; ///< kComplete only
+    double value = 0.0;      ///< kCounter only
+};
+
+/**
+ * Fixed-capacity event buffer owned by one thread, drained by the
+ * tracer on flush. The mutex is uncontended except during a flush, so a
+ * record is a lock + push_back into preallocated storage.
+ */
+class TraceRing
+{
+  public:
+    explicit TraceRing(std::size_t capacity, std::uint32_t tid);
+
+    /// Appends the event; returns false (and counts a drop) if full.
+    bool record(const TraceEvent& ev);
+
+    std::size_t size() const;
+    std::size_t capacity() const { return capacity_; }
+    std::uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+    std::uint32_t tid() const { return tid_; }
+
+    /// Moves all buffered events into `out` and empties the ring.
+    void drain(std::vector<TraceEvent>& out);
+
+  private:
+    mutable std::mutex mutex_;
+    std::vector<TraceEvent> events_;
+    std::size_t capacity_;
+    std::uint32_t tid_;
+    std::atomic<std::uint64_t> dropped_{0};
+};
+
+/**
+ * Process-wide tracer. Disabled by default: every record helper first
+ * checks one relaxed atomic and returns, so instrumented binaries pay a
+ * single predictable branch unless --trace-out (or a test) turns
+ * tracing on. Each thread lazily registers one TraceRing; rings are
+ * shared_ptr so a flush after a worker thread exits still sees its
+ * events.
+ */
+class Tracer
+{
+  public:
+    static Tracer& global();
+
+    void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+    bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+    /// Capacity used for rings created after the call (default 65536).
+    void set_ring_capacity(std::size_t capacity)
+    {
+        ring_capacity_.store(capacity, std::memory_order_relaxed);
+    }
+
+    /// This thread's ring, creating and registering it on first use.
+    TraceRing& ring();
+
+    void complete(const char* category, const char* name, std::int64_t ts_ns,
+                  std::int64_t dur_ns);
+    void instant(const char* category, const char* name);
+    void counter(const char* category, const char* name, double value);
+
+    /// Merges every ring's events, sorted by timestamp, and clears them.
+    std::vector<TraceEvent> flush();
+
+    /// Total events dropped across all rings (cleared by flush()).
+    std::uint64_t dropped() const;
+
+  private:
+    Tracer() = default;
+
+    std::atomic<bool> enabled_{false};
+    std::atomic<std::size_t> ring_capacity_{65536};
+    std::atomic<std::uint32_t> next_tid_{1};
+    mutable std::mutex rings_mutex_;
+    std::vector<std::shared_ptr<TraceRing>> rings_;
+};
+
+/**
+ * RAII span: captures the start time on construction and records one
+ * kComplete event on destruction. Costs one atomic load when tracing is
+ * off. Only string literals may be passed (names are not copied).
+ */
+class ScopedSpan
+{
+  public:
+    ScopedSpan(const char* category, const char* name)
+        : category_(category), name_(name), armed_(Tracer::global().enabled())
+    {
+        if (armed_) start_ns_ = trace_now_ns();
+    }
+
+    ~ScopedSpan()
+    {
+        if (armed_) {
+            Tracer& t = Tracer::global();
+            t.complete(category_, name_, start_ns_, trace_now_ns() - start_ns_);
+        }
+    }
+
+    ScopedSpan(const ScopedSpan&) = delete;
+    ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  private:
+    const char* category_;
+    const char* name_;
+    std::int64_t start_ns_ = 0;
+    bool armed_;
+};
+
+} // namespace buckwild::obs
+
+#endif // BUCKWILD_OBS_TRACE_H

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <thread>
 
+#include "obs/obs.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
@@ -97,6 +98,7 @@ train_cluster(const dataset::DenseProblem& problem,
         if (feedback) residual.assign(dim, 0.0f);
 
         for (std::uint64_t round = 1; round <= config.rounds; ++round) {
+            BUCKWILD_OBS_SPAN("ps", "worker.round");
             // Pull every shard's slice into the local replica. Slices may
             // sit at different versions — that inconsistency is the
             // asynchrony the C-term error feedback has to absorb.
@@ -110,23 +112,28 @@ train_cluster(const dataset::DenseProblem& problem,
                                               server.shard_begin(s)));
             }
 
-            // Mini-batch gradient on this worker's data slice.
-            std::fill(gradient.begin(), gradient.end(), 0.0f);
-            for (std::size_t b = 0; b < config.batch; ++b) {
-                const std::size_t i =
-                    ex_begin + ((round - 1) * config.batch + b) % ex_count;
-                const float* x = problem.row(i);
-                float z = 0.0f;
-                for (std::size_t k = 0; k < dim; ++k) z += model[k] * x[k];
-                const float g = core::loss_gradient_coefficient(
-                    config.loss, z, problem.y[i]);
-                if (g == 0.0f) continue;
-                for (std::size_t k = 0; k < dim; ++k)
-                    gradient[k] += g * x[k];
+            {
+                // Mini-batch gradient on this worker's data slice.
+                BUCKWILD_OBS_SPAN("ps", "worker.minibatch");
+                std::fill(gradient.begin(), gradient.end(), 0.0f);
+                for (std::size_t b = 0; b < config.batch; ++b) {
+                    const std::size_t i =
+                        ex_begin +
+                        ((round - 1) * config.batch + b) % ex_count;
+                    const float* x = problem.row(i);
+                    float z = 0.0f;
+                    for (std::size_t k = 0; k < dim; ++k)
+                        z += model[k] * x[k];
+                    const float g = core::loss_gradient_coefficient(
+                        config.loss, z, problem.y[i]);
+                    if (g == 0.0f) continue;
+                    for (std::size_t k = 0; k < dim; ++k)
+                        gradient[k] += g * x[k];
+                }
+                if (feedback)
+                    for (std::size_t k = 0; k < dim; ++k)
+                        gradient[k] += residual[k];
             }
-            if (feedback)
-                for (std::size_t k = 0; k < dim; ++k)
-                    gradient[k] += residual[k];
 
             // Quantize and push each shard's slice; a staleness-gated
             // nack means this worker ran too far ahead — back off and
@@ -137,6 +144,8 @@ train_cluster(const dataset::DenseProblem& problem,
                     gradient.data() + begin,
                     server.shard_end(s) - begin, config.comm_bits,
                     feedback ? residual.data() + begin : nullptr);
+                BUCKWILD_OBS_COUNT("ps.worker.encoded_bytes",
+                                   wire.wire_bytes());
                 for (;;) {
                     Message push;
                     push.kind = Message::Kind::kPush;

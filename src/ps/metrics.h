@@ -16,7 +16,10 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
+
+#include "obs/registry.h"
 
 namespace buckwild::ps {
 
@@ -117,6 +120,32 @@ struct PsMetrics
     gnps() const
     {
         return worker_seconds > 0.0 ? numbers / worker_seconds / 1e9 : 0.0;
+    }
+
+    /// Copies the snapshot into `registry` under `prefix` (e.g. "ps.")
+    /// so CLI runs can export it as flat metrics JSON next to the
+    /// hot-path instrumentation counters. The authoritative store stays
+    /// thread-owned ShardMetrics — shards count lock-free and exactly,
+    /// and this bridge runs once after stop().
+    void
+    publish(obs::MetricsRegistry& registry, const std::string& prefix) const
+    {
+        registry.counter(prefix + "pushes_applied").add(total_pushes());
+        registry.counter(prefix + "push_bytes").add(total_push_bytes());
+        registry.counter(prefix + "pull_bytes").add(total_pull_bytes());
+        registry.counter(prefix + "gated").add(total_gated());
+        registry.counter(prefix + "messages_sent").add(messages_sent);
+        registry.counter(prefix + "messages_dropped").add(messages_dropped);
+        registry.counter(prefix + "wire_bytes_sent").add(wire_bytes_sent);
+        registry.counter(prefix + "rpc_retries").add(rpc_retries);
+        registry.gauge(prefix + "worker_seconds").add(worker_seconds);
+        registry.gauge(prefix + "numbers").add(numbers);
+        registry.gauge(prefix + "gnps").set(gnps());
+        obs::Histo& staleness = registry.histogram(prefix + "staleness");
+        const std::vector<std::uint64_t> merged = staleness_histogram();
+        for (std::size_t s = 0; s < merged.size(); ++s)
+            for (std::uint64_t i = 0; i < merged[s]; ++i)
+                staleness.record(static_cast<double>(s));
     }
 };
 

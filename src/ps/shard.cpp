@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/obs.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 
@@ -77,6 +78,8 @@ ServerShard::handle_push(Message&& push)
     const std::uint64_t lead = clocks_[push.worker] - min_live_clock();
     if (lead > config_.tau) {
         ++metrics_.gated;
+        BUCKWILD_OBS_COUNT("ps.shard.gated", 1);
+        BUCKWILD_OBS_INSTANT("ps", "shard.gate_nack");
         ack.accepted = false;
         ack.version = version_.load(std::memory_order_relaxed);
         transport_.send(push.sender, std::move(ack));
@@ -90,11 +93,17 @@ ServerShard::handle_push(Message&& push)
     // Apply through the same float AXPY kernel the Hogwild! trainer
     // uses: w -= (eta / batch) * g.
     Stopwatch apply;
-    const float c = -config_.step_size / static_cast<float>(config_.batch);
-    simd::DenseOps<float, float>::axpy(config_.impl, weights_.data(),
-                                       gradient.data(), size(), c, 1.0f,
-                                       1.0f, simd::biased_unit());
+    {
+        BUCKWILD_OBS_SPAN("ps", "shard.apply");
+        const float c =
+            -config_.step_size / static_cast<float>(config_.batch);
+        simd::DenseOps<float, float>::axpy(config_.impl, weights_.data(),
+                                           gradient.data(), size(), c, 1.0f,
+                                           1.0f, simd::biased_unit());
+    }
     metrics_.apply_seconds += apply.seconds();
+    BUCKWILD_OBS_COUNT("ps.shard.pushes_applied", 1);
+    BUCKWILD_OBS_COUNT("ps.shard.push_bytes", push.gradient.wire_bytes());
 
     clocks_[push.worker] = push.clock;
     ++metrics_.pushes;

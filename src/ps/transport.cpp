@@ -2,6 +2,7 @@
 
 #include <thread>
 
+#include "obs/obs.h"
 #include "util/logging.h"
 
 namespace buckwild::ps {
@@ -76,6 +77,8 @@ Transport::send(std::size_t to, Message&& message)
     if (to >= mailboxes_.size()) panic("send to unknown endpoint");
     sent_.fetch_add(1, std::memory_order_relaxed);
     sent_bytes_.fetch_add(message.wire_bytes(), std::memory_order_relaxed);
+    BUCKWILD_OBS_COUNT("ps.transport.sent", 1);
+    BUCKWILD_OBS_COUNT("ps.transport.sent_bytes", message.wire_bytes());
     if (faults_.any()) {
         std::size_t delay_us = 0;
         bool drop = false;
@@ -92,6 +95,8 @@ Transport::send(std::size_t to, Message&& message)
         }
         if (drop) {
             dropped_.fetch_add(1, std::memory_order_relaxed);
+            BUCKWILD_OBS_COUNT("ps.transport.dropped", 1);
+            BUCKWILD_OBS_INSTANT("ps", "transport.drop");
             return;
         }
         if (delay_us > 0)
@@ -131,7 +136,11 @@ RpcClient::call(std::size_t to, Message request)
     constexpr int kMaxAttempts = 400;
 
     for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
-        if (attempt > 0) ++retries_;
+        if (attempt > 0) {
+            ++retries_;
+            BUCKWILD_OBS_COUNT("ps.rpc.retransmits", 1);
+            BUCKWILD_OBS_INSTANT("ps", "rpc.retransmit");
+        }
         Message copy = request;
         transport_.send(to, std::move(copy));
 

@@ -1,5 +1,8 @@
 #include "serve/metrics.h"
 
+#include <algorithm>
+#include <cmath>
+
 #include "util/stats.h"
 
 namespace buckwild::serve {
@@ -11,22 +14,47 @@ ServeMetrics::latency_percentile(double p) const
 }
 
 void
+ServeMetrics::publish(obs::MetricsRegistry& registry,
+                      const std::string& prefix) const
+{
+    registry.counter(prefix + "requests").add(requests);
+    registry.counter(prefix + "rejects").add(rejects);
+    registry.counter(prefix + "batches").add(batches);
+    registry.gauge(prefix + "numbers").add(numbers);
+    registry.gauge(prefix + "busy_seconds").add(busy_seconds);
+    registry.gauge(prefix + "gnps").set(gnps());
+    registry.gauge(prefix + "mean_batch_size").set(mean_batch_size());
+    registry.histogram(prefix + "latency_seconds").record_many(latencies);
+    for (std::size_t b = 0; b < batch_size_counts.size(); ++b)
+        for (std::uint64_t i = 0; i < batch_size_counts[b]; ++i)
+            registry.histogram(prefix + "batch_size").record(static_cast<double>(b));
+}
+
+MetricsCollector::MetricsCollector(obs::MetricsRegistry* registry)
+    : owned_(registry ? nullptr : std::make_unique<obs::MetricsRegistry>()),
+      registry_(registry ? *registry : *owned_),
+      requests_(registry_.counter("serve.requests")),
+      rejects_(registry_.counter("serve.rejects")),
+      batches_(registry_.counter("serve.batches")),
+      numbers_(registry_.gauge("serve.numbers")),
+      busy_seconds_(registry_.gauge("serve.busy_seconds")),
+      latency_seconds_(registry_.histogram("serve.latency_seconds")),
+      batch_size_(registry_.histogram("serve.batch_size"))
+{
+}
+
+void
 MetricsCollector::record_batch(const std::vector<double>& request_latencies,
                                double numbers, double busy_seconds)
 {
     const std::size_t b = request_latencies.size();
     if (b == 0) return;
-    std::lock_guard<std::mutex> lock(mutex_);
-    metrics_.requests += b;
-    metrics_.batches += 1;
-    metrics_.numbers += numbers;
-    metrics_.busy_seconds += busy_seconds;
-    if (metrics_.batch_size_counts.size() <= b)
-        metrics_.batch_size_counts.resize(b + 1, 0);
-    metrics_.batch_size_counts[b] += 1;
-    metrics_.latencies.insert(metrics_.latencies.end(),
-                              request_latencies.begin(),
-                              request_latencies.end());
+    requests_.add(b);
+    batches_.add(1);
+    numbers_.add(numbers);
+    busy_seconds_.add(busy_seconds);
+    batch_size_.record(static_cast<double>(b));
+    latency_seconds_.record_many(request_latencies);
 }
 
 void
@@ -38,15 +66,26 @@ MetricsCollector::record_reject()
 void
 MetricsCollector::record_rejects(std::size_t count)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    metrics_.rejects += count;
+    rejects_.add(count);
 }
 
 ServeMetrics
 MetricsCollector::snapshot() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return metrics_;
+    ServeMetrics m;
+    m.requests = requests_.value();
+    m.rejects = rejects_.value();
+    m.batches = batches_.value();
+    m.numbers = numbers_.value();
+    m.busy_seconds = busy_seconds_.value();
+    m.latencies = latency_seconds_.samples();
+    for (double b : batch_size_.samples()) {
+        const auto size = static_cast<std::size_t>(std::lround(b));
+        if (m.batch_size_counts.size() <= size)
+            m.batch_size_counts.resize(size + 1, 0);
+        m.batch_size_counts[size] += 1;
+    }
+    return m;
 }
 
 } // namespace buckwild::serve

@@ -13,17 +13,24 @@
  *     since inference is the dot half of the training step.
  *
  * ServeMetrics itself is a plain value (snapshot / single-thread view);
- * MetricsCollector is the mutex-guarded accumulator the server threads
- * write through. Workers record one batch per lock acquisition, so the
- * metrics cost is itself amortized by micro-batching.
+ * MetricsCollector is the accumulator the server threads write through.
+ * Since the observability layer landed, the collector's store of record
+ * is an obs::MetricsRegistry — by default a private one, so each Server
+ * keeps per-instance counts exactly as before — and ServeMetrics is a
+ * thin view assembled from the registry's instruments. Workers record
+ * one batch per histogram lock acquisition, so the metrics cost is
+ * still amortized by micro-batching.
  */
 #ifndef BUCKWILD_SERVE_METRICS_H
 #define BUCKWILD_SERVE_METRICS_H
 
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
+#include <memory>
+#include <string>
 #include <vector>
+
+#include "obs/registry.h"
 
 namespace buckwild::serve {
 
@@ -56,12 +63,24 @@ struct ServeMetrics
 
     /// Latency percentile in seconds (p in [0, 100]).
     double latency_percentile(double p) const;
+
+    /// Copies the snapshot into `registry` under `prefix` (e.g.
+    /// "serve.") so CLI runs can export it as flat metrics JSON next to
+    /// the hot-path instrumentation counters.
+    void publish(obs::MetricsRegistry& registry, const std::string& prefix) const;
 };
 
 /// Thread-safe accumulator shared by the server's workers and producers.
+/// Writes land in an obs::MetricsRegistry; snapshot() reads them back
+/// into the ServeMetrics value the rest of the system consumes.
 class MetricsCollector
 {
   public:
+    /// By default each collector owns a private registry, preserving
+    /// per-Server counts; pass &obs::MetricsRegistry::global() (or any
+    /// shared registry) to aggregate across servers instead.
+    explicit MetricsCollector(obs::MetricsRegistry* registry = nullptr);
+
     /// Records one completed batch: per-request latencies (seconds), the
     /// dataset numbers scored, and the worker compute time consumed.
     void record_batch(const std::vector<double>& request_latencies,
@@ -70,15 +89,24 @@ class MetricsCollector
     /// Records one backpressure rejection.
     void record_reject();
 
-    /// Records `count` backpressure rejections under one lock (vectored
-    /// submit path).
+    /// Records `count` backpressure rejections in one counter add
+    /// (vectored submit path).
     void record_rejects(std::size_t count);
 
     ServeMetrics snapshot() const;
 
+    obs::MetricsRegistry& registry() { return registry_; }
+
   private:
-    mutable std::mutex mutex_;
-    ServeMetrics metrics_;
+    std::unique_ptr<obs::MetricsRegistry> owned_;
+    obs::MetricsRegistry& registry_;
+    obs::Counter& requests_;
+    obs::Counter& rejects_;
+    obs::Counter& batches_;
+    obs::Gauge& numbers_;
+    obs::Gauge& busy_seconds_;
+    obs::Histo& latency_seconds_;
+    obs::Histo& batch_size_;
 };
 
 } // namespace buckwild::serve

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "obs/obs.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 
@@ -9,7 +10,8 @@ namespace buckwild::serve {
 
 Server::Server(const ModelRegistry& registry, ServerConfig config)
     : registry_(registry), config_(config), engine_(config.impl),
-      queue_(config.queue_capacity, config.max_batch)
+      queue_(config.queue_capacity, config.max_batch),
+      collector_(config.metrics_registry)
 {
     if (config_.workers == 0) fatal("Server requires workers >= 1");
     if (config_.max_batch == 0) fatal("Server requires max_batch >= 1");
@@ -126,8 +128,20 @@ Server::worker_loop()
     std::vector<double> latencies;
     const std::chrono::microseconds linger{
         config_.max_batch > 1 ? config_.linger_us : 0};
-    while (queue_.pop_batch(batch, config_.max_batch, linger) > 0) {
+    while (true) {
+        std::size_t got;
+        {
+            // "Assembly" time includes blocking for the first request
+            // and the linger window, so idle workers show up as long
+            // assemble spans in the trace.
+            BUCKWILD_OBS_SPAN("serve", "batch.assemble");
+            got = queue_.pop_batch(batch, config_.max_batch, linger);
+        }
+        if (got == 0) break;
         const auto model = registry_.current();
+        BUCKWILD_OBS_COUNT("serve.batches_assembled", 1);
+        BUCKWILD_OBS_TRACE_COUNTER("serve", "batch_size", batch.size());
+        BUCKWILD_OBS_SPAN("serve", "batch.score");
         Stopwatch compute;
         double numbers = 0.0;
         latencies.clear();
@@ -177,6 +191,23 @@ Server::worker_loop()
                 std::chrono::duration<double>(now - request.enqueued)
                     .count());
         collector_.record_batch(latencies, numbers, busy);
+#if BUCKWILD_OBS_ENABLED
+        // Batch-mean queue wait, derived from numbers already in hand
+        // (latency = wait + compute for every request in the batch) —
+        // no extra clock reads or pre-scoring work. Sampled 1-in-16
+        // batches: the wait distribution needs far fewer samples than
+        // the batch rate, and this keeps the histogram mutex almost
+        // entirely off the batch path.
+        if (thread_local std::uint32_t obs_decimate = 0;
+            (obs_decimate++ & 15u) == 0) {
+            double latency_sum = 0.0;
+            for (const double l : latencies) latency_sum += l;
+            const double wait =
+                latency_sum / static_cast<double>(latencies.size()) - busy;
+            BUCKWILD_OBS_HISTO("serve.queue_wait_seconds",
+                               wait > 0.0 ? wait : 0.0);
+        }
+#endif
     }
 }
 

@@ -49,6 +49,11 @@ struct ServerConfig
     /// max_batch == 1.
     std::size_t linger_us = 200;
     simd::Impl impl = simd::best_impl(); ///< kernel implementation
+    /// Registry backing this server's MetricsCollector. nullptr (the
+    /// default) gives the server a private registry so its counts stay
+    /// per-instance; point it at obs::MetricsRegistry::global() (as
+    /// tools/buckwild_serve does for --metrics-out) to aggregate.
+    obs::MetricsRegistry* metrics_registry = nullptr;
 };
 
 /**

@@ -52,7 +52,15 @@ RunningStats::merge(const RunningStats& other)
 double
 percentile_of(std::vector<double> xs, double p)
 {
+    // NaN samples would poison nth_element's ordering (strict weak
+    // ordering is violated), so drop them up front; a NaN percentile
+    // request has no defined order statistic and maps to NaN.
+    if (std::isnan(p)) return std::numeric_limits<double>::quiet_NaN();
+    xs.erase(std::remove_if(xs.begin(), xs.end(),
+                            [](double x) { return std::isnan(x); }),
+             xs.end());
     if (xs.empty()) return 0.0;
+    if (xs.size() == 1) return xs.front();
     if (p <= 0.0) return *std::min_element(xs.begin(), xs.end());
     if (p >= 100.0) return *std::max_element(xs.begin(), xs.end());
     const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);

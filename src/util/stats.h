@@ -54,9 +54,14 @@ double geomean_of(const std::vector<double>& xs);
 
 /**
  * The p-th percentile (p in [0, 100]) of a sample by linear interpolation
- * between order statistics; 0 for an empty sample. Takes the sample by
- * value because selection reorders it. Used for serving-latency summaries
- * (p50/p95/p99).
+ * between order statistics. Takes the sample by value because selection
+ * reorders it. Used for serving-latency summaries (p50/p95/p99) and the
+ * obs registry's histogram summaries.
+ *
+ * Edge cases (pinned by test_util):
+ *  - empty sample -> 0; single sample -> that sample for every p;
+ *  - p <= 0 -> min, p >= 100 -> max (clamped, not extrapolated);
+ *  - NaN samples are ignored (all-NaN behaves as empty); NaN p -> NaN.
  */
 double percentile_of(std::vector<double> xs, double p);
 

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Shared test fixtures and helpers used across the suites (test_ps,
+ * test_serve, test_integration, test_obs): synthetic dataset builders,
+ * saved-model construction, vector tolerance asserts, and temp-file
+ * RAII. Header-only; everything lives in buckwild::testutil.
+ */
+#ifndef BUCKWILD_TESTS_TEST_COMMON_H
+#define BUCKWILD_TESTS_TEST_COMMON_H
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/loss.h"
+#include "core/model_io.h"
+#include "dataset/digits.h"
+#include "dataset/problem.h"
+#include "dmgc/signature.h"
+
+namespace buckwild::testutil {
+
+/// A SavedModel with the given weights, ready to publish into a serving
+/// registry or write through model_io.
+inline core::SavedModel
+make_saved_model(std::vector<float> weights,
+                 core::Loss loss = core::Loss::kLogistic,
+                 const char* signature = "D32fM32f")
+{
+    core::SavedModel model;
+    model.signature = dmgc::parse_signature(signature);
+    model.loss = loss;
+    model.weights = std::move(weights);
+    return model;
+}
+
+/// Synthetic dense logistic problem (thin, named wrapper so suites share
+/// one spelling and grep finds every synthetic dataset in the tests).
+inline dataset::DenseProblem
+logistic_problem(std::size_t dim, std::size_t examples, std::uint64_t seed)
+{
+    return dataset::generate_logistic_dense(dim, examples, seed);
+}
+
+/// The canonical small cluster-training problem (64 dims x 1024
+/// examples, seed 77), cached because several PsCluster tests reuse it.
+inline const dataset::DenseProblem&
+cluster_problem()
+{
+    static const auto kProblem =
+        dataset::generate_logistic_dense(64, 1024, 77);
+    return kProblem;
+}
+
+/// Synthetic digits as a binary DenseProblem (digit >= 5 labeled +1) —
+/// the conversion test_serve and the serving CLI both use.
+inline dataset::DenseProblem
+digits_problem(std::size_t count, std::uint64_t seed)
+{
+    const auto digits = dataset::generate_digits(count, seed);
+    dataset::DenseProblem problem;
+    problem.dim = dataset::kDigitPixels;
+    problem.examples = digits.count;
+    problem.x = digits.pixels;
+    problem.y.resize(digits.count);
+    for (std::size_t i = 0; i < digits.count; ++i)
+        problem.y[i] = digits.labels[i] >= 5 ? 1.0f : -1.0f;
+    return problem;
+}
+
+/// Element-wise |a[i] - b[i]| <= tol over two equal-length vectors, with
+/// the failing index in the message.
+template <typename T>
+void
+expect_all_near(const std::vector<T>& actual, const std::vector<T>& expected,
+                double tol, const char* what = "vector")
+{
+    ASSERT_EQ(actual.size(), expected.size()) << what << " length";
+    for (std::size_t i = 0; i < actual.size(); ++i)
+        EXPECT_NEAR(static_cast<double>(actual[i]),
+                    static_cast<double>(expected[i]), tol)
+            << what << "[" << i << "]";
+}
+
+/// Bit-exact element-wise equality with the failing index in the message.
+template <typename T>
+void
+expect_all_eq(const std::vector<T>& actual, const std::vector<T>& expected,
+              const char* what = "vector")
+{
+    ASSERT_EQ(actual.size(), expected.size()) << what << " length";
+    for (std::size_t i = 0; i < actual.size(); ++i)
+        EXPECT_EQ(actual[i], expected[i]) << what << "[" << i << "]";
+}
+
+/// A uniquely named file under gtest's temp directory, removed on scope
+/// exit. Use `.path()` as the file name; the file itself is created (or
+/// not) by the code under test.
+class TempFile
+{
+  public:
+    explicit TempFile(const std::string& stem)
+    {
+        static int counter = 0;
+        path_ = ::testing::TempDir() + "buckwild_" + stem + "_" +
+                std::to_string(++counter) + ".tmp";
+        std::remove(path_.c_str());
+    }
+
+    ~TempFile() { std::remove(path_.c_str()); }
+
+    TempFile(const TempFile&) = delete;
+    TempFile& operator=(const TempFile&) = delete;
+
+    const std::string& path() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+} // namespace buckwild::testutil
+
+#endif // BUCKWILD_TESTS_TEST_COMMON_H

@@ -10,6 +10,7 @@
 #include <cmath>
 
 #include "buckwild/buckwild.h"
+#include "test_common.h"
 #include "cachesim/sgd_trace.h"
 #include "fpga/search.h"
 #include "isa/cost_model.h"
@@ -25,7 +26,7 @@ namespace {
 
 TEST(Integration, MeasuredSpeedupTracksPerfModelDirection)
 {
-    const auto problem = dataset::generate_logistic_dense(1 << 15, 64, 8);
+    const auto problem = testutil::logistic_problem(1 << 15, 64, 8);
     auto gnps = [&problem](const char* sig) {
         core::TrainerConfig cfg;
         cfg.signature = dmgc::parse_signature(sig);
@@ -51,9 +52,9 @@ TEST(Integration, MeasuredSpeedupTracksPerfModelDirection)
 
 TEST(Integration, QuantizedTrainingGeneralizes)
 {
-    const auto train = dataset::generate_logistic_dense(256, 4000, 21);
+    const auto train = testutil::logistic_problem(256, 4000, 21);
     // Same generative model, fresh examples (continue the stream).
-    const auto holdout = dataset::generate_logistic_dense(256, 4000, 21);
+    const auto holdout = testutil::logistic_problem(256, 4000, 21);
 
     core::TrainerConfig cfg;
     cfg.signature = dmgc::parse_signature("D8M8");
@@ -81,7 +82,7 @@ TEST(Integration, QuantizedTrainingGeneralizes)
 TEST(Integration, SimulatorAndEngineAgreeOnPrecisionDirection)
 {
     // Engine (real time).
-    const auto problem = dataset::generate_logistic_dense(1 << 15, 32, 9);
+    const auto problem = testutil::logistic_problem(1 << 15, 32, 9);
     auto engine_gnps = [&problem](const char* sig) {
         core::TrainerConfig cfg;
         cfg.signature = dmgc::parse_signature(sig);
@@ -185,7 +186,7 @@ TEST_P(SignatureRoundTrip, ParseTrainPredictLookup)
     EXPECT_TRUE(model.is_calibrated(sig)) << GetParam();
     EXPECT_GT(model.predict_gnps(sig, 18, 1 << 20), 0.0);
 
-    const auto problem = dataset::generate_logistic_dense(64, 200, 77);
+    const auto problem = testutil::logistic_problem(64, 200, 77);
     if (!sig.sparse) {
         core::TrainerConfig cfg;
         cfg.signature = sig;

@@ -1,0 +1,386 @@
+/**
+ * @file
+ * Tests for the observability layer (src/obs):
+ *
+ *  - ObsRegistry: create-or-get instrument semantics, counter
+ *    monotonicity, histogram percentiles agreeing with
+ *    util::percentile_of, ordered snapshots, reset;
+ *  - ObsTrace: ring overflow/drop accounting, runtime enable gating of
+ *    ScopedSpan, cross-thread flush merge ordering;
+ *  - ObsExport: golden-JSON output for both exporters plus a file
+ *    round-trip through TempFile;
+ *  - ObsMacros: the instrumentation macros hit the global registry when
+ *    compiled in (and this suite still passes with BUCKWILD_OBS=OFF,
+ *    where they expand to no-ops);
+ *  - ObsStress: the TSan target — concurrent spans/counters/histograms
+ *    with exact final counts.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "obs/obs.h"
+#include "test_common.h"
+#include "util/stats.h"
+
+namespace buckwild {
+namespace {
+
+// ------------------------------------------------------------- registry
+
+TEST(ObsRegistry, CounterCreateOrGetAndMonotonic)
+{
+    obs::MetricsRegistry registry;
+    obs::Counter& a = registry.counter("requests");
+    obs::Counter& b = registry.counter("requests");
+    EXPECT_EQ(&a, &b) << "same name must return the same instrument";
+
+    EXPECT_EQ(a.value(), 0u);
+    a.add();
+    a.add(41);
+    EXPECT_EQ(b.value(), 42u);
+    b.add(0);
+    EXPECT_EQ(a.value(), 42u) << "add(0) must not move the counter";
+}
+
+TEST(ObsRegistry, GaugeSetAndAccumulate)
+{
+    obs::MetricsRegistry registry;
+    obs::Gauge& g = registry.gauge("busy_seconds");
+    g.set(1.5);
+    EXPECT_DOUBLE_EQ(g.value(), 1.5);
+    g.add(0.25);
+    g.add(0.25);
+    EXPECT_DOUBLE_EQ(g.value(), 2.0);
+}
+
+TEST(ObsRegistry, HistogramPercentilesAgreeWithUtil)
+{
+    obs::MetricsRegistry registry;
+    obs::Histo& h = registry.histogram("latency");
+    std::vector<double> xs;
+    // A deliberately unsorted, duplicated sample.
+    for (int i = 0; i < 257; ++i)
+        xs.push_back(static_cast<double>((i * 97) % 64));
+    for (double x : xs) h.record(x);
+
+    for (double p : {0.0, 12.5, 50.0, 95.0, 99.0, 100.0})
+        EXPECT_DOUBLE_EQ(h.percentile(p), percentile_of(xs, p))
+            << "p = " << p;
+    EXPECT_EQ(h.count(), xs.size());
+}
+
+TEST(ObsRegistry, SnapshotIsOrderedAndComplete)
+{
+    obs::MetricsRegistry registry;
+    registry.counter("z.last").add(3);
+    registry.counter("a.first").add(1);
+    registry.gauge("m.middle").set(0.5);
+    registry.histogram("h").record(2.0);
+    registry.histogram("h").record(4.0);
+
+    const obs::MetricsSnapshot snap = registry.snapshot();
+    ASSERT_EQ(snap.counters.size(), 2u);
+    EXPECT_EQ(snap.counters.begin()->first, "a.first");
+    EXPECT_EQ(snap.counters.at("z.last"), 3u);
+    EXPECT_DOUBLE_EQ(snap.gauges.at("m.middle"), 0.5);
+    const auto& h = snap.histograms.at("h");
+    EXPECT_EQ(h.count, 2u);
+    EXPECT_DOUBLE_EQ(h.sum, 6.0);
+    EXPECT_DOUBLE_EQ(h.min, 2.0);
+    EXPECT_DOUBLE_EQ(h.max, 4.0);
+    EXPECT_DOUBLE_EQ(h.p50, 3.0);
+}
+
+TEST(ObsRegistry, ResetZeroesButKeepsHandles)
+{
+    obs::MetricsRegistry registry;
+    obs::Counter& c = registry.counter("c");
+    obs::Histo& h = registry.histogram("h");
+    c.add(7);
+    h.record(1.0);
+    registry.reset();
+    EXPECT_EQ(c.value(), 0u);
+    EXPECT_EQ(h.count(), 0u);
+    c.add(1);
+    EXPECT_EQ(registry.counter("c").value(), 1u)
+        << "handles must stay live across reset";
+}
+
+// ---------------------------------------------------------------- trace
+
+TEST(ObsTrace, RingOverflowDropsAndCounts)
+{
+    obs::TraceRing ring(4, 1);
+    obs::TraceEvent ev;
+    ev.name = "e";
+    ev.category = "t";
+    for (int i = 0; i < 4; ++i) {
+        ev.ts_ns = i;
+        EXPECT_TRUE(ring.record(ev));
+    }
+    EXPECT_FALSE(ring.record(ev)) << "a full ring must drop, not grow";
+    EXPECT_FALSE(ring.record(ev));
+    EXPECT_EQ(ring.size(), 4u);
+    EXPECT_EQ(ring.dropped(), 2u);
+
+    std::vector<obs::TraceEvent> out;
+    ring.drain(out);
+    EXPECT_EQ(out.size(), 4u);
+    EXPECT_EQ(ring.size(), 0u);
+    EXPECT_EQ(ring.dropped(), 0u) << "drain resets the drop count";
+    EXPECT_TRUE(ring.record(ev)) << "a drained ring accepts again";
+}
+
+TEST(ObsTrace, ScopedSpanRecordsOnlyWhenEnabled)
+{
+    obs::Tracer& tracer = obs::Tracer::global();
+    tracer.flush(); // isolate from earlier tests
+
+    tracer.set_enabled(false);
+    {
+        obs::ScopedSpan span("test", "disabled");
+    }
+    EXPECT_TRUE(tracer.flush().empty());
+
+    tracer.set_enabled(true);
+    {
+        obs::ScopedSpan span("test", "enabled");
+    }
+    tracer.set_enabled(false);
+    const auto events = tracer.flush();
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_STREQ(events[0].name, "enabled");
+    EXPECT_STREQ(events[0].category, "test");
+    EXPECT_EQ(events[0].type, obs::TraceEvent::Type::kComplete);
+    EXPECT_GE(events[0].dur_ns, 0);
+}
+
+TEST(ObsTrace, FlushMergesThreadRingsSortedByTimestamp)
+{
+    obs::Tracer& tracer = obs::Tracer::global();
+    tracer.flush();
+    tracer.set_enabled(true);
+
+    constexpr int kThreads = 4;
+    constexpr int kEvents = 100;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t)
+        threads.emplace_back([&tracer] {
+            for (int i = 0; i < kEvents; ++i)
+                tracer.instant("test", "tick");
+        });
+    for (auto& th : threads) th.join();
+    tracer.set_enabled(false);
+
+    const auto events = tracer.flush();
+    EXPECT_EQ(events.size(),
+              static_cast<std::size_t>(kThreads) * kEvents);
+    EXPECT_TRUE(std::is_sorted(events.begin(), events.end(),
+                               [](const auto& a, const auto& b) {
+                                   return a.ts_ns < b.ts_ns;
+                               }));
+    // Every emitting thread contributed under its own trace tid.
+    std::vector<std::uint32_t> tids;
+    for (const auto& ev : events) tids.push_back(ev.tid);
+    std::sort(tids.begin(), tids.end());
+    tids.erase(std::unique(tids.begin(), tids.end()), tids.end());
+    EXPECT_EQ(tids.size(), static_cast<std::size_t>(kThreads));
+}
+
+// --------------------------------------------------------------- export
+
+TEST(ObsExport, ChromeTraceGoldenJson)
+{
+    std::vector<obs::TraceEvent> events(3);
+    events[0].category = "test";
+    events[0].name = "work";
+    events[0].type = obs::TraceEvent::Type::kComplete;
+    events[0].tid = 3;
+    events[0].ts_ns = 1000;
+    events[0].dur_ns = 500;
+    events[1].category = "io";
+    events[1].name = "bytes";
+    events[1].type = obs::TraceEvent::Type::kCounter;
+    events[1].tid = 1;
+    events[1].ts_ns = 2000;
+    events[1].value = 7.0;
+    events[2].category = "io";
+    events[2].name = "mark";
+    events[2].type = obs::TraceEvent::Type::kInstant;
+    events[2].tid = 2;
+    events[2].ts_ns = 2500;
+
+    std::ostringstream out;
+    obs::write_chrome_trace(out, events);
+    const std::string golden =
+        "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"
+        "{\"name\":\"work\",\"cat\":\"test\",\"pid\":1,\"tid\":3,"
+        "\"ts\":1,\"ph\":\"X\",\"dur\":0.5}\n"
+        ",{\"name\":\"bytes\",\"cat\":\"io\",\"pid\":1,\"tid\":1,"
+        "\"ts\":2,\"ph\":\"C\",\"args\":{\"value\":7}}\n"
+        ",{\"name\":\"mark\",\"cat\":\"io\",\"pid\":1,\"tid\":2,"
+        "\"ts\":2.5,\"ph\":\"i\",\"s\":\"t\"}]}\n";
+    EXPECT_EQ(out.str(), golden);
+}
+
+TEST(ObsExport, FlatMetricsGoldenJson)
+{
+    obs::MetricsRegistry registry;
+    registry.counter("x.count").add(3);
+    registry.gauge("g").set(1.5);
+    obs::Histo& h = registry.histogram("h");
+    // Equal samples so every percentile is bit-exact (interpolation
+    // between equal neighbors), keeping the golden string stable.
+    h.record(2.5);
+    h.record(2.5);
+
+    std::ostringstream out;
+    obs::write_flat_metrics(out, registry.snapshot());
+    const std::string golden =
+        "{\"counters\":{\n"
+        "\"x.count\":3},\"gauges\":{\n"
+        "\"g\":1.5},\"histograms\":{\n"
+        "\"h\":{\"count\":2,\"sum\":5,\"min\":2.5,\"max\":2.5,"
+        "\"p50\":2.5,\"p95\":2.5,\"p99\":2.5}}}\n";
+    EXPECT_EQ(out.str(), golden);
+}
+
+TEST(ObsExport, JsonEscapesAndNonFiniteValues)
+{
+    std::ostringstream out;
+    obs::JsonWriter w(out);
+    w.begin_object();
+    w.key("quote\"back\\slash\nline").value("tab\there");
+    w.key("nan").value(std::nan(""));
+    w.end_object();
+    EXPECT_EQ(out.str(),
+              "{\"quote\\\"back\\\\slash\\nline\":\"tab\\there\","
+              "\"nan\":null}");
+}
+
+TEST(ObsExport, MetricsFileRoundTrip)
+{
+    obs::MetricsRegistry registry;
+    registry.counter("written").add(11);
+    registry.histogram("lat").record(0.25);
+
+    testutil::TempFile file("metrics");
+    ASSERT_TRUE(obs::export_metrics_file(file.path(), registry));
+
+    std::ifstream in(file.path());
+    std::stringstream read_back;
+    read_back << in.rdbuf();
+    std::ostringstream direct;
+    obs::write_flat_metrics(direct, registry.snapshot());
+    EXPECT_EQ(read_back.str(), direct.str())
+        << "file bytes must match the streamed exporter exactly";
+    EXPECT_NE(read_back.str().find("\"written\":11"), std::string::npos);
+}
+
+TEST(ObsExport, RejectsUnwritablePath)
+{
+    obs::MetricsRegistry registry;
+    EXPECT_FALSE(
+        obs::export_metrics_file("/nonexistent/dir/metrics.json", registry));
+    EXPECT_FALSE(obs::export_trace_file("/nonexistent/dir/trace.json"));
+}
+
+// --------------------------------------------------------------- macros
+
+TEST(ObsMacros, CountersHitTheGlobalRegistryWhenCompiledIn)
+{
+    obs::Counter& c =
+        obs::MetricsRegistry::global().counter("test.macro_counter");
+    const std::uint64_t before = c.value();
+    BUCKWILD_OBS_COUNT("test.macro_counter", 5);
+#if BUCKWILD_OBS_ENABLED
+    EXPECT_EQ(c.value(), before + 5);
+#else
+    EXPECT_EQ(c.value(), before) << "OFF build must compile macros out";
+#endif
+}
+
+TEST(ObsMacros, SpansAreInertWhileTracingDisabled)
+{
+    obs::Tracer& tracer = obs::Tracer::global();
+    tracer.flush();
+    tracer.set_enabled(false);
+    {
+        BUCKWILD_OBS_SPAN("test", "inert");
+        BUCKWILD_OBS_INSTANT("test", "inert");
+    }
+    EXPECT_TRUE(tracer.flush().empty());
+}
+
+// --------------------------------------------------------------- stress
+
+TEST(ObsStress, ConcurrentSpansCountersAndHistogramsAreExact)
+{
+    // The TSan target: every write path of the layer (counter RMW, gauge
+    // CAS, histogram mutex, span ring push) hammered from four threads
+    // while the main thread flushes mid-run — the exact race --trace-out
+    // has with live workers. Rings are sized above the per-thread event
+    // count so nothing drops and the final accounting is exact (the drop
+    // path itself is pinned deterministically above).
+    constexpr int kThreads = 4;
+    constexpr int kIters = 2000;
+
+    obs::Tracer& tracer = obs::Tracer::global();
+    tracer.flush();
+    tracer.set_ring_capacity(4096);
+    tracer.set_enabled(true);
+
+    obs::Counter& counter =
+        obs::MetricsRegistry::global().counter("test.stress_counter");
+    obs::Gauge& gauge =
+        obs::MetricsRegistry::global().gauge("test.stress_gauge");
+    obs::Histo& histo =
+        obs::MetricsRegistry::global().histogram("test.stress_histo");
+    const std::uint64_t count_before = counter.value();
+    const std::size_t histo_before = histo.count();
+    gauge.set(0.0);
+
+    std::atomic<bool> done{false};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t)
+        threads.emplace_back([&] {
+            for (int i = 0; i < kIters; ++i) {
+                obs::ScopedSpan span("test", "stress");
+                counter.add(1);
+                gauge.add(1.0);
+                histo.record(static_cast<double>(i));
+            }
+        });
+    // A reader racing the writers (what --trace-out does mid-run).
+    std::size_t merged = 0;
+    while (!done.load(std::memory_order_relaxed)) {
+        merged += tracer.flush().size();
+        if (counter.value() - count_before >=
+            static_cast<std::uint64_t>(kThreads) * kIters)
+            done.store(true, std::memory_order_relaxed);
+        std::this_thread::yield();
+    }
+    for (auto& th : threads) th.join();
+    tracer.set_enabled(false);
+
+    merged += tracer.flush().size();
+    EXPECT_EQ(counter.value() - count_before,
+              static_cast<std::uint64_t>(kThreads) * kIters);
+    EXPECT_DOUBLE_EQ(gauge.value(), static_cast<double>(kThreads) * kIters);
+    EXPECT_EQ(histo.count() - histo_before,
+              static_cast<std::size_t>(kThreads) * kIters);
+    EXPECT_EQ(merged, static_cast<std::size_t>(kThreads) * kIters)
+        << "every span ends up in exactly one flush";
+    EXPECT_EQ(tracer.dropped(), 0u);
+    tracer.set_ring_capacity(65536);
+}
+
+} // namespace
+} // namespace buckwild

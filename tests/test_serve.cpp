@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "buckwild/buckwild.h"
+#include "test_common.h"
 #include "core/model_io.h"
 #include "core/trainer.h"
 #include "dataset/digits.h"
@@ -21,16 +22,6 @@
 
 namespace buckwild {
 namespace {
-
-core::SavedModel
-make_model(std::vector<float> weights, core::Loss loss = core::Loss::kLogistic)
-{
-    core::SavedModel model;
-    model.signature = dmgc::parse_signature("D32fM32f");
-    model.loss = loss;
-    model.weights = std::move(weights);
-    return model;
-}
 
 // -------------------------------------------------------------- precision
 
@@ -63,7 +54,7 @@ TEST(ServePrecision, DefaultsFromTrainedSignature)
 TEST(ServingModel, Float32IsExact)
 {
     const std::vector<float> w = {0.5f, -1.25f, 3.75f, 0.0f};
-    serve::ServingModel model(make_model(w), serve::Precision::kFloat32, 1);
+    serve::ServingModel model(testutil::make_saved_model(w), serve::Precision::kFloat32, 1);
     ASSERT_EQ(model.dim(), w.size());
     EXPECT_EQ(model.quantum(), 1.0f);
     for (std::size_t i = 0; i < w.size(); ++i)
@@ -74,7 +65,7 @@ TEST(ServingModel, FormatAdaptsToWeightRange)
 {
     // Trained weights escape [-1, 1): the fitted format must widen its
     // integer part (fewer fraction bits) until 5.5 is representable.
-    serve::ServingModel model(make_model({5.5f, -0.25f}),
+    serve::ServingModel model(testutil::make_saved_model({5.5f, -0.25f}),
                               serve::Precision::kInt8, 1);
     EXPECT_GE(model.format().max_value(), 5.5f);
     const float q = model.quantum();
@@ -86,7 +77,7 @@ TEST(ServingModel, QuantizationErrorBoundedByHalfQuantum)
 {
     std::vector<float> w;
     for (int i = 0; i < 64; ++i) w.push_back(0.017f * (i - 31));
-    serve::ServingModel m8(make_model(w), serve::Precision::kInt8, 1);
+    serve::ServingModel m8(testutil::make_saved_model(w), serve::Precision::kInt8, 1);
     const float q = m8.quantum();
     for (std::size_t i = 0; i < w.size(); ++i)
         EXPECT_LE(std::fabs(m8.weights_i8()[i] * q - w[i]), q / 2 + 1e-6f);
@@ -99,9 +90,9 @@ TEST(ModelRegistry, PublishesMonotonicVersions)
     serve::ModelRegistry registry;
     EXPECT_EQ(registry.current_version(), 0u);
     EXPECT_EQ(registry.current(), nullptr);
-    EXPECT_EQ(registry.publish(make_model({1.0f}), serve::Precision::kInt8),
+    EXPECT_EQ(registry.publish(testutil::make_saved_model({1.0f}), serve::Precision::kInt8),
               1u);
-    EXPECT_EQ(registry.publish(make_model({2.0f}), serve::Precision::kInt8),
+    EXPECT_EQ(registry.publish(testutil::make_saved_model({2.0f}), serve::Precision::kInt8),
               2u);
     EXPECT_EQ(registry.current_version(), 2u);
     EXPECT_EQ(registry.current()->version(), 2u);
@@ -116,7 +107,7 @@ TEST(ModelRegistry, HotSwapUnderConcurrentScorer)
     // never see a half-swapped model.
     const std::size_t dim = 64;
     serve::ModelRegistry registry;
-    registry.publish(make_model(std::vector<float>(dim, 1.0f)),
+    registry.publish(testutil::make_saved_model(std::vector<float>(dim, 1.0f)),
                      serve::Precision::kInt8);
 
     const std::vector<float> x(dim, 1.0f);
@@ -142,7 +133,7 @@ TEST(ModelRegistry, HotSwapUnderConcurrentScorer)
 
     for (int gen = 2; gen <= 101; ++gen) {
         const float sign = gen % 2 == 1 ? 1.0f : -1.0f;
-        registry.publish(make_model(std::vector<float>(dim, sign)),
+        registry.publish(testutil::make_saved_model(std::vector<float>(dim, sign)),
                          serve::Precision::kInt8);
         std::this_thread::yield();
     }
@@ -159,7 +150,7 @@ TEST(InferenceEngine, SparseMatchesDenseScatter)
 {
     std::vector<float> w;
     for (int i = 0; i < 32; ++i) w.push_back(0.03f * (i - 16));
-    serve::ServingModel model(make_model(w), serve::Precision::kInt16, 1);
+    serve::ServingModel model(testutil::make_saved_model(w), serve::Precision::kInt16, 1);
     serve::InferenceEngine engine;
 
     const std::vector<std::uint32_t> index = {1, 7, 19, 30};
@@ -176,7 +167,7 @@ TEST(InferenceEngine, SparseMatchesDenseScatter)
 
 TEST(InferenceEngine, RejectsBadRequests)
 {
-    serve::ServingModel model(make_model({1.0f, 2.0f}),
+    serve::ServingModel model(testutil::make_saved_model({1.0f, 2.0f}),
                               serve::Precision::kFloat32, 1);
     serve::InferenceEngine engine;
     const float x[4] = {1, 2, 3, 4};
@@ -263,10 +254,10 @@ TEST(Server, BatchedScoresAreBitIdenticalToSingle)
     // only amortizes bookkeeping — each request still runs the exact
     // same dot kernel against the same snapshot.
     const std::size_t dim = 96;
-    const auto problem = dataset::generate_logistic_dense(dim, 64, 7);
+    const auto problem = testutil::logistic_problem(dim, 64, 7);
     serve::ModelRegistry registry;
     std::vector<float> w(problem.row(0), problem.row(0) + dim);
-    registry.publish(make_model(std::move(w)), serve::Precision::kInt8);
+    registry.publish(testutil::make_saved_model(std::move(w)), serve::Precision::kInt8);
 
     // Reference: one-at-a-time through a max_batch=1 server.
     std::vector<float> single(problem.examples);
@@ -309,7 +300,7 @@ TEST(Server, SlotPathMatchesFuturePath)
     std::vector<float> w(dim);
     for (std::size_t i = 0; i < dim; ++i)
         w[i] = 0.05f * static_cast<float>(i) - 0.8f;
-    registry.publish(make_model(std::move(w)), serve::Precision::kInt16);
+    registry.publish(testutil::make_saved_model(std::move(w)), serve::Precision::kInt16);
     serve::ServerConfig cfg;
     serve::Server server(registry, cfg);
 
@@ -327,7 +318,7 @@ TEST(Server, SlotPathMatchesFuturePath)
 TEST(Server, ReportsErrorsThroughBothPaths)
 {
     serve::ModelRegistry registry;
-    registry.publish(make_model({1.0f, 2.0f}), serve::Precision::kFloat32);
+    registry.publish(testutil::make_saved_model({1.0f, 2.0f}), serve::Precision::kFloat32);
     serve::ServerConfig cfg;
     serve::Server server(registry, cfg);
 
@@ -349,7 +340,7 @@ TEST(Server, HotSwapAppliesToLaterRequests)
 {
     const std::size_t dim = 16;
     serve::ModelRegistry registry;
-    registry.publish(make_model(std::vector<float>(dim, 1.0f)),
+    registry.publish(testutil::make_saved_model(std::vector<float>(dim, 1.0f)),
                      serve::Precision::kFloat32);
     serve::ServerConfig cfg;
     serve::Server server(registry, cfg);
@@ -361,7 +352,7 @@ TEST(Server, HotSwapAppliesToLaterRequests)
     EXPECT_EQ(first.model_version, 1u);
     EXPECT_GT(first.margin, 0.0f);
 
-    registry.publish(make_model(std::vector<float>(dim, -1.0f)),
+    registry.publish(testutil::make_saved_model(std::vector<float>(dim, -1.0f)),
                      serve::Precision::kFloat32);
     auto after = server.submit_dense(x);
     ASSERT_TRUE(after.has_value());
@@ -373,7 +364,7 @@ TEST(Server, HotSwapAppliesToLaterRequests)
 TEST(Server, MetricsCountWhatHappened)
 {
     serve::ModelRegistry registry;
-    registry.publish(make_model({0.5f, 0.5f}), serve::Precision::kFloat32);
+    registry.publish(testutil::make_saved_model({0.5f, 0.5f}), serve::Precision::kFloat32);
     serve::ServerConfig cfg;
     cfg.max_batch = 4;
     serve::Server server(registry, cfg);
@@ -399,14 +390,7 @@ TEST(ServeAccuracy, Ms8DigitsErrorWithinQuantizationBound)
     // Ms32f, and check the per-request margin error against the analytic
     // bound: biased rounding perturbs each weight by at most q/2, so
     // |z8 - zf| <= (q/2) * ||x||_1 (plus float-summation slack).
-    const auto digits = dataset::generate_digits(400, 99);
-    dataset::DenseProblem problem;
-    problem.dim = dataset::kDigitPixels;
-    problem.examples = digits.count;
-    problem.x = digits.pixels;
-    problem.y.resize(digits.count);
-    for (std::size_t i = 0; i < digits.count; ++i)
-        problem.y[i] = digits.labels[i] >= 5 ? 1.0f : -1.0f;
+    const auto problem = testutil::digits_problem(400, 99);
 
     core::TrainerConfig cfg;
     cfg.signature = dmgc::parse_signature("D32fM32f");
@@ -414,7 +398,7 @@ TEST(ServeAccuracy, Ms8DigitsErrorWithinQuantizationBound)
     core::Trainer trainer(cfg);
     trainer.fit(problem);
 
-    const auto saved = make_model(trainer.model());
+    const auto saved = testutil::make_saved_model(trainer.model());
     serve::ServingModel m8(saved, serve::Precision::kInt8, 1);
     serve::ServingModel mf(saved, serve::Precision::kFloat32, 2);
     serve::InferenceEngine engine;

@@ -8,6 +8,7 @@
 #include <atomic>
 #include <cmath>
 #include <cstdint>
+#include <limits>
 #include <sstream>
 
 #include "util/aligned_buffer.h"
@@ -133,6 +134,29 @@ TEST(Stats, PercentileInterpolatesAndClamps)
     EXPECT_DOUBLE_EQ(percentile_of(xs, 200), 40.0) << "clamps above";
     EXPECT_DOUBLE_EQ(percentile_of({7.0}, 99), 7.0);
     EXPECT_DOUBLE_EQ(percentile_of({}, 50), 0.0);
+}
+
+TEST(Stats, PercentileEdgeCasesPinned)
+{
+    // Degenerate inputs the obs histograms can feed (empty runs, one
+    // sample, exact clamps) must stay total functions, not UB.
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    EXPECT_DOUBLE_EQ(percentile_of({}, 0), 0.0);
+    EXPECT_DOUBLE_EQ(percentile_of({}, 100), 0.0);
+    for (double p : {0.0, 50.0, 100.0})
+        EXPECT_DOUBLE_EQ(percentile_of({3.5}, p), 3.5)
+            << "single sample is every percentile (p = " << p << ")";
+    EXPECT_DOUBLE_EQ(percentile_of({10.0, 20.0}, 0), 10.0);
+    EXPECT_DOUBLE_EQ(percentile_of({10.0, 20.0}, 100), 20.0);
+    EXPECT_DOUBLE_EQ(percentile_of({10.0, 20.0}, 50), 15.0);
+    // NaN samples are dropped (they'd break nth_element's strict weak
+    // ordering); the order statistic is taken over what remains.
+    EXPECT_DOUBLE_EQ(percentile_of({1.0, nan, 3.0}, 50), 2.0);
+    EXPECT_DOUBLE_EQ(percentile_of({nan, 5.0, nan}, 99), 5.0);
+    EXPECT_DOUBLE_EQ(percentile_of({nan, nan}, 50), 0.0)
+        << "all-NaN degrades to the empty-input result";
+    // A NaN percentile request has no defined order statistic.
+    EXPECT_TRUE(std::isnan(percentile_of({1.0, 2.0}, nan)));
 }
 
 TEST(Histogram, UniformDataHasSmallChiSquared)

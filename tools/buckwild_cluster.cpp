@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "dataset/problem.h"
+#include "obs/obs.h"
 #include "ps/ps.h"
 #include "serve/serve.h"
 #include "util/table.h"
@@ -72,7 +73,13 @@ usage()
         "  --precision P          registry precision Ms8 | Ms16 | Ms32f\n"
         "                         (default Ms32f)\n"
         "  --save PATH            write the last run's final model\n"
-        "  --csv                  also print the table as CSV\n");
+        "  --csv                  also print the table as CSV\n"
+        "\n"
+        "observability:\n"
+        "  --trace-out PATH       write a Chrome trace_event JSON of the\n"
+        "                         run (open in chrome://tracing / Perfetto)\n"
+        "  --metrics-out PATH     write the metrics registry as flat JSON\n"
+        "                         (per-precision totals under ps.<comm>.*)\n");
 }
 
 [[noreturn]] void
@@ -93,6 +100,8 @@ struct Options
     std::size_t publish_every = 0;
     std::string precision = "Ms32f";
     std::string save_path;
+    std::string trace_path;
+    std::string metrics_path;
     bool csv = false;
 };
 
@@ -182,6 +191,10 @@ parse_args(int argc, char** argv)
             opt.precision = need(i, "--precision");
         } else if (a == "--save") {
             opt.save_path = need(i, "--save");
+        } else if (a == "--trace-out") {
+            opt.trace_path = need(i, "--trace-out");
+        } else if (a == "--metrics-out") {
+            opt.metrics_path = need(i, "--metrics-out");
         } else if (a == "--csv") {
             opt.csv = true;
         } else {
@@ -224,6 +237,9 @@ main(int argc, char** argv)
             {"comm", "loss", "acc", "B/round", "pushes", "gated", "dup",
              "stale", "retry", "drops", "wall s", "GNPS", "registry v"});
 
+        if (!opt.trace_path.empty())
+            obs::Tracer::global().set_enabled(true);
+
         serve::ModelRegistry registry;
         std::optional<ps::ClusterResult> last;
         for (const int bits : opt.bits) {
@@ -233,6 +249,8 @@ main(int argc, char** argv)
             cfg.publish_precision = precision;
             const auto r = ps::train_cluster(problem, cfg, &registry);
             const auto& m = r.metrics;
+            m.publish(obs::MetricsRegistry::global(),
+                      "ps." + r.comm + ".");
             table.add_row(
                 {r.comm, format_num(r.final_loss, 4),
                  format_num(r.accuracy, 4),
@@ -269,6 +287,15 @@ main(int argc, char** argv)
                             opt.save_path.c_str());
             }
         }
+
+        if (!opt.trace_path.empty() &&
+            obs::export_trace_file(opt.trace_path))
+            std::printf("trace: wrote %s (chrome://tracing)\n",
+                        opt.trace_path.c_str());
+        if (!opt.metrics_path.empty() &&
+            obs::export_metrics_file(opt.metrics_path,
+                                     obs::MetricsRegistry::global()))
+            std::printf("metrics: wrote %s\n", opt.metrics_path.c_str());
     } catch (const std::exception& e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;

@@ -27,6 +27,7 @@
 #include "dataset/digits.h"
 #include "dataset/libsvm.h"
 #include "dataset/problem.h"
+#include "obs/obs.h"
 #include "serve/serve.h"
 #include "util/stopwatch.h"
 #include "util/table.h"
@@ -63,7 +64,13 @@ usage()
         "                         (default 200; 0 = no linger)\n"
         "  --impl I               reference | naive | avx2 | avx512\n"
         "  --seed X               load-generator RNG seed\n"
-        "  --csv                  also print the table as CSV\n",
+        "  --csv                  also print the table as CSV\n"
+        "\n"
+        "observability:\n"
+        "  --trace-out PATH       write a Chrome trace_event JSON of the\n"
+        "                         run (open in chrome://tracing / Perfetto)\n"
+        "  --metrics-out PATH     write the metrics registry as flat JSON\n"
+        "                         (per-batch totals under serve.b<B>.*)\n",
         dataset::kDigitPixels);
 }
 
@@ -91,6 +98,8 @@ struct Options
     // Matches buckwild_train's default so the synthetic load is drawn
     // from the same generative model the trained weights fit.
     std::uint64_t seed = 0x5EED;
+    std::string trace_path;
+    std::string metrics_path;
     bool csv = false;
 };
 
@@ -160,6 +169,10 @@ parse_args(int argc, char** argv)
             else die("unknown impl: " + m);
         } else if (a == "--seed") {
             opt.seed = std::strtoull(need(i, "--seed"), nullptr, 10);
+        } else if (a == "--trace-out") {
+            opt.trace_path = need(i, "--trace-out");
+        } else if (a == "--metrics-out") {
+            opt.metrics_path = need(i, "--metrics-out");
         } else if (a == "--csv") {
             opt.csv = true;
         } else {
@@ -359,10 +372,15 @@ main(int argc, char** argv)
             "serving throughput/latency (" + to_string(precision) + ")",
             {"batch B", "req/s", "p50 us", "p95 us", "p99 us",
              "mean B", "GNPS", "rejects", "accuracy"});
+        if (!opt.trace_path.empty())
+            obs::Tracer::global().set_enabled(true);
+
         for (const std::size_t b : opt.batches) {
             const RunResult run =
                 run_closed_loop(opt, registry, load, b);
             const auto& m = run.metrics;
+            m.publish(obs::MetricsRegistry::global(),
+                      "serve.b" + std::to_string(b) + ".");
             table.add_row(
                 {std::to_string(b),
                  format_num(static_cast<double>(m.requests) /
@@ -377,6 +395,15 @@ main(int argc, char** argv)
         }
         table.print(std::cout);
         if (opt.csv) table.print_csv(std::cout);
+
+        if (!opt.trace_path.empty() &&
+            obs::export_trace_file(opt.trace_path))
+            std::printf("trace: wrote %s (chrome://tracing)\n",
+                        opt.trace_path.c_str());
+        if (!opt.metrics_path.empty() &&
+            obs::export_metrics_file(opt.metrics_path,
+                                     obs::MetricsRegistry::global()))
+            std::printf("metrics: wrote %s\n", opt.metrics_path.c_str());
     } catch (const std::exception& e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;

@@ -3,10 +3,11 @@
 # on):
 #
 #   1. build the whole tree under ASan+UBSan and run the full gtest suite;
-#   2. build under TSan and run test_serve + test_ps, which exercise the
-#      registry hot-swap, the request queue, the serving worker loop, and
-#      the parameter-server shards/transport/cluster concurrently — the
-#      races these subsystems could plausibly have.
+#   2. build under TSan and run test_serve + test_ps + test_obs, which
+#      exercise the registry hot-swap, the request queue, the serving
+#      worker loop, the parameter-server shards/transport/cluster, and
+#      the observability counters/trace rings concurrently — the races
+#      these subsystems could plausibly have.
 #
 # Usage: tools/check.sh [-j N]
 set -euo pipefail
@@ -25,9 +26,9 @@ cmake --preset asan
 cmake --build --preset asan -j "$jobs"
 ctest --preset asan
 
-echo "== TSan: serving + parameter-server concurrency suites =="
+echo "== TSan: serving + parameter-server + obs concurrency suites =="
 cmake --preset tsan
-cmake --build --preset tsan -j "$jobs" --target test_serve test_ps
-ctest --preset tsan -R '^(Serve|Serving|ModelRegistry|InferenceEngine|RequestQueue|Server|Ps)'
+cmake --build --preset tsan -j "$jobs" --target test_serve test_ps test_obs
+ctest --preset tsan -R '^(Serve|Serving|ModelRegistry|InferenceEngine|RequestQueue|Server|Ps|Obs)'
 
 echo "check.sh: all gates passed"
