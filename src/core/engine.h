@@ -246,7 +246,13 @@ class DenseEngine
             BUCKWILD_OBS_SPAN("core", "sgd.epoch");
             Stopwatch watch;
             run_epoch(eta);
-            metrics.train_seconds += watch.seconds();
+            const double epoch_seconds = watch.seconds();
+            metrics.train_seconds += epoch_seconds;
+            // Cumulative GNPS inputs for the live conformance watchdog.
+            BUCKWILD_OBS_GAUGE_ADD("train.numbers",
+                                   static_cast<double>(data_.rows()) *
+                                       static_cast<double>(data_.cols()));
+            BUCKWILD_OBS_GAUGE_ADD("train.seconds", epoch_seconds);
             eta *= cfg_.step_decay;
             if (cfg_.record_loss_trace)
                 metrics.loss_trace.push_back(average_loss());
@@ -475,7 +481,13 @@ class SparseEngine
             run_parallel(cfg_.threads, [this, eta](std::size_t tid) {
                 worker(tid, eta);
             });
-            metrics.train_seconds += watch.seconds();
+            const double epoch_seconds = watch.seconds();
+            metrics.train_seconds += epoch_seconds;
+            // Cumulative GNPS inputs for the live conformance watchdog
+            // (sparse: a number is a stored nonzero).
+            BUCKWILD_OBS_GAUGE_ADD(
+                "train.numbers", static_cast<double>(data_.stored_nnz()));
+            BUCKWILD_OBS_GAUGE_ADD("train.seconds", epoch_seconds);
             eta *= cfg_.step_decay;
             if (cfg_.record_loss_trace)
                 metrics.loss_trace.push_back(average_loss());

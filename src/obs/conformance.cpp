@@ -1,0 +1,76 @@
+#include "obs/conformance.h"
+
+#include "obs/trace.h"
+
+namespace buckwild::obs {
+
+ConformanceWatchdog::ConformanceWatchdog(MetricsRegistry& registry,
+                                         ConformanceConfig config,
+                                         dmgc::PerfModel model)
+    : config_(std::move(config)),
+      ratio_(&registry.gauge("obs.conformance.ratio")),
+      measured_(&registry.gauge("obs.conformance.measured_gnps")),
+      violations_(&registry.counter("obs.conformance.violations")),
+      registry_(registry)
+{
+    // Create the whole family eagerly so a scrape taken before any load
+    // arrives already carries the series (CI asserts on their presence).
+    const bool calibrated = model.is_calibrated(config_.signature);
+    if (calibrated && config_.model_size > 0 && config_.threads > 0)
+        predicted_ = model.predict_gnps(config_.signature, config_.threads,
+                                        config_.model_size);
+    registry.gauge("obs.conformance.predicted_gnps").set(predicted_);
+    registry.gauge("obs.conformance.calibrated").set(calibrated ? 1.0 : 0.0);
+    registry.gauge("obs.conformance.band_lo").set(config_.band_lo);
+    registry.gauge("obs.conformance.band_hi").set(config_.band_hi);
+    ratio_->set(0.0);
+    measured_->set(0.0);
+}
+
+void
+ConformanceWatchdog::observe(const Sample& sample)
+{
+    observe(sample.t_seconds, sample.snapshot);
+}
+
+void
+ConformanceWatchdog::observe(double /*t_seconds*/,
+                             const MetricsSnapshot& snapshot)
+{
+    const auto num_it = snapshot.gauges.find(config_.numbers_gauge);
+    const auto sec_it = snapshot.gauges.find(config_.seconds_gauge);
+    if (num_it == snapshot.gauges.end() || sec_it == snapshot.gauges.end())
+        return; // the workload has not published its GNPS inputs yet
+
+    const double numbers = num_it->second;
+    const double seconds = sec_it->second;
+    if (!has_prev_) {
+        has_prev_ = true;
+        prev_numbers_ = numbers;
+        prev_seconds_ = seconds;
+        return; // baseline only; a rate needs two points
+    }
+
+    const double d_numbers = numbers - prev_numbers_;
+    const double d_seconds = seconds - prev_seconds_;
+    prev_numbers_ = numbers;
+    prev_seconds_ = seconds;
+
+    // Idle tick (or a registry reset walking the gauges backwards):
+    // leave the last measured value standing rather than reporting a
+    // spurious zero-throughput violation.
+    if (d_seconds < config_.min_interval_seconds || d_numbers < 0.0) return;
+
+    const double measured_gnps = d_numbers / d_seconds / 1e9;
+    measured_->set(measured_gnps);
+    if (predicted_ <= 0.0) return; // uncalibrated: no ratio, no violations
+
+    const double ratio = measured_gnps / predicted_;
+    ratio_->set(ratio);
+    if (ratio < config_.band_lo || ratio > config_.band_hi) {
+        violations_->add(1);
+        Tracer::global().instant("conformance", "out_of_band");
+    }
+}
+
+} // namespace buckwild::obs

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * ConformanceWatchdog — roofline conformance as first-class telemetry.
+ *
+ * The paper's §4 DMGC performance model predicts what throughput a
+ * signature *should* sustain: T(t) = T1·t / (1 + (t-1)(1-p)) with
+ * p(n) = 0.89 − 22/√n and T1 from the Table-2 calibration. This
+ * watchdog closes the loop at run time: each sampler tick it derives
+ * measured live GNPS from two cumulative registry gauges (numbers
+ * processed and busy/compute seconds — the same numerator/denominator
+ * the post-run gnps() reports use), divides by the model's prediction
+ * for the active signature, and maintains:
+ *
+ *   obs.conformance.ratio          gauge    measured / predicted GNPS
+ *   obs.conformance.measured_gnps  gauge    live GNPS this interval
+ *   obs.conformance.predicted_gnps gauge    model prediction (constant)
+ *   obs.conformance.band_lo/_hi    gauge    the configured band
+ *   obs.conformance.calibrated     gauge    1 if the signature has a
+ *                                           Table-2 row, else 0
+ *   obs.conformance.violations     counter  ticks the ratio left the band
+ *
+ * When the ratio leaves [band_lo, band_hi] the watchdog also emits a
+ * trace instant ("conformance", "out_of_band"), so a perf regression or
+ * a staleness stall shows up in the Chrome trace exactly where it
+ * happened instead of as a post-hoc bench diff.
+ *
+ * Band semantics: the prediction is calibrated on the paper's Xeon
+ * E7-8890 v3, so on another host the ratio settles at a machine factor
+ * rather than 1.0 — the band is about *stability* (detecting the ratio
+ * leaving its envelope), and the default [0.02, 50] band only flags
+ * order-of-magnitude departures. Operators who have observed their
+ * host's steady ratio tighten the band around it (--conformance-band).
+ *
+ * Idle intervals (busy-seconds delta below min_interval_seconds) are
+ * skipped entirely: an unloaded server is not a roofline violation.
+ *
+ * Uncalibrated signatures (e.g. the Cs-term cluster signatures that
+ * have no Table-2 row) publish calibrated=0 and measured GNPS only —
+ * never a ratio, never a violation.
+ */
+#ifndef BUCKWILD_OBS_CONFORMANCE_H
+#define BUCKWILD_OBS_CONFORMANCE_H
+
+#include <cstdint>
+#include <string>
+
+#include "dmgc/perf_model.h"
+#include "dmgc/signature.h"
+#include "obs/registry.h"
+#include "obs/sampler.h"
+
+namespace buckwild::obs {
+
+struct ConformanceConfig
+{
+    /// The signature whose roofline the run is held to.
+    dmgc::Signature signature;
+    std::size_t threads = 1;
+    /// Model size n for p(n); 0 disables prediction (measured only).
+    std::size_t model_size = 0;
+    /// Cumulative registry gauges the live GNPS is derived from.
+    std::string numbers_gauge = "serve.numbers";
+    std::string seconds_gauge = "serve.busy_seconds";
+    /// Acceptable measured/predicted envelope (see file comment).
+    double band_lo = 0.02;
+    double band_hi = 50.0;
+    /// Busy-second delta below which a tick is treated as idle.
+    double min_interval_seconds = 1e-4;
+};
+
+class ConformanceWatchdog
+{
+  public:
+    ConformanceWatchdog(MetricsRegistry& registry, ConformanceConfig config,
+                        dmgc::PerfModel model = dmgc::PerfModel::paper_model());
+
+    /// Sampler listener: derives this tick's measured GNPS and updates
+    /// the conformance instruments.
+    void observe(const Sample& sample);
+
+    /// Testable core — the same update from an explicit snapshot.
+    void observe(double t_seconds, const MetricsSnapshot& snapshot);
+
+    /// The model's prediction for the configured signature (0 when
+    /// uncalibrated or model_size is 0).
+    double predicted_gnps() const { return predicted_; }
+
+    std::uint64_t violations() const { return violations_->value(); }
+
+    const ConformanceConfig& config() const { return config_; }
+
+  private:
+    ConformanceConfig config_;
+    double predicted_ = 0.0;
+
+    Gauge* ratio_;
+    Gauge* measured_;
+    Counter* violations_;
+
+    MetricsRegistry& registry_;
+    bool has_prev_ = false;
+    double prev_numbers_ = 0.0;
+    double prev_seconds_ = 0.0;
+};
+
+} // namespace buckwild::obs
+
+#endif // BUCKWILD_OBS_CONFORMANCE_H

@@ -187,6 +187,12 @@ void write_flat_metrics(std::ostream& out, const MetricsSnapshot& snap)
         w.key("p50").value(h.p50);
         w.key("p95").value(h.p95);
         w.key("p99").value(h.p99);
+        if (h.sampled) {
+            // Reservoir subsampling engaged: percentiles are estimates
+            // over `reservoir` uniform samples of `count` values.
+            w.key("sampled").value(true);
+            w.key("reservoir").value(static_cast<std::uint64_t>(h.reservoir_cap));
+        }
         w.end_object();
     }
     w.end_object();

@@ -1,0 +1,175 @@
+#include "obs/http_exporter.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+
+#include "obs/prom.h"
+#include "util/logging.h"
+
+namespace buckwild::obs {
+
+namespace {
+
+void
+send_all(int fd, const std::string& bytes)
+{
+    std::size_t sent = 0;
+    while (sent < bytes.size()) {
+        // MSG_NOSIGNAL: a scraper that hung up mid-response must not
+        // SIGPIPE the serving process.
+        const ssize_t n = ::send(fd, bytes.data() + sent,
+                                 bytes.size() - sent, MSG_NOSIGNAL);
+        if (n <= 0) return;
+        sent += static_cast<std::size_t>(n);
+    }
+}
+
+std::string
+http_response(const char* status, const char* content_type,
+              const std::string& body)
+{
+    std::ostringstream out;
+    out << "HTTP/1.1 " << status << "\r\n"
+        << "Content-Type: " << content_type << "\r\n"
+        << "Content-Length: " << body.size() << "\r\n"
+        << "Connection: close\r\n"
+        << "\r\n"
+        << body;
+    return out.str();
+}
+
+} // namespace
+
+HttpExporter::HttpExporter(HttpExporterConfig config)
+    : config_(std::move(config)),
+      registry_(config_.registry ? *config_.registry
+                                 : MetricsRegistry::global())
+{
+}
+
+HttpExporter::~HttpExporter()
+{
+    stop();
+}
+
+bool
+HttpExporter::start()
+{
+    if (thread_.joinable()) return true;
+
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) {
+        warn(std::string("obs: socket() failed: ") + std::strerror(errno));
+        return false;
+    }
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(config_.port);
+    if (::inet_pton(AF_INET, config_.bind_address.c_str(),
+                    &addr.sin_addr) != 1) {
+        warn("obs: bad bind address '" + config_.bind_address + "'");
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+        return false;
+    }
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(listen_fd_, 16) != 0) {
+        warn("obs: cannot listen on " + config_.bind_address + ":" +
+             std::to_string(config_.port) + ": " + std::strerror(errno));
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+        return false;
+    }
+    socklen_t len = sizeof(addr);
+    ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+    port_ = ntohs(addr.sin_port);
+
+    stop_requested_.store(false, std::memory_order_relaxed);
+    thread_ = std::thread(&HttpExporter::run, this);
+    return true;
+}
+
+void
+HttpExporter::run()
+{
+    while (!stop_requested_.load(std::memory_order_relaxed)) {
+        pollfd pfd{listen_fd_, POLLIN, 0};
+        const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+        if (ready <= 0) continue; // timeout or EINTR: re-check stop flag
+        const int client = ::accept(listen_fd_, nullptr, nullptr);
+        if (client < 0) continue;
+        handle(client);
+        ::close(client);
+    }
+}
+
+void
+HttpExporter::handle(int client_fd)
+{
+    // A scraper that connects but never writes must not wedge the loop.
+    timeval timeout{};
+    timeout.tv_sec = 1;
+    ::setsockopt(client_fd, SOL_SOCKET, SO_RCVTIMEO, &timeout,
+                 sizeof(timeout));
+
+    std::string request;
+    char buf[2048];
+    while (request.size() < 16 * 1024 &&
+           request.find("\r\n\r\n") == std::string::npos) {
+        const ssize_t n = ::recv(client_fd, buf, sizeof(buf), 0);
+        if (n <= 0) break;
+        request.append(buf, static_cast<std::size_t>(n));
+    }
+    const std::size_t line_end = request.find("\r\n");
+    std::istringstream first_line(request.substr(
+        0, line_end == std::string::npos ? request.size() : line_end));
+    std::string method, path;
+    first_line >> method >> path;
+    // Strip any query string: /metrics?format=... still serves.
+    if (const std::size_t q = path.find('?'); q != std::string::npos)
+        path.resize(q);
+
+    served_.fetch_add(1, std::memory_order_relaxed);
+    if (method != "GET") {
+        send_all(client_fd,
+                 http_response("405 Method Not Allowed", "text/plain",
+                               "only GET is supported\n"));
+        return;
+    }
+    if (path == "/metrics") {
+        send_all(client_fd,
+                 http_response("200 OK", kPromContentType,
+                               render_prometheus(registry_.snapshot())));
+    } else if (path == "/healthz") {
+        send_all(client_fd, http_response("200 OK", "text/plain", "ok\n"));
+    } else {
+        send_all(client_fd, http_response("404 Not Found", "text/plain",
+                                          "not found\n"));
+    }
+}
+
+void
+HttpExporter::stop()
+{
+    if (!thread_.joinable()) return;
+    stop_requested_.store(true, std::memory_order_relaxed);
+    thread_.join();
+    if (listen_fd_ >= 0) {
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+    }
+}
+
+} // namespace buckwild::obs

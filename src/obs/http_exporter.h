@@ -1,0 +1,87 @@
+/**
+ * @file
+ * HttpExporter — a minimal POSIX-socket HTTP server exposing the live
+ * registry as a Prometheus scrape target. No third-party dependencies:
+ * operators get `GET /metrics` (text-exposition of the current registry
+ * snapshot, including the sampler's `.rate` gauges and the conformance
+ * watchdog's ratio) and `GET /healthz` (readiness probe), everything
+ * else is 404/405.
+ *
+ * Scope is deliberately tiny: one accept loop on a background thread,
+ * one request per connection, `Connection: close`. A scrape is a
+ * registry snapshot plus a text render — a few tens of microseconds —
+ * so there is no need for concurrency in the server itself, and the hot
+ * serving/training paths never see the exporter at all (the registry's
+ * instruments are the only shared state, and reads there are relaxed
+ * atomics).
+ *
+ * The accept loop polls with a short timeout and re-checks a stop flag,
+ * so stop() returns promptly without signals or self-pipes. Binding
+ * port 0 picks an ephemeral port (port() reports the real one), which
+ * is how the end-to-end tests run without fixed-port collisions.
+ */
+#ifndef BUCKWILD_OBS_HTTP_EXPORTER_H
+#define BUCKWILD_OBS_HTTP_EXPORTER_H
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "obs/registry.h"
+
+namespace buckwild::obs {
+
+struct HttpExporterConfig
+{
+    /// TCP port to listen on; 0 = any free port (see port()).
+    std::uint16_t port = 9090;
+    /// Bind address; 0.0.0.0 so a containerized run is scrapable.
+    std::string bind_address = "0.0.0.0";
+    /// The registry /metrics renders. Defaults to the global one.
+    MetricsRegistry* registry = nullptr;
+};
+
+class HttpExporter
+{
+  public:
+    explicit HttpExporter(HttpExporterConfig config);
+    ~HttpExporter(); ///< stops the server if running
+
+    HttpExporter(const HttpExporter&) = delete;
+    HttpExporter& operator=(const HttpExporter&) = delete;
+
+    /// Binds, listens, and spawns the accept thread. Returns false
+    /// (after logging a warning) if the socket cannot be bound.
+    bool start();
+
+    /// Closes the listening socket and joins the thread. Idempotent.
+    void stop();
+
+    bool running() const { return thread_.joinable(); }
+
+    /// The actually bound port (resolves port 0 after start()).
+    std::uint16_t port() const { return port_; }
+
+    /// Requests answered so far (any status).
+    std::uint64_t requests_served() const
+    {
+        return served_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    void run();
+    void handle(int client_fd);
+
+    HttpExporterConfig config_;
+    MetricsRegistry& registry_;
+    int listen_fd_ = -1;
+    std::uint16_t port_ = 0;
+    std::thread thread_;
+    std::atomic<bool> stop_requested_{false};
+    std::atomic<std::uint64_t> served_{0};
+};
+
+} // namespace buckwild::obs
+
+#endif // BUCKWILD_OBS_HTTP_EXPORTER_H

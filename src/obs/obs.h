@@ -23,8 +23,13 @@
 #ifndef BUCKWILD_OBS_OBS_H
 #define BUCKWILD_OBS_OBS_H
 
+#include "obs/conformance.h"
 #include "obs/export.h"
+#include "obs/http_exporter.h"
+#include "obs/perf_counters.h"
+#include "obs/prom.h"
 #include "obs/registry.h"
+#include "obs/sampler.h"
 #include "obs/trace.h"
 
 #ifndef BUCKWILD_OBS_ENABLED

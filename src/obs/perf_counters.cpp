@@ -1,0 +1,138 @@
+#include "obs/perf_counters.h"
+
+#include <cerrno>
+#include <cstring>
+
+#ifdef __linux__
+#include <linux/perf_event.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace buckwild::obs {
+
+#ifdef __linux__
+
+int
+PerfCounters::open_counter(std::uint64_t config, const char* what)
+{
+    perf_event_attr attr{};
+    attr.type = PERF_TYPE_HARDWARE;
+    attr.size = sizeof(attr);
+    attr.config = config;
+    attr.disabled = 0;
+    // User space only: works at perf_event_paranoid <= 2 (the common
+    // unprivileged ceiling), and the update loops we care about are
+    // user-space anyway.
+    attr.exclude_kernel = 1;
+    attr.exclude_hv = 1;
+    // Count worker threads spawned after this open (the tools construct
+    // PerfCounters before starting the run).
+    attr.inherit = 1;
+
+    const long fd = ::syscall(SYS_perf_event_open, &attr, /*pid=*/0,
+                              /*cpu=*/-1, /*group_fd=*/-1, /*flags=*/0UL);
+    if (fd < 0 && reason_.empty())
+        reason_ = std::string("perf_event_open(") + what +
+            "): " + std::strerror(errno);
+    return static_cast<int>(fd);
+}
+
+PerfCounters::PerfCounters()
+{
+    fd_instructions_ =
+        open_counter(PERF_COUNT_HW_INSTRUCTIONS, "instructions");
+    fd_cycles_ = open_counter(PERF_COUNT_HW_CPU_CYCLES, "cycles");
+    fd_llc_misses_ = open_counter(PERF_COUNT_HW_CACHE_MISSES, "llc_misses");
+    available_ =
+        fd_instructions_ >= 0 && fd_cycles_ >= 0 && fd_llc_misses_ >= 0;
+    if (!available_) {
+        if (fd_instructions_ >= 0) ::close(fd_instructions_);
+        if (fd_cycles_ >= 0) ::close(fd_cycles_);
+        if (fd_llc_misses_ >= 0) ::close(fd_llc_misses_);
+        fd_instructions_ = fd_cycles_ = fd_llc_misses_ = -1;
+        if (reason_.empty()) reason_ = "perf_event_open failed";
+    }
+}
+
+PerfCounters::~PerfCounters()
+{
+    if (fd_instructions_ >= 0) ::close(fd_instructions_);
+    if (fd_cycles_ >= 0) ::close(fd_cycles_);
+    if (fd_llc_misses_ >= 0) ::close(fd_llc_misses_);
+}
+
+PerfCounters::Reading
+PerfCounters::read() const
+{
+    Reading r;
+    if (!available_) return r;
+    auto read_one = [](int fd, std::uint64_t& out) {
+        return ::read(fd, &out, sizeof(out)) ==
+            static_cast<ssize_t>(sizeof(out));
+    };
+    r.ok = read_one(fd_instructions_, r.instructions) &&
+        read_one(fd_cycles_, r.cycles) &&
+        read_one(fd_llc_misses_, r.llc_misses);
+    return r;
+}
+
+#else // !__linux__
+
+int
+PerfCounters::open_counter(std::uint64_t, const char*)
+{
+    return -1;
+}
+
+PerfCounters::PerfCounters()
+{
+    reason_ = "perf_event_open: unsupported platform";
+}
+
+PerfCounters::~PerfCounters() = default;
+
+PerfCounters::Reading
+PerfCounters::read() const
+{
+    return {};
+}
+
+#endif // __linux__
+
+void
+PerfCounters::publish(MetricsRegistry& registry)
+{
+    const Reading now = read();
+    registry.gauge("obs.perf.available").set(now.ok ? 1.0 : 0.0);
+    if (!now.ok) return;
+
+    if (has_last_) {
+        // Counters want deltas (add), and the deltas double as the
+        // per-tick denominators for the derived ratios.
+        const std::uint64_t d_insn =
+            now.instructions - last_published_.instructions;
+        const std::uint64_t d_cyc = now.cycles - last_published_.cycles;
+        const std::uint64_t d_miss =
+            now.llc_misses - last_published_.llc_misses;
+        registry.counter("obs.perf.instructions").add(d_insn);
+        registry.counter("obs.perf.cycles").add(d_cyc);
+        registry.counter("obs.perf.llc_misses").add(d_miss);
+        if (d_cyc > 0)
+            registry.gauge("obs.perf.ipc")
+                .set(static_cast<double>(d_insn) /
+                     static_cast<double>(d_cyc));
+        if (d_insn > 0)
+            registry.gauge("obs.perf.llc_miss_per_kinsn")
+                .set(1000.0 * static_cast<double>(d_miss) /
+                     static_cast<double>(d_insn));
+    } else {
+        registry.counter("obs.perf.instructions").add(now.instructions);
+        registry.counter("obs.perf.cycles").add(now.cycles);
+        registry.counter("obs.perf.llc_misses").add(now.llc_misses);
+    }
+    last_published_ = now;
+    has_last_ = true;
+}
+
+} // namespace buckwild::obs

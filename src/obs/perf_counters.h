@@ -1,0 +1,87 @@
+/**
+ * @file
+ * PerfCounters — a perf_event_open wrapper making the paper's §5.3
+ * cache-behaviour story observable on real runs.
+ *
+ * Opens three hardware counters over the whole process (instructions
+ * retired, CPU cycles, last-level-cache misses; user space only, with
+ * inherit so worker threads spawned after construction are counted) and
+ * publishes them into a MetricsRegistry on every sampler tick:
+ *
+ *   obs.perf.available        gauge    1 when counting, 0 when the
+ *                                      kernel denied perf_event_open
+ *   obs.perf.instructions     counter  cumulative (delta-added per tick)
+ *   obs.perf.cycles           counter  cumulative
+ *   obs.perf.llc_misses       counter  cumulative
+ *   obs.perf.ipc              gauge    instructions/cycle over the tick
+ *   obs.perf.llc_miss_per_kinsn gauge  LLC misses per 1000 instructions
+ *                                      over the tick — the §5.3 signal:
+ *                                      a low-precision run whose misses
+ *                                      per instruction jump is off its
+ *                                      prefetch-friendly access pattern
+ *
+ * Counters (not gauges) for the cumulative series means the sampler
+ * derives obs.perf.*.rate automatically and Prometheus scrapers can
+ * rate() them natively.
+ *
+ * Degrades gracefully: in CI containers perf_event_open typically fails
+ * with EPERM/EACCES (perf_event_paranoid, seccomp) — available() turns
+ * false, the availability gauge reads 0, unavailable_reason() says why,
+ * and everything else is a no-op. Construction never throws.
+ */
+#ifndef BUCKWILD_OBS_PERF_COUNTERS_H
+#define BUCKWILD_OBS_PERF_COUNTERS_H
+
+#include <cstdint>
+#include <string>
+
+#include "obs/registry.h"
+
+namespace buckwild::obs {
+
+class PerfCounters
+{
+  public:
+    /// Opens the counters; check available() for the outcome.
+    PerfCounters();
+    ~PerfCounters();
+
+    PerfCounters(const PerfCounters&) = delete;
+    PerfCounters& operator=(const PerfCounters&) = delete;
+
+    bool available() const { return available_; }
+
+    /// Human-readable reason when available() is false (e.g.
+    /// "perf_event_open(instructions): Permission denied").
+    const std::string& unavailable_reason() const { return reason_; }
+
+    struct Reading
+    {
+        bool ok = false;
+        std::uint64_t instructions = 0;
+        std::uint64_t cycles = 0;
+        std::uint64_t llc_misses = 0;
+    };
+
+    /// Reads the cumulative counts (ok=false when unavailable).
+    Reading read() const;
+
+    /// Publishes the current counts into `registry` (see file comment).
+    /// Designed as a Sampler listener: call once per tick.
+    void publish(MetricsRegistry& registry);
+
+  private:
+    int open_counter(std::uint64_t config, const char* what);
+
+    int fd_instructions_ = -1;
+    int fd_cycles_ = -1;
+    int fd_llc_misses_ = -1;
+    bool available_ = false;
+    std::string reason_;
+    Reading last_published_;
+    bool has_last_ = false;
+};
+
+} // namespace buckwild::obs
+
+#endif // BUCKWILD_OBS_PERF_COUNTERS_H

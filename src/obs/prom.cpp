@@ -1,0 +1,102 @@
+#include "obs/prom.h"
+
+#include <charconv>
+#include <cmath>
+#include <sstream>
+
+namespace buckwild::obs {
+
+std::string
+prom_name(std::string_view raw)
+{
+    std::string out;
+    out.reserve(raw.size());
+    for (char c : raw) {
+        const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+            (c >= '0' && c <= '9') || c == '_' || c == ':';
+        out += ok ? c : '_';
+    }
+    if (out.empty()) out.assign(1, '_');
+    if (out[0] >= '0' && out[0] <= '9') out.insert(out.begin(), '_');
+    return out;
+}
+
+std::string
+prom_escape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '"': out += "\\\""; break;
+        default: out += c;
+        }
+    }
+    return out;
+}
+
+std::string
+prom_value(double v)
+{
+    if (std::isnan(v)) return "NaN";
+    if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+    char buf[32];
+    const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+    return std::string(buf, res.ptr);
+}
+
+namespace {
+
+std::string
+counter_name(std::string_view raw)
+{
+    std::string name = prom_name(raw);
+    if (!name.ends_with("_total")) name += "_total";
+    return name;
+}
+
+void
+family_header(std::ostream& out, const std::string& name,
+              std::string_view raw, const char* type)
+{
+    out << "# HELP " << name << ' ' << prom_escape(raw) << '\n';
+    out << "# TYPE " << name << ' ' << type << '\n';
+}
+
+} // namespace
+
+void
+render_prometheus(std::ostream& out, const MetricsSnapshot& snap)
+{
+    for (const auto& [raw, v] : snap.counters) {
+        const std::string name = counter_name(raw);
+        family_header(out, name, raw, "counter");
+        out << name << ' ' << v << '\n';
+    }
+    for (const auto& [raw, v] : snap.gauges) {
+        const std::string name = prom_name(raw);
+        family_header(out, name, raw, "gauge");
+        out << name << ' ' << prom_value(v) << '\n';
+    }
+    for (const auto& [raw, h] : snap.histograms) {
+        const std::string name = prom_name(raw);
+        family_header(out, name, raw, "summary");
+        out << name << "{quantile=\"0.5\"} " << prom_value(h.p50) << '\n';
+        out << name << "{quantile=\"0.95\"} " << prom_value(h.p95) << '\n';
+        out << name << "{quantile=\"0.99\"} " << prom_value(h.p99) << '\n';
+        out << name << "_sum " << prom_value(h.sum) << '\n';
+        out << name << "_count " << h.count << '\n';
+    }
+}
+
+std::string
+render_prometheus(const MetricsSnapshot& snap)
+{
+    std::ostringstream out;
+    render_prometheus(out, snap);
+    return out.str();
+}
+
+} // namespace buckwild::obs

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Prometheus text-exposition rendering (format version 0.0.4) of a
+ * MetricsSnapshot — the payload behind `GET /metrics` on the live HTTP
+ * exporter. No third-party client library: the format is line-oriented
+ * text and the snapshot is already a sorted map, so rendering is a
+ * single pass.
+ *
+ * Mapping from registry instruments:
+ *  - Counter  -> `# TYPE name_total counter` + one sample line. The
+ *    `_total` suffix is the Prometheus counter convention (not appended
+ *    twice if the name already ends in `_total`).
+ *  - Gauge    -> `# TYPE name gauge` + one sample line.
+ *  - Histo    -> a summary family: `name{quantile="0.5|0.95|0.99"}`,
+ *    `name_sum`, `name_count` — the same p50/p95/p99 the JSON exports
+ *    carry, so the two surfaces always agree.
+ *
+ * Registry names use dots (`serve.requests`); Prometheus names allow
+ * only `[a-zA-Z_:][a-zA-Z0-9_:]*`, so every invalid byte becomes `_`
+ * (`serve.requests` -> `serve_requests_total`). Each family carries a
+ * `# HELP` line holding the original registry name (escaped), so the
+ * mapping stays recoverable from the scrape itself.
+ */
+#ifndef BUCKWILD_OBS_PROM_H
+#define BUCKWILD_OBS_PROM_H
+
+#include <ostream>
+#include <string>
+#include <string_view>
+
+#include "obs/registry.h"
+
+namespace buckwild::obs {
+
+/// Sanitizes a registry name into a valid Prometheus metric name.
+std::string prom_name(std::string_view raw);
+
+/// Escapes a HELP docstring / label value: `\` -> `\\`, LF -> `\n`
+/// (and `"` -> `\"`, harmless in HELP, required in label values).
+std::string prom_escape(std::string_view s);
+
+/// Renders one value the way Prometheus expects: shortest round-trip
+/// decimal for finite doubles, `NaN` / `+Inf` / `-Inf` otherwise.
+std::string prom_value(double v);
+
+/// Renders the whole snapshot in text-exposition format, families in
+/// name order (counters, then gauges, then histogram summaries).
+void render_prometheus(std::ostream& out, const MetricsSnapshot& snap);
+
+/// Convenience overload returning the rendered body.
+std::string render_prometheus(const MetricsSnapshot& snap);
+
+/// The Content-Type a conforming scraper expects for this body.
+inline constexpr const char* kPromContentType =
+    "text/plain; version=0.0.4; charset=utf-8";
+
+} // namespace buckwild::obs
+
+#endif // BUCKWILD_OBS_PROM_H

@@ -1,27 +1,70 @@
 #include "obs/registry.h"
 
-#include <algorithm>
-
 #include "util/stats.h"
 
 namespace buckwild::obs {
 
+namespace {
+
+/// Fixed seed so two identical record streams keep identical reservoirs
+/// (the determinism contract the replay tests assert).
+constexpr std::uint64_t kReservoirSeed = 0x9E3779B97F4A7C15ull;
+
+/// xorshift64* step — same generator family as src/rng, inlined here so
+/// the registry stays dependency-free below util.
+std::uint64_t
+xorshift64star(std::uint64_t& state)
+{
+    state ^= state >> 12;
+    state ^= state << 25;
+    state ^= state >> 27;
+    return state * 0x2545F4914F6CDD1Dull;
+}
+
+} // namespace
+
+Histo::Histo(std::size_t reservoir_cap)
+    : cap_(reservoir_cap == 0 ? 1 : reservoir_cap), rng_(kReservoirSeed)
+{
+}
+
+void Histo::record_locked(double x)
+{
+    ++count_;
+    sum_ += x;
+    if (count_ == 1) {
+        min_ = max_ = x;
+    } else {
+        if (x < min_) min_ = x;
+        if (x > max_) max_ = x;
+    }
+    if (samples_.size() < cap_) {
+        samples_.push_back(x);
+        return;
+    }
+    // Vitter's algorithm R: replace a uniformly random slot with
+    // probability cap/count, so the reservoir stays a uniform sample of
+    // everything ever recorded.
+    const std::uint64_t j = xorshift64star(rng_) % count_;
+    if (j < cap_) samples_[j] = x;
+}
+
 void Histo::record(double x)
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    samples_.push_back(x);
+    record_locked(x);
 }
 
 void Histo::record_many(const std::vector<double>& xs)
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    samples_.insert(samples_.end(), xs.begin(), xs.end());
+    for (double x : xs) record_locked(x);
 }
 
 std::size_t Histo::count() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    return samples_.size();
+    return static_cast<std::size_t>(count_);
 }
 
 double Histo::percentile(double p) const
@@ -33,9 +76,7 @@ double Histo::percentile(double p) const
 double Histo::sum() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    double s = 0.0;
-    for (double x : samples_) s += x;
-    return s;
+    return sum_;
 }
 
 std::vector<double> Histo::samples() const
@@ -44,10 +85,49 @@ std::vector<double> Histo::samples() const
     return samples_;
 }
 
+bool Histo::sampled() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return count_ > cap_;
+}
+
+double Histo::min() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return min_;
+}
+
+double Histo::max() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return max_;
+}
+
+MetricsSnapshot::HistoSummary Histo::summary() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    MetricsSnapshot::HistoSummary s;
+    s.count = static_cast<std::size_t>(count_);
+    s.sum = sum_;
+    s.min = min_;
+    s.max = max_;
+    s.p50 = percentile_of(samples_, 50.0);
+    s.p95 = percentile_of(samples_, 95.0);
+    s.p99 = percentile_of(samples_, 99.0);
+    s.reservoir_cap = cap_;
+    s.sampled = count_ > cap_;
+    return s;
+}
+
 void Histo::reset()
 {
     std::lock_guard<std::mutex> lock(mutex_);
     samples_.clear();
+    count_ = 0;
+    sum_ = 0.0;
+    min_ = 0.0;
+    max_ = 0.0;
+    rng_ = kReservoirSeed; // a reset histogram replays identically
 }
 
 Counter& MetricsRegistry::counter(const std::string& name)
@@ -80,20 +160,8 @@ MetricsSnapshot MetricsRegistry::snapshot() const
     std::lock_guard<std::mutex> lock(mutex_);
     for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
     for (const auto& [name, g] : gauges_) snap.gauges[name] = g->value();
-    for (const auto& [name, h] : histograms_) {
-        MetricsSnapshot::HistoSummary s;
-        std::vector<double> xs = h->samples();
-        s.count = xs.size();
-        for (double x : xs) s.sum += x;
-        if (!xs.empty()) {
-            s.min = *std::min_element(xs.begin(), xs.end());
-            s.max = *std::max_element(xs.begin(), xs.end());
-        }
-        s.p50 = percentile_of(xs, 50.0);
-        s.p95 = percentile_of(xs, 95.0);
-        s.p99 = percentile_of(xs, 99.0);
-        snap.histograms[name] = s;
-    }
+    for (const auto& [name, h] : histograms_)
+        snap.histograms[name] = h->summary();
     return snap;
 }
 

@@ -61,27 +61,6 @@ class Gauge
     std::atomic<double> value_{0.0};
 };
 
-/// Raw-sample histogram. Keeps every recorded value so percentiles come
-/// from util::percentile_of exactly (no bucketing error); record() is a
-/// mutex push_back, so hot paths should record per batch, not per item.
-class Histo
-{
-  public:
-    void record(double x);
-    /// Appends every sample under one lock (batch-amortized hot paths).
-    void record_many(const std::vector<double>& xs);
-    std::size_t count() const;
-    /// Percentile via util::percentile_of on a snapshot of the samples.
-    double percentile(double p) const;
-    double sum() const;
-    std::vector<double> samples() const;
-    void reset();
-
-  private:
-    mutable std::mutex mutex_;
-    std::vector<double> samples_;
-};
-
 /// Value-type view of every instrument at one instant, ordered by name.
 struct MetricsSnapshot
 {
@@ -94,11 +73,66 @@ struct MetricsSnapshot
         double p50 = 0.0;
         double p95 = 0.0;
         double p99 = 0.0;
+        /// Reservoir bound of the source histogram; percentiles are an
+        /// estimate over a uniform subsample once `sampled` is true.
+        std::size_t reservoir_cap = 0;
+        bool sampled = false;
     };
 
     std::map<std::string, std::uint64_t> counters;
     std::map<std::string, double> gauges;
     std::map<std::string, HistoSummary> histograms;
+};
+
+/// Sample histogram with a bounded, deterministic reservoir. The first
+/// `reservoir_cap` recorded values are kept verbatim (so short runs get
+/// exact percentiles, as before); past the cap, Vitter's algorithm R
+/// with a fixed-seed xorshift keeps a uniform sample of everything seen,
+/// bounding memory in a long-running server. count/sum/min/max stay
+/// exact running totals either way. record() is a mutex push, so hot
+/// paths should record per batch, not per item.
+class Histo
+{
+  public:
+    /// Default reservoir bound: enough for stable p99 estimates while
+    /// capping a histogram at 64 KiB of samples.
+    static constexpr std::size_t kDefaultReservoir = 8192;
+
+    explicit Histo(std::size_t reservoir_cap = kDefaultReservoir);
+
+    void record(double x);
+    /// Appends every sample under one lock (batch-amortized hot paths).
+    void record_many(const std::vector<double>& xs);
+    /// Exact number of values ever recorded (not the reservoir size).
+    std::size_t count() const;
+    /// Percentile via util::percentile_of over the reservoir (exact
+    /// until count() exceeds reservoir_cap(), an estimate after).
+    double percentile(double p) const;
+    /// Exact running sum of every recorded value.
+    double sum() const;
+    /// The retained reservoir (all samples while count() <= cap).
+    std::vector<double> samples() const;
+    std::size_t reservoir_cap() const { return cap_; }
+    /// True once the reservoir has started subsampling.
+    bool sampled() const;
+    double min() const;
+    double max() const;
+    /// Everything an export needs, under one lock (no torn reads
+    /// between count and percentiles while writers race).
+    MetricsSnapshot::HistoSummary summary() const;
+    void reset();
+
+  private:
+    void record_locked(double x);
+
+    mutable std::mutex mutex_;
+    std::vector<double> samples_;
+    std::size_t cap_;
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    std::uint64_t rng_; ///< fixed-seed xorshift64* state (deterministic)
 };
 
 /**

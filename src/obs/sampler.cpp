@@ -1,0 +1,217 @@
+#include "obs/sampler.h"
+
+#include <utility>
+
+#include "obs/export.h"
+#include "util/logging.h"
+
+namespace buckwild::obs {
+
+Sampler::Sampler(MetricsRegistry& registry, SamplerConfig config)
+    : registry_(registry), config_(std::move(config))
+{
+    if (config_.capacity == 0) config_.capacity = 1;
+}
+
+Sampler::~Sampler()
+{
+    stop();
+}
+
+void
+Sampler::add_listener(Listener listener)
+{
+    listeners_.push_back(std::move(listener));
+}
+
+Sample
+Sampler::sample_now(double t_seconds, std::int64_t unix_ms)
+{
+    // Listeners see the raw snapshot and may write derived instruments
+    // (conformance ratio, perf counters) back into the registry; the
+    // re-snapshot below folds those into this tick's series.
+    Sample probe;
+    probe.t_seconds = t_seconds;
+    probe.unix_ms = unix_ms;
+    probe.snapshot = registry_.snapshot();
+    for (const Listener& listener : listeners_) listener(probe);
+
+    Sample s;
+    s.t_seconds = t_seconds;
+    s.unix_ms = unix_ms;
+    s.snapshot = listeners_.empty() ? std::move(probe.snapshot)
+                                    : registry_.snapshot();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const double dt = t_seconds - prev_t_;
+        if (has_prev_ && dt > 0.0) {
+            for (const auto& [name, v] : s.snapshot.counters) {
+                const auto prev = prev_counters_.find(name);
+                // A counter born mid-run has accumulated since creation,
+                // not since the last tick — skip it until it has a
+                // baseline. A backwards step (registry reset) likewise.
+                if (prev != prev_counters_.end() && v >= prev->second)
+                    s.rates[name] =
+                        static_cast<double>(v - prev->second) / dt;
+            }
+            for (const std::string& name : config_.rate_gauges) {
+                const auto cur = s.snapshot.gauges.find(name);
+                const auto prev = prev_gauges_.find(name);
+                if (cur != s.snapshot.gauges.end() &&
+                    prev != prev_gauges_.end() &&
+                    cur->second >= prev->second)
+                    s.rates[name] = (cur->second - prev->second) / dt;
+            }
+        }
+        prev_counters_ = s.snapshot.counters;
+        prev_gauges_.clear();
+        for (const std::string& name : config_.rate_gauges) {
+            const auto it = s.snapshot.gauges.find(name);
+            if (it != s.snapshot.gauges.end())
+                prev_gauges_[name] = it->second;
+        }
+        prev_t_ = t_seconds;
+        has_prev_ = true;
+
+        series_.push_back(s);
+        while (series_.size() > config_.capacity) series_.pop_front();
+        ++taken_;
+    }
+
+    if (config_.publish_rates)
+        for (const auto& [name, rate] : s.rates)
+            registry_.gauge(name + ".rate").set(rate);
+
+    write_jsonl(s);
+    return s;
+}
+
+void
+Sampler::write_jsonl(const Sample& s)
+{
+    std::lock_guard<std::mutex> lock(jsonl_mutex_);
+    if (!jsonl_.is_open()) return;
+    JsonWriter w(jsonl_);
+    w.begin_object();
+    w.key("t").value(s.t_seconds);
+    w.key("unix_ms").value(static_cast<std::int64_t>(s.unix_ms));
+    w.key("counters").begin_object();
+    for (const auto& [name, v] : s.snapshot.counters) w.key(name).value(v);
+    w.end_object();
+    w.key("gauges").begin_object();
+    for (const auto& [name, v] : s.snapshot.gauges) w.key(name).value(v);
+    w.end_object();
+    w.key("rates").begin_object();
+    for (const auto& [name, v] : s.rates) w.key(name).value(v);
+    w.end_object();
+    w.key("histograms").begin_object();
+    for (const auto& [name, h] : s.snapshot.histograms) {
+        w.key(name).begin_object();
+        w.key("count").value(static_cast<std::uint64_t>(h.count));
+        w.key("sum").value(h.sum);
+        w.key("min").value(h.min);
+        w.key("max").value(h.max);
+        w.key("p50").value(h.p50);
+        w.key("p95").value(h.p95);
+        w.key("p99").value(h.p99);
+        if (h.sampled) {
+            w.key("sampled").value(true);
+            w.key("reservoir").value(
+                static_cast<std::uint64_t>(h.reservoir_cap));
+        }
+        w.end_object();
+    }
+    w.end_object();
+    w.end_object();
+    jsonl_ << '\n';
+    jsonl_.flush(); // a killed run keeps every completed tick
+}
+
+void
+Sampler::start()
+{
+    if (thread_.joinable()) return;
+    if (!config_.jsonl_path.empty()) {
+        std::lock_guard<std::mutex> lock(jsonl_mutex_);
+        jsonl_.open(config_.jsonl_path, std::ios::trunc);
+        if (!jsonl_)
+            warn("obs: cannot open timeseries output file '" +
+                 config_.jsonl_path + "'");
+    }
+    {
+        std::lock_guard<std::mutex> lock(stop_mutex_);
+        stop_requested_ = false;
+    }
+    started_at_ = std::chrono::steady_clock::now();
+    sample_now(0.0,
+               std::chrono::duration_cast<std::chrono::milliseconds>(
+                   std::chrono::system_clock::now().time_since_epoch())
+                   .count());
+    thread_ = std::thread(&Sampler::run, this);
+}
+
+void
+Sampler::run()
+{
+    std::unique_lock<std::mutex> lock(stop_mutex_);
+    for (;;) {
+        if (stop_cv_.wait_for(lock, config_.period,
+                              [&] { return stop_requested_; }))
+            return;
+        lock.unlock();
+        const double t = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - started_at_)
+                             .count();
+        sample_now(t,
+                   std::chrono::duration_cast<std::chrono::milliseconds>(
+                       std::chrono::system_clock::now().time_since_epoch())
+                       .count());
+        lock.lock();
+    }
+}
+
+void
+Sampler::stop()
+{
+    if (!thread_.joinable()) return;
+    {
+        std::lock_guard<std::mutex> lock(stop_mutex_);
+        stop_requested_ = true;
+    }
+    stop_cv_.notify_all();
+    thread_.join();
+    // One final tick so even a run shorter than the period leaves a
+    // baseline *and* a delta sample in the flight record.
+    const double t = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - started_at_)
+                         .count();
+    sample_now(t,
+               std::chrono::duration_cast<std::chrono::milliseconds>(
+                   std::chrono::system_clock::now().time_since_epoch())
+                   .count());
+    std::lock_guard<std::mutex> lock(jsonl_mutex_);
+    if (jsonl_.is_open()) jsonl_.close();
+}
+
+std::vector<Sample>
+Sampler::series() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return {series_.begin(), series_.end()};
+}
+
+Sample
+Sampler::latest() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return series_.empty() ? Sample{} : series_.back();
+}
+
+std::uint64_t
+Sampler::samples_taken() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return taken_;
+}
+
+} // namespace buckwild::obs

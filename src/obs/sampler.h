@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Sampler — the live tier of the observability layer.
+ *
+ * A background thread snapshots a MetricsRegistry on a fixed period and
+ * turns the cumulative instruments into *live* telemetry:
+ *
+ *  - per-interval rates from counter deltas (`requests/s`, `bytes/s`),
+ *    plus deltas of explicitly listed monotone gauges (the GNPS inputs
+ *    `serve.numbers` / `ps.worker.numbers` are accumulated gauges);
+ *  - a bounded in-memory time series (a deque capped at
+ *    `SamplerConfig::capacity`, oldest samples dropped) for in-process
+ *    consumers;
+ *  - one JSONL line per tick appended to `jsonl_path` (--timeseries-out)
+ *    so a run leaves a machine-readable flight record;
+ *  - rate gauges written back into the registry as `<name>.rate`, which
+ *    is how the HTTP /metrics endpoint serves live req/s without any
+ *    coupling between the exporter and the sampler.
+ *
+ * Listeners (the perf-counter publisher and the DMGC conformance
+ * watchdog) run on the sampler thread after each snapshot, *before*
+ * rates are derived and published, so anything they write into the
+ * registry is part of the same tick's series.
+ *
+ * Testability: the whole derivation pipeline is in sample_now(t), which
+ * the background thread calls with real elapsed time and tests call
+ * directly with a hand-driven fake clock — rate math is asserted
+ * deterministically without sleeping.
+ */
+#ifndef BUCKWILD_OBS_SAMPLER_H
+#define BUCKWILD_OBS_SAMPLER_H
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/registry.h"
+
+namespace buckwild::obs {
+
+/// One tick of the live time series.
+struct Sample
+{
+    /// Seconds since the sampler started (or as driven by a test clock).
+    double t_seconds = 0.0;
+    /// Wall-clock milliseconds since the Unix epoch (0 under fake clocks).
+    std::int64_t unix_ms = 0;
+    MetricsSnapshot snapshot;
+    /// Per-second rates derived from the previous tick: every counter,
+    /// plus each configured monotone gauge. Empty on the first tick.
+    std::map<std::string, double> rates;
+};
+
+struct SamplerConfig
+{
+    std::chrono::milliseconds period{500};
+    /// Retained in-memory samples (oldest dropped past this).
+    std::size_t capacity = 720; // 6 minutes at the default period
+    /// JSONL flight-record path; empty = no file output.
+    std::string jsonl_path;
+    /// Monotone (accumulate-only) gauges to differentiate into rates —
+    /// the GNPS numerators/denominators live here, not in counters.
+    std::vector<std::string> rate_gauges;
+    /// Write each derived rate back as a `<name>.rate` gauge so scrape
+    /// endpoints serve live rates.
+    bool publish_rates = true;
+};
+
+class Sampler
+{
+  public:
+    using Listener = std::function<void(const Sample&)>;
+
+    Sampler(MetricsRegistry& registry, SamplerConfig config);
+    ~Sampler(); ///< stops the thread if still running
+
+    Sampler(const Sampler&) = delete;
+    Sampler& operator=(const Sampler&) = delete;
+
+    /// Registers a per-tick callback (run on the sampler thread).
+    /// Call before start(); not synchronized against a running thread.
+    void add_listener(Listener listener);
+
+    /// Spawns the background thread and takes an immediate baseline
+    /// sample (so rates exist from the first full period onward).
+    void start();
+
+    /// Takes one final sample, stops the thread, and closes the JSONL
+    /// file. Idempotent; also called by the destructor.
+    void stop();
+
+    bool running() const { return thread_.joinable(); }
+
+    /**
+     * Takes one sample at timeline point `t_seconds` and returns it.
+     * The background thread calls this with real elapsed time; tests
+     * call it directly with a fake clock (monotonically increasing t).
+     * Thread-safe with respect to concurrent readers.
+     */
+    Sample sample_now(double t_seconds, std::int64_t unix_ms = 0);
+
+    /// Copy of the retained window, oldest first.
+    std::vector<Sample> series() const;
+
+    /// The most recent sample (default-constructed if none yet).
+    Sample latest() const;
+
+    /// Total ticks taken (monotone; not bounded by capacity).
+    std::uint64_t samples_taken() const;
+
+    const SamplerConfig& config() const { return config_; }
+
+  private:
+    void run();
+    void write_jsonl(const Sample& s);
+
+    MetricsRegistry& registry_;
+    SamplerConfig config_;
+    std::vector<Listener> listeners_;
+
+    mutable std::mutex mutex_; ///< guards series_ + derivation state
+    std::deque<Sample> series_;
+    std::uint64_t taken_ = 0;
+    bool has_prev_ = false;
+    double prev_t_ = 0.0;
+    std::map<std::string, std::uint64_t> prev_counters_;
+    std::map<std::string, double> prev_gauges_;
+
+    std::ofstream jsonl_;
+    std::mutex jsonl_mutex_;
+
+    std::thread thread_;
+    std::mutex stop_mutex_;
+    std::condition_variable stop_cv_;
+    bool stop_requested_ = false;
+    std::chrono::steady_clock::time_point started_at_;
+};
+
+} // namespace buckwild::obs
+
+#endif // BUCKWILD_OBS_SAMPLER_H

@@ -115,6 +115,7 @@ train_cluster(const dataset::DenseProblem& problem,
             {
                 // Mini-batch gradient on this worker's data slice.
                 BUCKWILD_OBS_SPAN("ps", "worker.minibatch");
+                Stopwatch minibatch_clock;
                 std::fill(gradient.begin(), gradient.end(), 0.0f);
                 for (std::size_t b = 0; b < config.batch; ++b) {
                     const std::size_t i =
@@ -133,6 +134,13 @@ train_cluster(const dataset::DenseProblem& problem,
                 if (feedback)
                     for (std::size_t k = 0; k < dim; ++k)
                         gradient[k] += residual[k];
+                // Cumulative GNPS inputs for the live conformance
+                // watchdog: numbers touched / seconds busy in compute.
+                BUCKWILD_OBS_GAUGE_ADD("ps.worker.numbers",
+                                       static_cast<double>(config.batch) *
+                                           static_cast<double>(dim));
+                BUCKWILD_OBS_GAUGE_ADD("ps.worker.seconds",
+                                       minibatch_clock.seconds());
             }
 
             // Quantize and push each shard's slice; a staleness-gated

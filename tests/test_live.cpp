@@ -1,0 +1,509 @@
+/**
+ * @file
+ * Tests for the live observability tier (src/obs sampler/prom/http/
+ * conformance/perf):
+ *
+ *  - ObsProm: golden text-exposition rendering (counter `_total`
+ *    convention, gauge/summary families, HELP escaping, name
+ *    sanitization, non-finite values, stable ordering);
+ *  - ObsSampler: rate derivation checked against a hand-driven fake
+ *    clock (no sleeping), counter-reset and born-mid-run handling,
+ *    bounded series window, JSONL flight record;
+ *  - ObsHttp: a real socket round-trip against the exporter on an
+ *    ephemeral port — /metrics, /healthz, 404, 405;
+ *  - ObsConformance: measured/predicted GNPS ratio, band violations,
+ *    idle-tick suppression, uncalibrated-signature behavior;
+ *  - ObsPerf: perf_event_open degrades to "unavailable" (the CI case)
+ *    without breaking publish();
+ *  - ObsLiveStress: the TSan case — a real sampler thread with both
+ *    listeners attached racing hot-path writers and scrape reads.
+ */
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dmgc/signature.h"
+#include "obs/obs.h"
+#include "test_common.h"
+
+namespace buckwild {
+namespace {
+
+// ----------------------------------------------------------------- prom
+
+TEST(ObsProm, GoldenRendering)
+{
+    obs::MetricsRegistry registry;
+    registry.counter("serve.requests").add(3);
+    registry.gauge("busy").set(1.5);
+    obs::Histo& h = registry.histogram("lat");
+    h.record(2.5);
+    h.record(2.5);
+
+    const std::string golden =
+        "# HELP serve_requests_total serve.requests\n"
+        "# TYPE serve_requests_total counter\n"
+        "serve_requests_total 3\n"
+        "# HELP busy busy\n"
+        "# TYPE busy gauge\n"
+        "busy 1.5\n"
+        "# HELP lat lat\n"
+        "# TYPE lat summary\n"
+        "lat{quantile=\"0.5\"} 2.5\n"
+        "lat{quantile=\"0.95\"} 2.5\n"
+        "lat{quantile=\"0.99\"} 2.5\n"
+        "lat_sum 5\n"
+        "lat_count 2\n";
+    EXPECT_EQ(obs::render_prometheus(registry.snapshot()), golden);
+}
+
+TEST(ObsProm, NameSanitizationAndCounterSuffix)
+{
+    EXPECT_EQ(obs::prom_name("serve.requests"), "serve_requests");
+    EXPECT_EQ(obs::prom_name("a-b c/d"), "a_b_c_d");
+    EXPECT_EQ(obs::prom_name("9lives"), "_9lives")
+        << "a leading digit is invalid in a Prometheus name";
+    EXPECT_EQ(obs::prom_name(""), "_");
+
+    obs::MetricsRegistry registry;
+    registry.counter("already_total").add(1);
+    const std::string body = obs::render_prometheus(registry.snapshot());
+    EXPECT_NE(body.find("already_total 1\n"), std::string::npos);
+    EXPECT_EQ(body.find("already_total_total"), std::string::npos)
+        << "the _total convention must not stack";
+}
+
+TEST(ObsProm, EscapingAndNonFiniteValues)
+{
+    EXPECT_EQ(obs::prom_escape("a\\b\nc\"d"), "a\\\\b\\nc\\\"d");
+    EXPECT_EQ(obs::prom_value(std::nan("")), "NaN");
+    EXPECT_EQ(obs::prom_value(HUGE_VAL), "+Inf");
+    EXPECT_EQ(obs::prom_value(-HUGE_VAL), "-Inf");
+    EXPECT_EQ(obs::prom_value(0.25), "0.25");
+
+    // A hostile registry name ends up sanitized in the metric name but
+    // escaped (recoverable) in the HELP line.
+    obs::MetricsRegistry registry;
+    registry.gauge("weird\nname").set(1.0);
+    const std::string body = obs::render_prometheus(registry.snapshot());
+    EXPECT_NE(body.find("# HELP weird_name weird\\nname\n"),
+              std::string::npos)
+        << body;
+    EXPECT_NE(body.find("weird_name 1\n"), std::string::npos);
+}
+
+TEST(ObsProm, RenderingIsStableAndOrdered)
+{
+    obs::MetricsRegistry registry;
+    registry.counter("z").add(1);
+    registry.counter("a").add(1);
+    registry.gauge("m").set(0.0);
+    const std::string first = obs::render_prometheus(registry.snapshot());
+    const std::string second = obs::render_prometheus(registry.snapshot());
+    EXPECT_EQ(first, second);
+    EXPECT_LT(first.find("a_total"), first.find("z_total"))
+        << "families must render in name order";
+}
+
+// -------------------------------------------------------------- sampler
+
+TEST(ObsSampler, DerivesRatesFromAFakeClock)
+{
+    obs::MetricsRegistry registry;
+    obs::Counter& reqs = registry.counter("reqs");
+    obs::Gauge& numbers = registry.gauge("numbers");
+
+    obs::SamplerConfig cfg;
+    cfg.rate_gauges = {"numbers"};
+    obs::Sampler sampler(registry, cfg);
+
+    // Baseline tick: no previous sample, so no rates yet.
+    EXPECT_TRUE(sampler.sample_now(0.0).rates.empty());
+
+    reqs.add(100);
+    numbers.add(500.0);
+    const obs::Sample s1 = sampler.sample_now(10.0);
+    EXPECT_DOUBLE_EQ(s1.rates.at("reqs"), 10.0);
+    EXPECT_DOUBLE_EQ(s1.rates.at("numbers"), 50.0);
+    // Rates are published back as gauges for the scrape endpoint.
+    EXPECT_DOUBLE_EQ(registry.gauge("reqs.rate").value(), 10.0);
+    EXPECT_DOUBLE_EQ(registry.gauge("numbers.rate").value(), 50.0);
+
+    // An idle interval reports an explicit zero rate, not a stale one.
+    const obs::Sample s2 = sampler.sample_now(11.0);
+    EXPECT_DOUBLE_EQ(s2.rates.at("reqs"), 0.0);
+
+    EXPECT_EQ(sampler.samples_taken(), 3u);
+}
+
+TEST(ObsSampler, SkipsResetCountersAndBornMidRunInstruments)
+{
+    obs::MetricsRegistry registry;
+    obs::Counter& c = registry.counter("c");
+    obs::SamplerConfig cfg;
+    obs::Sampler sampler(registry, cfg);
+
+    c.add(50);
+    sampler.sample_now(0.0);
+
+    // Born mid-run: no baseline yet, so no rate for it this tick.
+    registry.counter("late").add(7);
+    c.add(10);
+    const obs::Sample s1 = sampler.sample_now(1.0);
+    EXPECT_DOUBLE_EQ(s1.rates.at("c"), 10.0);
+    EXPECT_EQ(s1.rates.count("late"), 0u)
+        << "a counter born mid-run has no previous tick to rate against";
+
+    // ...but the next tick it does.
+    const obs::Sample s2 = sampler.sample_now(2.0);
+    EXPECT_DOUBLE_EQ(s2.rates.at("late"), 0.0);
+
+    // A backwards step (registry reset) must not produce a huge negative
+    // or wrapped rate — the counter is skipped until it has a fresh
+    // baseline.
+    registry.reset();
+    const obs::Sample s3 = sampler.sample_now(3.0);
+    EXPECT_EQ(s3.rates.count("c"), 0u);
+}
+
+TEST(ObsSampler, SeriesWindowIsBounded)
+{
+    obs::MetricsRegistry registry;
+    obs::SamplerConfig cfg;
+    cfg.capacity = 4;
+    obs::Sampler sampler(registry, cfg);
+    for (int i = 0; i < 10; ++i)
+        sampler.sample_now(static_cast<double>(i));
+
+    const auto series = sampler.series();
+    ASSERT_EQ(series.size(), 4u) << "oldest samples must be dropped";
+    EXPECT_DOUBLE_EQ(series.front().t_seconds, 6.0);
+    EXPECT_DOUBLE_EQ(series.back().t_seconds, 9.0);
+    EXPECT_DOUBLE_EQ(sampler.latest().t_seconds, 9.0);
+    EXPECT_EQ(sampler.samples_taken(), 10u);
+}
+
+TEST(ObsSampler, WritesAJsonlFlightRecord)
+{
+    testutil::TempFile file("timeseries");
+    obs::MetricsRegistry registry;
+    registry.counter("ticks").add(1);
+
+    obs::SamplerConfig cfg;
+    cfg.period = std::chrono::milliseconds(5);
+    cfg.jsonl_path = file.path();
+    obs::Sampler sampler(registry, cfg);
+    sampler.start();
+    registry.counter("ticks").add(9);
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    sampler.stop();
+
+    std::ifstream in(file.path());
+    std::vector<std::string> lines;
+    for (std::string line; std::getline(in, line);) lines.push_back(line);
+    ASSERT_EQ(lines.size(), sampler.samples_taken())
+        << "one JSONL line per tick";
+    ASSERT_GE(lines.size(), 2u) << "baseline plus the final stop() tick";
+    EXPECT_NE(lines.front().find("\"t\":0,"), std::string::npos);
+    EXPECT_NE(lines.front().find("\"counters\":{"), std::string::npos);
+    EXPECT_NE(lines.back().find("\"ticks\":10"), std::string::npos);
+    EXPECT_NE(lines.back().find("\"rates\":{"), std::string::npos);
+}
+
+// ----------------------------------------------------------------- http
+
+std::string
+http_get(std::uint16_t port, const std::string& request_head)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    EXPECT_EQ(
+        ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0)
+        << std::strerror(errno);
+    const std::string request = request_head + "\r\nHost: t\r\n\r\n";
+    EXPECT_EQ(::send(fd, request.data(), request.size(), 0),
+              static_cast<ssize_t>(request.size()));
+    std::string response;
+    char buf[4096];
+    for (;;) {
+        const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        if (n <= 0) break;
+        response.append(buf, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+    return response;
+}
+
+TEST(ObsHttp, ServesMetricsAndHealthOverARealSocket)
+{
+    obs::MetricsRegistry registry;
+    registry.counter("serve.requests").add(42);
+    registry.gauge("obs.conformance.ratio").set(1.25);
+
+    obs::HttpExporterConfig cfg;
+    cfg.port = 0; // ephemeral: no fixed-port collisions in CI
+    cfg.bind_address = "127.0.0.1";
+    cfg.registry = &registry;
+    obs::HttpExporter exporter(cfg);
+    ASSERT_TRUE(exporter.start());
+    ASSERT_NE(exporter.port(), 0u);
+
+    const std::string health = http_get(exporter.port(), "GET /healthz HTTP/1.1");
+    EXPECT_NE(health.find("200 OK"), std::string::npos);
+    EXPECT_NE(health.find("ok\n"), std::string::npos);
+
+    const std::string metrics = http_get(exporter.port(), "GET /metrics HTTP/1.1");
+    EXPECT_NE(metrics.find("200 OK"), std::string::npos);
+    EXPECT_NE(metrics.find(obs::kPromContentType), std::string::npos);
+    EXPECT_NE(metrics.find("serve_requests_total 42\n"), std::string::npos)
+        << metrics;
+    EXPECT_NE(metrics.find("obs_conformance_ratio 1.25\n"),
+              std::string::npos);
+
+    // Query strings are stripped, not 404ed.
+    const std::string query =
+        http_get(exporter.port(), "GET /metrics?format=prometheus HTTP/1.1");
+    EXPECT_NE(query.find("200 OK"), std::string::npos);
+
+    EXPECT_NE(http_get(exporter.port(), "GET /nope HTTP/1.1")
+                  .find("404 Not Found"),
+              std::string::npos);
+    EXPECT_NE(http_get(exporter.port(), "POST /metrics HTTP/1.1")
+                  .find("405 Method Not Allowed"),
+              std::string::npos);
+
+    EXPECT_GE(exporter.requests_served(), 5u);
+    exporter.stop();
+    EXPECT_FALSE(exporter.running());
+}
+
+// ----------------------------------------------------------- conformance
+
+TEST(ObsConformance, TracksRatioAndCountsBandViolations)
+{
+    obs::MetricsRegistry registry;
+    obs::ConformanceConfig cfg;
+    cfg.signature = dmgc::Signature::dense_hogwild(); // D32fM32f row
+    cfg.threads = 1; // predict_gnps(t=1) == T1 == 0.936 GNPS exactly
+    cfg.model_size = 1024;
+    cfg.numbers_gauge = "n";
+    cfg.seconds_gauge = "s";
+    cfg.band_lo = 0.5;
+    cfg.band_hi = 2.0;
+    obs::ConformanceWatchdog dog(registry, cfg);
+    EXPECT_DOUBLE_EQ(dog.predicted_gnps(), 0.936);
+    // The whole family exists before any data arrives (scrapes and the
+    // CI smoke assert on series presence, not just values).
+    EXPECT_DOUBLE_EQ(registry.gauge("obs.conformance.calibrated").value(),
+                     1.0);
+    EXPECT_DOUBLE_EQ(registry.gauge("obs.conformance.band_hi").value(), 2.0);
+
+    obs::Gauge& n = registry.gauge("n");
+    obs::Gauge& s = registry.gauge("s");
+    dog.observe(0.0, registry.snapshot()); // baseline
+
+    // Exactly the predicted throughput: ratio 1, in band.
+    n.add(0.936e9);
+    s.add(1.0);
+    dog.observe(1.0, registry.snapshot());
+    EXPECT_DOUBLE_EQ(registry.gauge("obs.conformance.ratio").value(), 1.0);
+    EXPECT_EQ(dog.violations(), 0u);
+
+    // 4x the roofline: out of band, one violation.
+    n.add(4.0 * 0.936e9);
+    s.add(1.0);
+    dog.observe(2.0, registry.snapshot());
+    EXPECT_DOUBLE_EQ(registry.gauge("obs.conformance.ratio").value(), 4.0);
+    EXPECT_EQ(dog.violations(), 1u);
+
+    // Idle tick (no busy-seconds progress): skipped, not a violation.
+    dog.observe(3.0, registry.snapshot());
+    EXPECT_EQ(dog.violations(), 1u);
+    EXPECT_DOUBLE_EQ(registry.gauge("obs.conformance.ratio").value(), 4.0)
+        << "an idle interval must leave the last measurement standing";
+
+    // Crawling at 1/10th the roofline: below the band.
+    n.add(0.0936e9);
+    s.add(1.0);
+    dog.observe(4.0, registry.snapshot());
+    EXPECT_EQ(dog.violations(), 2u);
+}
+
+TEST(ObsConformance, UncalibratedSignatureMeasuresButNeverViolates)
+{
+    obs::MetricsRegistry registry;
+    obs::ConformanceConfig cfg;
+    cfg.signature = dmgc::parse_signature("D4M4"); // no Table-2 row
+    cfg.threads = 4;
+    cfg.model_size = 1024;
+    cfg.numbers_gauge = "n";
+    cfg.seconds_gauge = "s";
+    obs::ConformanceWatchdog dog(registry, cfg);
+    EXPECT_DOUBLE_EQ(dog.predicted_gnps(), 0.0);
+    EXPECT_DOUBLE_EQ(registry.gauge("obs.conformance.calibrated").value(),
+                     0.0);
+
+    obs::Gauge& n = registry.gauge("n");
+    obs::Gauge& s = registry.gauge("s");
+    dog.observe(0.0, registry.snapshot());
+    n.add(2e9);
+    s.add(1.0);
+    dog.observe(1.0, registry.snapshot());
+    EXPECT_DOUBLE_EQ(
+        registry.gauge("obs.conformance.measured_gnps").value(), 2.0)
+        << "measured GNPS still works without a prediction";
+    EXPECT_DOUBLE_EQ(registry.gauge("obs.conformance.ratio").value(), 0.0);
+    EXPECT_EQ(dog.violations(), 0u);
+}
+
+TEST(ObsConformance, WaitsForTheWorkloadGaugesToAppear)
+{
+    obs::MetricsRegistry registry;
+    obs::ConformanceConfig cfg;
+    cfg.signature = dmgc::Signature::dense_hogwild();
+    cfg.threads = 1;
+    cfg.model_size = 64;
+    cfg.numbers_gauge = "missing.n";
+    cfg.seconds_gauge = "missing.s";
+    obs::ConformanceWatchdog dog(registry, cfg);
+    // Gauges not published yet: every observe is a clean no-op.
+    dog.observe(0.0, registry.snapshot());
+    dog.observe(1.0, registry.snapshot());
+    EXPECT_EQ(dog.violations(), 0u);
+    EXPECT_DOUBLE_EQ(
+        registry.gauge("obs.conformance.measured_gnps").value(), 0.0);
+}
+
+// ----------------------------------------------------------------- perf
+
+TEST(ObsPerf, PublishesOrDegradesGracefully)
+{
+    obs::PerfCounters perf;
+    obs::MetricsRegistry registry;
+    perf.publish(registry);
+    const auto snap = registry.snapshot();
+
+    if (perf.available()) {
+        EXPECT_DOUBLE_EQ(snap.gauges.at("obs.perf.available"), 1.0);
+        EXPECT_TRUE(perf.read().ok);
+        // Burn some instructions; the counters must move forward.
+        volatile double sink = 0.0;
+        for (int i = 0; i < 100000; ++i)
+            sink = sink + static_cast<double>(i);
+        perf.publish(registry);
+        const auto snap2 = registry.snapshot();
+        EXPECT_GT(snap2.counters.at("obs.perf.instructions"),
+                  snap.counters.at("obs.perf.instructions"));
+        EXPECT_GT(snap2.gauges.at("obs.perf.ipc"), 0.0);
+    } else {
+        // The CI container case: perf_event_open denied. Everything
+        // stays well-defined — availability gauge 0, a reason string,
+        // reads that say not-ok, and no phantom counter series.
+        EXPECT_FALSE(perf.unavailable_reason().empty());
+        EXPECT_FALSE(perf.read().ok);
+        EXPECT_DOUBLE_EQ(snap.gauges.at("obs.perf.available"), 0.0);
+        EXPECT_EQ(snap.counters.count("obs.perf.instructions"), 0u);
+        perf.publish(registry); // still a no-op, still no throw
+    }
+}
+
+// --------------------------------------------------------------- stress
+
+TEST(ObsLiveStress, SamplerAndScrapersRaceHotPathWriters)
+{
+    // The TSan case for the live tier: a real 1ms sampler thread (with
+    // perf + conformance listeners attached) and a scraping reader
+    // racing four writer threads hammering every instrument type of the
+    // shared registry. Counters must come out exact; nothing may tear.
+    obs::MetricsRegistry registry;
+    constexpr int kThreads = 4;
+    constexpr int kIters = 5000;
+
+    obs::ConformanceConfig conf;
+    conf.signature = dmgc::Signature::dense_hogwild();
+    conf.threads = kThreads;
+    conf.model_size = 4096;
+    conf.numbers_gauge = "stress.numbers";
+    conf.seconds_gauge = "stress.seconds";
+    obs::ConformanceWatchdog dog(registry, conf);
+    obs::PerfCounters perf;
+
+    obs::SamplerConfig cfg;
+    cfg.period = std::chrono::milliseconds(1);
+    cfg.rate_gauges = {"stress.numbers", "stress.seconds"};
+    obs::Sampler sampler(registry, cfg);
+    sampler.add_listener(
+        [&](const obs::Sample&) { perf.publish(registry); });
+    sampler.add_listener([&](const obs::Sample& s) { dog.observe(s); });
+    sampler.start();
+
+    obs::Counter& counter = registry.counter("stress.counter");
+    obs::Gauge& numbers = registry.gauge("stress.numbers");
+    obs::Gauge& seconds = registry.gauge("stress.seconds");
+    obs::Histo& histo = registry.histogram("stress.histo");
+
+    std::atomic<bool> stop_reader{false};
+    std::thread reader([&] {
+        // What a /metrics scrape does, racing the writers directly.
+        std::size_t bytes = 0;
+        while (!stop_reader.load(std::memory_order_relaxed)) {
+            bytes += obs::render_prometheus(registry.snapshot()).size();
+            std::this_thread::yield();
+        }
+        EXPECT_GT(bytes, 0u);
+    });
+
+    std::vector<std::thread> writers;
+    for (int t = 0; t < kThreads; ++t)
+        writers.emplace_back([&] {
+            for (int i = 0; i < kIters; ++i) {
+                counter.add(1);
+                numbers.add(64.0);
+                seconds.add(1e-6);
+                histo.record(static_cast<double>(i % 100));
+            }
+        });
+    for (auto& th : writers) th.join();
+    stop_reader.store(true, std::memory_order_relaxed);
+    reader.join();
+    sampler.stop();
+
+    EXPECT_EQ(counter.value(),
+              static_cast<std::uint64_t>(kThreads) * kIters);
+    EXPECT_EQ(histo.count(), static_cast<std::size_t>(kThreads) * kIters);
+    EXPECT_DOUBLE_EQ(numbers.value(),
+                     64.0 * static_cast<double>(kThreads) * kIters);
+    EXPECT_GE(sampler.samples_taken(), 2u)
+        << "baseline plus the final stop() tick at minimum";
+    // The sampler saw a consistent world the whole way: every retained
+    // sample's counter value is a multiple of nothing in particular but
+    // must never exceed the final total.
+    for (const obs::Sample& s : sampler.series()) {
+        const auto it = s.snapshot.counters.find("stress.counter");
+        if (it != s.snapshot.counters.end()) {
+            EXPECT_LE(it->second,
+                      static_cast<std::uint64_t>(kThreads) * kIters);
+        }
+    }
+}
+
+} // namespace
+} // namespace buckwild

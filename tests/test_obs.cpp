@@ -76,6 +76,73 @@ TEST(ObsRegistry, HistogramPercentilesAgreeWithUtil)
     EXPECT_EQ(h.count(), xs.size());
 }
 
+TEST(ObsRegistry, ReservoirIsExactBelowCap)
+{
+    obs::Histo h(/*reservoir_cap=*/128);
+    for (int i = 0; i < 100; ++i) h.record(static_cast<double>(i));
+    EXPECT_FALSE(h.sampled());
+    EXPECT_EQ(h.samples().size(), 100u)
+        << "below the cap every sample is kept verbatim";
+    EXPECT_DOUBLE_EQ(h.percentile(50.0), 49.5);
+    const auto summary = h.summary();
+    EXPECT_EQ(summary.reservoir_cap, 128u);
+    EXPECT_FALSE(summary.sampled);
+}
+
+TEST(ObsRegistry, ReservoirBoundsMemoryPastCap)
+{
+    constexpr std::size_t kCap = 64;
+    obs::Histo h(kCap);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        h.record(static_cast<double>(i));
+        sum += static_cast<double>(i);
+    }
+    EXPECT_EQ(h.samples().size(), kCap)
+        << "the reservoir must never grow past its cap";
+    EXPECT_TRUE(h.sampled());
+    // count/sum/min/max stay exact running totals regardless of sampling.
+    EXPECT_EQ(h.count(), 10000u);
+    EXPECT_DOUBLE_EQ(h.sum(), sum);
+    EXPECT_DOUBLE_EQ(h.min(), 0.0);
+    EXPECT_DOUBLE_EQ(h.max(), 9999.0);
+    const auto summary = h.summary();
+    EXPECT_TRUE(summary.sampled);
+    EXPECT_EQ(summary.reservoir_cap, kCap);
+}
+
+TEST(ObsRegistry, ReservoirIsDeterministicAndResetsClean)
+{
+    auto fill = [](obs::Histo& h) {
+        for (int i = 0; i < 5000; ++i)
+            h.record(static_cast<double>((i * 131) % 977));
+    };
+    obs::Histo a(256), b(256);
+    fill(a);
+    fill(b);
+    EXPECT_EQ(a.samples(), b.samples())
+        << "fixed-seed reservoirs must subsample identically";
+
+    // reset() must restore the RNG too, so a reused instrument replays
+    // the same reservoir for the same input stream.
+    const std::vector<double> first = a.samples();
+    a.reset();
+    EXPECT_EQ(a.count(), 0u);
+    fill(a);
+    EXPECT_EQ(a.samples(), first);
+}
+
+TEST(ObsRegistry, ReservoirPercentileStaysAReasonableEstimate)
+{
+    // Uniform 0..9999 through a 512-slot reservoir: the subsampled p50
+    // must land near the true median (the seed is fixed, so this bound
+    // is deterministic, not flaky).
+    obs::Histo h(512);
+    for (int i = 0; i < 10000; ++i) h.record(static_cast<double>(i));
+    EXPECT_NEAR(h.percentile(50.0), 5000.0, 750.0);
+    EXPECT_NEAR(h.percentile(95.0), 9500.0, 400.0);
+}
+
 TEST(ObsRegistry, SnapshotIsOrderedAndComplete)
 {
     obs::MetricsRegistry registry;
@@ -250,6 +317,24 @@ TEST(ObsExport, FlatMetricsGoldenJson)
         "\"h\":{\"count\":2,\"sum\":5,\"min\":2.5,\"max\":2.5,"
         "\"p50\":2.5,\"p95\":2.5,\"p99\":2.5}}}\n";
     EXPECT_EQ(out.str(), golden);
+}
+
+TEST(ObsExport, FlatMetricsNotesReservoirSampling)
+{
+    // Once a histogram starts subsampling, the export must say so (the
+    // percentiles are estimates from that point on). A small registry
+    // histogram cannot be given a custom cap, so this drives the default
+    // cap over the edge.
+    obs::MetricsRegistry registry;
+    obs::Histo& h = registry.histogram("lat");
+    for (std::size_t i = 0; i < obs::Histo::kDefaultReservoir + 1; ++i)
+        h.record(1.0);
+
+    std::ostringstream out;
+    obs::write_flat_metrics(out, registry.snapshot());
+    EXPECT_NE(out.str().find("\"sampled\":true,\"reservoir\":8192"),
+              std::string::npos)
+        << out.str();
 }
 
 TEST(ObsExport, JsonEscapesAndNonFiniteValues)

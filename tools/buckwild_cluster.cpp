@@ -29,6 +29,7 @@
 
 #include "dataset/problem.h"
 #include "obs/obs.h"
+#include "obs_cli.h"
 #include "ps/ps.h"
 #include "serve/serve.h"
 #include "util/table.h"
@@ -76,10 +77,8 @@ usage()
         "  --csv                  also print the table as CSV\n"
         "\n"
         "observability:\n"
-        "  --trace-out PATH       write a Chrome trace_event JSON of the\n"
-        "                         run (open in chrome://tracing / Perfetto)\n"
-        "  --metrics-out PATH     write the metrics registry as flat JSON\n"
-        "                         (per-precision totals under ps.<comm>.*)\n");
+        "%s",
+        tools::obs_cli_usage());
 }
 
 [[noreturn]] void
@@ -100,8 +99,7 @@ struct Options
     std::size_t publish_every = 0;
     std::string precision = "Ms32f";
     std::string save_path;
-    std::string trace_path;
-    std::string metrics_path;
+    tools::ObsCliOptions obs;
     bool csv = false;
 };
 
@@ -191,10 +189,8 @@ parse_args(int argc, char** argv)
             opt.precision = need(i, "--precision");
         } else if (a == "--save") {
             opt.save_path = need(i, "--save");
-        } else if (a == "--trace-out") {
-            opt.trace_path = need(i, "--trace-out");
-        } else if (a == "--metrics-out") {
-            opt.metrics_path = need(i, "--metrics-out");
+        } else if (tools::parse_obs_flag(opt.obs, argc, argv, i)) {
+            // shared observability flag, consumed
         } else if (a == "--csv") {
             opt.csv = true;
         } else {
@@ -237,8 +233,16 @@ main(int argc, char** argv)
             {"comm", "loss", "acc", "B/round", "pushes", "gated", "dup",
              "stale", "retry", "drops", "wall s", "GNPS", "registry v"});
 
-        if (!opt.trace_path.empty())
-            obs::Tracer::global().set_enabled(true);
+        // Worker compute is float minibatch gradients (the quantization
+        // is on the wire, not in the arithmetic), so the roofline is the
+        // dense D32fM32f row at the worker count.
+        tools::ObsSession::Workload workload;
+        workload.signature = dmgc::Signature::dense_hogwild();
+        workload.threads = opt.cluster.workers;
+        workload.model_size = opt.dim;
+        workload.numbers_gauge = "ps.worker.numbers";
+        workload.seconds_gauge = "ps.worker.seconds";
+        tools::ObsSession session(opt.obs, workload);
 
         serve::ModelRegistry registry;
         std::optional<ps::ClusterResult> last;
@@ -288,14 +292,7 @@ main(int argc, char** argv)
             }
         }
 
-        if (!opt.trace_path.empty() &&
-            obs::export_trace_file(opt.trace_path))
-            std::printf("trace: wrote %s (chrome://tracing)\n",
-                        opt.trace_path.c_str());
-        if (!opt.metrics_path.empty() &&
-            obs::export_metrics_file(opt.metrics_path,
-                                     obs::MetricsRegistry::global()))
-            std::printf("metrics: wrote %s\n", opt.metrics_path.c_str());
+        session.finish();
     } catch (const std::exception& e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;

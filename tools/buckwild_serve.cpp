@@ -28,6 +28,7 @@
 #include "dataset/libsvm.h"
 #include "dataset/problem.h"
 #include "obs/obs.h"
+#include "obs_cli.h"
 #include "serve/serve.h"
 #include "util/stopwatch.h"
 #include "util/table.h"
@@ -67,11 +68,8 @@ usage()
         "  --csv                  also print the table as CSV\n"
         "\n"
         "observability:\n"
-        "  --trace-out PATH       write a Chrome trace_event JSON of the\n"
-        "                         run (open in chrome://tracing / Perfetto)\n"
-        "  --metrics-out PATH     write the metrics registry as flat JSON\n"
-        "                         (per-batch totals under serve.b<B>.*)\n",
-        dataset::kDigitPixels);
+        "%s",
+        dataset::kDigitPixels, tools::obs_cli_usage());
 }
 
 [[noreturn]] void
@@ -98,8 +96,7 @@ struct Options
     // Matches buckwild_train's default so the synthetic load is drawn
     // from the same generative model the trained weights fit.
     std::uint64_t seed = 0x5EED;
-    std::string trace_path;
-    std::string metrics_path;
+    tools::ObsCliOptions obs;
     bool csv = false;
 };
 
@@ -169,10 +166,8 @@ parse_args(int argc, char** argv)
             else die("unknown impl: " + m);
         } else if (a == "--seed") {
             opt.seed = std::strtoull(need(i, "--seed"), nullptr, 10);
-        } else if (a == "--trace-out") {
-            opt.trace_path = need(i, "--trace-out");
-        } else if (a == "--metrics-out") {
-            opt.metrics_path = need(i, "--metrics-out");
+        } else if (tools::parse_obs_flag(opt.obs, argc, argv, i)) {
+            // shared observability flag, consumed
         } else if (a == "--csv") {
             opt.csv = true;
         } else {
@@ -261,6 +256,11 @@ run_closed_loop(const Options& opt, const serve::ModelRegistry& registry,
     cfg.queue_capacity = opt.queue_capacity;
     cfg.linger_us = opt.linger_us;
     if (opt.impl) cfg.impl = *opt.impl;
+    // Live observability shares the process-global registry so the
+    // sampler and /metrics see requests as they happen (the per-run
+    // private registry is still summarized into ServeMetrics).
+    if (opt.obs.live())
+        cfg.metrics_registry = &obs::MetricsRegistry::global();
     serve::Server server(registry, cfg);
 
     std::atomic<std::size_t> next{0};
@@ -372,8 +372,20 @@ main(int argc, char** argv)
             "serving throughput/latency (" + to_string(precision) + ")",
             {"batch B", "req/s", "p50 us", "p95 us", "p99 us",
              "mean B", "GNPS", "rejects", "accuracy"});
-        if (!opt.trace_path.empty())
-            obs::Tracer::global().set_enabled(true);
+
+        // Scoring reads float requests against an Ms-precision model, so
+        // the roofline signature is the Table-2 D32fM<s> row.
+        tools::ObsSession::Workload workload;
+        workload.signature = dmgc::Signature::dense_hogwild();
+        if (precision == serve::Precision::kInt8)
+            workload.signature.model = dmgc::Precision::fixed(8);
+        else if (precision == serve::Precision::kInt16)
+            workload.signature.model = dmgc::Precision::fixed(16);
+        workload.threads = opt.workers;
+        workload.model_size = model->dim();
+        workload.numbers_gauge = "serve.numbers";
+        workload.seconds_gauge = "serve.busy_seconds";
+        tools::ObsSession session(opt.obs, workload);
 
         for (const std::size_t b : opt.batches) {
             const RunResult run =
@@ -396,14 +408,7 @@ main(int argc, char** argv)
         table.print(std::cout);
         if (opt.csv) table.print_csv(std::cout);
 
-        if (!opt.trace_path.empty() &&
-            obs::export_trace_file(opt.trace_path))
-            std::printf("trace: wrote %s (chrome://tracing)\n",
-                        opt.trace_path.c_str());
-        if (!opt.metrics_path.empty() &&
-            obs::export_metrics_file(opt.metrics_path,
-                                     obs::MetricsRegistry::global()))
-            std::printf("metrics: wrote %s\n", opt.metrics_path.c_str());
+        session.finish();
     } catch (const std::exception& e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;

@@ -16,6 +16,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <string>
 
@@ -23,6 +24,7 @@
 #include "core/model_io.h"
 #include "dataset/libsvm.h"
 #include "dmgc/advisor.h"
+#include "obs_cli.h"
 #include "util/table.h"
 
 namespace {
@@ -56,7 +58,11 @@ usage()
         "outputs:\n"
         "  --save PATH            write the trained model\n"
         "  --advise               print DMGC-advisor recommendations\n"
-        "  --quiet                suppress the per-epoch loss trace\n");
+        "  --quiet                suppress the per-epoch loss trace\n"
+        "\n"
+        "observability:\n"
+        "%s",
+        tools::obs_cli_usage());
 }
 
 [[noreturn]] void
@@ -80,6 +86,7 @@ struct Options
     std::optional<std::string> save_path;
     bool advise = false;
     bool quiet = false;
+    tools::ObsCliOptions obs;
 };
 
 Options
@@ -165,6 +172,8 @@ parse_args(int argc, char** argv)
             opt.advise = true;
         } else if (a == "--quiet") {
             opt.quiet = true;
+        } else if (tools::parse_obs_flag(opt.obs, argc, argv, i)) {
+            // shared observability flag, consumed
         } else {
             die("unknown flag: " + a);
         }
@@ -189,22 +198,40 @@ main(int argc, char** argv)
         core::Trainer trainer(opt.cfg);
         core::TrainingMetrics metrics;
         std::size_t model_dim = 0;
+        // The live tier is started once the data (and so the model
+        // dimension the roofline prediction needs) is known, but before
+        // training begins, so the sampler sees every epoch.
+        std::unique_ptr<tools::ObsSession> session;
+        auto begin_obs = [&](std::size_t dim) {
+            tools::ObsSession::Workload workload;
+            workload.signature = opt.cfg.signature;
+            workload.threads = std::max<std::size_t>(opt.cfg.threads, 1);
+            workload.model_size = dim;
+            workload.numbers_gauge = "train.numbers";
+            workload.seconds_gauge = "train.seconds";
+            session =
+                std::make_unique<tools::ObsSession>(opt.obs, workload);
+        };
         if (opt.source == Options::Source::kDense) {
             const auto p = dataset::generate_logistic_dense(
                 opt.dim, opt.examples, opt.cfg.seed);
             model_dim = p.dim;
+            begin_obs(model_dim);
             metrics = trainer.fit(p);
         } else if (opt.source == Options::Source::kSparse) {
             const auto p = dataset::generate_logistic_sparse(
                 opt.dim, opt.examples, opt.density, opt.cfg.seed);
             model_dim = p.dim;
+            begin_obs(model_dim);
             metrics = trainer.fit(p);
         } else {
             const auto p = dataset::load_libsvm_file(opt.libsvm_path,
                                                      opt.libsvm_dim);
             model_dim = p.dim;
+            begin_obs(model_dim);
             metrics = trainer.fit(p);
         }
+        metrics.publish(obs::MetricsRegistry::global(), "train.");
 
         if (!opt.quiet) {
             std::printf("epoch losses:");
@@ -242,6 +269,7 @@ main(int argc, char** argv)
                             r.action.c_str(), r.rationale.c_str(),
                             r.stat_eff_cost.c_str());
         }
+        session->finish();
     } catch (const std::exception& e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;

@@ -3,10 +3,12 @@
 # on):
 #
 #   1. build the whole tree under ASan+UBSan and run the full gtest suite;
-#   2. build under TSan and run test_serve + test_ps + test_obs, which
-#      exercise the registry hot-swap, the request queue, the serving
-#      worker loop, the parameter-server shards/transport/cluster, and
-#      the observability counters/trace rings concurrently — the races
+#   2. build under TSan and run test_serve + test_ps + test_obs +
+#      test_live, which exercise the registry hot-swap, the request
+#      queue, the serving worker loop, the parameter-server
+#      shards/transport/cluster, the observability counters/trace
+#      rings, and the live tier (sampler thread, HTTP scrapes, and the
+#      conformance/perf listeners racing hot-path writers) — the races
 #      these subsystems could plausibly have.
 #
 # Usage: tools/check.sh [-j N]
@@ -28,7 +30,7 @@ ctest --preset asan
 
 echo "== TSan: serving + parameter-server + obs concurrency suites =="
 cmake --preset tsan
-cmake --build --preset tsan -j "$jobs" --target test_serve test_ps test_obs
+cmake --build --preset tsan -j "$jobs" --target test_serve test_ps test_obs test_live
 ctest --preset tsan -R '^(Serve|Serving|ModelRegistry|InferenceEngine|RequestQueue|Server|Ps|Obs)'
 
 echo "check.sh: all gates passed"

@@ -1,0 +1,268 @@
+/**
+ * @file
+ * Shared observability CLI plumbing for the buckwild_* tools.
+ *
+ * Every tool gets the same six flags from one parser instead of three
+ * divergent copies:
+ *
+ *   --trace-out PATH         Chrome trace_event JSON of the run
+ *   --metrics-out PATH       flat-JSON metrics registry dump at exit
+ *   --timeseries-out PATH    sampler JSONL flight record (one line/tick)
+ *   --obs-port N             serve GET /metrics + /healthz on port N
+ *                            (0 = pick a free port and print it)
+ *   --obs-period-ms N        sampler tick period (default 500)
+ *   --conformance-band LO,HI acceptable measured/predicted GNPS ratio
+ *
+ * and one ObsSession RAII object that wires the live tier together:
+ * tracer enablement, the Sampler (with the tool's GNPS input gauges as
+ * rate gauges), the perf-counter publisher and DMGC conformance watchdog
+ * as sampler listeners, and the HTTP exporter — then tears it all down
+ * and writes the trace/metrics files in finish().
+ *
+ * The live tier (sampler + listeners + exporter) activates only when
+ * --obs-port or --timeseries-out was given; the batch flags
+ * (--trace-out/--metrics-out) keep working on their own exactly as
+ * before.
+ */
+#ifndef BUCKWILD_TOOLS_OBS_CLI_H
+#define BUCKWILD_TOOLS_OBS_CLI_H
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "dmgc/signature.h"
+#include "obs/obs.h"
+
+namespace buckwild::tools {
+
+struct ObsCliOptions
+{
+    std::string trace_path;
+    std::string metrics_path;
+    std::string timeseries_path;
+    /// --obs-port value; -1 = no HTTP endpoint, 0 = ephemeral port.
+    int port = -1;
+    std::size_t period_ms = 500;
+    double band_lo = 0.02;
+    double band_hi = 50.0;
+
+    /// True when the live tier (sampler thread + /metrics) should run.
+    bool live() const { return port >= 0 || !timeseries_path.empty(); }
+};
+
+/// The usage-text block for the shared flags (printed by every tool
+/// under its "observability:" heading).
+inline const char*
+obs_cli_usage()
+{
+    return
+        "  --trace-out PATH       write a Chrome trace_event JSON of the\n"
+        "                         run (open in chrome://tracing / Perfetto)\n"
+        "  --metrics-out PATH     write the metrics registry as flat JSON\n"
+        "  --timeseries-out PATH  append one JSONL line per sampler tick\n"
+        "                         (live counters, gauges, derived rates)\n"
+        "  --obs-port N           serve Prometheus GET /metrics and\n"
+        "                         GET /healthz on port N (0 = any free\n"
+        "                         port, printed at startup)\n"
+        "  --obs-period-ms N      sampler period in ms (default 500)\n"
+        "  --conformance-band L,H flag ticks whose measured/predicted\n"
+        "                         GNPS ratio leaves [L, H]\n";
+}
+
+namespace detail {
+
+[[noreturn]] inline void
+obs_die(const std::string& message)
+{
+    std::fprintf(stderr, "error: %s (try --help)\n", message.c_str());
+    std::exit(1);
+}
+
+inline const char*
+obs_need(int argc, char** argv, int& i, const char* flag)
+{
+    if (i + 1 >= argc)
+        obs_die(std::string("missing value for ") + flag);
+    return argv[++i];
+}
+
+} // namespace detail
+
+/**
+ * Consumes argv[i] if it is one of the shared observability flags
+ * (advancing `i` over the flag's value). Returns false — leaving `i`
+ * untouched — for anything else, so tools call this from the tail of
+ * their flag-dispatch chain.
+ */
+inline bool
+parse_obs_flag(ObsCliOptions& opt, int argc, char** argv, int& i)
+{
+    const std::string a = argv[i];
+    if (a == "--trace-out") {
+        opt.trace_path = detail::obs_need(argc, argv, i, "--trace-out");
+    } else if (a == "--metrics-out") {
+        opt.metrics_path = detail::obs_need(argc, argv, i, "--metrics-out");
+    } else if (a == "--timeseries-out") {
+        opt.timeseries_path =
+            detail::obs_need(argc, argv, i, "--timeseries-out");
+    } else if (a == "--obs-port") {
+        const char* v = detail::obs_need(argc, argv, i, "--obs-port");
+        char* rest = nullptr;
+        const long port = std::strtol(v, &rest, 10);
+        if (rest == v || *rest != '\0' || port < 0 || port > 65535)
+            detail::obs_die("bad --obs-port (want 0..65535): " +
+                            std::string(v));
+        opt.port = static_cast<int>(port);
+    } else if (a == "--obs-period-ms") {
+        const char* v = detail::obs_need(argc, argv, i, "--obs-period-ms");
+        char* rest = nullptr;
+        opt.period_ms = std::strtoull(v, &rest, 10);
+        if (rest == v || *rest != '\0' || opt.period_ms == 0)
+            detail::obs_die("--obs-period-ms must be >= 1");
+    } else if (a == "--conformance-band") {
+        const char* v =
+            detail::obs_need(argc, argv, i, "--conformance-band");
+        char* rest = nullptr;
+        opt.band_lo = std::strtod(v, &rest);
+        if (rest == nullptr || *rest != ',')
+            detail::obs_die("bad --conformance-band (want LO,HI): " +
+                            std::string(v));
+        opt.band_hi = std::strtod(rest + 1, nullptr);
+        if (!(opt.band_lo > 0.0) || !(opt.band_hi > opt.band_lo))
+            detail::obs_die("bad --conformance-band (want 0 < LO < HI): " +
+                            std::string(v));
+    } else {
+        return false;
+    }
+    return true;
+}
+
+/**
+ * RAII wiring of the live observability tier around one tool run.
+ *
+ * Construct it (after parsing flags) with the workload's DMGC identity —
+ * the signature the conformance watchdog holds the run's roofline to,
+ * plus the names of the cumulative numbers/seconds gauges that workload
+ * publishes. When the options request the live tier this starts, in
+ * order: hardware perf counters, the conformance watchdog, the sampler
+ * thread (perf publisher and watchdog as per-tick listeners), and the
+ * HTTP exporter. finish() (or the destructor) tears the tier down in
+ * reverse and then writes the batch trace/metrics files.
+ */
+class ObsSession
+{
+  public:
+    struct Workload
+    {
+        dmgc::Signature signature;
+        std::size_t threads = 1;
+        /// Model dimension n for p(n); 0 = no roofline prediction.
+        std::size_t model_size = 0;
+        std::string numbers_gauge = "serve.numbers";
+        std::string seconds_gauge = "serve.busy_seconds";
+    };
+
+    ObsSession(const ObsCliOptions& opt, const Workload& workload)
+        : opt_(opt)
+    {
+        if (!opt_.trace_path.empty())
+            obs::Tracer::global().set_enabled(true);
+        if (!opt_.live()) return;
+
+        auto& registry = obs::MetricsRegistry::global();
+
+        perf_ = std::make_unique<obs::PerfCounters>();
+        if (!perf_->available())
+            std::printf("obs: hardware counters unavailable (%s)\n",
+                        perf_->unavailable_reason().c_str());
+
+        obs::ConformanceConfig conf;
+        conf.signature = workload.signature;
+        conf.threads = workload.threads;
+        conf.model_size = workload.model_size;
+        conf.numbers_gauge = workload.numbers_gauge;
+        conf.seconds_gauge = workload.seconds_gauge;
+        conf.band_lo = opt_.band_lo;
+        conf.band_hi = opt_.band_hi;
+        watchdog_ =
+            std::make_unique<obs::ConformanceWatchdog>(registry, conf);
+
+        obs::SamplerConfig sampler_cfg;
+        sampler_cfg.period = std::chrono::milliseconds(opt_.period_ms);
+        sampler_cfg.jsonl_path = opt_.timeseries_path;
+        sampler_cfg.rate_gauges = {workload.numbers_gauge,
+                                   workload.seconds_gauge};
+        sampler_ = std::make_unique<obs::Sampler>(registry, sampler_cfg);
+        sampler_->add_listener(
+            [this](const obs::Sample&) {
+                perf_->publish(obs::MetricsRegistry::global());
+            });
+        sampler_->add_listener(
+            [this](const obs::Sample& s) { watchdog_->observe(s); });
+        sampler_->start();
+
+        if (opt_.port >= 0) {
+            obs::HttpExporterConfig http_cfg;
+            http_cfg.port = static_cast<std::uint16_t>(opt_.port);
+            exporter_ = std::make_unique<obs::HttpExporter>(http_cfg);
+            if (exporter_->start())
+                std::printf("obs: serving /metrics and /healthz on port "
+                            "%u (period %zu ms)\n",
+                            exporter_->port(), opt_.period_ms);
+            else
+                exporter_.reset();
+        }
+    }
+
+    ~ObsSession() { finish(); }
+
+    ObsSession(const ObsSession&) = delete;
+    ObsSession& operator=(const ObsSession&) = delete;
+
+    bool live() const { return sampler_ != nullptr; }
+
+    /// The HTTP port actually bound, or -1 when no endpoint is up.
+    int port() const { return exporter_ ? exporter_->port() : -1; }
+
+    /// Stops the live tier and writes the batch export files. Idempotent
+    /// (also run by the destructor).
+    void
+    finish()
+    {
+        if (finished_) return;
+        finished_ = true;
+        if (exporter_) exporter_->stop();
+        if (sampler_) {
+            sampler_->stop();
+            if (!opt_.timeseries_path.empty())
+                std::printf("timeseries: wrote %s (%llu samples)\n",
+                            opt_.timeseries_path.c_str(),
+                            static_cast<unsigned long long>(
+                                sampler_->samples_taken()));
+        }
+        if (!opt_.trace_path.empty() &&
+            obs::export_trace_file(opt_.trace_path))
+            std::printf("trace: wrote %s (chrome://tracing)\n",
+                        opt_.trace_path.c_str());
+        if (!opt_.metrics_path.empty() &&
+            obs::export_metrics_file(opt_.metrics_path,
+                                     obs::MetricsRegistry::global()))
+            std::printf("metrics: wrote %s\n", opt_.metrics_path.c_str());
+    }
+
+  private:
+    ObsCliOptions opt_;
+    bool finished_ = false;
+    std::unique_ptr<obs::PerfCounters> perf_;
+    std::unique_ptr<obs::ConformanceWatchdog> watchdog_;
+    std::unique_ptr<obs::Sampler> sampler_;
+    std::unique_ptr<obs::HttpExporter> exporter_;
+};
+
+} // namespace buckwild::tools
+
+#endif // BUCKWILD_TOOLS_OBS_CLI_H
