@@ -28,7 +28,8 @@ set(BUCKWILD_BENCHES
   bench_ext_avx512
   bench_ext_async_staleness
   bench_serve_throughput
-  bench_cluster_scaling)
+  bench_cluster_scaling
+  bench_lowp_round)
 
 foreach(name IN LISTS BUCKWILD_BENCHES)
   add_executable(${name} bench/${name}.cpp)

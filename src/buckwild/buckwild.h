@@ -6,7 +6,8 @@
  *   - core::Trainer / TrainerConfig / TrainingMetrics — the SGD engine
  *   - dmgc::Signature / PerfModel — the DMGC model (§3, §4)
  *   - dataset generators and quantized containers
- *   - fixed-point formats and quantizers
+ *   - the precision substrate (lowp::) — grids, rounding, rep dispatch
+ *   - fixed-point formats and quantizer shims
  *   - the kernel implementations (simd::) for power users
  *
  * Subsystem-specific headers (cachesim/, fpga/, isa/, nn/) are included
@@ -30,6 +31,11 @@
 #include "fixed/fixed_point.h"
 #include "fixed/nibble.h"
 #include "fixed/quantize.h"
+#include "lowp/dispatch.h"
+#include "lowp/grid.h"
+#include "lowp/rep_traits.h"
+#include "lowp/round.h"
+#include "lowp/shared_random.h"
 #include "rng/random_source.h"
 #include "rng/xorshift.h"
 #include "simd/ops.h"

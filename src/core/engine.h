@@ -25,6 +25,7 @@
 #define BUCKWILD_CORE_ENGINE_H
 
 #include <cmath>
+#include <cstring>
 #include <memory>
 #include <type_traits>
 #include <vector>
@@ -33,7 +34,10 @@
 #include "core/metrics.h"
 #include "obs/obs.h"
 #include "dataset/quantized.h"
-#include "rng/avx2_xorshift.h"
+#include "lowp/grid.h"
+#include "lowp/rep_traits.h"
+#include "lowp/round.h"
+#include "lowp/shared_random.h"
 #include "rng/random_source.h"
 #include "simd/ops.h"
 #include "simd/sparse_kernels.h"
@@ -47,42 +51,16 @@ namespace buckwild::core {
 namespace detail {
 
 /// G-term emulation (§3 "Gradient numbers"): quantizes an intermediate
-/// value to a b-bit grid over [-range, range] with nearest rounding.
-/// Returns the input unchanged for b >= 32.
+/// value to a b-bit *symmetric* grid over [-range, range] with nearest
+/// rounding (lowp::GridSpec::symmetric — bounds ±(2^(b-1)-1), so negation
+/// never saturates; pinned by tests/test_lowp.cpp). Returns the input
+/// unchanged for b >= 32.
 inline float
 quantize_intermediate(float v, int bits, float range)
 {
     if (bits >= 32) return v;
-    const float q = range / static_cast<float>(1 << (bits - 1));
-    float raw = std::nearbyintf(v / q);
-    const float lim = static_cast<float>((1 << (bits - 1)) - 1);
-    if (raw > lim) raw = lim;
-    if (raw < -lim) raw = -lim;
-    return raw * q;
-}
-
-/// Model-format helper: fixed reps use the library default formats with
-/// symmetric saturation; float is pass-through.
-template <typename M>
-fixed::FixedFormat
-model_format()
-{
-    if constexpr (std::is_same_v<M, std::int8_t>)
-        return fixed::default_format(8);
-    else if constexpr (std::is_same_v<M, std::int16_t>)
-        return fixed::default_format(16);
-    else
-        return fixed::FixedFormat{32, 0}; // unused for float
-}
-
-template <typename M>
-float
-model_quantum()
-{
-    if constexpr (std::is_same_v<M, float>)
-        return 1.0f;
-    else
-        return static_cast<float>(model_format<M>().quantum());
+    return lowp::snap_nearest(
+        v, lowp::GridSpec::symmetric(bits, static_cast<double>(range)));
 }
 
 /// The fixed-scalar shift constant of a (D, M) kernel pair.
@@ -176,40 +154,38 @@ axpy_per_write(M* w, const D* x, std::size_t n, float c, float qx, float qm,
     }
 }
 
-/// Per-worker rounding state: the shared-randomness dither generator and
-/// the per-write sources.
+/// Per-worker rounding state: the substrate's §5.2 shared-randomness
+/// block (lowp::SharedRandom) mirrored into the SIMD kernels' DitherBlock
+/// layout, plus the per-write sources.
 struct WorkerRounding
 {
     WorkerRounding(const TrainerConfig& cfg, std::size_t tid)
         : strategy(cfg.rounding),
-          refresh_iters(cfg.shared_refresh_iters),
-          gen(cfg.seed * 0x9E3779B9u + 0xB5297A4Du * (tid + 1)),
+          shared(lowp::SharedRandom::worker_seed(cfg.seed, tid),
+                 cfg.shared_refresh_iters),
           mersenne(static_cast<std::uint32_t>(cfg.seed + 77 * tid + 1)),
           xorshift(static_cast<std::uint32_t>(cfg.seed + 131 * tid + 7))
     {
-        refresh();
-    }
-
-    /// Draws a fresh 256-bit shared dither block.
-    void
-    refresh()
-    {
-        gen.fill(reinterpret_cast<std::uint32_t*>(block.bytes), 8);
-        since_refresh = 0;
+        sync_block();
     }
 
     /// Called once per AXPY in shared mode.
     void
     tick()
     {
-        if (++since_refresh >= refresh_iters) refresh();
+        if (shared.tick()) sync_block();
+    }
+
+    /// Mirrors the current shared 256-bit block into the kernel view.
+    void
+    sync_block()
+    {
+        std::memcpy(block.bytes, shared.words(), sizeof(block.bytes));
     }
 
     RoundingStrategy strategy;
-    std::size_t refresh_iters;
-    rng::Avx2Xorshift128Plus gen;
+    lowp::SharedRandom shared;
     simd::DitherBlock block{};
-    std::size_t since_refresh = 0;
     rng::MersenneSource mersenne;
     rng::XorshiftSource xorshift;
 };
@@ -295,7 +271,7 @@ class DenseEngine
         return simd::DenseOps<D, M>::dot(cfg_.impl, data_.row(i),
                                          model_.data(), data_.cols(),
                                          data_.quantum(),
-                                         detail::model_quantum<M>());
+                                         lowp::rep_default_quantum<M>());
     }
 
     /// The model dequantized to floats.
@@ -303,7 +279,7 @@ class DenseEngine
     model_floats() const
     {
         std::vector<float> out(model_.size());
-        const float qm = detail::model_quantum<M>();
+        const float qm = lowp::rep_default_quantum<M>();
         for (std::size_t k = 0; k < model_.size(); ++k)
             out[k] = static_cast<float>(model_[k]) * qm;
         return out;
@@ -355,7 +331,7 @@ class DenseEngine
         detail::WorkerRounding rounding(cfg_, tid);
         const std::size_t n = data_.cols();
         const float qx = data_.quantum();
-        const float qm = detail::model_quantum<M>();
+        const float qm = lowp::rep_default_quantum<M>();
         M* w = model_.data();
 
         AlignedBuffer<float> scratch;
@@ -539,7 +515,7 @@ class SparseEngine
     model_floats() const
     {
         std::vector<float> out(model_.size());
-        const float qm = detail::model_quantum<M>();
+        const float qm = lowp::rep_default_quantum<M>();
         for (std::size_t k = 0; k < model_.size(); ++k)
             out[k] = static_cast<float>(model_[k]) * qm;
         return out;
@@ -550,7 +526,7 @@ class SparseEngine
     float
     dot_scale() const
     {
-        return data_.quantum() * detail::model_quantum<M>();
+        return data_.quantum() * lowp::rep_default_quantum<M>();
     }
 
     void
@@ -558,7 +534,7 @@ class SparseEngine
     {
         detail::WorkerRounding rounding(cfg_, tid);
         const float qv = data_.quantum();
-        const float qm = detail::model_quantum<M>();
+        const float qm = lowp::rep_default_quantum<M>();
         M* w = model_.data();
 
         for (std::size_t pos = tid; pos < data_.rows();

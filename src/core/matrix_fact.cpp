@@ -4,7 +4,7 @@
 #include <cmath>
 #include <type_traits>
 
-#include "fixed/fixed_point.h"
+#include "lowp/rep_traits.h"
 #include "rng/avx2_xorshift.h"
 #include "rng/xorshift.h"
 #include "util/aligned_buffer.h"
@@ -65,11 +65,7 @@ MfResult
 run(const RatingProblem& problem, const MfConfig& cfg)
 {
     const std::size_t k = cfg.factor_dim;
-    const float qm = std::is_same_v<M, float>
-        ? 1.0f
-        : static_cast<float>(
-              fixed::default_format(static_cast<int>(sizeof(M)) * 8)
-                  .quantum());
+    const float qm = lowp::rep_default_quantum<M>();
 
     AlignedBuffer<M> uf(problem.users * k);
     AlignedBuffer<M> vf(problem.items * k);
@@ -78,10 +74,7 @@ run(const RatingProblem& problem, const MfConfig& cfg)
     const float s = std::sqrt(3.0f / (0.42f * static_cast<float>(k)));
     auto draw = [&] {
         const float x = s * (0.3f + 0.7f * rng::to_unit_float(init()));
-        if constexpr (std::is_same_v<M, float>)
-            return x;
-        else
-            return static_cast<M>(std::lround(x / qm));
+        return lowp::quantize_value<M>(x, lowp::rep_default_format<M>());
     };
     for (auto& v : uf) v = draw();
     for (auto& v : vf) v = draw();

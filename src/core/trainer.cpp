@@ -3,6 +3,8 @@
 #include <cstdint>
 
 #include "core/engine.h"
+#include "lowp/dispatch.h"
+#include "lowp/rep_traits.h"
 #include "util/logging.h"
 
 namespace buckwild::core {
@@ -44,91 +46,48 @@ class EngineAdapter final : public IEngine
     Engine engine_;
 };
 
-/// Validates and normalizes a precision term into a rep-width selector.
-int
-rep_width(const dmgc::Precision& p, const char* what)
+/// Builds a dense engine for the signature's (D, M) rep widths via the
+/// substrate's signature-driven dispatch (lowp::with_value_rep replaces
+/// the per-letter switch pyramid this file used to carry).
+std::unique_ptr<IEngine>
+make_dense(const dataset::DenseProblem& problem, const TrainerConfig& cfg,
+           int data_width, int model_width)
 {
-    if (p.is_float) {
-        if (p.bits != 32)
-            fatal(std::string(what) + " float precision must be 32 bits");
-        return 32;
-    }
-    if (p.bits != 8 && p.bits != 16)
-        fatal(std::string(what) +
-              " fixed precision must be 8 or 16 bits (got " +
-              std::to_string(p.bits) + "); use src/isa for 4-bit emulation");
-    return p.bits;
+    return lowp::with_value_rep(data_width, [&](auto d) {
+        using D = typename decltype(d)::type;
+        auto data = std::make_shared<dataset::DenseData<D>>(
+            problem, lowp::rep_default_format<D>());
+        return lowp::with_value_rep(
+            model_width, [&](auto m) -> std::unique_ptr<IEngine> {
+                using M = typename decltype(m)::type;
+                return std::make_unique<EngineAdapter<
+                    DenseEngine<D, M>, dataset::DenseData<D>>>(data, cfg);
+            });
+    });
 }
 
-template <typename D>
+/// Builds a sparse engine for the signature's (V, i, M) rep widths.
 std::unique_ptr<IEngine>
-make_dense_with_data(const dataset::DenseProblem& problem,
-                     const TrainerConfig& cfg, int model_width)
+make_sparse(const dataset::SparseProblem& problem, const TrainerConfig& cfg,
+            int data_width, int index_bits, int model_width)
 {
-    const fixed::FixedFormat fmt = std::is_same_v<D, float>
-        ? fixed::FixedFormat{32, 0}
-        : fixed::default_format(static_cast<int>(sizeof(D)) * 8);
-    auto data = std::make_shared<dataset::DenseData<D>>(problem, fmt);
-    switch (model_width) {
-      case 8:
-        return std::make_unique<EngineAdapter<
-            DenseEngine<D, std::int8_t>, dataset::DenseData<D>>>(data, cfg);
-      case 16:
-        return std::make_unique<EngineAdapter<
-            DenseEngine<D, std::int16_t>, dataset::DenseData<D>>>(data,
-                                                                  cfg);
-      default:
-        return std::make_unique<EngineAdapter<
-            DenseEngine<D, float>, dataset::DenseData<D>>>(data, cfg);
-    }
-}
-
-template <typename V, typename I>
-std::unique_ptr<IEngine>
-make_sparse_with_data(const dataset::SparseProblem& problem,
-                      const TrainerConfig& cfg, int model_width)
-{
-    const fixed::FixedFormat fmt = std::is_same_v<V, float>
-        ? fixed::FixedFormat{32, 0}
-        : fixed::default_format(static_cast<int>(sizeof(V)) * 8);
-    auto data =
-        std::make_shared<dataset::SparseData<V, I>>(problem, fmt);
-    switch (model_width) {
-      case 8:
-        return std::make_unique<
-            EngineAdapter<SparseEngine<V, I, std::int8_t>,
-                          dataset::SparseData<V, I>>>(data, cfg);
-      case 16:
-        return std::make_unique<
-            EngineAdapter<SparseEngine<V, I, std::int16_t>,
-                          dataset::SparseData<V, I>>>(data, cfg);
-      default:
-        return std::make_unique<
-            EngineAdapter<SparseEngine<V, I, float>,
-                          dataset::SparseData<V, I>>>(data, cfg);
-    }
-}
-
-template <typename V>
-std::unique_ptr<IEngine>
-make_sparse_with_index(const dataset::SparseProblem& problem,
-                       const TrainerConfig& cfg, int index_bits,
-                       int model_width)
-{
-    switch (index_bits) {
-      case 8:
-        return make_sparse_with_data<V, std::uint8_t>(problem, cfg,
-                                                      model_width);
-      case 16:
-        return make_sparse_with_data<V, std::uint16_t>(problem, cfg,
-                                                       model_width);
-      case 32:
-        return make_sparse_with_data<V, std::uint32_t>(problem, cfg,
-                                                       model_width);
-      default:
-        fatal("index precision must be 8, 16, or 32 bits (got " +
-              std::to_string(index_bits) + ")");
-    }
+    return lowp::with_value_rep(data_width, [&](auto v) {
+        using V = typename decltype(v)::type;
+        return lowp::with_index_rep(
+            index_bits, [&](auto ix) -> std::unique_ptr<IEngine> {
+                using I = typename decltype(ix)::type;
+                auto data = std::make_shared<dataset::SparseData<V, I>>(
+                    problem, lowp::rep_default_format<V>());
+                return lowp::with_value_rep(
+                    model_width, [&](auto m) -> std::unique_ptr<IEngine> {
+                        using M = typename decltype(m)::type;
+                        return std::make_unique<
+                            EngineAdapter<SparseEngine<V, I, M>,
+                                          dataset::SparseData<V, I>>>(data,
+                                                                      cfg);
+                    });
+            });
+    });
 }
 
 } // namespace
@@ -141,18 +100,10 @@ Trainer::fit(const dataset::DenseProblem& problem)
     if (config_.signature.sparse)
         fatal("signature " + config_.signature.to_string() +
               " is sparse but a dense problem was supplied");
-    const int d = rep_width(config_.signature.dataset, "dataset");
-    const int m = rep_width(config_.signature.model, "model");
-    switch (d) {
-      case 8:
-        engine_ = make_dense_with_data<std::int8_t>(problem, config_, m);
-        break;
-      case 16:
-        engine_ = make_dense_with_data<std::int16_t>(problem, config_, m);
-        break;
-      default:
-        engine_ = make_dense_with_data<float>(problem, config_, m);
-    }
+    const int d = lowp::checked_rep_width(config_.signature.dataset,
+                                          "dataset");
+    const int m = lowp::checked_rep_width(config_.signature.model, "model");
+    engine_ = make_dense(problem, config_, d, m);
     return engine_->train();
 }
 
@@ -162,21 +113,11 @@ Trainer::fit(const dataset::SparseProblem& problem)
     if (!config_.signature.sparse)
         fatal("signature " + config_.signature.to_string() +
               " is dense but a sparse problem was supplied");
-    const int d = rep_width(config_.signature.dataset, "dataset");
-    const int m = rep_width(config_.signature.model, "model");
+    const int d = lowp::checked_rep_width(config_.signature.dataset,
+                                          "dataset");
+    const int m = lowp::checked_rep_width(config_.signature.model, "model");
     const int i = config_.signature.index_bits.value_or(32);
-    switch (d) {
-      case 8:
-        engine_ = make_sparse_with_index<std::int8_t>(problem, config_, i,
-                                                      m);
-        break;
-      case 16:
-        engine_ = make_sparse_with_index<std::int16_t>(problem, config_, i,
-                                                       m);
-        break;
-      default:
-        engine_ = make_sparse_with_index<float>(problem, config_, i, m);
-    }
+    engine_ = make_sparse(problem, config_, d, i, m);
     return engine_->train();
 }
 

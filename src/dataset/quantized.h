@@ -27,43 +27,14 @@
 
 #include "dataset/problem.h"
 #include "fixed/fixed_point.h"
-#include "fixed/quantize.h"
+#include "lowp/grid.h"
+#include "lowp/rep_traits.h"
+#include "lowp/round.h"
 #include "simd/sparse_kernels.h"
 #include "util/aligned_buffer.h"
 #include "util/logging.h"
 
 namespace buckwild::dataset {
-
-namespace detail {
-
-/// Quantum of a rep: fixed-point reps carry a format; float is identity.
-template <typename D>
-float
-quantum_of(const fixed::FixedFormat& fmt)
-{
-    if constexpr (std::is_same_v<D, float>)
-        return 1.0f;
-    else
-        return static_cast<float>(fmt.quantum());
-}
-
-/// Quantizes one value to rep D (symmetric saturation for fixed reps, so
-/// the SIMD model-side tricks hold for dataset values too when they are
-/// reused as such in tests).
-template <typename D>
-D
-quantize_value(float v, const fixed::FixedFormat& fmt)
-{
-    if constexpr (std::is_same_v<D, float>) {
-        (void)fmt;
-        return v;
-    } else {
-        const long raw = fixed::quantize_biased_raw(v, fmt);
-        return static_cast<D>(raw);
-    }
-}
-
-} // namespace detail
 
 /// Dense quantized dataset: row-major examples x dim.
 template <typename D>
@@ -75,14 +46,21 @@ class DenseData
         : rows_(p.examples), cols_(p.dim), fmt_(fmt),
           values_(p.examples * p.dim), labels_(p.y)
     {
-        for (std::size_t i = 0; i < values_.size(); ++i)
-            values_[i] = detail::quantize_value<D>(p.x[i], fmt);
+        if constexpr (lowp::is_float_rep<D>) {
+            for (std::size_t i = 0; i < values_.size(); ++i)
+                values_[i] = p.x[i];
+        } else {
+            // One-shot D-quantization of the whole matrix — the substrate's
+            // vectorized biased path (bit-identical to per-value rounding).
+            lowp::quantize_biased(p.x.data(), values_.data(), values_.size(),
+                                  lowp::GridSpec::from_fixed(fmt));
+        }
     }
 
     std::size_t rows() const { return rows_; }
     std::size_t cols() const { return cols_; }
     /// Real value of one raw unit.
-    float quantum() const { return detail::quantum_of<D>(fmt_); }
+    float quantum() const { return lowp::rep_quantum<D>(fmt_); }
 
     const D* row(std::size_t i) const { return values_.data() + i * cols_; }
     float label(std::size_t i) const { return labels_[i]; }
@@ -135,7 +113,7 @@ class SparseData
                     prev = k;
                 }
                 values.push_back(
-                    detail::quantize_value<D>(row.value[j], fmt));
+                    lowp::quantize_value<D>(row.value[j], fmt));
             }
             row_ptr_.push_back(values.size());
         }
@@ -148,7 +126,7 @@ class SparseData
 
     std::size_t rows() const { return row_ptr_.size() - 1; }
     std::size_t dim() const { return dim_; }
-    float quantum() const { return detail::quantum_of<D>(fmt_); }
+    float quantum() const { return lowp::rep_quantum<D>(fmt_); }
     simd::sparse::IndexMode index_mode() const { return mode_; }
 
     /// Nonzero count of row i (including any padding entries).

@@ -3,23 +3,24 @@
  * Quantizers: real -> fixed-point conversion with biased or unbiased
  * rounding (§3 "Model numbers", §5.2).
  *
- * Biased (nearest-neighbor) rounding maps x to the closest representable
- * value. Unbiased (stochastic) rounding implements Eq. (4) of the paper:
- *
- *     Q(x) = floor(x + rand()),   rand() uniform on [0, 1)
- *
- * in units of the format's quantum, so E[Q(x)] = x for any x in range.
- * Both quantizers saturate at the format bounds (matching the behaviour of
- * hardware pack-with-saturation instructions used by the SIMD kernels).
+ * This header is now a thin shim over the precision substrate
+ * (src/lowp/): every entry point lowers the FixedFormat to a
+ * `lowp::GridSpec` (asymmetric two's-complement saturation, matching the
+ * hardware pack-with-saturation instructions used by the SIMD kernels)
+ * and delegates to the one rounding engine. The array quantizer gains the
+ * substrate's AVX2 fast path for biased rounding; all results stay
+ * bit-identical to the pre-substrate implementation (pinned by
+ * tests/test_lowp.cpp golden vectors).
  */
 #ifndef BUCKWILD_FIXED_QUANTIZE_H
 #define BUCKWILD_FIXED_QUANTIZE_H
 
-#include <cmath>
 #include <cstddef>
 #include <cstdint>
 
 #include "fixed/fixed_point.h"
+#include "lowp/grid.h"
+#include "lowp/round.h"
 #include "rng/random_source.h"
 
 namespace buckwild::fixed {
@@ -28,17 +29,14 @@ namespace buckwild::fixed {
 inline long
 saturate_raw(long raw, const FixedFormat& fmt)
 {
-    if (raw < fmt.raw_min()) return fmt.raw_min();
-    if (raw > fmt.raw_max()) return fmt.raw_max();
-    return raw;
+    return lowp::saturate_raw(raw, lowp::GridSpec::from_fixed(fmt));
 }
 
 /// Nearest-neighbor ("biased") rounding of real `x` to raw units of `fmt`.
 inline long
 quantize_biased_raw(double x, const FixedFormat& fmt)
 {
-    const double scaled = x / fmt.quantum();
-    return saturate_raw(std::lround(scaled), fmt);
+    return lowp::round_biased_raw(x, lowp::GridSpec::from_fixed(fmt));
 }
 
 /**
@@ -52,16 +50,15 @@ inline long
 quantize_unbiased_raw(double x, const FixedFormat& fmt,
                       rng::RandomWordSource& source)
 {
-    const double scaled = x / fmt.quantum();
-    const double u = static_cast<double>(source.next_unit_float());
-    return saturate_raw(static_cast<long>(std::floor(scaled + u)), fmt);
+    return lowp::round_unbiased_raw(x, lowp::GridSpec::from_fixed(fmt),
+                                    source.next_unit_float());
 }
 
 /// Reconstructs the real value of raw units under `fmt`.
 inline double
 dequantize(long raw, const FixedFormat& fmt)
 {
-    return static_cast<double>(raw) * fmt.quantum();
+    return lowp::dequantize_raw(raw, lowp::GridSpec::from_fixed(fmt));
 }
 
 /// Rounding mode selector used throughout the trainer API.
@@ -78,6 +75,7 @@ const char* to_string(Rounding mode);
  * input. For kUnbiased, `source` supplies the randomness (one word per
  * element consumed — shared-randomness sources simply return repeated
  * words, so the same code path exercises all three §5.2 strategies).
+ * Biased rounding takes the substrate's vectorized path.
  */
 template <typename Rep>
 void
@@ -85,12 +83,11 @@ quantize_array(const float* in, Rep* out, std::size_t n,
                const FixedFormat& fmt, Rounding mode,
                rng::RandomWordSource* source)
 {
-    for (std::size_t i = 0; i < n; ++i) {
-        const long raw = (mode == Rounding::kBiased)
-            ? quantize_biased_raw(in[i], fmt)
-            : quantize_unbiased_raw(in[i], fmt, *source);
-        out[i] = static_cast<Rep>(raw);
-    }
+    const lowp::GridSpec grid = lowp::GridSpec::from_fixed(fmt);
+    if (mode == Rounding::kBiased)
+        lowp::quantize_biased(in, out, n, grid);
+    else
+        lowp::quantize_unbiased(in, out, n, grid, *source);
 }
 
 /// Array dequantizer: floats from fixed-point reps.
@@ -99,9 +96,7 @@ void
 dequantize_array(const Rep* in, float* out, std::size_t n,
                  const FixedFormat& fmt)
 {
-    const float q = static_cast<float>(fmt.quantum());
-    for (std::size_t i = 0; i < n; ++i)
-        out[i] = static_cast<float>(in[i]) * q;
+    lowp::dequantize(in, out, n, lowp::GridSpec::from_fixed(fmt));
 }
 
 } // namespace buckwild::fixed

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Signature-driven rep dispatch: turns the runtime widths of a
+ * `dmgc::Signature` (D / M value reps, sparse index rep) into compile-time
+ * rep types by invoking a generic visitor with a RepTag.
+ *
+ * This replaces the nested switch pyramids that core/trainer.cpp used to
+ * carry — one `switch (width)` per DMGC letter, multiplied together — with
+ * composable single-letter dispatchers:
+ *
+ *     lowp::with_value_rep(d_width, [&](auto d) {
+ *         lowp::with_value_rep(m_width, [&](auto m) {
+ *             using D = typename decltype(d)::type;
+ *             using M = typename decltype(m)::type;
+ *             ...instantiate the <D, M> engine...
+ *         });
+ *     });
+ *
+ * Width validation (including the exact diagnostic wording) lives here too
+ * as `checked_rep_width`, so every tool that accepts a signature reports
+ * unsupported widths identically.
+ */
+#ifndef BUCKWILD_LOWP_DISPATCH_H
+#define BUCKWILD_LOWP_DISPATCH_H
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "dmgc/signature.h"
+#include "util/logging.h"
+
+namespace buckwild::lowp {
+
+/// Carries a rep type through a generic visitor.
+template <typename T>
+struct RepTag
+{
+    using type = T;
+};
+
+/// Validates a precision term and normalizes it to a value-rep width
+/// selector (8, 16, or 32); fatals with the canonical diagnostic for
+/// unsupported widths.
+inline int
+checked_rep_width(const dmgc::Precision& p, const char* what)
+{
+    if (p.is_float) {
+        if (p.bits != 32)
+            fatal(std::string(what) + " float precision must be 32 bits");
+        return 32;
+    }
+    if (p.bits != 8 && p.bits != 16)
+        fatal(std::string(what) +
+              " fixed precision must be 8 or 16 bits (got " +
+              std::to_string(p.bits) + "); use src/isa for 4-bit emulation");
+    return p.bits;
+}
+
+/// Invokes `f` with the RepTag of the value rep selected by `width`
+/// (8 -> int8_t, 16 -> int16_t, anything else -> float, matching the
+/// historical trainer behaviour of treating 32 as the default arm).
+template <typename F>
+decltype(auto)
+with_value_rep(int width, F&& f)
+{
+    switch (width) {
+      case 8: return std::forward<F>(f)(RepTag<std::int8_t>{});
+      case 16: return std::forward<F>(f)(RepTag<std::int16_t>{});
+      default: return std::forward<F>(f)(RepTag<float>{});
+    }
+}
+
+/// Invokes `f` with the RepTag of the sparse index rep selected by
+/// `bits`; fatals on unsupported widths.
+template <typename F>
+decltype(auto)
+with_index_rep(int bits, F&& f)
+{
+    switch (bits) {
+      case 8: return std::forward<F>(f)(RepTag<std::uint8_t>{});
+      case 16: return std::forward<F>(f)(RepTag<std::uint16_t>{});
+      case 32: return std::forward<F>(f)(RepTag<std::uint32_t>{});
+      default:
+        fatal("index precision must be 8, 16, or 32 bits (got " +
+              std::to_string(bits) + ")");
+    }
+}
+
+} // namespace buckwild::lowp
+
+#endif // BUCKWILD_LOWP_DISPATCH_H

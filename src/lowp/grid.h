@@ -1,0 +1,75 @@
+/**
+ * @file
+ * GridSpec — the one description of a low-precision value grid.
+ *
+ * Every quantization site in the tree (dataset D-writes, engine M-writes
+ * and G-intermediates, nn weight/activation grids, the ps C-codec, serve
+ * publish-time Ms re-quantization) rounds onto *some* uniform grid: a
+ * quantum (the real value of one raw step) plus raw saturation bounds.
+ * Historically each subsystem carried its own struct for this
+ * (`fixed::FixedFormat`, `nn::QuantSpec`, ad-hoc bits/range pairs);
+ * GridSpec is the common denominator they all lower to before rounding.
+ *
+ * Two saturation conventions exist in the wild and both are expressible:
+ *
+ *  - `from_fixed()` — two's-complement asymmetric bounds
+ *    [-2^(b-1), 2^(b-1)-1], matching the hardware pack-with-saturation
+ *    instructions the SIMD kernels use (fixed::FixedFormat semantics);
+ *  - `symmetric()` — symmetric bounds ±(2^(b-1)-1) over [-range, range],
+ *    the float-storage emulation convention (nn::QuantSpec and the
+ *    engine's G-term), where -2^(b-1) is deliberately unreachable so
+ *    negation never saturates.
+ *
+ * The substrate makes the choice *explicit in the spec* instead of
+ * implicit in five scattered clamp expressions; tests/test_lowp.cpp pins
+ * both conventions.
+ */
+#ifndef BUCKWILD_LOWP_GRID_H
+#define BUCKWILD_LOWP_GRID_H
+
+#include "fixed/fixed_point.h"
+
+namespace buckwild::lowp {
+
+/// Rounding mode for grid writes: biased nearest-neighbor, or the
+/// unbiased stochastic rounding of Eq. (4), Q(x) = floor(x/q + u).
+enum class Round {
+    kNearest,    ///< biased
+    kStochastic, ///< unbiased, Eq. (4)
+};
+
+/// "nearest" / "stochastic".
+const char* to_string(Round mode);
+
+/// A uniform quantization grid: quantum plus raw saturation bounds.
+struct GridSpec
+{
+    double quantum = 1.0; ///< real value of one raw step
+    long raw_min = 0;     ///< smallest representable raw value
+    long raw_max = 0;     ///< largest representable raw value
+
+    /// The quantum as the float the float-domain paths multiply by.
+    float quantum_f() const { return static_cast<float>(quantum); }
+
+    /// Asymmetric two's-complement grid of a fixed-point format.
+    static GridSpec
+    from_fixed(const fixed::FixedFormat& fmt)
+    {
+        return {fmt.quantum(), fmt.raw_min(), fmt.raw_max()};
+    }
+
+    /// Symmetric b-bit grid over [-range, range] (nn / G-term semantics):
+    /// quantum = range / 2^(b-1), bounds ±(2^(b-1) - 1).
+    static GridSpec
+    symmetric(int bits, double range)
+    {
+        const long lim = (1L << (bits - 1)) - 1;
+        return {range / static_cast<double>(1L << (bits - 1)), -lim, lim};
+    }
+
+    bool operator==(const GridSpec&) const = default;
+};
+
+} // namespace buckwild::lowp
+
+#endif // BUCKWILD_LOWP_GRID_H

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Rep traits — compile-time facts about the storage representations the
+ * DMGC signature can pick (int8 / int16 / float values, u8 / u16 / u32
+ * sparse indices), plus the rep-parameterized quantum and quantize-one
+ * helpers that used to live as private copies in core/engine.h
+ * (`model_format`, `model_quantum`) and dataset/quantized.h
+ * (`detail::quantum_of`, `detail::quantize_value`).
+ */
+#ifndef BUCKWILD_LOWP_REP_TRAITS_H
+#define BUCKWILD_LOWP_REP_TRAITS_H
+
+#include <cstdint>
+#include <type_traits>
+
+#include "fixed/fixed_point.h"
+#include "lowp/grid.h"
+#include "lowp/round.h"
+
+namespace buckwild::lowp {
+
+/// True for the full-precision (pass-through) value rep.
+template <typename Rep>
+inline constexpr bool is_float_rep = std::is_same_v<Rep, float>;
+
+/// Storage width of a value rep in bits.
+template <typename Rep>
+inline constexpr int rep_bits = static_cast<int>(sizeof(Rep)) * 8;
+
+/// Library-default fixed-point format of a value rep; float reps report
+/// the {32, 0} pass-through format (quantum 1, never used for rounding).
+template <typename Rep>
+fixed::FixedFormat
+rep_default_format()
+{
+    if constexpr (is_float_rep<Rep>)
+        return fixed::FixedFormat{32, 0};
+    else
+        return fixed::default_format(rep_bits<Rep>);
+}
+
+/// Quantum of a rep under `fmt`: fixed reps read the format; float is
+/// identity (quantum 1).
+template <typename Rep>
+float
+rep_quantum(const fixed::FixedFormat& fmt)
+{
+    if constexpr (is_float_rep<Rep>) {
+        (void)fmt;
+        return 1.0f;
+    } else {
+        return static_cast<float>(fmt.quantum());
+    }
+}
+
+/// Quantum of a rep under its library-default format.
+template <typename Rep>
+float
+rep_default_quantum()
+{
+    if constexpr (is_float_rep<Rep>)
+        return 1.0f;
+    else
+        return static_cast<float>(rep_default_format<Rep>().quantum());
+}
+
+/// Biased-quantizes one value to rep `Rep` under `fmt`; float reps pass
+/// through unchanged.
+template <typename Rep>
+Rep
+quantize_value(float v, const fixed::FixedFormat& fmt)
+{
+    if constexpr (is_float_rep<Rep>) {
+        (void)fmt;
+        return v;
+    } else {
+        return static_cast<Rep>(round_biased_raw(
+            static_cast<double>(v), GridSpec::from_fixed(fmt)));
+    }
+}
+
+} // namespace buckwild::lowp
+
+#endif // BUCKWILD_LOWP_REP_TRAITS_H

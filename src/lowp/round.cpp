@@ -1,0 +1,495 @@
+/**
+ * @file
+ * Array rounding kernels: scalar reference implementations plus the AVX2
+ * fast paths (§5.2 vectorized rounding applied to every array-quantizing
+ * call site, not just the SGD inner loop).
+ *
+ * Bit-identity notes — the AVX2 paths must agree with the scalar
+ * references bit-for-bit, which rests on three identities:
+ *
+ *  - `trunc(s + copysign(0.5, s)) == lround(s)` exactly, whenever the
+ *    addition is exact. Every grid in the tree has a power-of-two
+ *    quantum, so s = x / quantum is an exactly-scaled float (<= 24
+ *    significand bits); adding 0.5 spans at most ~30 bits, well inside
+ *    double's 53. (quantize_biased)
+ *  - `_mm256_cvtps_epi32` rounds half-to-even under the default MXCSR
+ *    rounding mode, exactly matching `nearbyintf` + int conversion.
+ *    (round_levels_i8)
+ *  - clamping in the wide float/double domain *before* the int
+ *    conversion equals converting then saturating, because the clamp
+ *    bounds are themselves exactly representable grid endpoints — and it
+ *    avoids the 0x80000000 "integer indefinite" result on overflow.
+ *
+ * NaN conventions follow the scalar code each kernel replaced:
+ * `max_abs` ignores NaN elements (std::max(acc, fabs) keeps acc when fabs
+ * is NaN — mirrored by `_mm256_max_ps(abs, acc)`, which returns the
+ * second operand on unordered compare), and `quantize_sign_1bit` treats
+ * NaN as negative (`!(g >= 0)` — mirrored by `_CMP_NGE_UQ`).
+ */
+#include "lowp/round.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#ifdef __AVX2__
+#include <immintrin.h>
+#endif
+
+namespace buckwild::lowp {
+
+const char*
+to_string(Round mode)
+{
+    switch (mode) {
+    case Round::kNearest: return "nearest";
+    case Round::kStochastic: return "stochastic";
+    }
+    return "unknown";
+}
+
+namespace scalar {
+
+template <typename Rep>
+static void
+quantize_biased_impl(const float* in, Rep* out, std::size_t n,
+                     const GridSpec& grid)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = static_cast<Rep>(
+            round_biased_raw(static_cast<double>(in[i]), grid));
+}
+
+void
+quantize_biased(const float* in, std::int8_t* out, std::size_t n,
+                const GridSpec& grid)
+{
+    quantize_biased_impl(in, out, n, grid);
+}
+
+void
+quantize_biased(const float* in, std::int16_t* out, std::size_t n,
+                const GridSpec& grid)
+{
+    quantize_biased_impl(in, out, n, grid);
+}
+
+template <typename Rep>
+static void
+quantize_shared_impl(const float* in, Rep* out, std::size_t n,
+                     const GridSpec& grid, const std::uint32_t words[8])
+{
+    const float q = grid.quantum_f();
+    const float hi = static_cast<float>(grid.raw_max);
+    const float lo = static_cast<float>(grid.raw_min);
+    float unit[8];
+    for (int w = 0; w < 8; ++w)
+        unit[w] = rng::to_unit_float(words[w]);
+    for (std::size_t i = 0; i < n; ++i) {
+        float raw = std::floor(in[i] / q + unit[i % 8]);
+        if (raw > hi) raw = hi;
+        if (raw < lo) raw = lo;
+        out[i] = static_cast<Rep>(static_cast<int>(raw));
+    }
+}
+
+void
+quantize_shared(const float* in, std::int8_t* out, std::size_t n,
+                const GridSpec& grid, const std::uint32_t words[8])
+{
+    quantize_shared_impl(in, out, n, grid, words);
+}
+
+void
+quantize_shared(const float* in, std::int16_t* out, std::size_t n,
+                const GridSpec& grid, const std::uint32_t words[8])
+{
+    quantize_shared_impl(in, out, n, grid, words);
+}
+
+float
+max_abs(const float* g, std::size_t n)
+{
+    float maxabs = 0.0f;
+    for (std::size_t k = 0; k < n; ++k)
+        maxabs = std::max(maxabs, std::fabs(g[k]));
+    return maxabs;
+}
+
+void
+round_levels_i8(const float* g, std::size_t n, float scale,
+                std::int8_t* levels, float* q, float* residual)
+{
+    for (std::size_t k = 0; k < n; ++k) {
+        const float level = std::nearbyintf(g[k] / scale);
+        q[k] = level * scale;
+        if (levels != nullptr)
+            levels[k] = static_cast<std::int8_t>(level);
+        if (residual != nullptr)
+            residual[k] = g[k] - q[k];
+    }
+}
+
+void
+quantize_sign_1bit(const float* g, std::size_t n, float scale, float* q,
+                   float* residual, std::uint8_t* payload)
+{
+    for (std::size_t k = 0; k < n; ++k) {
+        const bool negative = !(g[k] >= 0.0f);
+        q[k] = negative ? -scale : scale;
+        if (payload != nullptr && negative)
+            payload[k / 8] |= static_cast<std::uint8_t>(1u << (k % 8));
+        if (residual != nullptr)
+            residual[k] = g[k] - q[k];
+    }
+}
+
+} // namespace scalar
+
+namespace {
+
+template <typename Rep>
+void
+quantize_unbiased_impl(const float* in, Rep* out, std::size_t n,
+                       const GridSpec& grid, rng::RandomWordSource& source)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = static_cast<Rep>(round_unbiased_raw(
+            static_cast<double>(in[i]), grid, source.next_unit_float()));
+}
+
+template <typename Rep>
+void
+dequantize_impl(const Rep* in, float* out, std::size_t n,
+                const GridSpec& grid)
+{
+    const float q = grid.quantum_f();
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = static_cast<float>(in[i]) * q;
+}
+
+} // namespace
+
+void
+quantize_unbiased(const float* in, std::int8_t* out, std::size_t n,
+                  const GridSpec& grid, rng::RandomWordSource& source)
+{
+    quantize_unbiased_impl(in, out, n, grid, source);
+}
+
+void
+quantize_unbiased(const float* in, std::int16_t* out, std::size_t n,
+                  const GridSpec& grid, rng::RandomWordSource& source)
+{
+    quantize_unbiased_impl(in, out, n, grid, source);
+}
+
+#ifndef __AVX2__
+
+bool
+vectorized()
+{
+    return false;
+}
+
+void
+quantize_biased(const float* in, std::int8_t* out, std::size_t n,
+                const GridSpec& grid)
+{
+    scalar::quantize_biased(in, out, n, grid);
+}
+
+void
+quantize_biased(const float* in, std::int16_t* out, std::size_t n,
+                const GridSpec& grid)
+{
+    scalar::quantize_biased(in, out, n, grid);
+}
+
+void
+quantize_shared(const float* in, std::int8_t* out, std::size_t n,
+                const GridSpec& grid, const std::uint32_t words[8])
+{
+    scalar::quantize_shared(in, out, n, grid, words);
+}
+
+void
+quantize_shared(const float* in, std::int16_t* out, std::size_t n,
+                const GridSpec& grid, const std::uint32_t words[8])
+{
+    scalar::quantize_shared(in, out, n, grid, words);
+}
+
+void
+dequantize(const std::int8_t* in, float* out, std::size_t n,
+           const GridSpec& grid)
+{
+    dequantize_impl(in, out, n, grid);
+}
+
+void
+dequantize(const std::int16_t* in, float* out, std::size_t n,
+           const GridSpec& grid)
+{
+    dequantize_impl(in, out, n, grid);
+}
+
+float
+max_abs(const float* g, std::size_t n)
+{
+    return scalar::max_abs(g, n);
+}
+
+void
+round_levels_i8(const float* g, std::size_t n, float scale,
+                std::int8_t* levels, float* q, float* residual)
+{
+    scalar::round_levels_i8(g, n, scale, levels, q, residual);
+}
+
+void
+quantize_sign_1bit(const float* g, std::size_t n, float scale, float* q,
+                   float* residual, std::uint8_t* payload)
+{
+    scalar::quantize_sign_1bit(g, n, scale, q, residual, payload);
+}
+
+#else // __AVX2__
+
+bool
+vectorized()
+{
+    return true;
+}
+
+namespace {
+
+/// lround of 4 doubles already divided by the quantum: add copysign(0.5)
+/// and truncate, clamping in the double domain first.
+inline __m128i
+lround4_clamped(__m256d s, __m256d lo, __m256d hi)
+{
+    const __m256d signmask = _mm256_set1_pd(-0.0);
+    const __m256d half = _mm256_or_pd(_mm256_and_pd(s, signmask),
+                                      _mm256_set1_pd(0.5));
+    __m256d t = _mm256_add_pd(s, half);
+    t = _mm256_min_pd(_mm256_max_pd(t, lo), hi);
+    return _mm256_cvttpd_epi32(t);
+}
+
+inline void
+store4_i16(std::int16_t* out, __m128i v32)
+{
+    const __m128i v16 = _mm_packs_epi32(v32, v32);
+    _mm_storel_epi64(reinterpret_cast<__m128i*>(out), v16);
+}
+
+inline void
+store4_i8(std::int8_t* out, __m128i v32)
+{
+    const __m128i v16 = _mm_packs_epi32(v32, v32);
+    const __m128i v8 = _mm_packs_epi16(v16, v16);
+    const int packed = _mm_cvtsi128_si32(v8);
+    std::memcpy(out, &packed, 4);
+}
+
+/// 8 int32 lanes -> 8 int16 values, preserving element order.
+inline __m128i
+pack8_i16(__m256i v32)
+{
+    const __m128i lo = _mm256_castsi256_si128(v32);
+    const __m128i hi = _mm256_extracti128_si256(v32, 1);
+    return _mm_packs_epi32(lo, hi);
+}
+
+template <typename Rep>
+void
+quantize_biased_avx2(const float* in, Rep* out, std::size_t n,
+                     const GridSpec& grid)
+{
+    const __m256d qinv = _mm256_set1_pd(1.0 / grid.quantum);
+    const __m256d lo = _mm256_set1_pd(static_cast<double>(grid.raw_min));
+    const __m256d hi = _mm256_set1_pd(static_cast<double>(grid.raw_max));
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m256d x =
+            _mm256_cvtps_pd(_mm_loadu_ps(in + i));
+        const __m128i raw = lround4_clamped(_mm256_mul_pd(x, qinv), lo, hi);
+        if constexpr (sizeof(Rep) == 1)
+            store4_i8(out + i, raw);
+        else
+            store4_i16(out + i, raw);
+    }
+    for (; i < n; ++i)
+        out[i] = static_cast<Rep>(
+            round_biased_raw(static_cast<double>(in[i]), grid));
+}
+
+template <typename Rep>
+void
+quantize_shared_avx2(const float* in, Rep* out, std::size_t n,
+                     const GridSpec& grid, const std::uint32_t words[8])
+{
+    alignas(32) float unit[8];
+    for (int w = 0; w < 8; ++w)
+        unit[w] = rng::to_unit_float(words[w]);
+    const __m256 u = _mm256_load_ps(unit);
+    const __m256 qinv = _mm256_set1_ps(1.0f / grid.quantum_f());
+    const __m256 lo = _mm256_set1_ps(static_cast<float>(grid.raw_min));
+    const __m256 hi = _mm256_set1_ps(static_cast<float>(grid.raw_max));
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const __m256 x = _mm256_loadu_ps(in + i);
+        __m256 raw = _mm256_floor_ps(_mm256_add_ps(_mm256_mul_ps(x, qinv), u));
+        raw = _mm256_min_ps(_mm256_max_ps(raw, lo), hi);
+        const __m128i v16 = pack8_i16(_mm256_cvttps_epi32(raw));
+        if constexpr (sizeof(Rep) == 1)
+            _mm_storel_epi64(reinterpret_cast<__m128i*>(out + i),
+                             _mm_packs_epi16(v16, v16));
+        else
+            _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i), v16);
+    }
+    // tail keeps the dither phase: element k uses words[k % 8]
+    const float q = grid.quantum_f();
+    const float hif = static_cast<float>(grid.raw_max);
+    const float lof = static_cast<float>(grid.raw_min);
+    for (; i < n; ++i) {
+        float raw = std::floor(in[i] / q + unit[i % 8]);
+        if (raw > hif) raw = hif;
+        if (raw < lof) raw = lof;
+        out[i] = static_cast<Rep>(static_cast<int>(raw));
+    }
+}
+
+} // namespace
+
+void
+quantize_biased(const float* in, std::int8_t* out, std::size_t n,
+                const GridSpec& grid)
+{
+    quantize_biased_avx2(in, out, n, grid);
+}
+
+void
+quantize_biased(const float* in, std::int16_t* out, std::size_t n,
+                const GridSpec& grid)
+{
+    quantize_biased_avx2(in, out, n, grid);
+}
+
+void
+quantize_shared(const float* in, std::int8_t* out, std::size_t n,
+                const GridSpec& grid, const std::uint32_t words[8])
+{
+    quantize_shared_avx2(in, out, n, grid, words);
+}
+
+void
+quantize_shared(const float* in, std::int16_t* out, std::size_t n,
+                const GridSpec& grid, const std::uint32_t words[8])
+{
+    quantize_shared_avx2(in, out, n, grid, words);
+}
+
+void
+dequantize(const std::int8_t* in, float* out, std::size_t n,
+           const GridSpec& grid)
+{
+    const __m256 q = _mm256_set1_ps(grid.quantum_f());
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const __m128i raw8 =
+            _mm_loadl_epi64(reinterpret_cast<const __m128i*>(in + i));
+        const __m256 x = _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(raw8));
+        _mm256_storeu_ps(out + i, _mm256_mul_ps(x, q));
+    }
+    for (; i < n; ++i)
+        out[i] = static_cast<float>(in[i]) * grid.quantum_f();
+}
+
+void
+dequantize(const std::int16_t* in, float* out, std::size_t n,
+           const GridSpec& grid)
+{
+    const __m256 q = _mm256_set1_ps(grid.quantum_f());
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const __m128i raw16 =
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + i));
+        const __m256 x = _mm256_cvtepi32_ps(_mm256_cvtepi16_epi32(raw16));
+        _mm256_storeu_ps(out + i, _mm256_mul_ps(x, q));
+    }
+    for (; i < n; ++i)
+        out[i] = static_cast<float>(in[i]) * grid.quantum_f();
+}
+
+float
+max_abs(const float* g, std::size_t n)
+{
+    const __m256 absmask =
+        _mm256_castsi256_ps(_mm256_set1_epi32(0x7FFFFFFF));
+    __m256 acc = _mm256_setzero_ps();
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const __m256 a = _mm256_and_ps(_mm256_loadu_ps(g + i), absmask);
+        // operand order keeps std::max's ignore-NaN behaviour: max_ps
+        // returns the second operand (acc) on unordered compare
+        acc = _mm256_max_ps(a, acc);
+    }
+    alignas(32) float lanes[8];
+    _mm256_store_ps(lanes, acc);
+    float maxabs = 0.0f;
+    for (float lane : lanes)
+        maxabs = std::max(maxabs, lane);
+    for (; i < n; ++i)
+        maxabs = std::max(maxabs, std::fabs(g[i]));
+    return maxabs;
+}
+
+void
+round_levels_i8(const float* g, std::size_t n, float scale,
+                std::int8_t* levels, float* q, float* residual)
+{
+    // The reference loop (div / nearbyintf / cast / sub) is exactly the
+    // shape GCC auto-vectorizes under -mavx2 — it compiles to a 32-wide
+    // vdivps/vroundps/vpackuswb pipeline that a hand-written 16-wide
+    // kernel measurably loses to (see bench_lowp_round). Reuse it rather
+    // than re-deriving the compiler's schedule by hand; the hand kernels
+    // below cover the loops auto-vectorization cannot handle (the max_abs
+    // reduction, the branchy 1-bit codec, the double-domain biased path).
+    scalar::round_levels_i8(g, n, scale, levels, q, residual);
+}
+
+void
+quantize_sign_1bit(const float* g, std::size_t n, float scale, float* q,
+                   float* residual, std::uint8_t* payload)
+{
+    const __m256 zero = _mm256_setzero_ps();
+    const __m256 pos = _mm256_set1_ps(scale);
+    const __m256 neg = _mm256_set1_ps(-scale);
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const __m256 x = _mm256_loadu_ps(g + i);
+        // !(g >= 0): NGE unordered-quiet, so NaN counts as negative
+        const __m256 nge = _mm256_cmp_ps(x, zero, _CMP_NGE_UQ);
+        const __m256 qv = _mm256_blendv_ps(pos, neg, nge);
+        _mm256_storeu_ps(q + i, qv);
+        if (payload != nullptr)
+            payload[i / 8] |=
+                static_cast<std::uint8_t>(_mm256_movemask_ps(nge));
+        if (residual != nullptr)
+            _mm256_storeu_ps(residual + i, _mm256_sub_ps(x, qv));
+    }
+    for (; i < n; ++i) {
+        const bool negative = !(g[i] >= 0.0f);
+        q[i] = negative ? -scale : scale;
+        if (payload != nullptr && negative)
+            payload[i / 8] |= static_cast<std::uint8_t>(1u << (i % 8));
+        if (residual != nullptr)
+            residual[i] = g[i] - q[i];
+    }
+}
+
+#endif // __AVX2__
+
+} // namespace buckwild::lowp

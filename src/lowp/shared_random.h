@@ -1,0 +1,74 @@
+/**
+ * @file
+ * SharedRandom — the §5.2 shared-randomness state machine, hoisted out of
+ * core/engine.h so every layer (engine AXPY dither, ps encode, serve
+ * publish) can reuse it.
+ *
+ * One vectorized XORSHIFT generator produces a 256-bit block (8 x 32-bit
+ * words); the block is *shared* across all the rounding decisions of an
+ * operation (an AXPY, an array quantization) instead of drawing a fresh
+ * word per write, and refreshed every `refresh_iters` operations. The
+ * per-thread seeding expression is preserved verbatim from the engine so
+ * existing loss traces stay bit-identical.
+ */
+#ifndef BUCKWILD_LOWP_SHARED_RANDOM_H
+#define BUCKWILD_LOWP_SHARED_RANDOM_H
+
+#include <cstddef>
+#include <cstdint>
+
+#include "rng/avx2_xorshift.h"
+
+namespace buckwild::lowp {
+
+/// A periodically-refreshed 256-bit block of shared dither randomness.
+class SharedRandom
+{
+  public:
+    SharedRandom(std::uint64_t seed, std::size_t refresh_iters)
+        : refresh_iters_(refresh_iters), gen_(seed)
+    {
+        refresh();
+    }
+
+    /// Seed expression used for worker `tid` of a run seeded with `seed`
+    /// (kept verbatim from the original engine implementation).
+    static std::uint64_t
+    worker_seed(std::uint64_t seed, std::size_t tid)
+    {
+        return seed * 0x9E3779B9u + 0xB5297A4Du * (tid + 1);
+    }
+
+    /// Draws a fresh block immediately.
+    void
+    refresh()
+    {
+        gen_.fill(words_, 8);
+        since_refresh_ = 0;
+    }
+
+    /// Called once per operation; refreshes every `refresh_iters` calls.
+    /// Returns true when this call refreshed the block.
+    bool
+    tick()
+    {
+        if (++since_refresh_ >= refresh_iters_) {
+            refresh();
+            return true;
+        }
+        return false;
+    }
+
+    /// The current 8-word block (stable until the next refresh/tick).
+    const std::uint32_t* words() const { return words_; }
+
+  private:
+    std::size_t refresh_iters_;
+    std::size_t since_refresh_ = 0;
+    rng::Avx2Xorshift128Plus gen_;
+    alignas(32) std::uint32_t words_[8] = {};
+};
+
+} // namespace buckwild::lowp
+
+#endif // BUCKWILD_LOWP_SHARED_RANDOM_H

@@ -10,23 +10,27 @@
  * full-precision master copy — this is real Buckwild! semantics, so
  * biased rounding can genuinely stall small updates), and updates are
  * re-quantized on application.
+ *
+ * This header is now a thin shim over the precision substrate: QuantSpec
+ * lowers to a symmetric `lowp::GridSpec` (bounds ±(2^(b-1)-1)) and the
+ * rounding itself is lowp::snap_nearest / lowp::snap_stochastic. The
+ * rounding-mode enum is the substrate's `lowp::Round`.
  */
 #ifndef BUCKWILD_NN_QUANTIZER_H
 #define BUCKWILD_NN_QUANTIZER_H
 
-#include <cmath>
 #include <cstddef>
 #include <cstdint>
 
+#include "lowp/grid.h"
+#include "lowp/round.h"
 #include "rng/xorshift.h"
 
 namespace buckwild::nn {
 
-/// Rounding mode for grid writes.
-enum class Round {
-    kNearest,    ///< biased
-    kStochastic, ///< unbiased, Eq. (4)
-};
+/// Rounding mode for grid writes (kNearest = biased, kStochastic =
+/// unbiased Eq. (4)).
+using Round = lowp::Round;
 
 /// A b-bit symmetric fixed-point grid over [-range, +range].
 struct QuantSpec
@@ -43,6 +47,13 @@ struct QuantSpec
     {
         return range / static_cast<float>(1 << (bits - 1));
     }
+
+    /// The grid this spec describes (symmetric saturation).
+    lowp::GridSpec
+    grid() const
+    {
+        return lowp::GridSpec::symmetric(bits, static_cast<double>(range));
+    }
 };
 
 /// Quantizes one value onto the grid (no-op when disabled).
@@ -50,19 +61,10 @@ inline float
 quantize(float x, const QuantSpec& spec, rng::Xorshift128& gen)
 {
     if (!spec.enabled()) return x;
-    const float q = spec.quantum();
-    float scaled = x / q;
-    const float limit = static_cast<float>((1 << (spec.bits - 1)) - 1);
-    float raw;
-    if (spec.round == Round::kNearest) {
-        raw = std::nearbyintf(scaled);
-    } else {
-        const float u = rng::to_unit_float(gen());
-        raw = std::floor(scaled + u);
-    }
-    if (raw > limit) raw = limit;
-    if (raw < -limit) raw = -limit;
-    return raw * q;
+    const lowp::GridSpec grid = spec.grid();
+    if (spec.round == Round::kNearest)
+        return lowp::snap_nearest(x, grid);
+    return lowp::snap_stochastic(x, grid, rng::to_unit_float(gen()));
 }
 
 /// Quantizes an array in place.

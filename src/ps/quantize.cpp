@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "lowp/round.h"
 #include "util/logging.h"
 
 namespace buckwild::ps {
@@ -52,34 +53,25 @@ quantize_into(const float* g, std::size_t n, int bits, float* q,
     if (bits == 1) {
         // Seide-style 1-bit: transmit sign(g) and one shared magnitude
         // (the mean absolute value); the untransmitted remainder stays in
-        // the residual.
+        // the residual. The magnitude sum stays sequential (its double
+        // accumulation order is part of the wire format); the sign pass,
+        // residual, and bit packing take the substrate's vectorized path.
         double mag = 0.0;
         for (std::size_t k = 0; k < n; ++k) mag += std::fabs(g[k]);
         scale =
             n > 0 ? static_cast<float>(mag / static_cast<double>(n)) : 0.0f;
-        for (std::size_t k = 0; k < n; ++k) {
-            const bool negative = !(g[k] >= 0.0f);
-            q[k] = negative ? -scale : scale;
-            if (payload != nullptr && negative)
-                payload[k / 8] |= static_cast<std::uint8_t>(1u << (k % 8));
-        }
+        lowp::quantize_sign_1bit(g, n, scale, q, residual, payload);
     } else {
-        // k-bit linear quantization with a per-round scale.
-        float maxabs = 0.0f;
-        for (std::size_t k = 0; k < n; ++k)
-            maxabs = std::max(maxabs, std::fabs(g[k]));
+        // k-bit linear quantization with a per-round scale; level
+        // rounding, packing, and the error-feedback residual run in the
+        // substrate's vectorized kernel.
+        const float maxabs = lowp::max_abs(g, n);
         const float levels = static_cast<float>((1 << (bits - 1)) - 1);
         scale = maxabs > 0.0f ? maxabs / levels : 1.0f;
-        for (std::size_t k = 0; k < n; ++k) {
-            const float level = std::nearbyintf(g[k] / scale);
-            q[k] = level * scale;
-            if (payload != nullptr)
-                payload[k] = static_cast<std::uint8_t>(
-                    static_cast<std::int8_t>(level));
-        }
+        lowp::round_levels_i8(g, n, scale,
+                              reinterpret_cast<std::int8_t*>(payload), q,
+                              residual);
     }
-    if (residual != nullptr)
-        for (std::size_t k = 0; k < n; ++k) residual[k] = g[k] - q[k];
     return scale;
 }
 

@@ -6,17 +6,28 @@
  * 256-bit register, producing 256 fresh bits per step — exactly the "run
  * the vectorized XORSHIFT PRNG once every iteration to produce 256 fresh
  * bits of randomness" strategy of the paper (footnote 11).
+ *
+ * Without AVX2 the same four streams are stepped scalar, producing a
+ * bit-identical word sequence through fill() (the vector register's
+ * little-endian lane layout: lane k contributes words 2k and 2k+1 of each
+ * 8-word step). next() — the raw __m256i interface — exists only in AVX2
+ * builds.
  */
 #ifndef BUCKWILD_RNG_AVX2_XORSHIFT_H
 #define BUCKWILD_RNG_AVX2_XORSHIFT_H
 
+#ifdef __AVX2__
 #include <immintrin.h>
+#endif
 
 #include <cstdint>
+#include <cstring>
 
 #include "rng/xorshift.h"
 
 namespace buckwild::rng {
+
+#ifdef __AVX2__
 
 /// Four-lane xorshift128+ producing one __m256i (256 bits) per call.
 class Avx2Xorshift128Plus
@@ -72,6 +83,64 @@ class Avx2Xorshift128Plus
     __m256i s0_;
     __m256i s1_;
 };
+
+#else // !__AVX2__
+
+/// Scalar fallback: the same four xorshift128+ streams stepped one lane at
+/// a time. fill() produces the identical word sequence to the AVX2 build.
+class Avx2Xorshift128Plus
+{
+  public:
+    explicit Avx2Xorshift128Plus(std::uint64_t seed = 0x9E3779B97F4A7C15ull)
+    {
+        std::uint64_t sm = seed;
+        for (int lane = 0; lane < 4; ++lane) {
+            s0_[lane] = splitmix64(sm);
+            s1_[lane] = splitmix64(sm);
+            if ((s0_[lane] | s1_[lane]) == 0) s1_[lane] = 1;
+        }
+    }
+
+    /// Generates 256 fresh pseudorandom bits into `out[0..8)` (the scalar
+    /// spelling of one vector step; lane k -> words 2k, 2k+1).
+    void
+    next_block(std::uint32_t out[8])
+    {
+        for (int lane = 0; lane < 4; ++lane) {
+            std::uint64_t s1 = s0_[lane];
+            const std::uint64_t s0 = s1_[lane];
+            s0_[lane] = s0;
+            s1 ^= s1 << 23;
+            s1 = s1 ^ s0 ^ (s1 >> 18) ^ (s0 >> 5);
+            s1_[lane] = s1;
+            const std::uint64_t word = s1 + s0;
+            out[2 * lane] = static_cast<std::uint32_t>(word);
+            out[2 * lane + 1] = static_cast<std::uint32_t>(word >> 32);
+        }
+    }
+
+    /// Fills `out[0..words)` with 32-bit random words (8 words per step).
+    void
+    fill(std::uint32_t* out, std::size_t words)
+    {
+        std::uint32_t tmp[8];
+        std::size_t i = 0;
+        while (i + 8 <= words) {
+            next_block(out + i);
+            i += 8;
+        }
+        if (i < words) {
+            next_block(tmp);
+            for (std::size_t j = 0; i < words; ++i, ++j) out[i] = tmp[j];
+        }
+    }
+
+  private:
+    std::uint64_t s0_[4];
+    std::uint64_t s1_[4];
+};
+
+#endif // __AVX2__
 
 } // namespace buckwild::rng
 

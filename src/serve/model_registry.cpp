@@ -3,7 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
-#include "fixed/quantize.h"
+#include "lowp/grid.h"
+#include "lowp/round.h"
 #include "util/logging.h"
 
 namespace buckwild::serve {
@@ -18,22 +19,22 @@ fixed::FixedFormat
 fit_format(int bits, const std::vector<float>& weights)
 {
     fixed::FixedFormat fmt = fixed::default_format(bits);
-    float max_abs = 0.0f;
-    for (float w : weights) max_abs = std::max(max_abs, std::fabs(w));
+    const float max_abs = lowp::max_abs(weights.data(), weights.size());
     while (fmt.frac_bits > 0 && max_abs > fmt.max_value())
         --fmt.frac_bits;
     return fmt;
 }
 
+/// Publish-time Ms quantization: one vectorized biased pass over the
+/// trained weights through the substrate.
 template <typename Rep, typename Buffer>
 void
 quantize_weights(const std::vector<float>& weights,
                  const fixed::FixedFormat& fmt, Buffer& out)
 {
     out.reset(weights.size());
-    for (std::size_t k = 0; k < weights.size(); ++k)
-        out[k] = static_cast<Rep>(
-            fixed::quantize_biased_raw(weights[k], fmt));
+    lowp::quantize_biased(weights.data(), out.data(), weights.size(),
+                          lowp::GridSpec::from_fixed(fmt));
 }
 
 } // namespace

@@ -1,8 +1,9 @@
 /**
  * @file
  * Shared test fixtures and helpers used across the suites (test_ps,
- * test_serve, test_integration, test_obs): synthetic dataset builders,
- * saved-model construction, vector tolerance asserts, and temp-file
+ * test_serve, test_integration, test_obs, test_lowp, test_fixed,
+ * test_nn, test_simd): synthetic dataset builders, saved-model
+ * construction, sequence equality/tolerance asserts, and temp-file
  * RAII. Header-only; everything lives in buckwild::testutil.
  */
 #ifndef BUCKWILD_TESTS_TEST_COMMON_H
@@ -71,11 +72,12 @@ digits_problem(std::size_t count, std::uint64_t seed)
     return problem;
 }
 
-/// Element-wise |a[i] - b[i]| <= tol over two equal-length vectors, with
+/// Element-wise |a[i] - b[i]| <= tol over two equal-length sequences
+/// (std::vector, AlignedBuffer, ... — anything with size() and []), with
 /// the failing index in the message.
-template <typename T>
+template <typename ActualSeq, typename ExpectedSeq>
 void
-expect_all_near(const std::vector<T>& actual, const std::vector<T>& expected,
+expect_all_near(const ActualSeq& actual, const ExpectedSeq& expected,
                 double tol, const char* what = "vector")
 {
     ASSERT_EQ(actual.size(), expected.size()) << what << " length";
@@ -86,9 +88,9 @@ expect_all_near(const std::vector<T>& actual, const std::vector<T>& expected,
 }
 
 /// Bit-exact element-wise equality with the failing index in the message.
-template <typename T>
+template <typename ActualSeq, typename ExpectedSeq>
 void
-expect_all_eq(const std::vector<T>& actual, const std::vector<T>& expected,
+expect_all_eq(const ActualSeq& actual, const ExpectedSeq& expected,
               const char* what = "vector")
 {
     ASSERT_EQ(actual.size(), expected.size()) << what << " length";

@@ -14,6 +14,7 @@
 #include "dataset/fourier.h"
 #include "dataset/problem.h"
 #include "dataset/quantized.h"
+#include "fixed/quantize.h"
 
 namespace buckwild::dataset {
 namespace {

@@ -19,6 +19,7 @@
 #include "fixed/nibble.h"
 #include "fixed/quantize.h"
 #include "rng/random_source.h"
+#include "test_common.h"
 
 namespace buckwild::fixed {
 namespace {
@@ -149,9 +150,11 @@ TEST(QuantizeArray, BiasedMatchesScalarLoop)
     std::vector<std::int8_t> out(in.size());
     quantize_array(in.data(), out.data(), in.size(), f, Rounding::kBiased,
                    nullptr);
+    std::vector<std::int8_t> expected(in.size());
     for (std::size_t i = 0; i < in.size(); ++i)
-        EXPECT_EQ(out[i], static_cast<std::int8_t>(
-                              quantize_biased_raw(in[i], f)));
+        expected[i] =
+            static_cast<std::int8_t>(quantize_biased_raw(in[i], f));
+    testutil::expect_all_eq(out, expected, "biased array");
 }
 
 TEST(QuantizeArray, RoundTripErrorBoundedByHalfQuantum)
@@ -165,8 +168,8 @@ TEST(QuantizeArray, RoundTripErrorBoundedByHalfQuantum)
     quantize_array(in.data(), q.data(), in.size(), f, Rounding::kBiased,
                    nullptr);
     dequantize_array(q.data(), back.data(), in.size(), f);
-    for (std::size_t i = 0; i < in.size(); ++i)
-        EXPECT_LE(std::fabs(back[i] - in[i]), f.quantum() / 2 + 1e-7);
+    testutil::expect_all_near(back, in, f.quantum() / 2 + 1e-7,
+                              "round trip");
 }
 
 TEST(QuantizeArray, UnbiasedConsumesSource)

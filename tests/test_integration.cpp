@@ -26,6 +26,10 @@ namespace {
 
 TEST(Integration, MeasuredSpeedupTracksPerfModelDirection)
 {
+    if (!lowp::vectorized())
+        GTEST_SKIP() << "timing-direction check requires the AVX2 kernels "
+                        "(scalar fixed-point emulation is not faster than "
+                        "float)";
     const auto problem = testutil::logistic_problem(1 << 15, 64, 8);
     auto gnps = [&problem](const char* sig) {
         core::TrainerConfig cfg;
@@ -81,6 +85,8 @@ TEST(Integration, QuantizedTrainingGeneralizes)
 
 TEST(Integration, SimulatorAndEngineAgreeOnPrecisionDirection)
 {
+    if (!lowp::vectorized())
+        GTEST_SKIP() << "timing-direction check requires the AVX2 kernels";
     // Engine (real time).
     const auto problem = testutil::logistic_problem(1 << 15, 32, 9);
     auto engine_gnps = [&problem](const char* sig) {

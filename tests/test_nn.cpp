@@ -14,6 +14,7 @@
 #include "nn/lenet.h"
 #include "nn/layers.h"
 #include "nn/quantizer.h"
+#include "test_common.h"
 
 namespace buckwild::nn {
 namespace {
@@ -273,8 +274,7 @@ TEST(LowpConv, Avx2MatchesReference)
     LowpConv<std::int8_t, std::int8_t> b(s, 7);
     const auto ra = a.forward(simd::Impl::kAvx2);
     const auto rb = b.forward(simd::Impl::kReference);
-    ASSERT_EQ(ra.size(), rb.size());
-    for (std::size_t i = 0; i < ra.size(); ++i) EXPECT_EQ(ra[i], rb[i]);
+    testutil::expect_all_eq(ra, rb, "lowp conv output");
 }
 
 // --------------------------------------------------------------- LeNet

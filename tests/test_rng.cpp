@@ -92,12 +92,19 @@ TEST(Avx2Xorshift, LanesMatchScalarGenerator)
         return l.s1 + b;
     };
 
+    // Drive the generator through fill() (one 8-word block per step) so
+    // the check covers the AVX2 and scalar-fallback builds identically:
+    // lane k's 64-bit output lands in words 2k (low) and 2k+1 (high).
     for (int step = 0; step < 64; ++step) {
-        alignas(32) std::uint64_t out[4];
-        _mm256_store_si256(reinterpret_cast<__m256i*>(out), vec.next());
-        for (int lane = 0; lane < 4; ++lane)
-            EXPECT_EQ(out[lane], scalar_next(lanes[lane]))
+        std::uint32_t words[8];
+        vec.fill(words, 8);
+        for (int lane = 0; lane < 4; ++lane) {
+            const std::uint64_t got =
+                static_cast<std::uint64_t>(words[2 * lane]) |
+                (static_cast<std::uint64_t>(words[2 * lane + 1]) << 32);
+            EXPECT_EQ(got, scalar_next(lanes[lane]))
                 << "step " << step << " lane " << lane;
+        }
     }
 }
 

@@ -22,6 +22,7 @@
 #include "simd/dense_ref.h"
 #include "simd/ops.h"
 #include "simd/sparse_kernels.h"
+#include "test_common.h"
 #include "util/aligned_buffer.h"
 
 namespace buckwild::simd {
@@ -197,8 +198,7 @@ TEST_P(AxpyParity, D8M8BitExact)
     const FixedScalar cs = make_scalar_d8m8(p.c);
     ref::axpy_d8m8(w_ref.data(), x.data(), p.n, cs, d);
     avx2::axpy_d8m8(w_avx.data(), x.data(), p.n, cs, d);
-    for (std::size_t i = 0; i < p.n; ++i)
-        ASSERT_EQ(w_ref[i], w_avx[i]) << "i=" << i << " n=" << p.n;
+    testutil::expect_all_eq(w_avx, w_ref, "axpy model");
 }
 
 TEST_P(AxpyParity, D16M8BitExact)
@@ -212,8 +212,7 @@ TEST_P(AxpyParity, D16M8BitExact)
     const FixedScalar cs = make_scalar_d16m8(p.c);
     ref::axpy_d16m8(w_ref.data(), x.data(), p.n, cs, d);
     avx2::axpy_d16m8(w_avx.data(), x.data(), p.n, cs, d);
-    for (std::size_t i = 0; i < p.n; ++i)
-        ASSERT_EQ(w_ref[i], w_avx[i]) << "i=" << i << " n=" << p.n;
+    testutil::expect_all_eq(w_avx, w_ref, "axpy model");
 }
 
 TEST_P(AxpyParity, D8M16BitExact)
@@ -227,8 +226,7 @@ TEST_P(AxpyParity, D8M16BitExact)
     const FixedScalar cs = make_scalar_d8m16(p.c);
     ref::axpy_d8m16(w_ref.data(), x.data(), p.n, cs, d);
     avx2::axpy_d8m16(w_avx.data(), x.data(), p.n, cs, d);
-    for (std::size_t i = 0; i < p.n; ++i)
-        ASSERT_EQ(w_ref[i], w_avx[i]) << "i=" << i << " n=" << p.n;
+    testutil::expect_all_eq(w_avx, w_ref, "axpy model");
 }
 
 TEST_P(AxpyParity, D16M16BitExact)
@@ -242,8 +240,7 @@ TEST_P(AxpyParity, D16M16BitExact)
     const FixedScalar cs = make_scalar_d16m16(p.c);
     ref::axpy_d16m16(w_ref.data(), x.data(), p.n, cs, d);
     avx2::axpy_d16m16(w_avx.data(), x.data(), p.n, cs, d);
-    for (std::size_t i = 0; i < p.n; ++i)
-        ASSERT_EQ(w_ref[i], w_avx[i]) << "i=" << i << " n=" << p.n;
+    testutil::expect_all_eq(w_avx, w_ref, "axpy model");
 }
 
 TEST_P(AxpyParity, DFM8BitExact)
@@ -256,8 +253,7 @@ TEST_P(AxpyParity, DFM8BitExact)
     const float cf = p.c * 37.0f; // exercise multi-quantum deltas
     ref::axpy_dfm8(w_ref.data(), x.data(), p.n, cf, d);
     avx2::axpy_dfm8(w_avx.data(), x.data(), p.n, cf, d);
-    for (std::size_t i = 0; i < p.n; ++i)
-        ASSERT_EQ(w_ref[i], w_avx[i]) << "i=" << i << " n=" << p.n;
+    testutil::expect_all_eq(w_avx, w_ref, "axpy model");
 }
 
 TEST_P(AxpyParity, DFM16BitExact)
@@ -270,8 +266,7 @@ TEST_P(AxpyParity, DFM16BitExact)
     const float cf = p.c * 1000.0f;
     ref::axpy_dfm16(w_ref.data(), x.data(), p.n, cf, d);
     avx2::axpy_dfm16(w_avx.data(), x.data(), p.n, cf, d);
-    for (std::size_t i = 0; i < p.n; ++i)
-        ASSERT_EQ(w_ref[i], w_avx[i]) << "i=" << i << " n=" << p.n;
+    testutil::expect_all_eq(w_avx, w_ref, "axpy model");
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -345,10 +340,7 @@ TEST(NaiveKernels, AxpyWithinOneQuantumOfReference)
     const FixedScalar cs = make_scalar_d8m8(0.37f);
     ref::axpy_d8m8(w_ref.data(), x.data(), kN, cs, d);
     naive::axpy_d8m8(w_naive.data(), x.data(), kN, cs, d);
-    for (std::size_t i = 0; i < kN; ++i)
-        EXPECT_NEAR(static_cast<int>(w_ref[i]),
-                    static_cast<int>(w_naive[i]), 1)
-            << i;
+    testutil::expect_all_near(w_naive, w_ref, 1, "naive axpy model");
 }
 
 // -------------------------------------------------------- AXPY semantics
@@ -665,9 +657,9 @@ TEST(Avx512, AxpyD8M8BitExactAgainstReference)
             const FixedScalar cs = make_scalar_d8m8(biased ? 0.7f : -0.3f);
             ref::axpy_d8m8(w_ref.data(), x.data(), n, cs, d);
             avx512::axpy_d8m8(w_512.data(), x.data(), n, cs, d);
-            for (std::size_t i = 0; i < n; ++i)
-                ASSERT_EQ(w_ref[i], w_512[i])
-                    << "n=" << n << " i=" << i << " biased=" << biased;
+            testutil::expect_all_eq(w_512, w_ref,
+                                    biased ? "avx512 axpy (biased)"
+                                           : "avx512 axpy (unbiased)");
         }
     }
 }
@@ -683,8 +675,7 @@ TEST(Avx512, FloatKernelsMatchWithinTolerance)
                 avx512::dot_dfmf(x.data(), w_512.data(), kN), 1e-2);
     ref::axpy_dfmf(w_ref.data(), x.data(), kN, 0.01f);
     avx512::axpy_dfmf(w_512.data(), x.data(), kN, 0.01f);
-    for (std::size_t i = 0; i < kN; ++i)
-        ASSERT_NEAR(w_ref[i], w_512[i], 1e-5f);
+    testutil::expect_all_near(w_512, w_ref, 1e-5, "avx512 float axpy");
 }
 
 TEST(Avx512, TrainerRunsAtAvx512)

@@ -2,7 +2,10 @@
 # Sanitizer gate for the concurrent subsystems (and everything they lean
 # on):
 #
-#   1. build the whole tree under ASan+UBSan and run the full gtest suite;
+#   0. lint: no quantization/rounding primitive outside src/lowp/
+#      (tools/lint_quantizers.sh);
+#   1. build the whole tree under ASan+UBSan and run the full gtest suite
+#      (including test_lowp's cross-layer bit-identity goldens);
 #   2. build under TSan and run test_serve + test_ps + test_obs +
 #      test_live, which exercise the registry hot-swap, the request
 #      queue, the serving worker loop, the parameter-server
@@ -22,6 +25,9 @@ while getopts "j:" opt; do
     *) echo "usage: tools/check.sh [-j N]" >&2; exit 2 ;;
   esac
 done
+
+echo "== lint: substrate is the only quantizer =="
+tools/lint_quantizers.sh
 
 echo "== ASan+UBSan: full suite =="
 cmake --preset asan

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Duplicate-quantizer lint: every rounding/quantization primitive must live
+# in the precision substrate (src/lowp/) — call sites go through
+# lowp::GridSpec + the rounding engine instead of hand-rolling lround /
+# nearbyint / floor-plus-dither again (the refactor this guards deleted
+# five independent copies).
+#
+# Allowlisted exceptions (reviewed, each documented at the call site):
+#   src/simd/fixed_scalar.h   scalar reference kernel: the saturating
+#                             accumulate-round IS the DenseOps semantics
+#                             the vector paths are tested against.
+#   src/isa/nibble_kernels.h  4-bit emulation grid (no lowp rep exists
+#                             below 8 bits by design; see src/isa docs).
+#   src/serve/metrics.cpp     histogram bucket sizing — arithmetic on
+#                             latencies, not a value quantizer.
+#
+# Usage: tools/lint_quantizers.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+allowlist='^src/(lowp/|simd/fixed_scalar\.h|isa/nibble_kernels\.h|serve/metrics\.cpp)'
+primitives='std::l?lround|\bl?lroundf?\(|std::nearbyint|\bnearbyintf?\(|std::rint\b|\brintf?\('
+
+fail=0
+while IFS= read -r hit; do
+  file=${hit%%:*}
+  [[ "$file" =~ $allowlist ]] && continue
+  # Strip //- and *-style comment lines (doc references are fine).
+  line=${hit#*:*:}
+  [[ "$line" =~ ^[[:space:]]*(//|\*|/\*) ]] && continue
+  echo "lint_quantizers: rounding primitive outside src/lowp/: $hit" >&2
+  fail=1
+done < <(grep -rnE --include='*.h' --include='*.cpp' "$primitives" src tools || true)
+
+if [[ "$fail" -ne 0 ]]; then
+  echo "lint_quantizers: route new quantization through lowp:: (see DESIGN.md §10)" >&2
+  exit 1
+fi
+echo "lint_quantizers: OK (substrate is the only quantizer)"
