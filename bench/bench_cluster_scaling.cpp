@@ -1,20 +1,30 @@
 /**
  * @file
- * Extension: parameter-server scaling — workers x communication precision.
+ * Extension: parameter-server scaling — workers x communication codec,
+ * in-process threads vs real multi-process sockets.
  *
  * The sharded parameter server executes the DMGC C axis for real (threads,
  * messages, asynchrony) where bench_ext_comm_precision only emulates the
- * communication pattern. This bench sweeps worker count against the wire
- * precision at a fixed total round budget (rounds per worker shrink as
- * workers grow, so every cell applies the same number of gradients) and
- * reports convergence next to the bytes each worker pushes per round.
+ * communication pattern. Three sections:
+ *
+ *  1. Codec tiers over REAL SOCKETS: train_cluster_multiprocess forks
+ *     2 shard + 2 worker processes over loopback TCP per tier — the
+ *     bytes/round column is actual framed wire traffic. (Runs first:
+ *     fork() must happen before any section spawns threads.)
+ *  2. The same codec tiers in-process, plus the worker-count sweep at a
+ *     fixed total round budget (rounds per worker shrink as workers grow,
+ *     so every cell applies the same number of gradients).
+ *  3. An encode/decode microbench per tier: ns per call on a dense
+ *     gradient, isolating codec cost from fabric cost.
  *
  * Expected shape: along the precision axis the push traffic collapses
  * ~32x/4x (Cs32 -> Cs1 / Cs8) while final accuracy stays within a point —
  * error feedback absorbs both the quantization error and the cross-shard
- * staleness; along the worker axis convergence holds as the same gradient
- * budget is spread over more (staler) pushers.
+ * staleness; CsQ4's gamma-coded payload lands >= 2x under Cs8; socket
+ * rows match the in-process rows on convergence (same round loop, only
+ * the fabric differs).
  */
+#include <cstdint>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -22,6 +32,7 @@
 #include "bench/bench_util.h"
 #include "dataset/problem.h"
 #include "obs/export.h"
+#include "ps/node.h"
 #include "ps/ps.h"
 
 namespace {
@@ -30,9 +41,71 @@ using namespace buckwild;
 
 struct Cell
 {
+    std::string mode; ///< "inproc" or "socket"
     std::size_t workers = 0;
     ps::ClusterResult result;
 };
+
+ps::ClusterConfig
+cell_config(std::size_t workers, const ps::Codec& codec,
+            std::size_t total_rounds)
+{
+    ps::ClusterConfig cfg;
+    cfg.workers = workers;
+    cfg.shards = 2;
+    cfg.codec = codec;
+    cfg.rounds = total_rounds / workers;
+    cfg.batch = 16;
+    cfg.tau = 8;
+    cfg.step_size = 0.25f;
+    return cfg;
+}
+
+void
+add_result_row(TablePrinter& table, const Cell& cell)
+{
+    const auto& r = cell.result;
+    const double rps =
+        r.wall_seconds > 0.0
+            ? static_cast<double>(r.rounds) / r.wall_seconds
+            : 0.0;
+    table.add_row(
+        {r.comm, format_num(r.final_loss), format_num(r.accuracy),
+         format_num(r.bytes_per_round, 4), format_num(rps, 4),
+         std::to_string(r.metrics.total_gated()),
+         std::to_string(r.metrics.max_staleness()),
+         format_num(r.wall_seconds, 3)});
+}
+
+/// ns per encode_gradient / decode_gradient call on an `n`-coordinate
+/// gradient (error feedback on, residual carried across calls — the
+/// steady state a worker round sees).
+void
+codec_ns(const ps::Codec& codec, std::size_t n, double* encode_ns,
+         double* decode_ns)
+{
+    std::vector<float> g(n);
+    rng::Xorshift128Plus rng(4242);
+    for (std::size_t k = 0; k < n; ++k)
+        g[k] = rng::to_unit_float(static_cast<std::uint32_t>(rng() >> 32)) -
+               0.5f;
+    std::vector<float> residual(n, 0.0f);
+    rng::Xorshift128Plus dither(77);
+    ps::WireGradient wire =
+        ps::encode_gradient(g.data(), n, codec, residual.data(), &dither);
+    *encode_ns = measure_seconds_per_call(
+                     [&](std::size_t) {
+                         wire = ps::encode_gradient(g.data(), n, codec,
+                                                    residual.data(), &dither);
+                     },
+                     0.02) *
+                 1e9;
+    std::vector<float> decoded;
+    *decode_ns = measure_seconds_per_call(
+                     [&](std::size_t) { decoded = ps::decode_gradient(wire); },
+                     0.02) *
+                 1e9;
+}
 
 } // namespace
 
@@ -40,54 +113,109 @@ int
 main()
 {
     using namespace buckwild;
-    bench::banner("Extension — parameter-server scaling (workers x comm bits)",
-                  "bytes/round collapses ~32x Cs32 -> Cs1 at matched "
-                  "accuracy; staleness stays under tau");
+    bench::banner("Extension — parameter-server scaling "
+                  "(codec tiers, sockets vs in-process, worker sweep)",
+                  "bytes/round collapses ~32x Cs32 -> Cs1 and >= 2x "
+                  "Cs8 -> CsQ4 at matched accuracy; socket and in-process "
+                  "rows converge alike");
 
     const auto problem = dataset::generate_logistic_dense(512, 4096, 17);
-    const std::size_t total_rounds = 1200;
-    const std::vector<std::size_t> worker_counts = {1, 2, 4};
-    const std::vector<int> bits_sweep = {32, 8, 1};
-
+    const std::vector<ps::Codec> tiers = {
+        ps::Codec::from_bits(32), ps::Codec::from_bits(8),
+        ps::Codec::qsgd(4),       ps::Codec::qsgd(2),
+        ps::Codec::from_bits(1),
+    };
     std::vector<Cell> cells;
-    for (const std::size_t workers : worker_counts) {
-        TablePrinter table(
-            "cluster, n = 512, 2 shards, " + std::to_string(workers) +
-                " workers, " + std::to_string(total_rounds / workers) +
-                " rounds/worker",
-            {"comm", "final loss", "accuracy", "B/round", "push KB",
-             "gated", "stale", "wall s"});
-        for (const int bits : bits_sweep) {
-            ps::ClusterConfig cfg;
-            cfg.workers = workers;
-            cfg.shards = 2;
-            cfg.comm_bits = bits;
-            cfg.rounds = total_rounds / workers;
-            cfg.batch = 16;
-            cfg.tau = 8;
-            cfg.step_size = 0.25f;
+
+    // ---- 1. Codec tiers over real sockets (fork before any threads) ----
+    {
+        const std::size_t total_rounds = 300;
+        TablePrinter table("codec tiers, MULTI-PROCESS loopback TCP, "
+                           "n = 512, 2 shards, 2 workers, " +
+                               std::to_string(total_rounds / 2) +
+                               " rounds/worker",
+                           {"comm", "final loss", "accuracy", "B/round",
+                            "rounds/s", "gated", "stale", "wall s"});
+        for (const ps::Codec& codec : tiers) {
             Cell cell;
-            cell.workers = workers;
-            cell.result = ps::train_cluster(problem, cfg);
-            const auto& r = cell.result;
-            table.add_row(
-                {r.comm, format_num(r.final_loss), format_num(r.accuracy),
-                 format_num(r.bytes_per_round, 4),
-                 format_num(static_cast<double>(
-                                r.metrics.total_push_bytes()) /
-                                1024.0,
-                            4),
-                 std::to_string(r.metrics.total_gated()),
-                 std::to_string(r.metrics.max_staleness()),
-                 format_num(r.wall_seconds, 3)});
+            cell.mode = "socket";
+            cell.workers = 2;
+            cell.result = ps::train_cluster_multiprocess(
+                problem, cell_config(2, codec, total_rounds));
+            add_result_row(table, cell);
             cells.push_back(std::move(cell));
         }
         bench::emit(table);
     }
 
+    // ---- 2a. The same tiers in-process (threads, shared memory) ----
+    {
+        const std::size_t total_rounds = 300;
+        TablePrinter table("codec tiers, in-process, n = 512, 2 shards, "
+                           "2 workers, " +
+                               std::to_string(total_rounds / 2) +
+                               " rounds/worker",
+                           {"comm", "final loss", "accuracy", "B/round",
+                            "rounds/s", "gated", "stale", "wall s"});
+        for (const ps::Codec& codec : tiers) {
+            Cell cell;
+            cell.mode = "inproc";
+            cell.workers = 2;
+            cell.result = ps::train_cluster(
+                problem, cell_config(2, codec, total_rounds));
+            add_result_row(table, cell);
+            cells.push_back(std::move(cell));
+        }
+        bench::emit(table);
+    }
+
+    // ---- 2b. Worker sweep at a fixed total round budget ----
+    const std::size_t total_rounds = 1200;
+    for (const std::size_t workers : {std::size_t{1}, std::size_t{2},
+                                      std::size_t{4}}) {
+        TablePrinter table(
+            "worker sweep, in-process, n = 512, 2 shards, " +
+                std::to_string(workers) + " workers, " +
+                std::to_string(total_rounds / workers) + " rounds/worker",
+            {"comm", "final loss", "accuracy", "B/round", "rounds/s",
+             "gated", "stale", "wall s"});
+        for (const ps::Codec& codec :
+             {ps::Codec::from_bits(32), ps::Codec::from_bits(8),
+              ps::Codec::qsgd(4), ps::Codec::from_bits(1)}) {
+            Cell cell;
+            cell.mode = "inproc";
+            cell.workers = workers;
+            cell.result = ps::train_cluster(
+                problem, cell_config(workers, codec, total_rounds));
+            add_result_row(table, cell);
+            cells.push_back(std::move(cell));
+        }
+        bench::emit(table);
+    }
+
+    // ---- 3. Codec microbench: encode/decode ns per call ----
+    std::vector<double> enc_ns(tiers.size()), dec_ns(tiers.size());
+    {
+        const std::size_t n = 4096;
+        TablePrinter table("codec microbench, n = " + std::to_string(n) +
+                               " coordinates per call",
+                           {"comm", "encode ns", "decode ns", "payload B"});
+        for (std::size_t t = 0; t < tiers.size(); ++t) {
+            codec_ns(tiers[t], n, &enc_ns[t], &dec_ns[t]);
+            std::vector<float> g(n, 0.125f), residual(n, 0.0f);
+            const auto wire =
+                ps::encode_gradient(g.data(), n, tiers[t], residual.data());
+            table.add_row({tiers[t].name(), format_num(enc_ns[t], 4),
+                           format_num(dec_ns[t], 4),
+                           std::to_string(wire.wire_bytes())});
+        }
+        bench::emit(table);
+    }
+
     // Machine-readable sweep for plotting pipelines (and the acceptance
-    // check: Cs1 bytes_per_round >= 20x under Cs32 at matched accuracy),
-    // via the shared obs JSON writer.
+    // checks: Cs1 bytes_per_round >= 20x under Cs32, CsQ4 >= 2x under
+    // Cs8, socket vs inproc accuracy within a point), via the shared obs
+    // JSON writer.
     std::printf("-- json --\n");
     obs::JsonWriter json(std::cout);
     json.begin_array();
@@ -95,11 +223,16 @@ main()
         const auto& r = cell.result;
         std::cout << '\n';
         json.begin_object();
+        json.key("mode").value(cell.mode);
         json.key("workers").value(cell.workers);
         json.key("comm").value(r.comm);
         json.key("final_loss").value(r.final_loss);
         json.key("accuracy").value(r.accuracy);
         json.key("bytes_per_round").value(r.bytes_per_round);
+        json.key("rounds_per_sec")
+            .value(r.wall_seconds > 0.0
+                       ? static_cast<double>(r.rounds) / r.wall_seconds
+                       : 0.0);
         json.key("push_bytes").value(r.metrics.total_push_bytes());
         json.key("rounds").value(r.rounds);
         json.key("gated").value(r.metrics.total_gated());
@@ -108,6 +241,15 @@ main()
         json.key("rpc_retries").value(r.metrics.rpc_retries);
         json.key("wall_s").value(r.wall_seconds);
         json.key("gnps").value(r.metrics.gnps());
+        json.end_object();
+    }
+    for (std::size_t t = 0; t < tiers.size(); ++t) {
+        std::cout << '\n';
+        json.begin_object();
+        json.key("mode").value("microbench");
+        json.key("comm").value(tiers[t].name());
+        json.key("encode_ns").value(enc_ns[t]);
+        json.key("decode_ns").value(dec_ns[t]);
         json.end_object();
     }
     json.end_array();

@@ -1,0 +1,75 @@
+#include "net/frame.h"
+
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "net/socket.h"
+
+namespace buckwild::net {
+
+namespace {
+
+void
+put_u32(std::uint8_t* out, std::uint32_t v)
+{
+    out[0] = static_cast<std::uint8_t>(v);
+    out[1] = static_cast<std::uint8_t>(v >> 8);
+    out[2] = static_cast<std::uint8_t>(v >> 16);
+    out[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+std::uint32_t
+get_u32(const std::uint8_t* in)
+{
+    return static_cast<std::uint32_t>(in[0]) |
+           (static_cast<std::uint32_t>(in[1]) << 8) |
+           (static_cast<std::uint32_t>(in[2]) << 16) |
+           (static_cast<std::uint32_t>(in[3]) << 24);
+}
+
+} // namespace
+
+bool
+write_frame(int fd, const std::uint8_t* payload, std::size_t n)
+{
+    // One send for the header keeps the write count low; the payload
+    // follows in its own send (no copy of a potentially large body).
+    std::uint8_t header[kFrameHeaderBytes];
+    put_u32(header, kFrameMagic);
+    put_u32(header + 4, static_cast<std::uint32_t>(n));
+    if (!send_all(fd, header, sizeof(header))) return false;
+    return n == 0 || send_all(fd, payload, n);
+}
+
+FrameResult
+read_frame(int fd, std::vector<std::uint8_t>& payload,
+           std::size_t max_payload_bytes)
+{
+    std::uint8_t header[kFrameHeaderBytes];
+    // Distinguish a clean EOF (no header byte at all — the peer closed
+    // between frames) from a mid-frame truncation.
+    std::size_t got = 0;
+    {
+        auto* bytes = header;
+        while (got < sizeof(header)) {
+            const ssize_t r = ::recv(fd, bytes + got, sizeof(header) - got,
+                                     0);
+            if (r < 0 && errno == EINTR) continue;
+            if (r == 0) return got == 0 ? FrameResult::kClosed
+                                        : FrameResult::kError;
+            if (r < 0) return FrameResult::kError;
+            got += static_cast<std::size_t>(r);
+        }
+    }
+    if (get_u32(header) != kFrameMagic) return FrameResult::kBadMagic;
+    const std::uint32_t length = get_u32(header + 4);
+    if (length > max_payload_bytes) return FrameResult::kTooLarge;
+    payload.resize(length);
+    if (length > 0 && !recv_all(fd, payload.data(), length))
+        return FrameResult::kError;
+    return FrameResult::kOk;
+}
+
+} // namespace buckwild::net

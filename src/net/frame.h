@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Length-prefixed message framing over a byte stream.
+ *
+ * TCP delivers a byte stream; the cluster exchanges discrete messages.
+ * Every frame is an 8-byte header — a magic word (cheap protection
+ * against a stray HTTP client or a desynchronized peer) plus the
+ * payload length — followed by the payload:
+ *
+ *     offset  size  field
+ *     0       4     magic 0x42574650 ("BWFP"), little-endian
+ *     4       4     payload length in bytes, little-endian
+ *     8       len   payload
+ *
+ * read_frame() enforces a maximum payload size *before* allocating, so
+ * a corrupt or hostile length prefix cannot balloon memory; a bad magic
+ * or oversized length poisons the connection (the caller must drop it —
+ * after a desync there is no way to find the next frame boundary).
+ * Partial reads and short writes are absorbed by the socket.h I/O
+ * loops underneath.
+ */
+#ifndef BUCKWILD_NET_FRAME_H
+#define BUCKWILD_NET_FRAME_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace buckwild::net {
+
+/// First word of every frame ("BWFP" little-endian).
+inline constexpr std::uint32_t kFrameMagic = 0x42574650u;
+
+/// Bytes on the wire before the payload.
+inline constexpr std::size_t kFrameHeaderBytes = 8;
+
+/// Default cap on one frame's payload. Generous for gradient slices
+/// (a dim-1M float slice is 4MB) while bounding a corrupt length.
+inline constexpr std::size_t kDefaultMaxFrameBytes = 64u << 20;
+
+/// Outcome of read_frame().
+enum class FrameResult {
+    kOk,       ///< a whole frame was read into `payload`
+    kClosed,   ///< clean EOF before any header byte
+    kTooLarge, ///< length prefix exceeds the cap — drop the connection
+    kBadMagic, ///< stream desync or foreign client — drop the connection
+    kError,    ///< read error / EOF mid-frame
+};
+
+/// Writes one frame (header + payload). False on error or peer close.
+bool write_frame(int fd, const std::uint8_t* payload, std::size_t n);
+
+/**
+ * Reads one frame into `payload` (resized to the exact length).
+ * Validates the magic and the length cap before allocating.
+ */
+FrameResult read_frame(int fd, std::vector<std::uint8_t>& payload,
+                       std::size_t max_payload_bytes);
+
+} // namespace buckwild::net
+
+#endif // BUCKWILD_NET_FRAME_H

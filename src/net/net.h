@@ -1,0 +1,12 @@
+/**
+ * @file
+ * Umbrella header for the zero-dependency POSIX TCP layer: sockets
+ * (net/socket.h) and length-prefixed message framing (net/frame.h).
+ */
+#ifndef BUCKWILD_NET_NET_H
+#define BUCKWILD_NET_NET_H
+
+#include "net/frame.h"
+#include "net/socket.h"
+
+#endif // BUCKWILD_NET_NET_H

@@ -1,0 +1,202 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <thread>
+
+#include "util/logging.h"
+
+namespace buckwild::net {
+
+void
+Fd::reset()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+void
+Fd::shutdown_rdwr()
+{
+    if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+Address
+parse_address(const std::string& text)
+{
+    const std::size_t colon = text.rfind(':');
+    if (colon == std::string::npos)
+        fatal("address '" + text + "' is not host:port");
+    Address address;
+    if (colon > 0) address.host = text.substr(0, colon);
+    const std::string port_text = text.substr(colon + 1);
+    char* end = nullptr;
+    const long port = std::strtol(port_text.c_str(), &end, 10);
+    if (end == port_text.c_str() || *end != '\0' || port < 0 ||
+        port > 65535)
+        fatal("address '" + text + "' has a bad port");
+    address.port = static_cast<std::uint16_t>(port);
+    return address;
+}
+
+namespace {
+
+bool
+fill_sockaddr(const std::string& host, std::uint16_t port,
+              sockaddr_in* addr, std::string* error)
+{
+    std::memset(addr, 0, sizeof(*addr));
+    addr->sin_family = AF_INET;
+    addr->sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr->sin_addr) != 1) {
+        if (error != nullptr) *error = "bad IPv4 address '" + host + "'";
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+Fd
+listen_tcp(const std::string& bind_address, std::uint16_t port,
+           int backlog, std::uint16_t* bound_port, std::string* error)
+{
+    Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+    if (!fd.valid()) {
+        if (error != nullptr)
+            *error = std::string("socket(): ") + std::strerror(errno);
+        return {};
+    }
+    const int one = 1;
+    ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+    sockaddr_in addr{};
+    if (!fill_sockaddr(bind_address, port, &addr, error)) return {};
+    if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(fd.get(), backlog) != 0) {
+        if (error != nullptr)
+            *error = "cannot listen on " + bind_address + ":" +
+                     std::to_string(port) + ": " + std::strerror(errno);
+        return {};
+    }
+    if (bound_port != nullptr) *bound_port = local_port(fd.get());
+    return fd;
+}
+
+std::uint16_t
+local_port(int fd)
+{
+    sockaddr_in addr{};
+    socklen_t len = sizeof(addr);
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0)
+        return 0;
+    return ntohs(addr.sin_port);
+}
+
+Fd
+accept_client(int listen_fd, int timeout_ms)
+{
+    pollfd pfd{listen_fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready <= 0) return {}; // timeout or EINTR
+    Fd fd(::accept(listen_fd, nullptr, nullptr));
+    if (fd.valid()) {
+        // Replies ride the accepted side; a small ack held behind Nagle
+        // until the peer's TCP ACK looks exactly like a lost message to
+        // the RPC retransmit clock.
+        const int one = 1;
+        ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one,
+                     sizeof(one));
+    }
+    return fd;
+}
+
+Fd
+connect_tcp(const Address& address, std::chrono::milliseconds deadline,
+            std::string* error)
+{
+    sockaddr_in addr{};
+    if (!fill_sockaddr(address.host, address.port, &addr, error)) return {};
+
+    const auto give_up = std::chrono::steady_clock::now() + deadline;
+    auto backoff = std::chrono::milliseconds(10);
+    int last_errno = ECONNREFUSED;
+    for (;;) {
+        Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+        if (fd.valid() &&
+            ::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr),
+                      sizeof(addr)) == 0) {
+            // Cluster messages are small request/reply frames; batching
+            // them behind Nagle only adds round-trip latency.
+            const int one = 1;
+            ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one,
+                         sizeof(one));
+            return fd;
+        }
+        last_errno = errno;
+        fd.reset();
+        if (std::chrono::steady_clock::now() + backoff >= give_up) break;
+        std::this_thread::sleep_for(backoff);
+        backoff = std::min(backoff * 2, std::chrono::milliseconds(500));
+    }
+    if (error != nullptr)
+        *error = "cannot connect to " + address.to_string() + ": " +
+                 std::strerror(last_errno);
+    return {};
+}
+
+bool
+send_all(int fd, const void* data, std::size_t n)
+{
+    const auto* bytes = static_cast<const std::uint8_t*>(data);
+    std::size_t sent = 0;
+    while (sent < n) {
+        const ssize_t w =
+            ::send(fd, bytes + sent, n - sent, MSG_NOSIGNAL);
+        if (w < 0 && errno == EINTR) continue;
+        if (w <= 0) return false;
+        sent += static_cast<std::size_t>(w);
+    }
+    return true;
+}
+
+bool
+send_all(int fd, const std::string& bytes)
+{
+    return send_all(fd, bytes.data(), bytes.size());
+}
+
+bool
+recv_all(int fd, void* data, std::size_t n)
+{
+    auto* bytes = static_cast<std::uint8_t*>(data);
+    std::size_t got = 0;
+    while (got < n) {
+        const ssize_t r = ::recv(fd, bytes + got, n - got, 0);
+        if (r < 0 && errno == EINTR) continue;
+        if (r <= 0) return false;
+        got += static_cast<std::size_t>(r);
+    }
+    return true;
+}
+
+void
+set_recv_timeout(int fd, std::chrono::milliseconds timeout)
+{
+    timeval tv{};
+    tv.tv_sec = static_cast<time_t>(timeout.count() / 1000);
+    tv.tv_usec = static_cast<suseconds_t>((timeout.count() % 1000) * 1000);
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
+} // namespace buckwild::net

@@ -1,36 +1,17 @@
 #include "obs/http_exporter.h"
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <netinet/tcp.h>
-#include <poll.h>
 #include <sys/socket.h>
-#include <unistd.h>
 
-#include <cerrno>
 #include <cstring>
 #include <sstream>
 
+#include "net/socket.h"
 #include "obs/prom.h"
 #include "util/logging.h"
 
 namespace buckwild::obs {
 
 namespace {
-
-void
-send_all(int fd, const std::string& bytes)
-{
-    std::size_t sent = 0;
-    while (sent < bytes.size()) {
-        // MSG_NOSIGNAL: a scraper that hung up mid-response must not
-        // SIGPIPE the serving process.
-        const ssize_t n = ::send(fd, bytes.data() + sent,
-                                 bytes.size() - sent, MSG_NOSIGNAL);
-        if (n <= 0) return;
-        sent += static_cast<std::size_t>(n);
-    }
-}
 
 std::string
 http_response(const char* status, const char* content_type,
@@ -65,36 +46,17 @@ HttpExporter::start()
 {
     if (thread_.joinable()) return true;
 
-    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-    if (listen_fd_ < 0) {
-        warn(std::string("obs: socket() failed: ") + std::strerror(errno));
-        return false;
-    }
-    const int one = 1;
-    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-
-    sockaddr_in addr{};
-    addr.sin_family = AF_INET;
-    addr.sin_port = htons(config_.port);
-    if (::inet_pton(AF_INET, config_.bind_address.c_str(),
-                    &addr.sin_addr) != 1) {
-        warn("obs: bad bind address '" + config_.bind_address + "'");
-        ::close(listen_fd_);
-        listen_fd_ = -1;
-        return false;
-    }
-    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
-               sizeof(addr)) != 0 ||
-        ::listen(listen_fd_, 16) != 0) {
+    std::string error;
+    std::uint16_t port = config_.port;
+    net::Fd listener =
+        net::listen_tcp(config_.bind_address, port, 16, &port, &error);
+    if (!listener.valid()) {
         warn("obs: cannot listen on " + config_.bind_address + ":" +
-             std::to_string(config_.port) + ": " + std::strerror(errno));
-        ::close(listen_fd_);
-        listen_fd_ = -1;
+             std::to_string(config_.port) + ": " + error);
         return false;
     }
-    socklen_t len = sizeof(addr);
-    ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
-    port_ = ntohs(addr.sin_port);
+    listen_fd_ = listener.release();
+    port_ = port;
 
     stop_requested_.store(false, std::memory_order_relaxed);
     thread_ = std::thread(&HttpExporter::run, this);
@@ -105,13 +67,10 @@ void
 HttpExporter::run()
 {
     while (!stop_requested_.load(std::memory_order_relaxed)) {
-        pollfd pfd{listen_fd_, POLLIN, 0};
-        const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
-        if (ready <= 0) continue; // timeout or EINTR: re-check stop flag
-        const int client = ::accept(listen_fd_, nullptr, nullptr);
-        if (client < 0) continue;
-        handle(client);
-        ::close(client);
+        // Timeout or error both mean "re-check the stop flag and poll
+        // again".
+        net::Fd client = net::accept_client(listen_fd_, /*timeout_ms=*/100);
+        if (client.valid()) handle(client.get());
     }
 }
 
@@ -119,10 +78,7 @@ void
 HttpExporter::handle(int client_fd)
 {
     // A scraper that connects but never writes must not wedge the loop.
-    timeval timeout{};
-    timeout.tv_sec = 1;
-    ::setsockopt(client_fd, SOL_SOCKET, SO_RCVTIMEO, &timeout,
-                 sizeof(timeout));
+    net::set_recv_timeout(client_fd, std::chrono::milliseconds(1000));
 
     std::string request;
     char buf[2048];
@@ -143,20 +99,22 @@ HttpExporter::handle(int client_fd)
 
     served_.fetch_add(1, std::memory_order_relaxed);
     if (method != "GET") {
-        send_all(client_fd,
-                 http_response("405 Method Not Allowed", "text/plain",
-                               "only GET is supported\n"));
+        net::send_all(client_fd,
+                      http_response("405 Method Not Allowed", "text/plain",
+                                    "only GET is supported\n"));
         return;
     }
     if (path == "/metrics") {
-        send_all(client_fd,
-                 http_response("200 OK", kPromContentType,
-                               render_prometheus(registry_.snapshot())));
+        net::send_all(client_fd,
+                      http_response("200 OK", kPromContentType,
+                                    render_prometheus(registry_.snapshot())));
     } else if (path == "/healthz") {
-        send_all(client_fd, http_response("200 OK", "text/plain", "ok\n"));
+        net::send_all(client_fd,
+                      http_response("200 OK", "text/plain", "ok\n"));
     } else {
-        send_all(client_fd, http_response("404 Not Found", "text/plain",
-                                          "not found\n"));
+        net::send_all(client_fd,
+                      http_response("404 Not Found", "text/plain",
+                                    "not found\n"));
     }
 }
 
@@ -167,7 +125,7 @@ HttpExporter::stop()
     stop_requested_.store(true, std::memory_order_relaxed);
     thread_.join();
     if (listen_fd_ >= 0) {
-        ::close(listen_fd_);
+        net::Fd(listen_fd_).reset(); // close via the RAII owner
         listen_fd_ = -1;
     }
 }

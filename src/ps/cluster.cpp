@@ -4,37 +4,12 @@
 #include <chrono>
 #include <thread>
 
-#include "obs/obs.h"
+#include "ps/node.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
 
 namespace buckwild::ps {
-
-namespace {
-
-/// Average loss and accuracy of `model` over the whole problem, with the
-/// same scalar evaluation loop the emulated trainer uses.
-void
-evaluate(const dataset::DenseProblem& problem, core::Loss loss,
-         const std::vector<float>& model, double* out_loss,
-         double* out_accuracy)
-{
-    double total = 0.0;
-    std::size_t correct = 0;
-    for (std::size_t i = 0; i < problem.examples; ++i) {
-        float z = 0.0f;
-        const float* x = problem.row(i);
-        for (std::size_t k = 0; k < problem.dim; ++k) z += model[k] * x[k];
-        total += core::loss_value(loss, z, problem.y[i]);
-        if (core::loss_correct(loss, z, problem.y[i])) ++correct;
-    }
-    *out_loss = total / static_cast<double>(problem.examples);
-    *out_accuracy =
-        static_cast<double>(correct) / static_cast<double>(problem.examples);
-}
-
-} // namespace
 
 ClusterResult
 train_cluster(const dataset::DenseProblem& problem,
@@ -50,136 +25,34 @@ train_cluster(const dataset::DenseProblem& problem,
     ps_cfg.tau = config.tau;
     ps_cfg.step_size = config.step_size;
     ps_cfg.batch = config.batch;
-    ps_cfg.comm_bits = config.comm_bits;
+    ps_cfg.codec = config.codec;
     ps_cfg.loss = config.loss;
     ps_cfg.impl = config.impl;
     ps_cfg.faults = config.faults;
 
     // Construction validates the whole configuration (throws on bad
-    // shards / comm_bits / step_size / batch).
+    // shards / codec / step_size / batch).
     ParameterServer server(problem.dim, ps_cfg);
 
-    const std::size_t dim = problem.dim;
-    const std::size_t shards = server.shards();
     const std::size_t workers = config.workers;
 
     ClusterResult result;
-    result.comm = "Cs" + std::to_string(config.comm_bits);
-    for (std::size_t s = 0; s < shards; ++s)
-        result.bytes_per_round += static_cast<double>(
-            kWireHeaderBytes +
-            payload_bytes(server.shard_end(s) - server.shard_begin(s),
-                          config.comm_bits));
+    result.comm = config.codec.name();
 
     std::atomic<std::uint64_t> rounds_done{0};
-    std::vector<double> worker_seconds(workers, 0.0);
-    std::vector<std::uint64_t> worker_retries(workers, 0);
+    std::vector<WorkerStats> worker_stats(workers);
 
     Stopwatch wall;
     server.start();
 
+    // The worker round loop itself lives in ps/node.cpp — shared
+    // verbatim with the multi-process socket workers, so both execution
+    // modes train identically and differ only in the fabric.
     WorkerGroup group;
     group.start(workers, [&](std::size_t w) {
-        Stopwatch clock;
-        RpcClient rpc(server.transport(), server.worker_endpoint(w));
-
-        // Worker w trains on its own contiguous slice of the examples —
-        // the data-parallel D partition — cycling through it in
-        // mini-batches of config.batch.
-        const std::size_t ex_begin = w * problem.examples / workers;
-        const std::size_t ex_end = (w + 1) * problem.examples / workers;
-        const std::size_t ex_count = ex_end - ex_begin;
-
-        std::vector<float> model(dim, 0.0f);
-        std::vector<float> gradient(dim);
-        std::vector<float> residual;
-        const bool feedback =
-            config.error_feedback && config.comm_bits < 32;
-        if (feedback) residual.assign(dim, 0.0f);
-
-        for (std::uint64_t round = 1; round <= config.rounds; ++round) {
-            BUCKWILD_OBS_SPAN("ps", "worker.round");
-            // Pull every shard's slice into the local replica. Slices may
-            // sit at different versions — that inconsistency is the
-            // asynchrony the C-term error feedback has to absorb.
-            for (std::size_t s = 0; s < shards; ++s) {
-                Message pull;
-                pull.kind = Message::Kind::kPull;
-                pull.worker = static_cast<std::uint32_t>(w);
-                const Message reply = rpc.call(s, std::move(pull));
-                std::copy(reply.weights.begin(), reply.weights.end(),
-                          model.begin() + static_cast<std::ptrdiff_t>(
-                                              server.shard_begin(s)));
-            }
-
-            {
-                // Mini-batch gradient on this worker's data slice.
-                BUCKWILD_OBS_SPAN("ps", "worker.minibatch");
-                Stopwatch minibatch_clock;
-                std::fill(gradient.begin(), gradient.end(), 0.0f);
-                for (std::size_t b = 0; b < config.batch; ++b) {
-                    const std::size_t i =
-                        ex_begin +
-                        ((round - 1) * config.batch + b) % ex_count;
-                    const float* x = problem.row(i);
-                    float z = 0.0f;
-                    for (std::size_t k = 0; k < dim; ++k)
-                        z += model[k] * x[k];
-                    const float g = core::loss_gradient_coefficient(
-                        config.loss, z, problem.y[i]);
-                    if (g == 0.0f) continue;
-                    for (std::size_t k = 0; k < dim; ++k)
-                        gradient[k] += g * x[k];
-                }
-                if (feedback)
-                    for (std::size_t k = 0; k < dim; ++k)
-                        gradient[k] += residual[k];
-                // Cumulative GNPS inputs for the live conformance
-                // watchdog: numbers touched / seconds busy in compute.
-                BUCKWILD_OBS_GAUGE_ADD("ps.worker.numbers",
-                                       static_cast<double>(config.batch) *
-                                           static_cast<double>(dim));
-                BUCKWILD_OBS_GAUGE_ADD("ps.worker.seconds",
-                                       minibatch_clock.seconds());
-            }
-
-            // Quantize and push each shard's slice; a staleness-gated
-            // nack means this worker ran too far ahead — back off and
-            // retry (the shard's gate opens as the slow workers apply).
-            for (std::size_t s = 0; s < shards; ++s) {
-                const std::size_t begin = server.shard_begin(s);
-                const WireGradient wire = encode_gradient(
-                    gradient.data() + begin,
-                    server.shard_end(s) - begin, config.comm_bits,
-                    feedback ? residual.data() + begin : nullptr);
-                BUCKWILD_OBS_COUNT("ps.worker.encoded_bytes",
-                                   wire.wire_bytes());
-                for (;;) {
-                    Message push;
-                    push.kind = Message::Kind::kPush;
-                    push.worker = static_cast<std::uint32_t>(w);
-                    push.clock = round;
-                    push.gradient = wire;
-                    const Message ack = rpc.call(s, std::move(push));
-                    if (ack.accepted) break;
-                    std::this_thread::sleep_for(
-                        std::chrono::microseconds(100));
-                }
-            }
-            rounds_done.fetch_add(1, std::memory_order_acq_rel);
-        }
-
-        // Leave the SSP gate so the remaining workers are not held to
-        // this worker's final clock.
-        for (std::size_t s = 0; s < shards; ++s) {
-            Message retire;
-            retire.kind = Message::Kind::kRetire;
-            retire.worker = static_cast<std::uint32_t>(w);
-            rpc.call(s, std::move(retire));
-        }
-
-        worker_seconds[w] = clock.seconds();
-        worker_retries[w] = rpc.retries();
+        worker_stats[w] = run_worker_rounds(config, problem, w,
+                                            server.transport(),
+                                            &rounds_done);
     });
 
     // The caller's thread doubles as the publisher: every publish_every
@@ -213,18 +86,26 @@ train_cluster(const dataset::DenseProblem& problem,
     result.wall_seconds = wall.seconds();
     server.stop();
 
-    evaluate(problem, config.loss, result.checkpoint.weights,
-             &result.final_loss, &result.accuracy);
+    evaluate_model(problem, config.loss, result.checkpoint.weights,
+                   &result.final_loss, &result.accuracy);
     result.rounds = rounds_done.load(std::memory_order_acquire);
 
     result.metrics = server.metrics();
+    std::uint64_t encoded_total = 0;
     for (std::size_t w = 0; w < workers; ++w) {
-        result.metrics.worker_seconds += worker_seconds[w];
-        result.metrics.rpc_retries += worker_retries[w];
+        result.metrics.worker_seconds += worker_stats[w].seconds;
+        result.metrics.rpc_retries += worker_stats[w].retries;
+        encoded_total += worker_stats[w].encoded_bytes;
     }
     result.metrics.numbers = static_cast<double>(result.rounds) *
                              static_cast<double>(config.batch) *
-                             static_cast<double>(dim);
+                             static_cast<double>(problem.dim);
+    result.bytes_per_round =
+        config.codec.kind == CodecKind::kQsgd
+            ? (result.rounds > 0 ? static_cast<double>(encoded_total) /
+                                       static_cast<double>(result.rounds)
+                                 : 0.0)
+            : fixed_bytes_per_round(config, problem.dim);
     return result;
 }
 

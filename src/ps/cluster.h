@@ -41,8 +41,8 @@ struct ClusterConfig
 {
     std::size_t workers = 2;
     std::size_t shards = 2;
-    /// Communication precision in bits per gradient value: 32, 8, or 1.
-    int comm_bits = 32;
+    /// Communication codec: Cs32 / Cs8 / Cs1 / CsQ<b> (ps/quantize.h).
+    Codec codec;
     /// Carry the quantization error forward (essential below 32 bits).
     bool error_feedback = true;
     /// Rounds (mini-batch pushes) per worker.
@@ -71,6 +71,8 @@ struct ClusterResult
     double final_loss = 0.0;
     double accuracy = 0.0;
     /// Wire bytes one worker pushes per round (all shard slices).
+    /// Computed statically for the fixed-size codecs; *measured* from
+    /// the encoded traffic for the variable-bit CsQ tiers.
     double bytes_per_round = 0.0;
     /// Worker rounds applied across the cluster.
     std::uint64_t rounds = 0;

@@ -47,6 +47,51 @@ struct ShardMetrics
     }
 };
 
+/// Flattens shard counters into the kStats reply vector — how a shard
+/// process reports its metrics to the control endpoint over the wire.
+/// Layout: [pushes, duplicates, gated, pulls, push_bytes, pull_bytes,
+/// apply_seconds, numbers, staleness_counts...].
+inline std::vector<double>
+shard_metrics_to_stats(const ShardMetrics& metrics)
+{
+    std::vector<double> stats = {
+        static_cast<double>(metrics.pushes),
+        static_cast<double>(metrics.duplicates),
+        static_cast<double>(metrics.gated),
+        static_cast<double>(metrics.pulls),
+        static_cast<double>(metrics.push_bytes),
+        static_cast<double>(metrics.pull_bytes),
+        metrics.apply_seconds,
+        metrics.numbers,
+    };
+    for (const std::uint64_t count : metrics.staleness_counts)
+        stats.push_back(static_cast<double>(count));
+    return stats;
+}
+
+/// Inverse of shard_metrics_to_stats (tolerates a short vector: missing
+/// fields stay zero).
+inline ShardMetrics
+shard_metrics_from_stats(const std::vector<double>& stats)
+{
+    ShardMetrics metrics;
+    const auto u64 = [&](std::size_t i) {
+        return i < stats.size() ? static_cast<std::uint64_t>(stats[i]) : 0;
+    };
+    metrics.pushes = u64(0);
+    metrics.duplicates = u64(1);
+    metrics.gated = u64(2);
+    metrics.pulls = u64(3);
+    metrics.push_bytes = u64(4);
+    metrics.pull_bytes = u64(5);
+    metrics.apply_seconds = 6 < stats.size() ? stats[6] : 0.0;
+    metrics.numbers = 7 < stats.size() ? stats[7] : 0.0;
+    for (std::size_t i = 8; i < stats.size(); ++i)
+        metrics.staleness_counts.push_back(
+            static_cast<std::uint64_t>(stats[i]));
+    return metrics;
+}
+
 /// A consistent snapshot of the whole cluster's counters.
 struct PsMetrics
 {

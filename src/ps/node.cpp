@@ -1,0 +1,484 @@
+#include "ps/node.h"
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <thread>
+
+#include "obs/obs.h"
+#include "ps/shard.h"
+#include "ps/wire.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace buckwild::ps {
+
+// ------------------------------------------------------ worker rounds
+
+WorkerStats
+run_worker_rounds(const ClusterConfig& config,
+                  const dataset::DenseProblem& problem, std::size_t worker,
+                  Transport& transport,
+                  std::atomic<std::uint64_t>* rounds_done)
+{
+    Stopwatch clock;
+    WorkerStats stats;
+    const std::size_t dim = problem.dim;
+    const std::size_t shards = config.shards;
+    const std::size_t workers = config.workers;
+    RpcClient rpc(transport, worker_endpoint_of(config, worker));
+
+    // Worker w trains on its own contiguous slice of the examples —
+    // the data-parallel D partition — cycling through it in
+    // mini-batches of config.batch.
+    const std::size_t ex_begin = worker * problem.examples / workers;
+    const std::size_t ex_end = (worker + 1) * problem.examples / workers;
+    const std::size_t ex_count = ex_end - ex_begin;
+
+    std::vector<float> model(dim, 0.0f);
+    std::vector<float> gradient(dim);
+    std::vector<float> residual;
+    const bool feedback =
+        config.error_feedback && config.codec.kind != CodecKind::kDense;
+    if (feedback) residual.assign(dim, 0.0f);
+
+    // Per-worker stochastic-rounding stream for the CsQ tiers; seeded
+    // from the worker id so runs are reproducible and workers
+    // independent.
+    std::uint64_t seed_state =
+        0xC5C0DEull + static_cast<std::uint64_t>(worker);
+    rng::Xorshift128Plus codec_rng(rng::splitmix64(seed_state));
+
+    for (std::uint64_t round = 1; round <= config.rounds; ++round) {
+        BUCKWILD_OBS_SPAN("ps", "worker.round");
+        Stopwatch round_clock;
+        // Pull every shard's slice into the local replica. Slices may
+        // sit at different versions — that inconsistency is the
+        // asynchrony the C-term error feedback has to absorb.
+        for (std::size_t s = 0; s < shards; ++s) {
+            Message pull;
+            pull.kind = Message::Kind::kPull;
+            pull.worker = static_cast<std::uint32_t>(worker);
+            const Message reply = rpc.call(s, std::move(pull));
+            std::copy(reply.weights.begin(), reply.weights.end(),
+                      model.begin() + static_cast<std::ptrdiff_t>(
+                                          slice_begin(dim, shards, s)));
+        }
+
+        {
+            // Mini-batch gradient on this worker's data slice.
+            BUCKWILD_OBS_SPAN("ps", "worker.minibatch");
+            Stopwatch minibatch_clock;
+            std::fill(gradient.begin(), gradient.end(), 0.0f);
+            for (std::size_t b = 0; b < config.batch; ++b) {
+                const std::size_t i =
+                    ex_begin + ((round - 1) * config.batch + b) % ex_count;
+                const float* x = problem.row(i);
+                float z = 0.0f;
+                for (std::size_t k = 0; k < dim; ++k) z += model[k] * x[k];
+                const float g = core::loss_gradient_coefficient(
+                    config.loss, z, problem.y[i]);
+                if (g == 0.0f) continue;
+                for (std::size_t k = 0; k < dim; ++k)
+                    gradient[k] += g * x[k];
+            }
+            if (feedback)
+                for (std::size_t k = 0; k < dim; ++k)
+                    gradient[k] += residual[k];
+            // Cumulative GNPS inputs for the live conformance
+            // watchdog: numbers touched / seconds busy in compute.
+            BUCKWILD_OBS_GAUGE_ADD("ps.worker.numbers",
+                                   static_cast<double>(config.batch) *
+                                       static_cast<double>(dim));
+            BUCKWILD_OBS_GAUGE_ADD("ps.worker.seconds",
+                                   minibatch_clock.seconds());
+        }
+
+        // Quantize and push each shard's slice; a staleness-gated
+        // nack means this worker ran too far ahead — back off and
+        // retry (the shard's gate opens as the slow workers apply).
+        for (std::size_t s = 0; s < shards; ++s) {
+            const std::size_t begin = slice_begin(dim, shards, s);
+            const WireGradient wire = encode_gradient(
+                gradient.data() + begin,
+                slice_end(dim, shards, s) - begin, config.codec,
+                feedback ? residual.data() + begin : nullptr, &codec_rng);
+            stats.encoded_bytes += wire.wire_bytes();
+            BUCKWILD_OBS_COUNT("ps.worker.encoded_bytes",
+                               wire.wire_bytes());
+            for (;;) {
+                Message push;
+                push.kind = Message::Kind::kPush;
+                push.worker = static_cast<std::uint32_t>(worker);
+                push.clock = round;
+                push.gradient = wire;
+                const Message ack = rpc.call(s, std::move(push));
+                if (ack.accepted) break;
+                std::this_thread::sleep_for(std::chrono::microseconds(100));
+            }
+        }
+        ++stats.rounds;
+        if (rounds_done != nullptr)
+            rounds_done->fetch_add(1, std::memory_order_acq_rel);
+        BUCKWILD_OBS_HISTO("ps.worker.round_seconds",
+                           round_clock.seconds());
+    }
+
+    // Leave the SSP gate so the remaining workers are not held to
+    // this worker's final clock.
+    for (std::size_t s = 0; s < shards; ++s) {
+        Message retire;
+        retire.kind = Message::Kind::kRetire;
+        retire.worker = static_cast<std::uint32_t>(worker);
+        rpc.call(s, std::move(retire));
+    }
+
+    stats.seconds = clock.seconds();
+    stats.retries = rpc.retries();
+    return stats;
+}
+
+// ------------------------------------------------------- node roles
+
+ShardMetrics
+run_shard_node(const ClusterConfig& config, std::size_t dim,
+               const ShardNodeOptions& options)
+{
+    if (options.index >= config.shards) fatal("shard index out of range");
+    SocketTransportConfig tc;
+    tc.endpoints = cluster_endpoints(config);
+    tc.local = {options.index};
+    tc.listen = true;
+    tc.bind_address = options.bind_address;
+    tc.listen_port = options.port;
+    tc.adopt_listen_fd = options.adopt_listen_fd;
+    // Sender-side fault injection (see node.h): the shard's own sends
+    // are reliable so teardown acks always make it out; the reorder
+    // window still shuffles its inbound mailbox.
+    tc.faults = config.faults;
+    tc.faults.drop_prob = 0.0;
+    tc.faults.jitter_us = 0;
+    SocketTransport transport(tc);
+    if (options.bound_port != nullptr) *options.bound_port = transport.port();
+
+    ShardConfig shard_cfg;
+    shard_cfg.workers = config.workers;
+    shard_cfg.tau = config.tau;
+    shard_cfg.step_size = config.step_size;
+    shard_cfg.batch = config.batch;
+    shard_cfg.impl = config.impl;
+    ServerShard shard(options.index,
+                      slice_begin(dim, config.shards, options.index),
+                      slice_end(dim, config.shards, options.index),
+                      shard_cfg, transport);
+    shard.run(); // until kShutdown (or transport close)
+    transport.close();
+    return shard.metrics();
+}
+
+WorkerStats
+run_worker_node(const ClusterConfig& config,
+                const dataset::DenseProblem& problem, std::size_t worker,
+                const std::vector<net::Address>& shard_addresses)
+{
+    if (worker >= config.workers) fatal("worker index out of range");
+    if (shard_addresses.size() != config.shards)
+        fatal("need one shard address per shard");
+    SocketTransportConfig tc;
+    tc.endpoints = cluster_endpoints(config);
+    tc.local = {worker_endpoint_of(config, worker)};
+    for (std::size_t s = 0; s < config.shards; ++s)
+        tc.peers[s] = shard_addresses[s];
+    tc.faults = config.faults;
+    SocketTransport transport(tc);
+    const WorkerStats stats =
+        run_worker_rounds(config, problem, worker, transport, nullptr);
+    transport.close();
+    return stats;
+}
+
+namespace {
+
+SocketTransportConfig
+control_transport_config(const ClusterConfig& config,
+                         const std::vector<net::Address>& shard_addresses)
+{
+    if (shard_addresses.size() != config.shards)
+        fatal("need one shard address per shard");
+    SocketTransportConfig tc;
+    tc.endpoints = cluster_endpoints(config);
+    tc.local = {control_endpoint_of(config)};
+    for (std::size_t s = 0; s < config.shards; ++s)
+        tc.peers[s] = shard_addresses[s];
+    tc.faults = config.faults;
+    return tc;
+}
+
+} // namespace
+
+ControlClient::ControlClient(const ClusterConfig& config,
+                             const std::vector<net::Address>& shard_addresses)
+    : config_(config),
+      transport_(control_transport_config(config, shard_addresses)),
+      rpc_(transport_, control_endpoint_of(config))
+{}
+
+std::vector<float>
+ControlClient::snapshot(std::size_t dim)
+{
+    std::vector<float> model(dim);
+    for (std::size_t s = 0; s < config_.shards; ++s) {
+        Message pull;
+        pull.kind = Message::Kind::kPull;
+        const Message reply = rpc_.call(s, std::move(pull));
+        if (reply.weights.size() !=
+            slice_end(dim, config_.shards, s) -
+                slice_begin(dim, config_.shards, s))
+            fatal("pull reply does not match the shard slice");
+        std::copy(reply.weights.begin(), reply.weights.end(),
+                  model.begin() + static_cast<std::ptrdiff_t>(
+                                      slice_begin(dim, config_.shards, s)));
+    }
+    return model;
+}
+
+std::vector<ShardMetrics>
+ControlClient::stats()
+{
+    std::vector<ShardMetrics> all;
+    for (std::size_t s = 0; s < config_.shards; ++s) {
+        Message request;
+        request.kind = Message::Kind::kStats;
+        const Message reply = rpc_.call(s, std::move(request));
+        all.push_back(shard_metrics_from_stats(reply.stats));
+    }
+    return all;
+}
+
+void
+ControlClient::shutdown()
+{
+    for (std::size_t s = 0; s < config_.shards; ++s) {
+        Message request;
+        request.kind = Message::Kind::kShutdown;
+        rpc_.call(s, std::move(request));
+    }
+}
+
+// --------------------------------------------------------- assembly
+
+void
+evaluate_model(const dataset::DenseProblem& problem, core::Loss loss,
+               const std::vector<float>& model, double* out_loss,
+               double* out_accuracy)
+{
+    double total = 0.0;
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < problem.examples; ++i) {
+        float z = 0.0f;
+        const float* x = problem.row(i);
+        for (std::size_t k = 0; k < problem.dim; ++k) z += model[k] * x[k];
+        total += core::loss_value(loss, z, problem.y[i]);
+        if (core::loss_correct(loss, z, problem.y[i])) ++correct;
+    }
+    *out_loss = total / static_cast<double>(problem.examples);
+    *out_accuracy =
+        static_cast<double>(correct) / static_cast<double>(problem.examples);
+}
+
+core::SavedModel
+make_cluster_checkpoint(const ClusterConfig& config,
+                        std::vector<float> weights)
+{
+    core::SavedModel model;
+    model.signature = dmgc::Signature::dense_hogwild();
+    model.signature.communication = dmgc::Communication::kAsynchronous;
+    model.signature.comm_precision = config.codec.kind == CodecKind::kDense
+        ? dmgc::Precision::full()
+        : dmgc::Precision::fixed(config.codec.bits);
+    model.loss = config.loss;
+    model.weights = std::move(weights);
+    return model;
+}
+
+double
+fixed_bytes_per_round(const ClusterConfig& config, std::size_t dim)
+{
+    if (config.codec.kind == CodecKind::kQsgd) return 0.0;
+    double total = 0.0;
+    for (std::size_t s = 0; s < config.shards; ++s)
+        total += static_cast<double>(
+            kWireHeaderBytes +
+            payload_bytes(slice_end(dim, config.shards, s) -
+                              slice_begin(dim, config.shards, s),
+                          config.codec.bits));
+    return total;
+}
+
+namespace {
+
+void
+reap_children(const std::vector<pid_t>& pids, const char* role)
+{
+    for (const pid_t pid : pids) {
+        int status = 0;
+        pid_t reaped;
+        do {
+            reaped = ::waitpid(pid, &status, 0);
+        } while (reaped < 0 && errno == EINTR);
+        if (reaped != pid || !WIFEXITED(status) ||
+            WEXITSTATUS(status) != 0)
+            fatal(std::string(role) + " process did not exit cleanly");
+    }
+}
+
+} // namespace
+
+ClusterResult
+train_cluster_multiprocess(const dataset::DenseProblem& problem,
+                           const ClusterConfig& config)
+{
+    if (config.rounds == 0) fatal("rounds must be >= 1");
+    if (problem.examples < config.workers)
+        fatal("need at least one example per worker");
+    if (config.shards == 0 || config.shards > problem.dim)
+        fatal("bad shard count for this model dimension");
+    validate_codec(config.codec);
+
+    const std::size_t shards = config.shards;
+    const std::size_t workers = config.workers;
+
+    // Bind every shard's listener in the parent, before forking: the
+    // children inherit already-bound sockets, so the advertised ports
+    // can never race the shard startup.
+    std::vector<net::Fd> listeners;
+    std::vector<net::Address> addresses;
+    for (std::size_t s = 0; s < shards; ++s) {
+        std::uint16_t port = 0;
+        std::string error;
+        net::Fd fd = net::listen_tcp("127.0.0.1", 0, 64, &port, &error);
+        if (!fd.valid()) fatal(error);
+        listeners.push_back(std::move(fd));
+        addresses.push_back({"127.0.0.1", port});
+    }
+
+    Stopwatch wall;
+
+    std::vector<pid_t> shard_pids;
+    for (std::size_t s = 0; s < shards; ++s) {
+        const pid_t pid = ::fork();
+        if (pid < 0) fatal("fork failed for shard process");
+        if (pid == 0) {
+            for (std::size_t t = 0; t < shards; ++t)
+                if (t != s) listeners[t].reset();
+            int code = 0;
+            try {
+                ShardNodeOptions options;
+                options.index = s;
+                options.adopt_listen_fd = listeners[s].release();
+                run_shard_node(config, problem.dim, options);
+            } catch (...) {
+                code = 1;
+            }
+            ::_exit(code);
+        }
+        shard_pids.push_back(pid);
+    }
+    // The children own the listeners now.
+    for (auto& listener : listeners) listener.reset();
+
+    std::vector<pid_t> worker_pids;
+    std::vector<int> stat_pipes;
+    for (std::size_t w = 0; w < workers; ++w) {
+        int fds[2];
+        if (::pipe(fds) != 0) fatal("pipe failed for worker stats");
+        const pid_t pid = ::fork();
+        if (pid < 0) fatal("fork failed for worker process");
+        if (pid == 0) {
+            ::close(fds[0]);
+            int code = 0;
+            try {
+                const WorkerStats stats =
+                    run_worker_node(config, problem, w, addresses);
+                const auto* bytes =
+                    reinterpret_cast<const char*>(&stats);
+                std::size_t off = 0;
+                while (off < sizeof(stats)) {
+                    const ssize_t n = ::write(fds[1], bytes + off,
+                                              sizeof(stats) - off);
+                    if (n < 0 && errno == EINTR) continue;
+                    if (n <= 0) {
+                        code = 1;
+                        break;
+                    }
+                    off += static_cast<std::size_t>(n);
+                }
+            } catch (...) {
+                code = 1;
+            }
+            ::close(fds[1]);
+            ::_exit(code);
+        }
+        ::close(fds[1]);
+        worker_pids.push_back(pid);
+        stat_pipes.push_back(fds[0]);
+    }
+
+    // Workers report their stats through the pipe as their last act; a
+    // short read means the worker died mid-run.
+    std::vector<WorkerStats> worker_stats(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+        auto* bytes = reinterpret_cast<char*>(&worker_stats[w]);
+        std::size_t off = 0;
+        while (off < sizeof(WorkerStats)) {
+            const ssize_t n = ::read(stat_pipes[w], bytes + off,
+                                     sizeof(WorkerStats) - off);
+            if (n < 0 && errno == EINTR) continue;
+            if (n <= 0) break;
+            off += static_cast<std::size_t>(n);
+        }
+        ::close(stat_pipes[w]);
+        if (off != sizeof(WorkerStats))
+            fatal("worker process " + std::to_string(w) +
+                  " died before reporting stats");
+    }
+    reap_children(worker_pids, "worker");
+
+    // The parent is the control endpoint: final snapshot, shard
+    // counters, then shutdown — and only then are the shards reaped.
+    ClusterResult result;
+    result.comm = config.codec.name();
+    ControlClient control(config, addresses);
+    std::vector<float> model = control.snapshot(problem.dim);
+    result.metrics.shards = control.stats();
+    control.shutdown();
+    reap_children(shard_pids, "shard");
+    result.wall_seconds = wall.seconds();
+
+    result.checkpoint = make_cluster_checkpoint(config, std::move(model));
+    evaluate_model(problem, config.loss, result.checkpoint.weights,
+                   &result.final_loss, &result.accuracy);
+
+    std::uint64_t encoded_total = 0;
+    for (std::size_t w = 0; w < workers; ++w) {
+        result.rounds += worker_stats[w].rounds;
+        result.metrics.worker_seconds += worker_stats[w].seconds;
+        result.metrics.rpc_retries += worker_stats[w].retries;
+        encoded_total += worker_stats[w].encoded_bytes;
+    }
+    result.metrics.rpc_retries += control.retries();
+    result.metrics.numbers = static_cast<double>(result.rounds) *
+                             static_cast<double>(config.batch) *
+                             static_cast<double>(problem.dim);
+    result.bytes_per_round =
+        config.codec.kind == CodecKind::kQsgd
+            ? (result.rounds > 0 ? static_cast<double>(encoded_total) /
+                                       static_cast<double>(result.rounds)
+                                 : 0.0)
+            : fixed_bytes_per_round(config, problem.dim);
+    return result;
+}
+
+} // namespace buckwild::ps

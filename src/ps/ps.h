@@ -9,9 +9,13 @@
  *     ps::ClusterConfig cfg;
  *     cfg.workers = 4;
  *     cfg.shards = 2;
- *     cfg.comm_bits = 1;            // Cs1: sign bits + one magnitude
+ *     cfg.codec = ps::Codec::from_bits(1); // Cs1: sign bits + magnitude
  *     cfg.tau = 8;                  // staleness bound (SSP)
  *     cfg.faults.drop_prob = 0.01;  // the fabric may lose messages
+ *
+ * The same cluster runs as real processes over loopback TCP via
+ * ps::train_cluster_multiprocess (ps/node.h), or hand-assembled across
+ * machines with `buckwild_cluster --listen / --connect / --control`.
  *
  *     serve::ModelRegistry registry;
  *     ps::ClusterResult r = ps::train_cluster(problem, cfg, &registry);
@@ -24,9 +28,12 @@
 
 #include "ps/cluster.h"
 #include "ps/metrics.h"
+#include "ps/node.h"
 #include "ps/quantize.h"
 #include "ps/server.h"
 #include "ps/shard.h"
+#include "ps/socket_transport.h"
 #include "ps/transport.h"
+#include "ps/wire.h"
 
 #endif // BUCKWILD_PS_PS_H

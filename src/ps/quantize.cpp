@@ -1,7 +1,9 @@
 #include "ps/quantize.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
+#include <cstdlib>
 #include <cstring>
 
 #include "lowp/round.h"
@@ -14,6 +16,80 @@ validate_comm_bits(int bits)
 {
     if (bits != 1 && bits != 8 && bits != 32)
         fatal("comm_bits must be 1, 8, or 32");
+}
+
+Codec
+Codec::from_bits(int bits)
+{
+    validate_comm_bits(bits);
+    Codec codec;
+    codec.bits = bits;
+    codec.kind = bits >= 32  ? CodecKind::kDense
+                 : bits == 8 ? CodecKind::kLinear
+                             : CodecKind::kSign;
+    return codec;
+}
+
+Codec
+Codec::qsgd(int bits)
+{
+    if (bits < 2 || bits > 8) fatal("CsQ bits must be in [2, 8]");
+    return {CodecKind::kQsgd, bits};
+}
+
+namespace {
+
+int
+parse_tier_int(const std::string& text, const std::string& whole)
+{
+    char* end = nullptr;
+    const long value = std::strtol(text.c_str(), &end, 10);
+    if (end == text.c_str() || *end != '\0' || value < 0 || value > 64)
+        fatal("unknown codec tier '" + whole + "'");
+    return static_cast<int>(value);
+}
+
+} // namespace
+
+Codec
+Codec::parse(const std::string& text)
+{
+    std::string tail = text;
+    if (tail.size() >= 2 && (tail[0] == 'C' || tail[0] == 'c') &&
+        (tail[1] == 's' || tail[1] == 'S'))
+        tail = tail.substr(2);
+    if (!tail.empty() && (tail[0] == 'Q' || tail[0] == 'q'))
+        return qsgd(parse_tier_int(tail.substr(1), text));
+    return from_bits(parse_tier_int(tail, text));
+}
+
+std::string
+Codec::name() const
+{
+    if (kind == CodecKind::kQsgd) return "CsQ" + std::to_string(bits);
+    return "Cs" + std::to_string(bits);
+}
+
+void
+validate_codec(const Codec& codec)
+{
+    switch (codec.kind) {
+        case CodecKind::kDense:
+            if (codec.bits == 32) return;
+            break;
+        case CodecKind::kLinear:
+            if (codec.bits == 8) return;
+            break;
+        case CodecKind::kSign:
+            if (codec.bits == 1) return;
+            break;
+        case CodecKind::kQsgd:
+            if (codec.bits >= 2 && codec.bits <= 8) return;
+            break;
+    }
+    fatal("invalid codec: kind " +
+          std::to_string(static_cast<int>(codec.kind)) + " at " +
+          std::to_string(codec.bits) + " bits");
 }
 
 std::size_t
@@ -75,6 +151,170 @@ quantize_into(const float* g, std::size_t n, int bits, float* q,
     return scale;
 }
 
+// ---------------------------------------------------------------------
+// QSGD (CsQ<b>): bucketed L2 norm + stochastic Elias-gamma levels
+// ---------------------------------------------------------------------
+
+/// The grid point a (norm, level) pair decodes to. One definition used by
+/// both encode (for the error-feedback residual) and decode, so the
+/// residual is computed against bit-identically what the receiver applies.
+inline float
+qsgd_point(float norm, long level, float inv_s)
+{
+    return norm * (static_cast<float>(level) * inv_s);
+}
+
+/// MSB-first bit appender over a byte vector (the gamma bitstream region
+/// of a CsQ payload, following the sign bitmap).
+class BitWriter
+{
+  public:
+    explicit BitWriter(std::vector<std::uint8_t>& out) : out_(out) {}
+
+    void
+    put(bool bit)
+    {
+        if (used_ == 0) out_.push_back(0);
+        if (bit) out_.back() |= static_cast<std::uint8_t>(0x80u >> used_);
+        used_ = (used_ + 1) % 8;
+    }
+
+    /// Elias gamma: for v >= 1 of bit-width w, w-1 zero bits then v
+    /// MSB-first (w bits, leading 1 included).
+    void
+    put_gamma(std::uint32_t v)
+    {
+        const int width = std::bit_width(v);
+        for (int i = 0; i < width - 1; ++i) put(false);
+        for (int i = width - 1; i >= 0; --i) put(((v >> i) & 1u) != 0);
+    }
+
+  private:
+    std::vector<std::uint8_t>& out_;
+    int used_ = 0;
+};
+
+/// Bounds-checked MSB-first bit reader over the gamma region of a CsQ
+/// payload. Truncation is a wire-format violation, not a soft error.
+class BitReader
+{
+  public:
+    BitReader(const std::uint8_t* data, std::size_t total_bytes,
+              std::size_t start_byte)
+        : data_(data), bit_(start_byte * 8), end_(total_bytes * 8)
+    {}
+
+    bool
+    get()
+    {
+        if (bit_ >= end_) fatal("CsQ payload truncated mid-bitstream");
+        const bool bit = (data_[bit_ / 8] >> (7 - bit_ % 8)) & 1u;
+        ++bit_;
+        return bit;
+    }
+
+    std::uint32_t
+    get_gamma()
+    {
+        int zeros = 0;
+        while (!get())
+            if (++zeros > 31) fatal("CsQ gamma code overlong");
+        std::uint32_t v = 1;
+        for (int i = 0; i < zeros; ++i)
+            v = (v << 1) | static_cast<std::uint32_t>(get());
+        return v;
+    }
+
+  private:
+    const std::uint8_t* data_;
+    std::size_t bit_;
+    std::size_t end_;
+};
+
+WireGradient
+encode_qsgd(const float* g, std::size_t n, int bits, float* residual,
+            rng::Xorshift128Plus* rng)
+{
+    // A null rng falls back to a default-seeded local stream so golden
+    // tests (and emulation comparisons) stay reproducible.
+    rng::Xorshift128Plus fallback;
+    if (rng == nullptr) rng = &fallback;
+
+    const long s = (1L << (bits - 1)) - 1;
+    const float inv_s = 1.0f / static_cast<float>(s);
+    // QSGD levels on the lowp grid: quantum 1/s over raw range [0, s]
+    // of the normalized magnitude |g|/norm — stochastic rounding is
+    // exactly Eq. (4) on that grid.
+    const lowp::GridSpec grid{1.0 / static_cast<double>(s), 0, s};
+
+    WireGradient wire;
+    wire.kind = CodecKind::kQsgd;
+    wire.bits = bits;
+    wire.count = static_cast<std::uint32_t>(n);
+    const std::size_t buckets = (n + kQsgdBucket - 1) / kQsgdBucket;
+    wire.norms.resize(buckets);
+    const std::size_t sign_bytes = (n + 7) / 8;
+    wire.payload.assign(sign_bytes, 0);
+    BitWriter writer(wire.payload);
+
+    for (std::size_t b = 0; b < buckets; ++b) {
+        const std::size_t begin = b * kQsgdBucket;
+        const std::size_t end = std::min(n, begin + kQsgdBucket);
+        double sumsq = 0.0;
+        for (std::size_t k = begin; k < end; ++k)
+            sumsq += static_cast<double>(g[k]) * static_cast<double>(g[k]);
+        const float norm = static_cast<float>(std::sqrt(sumsq));
+        wire.norms[b] = norm;
+
+        for (std::size_t k = begin; k < end; ++k) {
+            // Same sign convention as Cs1: bit set = negative, and NaN
+            // counts as negative (matching !(g >= 0)).
+            const bool negative = !(g[k] >= 0.0f);
+            if (negative)
+                wire.payload[k / 8] |=
+                    static_cast<std::uint8_t>(1u << (k % 8));
+            const double ratio =
+                norm > 0.0f ? static_cast<double>(std::fabs(g[k])) /
+                                  static_cast<double>(norm)
+                            : 0.0;
+            const float u = rng::to_unit_float(
+                static_cast<std::uint32_t>((*rng)() >> 32));
+            const long level = lowp::round_unbiased_raw(ratio, grid, u);
+            writer.put_gamma(static_cast<std::uint32_t>(level) + 1);
+            const float point = qsgd_point(norm, level, inv_s);
+            const float q = negative ? -point : point;
+            if (residual != nullptr) residual[k] = g[k] - q;
+        }
+    }
+    return wire;
+}
+
+std::vector<float>
+decode_qsgd(const WireGradient& wire)
+{
+    const std::size_t n = wire.count;
+    const std::size_t buckets = (n + kQsgdBucket - 1) / kQsgdBucket;
+    if (wire.norms.size() != buckets)
+        fatal("CsQ norm count does not match the coordinate count");
+    const std::size_t sign_bytes = (n + 7) / 8;
+    if (wire.payload.size() < sign_bytes)
+        fatal("CsQ payload shorter than its sign bitmap");
+
+    const long s = (1L << (wire.bits - 1)) - 1;
+    const float inv_s = 1.0f / static_cast<float>(s);
+    BitReader reader(wire.payload.data(), wire.payload.size(), sign_bytes);
+    std::vector<float> g(n);
+    for (std::size_t k = 0; k < n; ++k) {
+        const long level = static_cast<long>(reader.get_gamma()) - 1;
+        if (level > s) fatal("CsQ level exceeds the codec's level count");
+        const float point =
+            qsgd_point(wire.norms[k / kQsgdBucket], level, inv_s);
+        const bool negative = (wire.payload[k / 8] >> (k % 8)) & 1u;
+        g[k] = negative ? -point : point;
+    }
+    return g;
+}
+
 } // namespace
 
 std::vector<float>
@@ -89,11 +329,22 @@ quantize_gradient(const std::vector<float>& g, int bits,
 }
 
 WireGradient
+encode_gradient(const float* g, std::size_t n, const Codec& codec,
+                float* residual, rng::Xorshift128Plus* rng)
+{
+    validate_codec(codec);
+    if (codec.kind == CodecKind::kQsgd)
+        return encode_qsgd(g, n, codec.bits, residual, rng);
+    return encode_gradient(g, n, codec.bits, residual);
+}
+
+WireGradient
 encode_gradient(const float* g, std::size_t n, int bits, float* residual)
 {
     validate_comm_bits(bits);
     std::vector<float> q(n);
     WireGradient wire;
+    wire.kind = Codec::from_bits(bits).kind;
     wire.bits = bits;
     wire.count = static_cast<std::uint32_t>(n);
     wire.payload.assign(payload_bytes(n, bits), 0);
@@ -105,7 +356,11 @@ encode_gradient(const float* g, std::size_t n, int bits, float* residual)
 std::vector<float>
 decode_gradient(const WireGradient& wire)
 {
-    validate_comm_bits(wire.bits);
+    validate_codec({wire.kind, wire.bits});
+    if (wire.kind == CodecKind::kQsgd) return decode_qsgd(wire);
+
+    if (!wire.norms.empty())
+        fatal("only CsQ wire gradients carry per-bucket norms");
     const std::size_t n = wire.count;
     if (wire.payload.size() != payload_bytes(n, wire.bits))
         fatal("wire gradient payload size does not match its count");

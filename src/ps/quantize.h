@@ -10,27 +10,38 @@
  *    encode_gradient() / decode_gradient(), which actually packs the
  *    quantized values into the bytes a network would carry.
  *
- * Three communication precisions, per the paper's Table 1 classification:
+ * Four communication codecs, per the paper's Table 1 classification plus
+ * the QSGD extension the ROADMAP calls for:
  *
- *  - Cs32: full-precision float exchange (classic data-parallel SGD);
- *  - Cs8: linear 8-bit quantization with a per-message scale (QSGD-style
- *    [Alistarh et al.]);
- *  - Cs1: Seide-style 1-bit sign exchange — one shared magnitude (the
- *    mean |g|) plus one sign bit per coordinate.
+ *  - Cs32 (kDense): full-precision float exchange (classic data-parallel
+ *    SGD);
+ *  - Cs8 (kLinear): linear 8-bit quantization with a per-message scale;
+ *  - Cs1 (kSign): Seide-style 1-bit sign exchange — one shared magnitude
+ *    (the mean |g|) plus one sign bit per coordinate;
+ *  - CsQ<b> (kQsgd): QSGD [Alistarh et al.] — per-bucket L2 norm,
+ *    *stochastic* level rounding onto a (2^(b-1)-1)-level grid via the
+ *    lowp/ rounding engine (Eq. 4), one sign bit per coordinate, and
+ *    Elias-gamma coded levels. Most coordinates round to small levels,
+ *    so the gamma code makes the payload variable-bit: the headline
+ *    compression win over Cs8 at b = 4.
  *
- * At 8 and 1 bits the *error feedback* residual is what preserves
+ * Below 32 bits the *error feedback* residual is what preserves
  * convergence: the untransmitted remainder g - q is carried forward in
- * full precision and added to the next round's gradient. Both quantizers
- * maintain the invariant  q[k] + r[k] == g[k]  (exactly as float
- * arithmetic allows), and decode(encode(g)) is bit-identical to
- * quantize_gradient(g) — asserted by tests/test_ps.cpp.
+ * full precision and added to the next round's gradient. Every codec
+ * maintains the invariant  q[k] + r[k] == g[k]  (exactly as float
+ * arithmetic allows), and decode(encode(g)) is bit-identical to the
+ * values the encoder subtracted — asserted by tests/test_ps.cpp and
+ * tests/test_net.cpp.
  */
 #ifndef BUCKWILD_PS_QUANTIZE_H
 #define BUCKWILD_PS_QUANTIZE_H
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
+
+#include "rng/xorshift.h"
 
 namespace buckwild::ps {
 
@@ -41,8 +52,48 @@ void validate_comm_bits(int bits);
 /// worker clock, element count, and the quantization scale.
 inline constexpr std::size_t kWireHeaderBytes = 16;
 
+/// Coordinates per QSGD norm bucket: one L2 norm is shared by this many
+/// consecutive coordinates (Alistarh et al.'s bucketing, d' = 256).
+inline constexpr std::size_t kQsgdBucket = 256;
+
+/// How a gradient's coordinates are represented on the wire.
+enum class CodecKind : std::uint8_t {
+    kDense = 0,  ///< raw float32 (Cs32)
+    kLinear = 1, ///< linear int8 levels with one scale (Cs8)
+    kSign = 2,   ///< sign bit + shared mean magnitude (Cs1)
+    kQsgd = 3,   ///< bucketed L2 norm + stochastic gamma-coded levels
+};
+
+/// A communication codec tier: the representation plus its bit depth.
+struct Codec
+{
+    CodecKind kind = CodecKind::kDense;
+    int bits = 32;
+
+    /// The classic fixed tiers by bit count: 32 -> Cs32, 8 -> Cs8,
+    /// 1 -> Cs1. @throws std::runtime_error on any other count.
+    static Codec from_bits(int bits);
+
+    /// CsQ<b>: QSGD with 2^(b-1)-1 magnitude levels, b in [2, 8].
+    static Codec qsgd(int bits);
+
+    /// Parses a tier name: "Cs32", "Cs8", "Cs1", "CsQ4" (the "Cs"
+    /// prefix is optional, so "--bits 32,8,Q4" style flags parse too).
+    /// @throws std::runtime_error on an unknown tier.
+    static Codec parse(const std::string& text);
+
+    /// "Cs32" / "Cs8" / "Cs1" / "CsQ<b>".
+    std::string name() const;
+
+    bool operator==(const Codec&) const = default;
+};
+
+/// @throws std::runtime_error unless kind and bits form a valid tier.
+void validate_codec(const Codec& codec);
+
 /// Payload bytes for `count` gradient values at `bits` precision:
 /// 4*count (Cs32), count (Cs8), or ceil(count/8) sign bits (Cs1).
+/// QSGD payloads are variable-bit and have no closed form.
 std::size_t payload_bytes(std::size_t count, int bits);
 
 /**
@@ -58,34 +109,51 @@ std::vector<float> quantize_gradient(const std::vector<float>& g, int bits,
                                      std::vector<float>* residual);
 
 /// A quantized gradient as it travels: the packed payload plus the
-/// per-message scale needed to decode it.
+/// per-message scale (and, for QSGD, per-bucket norms) needed to decode.
 struct WireGradient
 {
+    CodecKind kind = CodecKind::kDense;
     int bits = 32;
     std::uint32_t count = 0;
     /// Per-message scale: the 1-bit magnitude or the 8-bit quantum
-    /// (unused at 32 bits).
+    /// (unused at 32 bits and for QSGD, which carries `norms`).
     float scale = 0.0f;
-    /// Packed values: raw floats (Cs32), int8 levels (Cs8), or sign bits
-    /// (Cs1, bit set = negative, 8 coordinates per byte).
+    /// QSGD only: one L2 norm per kQsgdBucket consecutive coordinates.
+    std::vector<float> norms;
+    /// Packed values: raw floats (Cs32), int8 levels (Cs8), sign bits
+    /// (Cs1, bit set = negative, 8 coordinates per byte), or a sign
+    /// bitmap followed by the Elias-gamma level bitstream (CsQ).
     std::vector<std::uint8_t> payload;
 
-    /// Bytes this message occupies on the wire (header + payload).
+    /// Bytes this message occupies on the wire (header + norms +
+    /// payload).
     std::size_t wire_bytes() const
     {
-        return kWireHeaderBytes + payload.size();
+        return kWireHeaderBytes + norms.size() * sizeof(float) +
+               payload.size();
     }
 };
 
 /**
  * Quantizes and packs `g[0..n)` for transmission; the quantization error
- * is left in `residual[0..n)` when non-null (error feedback). The decoded
- * values are bit-identical to quantize_gradient() on the same input.
+ * is left in `residual[0..n)` when non-null (error feedback). For the
+ * fixed tiers the decoded values are bit-identical to quantize_gradient()
+ * on the same input. For kQsgd, `rng` supplies the stochastic-rounding
+ * dither (Eq. 4); when null a deterministic default-seeded generator is
+ * used, so golden tests stay reproducible.
  */
+WireGradient encode_gradient(const float* g, std::size_t n,
+                             const Codec& codec, float* residual,
+                             rng::Xorshift128Plus* rng = nullptr);
+
+/// Fixed-tier convenience overload (32/8/1), preserved bit-identically
+/// from before the codec enum existed.
 WireGradient encode_gradient(const float* g, std::size_t n, int bits,
                              float* residual);
 
 /// Unpacks a wire gradient back into dequantized float values.
+/// @throws std::runtime_error on a malformed payload (size mismatch,
+/// truncated bitstream, out-of-range level).
 std::vector<float> decode_gradient(const WireGradient& wire);
 
 } // namespace buckwild::ps

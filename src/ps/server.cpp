@@ -18,7 +18,7 @@ validated(std::size_t dim, PsConfig config)
         fatal("cannot partition " + std::to_string(dim) +
               " coordinates across " + std::to_string(config.shards) +
               " shards");
-    validate_comm_bits(config.comm_bits);
+    validate_codec(config.codec);
     if (!(config.step_size > 0.0f)) fatal("step_size must be positive");
     if (config.batch == 0) fatal("batch must be >= 1");
     return config;
@@ -118,9 +118,9 @@ ParameterServer::checkpoint()
     core::SavedModel model;
     model.signature = dmgc::Signature::dense_hogwild();
     model.signature.communication = dmgc::Communication::kAsynchronous;
-    model.signature.comm_precision = config_.comm_bits == 32
+    model.signature.comm_precision = config_.codec.kind == CodecKind::kDense
         ? dmgc::Precision::full()
-        : dmgc::Precision::fixed(config_.comm_bits);
+        : dmgc::Precision::fixed(config_.codec.bits);
     model.loss = config_.loss;
     model.weights = snapshot();
     return model;

@@ -46,7 +46,7 @@ struct PsConfig
     std::size_t tau = 16;    ///< staleness bound (rounds)
     float step_size = 0.25f;
     std::size_t batch = 16; ///< examples per pushed gradient
-    int comm_bits = 32;     ///< Cs32 / Cs8 / Cs1 wire precision
+    Codec codec;            ///< Cs32 / Cs8 / Cs1 / CsQ<b> wire codec
     core::Loss loss = core::Loss::kLogistic;
     simd::Impl impl = simd::best_impl();
     FaultModel faults;
@@ -100,7 +100,7 @@ class ParameterServer
   private:
     const std::size_t dim_;
     const PsConfig config_;
-    Transport transport_;
+    InProcTransport transport_;
     std::vector<std::unique_ptr<ServerShard>> shards_;
     WorkerGroup threads_;
     mutable std::mutex control_mutex_; ///< serializes snapshot()/publish()

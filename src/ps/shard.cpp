@@ -40,6 +40,19 @@ ServerShard::run()
           case Message::Kind::kRetire:
             handle_retire(std::move(message));
             break;
+          case Message::Kind::kStats: handle_stats(std::move(message)); break;
+          case Message::Kind::kShutdown: {
+            // Ack first, then leave the loop: the shard process exits
+            // while the controller still gets its confirmation.
+            Message ack;
+            ack.kind = Message::Kind::kAck;
+            ack.token = message.token;
+            ack.worker = message.worker;
+            ack.accepted = true;
+            ack.version = version_.load(std::memory_order_relaxed);
+            transport_.send(message.sender, std::move(ack));
+            return;
+          }
           default: panic("shard received a reply-kind message");
         }
     }
@@ -132,6 +145,21 @@ ServerShard::handle_pull(Message&& pull)
     ++metrics_.pulls;
     metrics_.pull_bytes += reply.wire_bytes();
     transport_.send(pull.sender, std::move(reply));
+}
+
+void
+ServerShard::handle_stats(Message&& request)
+{
+    Message reply;
+    reply.kind = Message::Kind::kStats;
+    // The reply shares its request's kind, so stamp the true sender:
+    // a default 0 would read as "reply to shard 0" anywhere it leaks.
+    reply.sender = static_cast<std::uint32_t>(index_);
+    reply.token = request.token;
+    reply.worker = request.worker;
+    reply.version = version_.load(std::memory_order_relaxed);
+    reply.stats = shard_metrics_to_stats(metrics_);
+    transport_.send(request.sender, std::move(reply));
 }
 
 void

@@ -55,7 +55,8 @@ class ServerShard
                 const ShardConfig& config, Transport& transport);
 
     /// The message loop; runs until the transport closes and the mailbox
-    /// drains. Call on a dedicated thread.
+    /// drains, or a kShutdown arrives (multi-process teardown). Call on a
+    /// dedicated thread.
     void run();
 
     std::size_t index() const { return index_; }
@@ -77,6 +78,7 @@ class ServerShard
   private:
     void handle_push(Message&& push);
     void handle_pull(Message&& pull);
+    void handle_stats(Message&& request);
     void handle_retire(Message&& retire);
     std::uint64_t min_live_clock() const;
 

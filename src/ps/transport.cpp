@@ -56,9 +56,9 @@ Mailbox::size() const
     return items_.size();
 }
 
-// ------------------------------------------------------------- Transport
+// ------------------------------------------------- InProcTransport
 
-Transport::Transport(std::size_t endpoints, FaultModel faults)
+InProcTransport::InProcTransport(std::size_t endpoints, FaultModel faults)
     : faults_(faults), fault_rng_(faults.seed)
 {
     if (endpoints == 0) fatal("transport needs at least one endpoint");
@@ -72,7 +72,7 @@ Transport::Transport(std::size_t endpoints, FaultModel faults)
 }
 
 void
-Transport::send(std::size_t to, Message&& message)
+InProcTransport::send(std::size_t to, Message&& message)
 {
     if (to >= mailboxes_.size()) panic("send to unknown endpoint");
     sent_.fetch_add(1, std::memory_order_relaxed);
@@ -106,15 +106,17 @@ Transport::send(std::size_t to, Message&& message)
 }
 
 bool
-Transport::recv(std::size_t at, Message& out,
-                std::chrono::microseconds timeout)
+InProcTransport::recv(std::size_t at, Message& out,
+                      std::chrono::microseconds timeout)
 {
     if (at >= mailboxes_.size()) panic("recv at unknown endpoint");
-    return mailboxes_[at]->pop(out, timeout);
+    if (!mailboxes_[at]->pop(out, timeout)) return false;
+    recv_bytes_.fetch_add(out.wire_bytes(), std::memory_order_relaxed);
+    return true;
 }
 
 void
-Transport::close()
+InProcTransport::close()
 {
     closed_.store(true, std::memory_order_release);
     for (auto& mailbox : mailboxes_) mailbox->close();
@@ -128,11 +130,12 @@ RpcClient::call(std::size_t to, Message request)
     request.sender = static_cast<std::uint32_t>(self_);
     request.token = next_token_++;
 
-    // The per-attempt reply timeout must comfortably exceed the injected
-    // jitter (both directions), or healthy-but-slow messages would be
-    // retransmitted forever.
-    const auto base = std::chrono::microseconds(
-        std::max<std::size_t>(200, 8 * transport_.faults().jitter_us));
+    // The per-attempt reply timeout must comfortably exceed both the
+    // fabric's latency floor and the injected jitter (both directions),
+    // or healthy-but-slow messages would be retransmitted forever.
+    const auto base = std::max(
+        transport_.rpc_base_timeout(),
+        std::chrono::microseconds(8 * transport_.faults().jitter_us));
     constexpr int kMaxAttempts = 400;
 
     for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {

@@ -1,15 +1,24 @@
 /**
  * @file
- * In-process message transport between workers and parameter-server
- * shards, with an injectable fault model.
+ * Message transport between workers and parameter-server shards, with an
+ * injectable fault model.
  *
- * Every endpoint (shard, worker, control) owns a Mailbox; send() never
+ * Transport is an interface with two executions:
+ *
+ *  - InProcTransport: every endpoint is a Mailbox in one process —
+ *    threads as the cluster. This is the seed fabric, unchanged.
+ *  - SocketTransport (ps/socket_transport.h): endpoints spread across
+ *    processes, messages serialized (ps/wire.h) and framed (net/frame.h)
+ *    over real TCP connections.
+ *
+ * Every endpoint (shard, worker, control) owns a mailbox; send() never
  * blocks the receiver's processing and recv() blocks with a timeout.
  * The point of routing all shard traffic through messages — rather than
  * calling shard methods directly — is that the communication layer
- * becomes a testable component: the FaultModel can delay (latency
- * jitter), reorder (bounded out-of-order delivery), or drop messages,
- * and the training protocol on top must still converge.
+ * becomes a swappable, testable component: the FaultModel can delay
+ * (latency jitter), reorder (bounded out-of-order delivery), or drop
+ * messages, and the training protocol on top must still converge —
+ * over either fabric.
  *
  * Reliability is the *protocol's* job, exactly as on a real network:
  * RpcClient implements request/reply with timeout-and-retransmit
@@ -63,6 +72,8 @@ struct Message
         kPull,   ///< worker -> shard: request the current slice
         kModel,  ///< shard -> worker: slice weights + version
         kRetire, ///< worker -> shard: done pushing; drop me from the SSP gate
+        kStats,  ///< control -> shard: request counters; reply carries `stats`
+        kShutdown, ///< control -> shard: ack, then exit the message loop
     };
 
     Kind kind = Kind::kPush;
@@ -74,13 +85,28 @@ struct Message
     bool accepted = true;      ///< kAck: false = gated, retry after backoff
     WireGradient gradient;     ///< kPush payload
     std::vector<float> weights; ///< kModel payload
+    std::vector<double> stats;  ///< kStats reply: flattened ShardMetrics
 
-    /// Bytes this message would occupy on a real wire.
+    /// True for the kinds a client initiates (a shard replies to these);
+    /// the socket transport learns reply routes only from them.
+    bool
+    is_request() const
+    {
+        return kind == Kind::kPush || kind == Kind::kPull ||
+               kind == Kind::kRetire || kind == Kind::kStats ||
+               kind == Kind::kShutdown;
+    }
+
+    /// Bytes this message would occupy on an idealized wire (header +
+    /// payload, no transport framing) — the byte accounting both fabrics
+    /// share so Cs-tier traffic numbers are comparable across them.
     std::size_t wire_bytes() const
     {
         if (kind == Kind::kPush) return gradient.wire_bytes();
         if (kind == Kind::kModel)
             return kWireHeaderBytes + weights.size() * sizeof(float);
+        if (kind == Kind::kStats)
+            return kWireHeaderBytes + stats.size() * sizeof(double);
         return kWireHeaderBytes;
     }
 };
@@ -112,35 +138,77 @@ class Mailbox
     bool closed_ = false;
 };
 
-/// The endpoint-indexed fabric: shards at [0, shards), workers and
-/// control after them (the ParameterServer defines the layout).
+/**
+ * The endpoint-indexed fabric interface: shards at [0, shards), workers
+ * and control after them (the ParameterServer defines the layout). The
+ * protocol layers (ServerShard, RpcClient, the cluster trainers) are
+ * written against this interface and run unchanged over threads or TCP.
+ */
 class Transport
 {
   public:
-    Transport(std::size_t endpoints, FaultModel faults = {});
+    virtual ~Transport() = default;
 
-    std::size_t endpoints() const { return mailboxes_.size(); }
-    const FaultModel& faults() const { return faults_; }
+    virtual std::size_t endpoints() const = 0;
+    virtual const FaultModel& faults() const = 0;
 
     /**
-     * Delivers `message` to endpoint `to` — unless the fault model drops
-     * it (the sender cannot tell; counted in dropped()). Latency jitter
-     * is served on the sender's clock before delivery.
+     * Delivers `message` to endpoint `to` — unless the fault model (or a
+     * dead connection) drops it; the sender cannot tell (counted in
+     * dropped()). Latency jitter is served on the sender's clock before
+     * delivery.
      */
-    void send(std::size_t to, Message&& message);
+    virtual void send(std::size_t to, Message&& message) = 0;
 
     /// Receives at endpoint `at`. False on timeout or closed-and-drained.
+    virtual bool recv(std::size_t at, Message& out,
+                      std::chrono::microseconds timeout) = 0;
+
+    /// Closes every local mailbox: receivers drain, then see closed.
+    virtual void close() = 0;
+    virtual bool closed() const = 0;
+
+    /// The fabric's expected request/reply latency floor; RpcClient's
+    /// per-attempt timeout starts here. In-proc mailboxes answer in
+    /// microseconds; a real TCP hop plus shard service time does not —
+    /// retransmitting on a mailbox-tuned clock would duplicate nearly
+    /// every healthy call.
+    virtual std::chrono::microseconds rpc_base_timeout() const
+    {
+        return std::chrono::microseconds(200);
+    }
+
+    // Fabric counters: messages and idealized wire bytes attempted /
+    // lost / delivered (Message::wire_bytes accounting on both fabrics).
+    virtual std::uint64_t sent() const = 0;
+    virtual std::uint64_t dropped() const = 0;
+    virtual std::uint64_t sent_bytes() const = 0;
+    virtual std::uint64_t recv_bytes() const = 0;
+};
+
+/// The seed fabric: every endpoint is a mailbox in this process.
+class InProcTransport final : public Transport
+{
+  public:
+    explicit InProcTransport(std::size_t endpoints, FaultModel faults = {});
+
+    std::size_t endpoints() const override { return mailboxes_.size(); }
+    const FaultModel& faults() const override { return faults_; }
+
+    void send(std::size_t to, Message&& message) override;
     bool recv(std::size_t at, Message& out,
-              std::chrono::microseconds timeout);
+              std::chrono::microseconds timeout) override;
 
-    /// Closes every mailbox: receivers drain, then see closed.
-    void close();
-    bool closed() const { return closed_.load(std::memory_order_acquire); }
+    void close() override;
+    bool closed() const override
+    {
+        return closed_.load(std::memory_order_acquire);
+    }
 
-    // Fabric counters (messages and wire bytes attempted / lost).
-    std::uint64_t sent() const { return sent_.load(); }
-    std::uint64_t dropped() const { return dropped_.load(); }
-    std::uint64_t sent_bytes() const { return sent_bytes_.load(); }
+    std::uint64_t sent() const override { return sent_.load(); }
+    std::uint64_t dropped() const override { return dropped_.load(); }
+    std::uint64_t sent_bytes() const override { return sent_bytes_.load(); }
+    std::uint64_t recv_bytes() const override { return recv_bytes_.load(); }
 
   private:
     FaultModel faults_;
@@ -151,6 +219,7 @@ class Transport
     std::atomic<std::uint64_t> sent_{0};
     std::atomic<std::uint64_t> dropped_{0};
     std::atomic<std::uint64_t> sent_bytes_{0};
+    std::atomic<std::uint64_t> recv_bytes_{0};
 };
 
 /**

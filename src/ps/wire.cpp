@@ -1,0 +1,205 @@
+#include "ps/wire.h"
+
+#include <cstring>
+
+namespace buckwild::ps {
+
+namespace {
+
+constexpr std::size_t kFixedBytes = 44; // through the gradient scale
+
+void
+put_u32(std::vector<std::uint8_t>& out, std::uint32_t v)
+{
+    out.push_back(static_cast<std::uint8_t>(v));
+    out.push_back(static_cast<std::uint8_t>(v >> 8));
+    out.push_back(static_cast<std::uint8_t>(v >> 16));
+    out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+void
+put_u64(std::vector<std::uint8_t>& out, std::uint64_t v)
+{
+    put_u32(out, static_cast<std::uint32_t>(v));
+    put_u32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+void
+put_f32(std::vector<std::uint8_t>& out, float v)
+{
+    std::uint32_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    put_u32(out, bits);
+}
+
+void
+put_f64(std::vector<std::uint8_t>& out, double v)
+{
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    put_u64(out, bits);
+}
+
+/// Cursor over the receive buffer; every read is bounds-checked.
+class Reader
+{
+  public:
+    Reader(const std::uint8_t* data, std::size_t n) : data_(data), n_(n) {}
+
+    bool
+    u8(std::uint8_t* out)
+    {
+        if (pos_ + 1 > n_) return false;
+        *out = data_[pos_++];
+        return true;
+    }
+
+    bool
+    u32(std::uint32_t* out)
+    {
+        if (pos_ + 4 > n_) return false;
+        *out = static_cast<std::uint32_t>(data_[pos_]) |
+               (static_cast<std::uint32_t>(data_[pos_ + 1]) << 8) |
+               (static_cast<std::uint32_t>(data_[pos_ + 2]) << 16) |
+               (static_cast<std::uint32_t>(data_[pos_ + 3]) << 24);
+        pos_ += 4;
+        return true;
+    }
+
+    bool
+    u64(std::uint64_t* out)
+    {
+        std::uint32_t lo = 0;
+        std::uint32_t hi = 0;
+        if (!u32(&lo) || !u32(&hi)) return false;
+        *out = static_cast<std::uint64_t>(lo) |
+               (static_cast<std::uint64_t>(hi) << 32);
+        return true;
+    }
+
+    bool
+    f32(float* out)
+    {
+        std::uint32_t bits = 0;
+        if (!u32(&bits)) return false;
+        std::memcpy(out, &bits, sizeof(*out));
+        return true;
+    }
+
+    bool
+    f64(double* out)
+    {
+        std::uint64_t bits = 0;
+        if (!u64(&bits)) return false;
+        std::memcpy(out, &bits, sizeof(*out));
+        return true;
+    }
+
+    bool
+    bytes(std::vector<std::uint8_t>* out, std::size_t count)
+    {
+        if (pos_ + count > n_ || pos_ + count < pos_) return false;
+        out->assign(data_ + pos_, data_ + pos_ + count);
+        pos_ += count;
+        return true;
+    }
+
+    bool done() const { return pos_ == n_; }
+
+  private:
+    const std::uint8_t* data_;
+    std::size_t n_;
+    std::size_t pos_ = 0;
+};
+
+/// A length prefix cannot exceed the remaining buffer — cheap guard
+/// against a corrupt count making the loops below spin.
+template <typename T>
+bool
+read_array(Reader& reader, std::vector<T>& out,
+           bool (Reader::*element)(T*))
+{
+    std::uint32_t count = 0;
+    if (!reader.u32(&count)) return false;
+    out.resize(count);
+    for (std::uint32_t i = 0; i < count; ++i)
+        if (!(reader.*element)(&out[i])) return false;
+    return true;
+}
+
+} // namespace
+
+std::size_t
+serialized_bytes(const Message& message)
+{
+    return kFixedBytes + 4 + message.gradient.norms.size() * 4 + 4 +
+           message.gradient.payload.size() + 4 +
+           message.weights.size() * 4 + 4 + message.stats.size() * 8;
+}
+
+std::vector<std::uint8_t>
+serialize_message(const Message& message)
+{
+    std::vector<std::uint8_t> out;
+    out.reserve(serialized_bytes(message));
+    out.push_back(static_cast<std::uint8_t>(message.kind));
+    out.push_back(message.accepted ? 1 : 0);
+    out.push_back(static_cast<std::uint8_t>(message.gradient.kind));
+    out.push_back(static_cast<std::uint8_t>(message.gradient.bits));
+    put_u32(out, message.sender);
+    put_u32(out, message.worker);
+    put_u64(out, message.token);
+    put_u64(out, message.clock);
+    put_u64(out, message.version);
+    put_u32(out, message.gradient.count);
+    put_f32(out, message.gradient.scale);
+    put_u32(out, static_cast<std::uint32_t>(message.gradient.norms.size()));
+    for (const float norm : message.gradient.norms) put_f32(out, norm);
+    put_u32(out,
+            static_cast<std::uint32_t>(message.gradient.payload.size()));
+    out.insert(out.end(), message.gradient.payload.begin(),
+               message.gradient.payload.end());
+    put_u32(out, static_cast<std::uint32_t>(message.weights.size()));
+    for (const float w : message.weights) put_f32(out, w);
+    put_u32(out, static_cast<std::uint32_t>(message.stats.size()));
+    for (const double s : message.stats) put_f64(out, s);
+    return out;
+}
+
+bool
+deserialize_message(const std::uint8_t* data, std::size_t n, Message& out)
+{
+    Reader reader(data, n);
+    std::uint8_t kind = 0;
+    std::uint8_t flags = 0;
+    std::uint8_t codec_kind = 0;
+    std::uint8_t codec_bits = 0;
+    if (!reader.u8(&kind) || !reader.u8(&flags) ||
+        !reader.u8(&codec_kind) || !reader.u8(&codec_bits))
+        return false;
+    if (kind > static_cast<std::uint8_t>(Message::Kind::kShutdown))
+        return false;
+    if (codec_kind > static_cast<std::uint8_t>(CodecKind::kQsgd))
+        return false;
+    out.kind = static_cast<Message::Kind>(kind);
+    out.accepted = (flags & 1u) != 0;
+    out.gradient.kind = static_cast<CodecKind>(codec_kind);
+    out.gradient.bits = codec_bits;
+    if (!reader.u32(&out.sender) || !reader.u32(&out.worker) ||
+        !reader.u64(&out.token) || !reader.u64(&out.clock) ||
+        !reader.u64(&out.version) || !reader.u32(&out.gradient.count) ||
+        !reader.f32(&out.gradient.scale))
+        return false;
+    if (!read_array(reader, out.gradient.norms, &Reader::f32)) return false;
+    {
+        std::uint32_t payload_size = 0;
+        if (!reader.u32(&payload_size)) return false;
+        if (!reader.bytes(&out.gradient.payload, payload_size))
+            return false;
+    }
+    if (!read_array(reader, out.weights, &Reader::f32)) return false;
+    if (!read_array(reader, out.stats, &Reader::f64)) return false;
+    return reader.done();
+}
+
+} // namespace buckwild::ps

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Byte-level serialization of ps::Message — what actually crosses the
+ * socket between cluster processes.
+ *
+ * Little-endian throughout, fixed field order, no padding:
+ *
+ *     offset  size  field
+ *     0       1     message kind (Message::Kind)
+ *     1       1     flags (bit0 = accepted)
+ *     2       1     gradient codec kind (CodecKind)
+ *     3       1     gradient codec bits
+ *     4       4     sender endpoint
+ *     8       4     worker id
+ *     12      8     token
+ *     20      8     clock
+ *     28      8     version
+ *     36      4     gradient count
+ *     40      4     gradient scale (IEEE-754 float bits)
+ *     44      4     norm count N, then N * 4 bytes of float norms
+ *     ...     4     payload size P, then P payload bytes
+ *     ...     4     weight count W, then W * 4 bytes of float weights
+ *     ...     4     stats count K, then K * 8 bytes of double stats
+ *
+ * Floats and doubles travel as their IEEE-754 bit patterns, so the CsQ /
+ * Cs8 / Cs1 codec output a worker encoded in one process decodes
+ * bit-identically in another — the cross-process bit-identity the golden
+ * tests in tests/test_net.cpp pin down.
+ *
+ * deserialize_message() is defensive: every length is bounds-checked
+ * against the buffer before reading, and a malformed buffer returns
+ * false rather than throwing — the socket transport drops the frame and
+ * lets the RPC layer's retransmit recover.
+ */
+#ifndef BUCKWILD_PS_WIRE_H
+#define BUCKWILD_PS_WIRE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "ps/transport.h"
+
+namespace buckwild::ps {
+
+/// Serialized size of `message` in bytes (what serialize_message emits).
+std::size_t serialized_bytes(const Message& message);
+
+/// Flattens `message` into the layout above.
+std::vector<std::uint8_t> serialize_message(const Message& message);
+
+/// Parses `data[0..n)` into `out`. False (out unspecified) on a
+/// truncated, oversized, or otherwise malformed buffer.
+bool deserialize_message(const std::uint8_t* data, std::size_t n,
+                         Message& out);
+
+} // namespace buckwild::ps
+
+#endif // BUCKWILD_PS_WIRE_H

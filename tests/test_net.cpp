@@ -1,0 +1,671 @@
+/**
+ * @file
+ * Tests for the networking tier: net/ socket + frame primitives, the
+ * ps/wire.h message serialization (with byte-level goldens pinning the
+ * wire format), the CsQ (QSGD) codec, and the SocketTransport fabric up
+ * to a full multi-endpoint cluster over loopback TCP.
+ *
+ * The golden vectors here are the cross-process contract: a payload a
+ * worker encodes in one process must decode bit-identically in a shard
+ * process built from the same source. Change the wire format and these
+ * tests fail by design — bump them consciously.
+ */
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "net/net.h"
+#include "obs/registry.h"
+#include "ps/ps.h"
+#include "rng/xorshift.h"
+#include "test_common.h"
+#include "util/thread_pool.h"
+
+namespace buckwild {
+namespace {
+
+// ======================================================== NetSocket
+
+TEST(NetSocket, ParsesAddresses)
+{
+    const net::Address a = net::parse_address("127.0.0.1:7001");
+    EXPECT_EQ(a.host, "127.0.0.1");
+    EXPECT_EQ(a.port, 7001);
+    EXPECT_EQ(a.to_string(), "127.0.0.1:7001");
+    const net::Address b = net::parse_address(":9090"); // empty host
+    EXPECT_EQ(b.host, "127.0.0.1");
+    EXPECT_EQ(b.port, 9090);
+    EXPECT_THROW(net::parse_address("no-port"), std::runtime_error);
+    EXPECT_THROW(net::parse_address("h:notaport"), std::runtime_error);
+    EXPECT_THROW(net::parse_address("h:65536"), std::runtime_error);
+}
+
+TEST(NetSocket, ListenConnectRoundTrip)
+{
+    std::uint16_t port = 0;
+    std::string error;
+    net::Fd listener = net::listen_tcp("127.0.0.1", 0, 8, &port, &error);
+    ASSERT_TRUE(listener.valid()) << error;
+    ASSERT_GT(port, 0);
+    EXPECT_EQ(net::local_port(listener.get()), port);
+
+    net::Fd client = net::connect_tcp({"127.0.0.1", port},
+                                      std::chrono::milliseconds(2000),
+                                      &error);
+    ASSERT_TRUE(client.valid()) << error;
+    net::Fd server = net::accept_client(listener.get(), 2000);
+    ASSERT_TRUE(server.valid());
+
+    const char ping[] = "ping!";
+    ASSERT_TRUE(net::send_all(client.get(), ping, sizeof(ping)));
+    char buf[sizeof(ping)] = {};
+    ASSERT_TRUE(net::recv_all(server.get(), buf, sizeof(ping)));
+    EXPECT_STREQ(buf, ping);
+}
+
+TEST(NetSocket, ConnectTimesOutAgainstNobody)
+{
+    // A port with no listener: bind one to reserve it, close it, then
+    // dial it with a short deadline.
+    std::uint16_t port = 0;
+    {
+        net::Fd reserved = net::listen_tcp("127.0.0.1", 0, 1, &port, nullptr);
+        ASSERT_TRUE(reserved.valid());
+    }
+    std::string error;
+    net::Fd fd = net::connect_tcp({"127.0.0.1", port},
+                                  std::chrono::milliseconds(50), &error);
+    EXPECT_FALSE(fd.valid());
+    EXPECT_FALSE(error.empty());
+}
+
+TEST(NetSocket, AcceptTimesOutWithoutClient)
+{
+    net::Fd listener = net::listen_tcp("127.0.0.1", 0, 8, nullptr, nullptr);
+    ASSERT_TRUE(listener.valid());
+    net::Fd none = net::accept_client(listener.get(), /*timeout_ms=*/20);
+    EXPECT_FALSE(none.valid());
+}
+
+// ========================================================= NetFrame
+
+/// A connected local socket pair for framing tests.
+struct SocketPair
+{
+    net::Fd a, b;
+    SocketPair()
+    {
+        int fds[2] = {-1, -1};
+        EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+        a = net::Fd(fds[0]);
+        b = net::Fd(fds[1]);
+    }
+};
+
+TEST(NetFrame, RoundTripsPayloads)
+{
+    SocketPair pair;
+    for (const std::size_t size : {std::size_t{0}, std::size_t{1},
+                                   std::size_t{7}, std::size_t{4096}}) {
+        std::vector<std::uint8_t> payload(size);
+        for (std::size_t i = 0; i < size; ++i)
+            payload[i] = static_cast<std::uint8_t>(i * 31 + 7);
+        ASSERT_TRUE(
+            net::write_frame(pair.a.get(), payload.data(), payload.size()));
+        std::vector<std::uint8_t> out;
+        ASSERT_EQ(net::read_frame(pair.b.get(), out,
+                                  net::kDefaultMaxFrameBytes),
+                  net::FrameResult::kOk);
+        EXPECT_EQ(out, payload);
+    }
+}
+
+TEST(NetFrame, SurvivesPartialDelivery)
+{
+    // The sender trickles the frame byte by byte — header split, payload
+    // split — and the reader's exact-count loops must reassemble it.
+    SocketPair pair;
+    std::vector<std::uint8_t> payload(97);
+    for (std::size_t i = 0; i < payload.size(); ++i)
+        payload[i] = static_cast<std::uint8_t>(i);
+
+    std::vector<std::uint8_t> frame;
+    {
+        // Build the exact wire image via a scratch socketpair.
+        SocketPair scratch;
+        ASSERT_TRUE(net::write_frame(scratch.a.get(), payload.data(),
+                                     payload.size()));
+        frame.resize(net::kFrameHeaderBytes + payload.size());
+        ASSERT_TRUE(net::recv_all(scratch.b.get(), frame.data(),
+                                  frame.size()));
+    }
+
+    std::thread writer([&] {
+        for (const std::uint8_t byte : frame) {
+            ASSERT_TRUE(net::send_all(pair.a.get(), &byte, 1));
+            std::this_thread::sleep_for(std::chrono::microseconds(50));
+        }
+    });
+    std::vector<std::uint8_t> out;
+    EXPECT_EQ(net::read_frame(pair.b.get(), out, net::kDefaultMaxFrameBytes),
+              net::FrameResult::kOk);
+    EXPECT_EQ(out, payload);
+    writer.join();
+}
+
+TEST(NetFrame, RejectsBadMagicAndOversizedBeforeAllocating)
+{
+    SocketPair pair;
+    // Bad magic.
+    const std::uint8_t junk[8] = {0xDE, 0xAD, 0xBE, 0xEF, 1, 0, 0, 0};
+    ASSERT_TRUE(net::send_all(pair.a.get(), junk, sizeof(junk)));
+    std::vector<std::uint8_t> out;
+    EXPECT_EQ(net::read_frame(pair.b.get(), out, net::kDefaultMaxFrameBytes),
+              net::FrameResult::kBadMagic);
+
+    // Good magic, absurd length: rejected by the cap, not allocated.
+    SocketPair fresh;
+    std::uint8_t header[8];
+    const std::uint32_t magic = net::kFrameMagic;
+    const std::uint32_t huge = 0x7FFFFFFFu;
+    std::memcpy(header, &magic, 4);
+    std::memcpy(header + 4, &huge, 4);
+    ASSERT_TRUE(net::send_all(fresh.a.get(), header, sizeof(header)));
+    EXPECT_EQ(net::read_frame(fresh.b.get(), out, /*max_frame_bytes=*/1024),
+              net::FrameResult::kTooLarge);
+}
+
+TEST(NetFrame, DistinguishesCleanCloseFromMidFrameEof)
+{
+    // Peer closes between frames: clean kClosed.
+    {
+        SocketPair pair;
+        pair.a.reset();
+        std::vector<std::uint8_t> out;
+        EXPECT_EQ(net::read_frame(pair.b.get(), out,
+                                  net::kDefaultMaxFrameBytes),
+                  net::FrameResult::kClosed);
+    }
+    // Peer dies mid-header: kError (a desynced stream, not a shutdown).
+    {
+        SocketPair pair;
+        const std::uint8_t partial[3] = {0x50, 0x46, 0x57};
+        ASSERT_TRUE(net::send_all(pair.a.get(), partial, sizeof(partial)));
+        pair.a.reset();
+        std::vector<std::uint8_t> out;
+        EXPECT_EQ(net::read_frame(pair.b.get(), out,
+                                  net::kDefaultMaxFrameBytes),
+                  net::FrameResult::kError);
+    }
+}
+
+// ========================================================== NetWire
+
+using Message = ps::Message;
+
+Message
+sample_push()
+{
+    ps::Message m;
+    m.kind = ps::Message::Kind::kPush;
+    m.sender = 3;
+    m.token = 0xABCDEF0123456789ull;
+    m.worker = 1;
+    m.clock = 42;
+    m.version = 7;
+    std::vector<float> g = {0.5f, -1.25f, 3.0f, -0.125f, 2.0f};
+    std::vector<float> residual(g.size(), 0.0f);
+    rng::Xorshift128Plus rng(11);
+    m.gradient = ps::encode_gradient(g.data(), g.size(),
+                                     ps::Codec::qsgd(4), residual.data(),
+                                     &rng);
+    return m;
+}
+
+TEST(NetWire, MessageRoundTripsEveryField)
+{
+    Message m = sample_push();
+    m.stats = {1.5, -2.5, 1e9};
+    m.weights = {0.25f, -0.75f};
+    m.accepted = false;
+    const std::vector<std::uint8_t> bytes = ps::serialize_message(m);
+    EXPECT_EQ(bytes.size(), ps::serialized_bytes(m));
+
+    Message out;
+    ASSERT_TRUE(ps::deserialize_message(bytes.data(), bytes.size(), out));
+    EXPECT_EQ(out.kind, m.kind);
+    EXPECT_EQ(out.sender, m.sender);
+    EXPECT_EQ(out.token, m.token);
+    EXPECT_EQ(out.worker, m.worker);
+    EXPECT_EQ(out.clock, m.clock);
+    EXPECT_EQ(out.version, m.version);
+    EXPECT_EQ(out.accepted, m.accepted);
+    EXPECT_EQ(out.gradient.kind, m.gradient.kind);
+    EXPECT_EQ(out.gradient.bits, m.gradient.bits);
+    EXPECT_EQ(out.gradient.count, m.gradient.count);
+    EXPECT_EQ(out.gradient.scale, m.gradient.scale);
+    EXPECT_EQ(out.gradient.norms, m.gradient.norms);
+    EXPECT_EQ(out.gradient.payload, m.gradient.payload);
+    EXPECT_EQ(out.weights, m.weights);
+    EXPECT_EQ(out.stats, m.stats);
+
+    // Cross-"process" bit identity: the receiver's decode equals the
+    // sender's (same payload bytes, same arithmetic).
+    EXPECT_EQ(ps::decode_gradient(out.gradient),
+              ps::decode_gradient(m.gradient));
+}
+
+TEST(NetWire, GoldenAckBytes)
+{
+    // The fixed-header golden: pins offsets, widths, and endianness.
+    Message m;
+    m.kind = Message::Kind::kAck;
+    m.accepted = true;
+    m.sender = 2;
+    m.worker = 3;
+    m.token = 0x0102030405060708ull;
+    m.clock = 9;
+    m.version = 10;
+    const std::vector<std::uint8_t> bytes = ps::serialize_message(m);
+    const std::vector<std::uint8_t> golden = {
+        1, 1, 0, 32,                      // kind=kAck, accepted, Cs32 codec
+        2, 0, 0, 0,                       // sender
+        3, 0, 0, 0,                       // worker
+        8, 7, 6, 5, 4, 3, 2, 1,           // token (LE)
+        9, 0, 0, 0, 0, 0, 0, 0,           // clock
+        10, 0, 0, 0, 0, 0, 0, 0,          // version
+        0, 0, 0, 0,                       // gradient count
+        0, 0, 0, 0,                       // gradient scale
+        0, 0, 0, 0,                       // norm count
+        0, 0, 0, 0,                       // payload size
+        0, 0, 0, 0,                       // weight count
+        0, 0, 0, 0,                       // stats count
+    };
+    EXPECT_EQ(bytes, golden);
+}
+
+TEST(NetWire, RejectsTruncationAndTrailingGarbage)
+{
+    Message m = sample_push();
+    m.weights = {1.0f};
+    m.stats = {2.0};
+    const std::vector<std::uint8_t> bytes = ps::serialize_message(m);
+    Message out;
+    // Every possible truncation point must be rejected, never crash.
+    for (std::size_t n = 0; n < bytes.size(); ++n)
+        EXPECT_FALSE(ps::deserialize_message(bytes.data(), n, out))
+            << "accepted a " << n << "-byte prefix";
+    std::vector<std::uint8_t> padded = bytes;
+    padded.push_back(0);
+    EXPECT_FALSE(
+        ps::deserialize_message(padded.data(), padded.size(), out));
+    // Unknown kind byte.
+    std::vector<std::uint8_t> bad_kind = bytes;
+    bad_kind[0] = 250;
+    EXPECT_FALSE(
+        ps::deserialize_message(bad_kind.data(), bad_kind.size(), out));
+}
+
+// ======================================================== NetGolden
+
+TEST(NetGolden, Cs8PayloadBytes)
+{
+    const float g[4] = {127.0f, -127.0f, 0.0f, 64.0f};
+    float residual[4] = {};
+    const ps::WireGradient wire = ps::encode_gradient(g, 4, 8, residual);
+    EXPECT_EQ(wire.kind, ps::CodecKind::kLinear);
+    EXPECT_EQ(wire.scale, 1.0f); // maxabs 127 over 127 levels
+    const std::vector<std::uint8_t> golden = {0x7F, 0x81, 0x00, 0x40};
+    EXPECT_EQ(wire.payload, golden);
+}
+
+TEST(NetGolden, Cs1PayloadBytes)
+{
+    const float g[4] = {1.0f, -2.0f, 3.0f, -4.0f};
+    float residual[4] = {};
+    const ps::WireGradient wire = ps::encode_gradient(g, 4, 1, residual);
+    EXPECT_EQ(wire.kind, ps::CodecKind::kSign);
+    EXPECT_EQ(wire.scale, 2.5f); // mean |g|
+    // Bit set = negative, bit k % 8: coordinates 1 and 3.
+    const std::vector<std::uint8_t> golden = {0x0A};
+    EXPECT_EQ(wire.payload, golden);
+}
+
+TEST(NetGolden, CsQ4PayloadBytes)
+{
+    // One bucket, norm 5; ratios {1, 0, 0, 0} land on levels {7, 0, 0, 0}
+    // for every dither u in [0, 1) — the golden is rng-independent.
+    const float g[4] = {5.0f, 0.0f, 0.0f, 0.0f};
+    float residual[4] = {};
+    rng::Xorshift128Plus rng(123);
+    const ps::WireGradient wire =
+        ps::encode_gradient(g, 4, ps::Codec::qsgd(4), residual, &rng);
+    EXPECT_EQ(wire.kind, ps::CodecKind::kQsgd);
+    ASSERT_EQ(wire.norms.size(), 1u);
+    EXPECT_EQ(wire.norms[0], 5.0f);
+    // Byte 0: sign bitmap (all positive). Then Elias gamma of levels+1 =
+    // {8, 1, 1, 1} MSB-first: 0001000 1 1 1 -> 0x11 0xC0.
+    const std::vector<std::uint8_t> golden = {0x00, 0x11, 0xC0};
+    EXPECT_EQ(wire.payload, golden);
+    // And the decode returns exactly the grid points.
+    const std::vector<float> decoded = ps::decode_gradient(wire);
+    ASSERT_EQ(decoded.size(), 4u);
+    EXPECT_EQ(decoded[0], 5.0f);
+    EXPECT_EQ(decoded[1], 0.0f);
+    EXPECT_EQ(residual[0], 0.0f);
+}
+
+// ========================================================== NetQsgd
+
+TEST(NetQsgd, ResidualIsExactlyGradientMinusDecode)
+{
+    rng::Xorshift128Plus fuzz(31337);
+    for (const int bits : {2, 4, 8}) {
+        for (int trial = 0; trial < 20; ++trial) {
+            const std::size_t n = 1 + fuzz() % 700; // spans >1 bucket
+            std::vector<float> g(n), residual(n, 0.0f);
+            for (auto& x : g)
+                x = (rng::to_unit_float(
+                         static_cast<std::uint32_t>(fuzz() >> 32)) -
+                     0.5f) *
+                    8.0f;
+            rng::Xorshift128Plus dither(trial);
+            const ps::WireGradient wire = ps::encode_gradient(
+                g.data(), n, ps::Codec::qsgd(bits), residual.data(),
+                &dither);
+            const std::vector<float> q = ps::decode_gradient(wire);
+            ASSERT_EQ(q.size(), n);
+            for (std::size_t k = 0; k < n; ++k)
+                EXPECT_EQ(residual[k], g[k] - q[k])
+                    << "bits " << bits << " k " << k;
+        }
+    }
+}
+
+TEST(NetQsgd, StochasticRoundingIsUnbiased)
+{
+    // E[decode] == g: average many independent encodes of one vector.
+    const std::size_t n = 64;
+    std::vector<float> g(n);
+    rng::Xorshift128Plus init(5);
+    for (auto& x : g)
+        x = rng::to_unit_float(static_cast<std::uint32_t>(init() >> 32)) -
+            0.5f;
+    std::vector<double> mean(n, 0.0);
+    const int trials = 3000;
+    rng::Xorshift128Plus dither(777);
+    for (int t = 0; t < trials; ++t) {
+        const ps::WireGradient wire = ps::encode_gradient(
+            g.data(), n, ps::Codec::qsgd(4), nullptr, &dither);
+        const std::vector<float> q = ps::decode_gradient(wire);
+        for (std::size_t k = 0; k < n; ++k) mean[k] += q[k];
+    }
+    for (std::size_t k = 0; k < n; ++k)
+        EXPECT_NEAR(mean[k] / trials, g[k], 0.05) << "k " << k;
+}
+
+TEST(NetQsgd, CsQ4HalvesCs8Traffic)
+{
+    // The acceptance ratio: on a realistic (dense, zero-mean) gradient
+    // the gamma-coded CsQ4 payload is >= 2x smaller than Cs8's.
+    const std::size_t n = 4096;
+    std::vector<float> g(n);
+    rng::Xorshift128Plus rng(99);
+    for (auto& x : g)
+        x = (rng::to_unit_float(static_cast<std::uint32_t>(rng() >> 32)) -
+             0.5f) *
+            2.0f;
+    std::vector<float> r8(n, 0.0f), rq(n, 0.0f);
+    const ps::WireGradient cs8 = ps::encode_gradient(g.data(), n, 8,
+                                                     r8.data());
+    rng::Xorshift128Plus dither(7);
+    const ps::WireGradient csq = ps::encode_gradient(
+        g.data(), n, ps::Codec::qsgd(4), rq.data(), &dither);
+    EXPECT_LE(csq.wire_bytes() * 2, cs8.wire_bytes())
+        << "CsQ4 " << csq.wire_bytes() << "B vs Cs8 " << cs8.wire_bytes()
+        << "B";
+}
+
+// ===================================================== NetTransport
+
+/// A listening "shard-side" transport and a dialing "client-side" one,
+/// covering endpoints {0} and {1} of a 2-endpoint cluster.
+struct TransportPair
+{
+    std::unique_ptr<ps::SocketTransport> server, client;
+
+    explicit TransportPair(ps::FaultModel client_faults = {})
+    {
+        ps::SocketTransportConfig s;
+        s.endpoints = 2;
+        s.local = {0};
+        s.listen = true;
+        server = std::make_unique<ps::SocketTransport>(std::move(s));
+
+        ps::SocketTransportConfig c;
+        c.endpoints = 2;
+        c.local = {1};
+        c.peers[0] = {"127.0.0.1", server->port()};
+        c.faults = client_faults;
+        client = std::make_unique<ps::SocketTransport>(std::move(c));
+    }
+
+    ~TransportPair()
+    {
+        client->close();
+        server->close();
+    }
+};
+
+TEST(NetTransport, DeliversAndRepliesOverLoopback)
+{
+    TransportPair pair;
+    // Echo thread on the server endpoint: replies over the learned route.
+    WorkerGroup echo;
+    echo.start(1, [&](std::size_t) {
+        ps::Message m;
+        for (;;) {
+            if (!pair.server->recv(0, m, std::chrono::microseconds(500))) {
+                if (pair.server->closed()) return;
+                continue;
+            }
+            ps::Message reply;
+            reply.kind = ps::Message::Kind::kAck;
+            reply.token = m.token;
+            reply.clock = m.clock;
+            pair.server->send(m.sender, std::move(reply));
+        }
+    });
+
+    ps::RpcClient rpc(*pair.client, 1);
+    for (std::uint64_t c = 1; c <= 20; ++c) {
+        ps::Message request;
+        request.kind = ps::Message::Kind::kPull;
+        request.clock = c;
+        const ps::Message reply = rpc.call(0, std::move(request));
+        EXPECT_EQ(reply.clock, c);
+    }
+    pair.server->close();
+    echo.join();
+    EXPECT_GE(pair.client->sent(), 20u);
+    EXPECT_GT(pair.client->sent_bytes(), 0u);
+    EXPECT_GT(pair.client->recv_bytes(), 0u);
+}
+
+TEST(NetTransport, RpcRetriesThroughInjectedDrops)
+{
+    ps::FaultModel faults;
+    faults.drop_prob = 0.25;
+    faults.seed = 99;
+    TransportPair pair(faults);
+    WorkerGroup echo;
+    echo.start(1, [&](std::size_t) {
+        ps::Message m;
+        for (;;) {
+            if (!pair.server->recv(0, m, std::chrono::microseconds(500))) {
+                if (pair.server->closed()) return;
+                continue;
+            }
+            ps::Message reply;
+            reply.kind = ps::Message::Kind::kAck;
+            reply.token = m.token;
+            reply.clock = m.clock;
+            pair.server->send(m.sender, std::move(reply));
+        }
+    });
+
+    ps::RpcClient rpc(*pair.client, 1);
+    for (std::uint64_t c = 1; c <= 50; ++c) {
+        ps::Message request;
+        request.kind = ps::Message::Kind::kPull;
+        request.clock = c;
+        const ps::Message reply = rpc.call(0, std::move(request));
+        EXPECT_EQ(reply.clock, c); // the reply to THIS call, never stale
+    }
+    pair.server->close();
+    echo.join();
+    // A quarter of the traffic vanished; the protocol recovered all of it.
+    EXPECT_GT(pair.client->dropped(), 0u);
+    EXPECT_GT(rpc.retries(), 0u);
+}
+
+TEST(NetTransport, PayloadsCrossTheSocketBitIdentically)
+{
+    TransportPair pair;
+    ps::Message m = sample_push();
+    m.sender = 1; // our endpoint in this 2-endpoint cluster
+    const std::vector<float> sent_decode = ps::decode_gradient(m.gradient);
+    const std::vector<std::uint8_t> sent_payload = m.gradient.payload;
+    pair.client->send(0, std::move(m));
+    ps::Message out;
+    ASSERT_TRUE(pair.server->recv(0, out, std::chrono::microseconds(
+                                              2 * 1000 * 1000)));
+    EXPECT_EQ(out.gradient.payload, sent_payload);
+    EXPECT_EQ(ps::decode_gradient(out.gradient), sent_decode);
+}
+
+// ======================================================= NetCluster
+
+/// Runs a full S-shard, W-worker cluster as separate SocketTransports
+/// over loopback — threads standing in for processes, same fabric the
+/// forked topology uses (tests/test_net must stay runnable under TSan,
+/// where fork-based assertions would not be).
+ps::ClusterResult
+train_over_sockets(const dataset::DenseProblem& problem,
+                   const ps::ClusterConfig& cfg)
+{
+    const std::size_t shards = cfg.shards;
+    // Bind every shard listener first: race-free advertised ports.
+    std::vector<net::Fd> listeners(shards);
+    std::vector<net::Address> addresses(shards);
+    for (std::size_t s = 0; s < shards; ++s) {
+        std::uint16_t port = 0;
+        std::string error;
+        listeners[s] = net::listen_tcp("127.0.0.1", 0, 16, &port, &error);
+        EXPECT_TRUE(listeners[s].valid()) << error;
+        addresses[s] = {"127.0.0.1", port};
+    }
+
+    std::vector<ps::ShardMetrics> shard_metrics(shards);
+    WorkerGroup shard_threads;
+    shard_threads.start(shards, [&](std::size_t s) {
+        ps::ShardNodeOptions options;
+        options.index = s;
+        options.adopt_listen_fd = listeners[s].release();
+        shard_metrics[s] = ps::run_shard_node(cfg, problem.dim, options);
+    });
+
+    std::vector<ps::WorkerStats> worker_stats(cfg.workers);
+    WorkerGroup worker_threads;
+    worker_threads.start(cfg.workers, [&](std::size_t w) {
+        worker_stats[w] = ps::run_worker_node(cfg, problem, w, addresses);
+    });
+    worker_threads.join();
+
+    ps::ClusterResult result;
+    result.comm = cfg.codec.name();
+    {
+        ps::ControlClient control(cfg, addresses);
+        const std::vector<float> model = control.snapshot(problem.dim);
+        ps::evaluate_model(problem, cfg.loss, model, &result.final_loss,
+                           &result.accuracy);
+        result.metrics.shards = control.stats();
+        control.shutdown();
+    }
+    shard_threads.join();
+    for (const ps::WorkerStats& w : worker_stats) {
+        result.rounds += w.rounds;
+        result.metrics.rpc_retries += w.retries;
+    }
+    return result;
+}
+
+ps::ClusterConfig
+socket_cluster_config(const ps::Codec& codec)
+{
+    ps::ClusterConfig cfg;
+    cfg.workers = 2;
+    cfg.shards = 2;
+    cfg.codec = codec;
+    cfg.rounds = 100;
+    cfg.batch = 16;
+    cfg.tau = 8;
+    cfg.step_size = 0.25f;
+    return cfg;
+}
+
+TEST(NetCluster, SocketClusterMatchesInProcessConvergence)
+{
+    const auto& problem = testutil::cluster_problem();
+    for (const ps::Codec& codec :
+         {ps::Codec::from_bits(32), ps::Codec::qsgd(4)}) {
+        const ps::ClusterConfig cfg = socket_cluster_config(codec);
+        const ps::ClusterResult socket = train_over_sockets(problem, cfg);
+        const ps::ClusterResult inproc = ps::train_cluster(problem, cfg);
+        EXPECT_EQ(socket.rounds, 200u) << codec.name();
+        EXPECT_EQ(socket.metrics.total_pushes(), 400u) << codec.name();
+        // Same round loop, same codec arithmetic, different fabric: the
+        // two runs converge alike (asynchrony makes them nondeterministic,
+        // so "alike" is a tolerance, not equality).
+        EXPECT_NEAR(socket.accuracy, inproc.accuracy, 0.05) << codec.name();
+        EXPECT_LT(socket.final_loss, inproc.final_loss + 0.1)
+            << codec.name();
+    }
+    // The real framed traffic registered in the obs counters.
+    EXPECT_GT(obs::MetricsRegistry::global()
+                  .counter("net.sent_bytes")
+                  .value(),
+              0u);
+    EXPECT_GT(obs::MetricsRegistry::global()
+                  .counter("net.frames_recv")
+                  .value(),
+              0u);
+}
+
+TEST(NetCluster, SurvivesFaultInjectionOverSockets)
+{
+    // The acceptance criterion: drop/reorder/retransmit chaos against
+    // the REAL socket transport, protocol still exactly-once.
+    const auto& problem = testutil::cluster_problem();
+    ps::ClusterConfig cfg = socket_cluster_config(ps::Codec::from_bits(1));
+    cfg.tau = 6;
+    cfg.faults.drop_prob = 0.05;
+    cfg.faults.jitter_us = 5;
+    cfg.faults.reorder_window = 3;
+    const ps::ClusterResult r = train_over_sockets(problem, cfg);
+    EXPECT_GT(r.metrics.rpc_retries, 0u); // drops really happened
+    // Exactly-once: every round applied despite retransmissions.
+    EXPECT_EQ(r.metrics.total_pushes(), 2u * 2u * 100u);
+    EXPECT_LE(r.metrics.max_staleness(), 6u);
+    EXPECT_GT(r.accuracy, 0.75);
+}
+
+} // namespace
+} // namespace buckwild

@@ -88,9 +88,10 @@ TEST(PsQuantize, RoundTripInvariantFuzz)
                 EXPECT_NEAR(q[k] + residual[k], g[k], tol)
                     << "bits " << bits << " k " << k;
             }
-            if (bits == 32)
+            if (bits == 32) {
                 for (std::size_t k = 0; k < n; ++k)
                     EXPECT_EQ(residual[k], 0.0f);
+            }
         }
     }
 }
@@ -127,11 +128,12 @@ TEST(PsQuantize, WireCodecBitIdenticalToQuantizer)
 TEST(PsQuantize, DecodeRejectsCorruptPayload)
 {
     ps::WireGradient wire;
+    wire.kind = ps::CodecKind::kLinear;
     wire.bits = 8;
     wire.count = 16;
     wire.payload.assign(15, 0); // one byte short
     EXPECT_THROW(ps::decode_gradient(wire), std::runtime_error);
-    wire.bits = 5;
+    wire.bits = 5; // kind/bits no longer name a valid tier
     EXPECT_THROW(ps::decode_gradient(wire), std::runtime_error);
 }
 
@@ -348,7 +350,7 @@ TEST(PsCommSgd, GoldenTraceAnchor)
 
 TEST(PsTransport, DeliversFifoWithoutFaults)
 {
-    ps::Transport transport(2);
+    ps::InProcTransport transport(2);
     for (std::uint64_t c = 1; c <= 5; ++c) {
         ps::Message m;
         m.clock = c;
@@ -368,7 +370,7 @@ TEST(PsTransport, DeliversFifoWithoutFaults)
 
 TEST(PsTransport, ClosedMailboxDrainsBacklogThenFails)
 {
-    ps::Transport transport(1);
+    ps::InProcTransport transport(1);
     for (std::uint64_t c = 1; c <= 3; ++c) {
         ps::Message m;
         m.clock = c;
@@ -387,7 +389,7 @@ TEST(PsTransport, ReorderWindowDeliversEverythingOnce)
 {
     ps::FaultModel faults;
     faults.reorder_window = 4;
-    ps::Transport transport(1, faults);
+    ps::InProcTransport transport(1, faults);
     const std::uint64_t count = 32;
     for (std::uint64_t c = 1; c <= count; ++c) {
         ps::Message m;
@@ -413,7 +415,7 @@ TEST(PsTransport, RpcRetriesThroughDrops)
     ps::FaultModel faults;
     faults.drop_prob = 0.25;
     faults.seed = 99;
-    ps::Transport transport(2, faults);
+    ps::InProcTransport transport(2, faults);
 
     // An echo peer at endpoint 0: every request is acked with its token.
     WorkerGroup echo;
@@ -448,10 +450,10 @@ TEST(PsTransport, RpcRetriesThroughDrops)
 
 TEST(PsTransport, RejectsBadConfig)
 {
-    EXPECT_THROW(ps::Transport(0), std::runtime_error);
+    EXPECT_THROW(ps::InProcTransport(0), std::runtime_error);
     ps::FaultModel faults;
     faults.drop_prob = 1.0;
-    EXPECT_THROW(ps::Transport(1, faults), std::runtime_error);
+    EXPECT_THROW(ps::InProcTransport(1, faults), std::runtime_error);
 }
 
 // ===================================================== PsShard
@@ -459,7 +461,7 @@ TEST(PsTransport, RejectsBadConfig)
 /// A shard on its own thread plus an RpcClient talking to it.
 struct ShardHarness
 {
-    ps::Transport transport;
+    ps::InProcTransport transport;
     ps::ServerShard shard;
     WorkerGroup thread;
     ps::RpcClient rpc;
@@ -566,7 +568,9 @@ TEST(PsShard, GatesRunawayWorkerUntilPeersCatchUp)
     EXPECT_TRUE(h.push(0, 2, g).accepted);
     h.transport.close();
     h.thread.join();
-    EXPECT_EQ(h.shard.metrics().gated, 1u);
+    // >= 1, not == 1: a nacked push is not dedup-tracked, so an RPC
+    // timeout under load may replay it and legitimately gate it twice.
+    EXPECT_GE(h.shard.metrics().gated, 1u);
     EXPECT_EQ(h.shard.metrics().pushes, 3u);
 }
 
@@ -613,7 +617,7 @@ cluster_config(int bits)
     ps::ClusterConfig cfg;
     cfg.workers = 2;
     cfg.shards = 2;
-    cfg.comm_bits = bits;
+    cfg.codec = ps::Codec::from_bits(bits);
     cfg.rounds = 250;
     cfg.batch = 16;
     cfg.tau = 8;
@@ -658,7 +662,7 @@ TEST(PsCluster, DimFiveTwelveMeetsTwentyFoldByteReduction)
     auto cfg = cluster_config(32);
     cfg.rounds = 20;
     const auto full = ps::train_cluster(problem, cfg);
-    cfg.comm_bits = 1;
+    cfg.codec = ps::Codec::from_bits(1);
     const auto onebit = ps::train_cluster(problem, cfg);
     EXPECT_DOUBLE_EQ(full.bytes_per_round, 2080.0);
     EXPECT_DOUBLE_EQ(onebit.bytes_per_round, 96.0);
@@ -706,7 +710,7 @@ TEST(PsCluster, CheckpointCarriesAsyncProvenance)
     // Asynchronous explicit communication at 1 bit: "C1", not "Cs1".
     EXPECT_EQ(r.checkpoint.signature.to_string(), "C1");
     EXPECT_EQ(r.checkpoint.weights.size(), cluster_problem().dim);
-    cfg.comm_bits = 32;
+    cfg.codec = ps::Codec::from_bits(32);
     const auto full = ps::train_cluster(cluster_problem(), cfg);
     EXPECT_EQ(full.checkpoint.signature.to_string(), "C32f");
 }
@@ -797,7 +801,8 @@ TEST(PsCluster, RejectsBadConfig)
     bad = cluster_config(32);
     bad.shards = problem.dim + 1;
     EXPECT_THROW(ps::train_cluster(problem, bad), std::runtime_error);
-    bad = cluster_config(7);
+    bad = cluster_config(32);
+    bad.codec.bits = 7; // kDense at 7 bits names no tier
     EXPECT_THROW(ps::train_cluster(problem, bad), std::runtime_error);
     bad = cluster_config(32);
     bad.step_size = 0.0f;
@@ -878,7 +883,7 @@ TEST(PsConcurrency, ConcurrentPushPullOneShard)
     cfg.step_size = 0.01f;
     cfg.batch = 1;
 
-    ps::Transport transport(1 + workers);
+    ps::InProcTransport transport(1 + workers);
     ps::ServerShard shard(0, 0, dim, cfg, transport);
     WorkerGroup shard_thread;
     shard_thread.start(1, [&](std::size_t) { shard.run(); });

@@ -3,19 +3,40 @@
  * buckwild_cluster — sharded parameter-server training with quantized
  * push/pull, bounded staleness, and fault injection.
  *
- * Trains a synthetic dense logistic problem on W worker threads pushing
+ * Trains a synthetic dense logistic problem on W workers pushing
  * quantized gradients into S model shards, sweeping the communication
- * precision, and prints a per-precision table of convergence, wire
- * traffic, and cluster health:
+ * codec, and prints a per-tier table of convergence, wire traffic, and
+ * cluster health:
  *
- *     buckwild_cluster --workers 4 --shards 2 --bits 32,8,1
+ *     buckwild_cluster --workers 4 --shards 2 --bits 32,8,Q4,1
  *     buckwild_cluster --bits 1 --drop 0.02 --jitter-us 50 --reorder 4
  *     buckwild_cluster --bits 8 --publish-every 100 --save model.bw
+ *
+ * By default the cluster is worker *threads* over the in-process
+ * transport. The same cluster runs as real processes over TCP:
+ *
+ *     buckwild_cluster --spawn --bits Q4          # fork it all locally
+ *     # or assemble it by hand (ports must agree across commands):
+ *     buckwild_cluster --listen 127.0.0.1:7001 --shard-index 0 &
+ *     buckwild_cluster --listen 127.0.0.1:7002 --shard-index 1 &
+ *     buckwild_cluster --connect 127.0.0.1:7001,127.0.0.1:7002 \
+ *                      --worker-index 0 &
+ *     buckwild_cluster --connect 127.0.0.1:7001,127.0.0.1:7002 \
+ *                      --worker-index 1 &
+ *     wait %3 %4   # workers exit when their rounds are done
+ *     buckwild_cluster --control 127.0.0.1:7001,127.0.0.1:7002
+ *
+ * Every process must be launched with the same --dense/--seed/--workers/
+ * --shards/--rounds/--bits so the problem and the endpoint geometry
+ * agree; --control snapshots the model, evaluates it, prints per-shard
+ * stats, and shuts the shards down. Distributed modes train the first
+ * --bits tier only.
  *
  * --publish-every checkpoints the shards straight into a
  * serve::ModelRegistry mid-run (the train-to-serve hot-swap path); the
  * final model is always published, and --save also writes it as a
- * BUCKWILD-MODEL file that buckwild_serve can load.
+ * BUCKWILD-MODEL file that buckwild_serve can load. (In-process sweep
+ * only — remote shards share no address space with a registry.)
  *
  * Run with --help for the full flag list.
  */
@@ -28,6 +49,7 @@
 #include <vector>
 
 #include "dataset/problem.h"
+#include "net/net.h"
 #include "obs/obs.h"
 #include "obs_cli.h"
 #include "ps/ps.h"
@@ -51,10 +73,10 @@ usage()
         "  --seed X               problem RNG seed (default 0x5EED)\n"
         "\n"
         "cluster:\n"
-        "  --workers W            worker threads (default 4)\n"
+        "  --workers W            workers (default 4)\n"
         "  --shards S             model shards (default 2)\n"
-        "  --bits B[,B,...]       comm precision sweep: 32 | 8 | 1\n"
-        "                         (default 32,8,1)\n"
+        "  --bits B[,B,...]       comm codec sweep: 32 | 8 | 1 | Q2..Q8\n"
+        "                         (\"Cs\" prefix optional; default 32,8,1)\n"
         "  --tau T                staleness bound in rounds (default 8)\n"
         "  --rounds N             rounds per worker (default 400)\n"
         "  --batch B              examples per worker round (default 16)\n"
@@ -63,14 +85,28 @@ usage()
         "                         needs it)\n"
         "  --impl I               reference | naive | avx2 | avx512\n"
         "\n"
-        "fault injection (the transport's FaultModel):\n"
+        "multi-process (loopback or real network; first --bits tier):\n"
+        "  --spawn                fork S shard + W worker processes over\n"
+        "                         loopback TCP instead of threads\n"
+        "  --listen HOST:PORT     run ONE shard process (port 0 = pick a\n"
+        "                         free port, printed at startup)\n"
+        "  --shard-index S        which shard --listen serves (default 0)\n"
+        "  --connect A1,A2,...    run ONE worker process against the\n"
+        "                         listed shard addresses (in shard order)\n"
+        "  --worker-index W       which worker --connect runs (default 0)\n"
+        "  --control A1,A2,...    snapshot + evaluate + stats, then shut\n"
+        "                         the listed shards down\n"
+        "\n"
+        "fault injection (the transport's FaultModel; multi-process modes\n"
+        "apply it sender-side at workers and control):\n"
         "  --drop P               message drop probability (default 0)\n"
         "  --jitter-us N          max delivery jitter in us (default 0)\n"
         "  --reorder W            delivery reorder window (default 1 = FIFO)\n"
         "\n"
         "publish / save:\n"
         "  --publish-every N      registry checkpoint every N applied\n"
-        "                         worker rounds (0 = final only)\n"
+        "                         worker rounds (0 = final only; in-process\n"
+        "                         sweep only)\n"
         "  --precision P          registry precision Ms8 | Ms16 | Ms32f\n"
         "                         (default Ms32f)\n"
         "  --save PATH            write the last run's final model\n"
@@ -88,30 +124,49 @@ die(const std::string& message)
     std::exit(1);
 }
 
+enum class Mode { kSweep, kSpawn, kShard, kWorker, kControl };
+
 struct Options
 {
+    Mode mode = Mode::kSweep;
     std::size_t dim = 256;
     std::size_t examples = 4096;
     core::Loss loss = core::Loss::kLogistic;
     std::uint64_t seed = 0x5EED;
     ps::ClusterConfig cluster;
-    std::vector<int> bits = {32, 8, 1};
+    std::vector<ps::Codec> codecs;
     std::size_t publish_every = 0;
     std::string precision = "Ms32f";
     std::string save_path;
+    // Multi-process role parameters.
+    net::Address listen;
+    std::size_t shard_index = 0;
+    std::vector<net::Address> shard_addresses;
+    std::size_t worker_index = 0;
     tools::ObsCliOptions obs;
     bool csv = false;
 };
 
-std::vector<int>
-parse_bits_list(const std::string& text)
+std::vector<ps::Codec>
+parse_codec_list(const std::string& text)
 {
-    std::vector<int> out;
+    std::vector<ps::Codec> out;
+    std::istringstream in(text);
+    std::string tok;
+    while (std::getline(in, tok, ',')) out.push_back(ps::Codec::parse(tok));
+    if (out.empty()) die("empty --bits list");
+    return out;
+}
+
+std::vector<net::Address>
+parse_address_list(const std::string& text)
+{
+    std::vector<net::Address> out;
     std::istringstream in(text);
     std::string tok;
     while (std::getline(in, tok, ','))
-        out.push_back(static_cast<int>(std::strtol(tok.c_str(), nullptr, 10)));
-    if (out.empty()) die("empty --bits list");
+        out.push_back(net::parse_address(tok));
+    if (out.empty()) die("empty address list");
     return out;
 }
 
@@ -125,6 +180,8 @@ parse_args(int argc, char** argv)
     opt.cluster.rounds = 400;
     opt.cluster.batch = 16;
     opt.cluster.step_size = 0.25f;
+    opt.codecs = {ps::Codec::from_bits(32), ps::Codec::from_bits(8),
+                  ps::Codec::from_bits(1)};
     auto need = [&](int& i, const char* flag) -> const char* {
         if (i + 1 >= argc) die(std::string("missing value for ") + flag);
         return argv[++i];
@@ -152,7 +209,7 @@ parse_args(int argc, char** argv)
             opt.cluster.shards =
                 std::strtoull(need(i, "--shards"), nullptr, 10);
         } else if (a == "--bits") {
-            opt.bits = parse_bits_list(need(i, "--bits"));
+            opt.codecs = parse_codec_list(need(i, "--bits"));
         } else if (a == "--tau") {
             opt.cluster.tau = std::strtoull(need(i, "--tau"), nullptr, 10);
         } else if (a == "--rounds") {
@@ -173,6 +230,23 @@ parse_args(int argc, char** argv)
             else if (m == "avx2") opt.cluster.impl = simd::Impl::kAvx2;
             else if (m == "avx512") opt.cluster.impl = simd::Impl::kAvx512;
             else die("unknown impl: " + m);
+        } else if (a == "--spawn") {
+            opt.mode = Mode::kSpawn;
+        } else if (a == "--listen") {
+            opt.mode = Mode::kShard;
+            opt.listen = net::parse_address(need(i, "--listen"));
+        } else if (a == "--shard-index") {
+            opt.shard_index =
+                std::strtoull(need(i, "--shard-index"), nullptr, 10);
+        } else if (a == "--connect") {
+            opt.mode = Mode::kWorker;
+            opt.shard_addresses = parse_address_list(need(i, "--connect"));
+        } else if (a == "--worker-index") {
+            opt.worker_index =
+                std::strtoull(need(i, "--worker-index"), nullptr, 10);
+        } else if (a == "--control") {
+            opt.mode = Mode::kControl;
+            opt.shard_addresses = parse_address_list(need(i, "--control"));
         } else if (a == "--drop") {
             opt.cluster.faults.drop_prob =
                 std::strtod(need(i, "--drop"), nullptr);
@@ -198,7 +272,238 @@ parse_args(int argc, char** argv)
         }
     }
     if (opt.dim == 0 || opt.examples == 0) die("need --dense DIM EXAMPLES >= 1");
+    opt.cluster.codec = opt.codecs.front();
+    if (opt.mode == Mode::kShard && opt.shard_index >= opt.cluster.shards)
+        die("--shard-index out of range");
+    if (opt.mode == Mode::kWorker && opt.worker_index >= opt.cluster.workers)
+        die("--worker-index out of range");
+    if ((opt.mode == Mode::kWorker || opt.mode == Mode::kControl) &&
+        opt.shard_addresses.size() != opt.cluster.shards)
+        die("address list must name every shard (--shards of them)");
     return opt;
+}
+
+void
+print_cluster_banner(const Options& opt, const dataset::DenseProblem& problem,
+                     const char* fabric)
+{
+    std::printf("problem: dense logistic, dim %zu, %zu examples\n",
+                problem.dim, problem.examples);
+    std::printf("cluster: %zu workers x %zu shards over %s, tau %zu, "
+                "%zu rounds x batch %zu, step %.3g%s\n",
+                opt.cluster.workers, opt.cluster.shards, fabric,
+                opt.cluster.tau, opt.cluster.rounds, opt.cluster.batch,
+                static_cast<double>(opt.cluster.step_size),
+                opt.cluster.error_feedback ? "" : ", no error feedback");
+    if (opt.cluster.faults.any())
+        std::printf("faults: drop %.3g, jitter %zu us, reorder %zu\n",
+                    opt.cluster.faults.drop_prob,
+                    opt.cluster.faults.jitter_us,
+                    opt.cluster.faults.reorder_window);
+}
+
+void
+add_sweep_row(TablePrinter& table, const ps::ClusterResult& r)
+{
+    const auto& m = r.metrics;
+    std::uint64_t duplicates = 0;
+    for (const auto& s : m.shards) duplicates += s.duplicates;
+    table.add_row(
+        {r.comm, format_num(r.final_loss, 4), format_num(r.accuracy, 4),
+         format_num(r.bytes_per_round, 4), std::to_string(m.total_pushes()),
+         std::to_string(m.total_gated()), std::to_string(duplicates),
+         std::to_string(m.max_staleness()), std::to_string(m.rpc_retries),
+         std::to_string(m.messages_dropped), format_num(r.wall_seconds, 3),
+         format_num(m.gnps(), 3),
+         std::to_string(r.published_versions.empty()
+                            ? 0
+                            : r.published_versions.back())});
+}
+
+/// The default mode: sweep the codec tiers in-process (--spawn: as
+/// forked processes over loopback TCP).
+int
+run_sweep(const Options& opt, const dataset::DenseProblem& problem)
+{
+    const serve::Precision precision = serve::parse_precision(opt.precision);
+    const bool spawn = opt.mode == Mode::kSpawn;
+    print_cluster_banner(opt, problem,
+                         spawn ? "loopback TCP (forked processes)"
+                               : "in-process transport");
+
+    TablePrinter table(
+        spawn ? std::string("parameter-server training (multi-process)")
+              : "parameter-server training (publishes " +
+                    to_string(precision) + ")",
+        {"comm", "loss", "acc", "B/round", "pushes", "gated", "dup",
+         "stale", "retry", "drops", "wall s", "GNPS", "registry v"});
+
+    serve::ModelRegistry registry;
+    std::optional<ps::ClusterResult> last;
+
+    // Worker compute is float minibatch gradients (the quantization is
+    // on the wire, not in the arithmetic), so the roofline is the dense
+    // D32fM32f row at the worker count.
+    tools::ObsSession::Workload workload;
+    workload.signature = dmgc::Signature::dense_hogwild();
+    workload.threads = opt.cluster.workers;
+    workload.model_size = opt.dim;
+    workload.numbers_gauge = "ps.worker.numbers";
+    workload.seconds_gauge = "ps.worker.seconds";
+
+    // --spawn forks: every run must happen while this process is still
+    // single-threaded, so the full ObsSession (whose live tier spawns
+    // the sampler thread) waits until after the sweep. Enabling the
+    // tracer is thread-free, so traces still cover the runs; per-run
+    // metrics land in the global registry for the batch exports.
+    std::optional<tools::ObsSession> session;
+    if (!spawn)
+        session.emplace(opt.obs, workload);
+    else if (!opt.obs.trace_path.empty()) {
+        obs::Tracer::global().set_enabled(true);
+        std::fprintf(stderr,
+                     "note: --spawn traces cover only this (control) "
+                     "process; worker/shard spans die with their forks\n");
+    }
+
+    for (const ps::Codec& codec : opt.codecs) {
+        ps::ClusterConfig cfg = opt.cluster;
+        cfg.codec = codec;
+        cfg.publish_every = opt.publish_every;
+        cfg.publish_precision = precision;
+        ps::ClusterResult r =
+            spawn ? ps::train_cluster_multiprocess(problem, cfg)
+                  : ps::train_cluster(problem, cfg, &registry);
+        r.metrics.publish(obs::MetricsRegistry::global(),
+                          "ps." + r.comm + ".");
+        add_sweep_row(table, r);
+        last = std::move(r);
+    }
+
+    if (spawn) session.emplace(opt.obs, workload);
+
+    table.print(std::cout);
+    if (opt.csv) table.print_csv(std::cout);
+
+    if (last) {
+        if (!spawn)
+            std::printf("registry: version %llu published (%zu checkpoints "
+                        "over the last run)\n",
+                        static_cast<unsigned long long>(
+                            registry.current_version()),
+                        last->published_versions.size());
+        if (!opt.save_path.empty()) {
+            core::save_model_file(last->checkpoint, opt.save_path);
+            std::printf("saved %s (%s) to %s\n", last->comm.c_str(),
+                        last->checkpoint.signature.to_string().c_str(),
+                        opt.save_path.c_str());
+        }
+    }
+
+    session->finish();
+    return 0;
+}
+
+/// --listen: serve one shard until a control client shuts it down.
+int
+run_shard(const Options& opt, const dataset::DenseProblem& problem)
+{
+    // Bind here (not inside run_shard_node) so the actual port is
+    // printed before serving — scripts block on this line.
+    std::string error;
+    std::uint16_t port = opt.listen.port;
+    net::Fd listener =
+        net::listen_tcp(opt.listen.host, port, 64, &port, &error);
+    if (!listener.valid()) die("bind " + opt.listen.to_string() + ": " + error);
+    std::printf("shard %zu listening on %s:%u (%s)\n", opt.shard_index,
+                opt.listen.host.c_str(), port,
+                opt.cluster.codec.name().c_str());
+    std::fflush(stdout);
+
+    tools::ObsSession::Workload workload;
+    workload.signature = dmgc::Signature::dense_hogwild();
+    workload.threads = opt.cluster.workers;
+    workload.model_size = opt.dim;
+    tools::ObsSession session(opt.obs, workload);
+
+    ps::ShardNodeOptions node;
+    node.index = opt.shard_index;
+    node.adopt_listen_fd = listener.release();
+    const ps::ShardMetrics m =
+        ps::run_shard_node(opt.cluster, problem.dim, node);
+    std::printf("shard %zu done: %llu pushes (%llu dup, %llu gated), "
+                "%llu pulls, %llu push B, %llu pull B, max stale %zu\n",
+                opt.shard_index,
+                static_cast<unsigned long long>(m.pushes),
+                static_cast<unsigned long long>(m.duplicates),
+                static_cast<unsigned long long>(m.gated),
+                static_cast<unsigned long long>(m.pulls),
+                static_cast<unsigned long long>(m.push_bytes),
+                static_cast<unsigned long long>(m.pull_bytes),
+                m.max_staleness());
+    session.finish();
+    return 0;
+}
+
+/// --connect: run one worker's rounds against remote shards.
+int
+run_worker(const Options& opt, const dataset::DenseProblem& problem)
+{
+    std::printf("worker %zu connecting to %zu shards (%s)\n",
+                opt.worker_index, opt.shard_addresses.size(),
+                opt.cluster.codec.name().c_str());
+    std::fflush(stdout);
+    const ps::WorkerStats stats = ps::run_worker_node(
+        opt.cluster, problem, opt.worker_index, opt.shard_addresses);
+    std::printf("worker %zu done: %llu rounds in %.3fs, %llu retries, "
+                "%llu encoded B\n",
+                opt.worker_index,
+                static_cast<unsigned long long>(stats.rounds), stats.seconds,
+                static_cast<unsigned long long>(stats.retries),
+                static_cast<unsigned long long>(stats.encoded_bytes));
+    return 0;
+}
+
+/// --control: snapshot + evaluate the remote model, print shard stats,
+/// shut the cluster down.
+int
+run_control(const Options& opt, const dataset::DenseProblem& problem)
+{
+    ps::ControlClient control(opt.cluster, opt.shard_addresses);
+    const std::vector<float> model = control.snapshot(problem.dim);
+    double loss = 0.0, accuracy = 0.0;
+    ps::evaluate_model(problem, opt.loss, model, &loss, &accuracy);
+    std::printf("control: final_loss %.6f accuracy %.6f\n", loss, accuracy);
+
+    const std::vector<ps::ShardMetrics> shards = control.stats();
+    TablePrinter table("remote shard stats",
+                       {"shard", "pushes", "dup", "gated", "pulls",
+                        "push B", "pull B", "stale"});
+    for (std::size_t s = 0; s < shards.size(); ++s) {
+        const auto& m = shards[s];
+        table.add_row({std::to_string(s), std::to_string(m.pushes),
+                       std::to_string(m.duplicates), std::to_string(m.gated),
+                       std::to_string(m.pulls), std::to_string(m.push_bytes),
+                       std::to_string(m.pull_bytes),
+                       std::to_string(m.max_staleness())});
+    }
+    table.print(std::cout);
+    if (opt.csv) table.print_csv(std::cout);
+
+    if (!opt.save_path.empty()) {
+        const core::SavedModel saved =
+            ps::make_cluster_checkpoint(opt.cluster, model);
+        core::save_model_file(saved, opt.save_path);
+        std::printf("saved %s (%s) to %s\n", opt.cluster.codec.name().c_str(),
+                    saved.signature.to_string().c_str(),
+                    opt.save_path.c_str());
+    }
+
+    control.shutdown();
+    std::printf("control: %zu shards shut down (%llu rpc retries)\n",
+                shards.size(),
+                static_cast<unsigned long long>(control.retries()));
+    return 0;
 }
 
 } // namespace
@@ -208,91 +513,15 @@ main(int argc, char** argv)
 {
     try {
         const Options opt = parse_args(argc, argv);
-        const serve::Precision precision =
-            serve::parse_precision(opt.precision);
         const auto problem =
             dataset::generate_logistic_dense(opt.dim, opt.examples, opt.seed);
-
-        std::printf("problem: dense logistic, dim %zu, %zu examples\n",
-                    problem.dim, problem.examples);
-        std::printf("cluster: %zu workers x %zu shards, tau %zu, "
-                    "%zu rounds x batch %zu, step %.3g%s\n",
-                    opt.cluster.workers, opt.cluster.shards, opt.cluster.tau,
-                    opt.cluster.rounds, opt.cluster.batch,
-                    static_cast<double>(opt.cluster.step_size),
-                    opt.cluster.error_feedback ? "" : ", no error feedback");
-        if (opt.cluster.faults.any())
-            std::printf("faults: drop %.3g, jitter %zu us, reorder %zu\n",
-                        opt.cluster.faults.drop_prob,
-                        opt.cluster.faults.jitter_us,
-                        opt.cluster.faults.reorder_window);
-
-        TablePrinter table(
-            "parameter-server training (publishes " +
-                to_string(precision) + ")",
-            {"comm", "loss", "acc", "B/round", "pushes", "gated", "dup",
-             "stale", "retry", "drops", "wall s", "GNPS", "registry v"});
-
-        // Worker compute is float minibatch gradients (the quantization
-        // is on the wire, not in the arithmetic), so the roofline is the
-        // dense D32fM32f row at the worker count.
-        tools::ObsSession::Workload workload;
-        workload.signature = dmgc::Signature::dense_hogwild();
-        workload.threads = opt.cluster.workers;
-        workload.model_size = opt.dim;
-        workload.numbers_gauge = "ps.worker.numbers";
-        workload.seconds_gauge = "ps.worker.seconds";
-        tools::ObsSession session(opt.obs, workload);
-
-        serve::ModelRegistry registry;
-        std::optional<ps::ClusterResult> last;
-        for (const int bits : opt.bits) {
-            ps::ClusterConfig cfg = opt.cluster;
-            cfg.comm_bits = bits;
-            cfg.publish_every = opt.publish_every;
-            cfg.publish_precision = precision;
-            const auto r = ps::train_cluster(problem, cfg, &registry);
-            const auto& m = r.metrics;
-            m.publish(obs::MetricsRegistry::global(),
-                      "ps." + r.comm + ".");
-            table.add_row(
-                {r.comm, format_num(r.final_loss, 4),
-                 format_num(r.accuracy, 4),
-                 format_num(r.bytes_per_round, 4),
-                 std::to_string(m.total_pushes()),
-                 std::to_string(m.total_gated()),
-                 std::to_string([&] {
-                     std::uint64_t d = 0;
-                     for (const auto& s : m.shards) d += s.duplicates;
-                     return d;
-                 }()),
-                 std::to_string(m.max_staleness()),
-                 std::to_string(m.rpc_retries),
-                 std::to_string(m.messages_dropped),
-                 format_num(r.wall_seconds, 3), format_num(m.gnps(), 3),
-                 std::to_string(r.published_versions.empty()
-                                    ? 0
-                                    : r.published_versions.back())});
-            last = std::move(r);
+        switch (opt.mode) {
+        case Mode::kSweep:
+        case Mode::kSpawn: return run_sweep(opt, problem);
+        case Mode::kShard: return run_shard(opt, problem);
+        case Mode::kWorker: return run_worker(opt, problem);
+        case Mode::kControl: return run_control(opt, problem);
         }
-        table.print(std::cout);
-        if (opt.csv) table.print_csv(std::cout);
-
-        if (last) {
-            std::printf("registry: version %llu published (%zu checkpoints "
-                        "over the last run)\n",
-                        static_cast<unsigned long long>(
-                            registry.current_version()),
-                        last->published_versions.size());
-            if (!opt.save_path.empty()) {
-                core::save_model_file(last->checkpoint, opt.save_path);
-                std::printf("saved %s (%s) to %s\n", last->comm.c_str(),
-                            last->checkpoint.signature.to_string().c_str(),
-                            opt.save_path.c_str());
-            }
-        }
-
-        session.finish();
     } catch (const std::exception& e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;

@@ -6,13 +6,14 @@
 #      (tools/lint_quantizers.sh);
 #   1. build the whole tree under ASan+UBSan and run the full gtest suite
 #      (including test_lowp's cross-layer bit-identity goldens);
-#   2. build under TSan and run test_serve + test_ps + test_obs +
-#      test_live, which exercise the registry hot-swap, the request
-#      queue, the serving worker loop, the parameter-server
-#      shards/transport/cluster, the observability counters/trace
-#      rings, and the live tier (sampler thread, HTTP scrapes, and the
-#      conformance/perf listeners racing hot-path writers) — the races
-#      these subsystems could plausibly have.
+#   2. build under TSan and run test_serve + test_ps + test_net +
+#      test_obs + test_live, which exercise the registry hot-swap, the
+#      request queue, the serving worker loop, the parameter-server
+#      shards/transport/cluster, the socket fabric (accept/reader
+#      threads, frame I/O, loopback clusters), the observability
+#      counters/trace rings, and the live tier (sampler thread, HTTP
+#      scrapes, and the conformance/perf listeners racing hot-path
+#      writers) — the races these subsystems could plausibly have.
 #
 # Usage: tools/check.sh [-j N]
 set -euo pipefail
@@ -34,9 +35,9 @@ cmake --preset asan
 cmake --build --preset asan -j "$jobs"
 ctest --preset asan
 
-echo "== TSan: serving + parameter-server + obs concurrency suites =="
+echo "== TSan: serving + parameter-server + net + obs concurrency suites =="
 cmake --preset tsan
-cmake --build --preset tsan -j "$jobs" --target test_serve test_ps test_obs test_live
-ctest --preset tsan -R '^(Serve|Serving|ModelRegistry|InferenceEngine|RequestQueue|Server|Ps|Obs)'
+cmake --build --preset tsan -j "$jobs" --target test_serve test_ps test_net test_obs test_live
+ctest --preset tsan -R '^(Serve|Serving|ModelRegistry|InferenceEngine|RequestQueue|Server|Ps|Net|Obs)'
 
 echo "check.sh: all gates passed"
