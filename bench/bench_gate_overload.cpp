@@ -1,0 +1,406 @@
+/**
+ * @file
+ * Overload behavior of the serving front door — the graceful-degradation
+ * curve the gate exists to produce.
+ *
+ * An in-process GateServer (one scoring worker, real loopback TCP)
+ * serves a synthetic Ms8 model. The setup is deliberately
+ * scoring-bound: q8 feature payloads (a memcpy for the event loop to
+ * parse) against a large model on the scalar reference kernel, so the
+ * single worker — not ingress parsing, not the senders — is the
+ * bottleneck and the lanes actually fill. Requests carry per-lane
+ * deadlines (SLOs), which is what keeps the strictly-deprioritized
+ * batch lane's admitted latency bounded under overload: work that
+ * cannot meet its deadline is refused or dropped explicitly rather
+ * than served arbitrarily late.
+ *
+ * The bench first probes the saturation throughput with a pipelined
+ * closed-loop client, then offers open-loop Poisson load at
+ * 0.5x / 1x / 2x that rate on both priority lanes and reports, per
+ * step: delivered throughput, shed rate, and per-lane admitted-request
+ * latency percentiles.
+ *
+ * Expected shape — the difference between a front door and a queue:
+ *  - below saturation: shed ~ 0, latency flat;
+ *  - past saturation: throughput PLATEAUS at capacity, the excess is
+ *    shed explicitly (shed-rate accounts for the overhang), and the p99
+ *    of ADMITTED requests stays bounded (within ~5x of the
+ *    at-saturation p99, or within the lane's own deadline budget)
+ *    instead of growing with the offered load — unbounded queueing
+ *    would push it toward the step duration.
+ *
+ * Two latency views are reported. The client-observed open-loop
+ * latency (request generation to response) includes time the request
+ * spends under TCP backpressure UPSTREAM of the gate — on a machine
+ * small enough that ingress itself saturates, that component grows
+ * without bound and is the sender's signal to back off, not the
+ * gate's failure. The acceptance verdict therefore reads the gate's
+ * own per-lane `gate.latency_seconds` histograms (arrival ->
+ * response), which is the latency the admission controller and
+ * dequeue deadline drop actually control.
+ *
+ * Emits a `-- json --` line with the full curve plus the acceptance
+ * verdict, for CI and plotting.
+ */
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <random>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/model_io.h"
+#include "dmgc/perf_model.h"
+#include "gate/gate.h"
+#include "obs/prom.h"
+
+namespace {
+
+using namespace buckwild;
+
+constexpr std::size_t kDim = 16384;
+// Two sender connections: enough for an open-loop Poisson stream, few
+// enough that client threads don't crowd out the server when the whole
+// bench shares a small CPU budget (CI runners are often 1-2 cores).
+constexpr std::size_t kSenders = 2;
+constexpr double kStepSeconds = 2.0;
+// Per-lane SLOs. The batch deadline is the bound on how stale a batch
+// answer may be; under strict priority it is the ONLY thing standing
+// between the batch lane and an arbitrarily long starvation tail.
+constexpr std::uint32_t kInteractiveDeadlineUs = 25'000;
+constexpr std::uint32_t kBatchDeadlineUs = 100'000;
+
+std::uint64_t
+now_ns()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+/// Outcome counts plus OK latencies for one offered-load step.
+struct Tally
+{
+    std::uint64_t sent = 0;
+    std::uint64_t ok[gate::kLanes] = {0, 0};
+    std::uint64_t shed = 0;
+    std::vector<double> latency_us[gate::kLanes];
+};
+
+double
+percentile_us(std::vector<double>& xs, double p)
+{
+    if (xs.empty()) return 0.0;
+    const auto k = static_cast<std::size_t>(
+        p / 100.0 * static_cast<double>(xs.size() - 1) + 0.5);
+    std::nth_element(xs.begin(), xs.begin() + static_cast<long>(k),
+                     xs.end());
+    return xs[k];
+}
+
+std::vector<float>
+random_features(std::mt19937_64& rng)
+{
+    std::uniform_real_distribution<float> feature(-1.0f, 1.0f);
+    std::vector<float> x(kDim);
+    for (float& v : x) v = feature(rng);
+    return x;
+}
+
+/// Max sustained closed-loop throughput: one connection, `window`
+/// requests kept in flight, count completions over `seconds`.
+double
+probe_saturation(const net::Address& address, double seconds)
+{
+    gate::GateClient client(address);
+    if (!client.connected()) return 0.0;
+    std::atomic<std::uint64_t> completed{0};
+    std::atomic<std::int64_t> outstanding{0};
+    client.set_handler([&](const gate::ScoreResponse&) {
+        completed.fetch_add(1, std::memory_order_relaxed);
+        outstanding.fetch_sub(1, std::memory_order_relaxed);
+    });
+    std::mt19937_64 rng(7);
+    const std::vector<float> features = random_features(rng);
+    gate::ScoreRequest request;
+    request.model = "bench";
+    request.tenant = "probe";
+    request.encoding = gate::FeatureEncoding::kDenseQ8;
+    request.scale =
+        gate::quantize_features_q8(features.data(), kDim, request.q8);
+    constexpr std::int64_t kWindow = 64;
+    const auto stop = std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(seconds));
+    Stopwatch wall;
+    std::uint64_t id = 2;
+    while (std::chrono::steady_clock::now() < stop) {
+        if (outstanding.load(std::memory_order_relaxed) >= kWindow) {
+            std::this_thread::yield();
+            continue;
+        }
+        request.request_id = id += 2;
+        outstanding.fetch_add(1, std::memory_order_relaxed);
+        if (!client.send(request)) break;
+    }
+    const double elapsed = wall.seconds();
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    client.close();
+    return static_cast<double>(
+               completed.load(std::memory_order_relaxed)) /
+        elapsed;
+}
+
+/// One open-loop Poisson step at `offered_qps`, half the traffic on
+/// each lane (the tools/buckwild_gate machinery, compacted).
+Tally
+run_step(const net::Address& address, double offered_qps)
+{
+    std::vector<std::unique_ptr<gate::GateClient>> clients;
+    std::vector<Tally> tallies(kSenders);
+    std::vector<std::mutex> mutexes(kSenders);
+    for (std::size_t c = 0; c < kSenders; ++c) {
+        auto client = std::make_unique<gate::GateClient>(address);
+        if (!client->connected()) return {};
+        Tally* tally = &tallies[c];
+        std::mutex* mutex = &mutexes[c];
+        client->set_handler(
+            [tally, mutex](const gate::ScoreResponse& response) {
+                const auto lane = static_cast<std::size_t>(
+                    response.request_id & 1u);
+                const double latency_us =
+                    static_cast<double>(
+                        now_ns() - (response.request_id & ~1ull)) *
+                    1e-3;
+                std::lock_guard<std::mutex> lock(*mutex);
+                if (response.status == gate::Status::kOk) {
+                    tally->ok[lane] += 1;
+                    tally->latency_us[lane].push_back(latency_us);
+                } else {
+                    tally->shed += 1;
+                }
+            });
+        clients.push_back(std::move(client));
+    }
+    std::vector<std::thread> senders;
+    for (std::size_t c = 0; c < kSenders; ++c) {
+        senders.emplace_back([&, c] {
+            std::mt19937_64 rng(101 + c);
+            std::exponential_distribution<double> gap(
+                offered_qps / static_cast<double>(kSenders));
+            const std::vector<float> features = random_features(rng);
+            gate::ScoreRequest request;
+            request.model = "bench";
+            request.tenant = "t" + std::to_string(c);
+            request.encoding = gate::FeatureEncoding::kDenseQ8;
+            request.scale = gate::quantize_features_q8(
+                features.data(), kDim, request.q8);
+            const auto start = std::chrono::steady_clock::now();
+            const auto stop = start +
+                std::chrono::duration_cast<
+                    std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double>(kStepSeconds));
+            auto next = start;
+            std::uint64_t sent = 0;
+            std::size_t sequence = 0;
+            while (true) {
+                next += std::chrono::duration_cast<
+                    std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double>(gap(rng)));
+                if (next >= stop) break;
+                std::this_thread::sleep_until(next);
+                const bool batch = (sequence++ & 1u) != 0;
+                request.lane = batch ? gate::Lane::kBatch
+                                     : gate::Lane::kInteractive;
+                request.deadline_us =
+                    batch ? kBatchDeadlineUs : kInteractiveDeadlineUs;
+                request.request_id = (now_ns() & ~1ull) |
+                    static_cast<std::uint64_t>(request.lane);
+                if (!clients[c]->send(request)) break;
+                ++sent;
+            }
+            std::lock_guard<std::mutex> lock(mutexes[c]);
+            tallies[c].sent += sent;
+        });
+    }
+    for (auto& sender : senders) sender.join();
+    std::this_thread::sleep_for(std::chrono::milliseconds(500));
+    for (auto& client : clients) client->close();
+    Tally total;
+    for (std::size_t c = 0; c < kSenders; ++c) {
+        std::lock_guard<std::mutex> lock(mutexes[c]);
+        total.sent += tallies[c].sent;
+        total.shed += tallies[c].shed;
+        for (std::size_t l = 0; l < gate::kLanes; ++l) {
+            total.ok[l] += tallies[c].ok[l];
+            total.latency_us[l].insert(total.latency_us[l].end(),
+                                       tallies[c].latency_us[l].begin(),
+                                       tallies[c].latency_us[l].end());
+        }
+    }
+    return total;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner(
+        "gate overload — graceful degradation at the front door",
+        "throughput plateaus at saturation; excess load is shed "
+        "explicitly; the gate-side admitted p99 stays bounded on both "
+        "lanes (within ~5x of the at-saturation p99 or the lane's "
+        "deadline budget)");
+
+    // A synthetic Ms8 model behind a real loopback gate.
+    std::mt19937_64 rng(42);
+    core::SavedModel saved;
+    saved.signature = dmgc::Signature::dense_fixed(8, 8);
+    saved.loss = core::Loss::kLogistic;
+    saved.weights = random_features(rng);
+
+    gate::ModelRouter router;
+    router.publish("bench", saved, serve::Precision::kInt8);
+    gate::GateConfig cfg;
+    cfg.workers = 1; // capacity low and known: one scoring thread
+    // The scalar reference kernel pins the bottleneck to scoring: the
+    // event loop parses a q8 payload with a memcpy, so its capacity to
+    // refuse stays far above the worker's capacity to score.
+    cfg.impl = simd::Impl::kReference;
+    cfg.interactive_capacity = 128;
+    cfg.batch_capacity = 128;
+    const dmgc::PerfModel perf = dmgc::PerfModel::paper_model();
+    obs::MetricsRegistry registry;
+    cfg.metrics_registry = &registry;
+    gate::GateServer server(router, perf, cfg);
+    const net::Address address{"127.0.0.1", server.port()};
+    // The gate's own admitted-latency view (arrival -> response), per
+    // lane; reset between steps so each percentile is per-step.
+    obs::Histo* gate_latency[gate::kLanes];
+    for (std::size_t lane = 0; lane < gate::kLanes; ++lane)
+        gate_latency[lane] = &registry.histogram(obs::labeled(
+            "gate.latency_seconds",
+            {{"lane", to_string(static_cast<gate::Lane>(lane))}}));
+
+    const double saturation = probe_saturation(address, 1.5);
+    std::printf("dim %zu, Ms8 reference kernel, q8 wire, 1 worker: "
+                "closed-loop saturation %.0f req/s\n",
+                kDim, saturation);
+    if (saturation <= 0.0) {
+        std::printf("probe failed; aborting\n");
+        return 1;
+    }
+
+    TablePrinter table(
+        "open-loop overload sweep (offered vs delivered)",
+        {"offered/sat", "offered qps", "sent", "ok", "shed", "shed %",
+         "int p99 us", "bat p99 us", "gate int p99", "gate bat p99"});
+    const double multipliers[] = {0.5, 1.0, 2.0};
+    double p99_at_sat = 0.0;
+    double p99_overload = 0.0;
+    double gate_p99_overload[gate::kLanes] = {0.0, 0.0};
+    double client_p99_overload = 0.0;
+    double overload_shed_rate = 0.0;
+    double overload_sent = 0.0;
+    double overload_ok = 0.0;
+    std::ostringstream json;
+    json << "{\"dim\":" << kDim << ",\"saturation_qps\":" << saturation
+         << ",\"deadline_interactive_us\":" << kInteractiveDeadlineUs
+         << ",\"deadline_batch_us\":" << kBatchDeadlineUs << ",\"steps\":[";
+    for (std::size_t s = 0; s < 3; ++s) {
+        const double offered = multipliers[s] * saturation;
+        for (auto* histo : gate_latency) histo->reset();
+        Tally tally = run_step(address, offered);
+        const double ok_total =
+            static_cast<double>(tally.ok[0] + tally.ok[1]);
+        const double shed_rate = tally.sent > 0
+            ? static_cast<double>(tally.shed) /
+                static_cast<double>(tally.sent)
+            : 0.0;
+        const double int_p99 = percentile_us(tally.latency_us[0], 99.0);
+        const double bat_p99 = percentile_us(tally.latency_us[1], 99.0);
+        double gate_p99[gate::kLanes];
+        for (std::size_t l = 0; l < gate::kLanes; ++l)
+            gate_p99[l] = gate_latency[l]->percentile(99.0) * 1e6;
+        // The gate-side admitted p99 across both lanes is the
+        // degradation gauge; take the worse lane so neither can hide
+        // behind the other.
+        const double worst_p99 = std::max(gate_p99[0], gate_p99[1]);
+        if (multipliers[s] == 1.0) p99_at_sat = worst_p99;
+        if (multipliers[s] == 2.0) {
+            p99_overload = worst_p99;
+            for (std::size_t l = 0; l < gate::kLanes; ++l)
+                gate_p99_overload[l] = gate_p99[l];
+            client_p99_overload = std::max(int_p99, bat_p99);
+            overload_shed_rate = shed_rate;
+            overload_sent = static_cast<double>(tally.sent);
+            overload_ok = ok_total;
+        }
+        table.add_row(
+            {format_num(multipliers[s], 2), format_num(offered, 5),
+             std::to_string(tally.sent),
+             std::to_string(tally.ok[0] + tally.ok[1]),
+             std::to_string(tally.shed),
+             format_num(shed_rate * 100.0, 3), format_num(int_p99, 4),
+             format_num(bat_p99, 4), format_num(gate_p99[0], 4),
+             format_num(gate_p99[1], 4)});
+        if (s > 0) json << ",";
+        json << "{\"multiplier\":" << multipliers[s]
+             << ",\"offered_qps\":" << offered
+             << ",\"sent\":" << tally.sent
+             << ",\"ok_interactive\":" << tally.ok[0]
+             << ",\"ok_batch\":" << tally.ok[1]
+             << ",\"shed\":" << tally.shed
+             << ",\"shed_rate\":" << shed_rate
+             << ",\"p99_interactive_us\":" << int_p99
+             << ",\"p99_batch_us\":" << bat_p99
+             << ",\"gate_p99_interactive_us\":" << gate_p99[0]
+             << ",\"gate_p99_batch_us\":" << gate_p99[1] << "}";
+    }
+    bench::emit(table);
+    server.stop();
+
+    // Acceptance: past saturation the gate sheds the overhang and the
+    // admitted (gate-side) p99 stays bounded on BOTH lanes — within 5x
+    // of the at-saturation p99, or within the lane's own deadline
+    // budget (x1.5 for service + scheduling slack), whichever is
+    // looser. The deadline fallback is the absolute SLO the dequeue
+    // drop enforces; it keeps the verdict meaningful when at-saturation
+    // queues are still short and 5x of a tiny baseline would be
+    // stricter than the contract the gate actually makes.
+    const double deadline_us[gate::kLanes] = {
+        static_cast<double>(kInteractiveDeadlineUs),
+        static_cast<double>(kBatchDeadlineUs)};
+    bool p99_bounded = p99_at_sat > 0.0;
+    for (std::size_t l = 0; l < gate::kLanes; ++l)
+        p99_bounded = p99_bounded &&
+            gate_p99_overload[l] <=
+                std::max(5.0 * p99_at_sat, 1.5 * deadline_us[l]);
+    // Delivered + shed must account for what was sent (nothing silently
+    // queued forever); allow 5% for grace-window stragglers.
+    const bool accounted = overload_sent > 0.0 &&
+        (overload_ok + overload_shed_rate * overload_sent) >=
+            0.95 * overload_sent;
+    const bool shed_nonzero = overload_shed_rate > 0.0;
+    std::printf("-> at 2x: shed rate %.1f%%, gate p99 %.0fus vs %.0fus "
+                "at saturation, client open-loop p99 %.0fus (%s, %s)\n",
+                overload_shed_rate * 100.0, p99_overload, p99_at_sat,
+                client_p99_overload,
+                p99_bounded ? "bounded" : "UNBOUNDED",
+                shed_nonzero ? "shedding" : "NOT shedding");
+    json << "],\"p99_at_saturation_us\":" << p99_at_sat
+         << ",\"p99_at_2x_us\":" << p99_overload
+         << ",\"client_p99_at_2x_us\":" << client_p99_overload
+         << ",\"overload_shed_rate\":" << overload_shed_rate
+         << ",\"p99_bounded_5x\":" << (p99_bounded ? "true" : "false")
+         << ",\"accounted\":" << (accounted ? "true" : "false")
+         << ",\"graceful\":"
+         << (p99_bounded && shed_nonzero ? "true" : "false") << "}";
+    std::printf("-- json --\n%s\n", json.str().c_str());
+    return 0;
+}

@@ -29,7 +29,8 @@ set(BUCKWILD_BENCHES
   bench_ext_async_staleness
   bench_serve_throughput
   bench_cluster_scaling
-  bench_lowp_round)
+  bench_lowp_round
+  bench_gate_overload)
 
 foreach(name IN LISTS BUCKWILD_BENCHES)
   add_executable(${name} bench/${name}.cpp)

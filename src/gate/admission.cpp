@@ -1,0 +1,147 @@
+#include "gate/admission.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace buckwild::gate {
+
+// ---------------------------------------------------------------------
+// TokenBucket
+// ---------------------------------------------------------------------
+
+TokenBucket::TokenBucket(double rate_per_s, double burst)
+    : rate_(rate_per_s), burst_(burst), tokens_(burst),
+      last_s_(-std::numeric_limits<double>::infinity())
+{
+}
+
+void
+TokenBucket::refill(double now_s) const
+{
+    if (now_s > last_s_ &&
+        last_s_ != -std::numeric_limits<double>::infinity())
+        tokens_ = std::min(burst_, tokens_ + (now_s - last_s_) * rate_);
+    // A backwards clock only skips refill; tokens never drain on it.
+    if (now_s > last_s_) last_s_ = now_s;
+}
+
+bool
+TokenBucket::try_take(double now_s, double cost)
+{
+    if (rate_ <= 0.0) return true; // unlimited
+    refill(now_s);
+    if (tokens_ < cost) return false;
+    tokens_ -= cost;
+    return true;
+}
+
+double
+TokenBucket::available(double now_s) const
+{
+    if (rate_ <= 0.0) return std::numeric_limits<double>::infinity();
+    refill(now_s);
+    return tokens_;
+}
+
+// ---------------------------------------------------------------------
+// CostModel
+// ---------------------------------------------------------------------
+
+CostModel::CostModel(double initial_seconds_per_number)
+    : seconds_per_number_(initial_seconds_per_number > 0.0
+                              ? initial_seconds_per_number
+                              : 1e-9)
+{
+}
+
+double
+CostModel::seed_seconds_per_number(const dmgc::PerfModel& perf,
+                                   const dmgc::Signature& sig,
+                                   std::size_t threads, std::size_t dim,
+                                   double fallback_gnps)
+{
+    double gnps = fallback_gnps;
+    if (perf.is_calibrated(sig))
+        gnps = perf.predict_gnps(sig, threads, dim == 0 ? 1 : dim);
+    if (gnps <= 0.0) gnps = 1.0;
+    return 1.0 / (gnps * 1e9);
+}
+
+void
+CostModel::observe(double busy_seconds, double numbers)
+{
+    if (numbers <= 0.0 || busy_seconds <= 0.0) return;
+    const double sample = busy_seconds / numbers;
+    double current = seconds_per_number_.load(std::memory_order_relaxed);
+    double next;
+    do {
+        next = current + (sample - current) / 8.0; // EWMA, alpha = 1/8
+    } while (!seconds_per_number_.compare_exchange_weak(
+        current, next, std::memory_order_relaxed));
+}
+
+double
+CostModel::seconds_per_number() const
+{
+    return seconds_per_number_.load(std::memory_order_relaxed);
+}
+
+double
+CostModel::estimate_seconds(double numbers) const
+{
+    return numbers * seconds_per_number();
+}
+
+// ---------------------------------------------------------------------
+// AdmissionController
+// ---------------------------------------------------------------------
+
+AdmissionController::AdmissionController(AdmissionConfig config)
+    : config_(std::move(config))
+{
+}
+
+Decision
+AdmissionController::admit(const ScoreRequest& request,
+                           double backlog_seconds, double service_seconds,
+                           double now_s)
+{
+    // Rate limit first: the cheapest check, and the one that must fire
+    // even for requests that would otherwise be feasible (fairness is
+    // not a function of load).
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = buckets_.find(request.tenant);
+        if (it == buckets_.end()) {
+            double rate = config_.tenant_rate;
+            double burst = config_.tenant_burst;
+            if (auto ov = config_.overrides.find(request.tenant);
+                ov != config_.overrides.end()) {
+                rate = ov->second.first;
+                burst = ov->second.second;
+            }
+            it = buckets_
+                     .emplace(request.tenant, TokenBucket(rate, burst))
+                     .first;
+        }
+        if (!it->second.try_take(now_s))
+            return {Status::kResourceExhausted, "rate_limit"};
+    }
+    // Deadline feasibility: refuse now what would finish late anyway.
+    if (request.deadline_us > 0) {
+        const double budget =
+            static_cast<double>(request.deadline_us) * 1e-6;
+        if (backlog_seconds + service_seconds > budget)
+            return {Status::kDeadlineExceeded, "infeasible_deadline"};
+    }
+    return {Status::kOk, ""};
+}
+
+std::size_t
+AdmissionController::tenant_count() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return buckets_.size();
+}
+
+} // namespace buckwild::gate

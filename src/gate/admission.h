@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Admission control — the policy layer between ingress and the scoring
+ * engine.
+ *
+ * Under overload the cheapest place to do work is *before* the queue:
+ * refusing a request costs one small response frame, while queueing it
+ * costs memory, scheduling, and — once the backlog exceeds the deadline
+ * — the full service time of a result nobody will use. The controller
+ * therefore sheds in order of increasing cost-to-refuse:
+ *
+ *   1. per-tenant token bucket — a misbehaving tenant is clipped before
+ *      it can starve the others (kResourceExhausted);
+ *   2. cost-aware deadline check — estimated queue wait plus service
+ *      time, from the DMGC roofline seed refined by observation, is
+ *      compared against the request's remaining budget; a request that
+ *      cannot finish in time is refused NOW rather than scored late
+ *      (kDeadlineExceeded);
+ *   3. bounded lane push (scheduler.h) — the backstop when estimates
+ *      lie (kResourceExhausted).
+ *
+ * Every decision point takes an explicit `now_s` clock so tests drive
+ * time deterministically.
+ */
+#ifndef BUCKWILD_GATE_ADMISSION_H
+#define BUCKWILD_GATE_ADMISSION_H
+
+#include <atomic>
+#include <cstddef>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "dmgc/perf_model.h"
+#include "gate/wire.h"
+
+namespace buckwild::gate {
+
+/**
+ * A token bucket: capacity `burst`, refilled at `rate` tokens/second.
+ * Starts full. Not internally synchronized — the AdmissionController
+ * serializes access per tenant.
+ */
+class TokenBucket
+{
+  public:
+    /// A non-positive rate means unlimited (every take succeeds).
+    TokenBucket(double rate_per_s, double burst);
+
+    /// Takes `cost` tokens at time `now_s`; false when short (no debt).
+    bool try_take(double now_s, double cost = 1.0);
+
+    /// Tokens available at `now_s` (refill applied, no take).
+    double available(double now_s) const;
+
+  private:
+    double rate_;
+    double burst_;
+    mutable double tokens_;
+    mutable double last_s_; ///< last refill time; -inf until first use
+
+    void refill(double now_s) const;
+};
+
+/**
+ * Service-time estimator: seconds per dataset number, seeded from the
+ * DMGC roofline model (§4) and refined online by an EWMA of observed
+ * (busy_seconds / numbers) from completed batches. The seed makes cost
+ * rejection sane from the first request; the EWMA makes it honest on
+ * hardware the roofline was never calibrated for.
+ */
+class CostModel
+{
+  public:
+    explicit CostModel(double initial_seconds_per_number);
+
+    /**
+     * Roofline seed: 1 / (predict_gnps(sig, threads, dim) * 1e9)
+     * seconds per number. Falls back to `fallback_gnps` when `sig` has
+     * no calibration row (predict_gnps would throw).
+     */
+    static double seed_seconds_per_number(const dmgc::PerfModel& perf,
+                                          const dmgc::Signature& sig,
+                                          std::size_t threads,
+                                          std::size_t dim,
+                                          double fallback_gnps = 1.0);
+
+    /// Folds one observation in: EWMA with alpha = 1/8. Thread-safe.
+    void observe(double busy_seconds, double numbers);
+
+    double seconds_per_number() const;
+
+    /// Estimated service seconds for a request moving `numbers` numbers.
+    double estimate_seconds(double numbers) const;
+
+  private:
+    std::atomic<double> seconds_per_number_;
+};
+
+/// Per-tenant rate limits.
+struct AdmissionConfig
+{
+    double tenant_rate = 0.0;  ///< requests/s per tenant; <= 0 = unlimited
+    double tenant_burst = 1.0; ///< bucket capacity (ignored if unlimited)
+    /// Overrides for specific tenants: tenant -> {rate, burst}.
+    std::map<std::string, std::pair<double, double>> overrides;
+};
+
+/// The verdict on one request, pre-queue.
+struct Decision
+{
+    Status status = Status::kOk;
+    const char* reason = ""; ///< label value for the shed counter
+    bool admitted() const { return status == Status::kOk; }
+};
+
+/**
+ * The admission policy: rate limit, then deadline feasibility. Lane
+ * capacity is enforced by the scheduler push that follows an admit.
+ */
+class AdmissionController
+{
+  public:
+    explicit AdmissionController(AdmissionConfig config);
+
+    /**
+     * Decides `request` at time `now_s`, given the scheduler's current
+     * backlog (estimated seconds of queued work ahead of this request)
+     * and this request's estimated service seconds.
+     */
+    Decision admit(const ScoreRequest& request, double backlog_seconds,
+                   double service_seconds, double now_s);
+
+    /// Tenants with a live bucket (lazily created on first request).
+    std::size_t tenant_count() const;
+
+  private:
+    AdmissionConfig config_;
+    mutable std::mutex mutex_;
+    std::map<std::string, TokenBucket> buckets_;
+};
+
+} // namespace buckwild::gate
+
+#endif // BUCKWILD_GATE_ADMISSION_H

@@ -1,0 +1,122 @@
+#include "gate/client.h"
+
+#include "net/frame.h"
+
+namespace buckwild::gate {
+
+GateClient::GateClient(const net::Address& address,
+                       std::chrono::milliseconds connect_deadline)
+{
+    std::string error;
+    fd_ = net::connect_tcp(address, connect_deadline, &error);
+    if (!fd_.valid()) {
+        down_.store(true, std::memory_order_release);
+        return;
+    }
+    reader_ = std::thread([this] { reader_loop(); });
+}
+
+GateClient::~GateClient()
+{
+    close();
+}
+
+bool
+GateClient::connected() const
+{
+    return !down_.load(std::memory_order_acquire);
+}
+
+void
+GateClient::set_handler(Handler handler)
+{
+    std::lock_guard<std::mutex> lock(pending_mutex_);
+    handler_ = std::move(handler);
+}
+
+bool
+GateClient::send(const ScoreRequest& request)
+{
+    if (down_.load(std::memory_order_acquire)) return false;
+    const std::vector<std::uint8_t> payload = serialize(request);
+    std::lock_guard<std::mutex> lock(write_mutex_);
+    if (!fd_.valid()) return false;
+    if (!net::write_frame(fd_.get(), payload.data(), payload.size())) {
+        down_.store(true, std::memory_order_release);
+        return false;
+    }
+    return true;
+}
+
+std::optional<ScoreResponse>
+GateClient::call(const ScoreRequest& request,
+                 std::chrono::milliseconds timeout)
+{
+    std::future<ScoreResponse> future;
+    {
+        std::lock_guard<std::mutex> lock(pending_mutex_);
+        future = pending_[request.request_id].get_future();
+    }
+    if (!send(request)) {
+        std::lock_guard<std::mutex> lock(pending_mutex_);
+        pending_.erase(request.request_id);
+        return std::nullopt;
+    }
+    if (future.wait_for(timeout) != std::future_status::ready) {
+        std::lock_guard<std::mutex> lock(pending_mutex_);
+        pending_.erase(request.request_id);
+        return std::nullopt;
+    }
+    return future.get();
+}
+
+void
+GateClient::close()
+{
+    down_.store(true, std::memory_order_release);
+    fd_.shutdown_rdwr();
+    if (reader_.joinable()) reader_.join();
+    {
+        std::lock_guard<std::mutex> lock(write_mutex_);
+        fd_.reset();
+    }
+}
+
+void
+GateClient::reader_loop()
+{
+    std::vector<std::uint8_t> payload;
+    while (true) {
+        const net::FrameResult result = net::read_frame(
+            fd_.get(), payload, net::kDefaultMaxFrameBytes);
+        if (result != net::FrameResult::kOk) break;
+        ScoreResponse response;
+        if (!deserialize(payload.data(), payload.size(), response))
+            continue; // tolerate one unparseable frame; framing is intact
+        Handler handler;
+        {
+            std::lock_guard<std::mutex> lock(pending_mutex_);
+            const auto it = pending_.find(response.request_id);
+            if (it != pending_.end()) {
+                it->second.set_value(response);
+                pending_.erase(it);
+                continue;
+            }
+            handler = handler_;
+        }
+        if (handler) handler(response);
+    }
+    down_.store(true, std::memory_order_release);
+    // Fail anyone still waiting so call() wakes promptly.
+    std::lock_guard<std::mutex> lock(pending_mutex_);
+    for (auto& [id, promise] : pending_) {
+        ScoreResponse gone;
+        gone.request_id = id;
+        gone.status = Status::kShuttingDown;
+        gone.message = "connection closed";
+        promise.set_value(gone);
+    }
+    pending_.clear();
+}
+
+} // namespace buckwild::gate

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * GateClient — a pipelined client for the gate wire protocol.
+ *
+ * One TCP connection, many requests in flight: send() writes a frame
+ * and returns; a reader thread demultiplexes responses by request id.
+ * Two consumption styles compose on the same connection:
+ *
+ *  - call(): synchronous round trip (registers the id, sends, waits on
+ *    a future) — convenience for tests and probes;
+ *  - send() + handler: fire-and-handle — the open-loop load driver's
+ *    path, where blocking per request would turn the driver closed-loop
+ *    and mask the very overload behavior it exists to measure.
+ *
+ * Responses whose id has no waiting call() go to the handler; with no
+ * handler installed they are dropped (a shed NACK to a driver that
+ * only counts is fine to discard).
+ */
+#ifndef BUCKWILD_GATE_CLIENT_H
+#define BUCKWILD_GATE_CLIENT_H
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <future>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <thread>
+
+#include "gate/wire.h"
+#include "net/socket.h"
+
+namespace buckwild::gate {
+
+/// Pipelined gate-protocol client over one connection.
+class GateClient
+{
+  public:
+    using Handler = std::function<void(const ScoreResponse&)>;
+
+    /**
+     * Connects (with net::connect_tcp retry/backoff) and starts the
+     * reader. Check connected() before use — a failed dial leaves the
+     * client inert rather than throwing, so drivers can report it.
+     */
+    explicit GateClient(const net::Address& address,
+                        std::chrono::milliseconds connect_deadline =
+                            std::chrono::milliseconds{2000});
+    ~GateClient();
+
+    GateClient(const GateClient&) = delete;
+    GateClient& operator=(const GateClient&) = delete;
+
+    bool connected() const;
+
+    /// Installs the handler for unmatched responses. Runs on the reader
+    /// thread — keep it cheap. Install before the first send().
+    void set_handler(Handler handler);
+
+    /// Writes one request frame. False once the connection is down.
+    bool send(const ScoreRequest& request);
+
+    /**
+     * Synchronous round trip: sends and waits up to `timeout` for the
+     * response with this request's id. nullopt on transport failure or
+     * timeout (a late response is then routed to the handler).
+     */
+    std::optional<ScoreResponse> call(const ScoreRequest& request,
+                                      std::chrono::milliseconds timeout =
+                                          std::chrono::milliseconds{5000});
+
+    /// Closes the connection and joins the reader. Idempotent.
+    void close();
+
+  private:
+    void reader_loop();
+
+    net::Fd fd_;
+    std::mutex write_mutex_;
+    std::mutex pending_mutex_;
+    std::map<std::uint64_t, std::promise<ScoreResponse>> pending_;
+    Handler handler_;
+    std::thread reader_;
+    std::atomic<bool> down_{false};
+};
+
+} // namespace buckwild::gate
+
+#endif // BUCKWILD_GATE_CLIENT_H

@@ -1,0 +1,47 @@
+#include "gate/router.h"
+
+namespace buckwild::gate {
+
+serve::ModelRegistry&
+ModelRouter::add(const std::string& name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto& slot = models_[name];
+    if (!slot) slot = std::make_unique<serve::ModelRegistry>();
+    return *slot;
+}
+
+std::uint64_t
+ModelRouter::publish(const std::string& name,
+                     const core::SavedModel& model,
+                     serve::Precision precision)
+{
+    return add(name).publish(model, precision);
+}
+
+const serve::ModelRegistry*
+ModelRouter::find(const std::string& name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = models_.find(name);
+    return it == models_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string>
+ModelRouter::names() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::string> out;
+    out.reserve(models_.size());
+    for (const auto& [name, registry] : models_) out.push_back(name);
+    return out;
+}
+
+std::size_t
+ModelRouter::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return models_.size();
+}
+
+} // namespace buckwild::gate

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * ModelRouter — the name -> model table behind the front door.
+ *
+ * serve::ModelRegistry is deliberately single-model (one current
+ * snapshot, atomic hot-swap); multi-model serving composes it rather
+ * than complicating it: the router owns one registry per model *name*,
+ * and a gate request's `model` field picks the registry its features
+ * are scored against. Publishing to a named registry hot-swaps that
+ * model without touching its neighbors.
+ *
+ * Registration is expected at startup / operator pace (mutex-guarded
+ * map mutation); lookup on the ingress path touches the same mutex but
+ * only for the map find — the returned registry pointer is stable for
+ * the router's lifetime, so workers resolve the name once per request
+ * and then take snapshots lock-free at ModelRegistry speed.
+ */
+#ifndef BUCKWILD_GATE_ROUTER_H
+#define BUCKWILD_GATE_ROUTER_H
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "serve/model_registry.h"
+
+namespace buckwild::gate {
+
+/// Thread-safe name -> ModelRegistry table.
+class ModelRouter
+{
+  public:
+    /**
+     * Returns the registry serving `name`, creating an empty one on
+     * first mention. The pointer stays valid for the router's lifetime.
+     */
+    serve::ModelRegistry& add(const std::string& name);
+
+    /// Registers `name` and publishes `model` into it at `precision`.
+    /// Returns the published version.
+    std::uint64_t publish(const std::string& name,
+                          const core::SavedModel& model,
+                          serve::Precision precision);
+
+    /// The registry for `name`, or nullptr when unregistered (the
+    /// kUnknownModel path).
+    const serve::ModelRegistry* find(const std::string& name) const;
+
+    /// Registered model names, sorted.
+    std::vector<std::string> names() const;
+
+    std::size_t size() const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::map<std::string, std::unique_ptr<serve::ModelRegistry>> models_;
+};
+
+} // namespace buckwild::gate
+
+#endif // BUCKWILD_GATE_ROUTER_H

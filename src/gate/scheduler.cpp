@@ -1,0 +1,87 @@
+#include "gate/scheduler.h"
+
+#include "obs/prom.h"
+#include "util/logging.h"
+
+namespace buckwild::gate {
+
+LaneScheduler::LaneScheduler(std::size_t interactive_capacity,
+                             std::size_t batch_capacity,
+                             obs::MetricsRegistry* registry)
+    : capacity_{interactive_capacity, batch_capacity}
+{
+    if (interactive_capacity == 0 || batch_capacity == 0)
+        fatal("LaneScheduler requires capacity >= 1 per lane");
+    obs::MetricsRegistry& reg =
+        registry != nullptr ? *registry : obs::MetricsRegistry::global();
+    for (std::size_t lane = 0; lane < kLanes; ++lane)
+        depth_gauge_[lane] = &reg.gauge(obs::labeled(
+            "gate.queue_depth",
+            {{"lane", to_string(static_cast<Lane>(lane))}}));
+}
+
+bool
+LaneScheduler::try_push(GateTask&& task)
+{
+    const auto lane = static_cast<std::size_t>(task.request.lane);
+    const std::uint64_t numbers = task.request.feature_count();
+    std::size_t depth;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (closed_ || lanes_[lane].size() >= capacity_[lane])
+            return false;
+        lanes_[lane].push_back(std::move(task));
+        depth = lanes_[lane].size();
+        backlog_numbers_.fetch_add(numbers, std::memory_order_relaxed);
+    }
+    depth_gauge_[lane]->set(static_cast<double>(depth));
+    not_empty_.notify_one();
+    return true;
+}
+
+bool
+LaneScheduler::pop(GateTask& out)
+{
+    std::size_t lane;
+    std::size_t depth;
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        not_empty_.wait(lock, [this] {
+            return closed_ || !lanes_[0].empty() || !lanes_[1].empty();
+        });
+        // Strict priority: batch is served only from an empty
+        // interactive lane.
+        if (!lanes_[0].empty())
+            lane = 0;
+        else if (!lanes_[1].empty())
+            lane = 1;
+        else
+            return false; // closed and drained
+        out = std::move(lanes_[lane].front());
+        lanes_[lane].pop_front();
+        depth = lanes_[lane].size();
+        backlog_numbers_.fetch_sub(out.request.feature_count(),
+                                   std::memory_order_relaxed);
+    }
+    depth_gauge_[lane]->set(static_cast<double>(depth));
+    return true;
+}
+
+void
+LaneScheduler::close()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        closed_ = true;
+    }
+    not_empty_.notify_all();
+}
+
+std::size_t
+LaneScheduler::depth(Lane lane) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return lanes_[static_cast<std::size_t>(lane)].size();
+}
+
+} // namespace buckwild::gate

@@ -1,0 +1,348 @@
+#include "gate/wire.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "lowp/grid.h"
+#include "lowp/round.h"
+
+namespace buckwild::gate {
+
+namespace {
+
+constexpr std::size_t kRequestFixedBytes = 28;
+constexpr std::size_t kResponseFixedBytes = 34;
+
+void
+put_u16(std::vector<std::uint8_t>& out, std::uint16_t v)
+{
+    out.push_back(static_cast<std::uint8_t>(v));
+    out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void
+put_u32(std::vector<std::uint8_t>& out, std::uint32_t v)
+{
+    out.push_back(static_cast<std::uint8_t>(v));
+    out.push_back(static_cast<std::uint8_t>(v >> 8));
+    out.push_back(static_cast<std::uint8_t>(v >> 16));
+    out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+void
+put_u64(std::vector<std::uint8_t>& out, std::uint64_t v)
+{
+    put_u32(out, static_cast<std::uint32_t>(v));
+    put_u32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+void
+put_f32(std::vector<std::uint8_t>& out, float v)
+{
+    std::uint32_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    put_u32(out, bits);
+}
+
+/// Cursor over the receive buffer; every read is bounds-checked.
+class Reader
+{
+  public:
+    Reader(const std::uint8_t* data, std::size_t n) : data_(data), n_(n) {}
+
+    bool
+    u8(std::uint8_t* out)
+    {
+        if (pos_ + 1 > n_) return false;
+        *out = data_[pos_++];
+        return true;
+    }
+
+    bool
+    u16(std::uint16_t* out)
+    {
+        if (pos_ + 2 > n_) return false;
+        *out = static_cast<std::uint16_t>(
+            static_cast<std::uint16_t>(data_[pos_]) |
+            (static_cast<std::uint16_t>(data_[pos_ + 1]) << 8));
+        pos_ += 2;
+        return true;
+    }
+
+    bool
+    u32(std::uint32_t* out)
+    {
+        if (pos_ + 4 > n_) return false;
+        *out = static_cast<std::uint32_t>(data_[pos_]) |
+               (static_cast<std::uint32_t>(data_[pos_ + 1]) << 8) |
+               (static_cast<std::uint32_t>(data_[pos_ + 2]) << 16) |
+               (static_cast<std::uint32_t>(data_[pos_ + 3]) << 24);
+        pos_ += 4;
+        return true;
+    }
+
+    bool
+    u64(std::uint64_t* out)
+    {
+        std::uint32_t lo = 0;
+        std::uint32_t hi = 0;
+        if (!u32(&lo) || !u32(&hi)) return false;
+        *out = static_cast<std::uint64_t>(lo) |
+               (static_cast<std::uint64_t>(hi) << 32);
+        return true;
+    }
+
+    bool
+    f32(float* out)
+    {
+        std::uint32_t bits = 0;
+        if (!u32(&bits)) return false;
+        std::memcpy(out, &bits, sizeof(*out));
+        return true;
+    }
+
+    bool
+    str(std::string* out, std::size_t count)
+    {
+        if (pos_ + count > n_ || pos_ + count < pos_) return false;
+        out->assign(reinterpret_cast<const char*>(data_) + pos_, count);
+        pos_ += count;
+        return true;
+    }
+
+    /// Bulk byte copy — the q8 payload fast path. Keeping the ingress
+    /// parse at memcpy speed is what keeps the event loop's capacity to
+    /// refuse far above the workers' capacity to score.
+    bool
+    blob(void* out, std::size_t count)
+    {
+        if (pos_ + count > n_ || pos_ + count < pos_) return false;
+        std::memcpy(out, data_ + pos_, count);
+        pos_ += count;
+        return true;
+    }
+
+    /// Remaining unread bytes (for count-times-size overflow checks).
+    std::size_t remaining() const { return n_ - pos_; }
+
+    bool done() const { return pos_ == n_; }
+
+  private:
+    const std::uint8_t* data_;
+    std::size_t n_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+const char*
+to_string(Lane lane)
+{
+    switch (lane) {
+    case Lane::kInteractive: return "interactive";
+    case Lane::kBatch: return "batch";
+    }
+    return "?";
+}
+
+const char*
+to_string(Status status)
+{
+    switch (status) {
+    case Status::kOk: return "ok";
+    case Status::kResourceExhausted: return "resource_exhausted";
+    case Status::kDeadlineExceeded: return "deadline_exceeded";
+    case Status::kUnknownModel: return "unknown_model";
+    case Status::kInvalid: return "invalid";
+    case Status::kShuttingDown: return "shutting_down";
+    }
+    return "?";
+}
+
+std::vector<std::uint8_t>
+serialize(const ScoreRequest& request)
+{
+    const std::size_t n = request.feature_count();
+    std::size_t feature_bytes = 0;
+    switch (request.encoding) {
+    case FeatureEncoding::kDenseF32: feature_bytes = n * 4; break;
+    case FeatureEncoding::kDenseQ8: feature_bytes = n; break;
+    case FeatureEncoding::kSparseF32: feature_bytes = n * 8; break;
+    }
+    std::vector<std::uint8_t> out;
+    out.reserve(kRequestFixedBytes + request.model.size() +
+                request.tenant.size() + feature_bytes);
+    out.push_back(static_cast<std::uint8_t>(MsgKind::kScoreRequest));
+    out.push_back(static_cast<std::uint8_t>(request.encoding));
+    out.push_back(static_cast<std::uint8_t>(request.lane));
+    out.push_back(0); // reserved
+    put_u64(out, request.request_id);
+    put_u32(out, request.deadline_us);
+    put_f32(out, request.scale);
+    put_u16(out, static_cast<std::uint16_t>(request.model.size()));
+    put_u16(out, static_cast<std::uint16_t>(request.tenant.size()));
+    put_u32(out, static_cast<std::uint32_t>(n));
+    out.insert(out.end(), request.model.begin(), request.model.end());
+    out.insert(out.end(), request.tenant.begin(), request.tenant.end());
+    switch (request.encoding) {
+    case FeatureEncoding::kDenseF32:
+        for (const float x : request.dense) put_f32(out, x);
+        break;
+    case FeatureEncoding::kDenseQ8: {
+        const auto* q8 =
+            reinterpret_cast<const std::uint8_t*>(request.q8.data());
+        out.insert(out.end(), q8, q8 + request.q8.size());
+        break;
+    }
+    case FeatureEncoding::kSparseF32:
+        for (const std::uint32_t i : request.index) put_u32(out, i);
+        for (const float x : request.dense) put_f32(out, x);
+        break;
+    }
+    return out;
+}
+
+bool
+deserialize(const std::uint8_t* data, std::size_t n, ScoreRequest& out)
+{
+    Reader reader(data, n);
+    std::uint8_t kind = 0;
+    std::uint8_t encoding = 0;
+    std::uint8_t lane = 0;
+    std::uint8_t reserved = 0;
+    if (!reader.u8(&kind) || !reader.u8(&encoding) || !reader.u8(&lane) ||
+        !reader.u8(&reserved))
+        return false;
+    if (kind != static_cast<std::uint8_t>(MsgKind::kScoreRequest))
+        return false;
+    if (encoding > static_cast<std::uint8_t>(FeatureEncoding::kSparseF32))
+        return false;
+    if (lane >= kLanes) return false;
+    if (reserved != 0) return false;
+    out.encoding = static_cast<FeatureEncoding>(encoding);
+    out.lane = static_cast<Lane>(lane);
+    std::uint16_t model_len = 0;
+    std::uint16_t tenant_len = 0;
+    std::uint32_t count = 0;
+    if (!reader.u64(&out.request_id) || !reader.u32(&out.deadline_us) ||
+        !reader.f32(&out.scale) || !reader.u16(&model_len) ||
+        !reader.u16(&tenant_len) || !reader.u32(&count))
+        return false;
+    if (model_len > kMaxModelNameBytes) return false;
+    if (tenant_len > kMaxTenantBytes) return false;
+    if (count > kMaxFeatureCount) return false;
+    if (!reader.str(&out.model, model_len)) return false;
+    if (!reader.str(&out.tenant, tenant_len)) return false;
+    // Check the declared feature payload fits the remaining buffer
+    // BEFORE resizing — a corrupt count must not drive an allocation.
+    const std::size_t k = count;
+    out.dense.clear();
+    out.q8.clear();
+    out.index.clear();
+    switch (out.encoding) {
+    case FeatureEncoding::kDenseF32: {
+        if (reader.remaining() < k * 4) return false;
+        out.dense.resize(k);
+        for (std::size_t i = 0; i < k; ++i)
+            if (!reader.f32(&out.dense[i])) return false;
+        break;
+    }
+    case FeatureEncoding::kDenseQ8: {
+        if (reader.remaining() < k) return false;
+        out.q8.resize(k);
+        if (!reader.blob(out.q8.data(), k)) return false;
+        break;
+    }
+    case FeatureEncoding::kSparseF32: {
+        if (reader.remaining() < k * 8) return false;
+        out.index.resize(k);
+        out.dense.resize(k);
+        for (std::size_t i = 0; i < k; ++i)
+            if (!reader.u32(&out.index[i])) return false;
+        for (std::size_t i = 0; i < k; ++i)
+            if (!reader.f32(&out.dense[i])) return false;
+        break;
+    }
+    }
+    return reader.done();
+}
+
+std::vector<std::uint8_t>
+serialize(const ScoreResponse& response)
+{
+    std::vector<std::uint8_t> out;
+    out.reserve(kResponseFixedBytes + response.message.size());
+    out.push_back(static_cast<std::uint8_t>(MsgKind::kScoreResponse));
+    out.push_back(static_cast<std::uint8_t>(response.status));
+    put_u16(out, 0); // reserved
+    put_u64(out, response.request_id);
+    put_f32(out, response.margin);
+    put_f32(out, response.score);
+    put_f32(out, response.label);
+    put_u64(out, response.model_version);
+    put_u16(out, static_cast<std::uint16_t>(response.message.size()));
+    out.insert(out.end(), response.message.begin(), response.message.end());
+    return out;
+}
+
+bool
+deserialize(const std::uint8_t* data, std::size_t n, ScoreResponse& out)
+{
+    Reader reader(data, n);
+    std::uint8_t kind = 0;
+    std::uint8_t status = 0;
+    std::uint16_t reserved = 0;
+    if (!reader.u8(&kind) || !reader.u8(&status) || !reader.u16(&reserved))
+        return false;
+    if (kind != static_cast<std::uint8_t>(MsgKind::kScoreResponse))
+        return false;
+    if (status > static_cast<std::uint8_t>(Status::kShuttingDown))
+        return false;
+    if (reserved != 0) return false;
+    out.status = static_cast<Status>(status);
+    std::uint16_t message_len = 0;
+    if (!reader.u64(&out.request_id) || !reader.f32(&out.margin) ||
+        !reader.f32(&out.score) || !reader.f32(&out.label) ||
+        !reader.u64(&out.model_version) || !reader.u16(&message_len))
+        return false;
+    if (message_len > kMaxMessageBytes) return false;
+    if (!reader.str(&out.message, message_len)) return false;
+    return reader.done();
+}
+
+float
+quantize_features_q8(const float* x, std::size_t n,
+                     std::vector<std::int8_t>& out)
+{
+    out.resize(n);
+    // Scan for the range ourselves rather than via lowp::max_abs: a NaN
+    // loses every max() comparison, so it would slip past a range-only
+    // finiteness check and quantize to a garbage level.
+    float range = 0.0f;
+    bool finite = true;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (!std::isfinite(x[i])) finite = false;
+        range = std::max(range, std::fabs(x[i]));
+    }
+    if (n == 0 || range == 0.0f || !finite) {
+        std::fill(out.begin(), out.end(), std::int8_t{0});
+        return 0.0f;
+    }
+    // Symmetric int8 grid fitted to max|x|: quantum = range/127 so the
+    // largest-magnitude feature lands exactly on the outermost level.
+    const lowp::GridSpec grid{static_cast<double>(range) / 127.0, -127,
+                              127};
+    lowp::quantize_biased(x, out.data(), n, grid);
+    return grid.quantum_f();
+}
+
+void
+dequantize_features_q8(const std::int8_t* q, std::size_t n, float scale,
+                       float* out)
+{
+    const lowp::GridSpec grid{static_cast<double>(scale), -127, 127};
+    lowp::dequantize(q, out, n, grid);
+}
+
+} // namespace buckwild::gate

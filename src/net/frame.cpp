@@ -1,8 +1,5 @@
 #include "net/frame.h"
 
-#include <sys/socket.h>
-
-#include <cerrno>
 #include <cstring>
 
 #include "net/socket.h"
@@ -39,8 +36,8 @@ write_frame(int fd, const std::uint8_t* payload, std::size_t n)
     std::uint8_t header[kFrameHeaderBytes];
     put_u32(header, kFrameMagic);
     put_u32(header + 4, static_cast<std::uint32_t>(n));
-    if (!send_all(fd, header, sizeof(header))) return false;
-    return n == 0 || send_all(fd, payload, n);
+    if (!write_full(fd, header, sizeof(header))) return false;
+    return n == 0 || write_full(fd, payload, n);
 }
 
 FrameResult
@@ -48,28 +45,65 @@ read_frame(int fd, std::vector<std::uint8_t>& payload,
            std::size_t max_payload_bytes)
 {
     std::uint8_t header[kFrameHeaderBytes];
-    // Distinguish a clean EOF (no header byte at all — the peer closed
-    // between frames) from a mid-frame truncation.
-    std::size_t got = 0;
-    {
-        auto* bytes = header;
-        while (got < sizeof(header)) {
-            const ssize_t r = ::recv(fd, bytes + got, sizeof(header) - got,
-                                     0);
-            if (r < 0 && errno == EINTR) continue;
-            if (r == 0) return got == 0 ? FrameResult::kClosed
-                                        : FrameResult::kError;
-            if (r < 0) return FrameResult::kError;
-            got += static_cast<std::size_t>(r);
-        }
+    // A clean EOF before any header byte means the peer closed between
+    // frames; EOF mid-header is a truncated stream.
+    switch (read_full_or_eof(fd, header, sizeof(header))) {
+    case ReadResult::kClosed: return FrameResult::kClosed;
+    case ReadResult::kError: return FrameResult::kError;
+    case ReadResult::kOk: break;
     }
     if (get_u32(header) != kFrameMagic) return FrameResult::kBadMagic;
     const std::uint32_t length = get_u32(header + 4);
     if (length > max_payload_bytes) return FrameResult::kTooLarge;
     payload.resize(length);
-    if (length > 0 && !recv_all(fd, payload.data(), length))
+    if (length > 0 && !read_full(fd, payload.data(), length))
         return FrameResult::kError;
     return FrameResult::kOk;
+}
+
+SplitResult
+FrameSplitter::push(const std::uint8_t* data, std::size_t n)
+{
+    if (poisoned_) return SplitResult::kBadMagic;
+    buffer_.insert(buffer_.end(), data, data + n);
+    return SplitResult::kNeedMore;
+}
+
+SplitResult
+FrameSplitter::next(std::vector<std::uint8_t>& payload)
+{
+    if (poisoned_) return SplitResult::kBadMagic;
+    // Reclaim consumed prefix once it dominates the buffer, so a
+    // long-lived connection does not creep and extraction stays O(n).
+    if (consumed_ > 4096 && consumed_ * 2 > buffer_.size()) {
+        buffer_.erase(buffer_.begin(),
+                      buffer_.begin() +
+                          static_cast<std::ptrdiff_t>(consumed_));
+        consumed_ = 0;
+    }
+    const std::size_t avail = buffer_.size() - consumed_;
+    if (avail < kFrameHeaderBytes) return SplitResult::kNeedMore;
+    const std::uint8_t* head = buffer_.data() + consumed_;
+    if (get_u32(head) != kFrameMagic) {
+        poisoned_ = true;
+        return SplitResult::kBadMagic;
+    }
+    const std::uint32_t length = get_u32(head + 4);
+    if (length > max_payload_bytes_) {
+        poisoned_ = true;
+        return SplitResult::kTooLarge;
+    }
+    if (avail < kFrameHeaderBytes + length) return SplitResult::kNeedMore;
+    payload.assign(head + kFrameHeaderBytes,
+                   head + kFrameHeaderBytes + length);
+    consumed_ += kFrameHeaderBytes + length;
+    return SplitResult::kFrame;
+}
+
+std::size_t
+FrameSplitter::buffered() const
+{
+    return buffer_.size() - consumed_;
 }
 
 } // namespace buckwild::net

@@ -57,6 +57,52 @@ bool write_frame(int fd, const std::uint8_t* payload, std::size_t n);
 FrameResult read_frame(int fd, std::vector<std::uint8_t>& payload,
                        std::size_t max_payload_bytes);
 
+/// Outcome of one FrameSplitter::next() extraction attempt.
+enum class SplitResult {
+    kFrame,    ///< a whole frame was extracted into `payload`
+    kNeedMore, ///< the buffered bytes end mid-frame — feed more
+    kBadMagic, ///< stream desync — the connection is poisoned, drop it
+    kTooLarge, ///< hostile/corrupt length prefix — drop the connection
+};
+
+/**
+ * Incremental frame extraction over a non-blocking stream.
+ *
+ * read_frame() blocks until a whole frame arrives, which is right for
+ * the one-connection-per-thread transports but wrong for an event loop
+ * multiplexing many connections on one thread (the gate ingress). A
+ * FrameSplitter is the buffered alternative: push() whatever bytes
+ * recv() returned, then drain complete frames with next(). Validation
+ * matches read_frame exactly — bad magic or an oversized length poisons
+ * the splitter (after a desync there is no next frame boundary), and
+ * the caller must drop the connection.
+ */
+class FrameSplitter
+{
+  public:
+    explicit FrameSplitter(std::size_t max_payload_bytes)
+        : max_payload_bytes_(max_payload_bytes)
+    {}
+
+    /// Appends received bytes. Returns kBadMagic if already poisoned,
+    /// else kNeedMore (call next() to drain).
+    SplitResult push(const std::uint8_t* data, std::size_t n);
+
+    /// Extracts the next complete frame into `payload`, if buffered.
+    SplitResult next(std::vector<std::uint8_t>& payload);
+
+    /// Bytes buffered but not yet consumed by next().
+    std::size_t buffered() const;
+
+    bool poisoned() const { return poisoned_; }
+
+  private:
+    std::size_t max_payload_bytes_;
+    std::vector<std::uint8_t> buffer_;
+    std::size_t consumed_ = 0;
+    bool poisoned_ = false;
+};
+
 } // namespace buckwild::net
 
 #endif // BUCKWILD_NET_FRAME_H

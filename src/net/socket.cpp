@@ -155,14 +155,30 @@ connect_tcp(const Address& address, std::chrono::milliseconds deadline,
     return {};
 }
 
-bool
-send_all(int fd, const void* data, std::size_t n)
+namespace {
+
+long
+raw_send(int fd, const void* data, std::size_t n)
 {
+    return ::send(fd, data, n, MSG_NOSIGNAL);
+}
+
+long
+raw_recv(int fd, void* data, std::size_t n)
+{
+    return ::recv(fd, data, n, 0);
+}
+
+} // namespace
+
+bool
+write_full(int fd, const void* data, std::size_t n, RawWriteFn raw)
+{
+    if (raw == nullptr) raw = raw_send;
     const auto* bytes = static_cast<const std::uint8_t*>(data);
     std::size_t sent = 0;
     while (sent < n) {
-        const ssize_t w =
-            ::send(fd, bytes + sent, n - sent, MSG_NOSIGNAL);
+        const long w = raw(fd, bytes + sent, n - sent);
         if (w < 0 && errno == EINTR) continue;
         if (w <= 0) return false;
         sent += static_cast<std::size_t>(w);
@@ -171,23 +187,32 @@ send_all(int fd, const void* data, std::size_t n)
 }
 
 bool
-send_all(int fd, const std::string& bytes)
+write_full(int fd, const std::string& bytes)
 {
-    return send_all(fd, bytes.data(), bytes.size());
+    return write_full(fd, bytes.data(), bytes.size());
 }
 
-bool
-recv_all(int fd, void* data, std::size_t n)
+ReadResult
+read_full_or_eof(int fd, void* data, std::size_t n, RawReadFn raw)
 {
+    if (raw == nullptr) raw = raw_recv;
     auto* bytes = static_cast<std::uint8_t*>(data);
     std::size_t got = 0;
     while (got < n) {
-        const ssize_t r = ::recv(fd, bytes + got, n - got, 0);
+        const long r = raw(fd, bytes + got, n - got);
         if (r < 0 && errno == EINTR) continue;
-        if (r <= 0) return false;
+        if (r == 0)
+            return got == 0 ? ReadResult::kClosed : ReadResult::kError;
+        if (r < 0) return ReadResult::kError;
         got += static_cast<std::size_t>(r);
     }
-    return true;
+    return ReadResult::kOk;
+}
+
+bool
+read_full(int fd, void* data, std::size_t n, RawReadFn raw)
+{
+    return read_full_or_eof(fd, data, n, raw) == ReadResult::kOk;
 }
 
 void

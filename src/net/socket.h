@@ -17,10 +17,17 @@
  *  - connect_tcp(): connect with bounded retry + exponential backoff —
  *    cluster processes come up in any order, so a worker dialing a
  *    shard that has not bound yet must spin politely instead of dying;
- *  - send_all()/recv_all(): exact-count I/O loops that absorb short
- *    writes and partial reads (EINTR included), returning false on
- *    peer close or error. send_all uses MSG_NOSIGNAL so a peer that
- *    hangs up mid-write can never SIGPIPE the process.
+ *  - write_full()/read_full(): THE exact-count I/O pair — every frame
+ *    send/recv path (ps socket_transport, the obs HTTP exporter, the
+ *    gate ingress) funnels through these two loops, so short writes,
+ *    partial reads, and EINTR are absorbed in exactly one place.
+ *    write_full uses MSG_NOSIGNAL so a peer that hangs up mid-write can
+ *    never SIGPIPE the process; read_full_or_eof() additionally
+ *    distinguishes a clean EOF on the first byte from a mid-read
+ *    truncation, which is how framing tells "peer finished" from "peer
+ *    died". Both take an injectable raw-syscall hook so tests can force
+ *    1-byte writes and spurious EINTRs through the exact production
+ *    loops.
  *
  * No protocol lives here — framing is net/frame.h, message semantics
  * are the callers'.
@@ -130,16 +137,40 @@ Fd accept_client(int listen_fd, int timeout_ms);
 Fd connect_tcp(const Address& address, std::chrono::milliseconds deadline,
                std::string* error);
 
-/// Writes exactly `n` bytes, absorbing short writes; MSG_NOSIGNAL.
-/// False on error or peer close.
-bool send_all(int fd, const void* data, std::size_t n);
+/// Raw one-shot write in send(2) shape — injectable so tests can force
+/// short writes and EINTR through the production write_full loop.
+using RawWriteFn = long (*)(int fd, const void* data, std::size_t n);
 
-/// send_all over a string (HTTP responses and other text protocols).
-bool send_all(int fd, const std::string& bytes);
+/// Raw one-shot read in recv(2) shape, injectable likewise.
+using RawReadFn = long (*)(int fd, void* data, std::size_t n);
 
-/// Reads exactly `n` bytes, absorbing partial reads. False on EOF
-/// before `n` bytes, or on error.
-bool recv_all(int fd, void* data, std::size_t n);
+/// Outcome of read_full_or_eof().
+enum class ReadResult {
+    kOk,     ///< all `n` bytes arrived
+    kClosed, ///< clean EOF before the first byte (peer finished)
+    kError,  ///< read error, or EOF after at least one byte (truncation)
+};
+
+/**
+ * Writes exactly `n` bytes, absorbing short writes and EINTR. False on
+ * error or peer close. The default raw writer is send(2) with
+ * MSG_NOSIGNAL; pass `raw` to substitute a fault-injecting writer in
+ * tests.
+ */
+bool write_full(int fd, const void* data, std::size_t n,
+                RawWriteFn raw = nullptr);
+
+/// write_full over a string (HTTP responses and other text protocols).
+bool write_full(int fd, const std::string& bytes);
+
+/// Reads exactly `n` bytes, absorbing partial reads and EINTR. False on
+/// EOF before `n` bytes, or on error.
+bool read_full(int fd, void* data, std::size_t n, RawReadFn raw = nullptr);
+
+/// read_full distinguishing the clean-EOF-on-first-byte case — what
+/// framing needs to tell a finished peer from a truncated stream.
+ReadResult read_full_or_eof(int fd, void* data, std::size_t n,
+                            RawReadFn raw = nullptr);
 
 /// Sets SO_RCVTIMEO so a stalled peer cannot wedge a blocking read.
 void set_recv_timeout(int fd, std::chrono::milliseconds timeout);

@@ -99,20 +99,20 @@ HttpExporter::handle(int client_fd)
 
     served_.fetch_add(1, std::memory_order_relaxed);
     if (method != "GET") {
-        net::send_all(client_fd,
+        net::write_full(client_fd,
                       http_response("405 Method Not Allowed", "text/plain",
                                     "only GET is supported\n"));
         return;
     }
     if (path == "/metrics") {
-        net::send_all(client_fd,
+        net::write_full(client_fd,
                       http_response("200 OK", kPromContentType,
                                     render_prometheus(registry_.snapshot())));
     } else if (path == "/healthz") {
-        net::send_all(client_fd,
+        net::write_full(client_fd,
                       http_response("200 OK", "text/plain", "ok\n"));
     } else {
-        net::send_all(client_fd,
+        net::write_full(client_fd,
                       http_response("404 Not Found", "text/plain",
                                     "not found\n"));
     }

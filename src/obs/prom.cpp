@@ -6,8 +6,21 @@
 
 namespace buckwild::obs {
 
+namespace {
+
+/// Splits `raw` into (base, label block). The label block includes the
+/// braces and is empty when the name is unlabeled.
+std::pair<std::string_view, std::string_view>
+split_labels(std::string_view raw)
+{
+    const std::size_t brace = raw.find('{');
+    if (brace == std::string_view::npos || !raw.ends_with('}'))
+        return {raw, {}};
+    return {raw.substr(0, brace), raw.substr(brace)};
+}
+
 std::string
-prom_name(std::string_view raw)
+sanitize_base(std::string_view raw)
 {
     std::string out;
     out.reserve(raw.size());
@@ -18,6 +31,35 @@ prom_name(std::string_view raw)
     }
     if (out.empty()) out.assign(1, '_');
     if (out[0] >= '0' && out[0] <= '9') out.insert(out.begin(), '_');
+    return out;
+}
+
+} // namespace
+
+std::string
+prom_name(std::string_view raw)
+{
+    const auto [base, labels] = split_labels(raw);
+    return sanitize_base(base) + std::string(labels);
+}
+
+std::string
+labeled(std::string_view base,
+        std::initializer_list<std::pair<std::string_view, std::string_view>>
+            labels)
+{
+    std::string out(base);
+    out += '{';
+    bool first = true;
+    for (const auto& [key, value] : labels) {
+        if (!first) out += ',';
+        first = false;
+        out += key;
+        out += "=\"";
+        out += prom_escape(value);
+        out += '"';
+    }
+    out += '}';
     return out;
 }
 
@@ -49,20 +91,37 @@ prom_value(double v)
 
 namespace {
 
+/// Appends the label block (possibly with extra `key="value"` pairs
+/// merged in) to a sanitized base name.
 std::string
-counter_name(std::string_view raw)
+with_labels(const std::string& base, std::string_view labels,
+            std::string_view extra = {})
 {
-    std::string name = prom_name(raw);
-    if (!name.ends_with("_total")) name += "_total";
-    return name;
+    if (labels.empty() && extra.empty()) return base;
+    std::string out = base;
+    out += '{';
+    if (!labels.empty())
+        out.append(labels.substr(1, labels.size() - 2)); // shed braces
+    if (!extra.empty()) {
+        if (!labels.empty() && labels.size() > 2) out += ',';
+        out += extra;
+    }
+    out += '}';
+    return out;
 }
 
+/// Emits `# HELP` / `# TYPE` once per family — labeled series of one
+/// family are adjacent in the name-ordered snapshot, so a simple
+/// last-family check is enough to avoid duplicate headers.
 void
-family_header(std::ostream& out, const std::string& name,
-              std::string_view raw, const char* type)
+family_header(std::ostream& out, const std::string& family,
+              std::string_view raw_base, const char* type,
+              std::string* last_family)
 {
-    out << "# HELP " << name << ' ' << prom_escape(raw) << '\n';
-    out << "# TYPE " << name << ' ' << type << '\n';
+    if (family == *last_family) return;
+    *last_family = family;
+    out << "# HELP " << family << ' ' << prom_escape(raw_base) << '\n';
+    out << "# TYPE " << family << ' ' << type << '\n';
 }
 
 } // namespace
@@ -70,24 +129,36 @@ family_header(std::ostream& out, const std::string& name,
 void
 render_prometheus(std::ostream& out, const MetricsSnapshot& snap)
 {
+    std::string last_family;
     for (const auto& [raw, v] : snap.counters) {
-        const std::string name = counter_name(raw);
-        family_header(out, name, raw, "counter");
-        out << name << ' ' << v << '\n';
+        const auto [raw_base, labels] = split_labels(raw);
+        std::string family = sanitize_base(raw_base);
+        if (!family.ends_with("_total")) family += "_total";
+        family_header(out, family, raw_base, "counter", &last_family);
+        out << with_labels(family, labels) << ' ' << v << '\n';
     }
+    last_family.clear();
     for (const auto& [raw, v] : snap.gauges) {
-        const std::string name = prom_name(raw);
-        family_header(out, name, raw, "gauge");
-        out << name << ' ' << prom_value(v) << '\n';
+        const auto [raw_base, labels] = split_labels(raw);
+        const std::string family = sanitize_base(raw_base);
+        family_header(out, family, raw_base, "gauge", &last_family);
+        out << with_labels(family, labels) << ' ' << prom_value(v) << '\n';
     }
+    last_family.clear();
     for (const auto& [raw, h] : snap.histograms) {
-        const std::string name = prom_name(raw);
-        family_header(out, name, raw, "summary");
-        out << name << "{quantile=\"0.5\"} " << prom_value(h.p50) << '\n';
-        out << name << "{quantile=\"0.95\"} " << prom_value(h.p95) << '\n';
-        out << name << "{quantile=\"0.99\"} " << prom_value(h.p99) << '\n';
-        out << name << "_sum " << prom_value(h.sum) << '\n';
-        out << name << "_count " << h.count << '\n';
+        const auto [raw_base, labels] = split_labels(raw);
+        const std::string family = sanitize_base(raw_base);
+        family_header(out, family, raw_base, "summary", &last_family);
+        out << with_labels(family, labels, "quantile=\"0.5\"") << ' '
+            << prom_value(h.p50) << '\n';
+        out << with_labels(family, labels, "quantile=\"0.95\"") << ' '
+            << prom_value(h.p95) << '\n';
+        out << with_labels(family, labels, "quantile=\"0.99\"") << ' '
+            << prom_value(h.p99) << '\n';
+        out << with_labels(family + "_sum", labels) << ' '
+            << prom_value(h.sum) << '\n';
+        out << with_labels(family + "_count", labels) << ' ' << h.count
+            << '\n';
     }
 }
 

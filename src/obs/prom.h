@@ -20,20 +20,41 @@
  * (`serve.requests` -> `serve_requests_total`). Each family carries a
  * `# HELP` line holding the original registry name (escaped), so the
  * mapping stays recoverable from the scrape itself.
+ *
+ * Labels: a registry name may carry a `{key="value",...}` suffix built
+ * with labeled() (`gate.shed{tenant="t0"}`). The renderer sanitizes only
+ * the base name and emits the label block verbatim, so per-tenant /
+ * per-lane series from the gate scrape as proper Prometheus labels
+ * (`gate_shed_total{tenant="t0"}`); the `_total` / `_sum` / `_count` /
+ * `quantile` decorations compose with author labels correctly.
  */
 #ifndef BUCKWILD_OBS_PROM_H
 #define BUCKWILD_OBS_PROM_H
 
+#include <initializer_list>
 #include <ostream>
 #include <string>
 #include <string_view>
+#include <utility>
 
 #include "obs/registry.h"
 
 namespace buckwild::obs {
 
-/// Sanitizes a registry name into a valid Prometheus metric name.
+/// Sanitizes a registry name into a valid Prometheus metric name. A
+/// `{...}` label suffix (see labeled()) passes through untouched.
 std::string prom_name(std::string_view raw);
+
+/**
+ * Builds a labeled registry name: `base{k1="v1",k2="v2"}`. Label keys
+ * must already be valid Prometheus label names; values are escaped.
+ * Instruments for distinct label values are distinct registry entries —
+ * create them once and cache the handle on hot paths.
+ */
+std::string labeled(
+    std::string_view base,
+    std::initializer_list<std::pair<std::string_view, std::string_view>>
+        labels);
 
 /// Escapes a HELP docstring / label value: `\` -> `\\`, LF -> `\n`
 /// (and `"` -> `\"`, harmless in HELP, required in label values).

@@ -6,8 +6,15 @@
 
 namespace buckwild::serve {
 
-RequestQueue::RequestQueue(std::size_t capacity, std::size_t batch_hint)
-    : capacity_(capacity), batch_hint_(batch_hint == 0 ? 1 : batch_hint)
+RequestQueue::RequestQueue(std::size_t capacity, std::size_t batch_hint,
+                           obs::MetricsRegistry* registry)
+    : capacity_(capacity), batch_hint_(batch_hint == 0 ? 1 : batch_hint),
+      rejected_((registry != nullptr ? *registry
+                                     : obs::MetricsRegistry::global())
+                    .counter("serve.queue_rejected")),
+      depth_((registry != nullptr ? *registry
+                                  : obs::MetricsRegistry::global())
+                 .gauge("serve.queue_depth"))
 {
     if (capacity == 0) fatal("RequestQueue requires capacity >= 1");
 }
@@ -26,13 +33,21 @@ RequestQueue::try_push_many(Request* requests, std::size_t count)
     bool was_empty;
     {
         std::lock_guard<std::mutex> lock(mutex_);
-        if (closed_) return 0;
+        if (closed_) {
+            rejected_.add(count);
+            return 0;
+        }
         was_empty = items_.empty();
         admitted = std::min(count, capacity_ - items_.size());
         for (std::size_t i = 0; i < admitted; ++i)
             items_.push_back(std::move(requests[i]));
         depth = items_.size();
     }
+    // Telemetry outside the lock: rejections were invisible to operators
+    // before this counter, and the depth gauge is what the overload
+    // dashboards watch for queue growth.
+    if (admitted < count) rejected_.add(count - admitted);
+    depth_.set(static_cast<double>(depth));
     // Wake a consumer on the empty -> non-empty edge (someone may be
     // waiting for the first request) and once the batch target is met (a
     // lingering consumer can stop early). Pushes in between stay silent:
@@ -61,6 +76,7 @@ RequestQueue::pop_batch(std::vector<Request>& out, std::size_t max_batch,
         out.push_back(std::move(items_.front()));
         items_.pop_front();
     }
+    depth_.set(static_cast<double>(items_.size()));
     return take;
 }
 

@@ -29,6 +29,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/registry.h"
 #include "serve/engine.h"
 
 namespace buckwild::serve {
@@ -126,8 +127,15 @@ class RequestQueue
      *                    silent so a lingering consumer is not thrashed
      *                    awake once per request (which would defeat the
      *                    batching on a loaded machine).
+     * @param registry    where the queue's telemetry lands: every
+     *                    try_push failure increments the
+     *                    `serve.queue_rejected` counter (shed work must
+     *                    never be silent to an operator) and the current
+     *                    depth is exported as the `serve.queue_depth`
+     *                    gauge. nullptr = the process-global registry.
      */
-    explicit RequestQueue(std::size_t capacity, std::size_t batch_hint = 1);
+    explicit RequestQueue(std::size_t capacity, std::size_t batch_hint = 1,
+                          obs::MetricsRegistry* registry = nullptr);
 
     /// Enqueues without blocking; false when full or closed (the request
     /// is untouched and still owned by the caller, who should fail it).
@@ -165,6 +173,8 @@ class RequestQueue
   private:
     const std::size_t capacity_;
     const std::size_t batch_hint_;
+    obs::Counter& rejected_; ///< serve.queue_rejected
+    obs::Gauge& depth_;      ///< serve.queue_depth
     mutable std::mutex mutex_;
     std::condition_variable not_empty_;
     std::deque<Request> items_;

@@ -10,8 +10,9 @@ namespace buckwild::serve {
 
 Server::Server(const ModelRegistry& registry, ServerConfig config)
     : registry_(registry), config_(config), engine_(config.impl),
-      queue_(config.queue_capacity, config.max_batch),
-      collector_(config.metrics_registry)
+      collector_(config.metrics_registry),
+      queue_(config.queue_capacity, config.max_batch,
+             &collector_.registry())
 {
     if (config_.workers == 0) fatal("Server requires workers >= 1");
     if (config_.max_batch == 0) fatal("Server requires max_batch >= 1");

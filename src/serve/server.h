@@ -144,8 +144,10 @@ class Server
     const ModelRegistry& registry_;
     ServerConfig config_;
     InferenceEngine engine_;
-    RequestQueue queue_;
+    // The collector precedes the queue so the queue's rejected/depth
+    // instruments can land in the same registry as the serving counters.
     MetricsCollector collector_;
+    RequestQueue queue_;
     WorkerGroup workers_;
     bool stopped_ = false;
 };

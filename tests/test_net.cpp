@@ -64,9 +64,9 @@ TEST(NetSocket, ListenConnectRoundTrip)
     ASSERT_TRUE(server.valid());
 
     const char ping[] = "ping!";
-    ASSERT_TRUE(net::send_all(client.get(), ping, sizeof(ping)));
+    ASSERT_TRUE(net::write_full(client.get(), ping, sizeof(ping)));
     char buf[sizeof(ping)] = {};
-    ASSERT_TRUE(net::recv_all(server.get(), buf, sizeof(ping)));
+    ASSERT_TRUE(net::read_full(server.get(), buf, sizeof(ping)));
     EXPECT_STREQ(buf, ping);
 }
 
@@ -143,13 +143,13 @@ TEST(NetFrame, SurvivesPartialDelivery)
         ASSERT_TRUE(net::write_frame(scratch.a.get(), payload.data(),
                                      payload.size()));
         frame.resize(net::kFrameHeaderBytes + payload.size());
-        ASSERT_TRUE(net::recv_all(scratch.b.get(), frame.data(),
+        ASSERT_TRUE(net::read_full(scratch.b.get(), frame.data(),
                                   frame.size()));
     }
 
     std::thread writer([&] {
         for (const std::uint8_t byte : frame) {
-            ASSERT_TRUE(net::send_all(pair.a.get(), &byte, 1));
+            ASSERT_TRUE(net::write_full(pair.a.get(), &byte, 1));
             std::this_thread::sleep_for(std::chrono::microseconds(50));
         }
     });
@@ -165,7 +165,7 @@ TEST(NetFrame, RejectsBadMagicAndOversizedBeforeAllocating)
     SocketPair pair;
     // Bad magic.
     const std::uint8_t junk[8] = {0xDE, 0xAD, 0xBE, 0xEF, 1, 0, 0, 0};
-    ASSERT_TRUE(net::send_all(pair.a.get(), junk, sizeof(junk)));
+    ASSERT_TRUE(net::write_full(pair.a.get(), junk, sizeof(junk)));
     std::vector<std::uint8_t> out;
     EXPECT_EQ(net::read_frame(pair.b.get(), out, net::kDefaultMaxFrameBytes),
               net::FrameResult::kBadMagic);
@@ -177,7 +177,7 @@ TEST(NetFrame, RejectsBadMagicAndOversizedBeforeAllocating)
     const std::uint32_t huge = 0x7FFFFFFFu;
     std::memcpy(header, &magic, 4);
     std::memcpy(header + 4, &huge, 4);
-    ASSERT_TRUE(net::send_all(fresh.a.get(), header, sizeof(header)));
+    ASSERT_TRUE(net::write_full(fresh.a.get(), header, sizeof(header)));
     EXPECT_EQ(net::read_frame(fresh.b.get(), out, /*max_frame_bytes=*/1024),
               net::FrameResult::kTooLarge);
 }
@@ -197,7 +197,7 @@ TEST(NetFrame, DistinguishesCleanCloseFromMidFrameEof)
     {
         SocketPair pair;
         const std::uint8_t partial[3] = {0x50, 0x46, 0x57};
-        ASSERT_TRUE(net::send_all(pair.a.get(), partial, sizeof(partial)));
+        ASSERT_TRUE(net::write_full(pair.a.get(), partial, sizeof(partial)));
         pair.a.reset();
         std::vector<std::uint8_t> out;
         EXPECT_EQ(net::read_frame(pair.b.get(), out,

@@ -1,0 +1,421 @@
+/**
+ * @file
+ * buckwild_gate — open-loop load driver for the serving front door.
+ *
+ * Drives Poisson arrivals at a target offered QPS against a running
+ * `buckwild_serve --listen` gate and reports, per offered-load step,
+ * what actually happened: admitted/ok, shed (by status), and per-lane
+ * client-observed latency percentiles.
+ *
+ * Open loop is the point. A closed-loop client slows down when the
+ * server does, which hides overload — arrivals here are scheduled from
+ * a Poisson process whose rate does not care how the server is doing,
+ * so past saturation the driver keeps offering load and the gate's
+ * shedding (explicit RESOURCE_EXHAUSTED, bounded admitted latency)
+ * becomes directly measurable:
+ *
+ *     buckwild_serve --model model.bw --listen 127.0.0.1:7070 &
+ *     buckwild_gate --connect 127.0.0.1:7070 --dim 256 \
+ *         --qps 1000,10000,100000 --duration 3 --json sweep.json
+ *
+ * Latency is measured client-side with zero bookkeeping: the request id
+ * carries the send timestamp (steady-clock ns, low bit replaced by the
+ * lane), so the response handler reconstructs latency and lane from the
+ * echoed id alone.
+ */
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <random>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gate/gate.h"
+#include "net/socket.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace buckwild;
+
+void
+usage()
+{
+    std::printf(
+        "buckwild_gate — open-loop Poisson load driver for the gate\n"
+        "\n"
+        "  --connect HOST:PORT    gate address (required)\n"
+        "  --model NAME           model name to request (default: default)\n"
+        "  --dim N                feature dimension (required; must match\n"
+        "                         the served model)\n"
+        "  --qps Q[,Q,...]        offered-load sweep, requests/s per step\n"
+        "                         (default 1000)\n"
+        "  --duration S           seconds per step (default 3)\n"
+        "  --connections C        client connections / sender threads\n"
+        "                         (default 4)\n"
+        "  --tenants T            rotate requests over T tenant ids\n"
+        "                         (t0..t{T-1}; default 1)\n"
+        "  --batch-frac F         fraction of requests on the batch lane\n"
+        "                         (default 0.5)\n"
+        "  --deadline-us D        deadline on interactive requests\n"
+        "                         (default 0 = none)\n"
+        "  --encoding E           f32 | q8 feature payload (default f32)\n"
+        "  --seed X               RNG seed (default 1)\n"
+        "  --json PATH            write the sweep as JSON ('-' = stdout)\n");
+}
+
+[[noreturn]] void
+die(const std::string& message)
+{
+    std::fprintf(stderr, "error: %s (try --help)\n", message.c_str());
+    std::exit(1);
+}
+
+struct Options
+{
+    std::string connect;
+    std::string model = "default";
+    std::size_t dim = 0;
+    std::vector<double> qps = {1000.0};
+    double duration_s = 3.0;
+    std::size_t connections = 4;
+    std::size_t tenants = 1;
+    double batch_frac = 0.5;
+    std::uint32_t deadline_us = 0;
+    bool q8 = false;
+    std::uint64_t seed = 1;
+    std::string json_path;
+};
+
+std::vector<double>
+parse_qps_list(const std::string& text)
+{
+    std::vector<double> out;
+    std::istringstream in(text);
+    std::string tok;
+    while (std::getline(in, tok, ',')) {
+        const double q = std::strtod(tok.c_str(), nullptr);
+        if (q <= 0.0) die("qps values must be > 0: " + text);
+        out.push_back(q);
+    }
+    if (out.empty()) die("empty --qps list");
+    return out;
+}
+
+Options
+parse_args(int argc, char** argv)
+{
+    Options opt;
+    auto need = [&](int& i, const char* flag) -> const char* {
+        if (i + 1 >= argc) die(std::string("missing value for ") + flag);
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--help" || a == "-h") {
+            usage();
+            std::exit(0);
+        } else if (a == "--connect") {
+            opt.connect = need(i, "--connect");
+        } else if (a == "--model") {
+            opt.model = need(i, "--model");
+        } else if (a == "--dim") {
+            opt.dim = std::strtoull(need(i, "--dim"), nullptr, 10);
+        } else if (a == "--qps") {
+            opt.qps = parse_qps_list(need(i, "--qps"));
+        } else if (a == "--duration") {
+            opt.duration_s = std::strtod(need(i, "--duration"), nullptr);
+        } else if (a == "--connections") {
+            opt.connections =
+                std::strtoull(need(i, "--connections"), nullptr, 10);
+        } else if (a == "--tenants") {
+            opt.tenants =
+                std::strtoull(need(i, "--tenants"), nullptr, 10);
+        } else if (a == "--batch-frac") {
+            opt.batch_frac =
+                std::strtod(need(i, "--batch-frac"), nullptr);
+        } else if (a == "--deadline-us") {
+            opt.deadline_us = static_cast<std::uint32_t>(
+                std::strtoul(need(i, "--deadline-us"), nullptr, 10));
+        } else if (a == "--encoding") {
+            const std::string e = need(i, "--encoding");
+            if (e == "f32") opt.q8 = false;
+            else if (e == "q8") opt.q8 = true;
+            else die("unknown encoding (want f32|q8): " + e);
+        } else if (a == "--seed") {
+            opt.seed = std::strtoull(need(i, "--seed"), nullptr, 10);
+        } else if (a == "--json") {
+            opt.json_path = need(i, "--json");
+        } else {
+            die("unknown flag: " + a);
+        }
+    }
+    if (opt.connect.empty()) die("no --connect given");
+    if (opt.dim == 0) die("no --dim given");
+    if (opt.connections == 0 || opt.tenants == 0)
+        die("need connections/tenants >= 1");
+    if (opt.batch_frac < 0.0 || opt.batch_frac > 1.0)
+        die("--batch-frac must be in [0, 1]");
+    return opt;
+}
+
+std::uint64_t
+now_ns()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+/// Per-lane outcome accumulators, merged across sender threads.
+struct LaneTally
+{
+    std::uint64_t ok = 0;
+    std::vector<double> latency_us; ///< for OK responses only
+
+    void
+    merge(const LaneTally& other)
+    {
+        ok += other.ok;
+        latency_us.insert(latency_us.end(), other.latency_us.begin(),
+                          other.latency_us.end());
+    }
+};
+
+struct Tally
+{
+    std::uint64_t sent = 0;
+    std::uint64_t resource_exhausted = 0;
+    std::uint64_t deadline_exceeded = 0;
+    std::uint64_t other_errors = 0;
+    LaneTally lanes[gate::kLanes];
+
+    std::uint64_t
+    shed() const
+    {
+        return resource_exhausted + deadline_exceeded + other_errors;
+    }
+
+    void
+    merge(const Tally& other)
+    {
+        sent += other.sent;
+        resource_exhausted += other.resource_exhausted;
+        deadline_exceeded += other.deadline_exceeded;
+        other_errors += other.other_errors;
+        for (std::size_t l = 0; l < gate::kLanes; ++l)
+            lanes[l].merge(other.lanes[l]);
+    }
+};
+
+double
+percentile_us(std::vector<double>& xs, double p)
+{
+    if (xs.empty()) return 0.0;
+    const auto k = static_cast<std::size_t>(
+        p / 100.0 * static_cast<double>(xs.size() - 1) + 0.5);
+    std::nth_element(xs.begin(), xs.begin() + static_cast<long>(k),
+                     xs.end());
+    return xs[k];
+}
+
+/// One offered-load step: `opt.connections` threads, each its own
+/// connection and an independent Poisson stream at rate/connections.
+Tally
+run_step(const Options& opt, double offered_qps)
+{
+    const net::Address address = net::parse_address(opt.connect);
+    std::vector<std::unique_ptr<gate::GateClient>> clients;
+    std::vector<Tally> tallies(opt.connections);
+    std::vector<std::mutex> tally_mutexes(opt.connections);
+    for (std::size_t c = 0; c < opt.connections; ++c) {
+        auto client = std::make_unique<gate::GateClient>(address);
+        if (!client->connected())
+            die("cannot connect to " + opt.connect);
+        Tally* tally = &tallies[c];
+        std::mutex* mutex = &tally_mutexes[c];
+        client->set_handler([tally, mutex](
+                                const gate::ScoreResponse& response) {
+            const auto lane = static_cast<std::size_t>(
+                response.request_id & 1u);
+            const double latency_us =
+                static_cast<double>(now_ns() -
+                                    (response.request_id & ~1ull)) *
+                1e-3;
+            std::lock_guard<std::mutex> lock(*mutex);
+            switch (response.status) {
+            case gate::Status::kOk:
+                tally->lanes[lane].ok += 1;
+                tally->lanes[lane].latency_us.push_back(latency_us);
+                break;
+            case gate::Status::kResourceExhausted:
+                tally->resource_exhausted += 1;
+                break;
+            case gate::Status::kDeadlineExceeded:
+                tally->deadline_exceeded += 1;
+                break;
+            default: tally->other_errors += 1; break;
+            }
+        });
+        clients.push_back(std::move(client));
+    }
+
+    std::vector<std::thread> senders;
+    for (std::size_t c = 0; c < opt.connections; ++c) {
+        senders.emplace_back([&, c] {
+            std::mt19937_64 rng(opt.seed + c * 7919);
+            std::exponential_distribution<double> gap(
+                offered_qps / static_cast<double>(opt.connections));
+            std::uniform_real_distribution<double> coin(0.0, 1.0);
+            std::uniform_real_distribution<float> feature(-1.0f, 1.0f);
+
+            // A small pool of feature vectors, re-sent round-robin:
+            // realistic variety without per-send generation cost.
+            constexpr std::size_t kPool = 8;
+            std::vector<std::vector<float>> pool(kPool);
+            for (auto& x : pool) {
+                x.resize(opt.dim);
+                for (float& v : x) v = feature(rng);
+            }
+            std::vector<std::vector<std::int8_t>> pool_q8(kPool);
+            std::vector<float> pool_scale(kPool, 0.0f);
+            if (opt.q8)
+                for (std::size_t i = 0; i < kPool; ++i)
+                    pool_scale[i] = gate::quantize_features_q8(
+                        pool[i].data(), opt.dim, pool_q8[i]);
+
+            gate::ScoreRequest request;
+            request.model = opt.model;
+            const auto start = std::chrono::steady_clock::now();
+            const auto stop =
+                start + std::chrono::duration_cast<
+                            std::chrono::steady_clock::duration>(
+                            std::chrono::duration<double>(
+                                opt.duration_s));
+            auto next = start;
+            std::size_t sequence = 0;
+            std::uint64_t sent = 0;
+            while (true) {
+                next += std::chrono::duration_cast<
+                    std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double>(gap(rng)));
+                if (next >= stop) break;
+                // Open loop: if we fell behind schedule, send
+                // immediately (arrival bursts are part of the process).
+                std::this_thread::sleep_until(next);
+
+                const std::size_t i = sequence++ % kPool;
+                const bool batch = coin(rng) < opt.batch_frac;
+                request.lane = batch ? gate::Lane::kBatch
+                                     : gate::Lane::kInteractive;
+                request.tenant =
+                    "t" + std::to_string(sequence % opt.tenants);
+                request.deadline_us = batch ? 0 : opt.deadline_us;
+                if (opt.q8) {
+                    request.encoding = gate::FeatureEncoding::kDenseQ8;
+                    request.q8 = pool_q8[i];
+                    request.scale = pool_scale[i];
+                } else {
+                    request.encoding = gate::FeatureEncoding::kDenseF32;
+                    request.dense = pool[i];
+                }
+                request.request_id =
+                    (now_ns() & ~1ull) |
+                    static_cast<std::uint64_t>(request.lane);
+                if (!clients[c]->send(request)) break; // connection died
+                ++sent;
+            }
+            std::lock_guard<std::mutex> lock(tally_mutexes[c]);
+            tallies[c].sent += sent;
+        });
+    }
+    for (auto& sender : senders) sender.join();
+    // Grace window for in-flight responses, then tear down.
+    std::this_thread::sleep_for(std::chrono::milliseconds(500));
+    for (auto& client : clients) client->close();
+
+    Tally total;
+    for (std::size_t c = 0; c < opt.connections; ++c) {
+        std::lock_guard<std::mutex> lock(tally_mutexes[c]);
+        total.merge(tallies[c]);
+    }
+    return total;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    const Options opt = parse_args(argc, argv);
+
+    TablePrinter table(
+        "open-loop gate sweep (" + opt.model + ", dim " +
+            std::to_string(opt.dim) + (opt.q8 ? ", q8" : ", f32") + ")",
+        {"offered qps", "sent", "ok", "shed", "shed %", "int p50 us",
+         "int p99 us", "bat p50 us", "bat p99 us"});
+    std::ostringstream json;
+    json << "{\"model\":\"" << opt.model << "\",\"dim\":" << opt.dim
+         << ",\"encoding\":\"" << (opt.q8 ? "q8" : "f32")
+         << "\",\"steps\":[";
+
+    bool first = true;
+    for (const double qps : opt.qps) {
+        Tally tally = run_step(opt, qps);
+        const std::uint64_t ok =
+            tally.lanes[0].ok + tally.lanes[1].ok;
+        const double shed_rate =
+            tally.sent > 0 ? static_cast<double>(tally.shed()) /
+                                 static_cast<double>(tally.sent)
+                           : 0.0;
+        const double int_p50 =
+            percentile_us(tally.lanes[0].latency_us, 50.0);
+        const double int_p99 =
+            percentile_us(tally.lanes[0].latency_us, 99.0);
+        const double bat_p50 =
+            percentile_us(tally.lanes[1].latency_us, 50.0);
+        const double bat_p99 =
+            percentile_us(tally.lanes[1].latency_us, 99.0);
+        table.add_row({format_num(qps, 5), std::to_string(tally.sent),
+                       std::to_string(ok), std::to_string(tally.shed()),
+                       format_num(shed_rate * 100.0, 3),
+                       format_num(int_p50, 4), format_num(int_p99, 4),
+                       format_num(bat_p50, 4), format_num(bat_p99, 4)});
+        if (!first) json << ",";
+        first = false;
+        json << "{\"offered_qps\":" << qps << ",\"sent\":" << tally.sent
+             << ",\"ok\":" << ok << ",\"shed\":" << tally.shed()
+             << ",\"resource_exhausted\":" << tally.resource_exhausted
+             << ",\"deadline_exceeded\":" << tally.deadline_exceeded
+             << ",\"other_errors\":" << tally.other_errors
+             << ",\"shed_rate\":" << shed_rate
+             << ",\"interactive\":{\"ok\":" << tally.lanes[0].ok
+             << ",\"p50_us\":" << int_p50 << ",\"p99_us\":" << int_p99
+             << "},\"batch\":{\"ok\":" << tally.lanes[1].ok
+             << ",\"p50_us\":" << bat_p50 << ",\"p99_us\":" << bat_p99
+             << "}}";
+    }
+    json << "]}";
+
+    table.print(std::cout);
+    if (!opt.json_path.empty()) {
+        if (opt.json_path == "-") {
+            std::cout << json.str() << "\n";
+        } else {
+            std::ofstream out(opt.json_path);
+            out << json.str() << "\n";
+            std::printf("wrote %s\n", opt.json_path.c_str());
+        }
+    }
+    return 0;
+}

@@ -11,9 +11,17 @@
  *     buckwild_serve --model model.bw --precision Ms8 --batch 1,16
  *     buckwild_serve --model model.bw --libsvm data.svm --workers 2
  *
+ * With --listen the tool becomes the network front door instead: the
+ * model is published under --name and a gate::GateServer accepts
+ * gate-protocol clients (drive it with tools/buckwild_gate):
+ *
+ *     buckwild_serve --model model.bw --listen 127.0.0.1:7070 \
+ *         --workers 2 --obs-port 9900
+ *
  * Run with --help for the full flag list.
  */
 #include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -27,6 +35,8 @@
 #include "dataset/digits.h"
 #include "dataset/libsvm.h"
 #include "dataset/problem.h"
+#include "gate/gate.h"
+#include "net/socket.h"
 #include "obs/obs.h"
 #include "obs_cli.h"
 #include "serve/serve.h"
@@ -56,6 +66,19 @@ usage()
         "  --clients C            closed-loop client threads (default 1)\n"
         "  --window W             in-flight requests per client (default 64;\n"
         "                         1 = strict request-response)\n"
+        "\n"
+        "network serving (the front door; see tools/buckwild_gate):\n"
+        "  --listen HOST:PORT     serve the gate wire protocol instead of\n"
+        "                         the closed-loop bench (port 0 = any free\n"
+        "                         port, printed at startup)\n"
+        "  --name NAME            model name to publish (default: default)\n"
+        "  --duration S           exit after S seconds (default: run until\n"
+        "                         SIGINT/SIGTERM)\n"
+        "  --tenant-rate R        per-tenant admission rate, requests/s\n"
+        "                         (default: unlimited)\n"
+        "  --tenant-burst B       per-tenant token-bucket burst (default 32)\n"
+        "  --interactive-cap N    interactive lane capacity (default 256)\n"
+        "  --batch-cap N          batch lane capacity (default 1024)\n"
         "\n"
         "serving:\n"
         "  --workers W            scoring worker threads (default 1)\n"
@@ -98,6 +121,14 @@ struct Options
     std::uint64_t seed = 0x5EED;
     tools::ObsCliOptions obs;
     bool csv = false;
+    // Network front-door mode.
+    std::string listen;
+    std::string gate_name = "default";
+    double duration_s = 0.0;
+    double tenant_rate = 0.0; // <= 0 = unlimited
+    double tenant_burst = 32.0;
+    std::size_t interactive_cap = 256;
+    std::size_t batch_cap = 1024;
 };
 
 std::vector<std::size_t>
@@ -166,6 +197,24 @@ parse_args(int argc, char** argv)
             else die("unknown impl: " + m);
         } else if (a == "--seed") {
             opt.seed = std::strtoull(need(i, "--seed"), nullptr, 10);
+        } else if (a == "--listen") {
+            opt.listen = need(i, "--listen");
+        } else if (a == "--name") {
+            opt.gate_name = need(i, "--name");
+        } else if (a == "--duration") {
+            opt.duration_s = std::strtod(need(i, "--duration"), nullptr);
+        } else if (a == "--tenant-rate") {
+            opt.tenant_rate =
+                std::strtod(need(i, "--tenant-rate"), nullptr);
+        } else if (a == "--tenant-burst") {
+            opt.tenant_burst =
+                std::strtod(need(i, "--tenant-burst"), nullptr);
+        } else if (a == "--interactive-cap") {
+            opt.interactive_cap =
+                std::strtoull(need(i, "--interactive-cap"), nullptr, 10);
+        } else if (a == "--batch-cap") {
+            opt.batch_cap =
+                std::strtoull(need(i, "--batch-cap"), nullptr, 10);
         } else if (tools::parse_obs_flag(opt.obs, argc, argv, i)) {
             // shared observability flag, consumed
         } else if (a == "--csv") {
@@ -337,6 +386,70 @@ run_closed_loop(const Options& opt, const serve::ModelRegistry& registry,
     return result;
 }
 
+std::atomic<bool> g_stop{false};
+
+void
+on_signal(int)
+{
+    g_stop.store(true, std::memory_order_release);
+}
+
+/**
+ * Front-door mode: publish the model under --name, bind the gate, and
+ * serve the wire protocol until --duration elapses or a signal lands.
+ * The gate.* instruments go to the process-global registry so
+ * --obs-port exposes them on /metrics.
+ */
+int
+run_gate(const Options& opt, const core::SavedModel& saved,
+         serve::Precision precision)
+{
+    gate::ModelRouter router;
+    router.publish(opt.gate_name, saved, precision);
+
+    const net::Address bind = net::parse_address(opt.listen);
+    gate::GateConfig cfg;
+    cfg.bind_address = bind.host;
+    cfg.port = bind.port;
+    cfg.workers = opt.workers;
+    cfg.interactive_capacity = opt.interactive_cap;
+    cfg.batch_capacity = opt.batch_cap;
+    cfg.admission.tenant_rate = opt.tenant_rate;
+    cfg.admission.tenant_burst = opt.tenant_burst;
+    if (opt.impl) cfg.impl = *opt.impl;
+    cfg.metrics_registry = &obs::MetricsRegistry::global();
+
+    const dmgc::PerfModel perf = dmgc::PerfModel::paper_model();
+    gate::GateServer server(router, perf, cfg);
+
+    std::signal(SIGINT, on_signal);
+    std::signal(SIGTERM, on_signal);
+    // The scripts that drive this (CI smoke, bench harnesses) parse
+    // this line for the bound port — keep the format stable.
+    std::printf("gate: model '%s' listening on %s:%u (%zu workers, "
+                "lanes %zu/%zu)\n",
+                opt.gate_name.c_str(), bind.host.c_str(), server.port(),
+                opt.workers, opt.interactive_cap, opt.batch_cap);
+    std::fflush(stdout);
+
+    Stopwatch up;
+    while (!g_stop.load(std::memory_order_acquire)) {
+        if (opt.duration_s > 0.0 && up.seconds() >= opt.duration_s)
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    server.stop();
+    const gate::GateStats stats = server.stats();
+    std::printf("gate: admitted %llu, completed %llu, shed %llu, "
+                "deadline-missed %llu, malformed %llu\n",
+                static_cast<unsigned long long>(stats.admitted),
+                static_cast<unsigned long long>(stats.completed),
+                static_cast<unsigned long long>(stats.shed),
+                static_cast<unsigned long long>(stats.deadline_missed),
+                static_cast<unsigned long long>(stats.malformed));
+    return 0;
+}
+
 } // namespace
 
 int
@@ -360,6 +473,19 @@ main(int argc, char** argv)
                     to_string(model->loss()).c_str(),
                     model->trained_signature().to_string().c_str(),
                     to_string(precision).c_str(), model->bytes());
+
+        if (!opt.listen.empty()) {
+            // Network front-door mode; /metrics piggybacks on the same
+            // shared observability session as the bench mode.
+            tools::ObsSession::Workload workload;
+            workload.signature = dmgc::Signature::dense_hogwild();
+            workload.threads = opt.workers;
+            workload.model_size = model->dim();
+            tools::ObsSession session(opt.obs, workload);
+            const int rc = run_gate(opt, saved, precision);
+            session.finish();
+            return rc;
+        }
 
         const LoadSet load = build_load(opt, model->dim());
         std::printf("load: %zu unique %s requests, %zu total, %zu clients, "

@@ -7,13 +7,16 @@
 #   1. build the whole tree under ASan+UBSan and run the full gtest suite
 #      (including test_lowp's cross-layer bit-identity goldens);
 #   2. build under TSan and run test_serve + test_ps + test_net +
-#      test_obs + test_live, which exercise the registry hot-swap, the
-#      request queue, the serving worker loop, the parameter-server
-#      shards/transport/cluster, the socket fabric (accept/reader
-#      threads, frame I/O, loopback clusters), the observability
-#      counters/trace rings, and the live tier (sampler thread, HTTP
-#      scrapes, and the conformance/perf listeners racing hot-path
-#      writers) — the races these subsystems could plausibly have.
+#      test_obs + test_live + test_gate, which exercise the registry
+#      hot-swap, the request queue, the serving worker loop, the
+#      parameter-server shards/transport/cluster, the socket fabric
+#      (accept/reader threads, frame I/O, loopback clusters), the
+#      observability counters/trace rings, the live tier (sampler
+#      thread, HTTP scrapes, and the conformance/perf listeners racing
+#      hot-path writers), and the serving front door (event loop +
+#      scoring workers + pipelined clients on one gate, malformed
+#      ingress included) — the races these subsystems could plausibly
+#      have.
 #
 # Usage: tools/check.sh [-j N]
 set -euo pipefail
@@ -35,9 +38,9 @@ cmake --preset asan
 cmake --build --preset asan -j "$jobs"
 ctest --preset asan
 
-echo "== TSan: serving + parameter-server + net + obs concurrency suites =="
+echo "== TSan: serving + parameter-server + net + obs + gate concurrency suites =="
 cmake --preset tsan
-cmake --build --preset tsan -j "$jobs" --target test_serve test_ps test_net test_obs test_live
-ctest --preset tsan -R '^(Serve|Serving|ModelRegistry|InferenceEngine|RequestQueue|Server|Ps|Net|Obs)'
+cmake --build --preset tsan -j "$jobs" --target test_serve test_ps test_net test_obs test_live test_gate
+ctest --preset tsan -R '^(Serve|Serving|ModelRegistry|InferenceEngine|RequestQueue|Server|Ps|Net|Obs|Gate)'
 
 echo "check.sh: all gates passed"
