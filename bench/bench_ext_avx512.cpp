@@ -14,6 +14,7 @@
 
 #include "bench/bench_util.h"
 #include "rng/xorshift.h"
+#include "simd/dense_avx512.h"
 #include "simd/ops.h"
 #include "util/aligned_buffer.h"
 

@@ -7,6 +7,7 @@
 #include "buckwild/buckwild.h"
 #include "cachesim/sgd_trace.h"
 #include "isa/proxy_kernels.h"
+#include "simd/dense_avx2.h"
 #include "rng/xorshift.h"
 
 namespace {

@@ -30,6 +30,7 @@ set(BUCKWILD_BENCHES
   bench_serve_throughput
   bench_cluster_scaling
   bench_lowp_round
+  bench_kernel_registry
   bench_gate_overload)
 
 foreach(name IN LISTS BUCKWILD_BENCHES)

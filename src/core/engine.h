@@ -39,6 +39,7 @@
 #include "lowp/round.h"
 #include "lowp/shared_random.h"
 #include "rng/random_source.h"
+#include "simd/dense_ref.h"
 #include "simd/ops.h"
 #include "simd/sparse_kernels.h"
 #include "util/aligned_buffer.h"
@@ -500,7 +501,7 @@ class SparseEngine
     margin(std::size_t i) const
     {
         const float scale = dot_scale();
-        if (cfg_.impl == simd::Impl::kAvx2 &&
+        if (simd::is_vectorized(cfg_.impl) &&
             data_.index_mode() == simd::sparse::IndexMode::kAbsolute) {
             return simd::sparse::dot_unrolled(
                 data_.row_values(i), data_.row_indices(i), data_.row_nnz(i),

@@ -2,7 +2,11 @@
  * @file
  * Array rounding kernels: scalar reference implementations plus the AVX2
  * fast paths (§5.2 vectorized rounding applied to every array-quantizing
- * call site, not just the SGD inner loop).
+ * call site, not just the SGD inner loop), registered as "lowp.*" ops in
+ * the process-wide KernelLibrary. Public entries resolve once and cache
+ * the function pointer behind a kernel_generation() check, so a
+ * force_impl() (tests, BUCKWILD_KERNEL_IMPL) re-steers them while the
+ * steady-state cost stays one indirect call.
  *
  * Bit-identity notes — the AVX2 paths must agree with the scalar
  * references bit-for-bit, which rests on three identities:
@@ -29,8 +33,12 @@
 #include "lowp/round.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstring>
+
+#include "simd/cpu.h"
+#include "simd/registry.h"
 
 #ifdef __AVX2__
 #include <immintrin.h>
@@ -107,6 +115,30 @@ quantize_shared(const float* in, std::int16_t* out, std::size_t n,
     quantize_shared_impl(in, out, n, grid, words);
 }
 
+template <typename Rep>
+static void
+dequantize_impl(const Rep* in, float* out, std::size_t n,
+                const GridSpec& grid)
+{
+    const float q = grid.quantum_f();
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = static_cast<float>(in[i]) * q;
+}
+
+void
+dequantize(const std::int8_t* in, float* out, std::size_t n,
+           const GridSpec& grid)
+{
+    dequantize_impl(in, out, n, grid);
+}
+
+void
+dequantize(const std::int16_t* in, float* out, std::size_t n,
+           const GridSpec& grid)
+{
+    dequantize_impl(in, out, n, grid);
+}
+
 float
 max_abs(const float* g, std::size_t n)
 {
@@ -158,16 +190,6 @@ quantize_unbiased_impl(const float* in, Rep* out, std::size_t n,
             static_cast<double>(in[i]), grid, source.next_unit_float()));
 }
 
-template <typename Rep>
-void
-dequantize_impl(const Rep* in, float* out, std::size_t n,
-                const GridSpec& grid)
-{
-    const float q = grid.quantum_f();
-    for (std::size_t i = 0; i < n; ++i)
-        out[i] = static_cast<float>(in[i]) * q;
-}
-
 } // namespace
 
 void
@@ -184,83 +206,13 @@ quantize_unbiased(const float* in, std::int16_t* out, std::size_t n,
     quantize_unbiased_impl(in, out, n, grid, source);
 }
 
-#ifndef __AVX2__
+// ---------------------------------------------------------------------
+// AVX2 variants (compiled only when the build carries AVX2 codegen)
+// ---------------------------------------------------------------------
 
-bool
-vectorized()
-{
-    return false;
-}
+#ifdef __AVX2__
 
-void
-quantize_biased(const float* in, std::int8_t* out, std::size_t n,
-                const GridSpec& grid)
-{
-    scalar::quantize_biased(in, out, n, grid);
-}
-
-void
-quantize_biased(const float* in, std::int16_t* out, std::size_t n,
-                const GridSpec& grid)
-{
-    scalar::quantize_biased(in, out, n, grid);
-}
-
-void
-quantize_shared(const float* in, std::int8_t* out, std::size_t n,
-                const GridSpec& grid, const std::uint32_t words[8])
-{
-    scalar::quantize_shared(in, out, n, grid, words);
-}
-
-void
-quantize_shared(const float* in, std::int16_t* out, std::size_t n,
-                const GridSpec& grid, const std::uint32_t words[8])
-{
-    scalar::quantize_shared(in, out, n, grid, words);
-}
-
-void
-dequantize(const std::int8_t* in, float* out, std::size_t n,
-           const GridSpec& grid)
-{
-    dequantize_impl(in, out, n, grid);
-}
-
-void
-dequantize(const std::int16_t* in, float* out, std::size_t n,
-           const GridSpec& grid)
-{
-    dequantize_impl(in, out, n, grid);
-}
-
-float
-max_abs(const float* g, std::size_t n)
-{
-    return scalar::max_abs(g, n);
-}
-
-void
-round_levels_i8(const float* g, std::size_t n, float scale,
-                std::int8_t* levels, float* q, float* residual)
-{
-    scalar::round_levels_i8(g, n, scale, levels, q, residual);
-}
-
-void
-quantize_sign_1bit(const float* g, std::size_t n, float scale, float* q,
-                   float* residual, std::uint8_t* payload)
-{
-    scalar::quantize_sign_1bit(g, n, scale, q, residual, payload);
-}
-
-#else // __AVX2__
-
-bool
-vectorized()
-{
-    return true;
-}
+namespace avx2 {
 
 namespace {
 
@@ -304,7 +256,7 @@ pack8_i16(__m256i v32)
 
 template <typename Rep>
 void
-quantize_biased_avx2(const float* in, Rep* out, std::size_t n,
+quantize_biased_impl(const float* in, Rep* out, std::size_t n,
                      const GridSpec& grid)
 {
     const __m256d qinv = _mm256_set1_pd(1.0 / grid.quantum);
@@ -327,7 +279,7 @@ quantize_biased_avx2(const float* in, Rep* out, std::size_t n,
 
 template <typename Rep>
 void
-quantize_shared_avx2(const float* in, Rep* out, std::size_t n,
+quantize_shared_impl(const float* in, Rep* out, std::size_t n,
                      const GridSpec& grid, const std::uint32_t words[8])
 {
     alignas(32) float unit[8];
@@ -367,28 +319,28 @@ void
 quantize_biased(const float* in, std::int8_t* out, std::size_t n,
                 const GridSpec& grid)
 {
-    quantize_biased_avx2(in, out, n, grid);
+    quantize_biased_impl(in, out, n, grid);
 }
 
 void
 quantize_biased(const float* in, std::int16_t* out, std::size_t n,
                 const GridSpec& grid)
 {
-    quantize_biased_avx2(in, out, n, grid);
+    quantize_biased_impl(in, out, n, grid);
 }
 
 void
 quantize_shared(const float* in, std::int8_t* out, std::size_t n,
                 const GridSpec& grid, const std::uint32_t words[8])
 {
-    quantize_shared_avx2(in, out, n, grid, words);
+    quantize_shared_impl(in, out, n, grid, words);
 }
 
 void
 quantize_shared(const float* in, std::int16_t* out, std::size_t n,
                 const GridSpec& grid, const std::uint32_t words[8])
 {
-    quantize_shared_avx2(in, out, n, grid, words);
+    quantize_shared_impl(in, out, n, grid, words);
 }
 
 void
@@ -455,7 +407,7 @@ round_levels_i8(const float* g, std::size_t n, float scale,
     // vdivps/vroundps/vpackuswb pipeline that a hand-written 16-wide
     // kernel measurably loses to (see bench_lowp_round). Reuse it rather
     // than re-deriving the compiler's schedule by hand; the hand kernels
-    // below cover the loops auto-vectorization cannot handle (the max_abs
+    // above cover the loops auto-vectorization cannot handle (the max_abs
     // reduction, the branchy 1-bit codec, the double-domain biased path).
     scalar::round_levels_i8(g, n, scale, levels, q, residual);
 }
@@ -490,6 +442,215 @@ quantize_sign_1bit(const float* g, std::size_t n, float scale, float* q,
     }
 }
 
+} // namespace avx2
+
 #endif // __AVX2__
+
+// ---------------------------------------------------------------------
+// Registry wiring
+// ---------------------------------------------------------------------
+
+namespace {
+
+// Registered-signature aliases (the array parameter decays to a pointer).
+using QuantizeI8Fn = void (*)(const float*, std::int8_t*, std::size_t,
+                              const GridSpec&);
+using QuantizeI16Fn = void (*)(const float*, std::int16_t*, std::size_t,
+                               const GridSpec&);
+using SharedI8Fn = void (*)(const float*, std::int8_t*, std::size_t,
+                            const GridSpec&, const std::uint32_t*);
+using SharedI16Fn = void (*)(const float*, std::int16_t*, std::size_t,
+                             const GridSpec&, const std::uint32_t*);
+using DequantizeI8Fn = void (*)(const std::int8_t*, float*, std::size_t,
+                                const GridSpec&);
+using DequantizeI16Fn = void (*)(const std::int16_t*, float*, std::size_t,
+                                 const GridSpec&);
+using MaxAbsFn = float (*)(const float*, std::size_t);
+using RoundLevelsFn = void (*)(const float*, std::size_t, float,
+                               std::int8_t*, float*, float*);
+using Sign1BitFn = void (*)(const float*, std::size_t, float, float*,
+                            float*, std::uint8_t*);
+
+#ifdef __AVX2__
+bool
+lowp_avx2_ok()
+{
+    return simd::host_cpu().avx2;
+}
+#endif
+
+template <typename Fn>
+void
+add_op(simd::KernelLibrary& lib, const char* op, Fn ref_fn, Fn avx2_fn)
+{
+    lib.add(op, simd::Impl::kReference,
+            reinterpret_cast<void*>(ref_fn));
+#ifdef __AVX2__
+    lib.add(op, simd::Impl::kAvx2, reinterpret_cast<void*>(avx2_fn),
+            &lowp_avx2_ok);
+#else
+    (void)avx2_fn;
+#endif
+}
+
+#ifdef __AVX2__
+#define BUCKWILD_LOWP_AVX2(fn) (fn)
+#else
+#define BUCKWILD_LOWP_AVX2(fn) (nullptr)
+#endif
+
+void
+do_register(simd::KernelLibrary& lib)
+{
+    add_op<QuantizeI8Fn>(
+        lib, "lowp.quantize_biased_i8", &scalar::quantize_biased,
+        BUCKWILD_LOWP_AVX2(&avx2::quantize_biased));
+    add_op<QuantizeI16Fn>(
+        lib, "lowp.quantize_biased_i16", &scalar::quantize_biased,
+        BUCKWILD_LOWP_AVX2(&avx2::quantize_biased));
+    add_op<SharedI8Fn>(
+        lib, "lowp.quantize_shared_i8", &scalar::quantize_shared,
+        BUCKWILD_LOWP_AVX2(&avx2::quantize_shared));
+    add_op<SharedI16Fn>(
+        lib, "lowp.quantize_shared_i16", &scalar::quantize_shared,
+        BUCKWILD_LOWP_AVX2(&avx2::quantize_shared));
+    add_op<DequantizeI8Fn>(
+        lib, "lowp.dequantize_i8", &scalar::dequantize,
+        BUCKWILD_LOWP_AVX2(&avx2::dequantize));
+    add_op<DequantizeI16Fn>(
+        lib, "lowp.dequantize_i16", &scalar::dequantize,
+        BUCKWILD_LOWP_AVX2(&avx2::dequantize));
+    add_op<MaxAbsFn>(lib, "lowp.max_abs", &scalar::max_abs,
+                     BUCKWILD_LOWP_AVX2(&avx2::max_abs));
+    add_op<RoundLevelsFn>(
+        lib, "lowp.round_levels_i8", &scalar::round_levels_i8,
+        BUCKWILD_LOWP_AVX2(&avx2::round_levels_i8));
+    add_op<Sign1BitFn>(
+        lib, "lowp.quantize_sign_1bit", &scalar::quantize_sign_1bit,
+        BUCKWILD_LOWP_AVX2(&avx2::quantize_sign_1bit));
+}
+
+#undef BUCKWILD_LOWP_AVX2
+
+/// One resolved-pointer cache per public entry. The pointer revalidates
+/// against kernel_generation(), so a force_impl() in a test re-steers
+/// every entry while the steady state costs one relaxed load + compare.
+struct CachedKernel
+{
+    std::atomic<void*> fn{nullptr};
+    std::atomic<std::uint64_t> gen{0};
+
+    template <typename Fn>
+    Fn
+    get(const char* op)
+    {
+        const std::uint64_t current = simd::kernel_generation();
+        void* p = fn.load(std::memory_order_acquire);
+        if (p == nullptr ||
+            gen.load(std::memory_order_acquire) != current) {
+            register_lowp_kernels();
+            p = simd::KernelLibrary::instance().resolve_auto(op).fn;
+            fn.store(p, std::memory_order_release);
+            gen.store(current, std::memory_order_release);
+        }
+        return reinterpret_cast<Fn>(p);
+    }
+};
+
+} // namespace
+
+void
+register_lowp_kernels()
+{
+    static const bool once = [] {
+        do_register(simd::KernelLibrary::instance());
+        return true;
+    }();
+    (void)once;
+}
+
+bool
+vectorized()
+{
+    register_lowp_kernels();
+    return simd::is_vectorized(simd::KernelLibrary::instance()
+                                   .resolve_auto("lowp.quantize_biased_i8")
+                                   .impl);
+}
+
+void
+quantize_biased(const float* in, std::int8_t* out, std::size_t n,
+                const GridSpec& grid)
+{
+    static CachedKernel cache;
+    cache.get<QuantizeI8Fn>("lowp.quantize_biased_i8")(in, out, n, grid);
+}
+
+void
+quantize_biased(const float* in, std::int16_t* out, std::size_t n,
+                const GridSpec& grid)
+{
+    static CachedKernel cache;
+    cache.get<QuantizeI16Fn>("lowp.quantize_biased_i16")(in, out, n, grid);
+}
+
+void
+quantize_shared(const float* in, std::int8_t* out, std::size_t n,
+                const GridSpec& grid, const std::uint32_t words[8])
+{
+    static CachedKernel cache;
+    cache.get<SharedI8Fn>("lowp.quantize_shared_i8")(in, out, n, grid,
+                                                     words);
+}
+
+void
+quantize_shared(const float* in, std::int16_t* out, std::size_t n,
+                const GridSpec& grid, const std::uint32_t words[8])
+{
+    static CachedKernel cache;
+    cache.get<SharedI16Fn>("lowp.quantize_shared_i16")(in, out, n, grid,
+                                                       words);
+}
+
+void
+dequantize(const std::int8_t* in, float* out, std::size_t n,
+           const GridSpec& grid)
+{
+    static CachedKernel cache;
+    cache.get<DequantizeI8Fn>("lowp.dequantize_i8")(in, out, n, grid);
+}
+
+void
+dequantize(const std::int16_t* in, float* out, std::size_t n,
+           const GridSpec& grid)
+{
+    static CachedKernel cache;
+    cache.get<DequantizeI16Fn>("lowp.dequantize_i16")(in, out, n, grid);
+}
+
+float
+max_abs(const float* g, std::size_t n)
+{
+    static CachedKernel cache;
+    return cache.get<MaxAbsFn>("lowp.max_abs")(g, n);
+}
+
+void
+round_levels_i8(const float* g, std::size_t n, float scale,
+                std::int8_t* levels, float* q, float* residual)
+{
+    static CachedKernel cache;
+    cache.get<RoundLevelsFn>("lowp.round_levels_i8")(g, n, scale, levels,
+                                                     q, residual);
+}
+
+void
+quantize_sign_1bit(const float* g, std::size_t n, float scale, float* q,
+                   float* residual, std::uint8_t* payload)
+{
+    static CachedKernel cache;
+    cache.get<Sign1BitFn>("lowp.quantize_sign_1bit")(g, n, scale, q,
+                                                     residual, payload);
+}
 
 } // namespace buckwild::lowp

@@ -14,11 +14,16 @@
  *    storage, constrained to the grid — biased rounding is nearbyintf
  *    (ties to even), all arithmetic in float.
  *
- * Array entry points dispatch to hand-vectorized AVX2 kernels when the
- * library is built with them (§5.2 applied beyond the SGD inner loop:
- * the same vectorized-rounding idea now covers the ps C-codec encode and
- * the serve publish path); `lowp::scalar::` always carries the scalar
- * reference implementations so tests can assert scalar/AVX2 bit-identity.
+ * Array entry points dispatch through the process-wide KernelLibrary
+ * (simd/registry.h): each op registers its scalar reference and — when
+ * the build carries them — the hand-vectorized AVX2 kernels (§5.2
+ * applied beyond the SGD inner loop: the same vectorized-rounding idea
+ * now covers the ps C-codec encode and the serve publish path). The
+ * public entries cache the resolved function pointer behind a generation
+ * check, so BUCKWILD_KERNEL_IMPL / force_impl() re-steer them without a
+ * per-call registry lookup. `lowp::scalar::` always carries the scalar
+ * reference implementations so tests can assert scalar/AVX2 bit-identity
+ * independent of what the resolver picked.
  *
  * Shared randomness (§5.2): `quantize_shared()` rounds an array against
  * one 256-bit block of randomness (8 words, applied cyclically), the
@@ -108,10 +113,17 @@ snap_stochastic(float x, const GridSpec& grid, float u)
 }
 
 // ---------------------------------------------------------------------
-// Array kernels (round.cpp; AVX2-vectorized when built with AVX2)
+// Array kernels (round.cpp; registry-dispatched, AVX2 when available)
 // ---------------------------------------------------------------------
 
-/// True when the AVX2 rounding kernels are compiled in.
+/// Idempotent registration of the lowp array kernels ("lowp.*" ops) into
+/// the KernelLibrary. The public entries below call it themselves;
+/// sweeps call it before enumerating the library.
+void register_lowp_kernels();
+
+/// True when the resolver currently routes the array kernels to a
+/// vectorized variant (build has AVX2, host executes it, and no scalar
+/// override is forced).
 bool vectorized();
 
 /// Biased float -> raw-rep array quantization (raw domain: lround
@@ -178,6 +190,10 @@ void quantize_shared(const float* in, std::int8_t* out, std::size_t n,
                      const GridSpec& grid, const std::uint32_t words[8]);
 void quantize_shared(const float* in, std::int16_t* out, std::size_t n,
                      const GridSpec& grid, const std::uint32_t words[8]);
+void dequantize(const std::int8_t* in, float* out, std::size_t n,
+                const GridSpec& grid);
+void dequantize(const std::int16_t* in, float* out, std::size_t n,
+                const GridSpec& grid);
 float max_abs(const float* g, std::size_t n);
 void round_levels_i8(const float* g, std::size_t n, float scale,
                      std::int8_t* levels, float* q, float* residual);

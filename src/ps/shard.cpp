@@ -20,6 +20,9 @@ ServerShard::ServerShard(std::size_t index, std::size_t begin,
     if (config.workers == 0) fatal("shard needs at least one worker");
     if (!(config.step_size > 0.0f)) fatal("step_size must be positive");
     if (config.batch == 0) fatal("batch must be >= 1");
+    // The first push is acked under the RPC retransmit timeout; pay the
+    // one-time kernel-registry resolution here, not on that deadline.
+    simd::warm_dense_kernels();
 }
 
 void

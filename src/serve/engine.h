@@ -43,7 +43,11 @@ class InferenceEngine
   public:
     explicit InferenceEngine(simd::Impl impl = simd::best_impl())
         : impl_(impl)
-    {}
+    {
+        // Requests are scored under SLO deadlines; pay the one-time
+        // kernel-registry resolution at construction instead.
+        simd::warm_dense_kernels();
+    }
 
     simd::Impl impl() const { return impl_; }
 

@@ -1,0 +1,26 @@
+#include "simd/cpu.h"
+
+namespace buckwild::simd {
+
+CpuFeatures
+detect_cpu_features()
+{
+    CpuFeatures f;
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_cpu_init();
+    f.avx2 = __builtin_cpu_supports("avx2");
+    f.fma = __builtin_cpu_supports("fma");
+    f.avx512f = __builtin_cpu_supports("avx512f");
+    f.avx512bw = __builtin_cpu_supports("avx512bw");
+#endif
+    return f;
+}
+
+const CpuFeatures&
+host_cpu()
+{
+    static const CpuFeatures cached = detect_cpu_features();
+    return cached;
+}
+
+} // namespace buckwild::simd

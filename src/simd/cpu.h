@@ -1,0 +1,55 @@
+/**
+ * @file
+ * One cached CPUID probe for the whole process.
+ *
+ * Before the kernel registry existed, each kernel family carried its own
+ * runtime check (`avx2::available()`, a per-call AVX-512 probe in
+ * dense_avx512); this unit consolidates them. `host_cpu()` runs the
+ * CPUID queries exactly once and every predicate — registry variant
+ * selection, `best_impl()`, the avx512 safety guards — reads the cached
+ * struct.
+ *
+ * Compile-time capability (were the AVX2 kernels even built?) is a
+ * separate axis from host capability (does this CPU execute them?): a
+ * fleet ships one binary built with AVX2 + FMA and each host narrows the
+ * usable set at startup. `kBuiltWithAvx2` captures the build axis for
+ * the globally-flagged translation units.
+ */
+#ifndef BUCKWILD_SIMD_CPU_H
+#define BUCKWILD_SIMD_CPU_H
+
+namespace buckwild::simd {
+
+/// Host CPU capabilities relevant to the kernel variants.
+struct CpuFeatures
+{
+    bool avx2 = false;
+    bool fma = false;
+    bool avx512f = false;
+    bool avx512bw = false;
+
+    /// The AVX-512 kernels need both F (32-bit lanes) and BW (8/16-bit).
+    bool
+    avx512() const
+    {
+        return avx512f && avx512bw;
+    }
+};
+
+/// Fresh CPUID probe (exposed for testing; prefer host_cpu()).
+CpuFeatures detect_cpu_features();
+
+/// The cached once-per-process probe every dispatch decision reads.
+const CpuFeatures& host_cpu();
+
+/// True when this translation unit set was compiled with AVX2 codegen
+/// (BUCKWILD_ENABLE_AVX2): the build axis of variant support.
+#ifdef __AVX2__
+inline constexpr bool kBuiltWithAvx2 = true;
+#else
+inline constexpr bool kBuiltWithAvx2 = false;
+#endif
+
+} // namespace buckwild::simd
+
+#endif // BUCKWILD_SIMD_CPU_H

@@ -1,5 +1,6 @@
 #include "simd/dense_avx2.h"
 
+#include "simd/cpu.h"
 #include "simd/dense_ref.h"
 
 #ifdef __AVX2__
@@ -60,7 +61,7 @@ void axpy_dfmf(float* w, const float* x, std::size_t n, float cf)
 bool
 available()
 {
-    return true;
+    return host_cpu().avx2;
 }
 
 namespace {

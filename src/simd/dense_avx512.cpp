@@ -1,5 +1,6 @@
 #include "simd/dense_avx512.h"
 
+#include "simd/cpu.h"
 #include "simd/dense_avx2.h"
 #include "simd/dense_ref.h"
 
@@ -16,10 +17,10 @@ bool
 available()
 {
 #if BUCKWILD_HAVE_AVX512
-    static const bool kSupported =
-        __builtin_cpu_supports("avx512f") &&
-        __builtin_cpu_supports("avx512bw");
-    return kSupported;
+    // One cached probe (cpu.h) shared with the registry predicates; the
+    // per-kernel available() guards below stay so direct namespace calls
+    // remain safe off the registry path.
+    return host_cpu().avx512();
 #else
     return false;
 #endif

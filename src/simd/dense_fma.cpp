@@ -1,0 +1,213 @@
+#include "simd/dense_fma.h"
+
+#include "simd/cpu.h"
+#include "simd/dense_ref.h"
+
+#if defined(__AVX2__) && defined(__FMA__)
+#include <immintrin.h>
+#define BUCKWILD_HAVE_FMA_KERNELS 1
+#endif
+
+namespace buckwild::simd::fma {
+
+#ifndef BUCKWILD_HAVE_FMA_KERNELS
+
+// Fallback build: the registry predicate reports unavailable, and the
+// symbols forward so direct calls still behave.
+bool available() { return false; }
+
+float dot_d8mf(const std::int8_t* x, const float* w, std::size_t n,
+               float qx) { return avx2::dot_d8mf(x, w, n, qx); }
+float dot_d16mf(const std::int16_t* x, const float* w, std::size_t n,
+                float qx) { return avx2::dot_d16mf(x, w, n, qx); }
+float dot_dfm8(const float* x, const std::int8_t* w, std::size_t n,
+               float qm) { return avx2::dot_dfm8(x, w, n, qm); }
+float dot_dfm16(const float* x, const std::int16_t* w, std::size_t n,
+                float qm) { return avx2::dot_dfm16(x, w, n, qm); }
+float dot_dfmf(const float* x, const float* w, std::size_t n)
+{ return avx2::dot_dfmf(x, w, n); }
+
+#else // BUCKWILD_HAVE_FMA_KERNELS
+
+bool
+available()
+{
+    return host_cpu().avx2 && host_cpu().fma;
+}
+
+namespace {
+
+/// Horizontal sum of eight float lanes.
+inline float
+hsum_ps(__m256 v)
+{
+    const __m128 lo = _mm256_castps256_ps128(v);
+    const __m128 hi = _mm256_extractf128_ps(v, 1);
+    __m128 s = _mm_add_ps(lo, hi);
+    s = _mm_hadd_ps(s, s);
+    s = _mm_hadd_ps(s, s);
+    return _mm_cvtss_f32(s);
+}
+
+inline __m256
+cvt_i8lo_ps(__m128i v)
+{
+    return _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(v));
+}
+
+inline __m256
+cvt_i16lo_ps(__m128i v)
+{
+    return _mm256_cvtepi32_ps(_mm256_cvtepi16_epi32(v));
+}
+
+} // namespace
+
+float
+dot_dfmf(const float* x, const float* w, std::size_t n)
+{
+    __m256 acc0 = _mm256_setzero_ps();
+    __m256 acc1 = _mm256_setzero_ps();
+    __m256 acc2 = _mm256_setzero_ps();
+    __m256 acc3 = _mm256_setzero_ps();
+    std::size_t i = 0;
+    for (; i + 32 <= n; i += 32) {
+        acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(x + i),
+                               _mm256_loadu_ps(w + i), acc0);
+        acc1 = _mm256_fmadd_ps(_mm256_loadu_ps(x + i + 8),
+                               _mm256_loadu_ps(w + i + 8), acc1);
+        acc2 = _mm256_fmadd_ps(_mm256_loadu_ps(x + i + 16),
+                               _mm256_loadu_ps(w + i + 16), acc2);
+        acc3 = _mm256_fmadd_ps(_mm256_loadu_ps(x + i + 24),
+                               _mm256_loadu_ps(w + i + 24), acc3);
+    }
+    for (; i + 8 <= n; i += 8)
+        acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(x + i),
+                               _mm256_loadu_ps(w + i), acc0);
+    float total = hsum_ps(_mm256_add_ps(_mm256_add_ps(acc0, acc1),
+                                        _mm256_add_ps(acc2, acc3)));
+    for (; i < n; ++i) total += x[i] * w[i];
+    return total;
+}
+
+float
+dot_d8mf(const std::int8_t* x, const float* w, std::size_t n, float qx)
+{
+    __m256 acc0 = _mm256_setzero_ps();
+    __m256 acc1 = _mm256_setzero_ps();
+    __m256 acc2 = _mm256_setzero_ps();
+    __m256 acc3 = _mm256_setzero_ps();
+    std::size_t i = 0;
+    for (; i + 32 <= n; i += 32) {
+        const __m256i xv =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(x + i));
+        const __m128i lo = _mm256_castsi256_si128(xv);
+        const __m128i hi = _mm256_extracti128_si256(xv, 1);
+        acc0 = _mm256_fmadd_ps(cvt_i8lo_ps(lo),
+                               _mm256_loadu_ps(w + i), acc0);
+        acc1 = _mm256_fmadd_ps(cvt_i8lo_ps(_mm_srli_si128(lo, 8)),
+                               _mm256_loadu_ps(w + i + 8), acc1);
+        acc2 = _mm256_fmadd_ps(cvt_i8lo_ps(hi),
+                               _mm256_loadu_ps(w + i + 16), acc2);
+        acc3 = _mm256_fmadd_ps(cvt_i8lo_ps(_mm_srli_si128(hi, 8)),
+                               _mm256_loadu_ps(w + i + 24), acc3);
+    }
+    float total = hsum_ps(_mm256_add_ps(_mm256_add_ps(acc0, acc1),
+                                        _mm256_add_ps(acc2, acc3)));
+    for (; i < n; ++i) total += static_cast<float>(x[i]) * w[i];
+    return total * qx;
+}
+
+float
+dot_d16mf(const std::int16_t* x, const float* w, std::size_t n, float qx)
+{
+    __m256 acc0 = _mm256_setzero_ps();
+    __m256 acc1 = _mm256_setzero_ps();
+    __m256 acc2 = _mm256_setzero_ps();
+    __m256 acc3 = _mm256_setzero_ps();
+    std::size_t i = 0;
+    for (; i + 32 <= n; i += 32) {
+        const __m256i v0 =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(x + i));
+        const __m256i v1 = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(x + i + 16));
+        acc0 = _mm256_fmadd_ps(cvt_i16lo_ps(_mm256_castsi256_si128(v0)),
+                               _mm256_loadu_ps(w + i), acc0);
+        acc1 = _mm256_fmadd_ps(
+            cvt_i16lo_ps(_mm256_extracti128_si256(v0, 1)),
+            _mm256_loadu_ps(w + i + 8), acc1);
+        acc2 = _mm256_fmadd_ps(cvt_i16lo_ps(_mm256_castsi256_si128(v1)),
+                               _mm256_loadu_ps(w + i + 16), acc2);
+        acc3 = _mm256_fmadd_ps(
+            cvt_i16lo_ps(_mm256_extracti128_si256(v1, 1)),
+            _mm256_loadu_ps(w + i + 24), acc3);
+    }
+    float total = hsum_ps(_mm256_add_ps(_mm256_add_ps(acc0, acc1),
+                                        _mm256_add_ps(acc2, acc3)));
+    for (; i < n; ++i) total += static_cast<float>(x[i]) * w[i];
+    return total * qx;
+}
+
+float
+dot_dfm8(const float* x, const std::int8_t* w, std::size_t n, float qm)
+{
+    __m256 acc0 = _mm256_setzero_ps();
+    __m256 acc1 = _mm256_setzero_ps();
+    __m256 acc2 = _mm256_setzero_ps();
+    __m256 acc3 = _mm256_setzero_ps();
+    std::size_t i = 0;
+    for (; i + 32 <= n; i += 32) {
+        const __m256i wv =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + i));
+        const __m128i lo = _mm256_castsi256_si128(wv);
+        const __m128i hi = _mm256_extracti128_si256(wv, 1);
+        acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(x + i),
+                               cvt_i8lo_ps(lo), acc0);
+        acc1 = _mm256_fmadd_ps(_mm256_loadu_ps(x + i + 8),
+                               cvt_i8lo_ps(_mm_srli_si128(lo, 8)), acc1);
+        acc2 = _mm256_fmadd_ps(_mm256_loadu_ps(x + i + 16),
+                               cvt_i8lo_ps(hi), acc2);
+        acc3 = _mm256_fmadd_ps(_mm256_loadu_ps(x + i + 24),
+                               cvt_i8lo_ps(_mm_srli_si128(hi, 8)), acc3);
+    }
+    float total = hsum_ps(_mm256_add_ps(_mm256_add_ps(acc0, acc1),
+                                        _mm256_add_ps(acc2, acc3)));
+    for (; i < n; ++i) total += x[i] * static_cast<float>(w[i]);
+    return total * qm;
+}
+
+float
+dot_dfm16(const float* x, const std::int16_t* w, std::size_t n, float qm)
+{
+    __m256 acc0 = _mm256_setzero_ps();
+    __m256 acc1 = _mm256_setzero_ps();
+    __m256 acc2 = _mm256_setzero_ps();
+    __m256 acc3 = _mm256_setzero_ps();
+    std::size_t i = 0;
+    for (; i + 32 <= n; i += 32) {
+        const __m256i v0 =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + i));
+        const __m256i v1 = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(w + i + 16));
+        acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(x + i),
+                               cvt_i16lo_ps(_mm256_castsi256_si128(v0)),
+                               acc0);
+        acc1 = _mm256_fmadd_ps(
+            _mm256_loadu_ps(x + i + 8),
+            cvt_i16lo_ps(_mm256_extracti128_si256(v0, 1)), acc1);
+        acc2 = _mm256_fmadd_ps(_mm256_loadu_ps(x + i + 16),
+                               cvt_i16lo_ps(_mm256_castsi256_si128(v1)),
+                               acc2);
+        acc3 = _mm256_fmadd_ps(
+            _mm256_loadu_ps(x + i + 24),
+            cvt_i16lo_ps(_mm256_extracti128_si256(v1, 1)), acc3);
+    }
+    float total = hsum_ps(_mm256_add_ps(_mm256_add_ps(acc0, acc1),
+                                        _mm256_add_ps(acc2, acc3)));
+    for (; i < n; ++i) total += x[i] * static_cast<float>(w[i]);
+    return total * qm;
+}
+
+#endif // BUCKWILD_HAVE_FMA_KERNELS
+
+} // namespace buckwild::simd::fma

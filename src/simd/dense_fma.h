@@ -1,0 +1,83 @@
+/**
+ * @file
+ * FMA-unrolled dense kernels — the float-path variant of the registry.
+ *
+ * The AVX2 float dots use two 8-lane accumulators (16 elements/iter);
+ * with FMA's 4-5 cycle latency that leaves the FMA pipes under-fed on
+ * long vectors. This family widens the float-involving dots to four
+ * independent accumulators (32 elements/iter), a different summation
+ * order and hence a different (ULP-level) float result — the comparator
+ * checks it against the reference with the same tolerance class as AVX2.
+ *
+ * Everything whose contract is bit-exact — the four fixed-point pairs
+ * and every AXPY — forwards to the AVX2 kernels: elementwise AXPYs gain
+ * nothing from extra accumulators, and sharing the code keeps the
+ * bit-identity proofs in one place.
+ */
+#ifndef BUCKWILD_SIMD_DENSE_FMA_H
+#define BUCKWILD_SIMD_DENSE_FMA_H
+
+#include <cstddef>
+#include <cstdint>
+
+#include "simd/dense_avx2.h"
+#include "simd/fixed_scalar.h"
+
+namespace buckwild::simd::fma {
+
+/// True when this build carries FMA codegen AND the host executes it.
+bool available();
+
+float dot_d8mf(const std::int8_t* x, const float* w, std::size_t n,
+               float qx);
+float dot_d16mf(const std::int16_t* x, const float* w, std::size_t n,
+                float qx);
+float dot_dfm8(const float* x, const std::int8_t* w, std::size_t n,
+               float qm);
+float dot_dfm16(const float* x, const std::int16_t* w, std::size_t n,
+                float qm);
+float dot_dfmf(const float* x, const float* w, std::size_t n);
+
+// Bit-exact-contract paths share the AVX2 implementations.
+inline float dot_d8m8(const std::int8_t* x, const std::int8_t* w,
+                      std::size_t n, float scale)
+{ return avx2::dot_d8m8(x, w, n, scale); }
+inline float dot_d8m16(const std::int8_t* x, const std::int16_t* w,
+                       std::size_t n, float scale)
+{ return avx2::dot_d8m16(x, w, n, scale); }
+inline float dot_d16m8(const std::int16_t* x, const std::int8_t* w,
+                       std::size_t n, float scale)
+{ return avx2::dot_d16m8(x, w, n, scale); }
+inline float dot_d16m16(const std::int16_t* x, const std::int16_t* w,
+                        std::size_t n, float scale)
+{ return avx2::dot_d16m16(x, w, n, scale); }
+inline void axpy_d8m8(std::int8_t* w, const std::int8_t* x, std::size_t n,
+                      FixedScalar cs, const DitherBlock& d)
+{ avx2::axpy_d8m8(w, x, n, cs, d); }
+inline void axpy_d16m8(std::int8_t* w, const std::int16_t* x,
+                       std::size_t n, FixedScalar cs, const DitherBlock& d)
+{ avx2::axpy_d16m8(w, x, n, cs, d); }
+inline void axpy_d8m16(std::int16_t* w, const std::int8_t* x,
+                       std::size_t n, FixedScalar cs, const DitherBlock& d)
+{ avx2::axpy_d8m16(w, x, n, cs, d); }
+inline void axpy_d16m16(std::int16_t* w, const std::int16_t* x,
+                        std::size_t n, FixedScalar cs, const DitherBlock& d)
+{ avx2::axpy_d16m16(w, x, n, cs, d); }
+inline void axpy_dfm8(std::int8_t* w, const float* x, std::size_t n,
+                      float cf, const DitherBlock& d)
+{ avx2::axpy_dfm8(w, x, n, cf, d); }
+inline void axpy_dfm16(std::int16_t* w, const float* x, std::size_t n,
+                       float cf, const DitherBlock& d)
+{ avx2::axpy_dfm16(w, x, n, cf, d); }
+inline void axpy_d8mf(float* w, const std::int8_t* x, std::size_t n,
+                      float cf)
+{ avx2::axpy_d8mf(w, x, n, cf); }
+inline void axpy_d16mf(float* w, const std::int16_t* x, std::size_t n,
+                       float cf)
+{ avx2::axpy_d16mf(w, x, n, cf); }
+inline void axpy_dfmf(float* w, const float* x, std::size_t n, float cf)
+{ avx2::axpy_dfmf(w, x, n, cf); }
+
+} // namespace buckwild::simd::fma
+
+#endif // BUCKWILD_SIMD_DENSE_FMA_H

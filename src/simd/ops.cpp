@@ -1,26 +1,297 @@
+/**
+ * @file
+ * Dense kernel registration and per-(D, M) vtable resolution.
+ *
+ * Five backends (reference, naive, avx2, fma, avx512) x nine Table-2
+ * pairs x {dot, axpy} register into the KernelLibrary under stable op
+ * names. Each registered function is an adapter with the normalized
+ * registry signature that performs the pair's scale conversion (the
+ * logic the old BUCKWILD_DENSE_OPS switch pyramids inlined) and calls
+ * the backend kernel. Vtables resolve every Impl slot once per process,
+ * applying the support predicates and fallback chain, so Impl::kAvx512
+ * on a host without AVX-512 lands on the AVX2 adapter with no per-call
+ * probe.
+ */
 #include "simd/ops.h"
 
-#include <stdexcept>
+#include "simd/cpu.h"
+#include "simd/dense_avx2.h"
+#include "simd/dense_avx512.h"
+#include "simd/dense_fma.h"
+#include "simd/dense_naive.h"
+#include "simd/dense_ref.h"
 
 namespace buckwild::simd {
 
-const char*
-to_string(Impl impl)
+namespace {
+
+// Backend tags: compile-time handles over each variant namespace, so the
+// adapters below can be stamped once and instantiated per backend.
+#define BUCKWILD_BACKEND(TAG, NS, IMPL, SUPPORTED)                         \
+    struct TAG                                                             \
+    {                                                                      \
+        static constexpr Impl impl = IMPL;                                 \
+        static constexpr bool (*supported)() = SUPPORTED;                  \
+        static constexpr auto dot_d8m8 = NS::dot_d8m8;                     \
+        static constexpr auto dot_d16m8 = NS::dot_d16m8;                   \
+        static constexpr auto dot_d8m16 = NS::dot_d8m16;                   \
+        static constexpr auto dot_d16m16 = NS::dot_d16m16;                 \
+        static constexpr auto dot_dfm8 = NS::dot_dfm8;                     \
+        static constexpr auto dot_dfm16 = NS::dot_dfm16;                   \
+        static constexpr auto dot_d8mf = NS::dot_d8mf;                     \
+        static constexpr auto dot_d16mf = NS::dot_d16mf;                   \
+        static constexpr auto dot_dfmf = NS::dot_dfmf;                     \
+        static constexpr auto axpy_d8m8 = NS::axpy_d8m8;                   \
+        static constexpr auto axpy_d16m8 = NS::axpy_d16m8;                 \
+        static constexpr auto axpy_d8m16 = NS::axpy_d8m16;                 \
+        static constexpr auto axpy_d16m16 = NS::axpy_d16m16;               \
+        static constexpr auto axpy_dfm8 = NS::axpy_dfm8;                   \
+        static constexpr auto axpy_dfm16 = NS::axpy_dfm16;                 \
+        static constexpr auto axpy_d8mf = NS::axpy_d8mf;                   \
+        static constexpr auto axpy_d16mf = NS::axpy_d16mf;                 \
+        static constexpr auto axpy_dfmf = NS::axpy_dfmf;                   \
+    };
+
+BUCKWILD_BACKEND(RefBackend, ref, Impl::kReference, nullptr)
+BUCKWILD_BACKEND(NaiveBackend, naive, Impl::kNaive, nullptr)
+BUCKWILD_BACKEND(Avx2Backend, avx2, Impl::kAvx2, &avx2::available)
+BUCKWILD_BACKEND(FmaBackend, fma, Impl::kFma, &fma::available)
+BUCKWILD_BACKEND(Avx512Backend, avx512, Impl::kAvx512,
+                 &avx512::available)
+
+#undef BUCKWILD_BACKEND
+
+// Adapters: normalized (qx, qm, real-valued c) signatures -> the native
+// kernel parameterization. One adapter struct per pair shape.
+
+// Fixed-model pairs: dot scale = qx*qm; the AXPY coefficient converts to
+// model quanta per raw x unit and quantizes into a FixedScalar.
+#define BUCKWILD_FIXED_ADAPTER(D, M, SUFFIX)                               \
+    template <typename B>                                                  \
+    struct Adapt_##SUFFIX                                                  \
+    {                                                                      \
+        static float                                                       \
+        dot(const D* x, const M* w, std::size_t n, float qx, float qm)     \
+        {                                                                  \
+            return B::dot_##SUFFIX(x, w, n, qx * qm);                      \
+        }                                                                  \
+        static void                                                        \
+        axpy(M* w, const D* x, std::size_t n, float c, float qx, float qm, \
+             const DitherBlock& dither)                                    \
+        {                                                                  \
+            B::axpy_##SUFFIX(w, x, n, make_scalar_##SUFFIX(c * qx / qm),   \
+                             dither);                                      \
+        }                                                                  \
+    };
+
+BUCKWILD_FIXED_ADAPTER(std::int8_t, std::int8_t, d8m8)
+BUCKWILD_FIXED_ADAPTER(std::int16_t, std::int8_t, d16m8)
+BUCKWILD_FIXED_ADAPTER(std::int8_t, std::int16_t, d8m16)
+BUCKWILD_FIXED_ADAPTER(std::int16_t, std::int16_t, d16m16)
+
+#undef BUCKWILD_FIXED_ADAPTER
+
+// Float dataset, fixed model: dot scales by qm; AXPY writes quantized
+// deltas of c/qm model quanta with unit dither.
+#define BUCKWILD_DFMFIXED_ADAPTER(M, SUFFIX)                               \
+    template <typename B>                                                  \
+    struct Adapt_##SUFFIX                                                  \
+    {                                                                      \
+        static float                                                       \
+        dot(const float* x, const M* w, std::size_t n, float /*qx*/,       \
+            float qm)                                                      \
+        {                                                                  \
+            return B::dot_##SUFFIX(x, w, n, qm);                           \
+        }                                                                  \
+        static void                                                        \
+        axpy(M* w, const float* x, std::size_t n, float c, float /*qx*/,   \
+             float qm, const DitherBlock& dither)                          \
+        {                                                                  \
+            B::axpy_##SUFFIX(w, x, n, c / qm, dither);                     \
+        }                                                                  \
+    };
+
+BUCKWILD_DFMFIXED_ADAPTER(std::int8_t, dfm8)
+BUCKWILD_DFMFIXED_ADAPTER(std::int16_t, dfm16)
+
+#undef BUCKWILD_DFMFIXED_ADAPTER
+
+// Fixed dataset, float model: dot scales by qx; AXPY adds c*qx per raw x
+// unit, no dither (float writes round nothing).
+#define BUCKWILD_DFIXEDMF_ADAPTER(D, SUFFIX)                               \
+    template <typename B>                                                  \
+    struct Adapt_##SUFFIX                                                  \
+    {                                                                      \
+        static float                                                       \
+        dot(const D* x, const float* w, std::size_t n, float qx,           \
+            float /*qm*/)                                                  \
+        {                                                                  \
+            return B::dot_##SUFFIX(x, w, n, qx);                           \
+        }                                                                  \
+        static void                                                        \
+        axpy(float* w, const D* x, std::size_t n, float c, float qx,       \
+             float /*qm*/, const DitherBlock& /*dither*/)                  \
+        {                                                                  \
+            B::axpy_##SUFFIX(w, x, n, c * qx);                             \
+        }                                                                  \
+    };
+
+BUCKWILD_DFIXEDMF_ADAPTER(std::int8_t, d8mf)
+BUCKWILD_DFIXEDMF_ADAPTER(std::int16_t, d16mf)
+
+#undef BUCKWILD_DFIXEDMF_ADAPTER
+
+template <typename B>
+struct Adapt_dfmf
+{
+    static float
+    dot(const float* x, const float* w, std::size_t n, float /*qx*/,
+        float /*qm*/)
+    {
+        return B::dot_dfmf(x, w, n);
+    }
+    static void
+    axpy(float* w, const float* x, std::size_t n, float c, float /*qx*/,
+         float /*qm*/, const DitherBlock& /*dither*/)
+    {
+        B::axpy_dfmf(w, x, n, c);
+    }
+};
+
+template <template <typename> class Adapter, typename D, typename M>
+void
+register_pair(KernelLibrary& lib)
+{
+    const auto add_backend = [&lib](auto tag) {
+        using B = decltype(tag);
+        lib.add(DensePairNames<D, M>::dot, B::impl,
+                reinterpret_cast<void*>(&Adapter<B>::dot), B::supported);
+        lib.add(DensePairNames<D, M>::axpy, B::impl,
+                reinterpret_cast<void*>(&Adapter<B>::axpy), B::supported);
+    };
+    add_backend(RefBackend{});
+    add_backend(NaiveBackend{});
+    add_backend(Avx2Backend{});
+    add_backend(FmaBackend{});
+    add_backend(Avx512Backend{});
+}
+
+void
+do_register(KernelLibrary& lib)
+{
+    register_pair<Adapt_d8m8, std::int8_t, std::int8_t>(lib);
+    register_pair<Adapt_d16m8, std::int16_t, std::int8_t>(lib);
+    register_pair<Adapt_d8m16, std::int8_t, std::int16_t>(lib);
+    register_pair<Adapt_d16m16, std::int16_t, std::int16_t>(lib);
+    register_pair<Adapt_dfm8, float, std::int8_t>(lib);
+    register_pair<Adapt_dfm16, float, std::int16_t>(lib);
+    register_pair<Adapt_d8mf, std::int8_t, float>(lib);
+    register_pair<Adapt_d16mf, std::int16_t, float>(lib);
+    register_pair<Adapt_dfmf, float, float>(lib);
+}
+
+} // namespace
+
+void
+register_dense_kernels()
+{
+    static const bool once = [] {
+        do_register(KernelLibrary::instance());
+        return true;
+    }();
+    (void)once;
+}
+
+bool
+impl_supported(Impl impl)
 {
     switch (impl) {
-      case Impl::kReference: return "reference";
-      case Impl::kNaive: return "naive";
-      case Impl::kAvx2: return "avx2";
-      case Impl::kAvx512: return "avx512";
+      case Impl::kReference:
+      case Impl::kNaive: return true;
+      case Impl::kAvx2: return avx2::available();
+      case Impl::kFma: return fma::available();
+      case Impl::kAvx512: return avx512::available();
     }
-    throw std::invalid_argument("unknown Impl");
+    return false;
+}
+
+Impl
+resolve_impl(Impl requested)
+{
+    switch (requested) {
+      case Impl::kAvx512:
+        if (impl_supported(Impl::kAvx512)) return Impl::kAvx512;
+        [[fallthrough]];
+      case Impl::kFma:
+        if (impl_supported(Impl::kFma)) return Impl::kFma;
+        [[fallthrough]];
+      case Impl::kAvx2:
+        if (impl_supported(Impl::kAvx2)) return Impl::kAvx2;
+        return Impl::kReference;
+      case Impl::kNaive: return Impl::kNaive;
+      case Impl::kReference:
+      default: return Impl::kReference;
+    }
 }
 
 Impl
 best_impl()
 {
-    if (avx512::available()) return Impl::kAvx512;
-    return avx2::available() ? Impl::kAvx2 : Impl::kReference;
+    const std::optional<Impl> forced = forced_impl();
+    return resolve_impl(forced.value_or(Impl::kAvx512));
+}
+
+template <typename D, typename M>
+const typename DenseOps<D, M>::Vtable&
+DenseOps<D, M>::vtable()
+{
+    static const Vtable vt = [] {
+        register_dense_kernels();
+        const KernelLibrary& lib = KernelLibrary::instance();
+        Vtable t;
+        for (Impl impl : kAllImpls) {
+            t.dot[impl_index(impl)] =
+                lib.get<DotFn>(DensePairNames<D, M>::dot, impl);
+            t.axpy[impl_index(impl)] =
+                lib.get<AxpyFn>(DensePairNames<D, M>::axpy, impl);
+        }
+        return t;
+    }();
+    return vt;
+}
+
+// The nine Table-2 signatures.
+template const DenseOps<std::int8_t, std::int8_t>::Vtable&
+DenseOps<std::int8_t, std::int8_t>::vtable();
+template const DenseOps<std::int16_t, std::int8_t>::Vtable&
+DenseOps<std::int16_t, std::int8_t>::vtable();
+template const DenseOps<std::int8_t, std::int16_t>::Vtable&
+DenseOps<std::int8_t, std::int16_t>::vtable();
+template const DenseOps<std::int16_t, std::int16_t>::Vtable&
+DenseOps<std::int16_t, std::int16_t>::vtable();
+template const DenseOps<float, std::int8_t>::Vtable&
+DenseOps<float, std::int8_t>::vtable();
+template const DenseOps<float, std::int16_t>::Vtable&
+DenseOps<float, std::int16_t>::vtable();
+template const DenseOps<std::int8_t, float>::Vtable&
+DenseOps<std::int8_t, float>::vtable();
+template const DenseOps<std::int16_t, float>::Vtable&
+DenseOps<std::int16_t, float>::vtable();
+template const DenseOps<float, float>::Vtable&
+DenseOps<float, float>::vtable();
+
+void
+warm_dense_kernels()
+{
+    (void)DenseOps<std::int8_t, std::int8_t>::vtable();
+    (void)DenseOps<std::int16_t, std::int8_t>::vtable();
+    (void)DenseOps<std::int8_t, std::int16_t>::vtable();
+    (void)DenseOps<std::int16_t, std::int16_t>::vtable();
+    (void)DenseOps<float, std::int8_t>::vtable();
+    (void)DenseOps<float, std::int16_t>::vtable();
+    (void)DenseOps<std::int8_t, float>::vtable();
+    (void)DenseOps<std::int16_t, float>::vtable();
+    (void)DenseOps<float, float>::vtable();
 }
 
 } // namespace buckwild::simd

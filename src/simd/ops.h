@@ -1,12 +1,19 @@
 /**
  * @file
- * Uniform typed facade over the kernel implementations.
+ * Uniform typed facade over the kernel registry.
  *
  * The SGD engine (src/core) is templated on the dataset rep D and model
- * rep M; DenseOps<D, M> routes its dot/AXPY calls to the reference, naive
- * (compiler-baseline), or hand-optimized AVX2 kernels based on the runtime
- * `Impl` selector, and converts real-valued scale factors into each
- * kernel's native parameterization (FixedScalar, pre-multiplied quanta).
+ * rep M; DenseOps<D, M> routes its dot/AXPY calls through a per-(D, M)
+ * vtable of registry-resolved function pointers — one slot per `Impl`,
+ * resolved once per process (registry.h) so the hot path is a single
+ * indirect call with no switch and no per-call CPU probing. Unsupported
+ * requests (say Impl::kAvx512 on an AVX2-only host) resolve down the
+ * fallback chain at vtable-build time.
+ *
+ * Each registered variant is a thin adapter (ops.cpp) that converts the
+ * real-valued scale factors into the kernel's native parameterization
+ * (FixedScalar, pre-multiplied quanta), exactly the conversions the old
+ * switch pyramids performed inline.
  *
  * Supported (D, M) pairs are exactly Table 2's nine signatures:
  * {int8, int16, float} x {int8, int16, float}.
@@ -14,230 +21,95 @@
 #ifndef BUCKWILD_SIMD_OPS_H
 #define BUCKWILD_SIMD_OPS_H
 
+#include <cstddef>
 #include <cstdint>
 
-#include "simd/dense_avx2.h"
-#include "simd/dense_avx512.h"
-#include "simd/dense_naive.h"
-#include "simd/dense_ref.h"
 #include "simd/fixed_scalar.h"
+#include "simd/registry.h"
 
 namespace buckwild::simd {
 
-/// Which kernel implementation executes the linear algebra.
-enum class Impl {
-    kReference, ///< exact-contract scalar loops
-    kNaive,     ///< Figure-1-style code, compiler-vectorized at -Ofast
-    kAvx2,      ///< hand-optimized AVX2 intrinsics (§5.1)
-    kAvx512,    ///< 512-bit kernels (D8M8 + float native; rest via AVX2)
-};
-
-/// "reference" / "naive" / "avx2".
-const char* to_string(Impl impl);
-
-/// The fastest implementation available in this build.
-Impl best_impl();
-
 template <typename D, typename M>
-struct DenseOps;
+struct DenseOps
+{
+    /// Registry-normalized signatures: every variant of every pair takes
+    /// the real-valued quanta; adapters do the native conversions.
+    using DotFn = float (*)(const D*, const M*, std::size_t, float, float);
+    using AxpyFn = void (*)(M*, const D*, std::size_t, float, float, float,
+                            const DitherBlock&);
 
-// Helper macro: stamps out the three-way dispatch for one (D, M) pair.
-// qx/qm are the dataset/model quanta (1.0f for float reps); c is the
-// real-valued AXPY coefficient (w += c * x in real units).
-#define BUCKWILD_DENSE_OPS(D, M, SUFFIX, DOT_SCALE, MAKE_CS, CS_EXPR)         \
-    template <>                                                               \
-    struct DenseOps<D, M>                                                     \
-    {                                                                         \
-        static float                                                         \
-        dot(Impl impl, const D* x, const M* w, std::size_t n, float qx,      \
-            float qm)                                                        \
-        {                                                                    \
-            const float scale = (DOT_SCALE);                                 \
-            switch (impl) {                                                  \
-              case Impl::kNaive: return naive::dot_##SUFFIX(x, w, n, scale); \
-              case Impl::kAvx2: return avx2::dot_##SUFFIX(x, w, n, scale);   \
-              case Impl::kAvx512:                                            \
-                return avx512::dot_##SUFFIX(x, w, n, scale);                 \
-              default: return ref::dot_##SUFFIX(x, w, n, scale);             \
-            }                                                                \
-        }                                                                    \
-        static void                                                         \
-        axpy(Impl impl, M* w, const D* x, std::size_t n, float c, float qx, \
-             float qm, const DitherBlock& dither)                           \
-        {                                                                    \
-            const auto cs = MAKE_CS(CS_EXPR);                                \
-            switch (impl) {                                                  \
-              case Impl::kNaive:                                             \
-                naive::axpy_##SUFFIX(w, x, n, cs, dither);                   \
-                break;                                                       \
-              case Impl::kAvx2:                                              \
-                avx2::axpy_##SUFFIX(w, x, n, cs, dither);                    \
-                break;                                                       \
-              case Impl::kAvx512:                                            \
-                avx512::axpy_##SUFFIX(w, x, n, cs, dither);                  \
-                break;                                                       \
-              default: ref::axpy_##SUFFIX(w, x, n, cs, dither);              \
-            }                                                                \
-        }                                                                    \
+    struct Vtable
+    {
+        DotFn dot[kImplCount];
+        AxpyFn axpy[kImplCount];
     };
 
-// Fixed-model pairs: the AXPY coefficient in model quanta per raw x unit.
-BUCKWILD_DENSE_OPS(std::int8_t, std::int8_t, d8m8, qx* qm, make_scalar_d8m8,
-                   c* qx / qm)
-BUCKWILD_DENSE_OPS(std::int16_t, std::int8_t, d16m8, qx* qm,
-                   make_scalar_d16m8, c* qx / qm)
-BUCKWILD_DENSE_OPS(std::int8_t, std::int16_t, d8m16, qx* qm,
-                   make_scalar_d8m16, c* qx / qm)
-BUCKWILD_DENSE_OPS(std::int16_t, std::int16_t, d16m16, qx* qm,
-                   make_scalar_d16m16, c* qx / qm)
+    /// The per-(D, M) kernel table, resolved once per process from the
+    /// KernelLibrary (defined in ops.cpp for the nine signatures).
+    static const Vtable& vtable();
 
-#undef BUCKWILD_DENSE_OPS
-
-// The float-involving pairs have enough signature variation that the
-// dispatch is written out explicitly.
-
-template <>
-struct DenseOps<float, std::int8_t>
-{
     static float
-    dot(Impl impl, const float* x, const std::int8_t* w, std::size_t n,
-        float /*qx*/, float qm)
+    dot(Impl impl, const D* x, const M* w, std::size_t n, float qx,
+        float qm)
     {
-        switch (impl) {
-          case Impl::kNaive: return naive::dot_dfm8(x, w, n, qm);
-          case Impl::kAvx2: return avx2::dot_dfm8(x, w, n, qm);
-          case Impl::kAvx512: return avx512::dot_dfm8(x, w, n, qm);
-          default: return ref::dot_dfm8(x, w, n, qm);
-        }
+        return vtable().dot[impl_index(impl)](x, w, n, qx, qm);
     }
+
     static void
-    axpy(Impl impl, std::int8_t* w, const float* x, std::size_t n, float c,
-         float /*qx*/, float qm, const DitherBlock& dither)
+    axpy(Impl impl, M* w, const D* x, std::size_t n, float c, float qx,
+         float qm, const DitherBlock& dither)
     {
-        const float cf = c / qm;
-        switch (impl) {
-          case Impl::kNaive: naive::axpy_dfm8(w, x, n, cf, dither); break;
-          case Impl::kAvx2: avx2::axpy_dfm8(w, x, n, cf, dither); break;
-          case Impl::kAvx512:
-            avx512::axpy_dfm8(w, x, n, cf, dither);
-            break;
-          default: ref::axpy_dfm8(w, x, n, cf, dither);
-        }
+        vtable().axpy[impl_index(impl)](w, x, n, c, qx, qm, dither);
+    }
+
+    // Ambient dispatch: the per-process resolver's pick, honoring the
+    // BUCKWILD_KERNEL_IMPL / force_impl() override at call time.
+    static float
+    dot(const D* x, const M* w, std::size_t n, float qx, float qm)
+    {
+        return dot(best_impl(), x, w, n, qx, qm);
+    }
+
+    static void
+    axpy(M* w, const D* x, std::size_t n, float c, float qx, float qm,
+         const DitherBlock& dither)
+    {
+        axpy(best_impl(), w, x, n, c, qx, qm, dither);
     }
 };
 
-template <>
-struct DenseOps<float, std::int16_t>
-{
-    static float
-    dot(Impl impl, const float* x, const std::int16_t* w, std::size_t n,
-        float /*qx*/, float qm)
-    {
-        switch (impl) {
-          case Impl::kNaive: return naive::dot_dfm16(x, w, n, qm);
-          case Impl::kAvx2: return avx2::dot_dfm16(x, w, n, qm);
-          case Impl::kAvx512: return avx512::dot_dfm16(x, w, n, qm);
-          default: return ref::dot_dfm16(x, w, n, qm);
-        }
-    }
-    static void
-    axpy(Impl impl, std::int16_t* w, const float* x, std::size_t n, float c,
-         float /*qx*/, float qm, const DitherBlock& dither)
-    {
-        const float cf = c / qm;
-        switch (impl) {
-          case Impl::kNaive: naive::axpy_dfm16(w, x, n, cf, dither); break;
-          case Impl::kAvx2: avx2::axpy_dfm16(w, x, n, cf, dither); break;
-          case Impl::kAvx512:
-            avx512::axpy_dfm16(w, x, n, cf, dither);
-            break;
-          default: ref::axpy_dfm16(w, x, n, cf, dither);
-        }
-    }
-};
+/// Resolves every (D, M) vtable now. Latency-sensitive components (the
+/// RPC-serving ps shard, the inference engine) call this at construction
+/// so the one-time registration + resolution never lands inside a
+/// deadline'd first request — under sanitizers it is slow enough to trip
+/// the in-proc RPC retransmit timeout.
+void warm_dense_kernels();
 
-template <>
-struct DenseOps<std::int8_t, float>
-{
-    static float
-    dot(Impl impl, const std::int8_t* x, const float* w, std::size_t n,
-        float qx, float /*qm*/)
-    {
-        switch (impl) {
-          case Impl::kNaive: return naive::dot_d8mf(x, w, n, qx);
-          case Impl::kAvx2: return avx2::dot_d8mf(x, w, n, qx);
-          case Impl::kAvx512: return avx512::dot_d8mf(x, w, n, qx);
-          default: return ref::dot_d8mf(x, w, n, qx);
-        }
-    }
-    static void
-    axpy(Impl impl, float* w, const std::int8_t* x, std::size_t n, float c,
-         float qx, float /*qm*/, const DitherBlock& /*dither*/)
-    {
-        const float cf = c * qx;
-        switch (impl) {
-          case Impl::kNaive: naive::axpy_d8mf(w, x, n, cf); break;
-          case Impl::kAvx2: avx2::axpy_d8mf(w, x, n, cf); break;
-          case Impl::kAvx512: avx512::axpy_d8mf(w, x, n, cf); break;
-          default: ref::axpy_d8mf(w, x, n, cf);
-        }
-    }
-};
+/// Registry op names for one (D, M) pair ("simd.dot_d8m8", ...), for
+/// sweeps that want to pair a vtable with its library entries.
+template <typename D, typename M>
+struct DensePairNames;
 
-template <>
-struct DenseOps<std::int16_t, float>
-{
-    static float
-    dot(Impl impl, const std::int16_t* x, const float* w, std::size_t n,
-        float qx, float /*qm*/)
-    {
-        switch (impl) {
-          case Impl::kNaive: return naive::dot_d16mf(x, w, n, qx);
-          case Impl::kAvx2: return avx2::dot_d16mf(x, w, n, qx);
-          case Impl::kAvx512: return avx512::dot_d16mf(x, w, n, qx);
-          default: return ref::dot_d16mf(x, w, n, qx);
-        }
-    }
-    static void
-    axpy(Impl impl, float* w, const std::int16_t* x, std::size_t n, float c,
-         float qx, float /*qm*/, const DitherBlock& /*dither*/)
-    {
-        const float cf = c * qx;
-        switch (impl) {
-          case Impl::kNaive: naive::axpy_d16mf(w, x, n, cf); break;
-          case Impl::kAvx2: avx2::axpy_d16mf(w, x, n, cf); break;
-          case Impl::kAvx512: avx512::axpy_d16mf(w, x, n, cf); break;
-          default: ref::axpy_d16mf(w, x, n, cf);
-        }
-    }
-};
+#define BUCKWILD_DENSE_PAIR_NAMES(D, M, SUFFIX)                            \
+    template <>                                                            \
+    struct DensePairNames<D, M>                                            \
+    {                                                                      \
+        static constexpr const char* suffix = #SUFFIX;                     \
+        static constexpr const char* dot = "simd.dot_" #SUFFIX;            \
+        static constexpr const char* axpy = "simd.axpy_" #SUFFIX;          \
+    };
 
-template <>
-struct DenseOps<float, float>
-{
-    static float
-    dot(Impl impl, const float* x, const float* w, std::size_t n,
-        float /*qx*/, float /*qm*/)
-    {
-        switch (impl) {
-          case Impl::kNaive: return naive::dot_dfmf(x, w, n);
-          case Impl::kAvx2: return avx2::dot_dfmf(x, w, n);
-          case Impl::kAvx512: return avx512::dot_dfmf(x, w, n);
-          default: return ref::dot_dfmf(x, w, n);
-        }
-    }
-    static void
-    axpy(Impl impl, float* w, const float* x, std::size_t n, float c,
-         float /*qx*/, float /*qm*/, const DitherBlock& /*dither*/)
-    {
-        switch (impl) {
-          case Impl::kNaive: naive::axpy_dfmf(w, x, n, c); break;
-          case Impl::kAvx2: avx2::axpy_dfmf(w, x, n, c); break;
-          case Impl::kAvx512: avx512::axpy_dfmf(w, x, n, c); break;
-          default: ref::axpy_dfmf(w, x, n, c);
-        }
-    }
-};
+BUCKWILD_DENSE_PAIR_NAMES(std::int8_t, std::int8_t, d8m8)
+BUCKWILD_DENSE_PAIR_NAMES(std::int16_t, std::int8_t, d16m8)
+BUCKWILD_DENSE_PAIR_NAMES(std::int8_t, std::int16_t, d8m16)
+BUCKWILD_DENSE_PAIR_NAMES(std::int16_t, std::int16_t, d16m16)
+BUCKWILD_DENSE_PAIR_NAMES(float, std::int8_t, dfm8)
+BUCKWILD_DENSE_PAIR_NAMES(float, std::int16_t, dfm16)
+BUCKWILD_DENSE_PAIR_NAMES(std::int8_t, float, d8mf)
+BUCKWILD_DENSE_PAIR_NAMES(std::int16_t, float, d16mf)
+BUCKWILD_DENSE_PAIR_NAMES(float, float, dfmf)
+
+#undef BUCKWILD_DENSE_PAIR_NAMES
 
 } // namespace buckwild::simd
 

@@ -1,0 +1,251 @@
+#include "simd/registry.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace buckwild::simd {
+
+const char*
+to_string(Impl impl)
+{
+    switch (impl) {
+      case Impl::kReference: return "reference";
+      case Impl::kNaive: return "naive";
+      case Impl::kAvx2: return "avx2";
+      case Impl::kFma: return "fma";
+      case Impl::kAvx512: return "avx512";
+    }
+    throw std::invalid_argument("unknown Impl");
+}
+
+std::optional<Impl>
+parse_impl(std::string_view name)
+{
+    for (Impl impl : kAllImpls)
+        if (name == to_string(impl)) return impl;
+    return std::nullopt;
+}
+
+// ---------------------------------------------------------------- override
+
+namespace {
+
+// The override is read by every ambient dispatch (best_impl() sits on
+// the dot/AXPY hot path), so reads must be one atomic load — no mutex.
+// It is packed into an int: kUninit until the env is consumed, kNone for
+// "no override", otherwise 1 + impl_index. Writers (force_impl and the
+// one-time env parse) still serialize on the mutex.
+constexpr int kOverrideUninit = -1;
+constexpr int kOverrideNone = 0;
+
+std::mutex g_override_mu;
+std::atomic<int> g_override{kOverrideUninit};
+std::atomic<std::uint64_t> g_generation{1};
+
+int
+encode_override(std::optional<Impl> impl)
+{
+    return impl ? 1 + impl_index(*impl) : kOverrideNone;
+}
+
+std::optional<Impl>
+decode_override(int code)
+{
+    if (code <= kOverrideNone) return std::nullopt;
+    return kAllImpls[code - 1];
+}
+
+/// Parses BUCKWILD_KERNEL_IMPL once. Unknown values warn and are
+/// ignored — a fleet-wide env typo must not silently change kernels, and
+/// must not kill the process either.
+std::optional<Impl>
+override_from_env()
+{
+    const char* env = std::getenv("BUCKWILD_KERNEL_IMPL");
+    if (env == nullptr || *env == '\0') return std::nullopt;
+    const std::optional<Impl> impl = parse_impl(env);
+    if (!impl) {
+        std::fprintf(stderr,
+                     "buckwild: ignoring unknown BUCKWILD_KERNEL_IMPL "
+                     "\"%s\" (want reference|naive|avx2|fma|avx512)\n",
+                     env);
+    }
+    return impl;
+}
+
+/// Consumes the env under the mutex; returns the now-initialized code.
+int
+override_init_slow()
+{
+    std::lock_guard<std::mutex> lock(g_override_mu);
+    int code = g_override.load(std::memory_order_relaxed);
+    if (code == kOverrideUninit) {
+        code = encode_override(override_from_env());
+        g_override.store(code, std::memory_order_release);
+    }
+    return code;
+}
+
+} // namespace
+
+std::optional<Impl>
+forced_impl()
+{
+    int code = g_override.load(std::memory_order_acquire);
+    if (code == kOverrideUninit) code = override_init_slow();
+    return decode_override(code);
+}
+
+std::optional<Impl>
+force_impl(std::optional<Impl> impl)
+{
+    (void)forced_impl(); // make sure the env was consumed first
+    std::lock_guard<std::mutex> lock(g_override_mu);
+    const std::optional<Impl> prev =
+        decode_override(g_override.load(std::memory_order_relaxed));
+    g_override.store(encode_override(impl), std::memory_order_release);
+    g_generation.fetch_add(1, std::memory_order_release);
+    return prev;
+}
+
+std::uint64_t
+kernel_generation()
+{
+    return g_generation.load(std::memory_order_acquire);
+}
+
+// ----------------------------------------------------------- the registry
+
+namespace {
+
+/// Fallback order per requested Impl. Naive is a measurement baseline,
+/// never an implicit fallback target; everything else degrades toward
+/// the scalar reference.
+const Impl*
+fallback_chain(Impl impl, int* len)
+{
+    static constexpr Impl kRef[] = {Impl::kReference};
+    static constexpr Impl kNai[] = {Impl::kNaive, Impl::kReference};
+    static constexpr Impl kA2[] = {Impl::kAvx2, Impl::kReference};
+    static constexpr Impl kFm[] = {Impl::kFma, Impl::kAvx2,
+                                   Impl::kReference};
+    static constexpr Impl k512[] = {Impl::kAvx512, Impl::kFma, Impl::kAvx2,
+                                    Impl::kReference};
+    switch (impl) {
+      case Impl::kReference: *len = 1; return kRef;
+      case Impl::kNaive: *len = 2; return kNai;
+      case Impl::kAvx2: *len = 2; return kA2;
+      case Impl::kFma: *len = 3; return kFm;
+      case Impl::kAvx512: *len = 4; return k512;
+    }
+    throw std::invalid_argument("unknown Impl");
+}
+
+bool
+variant_runnable(const KernelLibrary::Variant& v)
+{
+    return v.supported == nullptr || v.supported();
+}
+
+} // namespace
+
+void
+KernelLibrary::add(std::string op, Impl impl, void* fn,
+                   bool (*supported)())
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [name, variants] : ops_) {
+        if (name != op) continue;
+        for (auto& v : variants) {
+            if (v.impl != impl) continue;
+            v.fn = fn; // idempotent re-registration
+            v.supported = supported;
+            return;
+        }
+        variants.push_back(Variant{impl, fn, supported});
+        return;
+    }
+    ops_.emplace_back(std::move(op),
+                      std::vector<Variant>{Variant{impl, fn, supported}});
+}
+
+const std::vector<KernelLibrary::Variant>*
+KernelLibrary::find(std::string_view op) const
+{
+    for (const auto& [name, variants] : ops_)
+        if (name == op) return &variants;
+    return nullptr;
+}
+
+KernelLibrary::Resolved
+KernelLibrary::resolve(std::string_view op, Impl impl) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto* variants = find(op);
+    if (variants == nullptr)
+        throw std::invalid_argument("unknown kernel op: " + std::string(op));
+    int len = 0;
+    const Impl* chain = fallback_chain(impl, &len);
+    for (int c = 0; c < len; ++c) {
+        for (const auto& v : *variants) {
+            if (v.impl == chain[c] && variant_runnable(v))
+                return Resolved{v.impl, v.fn};
+        }
+    }
+    throw std::invalid_argument("kernel op has no runnable variant: " +
+                                std::string(op));
+}
+
+KernelLibrary::Resolved
+KernelLibrary::resolve_auto(std::string_view op) const
+{
+    const std::optional<Impl> forced = forced_impl();
+    return resolve(op, forced.value_or(Impl::kAvx512));
+}
+
+std::vector<std::string>
+KernelLibrary::ops() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::string> names;
+    names.reserve(ops_.size());
+    for (const auto& [name, variants] : ops_) names.push_back(name);
+    std::sort(names.begin(), names.end());
+    return names;
+}
+
+std::vector<Impl>
+KernelLibrary::registered(std::string_view op) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<Impl> impls;
+    if (const auto* variants = find(op)) {
+        for (const auto& v : *variants) impls.push_back(v.impl);
+        std::sort(impls.begin(), impls.end(),
+                  [](Impl a, Impl b) { return impl_index(a) < impl_index(b); });
+    }
+    return impls;
+}
+
+bool
+KernelLibrary::runnable(std::string_view op, Impl impl) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (const auto* variants = find(op)) {
+        for (const auto& v : *variants)
+            if (v.impl == impl) return variant_runnable(v);
+    }
+    return false;
+}
+
+KernelLibrary&
+KernelLibrary::instance()
+{
+    static KernelLibrary library;
+    return library;
+}
+
+} // namespace buckwild::simd

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * KernelLibrary: runtime-dispatched registry of named kernel variants.
+ *
+ * Every array op in the tree — the nine Table-2 dense dot/AXPY pairs and
+ * the lowp rounding/quantize kernels — registers its implementations
+ * under a stable op name ("simd.dot_d8m8", "lowp.quantize_biased_i8",
+ * ...) as `Impl`-tagged variants with a support predicate over the
+ * cached CPU features (cpu.h). A resolver picks the fastest supported
+ * variant per op; call sites cache the resolved function pointer (per
+ * (D, M) vtable in simd/ops, generation-checked statics in lowp/round)
+ * so the hot path stays one indirect call.
+ *
+ * Selection is overridable for tests, benches, and fleet debugging:
+ *  - `BUCKWILD_KERNEL_IMPL=reference|naive|avx2|fma|avx512` (env), read
+ *    once at first resolution;
+ *  - `force_impl()` / `ForcedImplGuard` (programmatic), which bump a
+ *    generation counter so generation-checked caches re-resolve.
+ *
+ * An unsupported or unregistered request falls down a fixed chain
+ * (avx512 -> fma -> avx2 -> reference; naive -> reference), so every
+ * resolution is total: one binary runs on any fleet host and simply
+ * narrows to what the CPU can execute.
+ */
+#ifndef BUCKWILD_SIMD_REGISTRY_H
+#define BUCKWILD_SIMD_REGISTRY_H
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace buckwild::simd {
+
+/// Which kernel implementation executes the linear algebra.
+enum class Impl {
+    kReference, ///< exact-contract scalar loops
+    kNaive,     ///< Figure-1-style code, compiler-vectorized at -Ofast
+    kAvx2,      ///< hand-optimized AVX2 intrinsics (§5.1)
+    kFma,       ///< FMA-unrolled float paths (integer paths via AVX2)
+    kAvx512,    ///< 512-bit kernels (D8M8 + float native; rest via AVX2)
+};
+
+inline constexpr int kImplCount = 5;
+
+inline constexpr Impl kAllImpls[kImplCount] = {
+    Impl::kReference, Impl::kNaive, Impl::kAvx2, Impl::kFma, Impl::kAvx512,
+};
+
+constexpr int
+impl_index(Impl impl)
+{
+    return static_cast<int>(impl);
+}
+
+/// "reference" / "naive" / "avx2" / "fma" / "avx512".
+const char* to_string(Impl impl);
+
+/// Inverse of to_string; nullopt for unknown names.
+std::optional<Impl> parse_impl(std::string_view name);
+
+/// True for the hand-vectorized implementations (AVX2 and wider) — the
+/// ones that pair with the unrolled sparse kernels.
+constexpr bool
+is_vectorized(Impl impl)
+{
+    return impl == Impl::kAvx2 || impl == Impl::kFma ||
+           impl == Impl::kAvx512;
+}
+
+// ---------------------------------------------------------------- override
+
+/// The current selection override: the BUCKWILD_KERNEL_IMPL env value
+/// (parsed once) unless force_impl() replaced it.
+std::optional<Impl> forced_impl();
+
+/// Replaces the override (nullopt clears it) and bumps the resolution
+/// generation; returns the previous override.
+std::optional<Impl> force_impl(std::optional<Impl> impl);
+
+/// Monotone counter bumped by force_impl(); caches of resolved kernel
+/// pointers revalidate against it.
+std::uint64_t kernel_generation();
+
+/// RAII variant forcing for tests: swaps the override in, restores the
+/// previous one on destruction.
+class ForcedImplGuard
+{
+  public:
+    explicit ForcedImplGuard(std::optional<Impl> impl)
+        : prev_(force_impl(impl))
+    {}
+    ~ForcedImplGuard() { force_impl(prev_); }
+    ForcedImplGuard(const ForcedImplGuard&) = delete;
+    ForcedImplGuard& operator=(const ForcedImplGuard&) = delete;
+
+  private:
+    std::optional<Impl> prev_;
+};
+
+// ----------------------------------------------------------- the registry
+
+class KernelLibrary
+{
+  public:
+    /// A registered implementation of one op. `supported` may be null
+    /// (always runnable — the scalar variants).
+    struct Variant
+    {
+        Impl impl;
+        void* fn;
+        bool (*supported)();
+    };
+
+    /// A resolution result: which variant actually backs the request.
+    struct Resolved
+    {
+        Impl impl;
+        void* fn;
+    };
+
+    void add(std::string op, Impl impl, void* fn,
+             bool (*supported)() = nullptr);
+
+    /// The variant that serves `impl` for `op`, following the fallback
+    /// chain past unsupported/unregistered entries. Every op registers a
+    /// reference variant, so resolution is total; throws
+    /// std::invalid_argument for unknown op names.
+    Resolved resolve(std::string_view op, Impl impl) const;
+
+    /// The variant the per-process resolver picks: the override if one
+    /// is set, else the fastest supported variant.
+    Resolved resolve_auto(std::string_view op) const;
+
+    /// Typed accessor over resolve().
+    template <typename Fn>
+    Fn
+    get(std::string_view op, Impl impl) const
+    {
+        return reinterpret_cast<Fn>(resolve(op, impl).fn);
+    }
+
+    template <typename Fn>
+    Fn
+    get_auto(std::string_view op) const
+    {
+        return reinterpret_cast<Fn>(resolve_auto(op).fn);
+    }
+
+    /// All registered op names, sorted (for sweeps and gauges).
+    std::vector<std::string> ops() const;
+
+    /// The Impl tags registered for one op, in rank order.
+    std::vector<Impl> registered(std::string_view op) const;
+
+    /// True when `op`'s variant for `impl` is registered AND its
+    /// predicate passes on this host (no fallback considered).
+    bool runnable(std::string_view op, Impl impl) const;
+
+    /// The process-wide library. Kernel families self-register on first
+    /// use (register_dense_kernels / lowp's ensure hook); sweeps should
+    /// call those registration hooks before enumerating.
+    static KernelLibrary& instance();
+
+  private:
+    mutable std::mutex mu_;
+    std::vector<std::pair<std::string, std::vector<Variant>>> ops_;
+
+    const std::vector<Variant>* find(std::string_view op) const;
+};
+
+// Defined in ops.cpp (needs the kernel families' predicates):
+
+/// Idempotent registration of the nine dense (D, M) families. Called by
+/// the DenseOps vtables; sweeps call it before enumerating the library.
+void register_dense_kernels();
+
+/// True when `impl` can execute on this host in this build.
+bool impl_supported(Impl impl);
+
+/// The implementation the per-process resolver hands out: the override
+/// (clamped to supported) if set, else the fastest supported variant.
+Impl best_impl();
+
+/// `requested` clamped down the fallback chain to a supported Impl.
+Impl resolve_impl(Impl requested);
+
+} // namespace buckwild::simd
+
+#endif // BUCKWILD_SIMD_REGISTRY_H

@@ -1,0 +1,262 @@
+/**
+ * @file
+ * Unit tests for the kernel-dispatch substrate: the cached CPU-features
+ * probe (simd/cpu.h), the KernelLibrary registry (registration,
+ * fallback-chain resolution, the forced-impl override and its generation
+ * counter), and the resolver's process-wide policy (impl_supported /
+ * resolve_impl / best_impl). Equivalence of the registered kernels
+ * themselves is the KernelComparator's job (test_simd / test_lowp);
+ * everything here is about *selection*.
+ */
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "lowp/round.h"
+#include "simd/cpu.h"
+#include "simd/ops.h"
+#include "simd/registry.h"
+
+namespace buckwild::simd {
+namespace {
+
+// ------------------------------------------------------------- CPU probe
+
+TEST(CpuFeatures, CachedProbeMatchesFreshProbe)
+{
+    const CpuFeatures fresh = detect_cpu_features();
+    const CpuFeatures& cached = host_cpu();
+    EXPECT_EQ(cached.avx2, fresh.avx2);
+    EXPECT_EQ(cached.fma, fresh.fma);
+    EXPECT_EQ(cached.avx512f, fresh.avx512f);
+    EXPECT_EQ(cached.avx512bw, fresh.avx512bw);
+    // The cached reference is stable across calls.
+    EXPECT_EQ(&host_cpu(), &cached);
+}
+
+TEST(CpuFeatures, Avx512RequiresBothFAndBw)
+{
+    CpuFeatures f;
+    EXPECT_FALSE(f.avx512());
+    f.avx512f = true;
+    EXPECT_FALSE(f.avx512());
+    f.avx512bw = true;
+    EXPECT_TRUE(f.avx512());
+    f.avx512f = false;
+    EXPECT_FALSE(f.avx512());
+}
+
+TEST(CpuFeatures, FeatureLadderIsMonotone)
+{
+    // Every x86 with AVX-512BW also has AVX2 + FMA; the probe must never
+    // report an inverted ladder (it would break fallback resolution).
+    const CpuFeatures& cpu = host_cpu();
+    if (cpu.avx512()) {
+        EXPECT_TRUE(cpu.avx2);
+        EXPECT_TRUE(cpu.fma);
+    }
+    if (!kBuiltWithAvx2) {
+        // Scalar build: codegen support is off regardless of the host.
+        EXPECT_FALSE(impl_supported(Impl::kAvx2));
+        EXPECT_FALSE(impl_supported(Impl::kFma));
+        EXPECT_FALSE(impl_supported(Impl::kAvx512));
+    }
+}
+
+// ------------------------------------------------------- names and tags
+
+TEST(ImplNames, ToStringParseRoundTrip)
+{
+    for (Impl impl : kAllImpls) {
+        const auto parsed = parse_impl(to_string(impl));
+        ASSERT_TRUE(parsed.has_value()) << to_string(impl);
+        EXPECT_EQ(*parsed, impl);
+    }
+    EXPECT_FALSE(parse_impl("").has_value());
+    EXPECT_FALSE(parse_impl("sse2").has_value());
+    EXPECT_FALSE(parse_impl("AVX2").has_value()); // names are lower-case
+}
+
+TEST(ImplNames, IndexAndVectorizedClassification)
+{
+    EXPECT_EQ(kImplCount, 5);
+    for (int i = 0; i < kImplCount; ++i)
+        EXPECT_EQ(impl_index(kAllImpls[i]), i);
+    EXPECT_FALSE(is_vectorized(Impl::kReference));
+    EXPECT_FALSE(is_vectorized(Impl::kNaive));
+    EXPECT_TRUE(is_vectorized(Impl::kAvx2));
+    EXPECT_TRUE(is_vectorized(Impl::kFma));
+    EXPECT_TRUE(is_vectorized(Impl::kAvx512));
+}
+
+// -------------------------------------------- registry + fallback chain
+
+// Distinct dummy kernels so resolution results are distinguishable.
+int dummy_ref() { return 0; }
+int dummy_naive() { return 1; }
+int dummy_avx2() { return 2; }
+int dummy_fma() { return 3; }
+bool pred_true() { return true; }
+bool pred_false() { return false; }
+
+using DummyFn = int (*)();
+
+TEST(KernelRegistry, ResolutionFollowsTheFallbackChain)
+{
+    auto& lib = KernelLibrary::instance();
+    const char* op = "test.chain";
+    lib.add(op, Impl::kReference, reinterpret_cast<void*>(&dummy_ref));
+    lib.add(op, Impl::kNaive, reinterpret_cast<void*>(&dummy_naive));
+    lib.add(op, Impl::kAvx2, reinterpret_cast<void*>(&dummy_avx2),
+            &pred_true);
+    lib.add(op, Impl::kFma, reinterpret_cast<void*>(&dummy_fma),
+            &pred_false); // registered but not runnable on this "host"
+
+    // Runnable variants resolve to themselves.
+    EXPECT_EQ(lib.resolve(op, Impl::kReference).impl, Impl::kReference);
+    EXPECT_EQ(lib.get<DummyFn>(op, Impl::kNaive)(), 1);
+    EXPECT_EQ(lib.get<DummyFn>(op, Impl::kAvx2)(), 2);
+    // kFma's predicate fails -> falls to avx2; kAvx512 is unregistered
+    // -> falls through fma (unsupported) to avx2.
+    EXPECT_EQ(lib.resolve(op, Impl::kFma).impl, Impl::kAvx2);
+    EXPECT_EQ(lib.resolve(op, Impl::kAvx512).impl, Impl::kAvx2);
+    // runnable() reports exact-variant availability, no fallback.
+    EXPECT_TRUE(lib.runnable(op, Impl::kAvx2));
+    EXPECT_FALSE(lib.runnable(op, Impl::kFma));
+    EXPECT_FALSE(lib.runnable(op, Impl::kAvx512));
+    // naive never serves as an implicit fallback target, and itself
+    // falls only to reference.
+    const char* scalar_op = "test.scalar_only";
+    lib.add(scalar_op, Impl::kReference,
+            reinterpret_cast<void*>(&dummy_ref));
+    lib.add(scalar_op, Impl::kNaive,
+            reinterpret_cast<void*>(&dummy_naive));
+    EXPECT_EQ(lib.resolve(scalar_op, Impl::kAvx512).impl,
+              Impl::kReference);
+    EXPECT_EQ(lib.resolve(scalar_op, Impl::kNaive).impl, Impl::kNaive);
+}
+
+TEST(KernelRegistry, ReRegistrationIsIdempotent)
+{
+    auto& lib = KernelLibrary::instance();
+    const char* op = "test.idempotent";
+    lib.add(op, Impl::kReference, reinterpret_cast<void*>(&dummy_ref));
+    lib.add(op, Impl::kReference, reinterpret_cast<void*>(&dummy_naive));
+    // Re-registration updates the variant in place — never stacks a
+    // duplicate entry.
+    EXPECT_EQ(lib.registered(op).size(), 1u);
+    EXPECT_EQ(lib.get<DummyFn>(op, Impl::kReference)(), 1);
+    // The dense/lowp ensure-hooks lean on this: calling them twice must
+    // not duplicate variants.
+    register_dense_kernels();
+    register_dense_kernels();
+    lowp::register_lowp_kernels();
+    lowp::register_lowp_kernels();
+    const auto impls = lib.registered("simd.dot_d8m8");
+    for (std::size_t i = 1; i < impls.size(); ++i)
+        EXPECT_NE(impls[i - 1], impls[i]);
+}
+
+TEST(KernelRegistry, UnknownOpThrows)
+{
+    const auto& lib = KernelLibrary::instance();
+    EXPECT_THROW((void)lib.resolve("no.such_op", Impl::kReference),
+                 std::invalid_argument);
+    EXPECT_THROW((void)lib.resolve_auto("no.such_op"),
+                 std::invalid_argument);
+    EXPECT_FALSE(lib.runnable("no.such_op", Impl::kReference));
+    EXPECT_TRUE(lib.registered("no.such_op").empty());
+}
+
+TEST(KernelRegistry, EveryDenseAndLowpOpResolvesTotally)
+{
+    register_dense_kernels();
+    lowp::register_lowp_kernels();
+    const auto& lib = KernelLibrary::instance();
+    const auto ops = lib.ops();
+    // 9 pairs x {dot, axpy} + 9 lowp ops + whatever tests added.
+    EXPECT_GE(ops.size(), 27u);
+    for (const auto& op : ops) {
+        EXPECT_TRUE(lib.runnable(op, Impl::kReference)) << op;
+        for (Impl impl : kAllImpls) {
+            const auto r = lib.resolve(op, impl);
+            EXPECT_NE(r.fn, nullptr) << op << " " << to_string(impl);
+            EXPECT_TRUE(lib.runnable(op, r.impl))
+                << op << " " << to_string(impl) << " -> "
+                << to_string(r.impl);
+        }
+    }
+}
+
+// --------------------------------------------------- override machinery
+
+TEST(KernelOverride, ForceImplBumpsGenerationAndGuardRestores)
+{
+    const auto prev = forced_impl();
+    const auto gen0 = kernel_generation();
+    {
+        ForcedImplGuard guard(Impl::kReference);
+        EXPECT_EQ(forced_impl(), Impl::kReference);
+        EXPECT_GT(kernel_generation(), gen0);
+        {
+            ForcedImplGuard inner(std::nullopt);
+            EXPECT_EQ(forced_impl(), std::nullopt);
+        }
+        EXPECT_EQ(forced_impl(), Impl::kReference);
+    }
+    EXPECT_EQ(forced_impl(), prev);
+    EXPECT_GT(kernel_generation(), gen0);
+}
+
+TEST(KernelOverride, BestImplTracksOverrideClampedToSupported)
+{
+    {
+        ForcedImplGuard guard(Impl::kReference);
+        EXPECT_EQ(best_impl(), Impl::kReference);
+    }
+    {
+        ForcedImplGuard guard(Impl::kNaive);
+        EXPECT_EQ(best_impl(), Impl::kNaive);
+    }
+    {
+        // An unsupported forced tier clamps down the chain instead of
+        // crashing — one fleet-wide env value must be safe on any host.
+        ForcedImplGuard guard(Impl::kAvx512);
+        EXPECT_EQ(best_impl(), resolve_impl(Impl::kAvx512));
+        EXPECT_TRUE(impl_supported(best_impl()));
+    }
+}
+
+TEST(KernelOverride, ResolveImplIsIdempotentAndSupported)
+{
+    for (Impl impl : kAllImpls) {
+        const Impl r = resolve_impl(impl);
+        EXPECT_TRUE(impl_supported(r)) << to_string(impl);
+        EXPECT_EQ(resolve_impl(r), r) << to_string(impl);
+    }
+    // Scalar tiers are supported everywhere.
+    EXPECT_TRUE(impl_supported(Impl::kReference));
+    EXPECT_TRUE(impl_supported(Impl::kNaive));
+    // Support implies the ladder below (fma needs avx2's codegen+host).
+    if (impl_supported(Impl::kAvx512)) {
+        EXPECT_TRUE(impl_supported(Impl::kFma));
+    }
+    if (impl_supported(Impl::kFma)) {
+        EXPECT_TRUE(impl_supported(Impl::kAvx2));
+    }
+}
+
+TEST(KernelOverride, ExplicitImplArgumentsIgnoreTheOverride)
+{
+    // Engine configs pin cfg.impl explicitly; forcing must not leak into
+    // explicit-impl dispatch (only ambient dispatch re-resolves).
+    register_dense_kernels();
+    ForcedImplGuard guard(Impl::kNaive);
+    const auto& lib = KernelLibrary::instance();
+    EXPECT_EQ(lib.resolve("simd.dot_d8m8", Impl::kReference).impl,
+              Impl::kReference);
+    EXPECT_EQ(lib.resolve_auto("simd.dot_d8m8").impl, Impl::kNaive);
+}
+
+} // namespace
+} // namespace buckwild::simd

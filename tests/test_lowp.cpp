@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "buckwild/buckwild.h"
+#include "kernel_comparator.h"
 #include "test_common.h"
 #include "nn/quantizer.h"
 #include "ps/quantize.h"
@@ -261,88 +262,33 @@ TEST(LowpRound, SharedRandomnessRoundingIsMeanPreservingAcrossBlocks)
 }
 
 // ---------------------------------------------------------------------
-// Scalar vs AVX2 kernel equivalence (bit-exact)
+// Kernel equivalence (bit-exact, registry-enumerated)
 // ---------------------------------------------------------------------
 
-TEST(LowpKernels, BiasedArrayMatchesScalarReference)
+TEST(LowpKernels, AllRegisteredVariantsMatchScalarReference)
 {
-    // Sizes straddle the vector width to exercise tails; values straddle
-    // the saturation bounds.
-    for (std::size_t n : {0u, 1u, 3u, 7u, 8u, 9u, 64u, 129u}) {
-        const auto in = test_input(n, 6.0f); // far out of the 8-bit range
-        for (int bits : {8, 16}) {
-            const auto grid =
-                lowp::GridSpec::from_fixed(fixed::default_format(bits));
-            if (bits == 8) {
-                std::vector<std::int8_t> a(n), b(n);
-                lowp::quantize_biased(in.data(), a.data(), n, grid);
-                lowp::scalar::quantize_biased(in.data(), b.data(), n, grid);
-                testutil::expect_all_eq(a, b, "biased i8");
-            } else {
-                std::vector<std::int16_t> a(n), b(n);
-                lowp::quantize_biased(in.data(), a.data(), n, grid);
-                lowp::scalar::quantize_biased(in.data(), b.data(), n, grid);
-                testutil::expect_all_eq(a, b, "biased i16");
-            }
-        }
-    }
+    // The KernelComparator sweeps every registered "lowp.*" variant
+    // (whatever this build + host carries) against the scalar reference
+    // over all dims 0..129, large odd sizes, and unaligned offsets —
+    // bit-exact everywhere, including the saturation paths.
+    testutil::compare_lowp_kernels();
 }
 
-TEST(LowpKernels, SharedRoundingMatchesScalarReference)
+TEST(LowpKernels, PublicEntriesFollowTheForcedResolution)
 {
-    lowp::SharedRandom shared(0xABCDEF, 4);
-    for (std::size_t n : {0u, 1u, 5u, 8u, 13u, 16u, 100u}) {
-        const auto in = test_input(n, 2.5f);
-        const auto grid = lowp::GridSpec::symmetric(8, 2.0);
-        std::vector<std::int8_t> a(n), b(n);
-        lowp::quantize_shared(in.data(), a.data(), n, grid, shared.words());
-        lowp::scalar::quantize_shared(in.data(), b.data(), n, grid,
-                                      shared.words());
-        testutil::expect_all_eq(a, b, "shared i8");
-
-        const auto grid16 =
-            lowp::GridSpec::from_fixed(fixed::default_format(16));
-        std::vector<std::int16_t> a16(n), b16(n);
-        lowp::quantize_shared(in.data(), a16.data(), n, grid16,
-                              shared.words());
-        lowp::scalar::quantize_shared(in.data(), b16.data(), n, grid16,
-                                      shared.words());
-        testutil::expect_all_eq(a16, b16, "shared i16");
-        shared.tick();
+    // The public array entries dispatch through generation-checked
+    // caches; forcing the reference tier must steer them (and the
+    // vectorized() report) without recompilation.
+    const auto grid = lowp::GridSpec::from_fixed(fixed::default_format(8));
+    const auto in = test_input(64, 6.0f);
+    std::vector<std::int8_t> forced(64), direct(64);
+    {
+        simd::ForcedImplGuard guard(simd::Impl::kReference);
+        EXPECT_FALSE(lowp::vectorized());
+        lowp::quantize_biased(in.data(), forced.data(), 64, grid);
     }
-}
-
-TEST(LowpKernels, CodecKernelsMatchScalarReference)
-{
-    for (std::size_t n : {0u, 1u, 7u, 8u, 9u, 31u, 64u, 257u}) {
-        const auto g = test_input(n, 1.3f);
-
-        EXPECT_EQ(lowp::max_abs(g.data(), n),
-                  lowp::scalar::max_abs(g.data(), n))
-            << n;
-
-        const float scale = n > 0 && lowp::max_abs(g.data(), n) > 0
-                                ? lowp::max_abs(g.data(), n) / 127.0f
-                                : 1.0f;
-        std::vector<std::int8_t> la(n), lb(n);
-        std::vector<float> qa(n), qb(n), ra(n), rb(n);
-        lowp::round_levels_i8(g.data(), n, scale, la.data(), qa.data(),
-                              ra.data());
-        lowp::scalar::round_levels_i8(g.data(), n, scale, lb.data(),
-                                      qb.data(), rb.data());
-        testutil::expect_all_eq(la, lb, "levels");
-        testutil::expect_all_eq(qa, qb, "levels q");
-        testutil::expect_all_eq(ra, rb, "levels r");
-
-        std::vector<std::uint8_t> pa((n + 7) / 8, 0), pb((n + 7) / 8, 0);
-        lowp::quantize_sign_1bit(g.data(), n, 0.5f, qa.data(), ra.data(),
-                                 pa.data());
-        lowp::scalar::quantize_sign_1bit(g.data(), n, 0.5f, qb.data(),
-                                         rb.data(), pb.data());
-        testutil::expect_all_eq(pa, pb, "sign payload");
-        testutil::expect_all_eq(qa, qb, "sign q");
-        testutil::expect_all_eq(ra, rb, "sign r");
-    }
+    lowp::scalar::quantize_biased(in.data(), direct.data(), 64, grid);
+    testutil::expect_all_eq(forced, direct, "forced-reference biased i8");
 }
 
 TEST(LowpKernels, DequantizeRoundTripsRawCodes)

@@ -7,6 +7,7 @@
  */
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdint>
 
 #include "rng/xorshift.h"
@@ -14,6 +15,7 @@
 #include "simd/dense_avx512.h"
 #include "simd/dense_naive.h"
 #include "simd/dense_ref.h"
+#include "simd/ops.h"
 #include "simd/sparse_kernels.h"
 #include "util/aligned_buffer.h"
 
@@ -204,6 +206,65 @@ TEST_P(KernelFuzz, SparseAxpyMatchesScalarReplay)
                 w_expect[idx[j]], val[j], cs, d.dither_fixed(j, cs.shift));
         for (std::size_t k = 0; k < kModel; ++k)
             ASSERT_EQ(w[k], w_expect[k]) << "k=" << k;
+    }
+}
+
+TEST_P(KernelFuzz, RegistryForcedDispatchMatchesReference)
+{
+    // Fuzz *through* the registry: each round forces a random Impl (the
+    // BUCKWILD_KERNEL_IMPL hook) and checks that the ambient DenseOps
+    // dispatch — which re-resolves under the override via the generation
+    // counter — matches the explicit reference variant under the same
+    // tolerance class the comparator pins.
+    Fuzz fuzz(GetParam() ^ 0x5EED);
+    using Ops8 = DenseOps<std::int8_t, std::int8_t>;
+    using OpsF = DenseOps<float, float>;
+    for (int round = 0; round < 8; ++round) {
+        const Impl forced =
+            kAllImpls[fuzz.gen() % static_cast<std::uint32_t>(kImplCount)];
+        ForcedImplGuard guard(forced);
+        const Impl served = resolve_impl(forced);
+        ASSERT_EQ(best_impl(), served);
+
+        const std::size_t n = fuzz.size();
+        const float qx = 1.0f / 64, qm = 1.0f / 64;
+        const auto x = fuzz.values<std::int8_t>(n, 128);
+        auto w_ref = fuzz.values<std::int8_t>(n, 127);
+        auto w_amb = w_ref;
+
+        const float r =
+            Ops8::dot(Impl::kReference, x.data(), w_ref.data(), n, qx, qm);
+        const float amb = Ops8::dot(x.data(), w_amb.data(), n, qx, qm);
+        if (served == Impl::kNaive)
+            ASSERT_NEAR(r, amb, std::fabs(r) * 1e-4f + 1e-3f)
+                << "impl=" << to_string(forced) << " n=" << n;
+        else
+            ASSERT_EQ(r, amb)
+                << "impl=" << to_string(forced) << " n=" << n;
+
+        const float c = fuzz.coefficient(1.5f);
+        const DitherBlock d = fuzz.dither();
+        Ops8::axpy(Impl::kReference, w_ref.data(), x.data(), n, c, qx, qm,
+                   d);
+        Ops8::axpy(w_amb.data(), x.data(), n, c, qx, qm, d);
+        for (std::size_t i = 0; i < n; ++i) {
+            if (served == Impl::kNaive)
+                ASSERT_NEAR(w_ref[i], w_amb[i], 1)
+                    << "impl=" << to_string(forced) << " i=" << i;
+            else
+                ASSERT_EQ(w_ref[i], w_amb[i])
+                    << "impl=" << to_string(forced) << " i=" << i;
+        }
+
+        // Float path under the same forcing: summation-order tolerance.
+        const auto xf = fuzz.floats(n);
+        const auto wf = fuzz.floats(n);
+        const float rf = OpsF::dot(Impl::kReference, xf.data(), wf.data(),
+                                   n, 1.0f, 1.0f);
+        ASSERT_NEAR(rf, OpsF::dot(xf.data(), wf.data(), n, 1.0f, 1.0f),
+                    1e-4f * (static_cast<float>(n) + 1.0f) +
+                        std::fabs(rf) * 1e-4f)
+            << "impl=" << to_string(forced) << " n=" << n;
     }
 }
 

@@ -83,7 +83,9 @@ usage()
         "  --step S               step size (default 0.25)\n"
         "  --no-feedback          disable error feedback (shows why Cs1\n"
         "                         needs it)\n"
-        "  --impl I               reference | naive | avx2 | avx512\n"
+        "  --impl I               reference | naive | avx2 | fma | avx512\n"
+        "                         (default: fastest supported; the\n"
+        "                         BUCKWILD_KERNEL_IMPL env var overrides)\n"
         "\n"
         "multi-process (loopback or real network; first --bits tier):\n"
         "  --spawn                fork S shard + W worker processes over\n"
@@ -225,10 +227,8 @@ parse_args(int argc, char** argv)
             opt.cluster.error_feedback = false;
         } else if (a == "--impl") {
             const std::string m = need(i, "--impl");
-            if (m == "reference") opt.cluster.impl = simd::Impl::kReference;
-            else if (m == "naive") opt.cluster.impl = simd::Impl::kNaive;
-            else if (m == "avx2") opt.cluster.impl = simd::Impl::kAvx2;
-            else if (m == "avx512") opt.cluster.impl = simd::Impl::kAvx512;
+            if (const auto impl = simd::parse_impl(m))
+                opt.cluster.impl = *impl;
             else die("unknown impl: " + m);
         } else if (a == "--spawn") {
             opt.mode = Mode::kSpawn;
@@ -290,10 +290,11 @@ print_cluster_banner(const Options& opt, const dataset::DenseProblem& problem,
     std::printf("problem: dense logistic, dim %zu, %zu examples\n",
                 problem.dim, problem.examples);
     std::printf("cluster: %zu workers x %zu shards over %s, tau %zu, "
-                "%zu rounds x batch %zu, step %.3g%s\n",
+                "%zu rounds x batch %zu, step %.3g, kernels %s%s\n",
                 opt.cluster.workers, opt.cluster.shards, fabric,
                 opt.cluster.tau, opt.cluster.rounds, opt.cluster.batch,
                 static_cast<double>(opt.cluster.step_size),
+                simd::to_string(opt.cluster.impl),
                 opt.cluster.error_feedback ? "" : ", no error feedback");
     if (opt.cluster.faults.any())
         std::printf("faults: drop %.3g, jitter %zu us, reorder %zu\n",

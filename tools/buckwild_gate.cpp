@@ -41,6 +41,7 @@
 
 #include "gate/gate.h"
 #include "net/socket.h"
+#include "simd/registry.h"
 #include "util/table.h"
 
 namespace {
@@ -358,6 +359,10 @@ int
 main(int argc, char** argv)
 {
     const Options opt = parse_args(argc, argv);
+
+    std::printf("kernels: %s (per-host self-selection; "
+                "BUCKWILD_KERNEL_IMPL overrides)\n",
+                simd::to_string(simd::best_impl()));
 
     TablePrinter table(
         "open-loop gate sweep (" + opt.model + ", dim " +

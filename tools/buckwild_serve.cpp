@@ -86,7 +86,9 @@ usage()
         "  --queue N              queue capacity (default 1024)\n"
         "  --linger US            batch-fill linger in microseconds\n"
         "                         (default 200; 0 = no linger)\n"
-        "  --impl I               reference | naive | avx2 | avx512\n"
+        "  --impl I               reference | naive | avx2 | fma | avx512\n"
+        "                         (default: fastest supported; the\n"
+        "                         BUCKWILD_KERNEL_IMPL env var overrides)\n"
         "  --seed X               load-generator RNG seed\n"
         "  --csv                  also print the table as CSV\n"
         "\n"
@@ -190,10 +192,7 @@ parse_args(int argc, char** argv)
                 std::strtoull(need(i, "--linger"), nullptr, 10);
         } else if (a == "--impl") {
             const std::string m = need(i, "--impl");
-            if (m == "reference") opt.impl = simd::Impl::kReference;
-            else if (m == "naive") opt.impl = simd::Impl::kNaive;
-            else if (m == "avx2") opt.impl = simd::Impl::kAvx2;
-            else if (m == "avx512") opt.impl = simd::Impl::kAvx512;
+            if (const auto impl = simd::parse_impl(m)) opt.impl = impl;
             else die("unknown impl: " + m);
         } else if (a == "--seed") {
             opt.seed = std::strtoull(need(i, "--seed"), nullptr, 10);
@@ -468,11 +467,13 @@ main(int argc, char** argv)
         registry.publish(saved, precision);
         const auto model = registry.current();
         std::printf("model %s: dim %zu, loss %s, trained %s, serving %s "
-                    "(%zu model bytes/request)\n",
+                    "(%zu model bytes/request, %s kernels)\n",
                     opt.model_path.c_str(), model->dim(),
                     to_string(model->loss()).c_str(),
                     model->trained_signature().to_string().c_str(),
-                    to_string(precision).c_str(), model->bytes());
+                    to_string(precision).c_str(), model->bytes(),
+                    simd::to_string(
+                        opt.impl.value_or(simd::best_impl())));
 
         if (!opt.listen.empty()) {
             // Network front-door mode; /metrics piggybacks on the same

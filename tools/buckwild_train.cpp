@@ -51,7 +51,9 @@ usage()
         "  --decay D              per-epoch step decay (default 0.95)\n"
         "  --batch B              mini-batch size (default 1)\n"
         "  --rounding R           biased | mersenne | xorshift | shared\n"
-        "  --impl I               reference | naive | avx2 | avx512\n"
+        "  --impl I               reference | naive | avx2 | fma | avx512\n"
+        "                         (default: fastest supported; the\n"
+        "                         BUCKWILD_KERNEL_IMPL env var overrides)\n"
         "  --shuffle              shuffle example order per epoch\n"
         "  --seed X               RNG seed\n"
         "\n"
@@ -157,10 +159,7 @@ parse_args(int argc, char** argv)
             else die("unknown rounding: " + r);
         } else if (a == "--impl") {
             const std::string m = need(i, "--impl");
-            if (m == "reference") opt.cfg.impl = simd::Impl::kReference;
-            else if (m == "naive") opt.cfg.impl = simd::Impl::kNaive;
-            else if (m == "avx2") opt.cfg.impl = simd::Impl::kAvx2;
-            else if (m == "avx512") opt.cfg.impl = simd::Impl::kAvx512;
+            if (const auto impl = simd::parse_impl(m)) opt.cfg.impl = *impl;
             else die("unknown impl: " + m);
         } else if (a == "--shuffle") {
             opt.cfg.shuffle = true;
@@ -238,10 +237,11 @@ main(int argc, char** argv)
             for (double l : metrics.loss_trace) std::printf(" %.4f", l);
             std::printf("\n");
         }
-        std::printf("signature %s | loss %.4f | accuracy %.4f | "
-                    "%.3f GNPS | %.2fs\n",
+        std::printf("signature %s | kernels %s | loss %.4f | "
+                    "accuracy %.4f | %.3f GNPS | %.2fs\n",
                     opt.cfg.signature.to_string().c_str(),
-                    metrics.final_loss, metrics.accuracy, metrics.gnps(),
+                    simd::to_string(opt.cfg.impl), metrics.final_loss,
+                    metrics.accuracy, metrics.gnps(),
                     metrics.train_seconds);
 
         if (opt.save_path) {

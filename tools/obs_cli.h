@@ -35,9 +35,40 @@
 #include <string>
 
 #include "dmgc/signature.h"
+#include "lowp/round.h"
 #include "obs/obs.h"
+#include "simd/registry.h"
 
 namespace buckwild::tools {
+
+/**
+ * Publishes the kernel registry's per-process resolution as labeled
+ * gauges so /metrics shows which variant each op actually runs on this
+ * host: `kern.kernel_impl{op="simd.dot_d8m8",impl="avx512"} = 1` for
+ * every registered op, plus `kern.best_impl{impl="..."} = 1` for the
+ * resolver's overall pick. Values are presence markers (always 1); the
+ * label carries the information.
+ */
+inline void
+publish_kernel_impl_gauges(obs::MetricsRegistry& registry)
+{
+    simd::register_dense_kernels();
+    lowp::register_lowp_kernels();
+    const auto& lib = simd::KernelLibrary::instance();
+    for (const std::string& op : lib.ops()) {
+        const auto resolved = lib.resolve_auto(op);
+        registry
+            .gauge(obs::labeled(
+                "kern.kernel_impl",
+                {{"op", op}, {"impl", simd::to_string(resolved.impl)}}))
+            .set(1.0);
+    }
+    registry
+        .gauge(obs::labeled(
+            "kern.best_impl",
+            {{"impl", simd::to_string(simd::best_impl())}}))
+        .set(1.0);
+}
 
 struct ObsCliOptions
 {
@@ -171,9 +202,11 @@ class ObsSession
     {
         if (!opt_.trace_path.empty())
             obs::Tracer::global().set_enabled(true);
-        if (!opt_.live()) return;
-
+        // Resolved-kernel gauges go into every export (--metrics-out and
+        // live scrapes alike), not just live sessions.
         auto& registry = obs::MetricsRegistry::global();
+        publish_kernel_impl_gauges(registry);
+        if (!opt_.live()) return;
 
         perf_ = std::make_unique<obs::PerfCounters>();
         if (!perf_->available())
