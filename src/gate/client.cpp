@@ -1,6 +1,8 @@
 #include "gate/client.h"
 
 #include "net/frame.h"
+#include "obs/obs.h"
+#include "obs/prom.h"
 
 namespace buckwild::gate {
 
@@ -38,7 +40,18 @@ bool
 GateClient::send(const ScoreRequest& request)
 {
     if (down_.load(std::memory_order_acquire)) return false;
-    const std::vector<std::uint8_t> payload = serialize(request);
+    std::vector<std::uint8_t> payload = serialize(request);
+    if (obs::Tracer::global().enabled() && !request.trace.ctx.valid()) {
+        // Trace origin: mint a root context per request and append its
+        // block to the already-serialized payload — the features are
+        // not copied just to stamp a context. Callers that pre-set a
+        // context had it serialized above and keep it.
+        obs::WireTrace trace;
+        trace.ctx = obs::make_root_context();
+        trace.send_ts_ns = obs::trace_now_ns();
+        obs::append_trace_block(payload, trace);
+        obs::Tracer::global().instant("gate", "gate.request", trace.ctx);
+    }
     std::lock_guard<std::mutex> lock(write_mutex_);
     if (!fd_.valid()) return false;
     if (!net::write_frame(fd_.get(), payload.data(), payload.size())) {
@@ -93,6 +106,26 @@ GateClient::reader_loop()
         ScoreResponse response;
         if (!deserialize(payload.data(), payload.size(), response))
             continue; // tolerate one unparseable frame; framing is intact
+        if (response.trace.ctx.valid()) {
+            // A traced response is a complete NTP-style sample: the
+            // echoed request timestamps plus this arrival estimate the
+            // server's clock offset, and rtt/2 is the reply wire hop.
+            const std::int64_t a2 = obs::trace_now_ns();
+            const obs::ClockSample sample =
+                obs::clock_sample_from_reply(response.trace, a2);
+            if (sample.valid) {
+                obs::Tracer::global().clocksync("gate",
+                                                response.trace.ctx,
+                                                sample.offset_ns,
+                                                sample.rtt_ns);
+                static obs::Histo& hop_reply =
+                    obs::MetricsRegistry::global().histogram(
+                        obs::labeled("gate.hop_seconds",
+                                     {{"hop", "reply"}}));
+                hop_reply.record(static_cast<double>(sample.rtt_ns) *
+                                 0.5e-9);
+            }
+        }
         Handler handler;
         {
             std::lock_guard<std::mutex> lock(pending_mutex_);

@@ -54,6 +54,13 @@ struct GateTask
 {
     ScoreRequest request;
     std::shared_ptr<Sink> sink;
+    /// Trace identity carried from the request's wire block (invalid
+    /// when the client was not tracing) — the worker's score span and
+    /// the response echo both derive from it.
+    obs::TraceContext ctx;
+    /// Ingress arrival on this process's trace clock (wire_in hop and
+    /// the response's recv echo).
+    std::int64_t recv_ns = 0;
     std::chrono::steady_clock::time_point enqueued{};
     /// Absolute completion deadline (enqueued + deadline_us); max() when
     /// the request carries none. Checked again at dequeue: a task whose

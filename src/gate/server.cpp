@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "net/frame.h"
+#include "obs/obs.h"
 #include "obs/prom.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
@@ -50,6 +51,20 @@ patient_send(int fd, const void* data, std::size_t n)
     }
     errno = EAGAIN;
     return -1;
+}
+
+/// Echoes a traced request's identity and timestamps onto its response
+/// (any status, NACKs included) so the client ends up with a complete
+/// NTP-style clock-offset sample. No-op for untraced requests.
+void
+stamp_reply_trace(const ScoreRequest& request, std::int64_t recv_ns,
+                  ScoreResponse& response)
+{
+    if (!request.trace.ctx.valid()) return;
+    response.trace.ctx = obs::child_of(request.trace.ctx);
+    response.trace.echo_send_ts_ns = request.trace.send_ts_ns;
+    response.trace.echo_recv_ts_ns = recv_ns;
+    response.trace.send_ts_ns = obs::trace_now_ns();
 }
 
 } // namespace
@@ -141,6 +156,14 @@ GateServer::GateServer(ModelRouter& router, const dmgc::PerfModel& perf,
         latency_[lane] = &metrics_.histogram(obs::labeled(
             "gate.latency_seconds",
             {{"lane", to_string(static_cast<Lane>(lane))}}));
+    const auto hop = [this](const char* name) {
+        return &metrics_.histogram(
+            obs::labeled("gate.hop_seconds", {{"hop", name}}));
+    };
+    hop_wire_in_ = hop("wire_in");
+    hop_admission_ = hop("admission");
+    hop_queue_ = hop("queue");
+    hop_score_ = hop("score");
     std::string error;
     listener_ = net::listen_tcp(config_.bind_address, config_.port, 128,
                                 &port_, &error);
@@ -293,6 +316,7 @@ void
 GateServer::handle_payload(const std::shared_ptr<Connection>& connection,
                            const std::uint8_t* data, std::size_t n)
 {
+    const std::int64_t recv_ns = obs::trace_now_ns();
     GateTask task;
     if (!deserialize(data, n, task.request)) {
         // Well-framed but unparseable: answer kInvalid if the request
@@ -306,24 +330,36 @@ GateServer::handle_payload(const std::shared_ptr<Connection>& connection,
         return;
     }
     const ScoreRequest& request = task.request;
+    task.ctx = request.trace.ctx;
+    task.recv_ns = recv_ns;
+    // Wire hop: client send -> ingress arrival. Offset-skewed across
+    // hosts online; buckwild_tracemerge corrects the stitched view.
+    if (request.trace.ctx.valid() && request.trace.send_ts_ns != 0)
+        hop_wire_in_->record(
+            static_cast<double>(recv_ns - request.trace.send_ts_ns) *
+            1e-9);
+    obs::TracedSpan admit_span("gate", "gate.admit", task.ctx);
 
     ScoreResponse reject;
     reject.request_id = request.request_id;
 
     if (stopping_.load(std::memory_order_acquire)) {
         reject.status = Status::kShuttingDown;
+        stamp_reply_trace(request, recv_ns, reject);
         connection->send_response(reject);
         return;
     }
 
     // Route before admitting: an unknown model must not consume the
     // tenant's tokens.
+    Stopwatch admission_clock;
     const serve::ModelRegistry* registry = router_.find(request.model);
     if (registry == nullptr || registry->current() == nullptr) {
         shed_counter("unknown_model").add(1);
         shed_total_.fetch_add(1, std::memory_order_relaxed);
         reject.status = Status::kUnknownModel;
         reject.message = "no model named '" + request.model + "'";
+        stamp_reply_trace(request, recv_ns, reject);
         connection->send_response(reject);
         return;
     }
@@ -335,11 +371,13 @@ GateServer::handle_payload(const std::shared_ptr<Connection>& connection,
         static_cast<double>(scheduler_.backlog_numbers()));
     const Decision decision = admission_.admit(
         request, backlog_s, service_s, steady_seconds());
+    hop_admission_->record(admission_clock.seconds());
     if (!decision.admitted()) {
         shed_counter(decision.reason).add(1);
         shed_total_.fetch_add(1, std::memory_order_relaxed);
         reject.status = decision.status;
         reject.message = decision.reason;
+        stamp_reply_trace(request, recv_ns, reject);
         connection->send_response(reject);
         return;
     }
@@ -355,6 +393,7 @@ GateServer::handle_payload(const std::shared_ptr<Connection>& connection,
         shed_total_.fetch_add(1, std::memory_order_relaxed);
         reject.status = Status::kResourceExhausted;
         reject.message = "lane_full";
+        stamp_reply_trace(request, recv_ns, reject);
         connection->send_response(reject);
         return;
     }
@@ -380,6 +419,8 @@ GateServer::score_task(GateTask& task)
     response.request_id = request.request_id;
 
     const auto now = std::chrono::steady_clock::now();
+    hop_queue_->record(
+        std::chrono::duration<double>(now - task.enqueued).count());
     if (now > task.deadline) {
         // Expired while queued: the admission estimate was optimistic.
         // Failing here still beats scoring — the client has already
@@ -387,6 +428,7 @@ GateServer::score_task(GateTask& task)
         deadline_missed_.add(1);
         response.status = Status::kDeadlineExceeded;
         response.message = "deadline expired in queue";
+        stamp_reply_trace(request, task.recv_ns, response);
         task.sink->send_response(response);
         return;
     }
@@ -397,10 +439,12 @@ GateServer::score_task(GateTask& task)
     if (model == nullptr) {
         response.status = Status::kUnknownModel;
         response.message = "model disappeared while queued";
+        stamp_reply_trace(request, task.recv_ns, response);
         task.sink->send_response(response);
         return;
     }
 
+    obs::TracedSpan score_span("gate", "gate.score", task.ctx);
     Stopwatch compute;
     try {
         serve::ScoreResult result;
@@ -434,11 +478,13 @@ GateServer::score_task(GateTask& task)
     }
     cost_.observe(compute.seconds(),
                   static_cast<double>(request.feature_count()));
+    hop_score_->record(compute.seconds());
     const double latency =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       task.enqueued)
             .count();
     latency_[static_cast<std::size_t>(request.lane)]->record(latency);
+    stamp_reply_trace(request, task.recv_ns, response);
     task.sink->send_response(response);
 }
 

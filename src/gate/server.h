@@ -140,6 +140,11 @@ class GateServer
     obs::Counter& completed_;
     obs::Gauge& connections_;
     obs::Histo* latency_[kLanes]; ///< gate.latency_seconds{lane=...}
+    // Per-hop latency decomposition: gate.hop_seconds{hop=...}.
+    obs::Histo* hop_wire_in_;   ///< client send -> ingress arrival
+    obs::Histo* hop_admission_; ///< route + cost + admission decision
+    obs::Histo* hop_queue_;     ///< lane wait, admission to dequeue
+    obs::Histo* hop_score_;     ///< engine compute on the worker
     std::map<std::string, obs::Counter*> shed_by_reason_;
     std::mutex shed_mutex_;
     std::map<std::string, obs::Counter*> by_tenant_; ///< event-loop only

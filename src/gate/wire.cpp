@@ -126,6 +126,9 @@ class Reader
     /// Remaining unread bytes (for count-times-size overflow checks).
     std::size_t remaining() const { return n_ - pos_; }
 
+    /// Pointer to the first unread byte (trailing trace block parse).
+    const std::uint8_t* cursor() const { return data_ + pos_; }
+
     bool done() const { return pos_ == n_; }
 
   private:
@@ -133,6 +136,19 @@ class Reader
     std::size_t n_;
     std::size_t pos_ = 0;
 };
+
+/// Common tail of both deserializers: accept the exact historical end
+/// (no trace) or exactly one well-formed trailing trace block; reject
+/// everything in between.
+bool
+finish_with_trace(Reader& reader, obs::WireTrace& trace)
+{
+    trace = obs::WireTrace{};
+    if (reader.done()) return true;
+    if (reader.remaining() != obs::kTraceBlockBytes) return false;
+    return obs::parse_trace_block(reader.cursor(), reader.remaining(),
+                                  trace);
+}
 
 } // namespace
 
@@ -200,6 +216,8 @@ serialize(const ScoreRequest& request)
         for (const float x : request.dense) put_f32(out, x);
         break;
     }
+    if (request.trace.ctx.valid())
+        obs::append_trace_block(out, request.trace);
     return out;
 }
 
@@ -265,7 +283,7 @@ deserialize(const std::uint8_t* data, std::size_t n, ScoreRequest& out)
         break;
     }
     }
-    return reader.done();
+    return finish_with_trace(reader, out.trace);
 }
 
 std::vector<std::uint8_t>
@@ -283,6 +301,8 @@ serialize(const ScoreResponse& response)
     put_u64(out, response.model_version);
     put_u16(out, static_cast<std::uint16_t>(response.message.size()));
     out.insert(out.end(), response.message.begin(), response.message.end());
+    if (response.trace.ctx.valid())
+        obs::append_trace_block(out, response.trace);
     return out;
 }
 
@@ -308,7 +328,7 @@ deserialize(const std::uint8_t* data, std::size_t n, ScoreResponse& out)
         return false;
     if (message_len > kMaxMessageBytes) return false;
     if (!reader.str(&out.message, message_len)) return false;
-    return reader.done();
+    return finish_with_trace(reader, out.trace);
 }
 
 float

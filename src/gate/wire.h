@@ -45,6 +45,15 @@
  *     32      2     message length, then that many bytes (rejection
  *                   reason / error detail)
  *
+ * Either message may end with one optional 58-byte trace block
+ * (obs/tracectx.h: tag 0xCE, version, trace/span/parent ids, send
+ * timestamp, and the two echo timestamps that make a response a
+ * complete NTP-style clock-offset sample). It is appended only when the
+ * message carries a valid TraceContext, so tracing-off bytes are
+ * identical to the historical layout; parsers accept either the exact
+ * historical end or exactly one well-formed block, and still reject
+ * every truncation and trailing-garbage shape in between.
+ *
  * deserialize() is defensive: every length is checked against the
  * buffer and the protocol caps *before* any allocation, and trailing
  * garbage is rejected — a malformed payload returns false and the
@@ -58,6 +67,8 @@
 #include <cstdint>
 #include <string>
 #include <vector>
+
+#include "obs/tracectx.h"
 
 namespace buckwild::gate {
 
@@ -124,6 +135,10 @@ struct ScoreRequest
     std::vector<std::int8_t> q8;     ///< kDenseQ8 levels
     std::vector<std::uint32_t> index; ///< kSparseF32 coordinates
 
+    /// Optional distributed-tracing identity + timestamps; on the wire
+    /// only while trace.ctx.valid() (the trailing block above).
+    obs::WireTrace trace;
+
     /// Feature numbers this request carries (the admission cost input).
     std::size_t
     feature_count() const
@@ -143,6 +158,11 @@ struct ScoreResponse
     float label = 0.0f;
     std::uint64_t model_version = 0;
     std::string message; ///< human-readable rejection/error detail
+
+    /// Optional trace echo (see ScoreRequest::trace); a traced response
+    /// carries the request's send/recv timestamps back so the client
+    /// can compute the server's clock offset statelessly.
+    obs::WireTrace trace;
 
     bool ok() const { return status == Status::kOk; }
 };

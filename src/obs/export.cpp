@@ -125,32 +125,84 @@ JsonWriter& JsonWriter::value(bool v)
     return *this;
 }
 
+namespace {
+
+/// Emits `args:{trace,span[,parent][,offset_ns,rtt_ns]}` for a traced
+/// event — the correlation hooks buckwild_tracemerge keys on.
+void write_trace_args(JsonWriter& w, const TraceEvent& ev)
+{
+    w.key("args").begin_object();
+    w.key("trace").value(trace_id_hex(ev.ctx));
+    w.key("span").value(span_id_hex(ev.ctx.span));
+    if (ev.ctx.parent != 0)
+        w.key("parent").value(span_id_hex(ev.ctx.parent));
+    if (ev.type == TraceEvent::Type::kClockSync) {
+        w.key("offset_ns").value(ev.value);
+        w.key("rtt_ns").value(static_cast<std::int64_t>(ev.dur_ns));
+    }
+    w.end_object();
+}
+
+} // namespace
+
 void write_chrome_trace(std::ostream& out, const std::vector<TraceEvent>& events)
 {
+    TraceProcessInfo process;
+    process.label = Tracer::global().process_label();
+    process.pid = process.label.empty() ? 0 : Tracer::global().process_id();
+    write_chrome_trace(out, events, process);
+}
+
+void write_chrome_trace(std::ostream& out, const std::vector<TraceEvent>& events,
+                        const TraceProcessInfo& process)
+{
+    // Unlabeled processes keep the historical fixed pid 1 so existing
+    // golden traces stay byte-identical.
+    const std::uint64_t pid =
+        process.pid != 0 ? process.pid : std::uint64_t{1};
     JsonWriter w(out);
     w.begin_object();
     w.key("displayTimeUnit").value("ms");
     w.key("traceEvents").begin_array();
+    if (!process.label.empty()) {
+        out << '\n';
+        w.begin_object();
+        w.key("name").value("process_name");
+        w.key("ph").value("M");
+        w.key("pid").value(pid);
+        w.key("tid").value(std::uint64_t{0});
+        w.key("args").begin_object().key("name").value(process.label).end_object();
+        w.end_object();
+    }
     for (const TraceEvent& ev : events) {
         out << '\n';
         w.begin_object();
         w.key("name").value(ev.name);
         w.key("cat").value(ev.category);
-        w.key("pid").value(std::uint64_t{1});
+        w.key("pid").value(pid);
         w.key("tid").value(static_cast<std::uint64_t>(ev.tid));
         w.key("ts").value(static_cast<double>(ev.ts_ns) / 1000.0);
         switch (ev.type) {
         case TraceEvent::Type::kComplete:
             w.key("ph").value("X");
             w.key("dur").value(static_cast<double>(ev.dur_ns) / 1000.0);
+            if (ev.ctx.valid()) write_trace_args(w, ev);
             break;
         case TraceEvent::Type::kInstant:
             w.key("ph").value("i");
             w.key("s").value("t");
+            if (ev.ctx.valid()) write_trace_args(w, ev);
             break;
         case TraceEvent::Type::kCounter:
             w.key("ph").value("C");
             w.key("args").begin_object().key("value").value(ev.value).end_object();
+            break;
+        case TraceEvent::Type::kClockSync:
+            // Rendered as an instant so viewers show it; the args carry
+            // the sample for buckwild_tracemerge.
+            w.key("ph").value("i");
+            w.key("s").value("t");
+            write_trace_args(w, ev);
             break;
         }
         w.end_object();

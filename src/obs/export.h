@@ -59,12 +59,33 @@ class JsonWriter
 };
 
 /**
+ * The process identity stamped onto an exported trace. Default (empty
+ * label, pid 0) reproduces the historical single-process output: fixed
+ * pid 1, no process metadata — existing golden traces are unchanged.
+ */
+struct TraceProcessInfo
+{
+    std::string label;
+    std::uint32_t pid = 0;
+};
+
+/**
  * Writes the Chrome trace_event JSON object (`{"traceEvents":[...]}`)
  * for a merged event stream. Timestamps and durations are microseconds
  * as the format requires; each ring's tid becomes the trace tid so
  * per-thread lanes line up in chrome://tracing.
+ *
+ * The no-info overload takes the process identity from
+ * Tracer::global().set_process(). When a label is set, the export leads
+ * with a `process_name` metadata event and stamps the real pid on every
+ * event; events carrying a valid TraceContext gain
+ * `args:{trace,span,parent}` (32/16-hex ids) and clock-sync samples
+ * become instants with `args:{offset_ns,rtt_ns}` — the hooks
+ * tools/buckwild_tracemerge.cpp stitches the fleet timeline from.
  */
 void write_chrome_trace(std::ostream& out, const std::vector<TraceEvent>& events);
+void write_chrome_trace(std::ostream& out, const std::vector<TraceEvent>& events,
+                        const TraceProcessInfo& process);
 
 /**
  * Writes a flat metrics JSON object:

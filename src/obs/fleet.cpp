@@ -1,0 +1,205 @@
+#include "obs/fleet.h"
+
+#include <sys/socket.h>
+
+#include <sstream>
+
+#include "obs/prom.h"
+
+namespace buckwild::obs {
+
+namespace {
+
+/// Splits `body` into lines (without terminators), tolerating a missing
+/// final newline.
+std::vector<std::string>
+split_lines(const std::string& body)
+{
+    std::vector<std::string> lines;
+    std::size_t start = 0;
+    while (start < body.size()) {
+        std::size_t end = body.find('\n', start);
+        if (end == std::string::npos) end = body.size();
+        lines.push_back(body.substr(start, end - start));
+        start = end + 1;
+    }
+    return lines;
+}
+
+/// The dedup key of a `# HELP name ...` / `# TYPE name ...` line:
+/// "HELP name" / "TYPE name". Empty for other comments.
+std::string
+comment_key(const std::string& line)
+{
+    std::istringstream in(line);
+    std::string hash, kind, name;
+    in >> hash >> kind >> name;
+    if ((kind == "HELP" || kind == "TYPE") && !name.empty())
+        return kind + " " + name;
+    return std::string();
+}
+
+} // namespace
+
+FleetAggregator::FleetAggregator(FleetConfig config)
+    : config_(std::move(config)), targets_(config_.targets)
+{
+}
+
+void
+FleetAggregator::add_target(FleetTarget target)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    targets_.push_back(std::move(target));
+}
+
+std::size_t
+FleetAggregator::target_count() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return targets_.size();
+}
+
+std::string
+FleetAggregator::relabel(const std::string& body, const std::string& node)
+{
+    std::string label = "node=\"" + prom_escape(node) + "\"";
+    std::string out;
+    out.reserve(body.size() + 32 * 16);
+    for (const std::string& line : split_lines(body)) {
+        if (line.empty() || line[0] == '#') {
+            out += line;
+            out += '\n';
+            continue;
+        }
+        // `name{labels} value` or `name value`. Metric names cannot
+        // contain '{' or whitespace, so the first of either tells the
+        // two shapes apart.
+        const std::size_t brace = line.find('{');
+        const std::size_t space = line.find_first_of(" \t");
+        if (brace != std::string::npos &&
+            (space == std::string::npos || brace < space)) {
+            out += line.substr(0, brace + 1);
+            out += label;
+            // An empty label set `name{}` must not gain a trailing comma.
+            if (brace + 1 < line.size() && line[brace + 1] != '}')
+                out += ',';
+            out += line.substr(brace + 1);
+        } else if (space != std::string::npos) {
+            out += line.substr(0, space);
+            out += '{';
+            out += label;
+            out += '}';
+            out += line.substr(space);
+        } else {
+            out += line; // not a sample line; pass through untouched
+        }
+        out += '\n';
+    }
+    return out;
+}
+
+std::string
+FleetAggregator::http_get(const net::Address& address,
+                          const std::string& path,
+                          std::chrono::milliseconds timeout)
+{
+    std::string error;
+    net::Fd fd = net::connect_tcp(address, timeout, &error);
+    if (!fd.valid()) return std::string();
+    net::set_recv_timeout(fd.get(), timeout);
+
+    const std::string request = "GET " + path +
+                                " HTTP/1.1\r\nHost: " + address.host +
+                                "\r\nConnection: close\r\n\r\n";
+    if (!net::write_full(fd.get(), request)) return std::string();
+
+    // The exporter answers one request and closes, so read to EOF.
+    std::string response;
+    char buf[4096];
+    for (;;) {
+        const ssize_t n = ::recv(fd.get(), buf, sizeof(buf), 0);
+        if (n <= 0) break;
+        response.append(buf, static_cast<std::size_t>(n));
+        if (response.size() > 16 * 1024 * 1024) break; // runaway guard
+    }
+
+    const std::size_t line_end = response.find("\r\n");
+    if (line_end == std::string::npos) return std::string();
+    const std::string status_line = response.substr(0, line_end);
+    if (status_line.find(" 200") == std::string::npos)
+        return std::string();
+    const std::size_t header_end = response.find("\r\n\r\n");
+    if (header_end == std::string::npos) return std::string();
+    return response.substr(header_end + 4);
+}
+
+std::string
+FleetAggregator::merged_body()
+{
+    // Snapshot the target list, then scrape without holding the lock:
+    // a slow peer must not block add_target() or a concurrent scrape.
+    std::vector<FleetTarget> targets;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        targets = targets_;
+    }
+
+    std::vector<std::pair<std::string, std::string>> bodies;
+    if (!config_.local_node.empty()) {
+        MetricsRegistry& registry = config_.local_registry
+                                        ? *config_.local_registry
+                                        : MetricsRegistry::global();
+        bodies.emplace_back(
+            config_.local_node,
+            relabel(render_prometheus(registry.snapshot()),
+                    config_.local_node));
+    }
+    for (const FleetTarget& target : targets) {
+        const std::string raw =
+            http_get(target.address, "/metrics", config_.scrape_timeout);
+        if (!raw.empty())
+            bodies.emplace_back(target.node, relabel(raw, target.node));
+        else
+            bodies.emplace_back(target.node, std::string());
+    }
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::string out;
+    std::map<std::string, bool> seen_comments;
+    for (auto& [node, body] : bodies) {
+        if (body.empty()) {
+            // Fall back to the node's last good scrape (workers exit
+            // before the run ends; their final numbers stay visible).
+            auto it = last_good_.find(node);
+            if (it == last_good_.end()) {
+                ++failures_;
+                continue;
+            }
+            body = it->second;
+        } else {
+            last_good_[node] = body;
+        }
+        for (const std::string& line : split_lines(body)) {
+            if (!line.empty() && line[0] == '#') {
+                const std::string key = comment_key(line);
+                if (!key.empty()) {
+                    if (seen_comments[key]) continue;
+                    seen_comments[key] = true;
+                }
+            }
+            out += line;
+            out += '\n';
+        }
+    }
+    return out;
+}
+
+std::uint64_t
+FleetAggregator::scrape_failures() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return failures_;
+}
+
+} // namespace buckwild::obs

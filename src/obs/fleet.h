@@ -1,0 +1,101 @@
+/**
+ * @file
+ * FleetAggregator — one scrape for the whole cluster.
+ *
+ * A spawned multi-process run (`buckwild_cluster --spawn`) gives every
+ * node its own registry and its own ephemeral /metrics endpoint, which
+ * means N scrape targets for what is logically one training job. The
+ * aggregator runs on the control node: merged_body() HTTP-GETs every
+ * registered target's /metrics, injects a `node="<label>"` label into
+ * each sample line, deduplicates the `# HELP`/`# TYPE` comment lines
+ * across nodes, optionally prepends the control process's own registry
+ * (relabeled the same way), and returns one text-exposition body. Wired
+ * into HttpExporterConfig::metrics_body, the control node re-exposes
+ * the merged view so a single scrape sees every shard's
+ * `ps_staleness_total{worker=...,staleness=...,node="shard0"}` next to
+ * every worker's push timings.
+ *
+ * Scrapes are on-demand (one per merged_body() call) over the net::
+ * primitives — no HTTP client dependency. A target that fails to answer
+ * serves its last good snapshot instead (workers exit before shards, so
+ * their final numbers should outlive them in the merged view); targets
+ * that never answered are simply absent, with a failure counter for
+ * visibility.
+ */
+#ifndef BUCKWILD_OBS_FLEET_H
+#define BUCKWILD_OBS_FLEET_H
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "net/socket.h"
+#include "obs/registry.h"
+
+namespace buckwild::obs {
+
+/// One node endpoint in the fleet, and the `node` label its series get.
+struct FleetTarget
+{
+    std::string node;
+    net::Address address;
+};
+
+struct FleetConfig
+{
+    std::vector<FleetTarget> targets;
+    /// Per-target connect + response budget for one scrape.
+    std::chrono::milliseconds scrape_timeout{1000};
+    /// When non-empty, the aggregating process's own registry is
+    /// included under this node label (the control node counts too).
+    std::string local_node;
+    /// Registry for local_node; nullptr = the global registry.
+    MetricsRegistry* local_registry = nullptr;
+};
+
+class FleetAggregator
+{
+  public:
+    explicit FleetAggregator(FleetConfig config);
+
+    /// Registers another scrape target (e.g. as spawned children report
+    /// their ephemeral ports). Thread-safe.
+    void add_target(FleetTarget target);
+
+    std::size_t target_count() const;
+
+    /// Scrapes every target now and returns the merged, node-labeled
+    /// exposition body. Thread-safe; called by the HTTP exporter thread.
+    std::string merged_body();
+
+    /// Scrapes that returned no usable body since construction (the
+    /// per-target last-good cache still covered those nodes if they had
+    /// answered before).
+    std::uint64_t scrape_failures() const;
+
+    /// Injects `node="<node>"` into every sample line of a Prometheus
+    /// text-exposition `body`. Exposed for tests.
+    static std::string relabel(const std::string& body,
+                               const std::string& node);
+
+    /// One HTTP GET of `path` (e.g. "/metrics") from `address`; empty
+    /// string on connect/timeout/non-200. Exposed for tests.
+    static std::string http_get(const net::Address& address,
+                                const std::string& path,
+                                std::chrono::milliseconds timeout);
+
+  private:
+    FleetConfig config_;
+    mutable std::mutex mutex_;
+    std::vector<FleetTarget> targets_;
+    /// node label -> last successfully scraped (already relabeled) body.
+    std::map<std::string, std::string> last_good_;
+    std::uint64_t failures_ = 0;
+};
+
+} // namespace buckwild::obs
+
+#endif // BUCKWILD_OBS_FLEET_H

@@ -105,9 +105,11 @@ HttpExporter::handle(int client_fd)
         return;
     }
     if (path == "/metrics") {
+        const std::string body =
+            config_.metrics_body ? config_.metrics_body()
+                                 : render_prometheus(registry_.snapshot());
         net::write_full(client_fd,
-                      http_response("200 OK", kPromContentType,
-                                    render_prometheus(registry_.snapshot())));
+                      http_response("200 OK", kPromContentType, body));
     } else if (path == "/healthz") {
         net::write_full(client_fd,
                       http_response("200 OK", "text/plain", "ok\n"));

@@ -25,6 +25,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <thread>
 
@@ -40,6 +41,11 @@ struct HttpExporterConfig
     std::string bind_address = "0.0.0.0";
     /// The registry /metrics renders. Defaults to the global one.
     MetricsRegistry* registry = nullptr;
+    /// When set, /metrics serves this callback's result instead of a
+    /// registry render — how the fleet aggregator re-exposes the merged
+    /// cluster scrape through the standard exporter. Called on the
+    /// exporter thread; must be thread-safe.
+    std::function<std::string()> metrics_body;
 };
 
 class HttpExporter

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 
+#include <unistd.h>
+
 namespace buckwild::obs {
 
 std::int64_t trace_now_ns()
@@ -65,8 +67,34 @@ TraceRing& Tracer::ring()
     return *t_ring;
 }
 
+void Tracer::set_process(const std::string& label, std::uint32_t pid)
+{
+    std::lock_guard<std::mutex> lock(process_mutex_);
+    process_label_ = label;
+    process_id_ =
+        pid != 0 ? pid : static_cast<std::uint32_t>(::getpid());
+}
+
+std::string Tracer::process_label() const
+{
+    std::lock_guard<std::mutex> lock(process_mutex_);
+    return process_label_;
+}
+
+std::uint32_t Tracer::process_id() const
+{
+    std::lock_guard<std::mutex> lock(process_mutex_);
+    return process_id_;
+}
+
 void Tracer::complete(const char* category, const char* name, std::int64_t ts_ns,
                       std::int64_t dur_ns)
+{
+    complete(category, name, ts_ns, dur_ns, TraceContext{});
+}
+
+void Tracer::complete(const char* category, const char* name, std::int64_t ts_ns,
+                      std::int64_t dur_ns, const TraceContext& ctx)
 {
     if (!enabled()) return;
     TraceEvent ev;
@@ -75,6 +103,7 @@ void Tracer::complete(const char* category, const char* name, std::int64_t ts_ns
     ev.type = TraceEvent::Type::kComplete;
     ev.ts_ns = ts_ns;
     ev.dur_ns = dur_ns;
+    ev.ctx = ctx;
     TraceRing& r = ring();
     ev.tid = r.tid();
     r.record(ev);
@@ -82,12 +111,36 @@ void Tracer::complete(const char* category, const char* name, std::int64_t ts_ns
 
 void Tracer::instant(const char* category, const char* name)
 {
+    instant(category, name, TraceContext{});
+}
+
+void Tracer::instant(const char* category, const char* name,
+                     const TraceContext& ctx)
+{
     if (!enabled()) return;
     TraceEvent ev;
     ev.category = category;
     ev.name = name;
     ev.type = TraceEvent::Type::kInstant;
     ev.ts_ns = trace_now_ns();
+    ev.ctx = ctx;
+    TraceRing& r = ring();
+    ev.tid = r.tid();
+    r.record(ev);
+}
+
+void Tracer::clocksync(const char* category, const TraceContext& ctx,
+                       std::int64_t offset_ns, std::int64_t rtt_ns)
+{
+    if (!enabled()) return;
+    TraceEvent ev;
+    ev.category = category;
+    ev.name = "clocksync";
+    ev.type = TraceEvent::Type::kClockSync;
+    ev.ts_ns = trace_now_ns();
+    ev.dur_ns = rtt_ns;
+    ev.value = static_cast<double>(offset_ns);
+    ev.ctx = ctx;
     TraceRing& r = ring();
     ev.tid = r.tid();
     r.record(ev);

@@ -20,7 +20,10 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
+
+#include "obs/tracectx.h"
 
 namespace buckwild::obs {
 
@@ -30,9 +33,10 @@ std::int64_t trace_now_ns();
 struct TraceEvent
 {
     enum class Type : std::uint8_t {
-        kComplete, ///< span with duration ("ph":"X")
-        kInstant,  ///< point event ("ph":"i")
-        kCounter,  ///< sampled value ("ph":"C")
+        kComplete,  ///< span with duration ("ph":"X")
+        kInstant,   ///< point event ("ph":"i")
+        kCounter,   ///< sampled value ("ph":"C")
+        kClockSync, ///< one NTP-style offset sample vs a peer process
     };
 
     const char* category = "";
@@ -40,8 +44,13 @@ struct TraceEvent
     Type type = Type::kInstant;
     std::uint32_t tid = 0;
     std::int64_t ts_ns = 0;
-    std::int64_t dur_ns = 0; ///< kComplete only
-    double value = 0.0;      ///< kCounter only
+    std::int64_t dur_ns = 0; ///< kComplete: duration; kClockSync: rtt_ns
+    double value = 0.0;      ///< kCounter: value; kClockSync: offset_ns
+
+    /// Distributed-trace identity; all-zero (invalid) on local events.
+    /// Exported as "trace"/"span"/"parent" args so buckwild_tracemerge
+    /// can stitch spans carrying the same trace id across processes.
+    TraceContext ctx;
 };
 
 /**
@@ -98,10 +107,32 @@ class Tracer
     /// This thread's ring, creating and registering it on first use.
     TraceRing& ring();
 
+    /**
+     * Tags every event this process exports with a node identity: the
+     * label becomes the Chrome-trace process_name and the pid the
+     * timeline lane, so a merged multi-process trace keeps the shards,
+     * workers, gate and clients apart. Unset (the default) exports keep
+     * the historical fixed pid 1 and no process metadata. `pid` 0 means
+     * "use the real OS pid".
+     */
+    void set_process(const std::string& label, std::uint32_t pid = 0);
+    std::string process_label() const;
+    std::uint32_t process_id() const;
+
     void complete(const char* category, const char* name, std::int64_t ts_ns,
                   std::int64_t dur_ns);
+    void complete(const char* category, const char* name, std::int64_t ts_ns,
+                  std::int64_t dur_ns, const TraceContext& ctx);
     void instant(const char* category, const char* name);
+    void instant(const char* category, const char* name,
+                 const TraceContext& ctx);
     void counter(const char* category, const char* name, double value);
+
+    /// Records one clock-offset sample against the peer that answered
+    /// the RPC carrying `ctx` (the trace id identifies the peer pair in
+    /// the merged timeline).
+    void clocksync(const char* category, const TraceContext& ctx,
+                   std::int64_t offset_ns, std::int64_t rtt_ns);
 
     /// Merges every ring's events, sorted by timestamp, and clears them.
     std::vector<TraceEvent> flush();
@@ -117,6 +148,9 @@ class Tracer
     std::atomic<std::uint32_t> next_tid_{1};
     mutable std::mutex rings_mutex_;
     std::vector<std::shared_ptr<TraceRing>> rings_;
+    mutable std::mutex process_mutex_;
+    std::string process_label_;
+    std::uint32_t process_id_ = 0;
 };
 
 /**
@@ -147,6 +181,47 @@ class ScopedSpan
   private:
     const char* category_;
     const char* name_;
+    std::int64_t start_ns_ = 0;
+    bool armed_;
+};
+
+/**
+ * ScopedSpan that carries a distributed-trace context: the recorded
+ * span is a fresh child of `parent`, so nested TracedSpans across
+ * processes reconstruct the whole call tree in the merged timeline.
+ * ctx() exposes the child context for propagating further down.
+ */
+class TracedSpan
+{
+  public:
+    TracedSpan(const char* category, const char* name,
+               const TraceContext& parent)
+        : category_(category), name_(name),
+          armed_(Tracer::global().enabled() && parent.valid())
+    {
+        if (armed_) {
+            ctx_ = child_of(parent);
+            start_ns_ = trace_now_ns();
+        }
+    }
+
+    ~TracedSpan()
+    {
+        if (armed_)
+            Tracer::global().complete(category_, name_, start_ns_,
+                                      trace_now_ns() - start_ns_, ctx_);
+    }
+
+    TracedSpan(const TracedSpan&) = delete;
+    TracedSpan& operator=(const TracedSpan&) = delete;
+
+    /// The child context this span records under (invalid when unarmed).
+    const TraceContext& ctx() const { return ctx_; }
+
+  private:
+    const char* category_;
+    const char* name_;
+    TraceContext ctx_;
     std::int64_t start_ns_ = 0;
     bool armed_;
 };

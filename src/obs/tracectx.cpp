@@ -1,0 +1,170 @@
+#include "obs/tracectx.h"
+
+#include <atomic>
+#include <chrono>
+
+#include <unistd.h>
+
+namespace buckwild::obs {
+namespace {
+
+/// splitmix64 — tiny, well-mixed, and stateless given a counter; the
+/// standard choice for seeding ids without dragging in <random>.
+std::uint64_t
+splitmix64(std::uint64_t x)
+{
+    x += 0x9E3779B97F4A7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return x ^ (x >> 31);
+}
+
+/// Per-process id stream: the seed folds in wall clock, steady clock,
+/// and pid so two processes forked in the same microsecond still draw
+/// from different streams.
+std::uint64_t
+next_id()
+{
+    static const std::uint64_t seed = [] {
+        const auto wall = std::chrono::system_clock::now();
+        const auto steady = std::chrono::steady_clock::now();
+        std::uint64_t s = static_cast<std::uint64_t>(
+            wall.time_since_epoch().count());
+        s ^= splitmix64(static_cast<std::uint64_t>(
+            steady.time_since_epoch().count()));
+        s ^= splitmix64(static_cast<std::uint64_t>(::getpid()) << 32);
+        return s;
+    }();
+    static std::atomic<std::uint64_t> counter{0};
+    const std::uint64_t n =
+        counter.fetch_add(1, std::memory_order_relaxed);
+    const std::uint64_t id = splitmix64(seed + n);
+    return id == 0 ? 1 : id;
+}
+
+void
+put_u64(std::vector<std::uint8_t>& out, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint64_t
+get_u64(const std::uint8_t* p)
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+    return v;
+}
+
+char
+hex_digit(std::uint64_t nibble)
+{
+    return "0123456789abcdef"[nibble & 0xF];
+}
+
+void
+append_hex64(std::string& out, std::uint64_t v)
+{
+    for (int shift = 60; shift >= 0; shift -= 4)
+        out.push_back(hex_digit(v >> shift));
+}
+
+} // namespace
+
+TraceContext
+make_root_context()
+{
+    TraceContext ctx;
+    ctx.trace_lo = next_id();
+    ctx.trace_hi = next_id();
+    ctx.span = next_id();
+    ctx.parent = 0;
+    return ctx;
+}
+
+TraceContext
+child_of(const TraceContext& ctx)
+{
+    if (!ctx.valid()) return TraceContext{};
+    TraceContext child;
+    child.trace_lo = ctx.trace_lo;
+    child.trace_hi = ctx.trace_hi;
+    child.span = next_id();
+    child.parent = ctx.span;
+    return child;
+}
+
+std::string
+trace_id_hex(const TraceContext& ctx)
+{
+    std::string out;
+    out.reserve(32);
+    append_hex64(out, ctx.trace_hi);
+    append_hex64(out, ctx.trace_lo);
+    return out;
+}
+
+std::string
+span_id_hex(std::uint64_t span)
+{
+    std::string out;
+    out.reserve(16);
+    append_hex64(out, span);
+    return out;
+}
+
+void
+append_trace_block(std::vector<std::uint8_t>& out, const WireTrace& trace)
+{
+    out.reserve(out.size() + kTraceBlockBytes);
+    out.push_back(kTraceBlockTag);
+    out.push_back(kTraceBlockVersion);
+    put_u64(out, trace.ctx.trace_lo);
+    put_u64(out, trace.ctx.trace_hi);
+    put_u64(out, trace.ctx.span);
+    put_u64(out, trace.ctx.parent);
+    put_u64(out, static_cast<std::uint64_t>(trace.send_ts_ns));
+    put_u64(out, static_cast<std::uint64_t>(trace.echo_send_ts_ns));
+    put_u64(out, static_cast<std::uint64_t>(trace.echo_recv_ts_ns));
+}
+
+bool
+parse_trace_block(const std::uint8_t* data, std::size_t n, WireTrace& out)
+{
+    if (n != kTraceBlockBytes) return false;
+    if (data[0] != kTraceBlockTag) return false;
+    if (data[1] != kTraceBlockVersion) return false;
+    WireTrace trace;
+    trace.ctx.trace_lo = get_u64(data + 2);
+    trace.ctx.trace_hi = get_u64(data + 10);
+    trace.ctx.span = get_u64(data + 18);
+    trace.ctx.parent = get_u64(data + 26);
+    trace.send_ts_ns = static_cast<std::int64_t>(get_u64(data + 34));
+    trace.echo_send_ts_ns = static_cast<std::int64_t>(get_u64(data + 42));
+    trace.echo_recv_ts_ns = static_cast<std::int64_t>(get_u64(data + 50));
+    // A block whose context is invalid could never have been emitted by
+    // append_trace_block; treat it as trailing garbage.
+    if (!trace.ctx.valid()) return false;
+    out = trace;
+    return true;
+}
+
+ClockSample
+clock_sample_from_reply(const WireTrace& reply, std::int64_t recv_ts_ns)
+{
+    ClockSample sample;
+    const std::int64_t a1 = reply.echo_send_ts_ns; // our request left
+    const std::int64_t b1 = reply.echo_recv_ts_ns; // responder received
+    const std::int64_t b2 = reply.send_ts_ns;      // responder replied
+    const std::int64_t a2 = recv_ts_ns;            // we received
+    if (a1 == 0 || b1 == 0 || b2 == 0 || a2 == 0) return sample;
+    if (a2 < a1 || b2 < b1) return sample;
+    sample.offset_ns = ((b1 - a1) + (b2 - a2)) / 2;
+    sample.rtt_ns = (a2 - a1) - (b2 - b1);
+    sample.valid = true;
+    return sample;
+}
+
+} // namespace buckwild::obs

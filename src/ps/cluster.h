@@ -60,6 +60,19 @@ struct ClusterConfig
     /// registry.
     std::size_t publish_every = 0;
     serve::Precision publish_precision = serve::Precision::kFloat32;
+
+    // ---- distributed observability (multi-process runs) ----
+
+    /// When non-empty, every --spawn child enables tracing, tags itself
+    /// (shard<i> / worker<i>, the parent as control) and writes
+    /// <trace_dir>/<role>.trace.json on exit — the per-process inputs
+    /// buckwild_tracemerge stitches into one fleet timeline.
+    std::string trace_dir;
+    /// When >= 0, every --spawn child serves /metrics on an ephemeral
+    /// port and the parent re-exposes the merged, node-labeled fleet
+    /// scrape on this port (0 = ephemeral, printed at startup) for the
+    /// duration of the run.
+    int fleet_port = -1;
 };
 
 /// Outcome of a cluster run: convergence, traffic, and cluster metrics.
@@ -84,6 +97,13 @@ struct ClusterResult
     PsMetrics metrics;
     /// Registry versions published during the run (last one is final).
     std::vector<std::uint64_t> published_versions;
+    /// The port the merged fleet /metrics actually bound during a
+    /// multi-process run (-1 = fleet view off or bind failed).
+    int fleet_port = -1;
+    /// The final merged, node-labeled Prometheus exposition body taken
+    /// while the fleet was still up (empty = fleet view off). Also
+    /// written to `<trace_dir>/fleet.prom` when tracing to a directory.
+    std::string fleet_metrics;
 };
 
 /**

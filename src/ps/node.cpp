@@ -5,9 +5,15 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <fstream>
+#include <memory>
 #include <thread>
 
+#include "obs/export.h"
+#include "obs/fleet.h"
+#include "obs/http_exporter.h"
 #include "obs/obs.h"
+#include "obs/prom.h"
 #include "ps/shard.h"
 #include "ps/wire.h"
 #include "util/logging.h"
@@ -99,6 +105,11 @@ run_worker_rounds(const ClusterConfig& config,
         // Quantize and push each shard's slice; a staleness-gated
         // nack means this worker ran too far ahead — back off and
         // retry (the shard's gate opens as the slow workers apply).
+        // Time spent bounced is the "gate wait" hop of the push's
+        // latency decomposition.
+        static obs::Histo& hop_ssp_wait =
+            obs::MetricsRegistry::global().histogram(
+                obs::labeled("ps.hop_seconds", {{"hop", "ssp_wait"}}));
         for (std::size_t s = 0; s < shards; ++s) {
             const std::size_t begin = slice_begin(dim, shards, s);
             const WireGradient wire = encode_gradient(
@@ -108,6 +119,8 @@ run_worker_rounds(const ClusterConfig& config,
             stats.encoded_bytes += wire.wire_bytes();
             BUCKWILD_OBS_COUNT("ps.worker.encoded_bytes",
                                wire.wire_bytes());
+            Stopwatch gate_clock;
+            bool gated = false;
             for (;;) {
                 Message push;
                 push.kind = Message::Kind::kPush;
@@ -115,7 +128,14 @@ run_worker_rounds(const ClusterConfig& config,
                 push.clock = round;
                 push.gradient = wire;
                 const Message ack = rpc.call(s, std::move(push));
-                if (ack.accepted) break;
+                if (ack.accepted) {
+                    if (gated) hop_ssp_wait.record(gate_clock.seconds());
+                    break;
+                }
+                if (!gated) {
+                    gated = true;
+                    gate_clock = Stopwatch();
+                }
                 std::this_thread::sleep_for(std::chrono::microseconds(100));
             }
         }
@@ -319,6 +339,75 @@ fixed_bytes_per_round(const ClusterConfig& config, std::size_t dim)
 
 namespace {
 
+bool
+write_all_fd(int fd, const void* data, std::size_t n)
+{
+    const char* bytes = static_cast<const char*>(data);
+    std::size_t off = 0;
+    while (off < n) {
+        const ssize_t w = ::write(fd, bytes + off, n - off);
+        if (w < 0 && errno == EINTR) continue;
+        if (w <= 0) return false;
+        off += static_cast<std::size_t>(w);
+    }
+    return true;
+}
+
+bool
+read_all_fd(int fd, void* data, std::size_t n)
+{
+    char* bytes = static_cast<char*>(data);
+    std::size_t off = 0;
+    while (off < n) {
+        const ssize_t r = ::read(fd, bytes + off, n - off);
+        if (r < 0 && errno == EINTR) continue;
+        if (r <= 0) return false;
+        off += static_cast<std::size_t>(r);
+    }
+    return true;
+}
+
+///// Child-side observability bring-up for a spawned node: tags the
+/// tracer with the child's role and, when the fleet view is on, serves
+/// this process's registry on an ephemeral /metrics port — reported to
+/// the parent through `port_fd` before any training traffic, so the
+/// parent can assemble its target list without racing the run.
+std::unique_ptr<obs::HttpExporter>
+start_child_obs(const ClusterConfig& config, const std::string& role,
+                int port_fd)
+{
+    if (!config.trace_dir.empty()) {
+        obs::Tracer::global().set_enabled(true);
+        obs::Tracer::global().set_process(role);
+    }
+    std::unique_ptr<obs::HttpExporter> exporter;
+    if (config.fleet_port >= 0) {
+        obs::HttpExporterConfig hc;
+        hc.port = 0;
+        hc.bind_address = "127.0.0.1";
+        exporter = std::make_unique<obs::HttpExporter>(hc);
+        // Port 0 means "could not bind" to the parent, which then just
+        // leaves this node out of the fleet view.
+        const std::uint32_t port =
+            exporter->start() ? exporter->port() : 0;
+        if (!write_all_fd(port_fd, &port, sizeof port))
+            warn("cluster: child could not report its /metrics port");
+    }
+    return exporter;
+}
+
+/// Child-side observability teardown: stop the scrape endpoint and
+/// flush this process's trace where buckwild_tracemerge expects it.
+void
+finish_child_obs(const ClusterConfig& config, const std::string& role,
+                 std::unique_ptr<obs::HttpExporter> exporter)
+{
+    if (exporter != nullptr) exporter->stop();
+    if (!config.trace_dir.empty())
+        obs::export_trace_file(config.trace_dir + "/" + role +
+                               ".trace.json");
+}
+
 void
 reap_children(const std::vector<pid_t>& pids, const char* role)
 {
@@ -367,63 +456,144 @@ train_cluster_multiprocess(const dataset::DenseProblem& problem,
     Stopwatch wall;
 
     std::vector<pid_t> shard_pids;
+    std::vector<int> shard_port_pipes;
     for (std::size_t s = 0; s < shards; ++s) {
+        int port_fds[2] = {-1, -1};
+        if (config.fleet_port >= 0 && ::pipe(port_fds) != 0)
+            fatal("pipe failed for shard metrics port");
         const pid_t pid = ::fork();
         if (pid < 0) fatal("fork failed for shard process");
         if (pid == 0) {
+            if (port_fds[0] >= 0) ::close(port_fds[0]);
             for (std::size_t t = 0; t < shards; ++t)
                 if (t != s) listeners[t].reset();
             int code = 0;
             try {
+                const std::string role = "shard" + std::to_string(s);
+                std::unique_ptr<obs::HttpExporter> exporter =
+                    start_child_obs(config, role, port_fds[1]);
+                if (port_fds[1] >= 0) ::close(port_fds[1]);
                 ShardNodeOptions options;
                 options.index = s;
                 options.adopt_listen_fd = listeners[s].release();
                 run_shard_node(config, problem.dim, options);
+                finish_child_obs(config, role, std::move(exporter));
             } catch (...) {
                 code = 1;
             }
             ::_exit(code);
         }
+        if (port_fds[1] >= 0) ::close(port_fds[1]);
+        if (port_fds[0] >= 0) shard_port_pipes.push_back(port_fds[0]);
         shard_pids.push_back(pid);
     }
     // The children own the listeners now.
     for (auto& listener : listeners) listener.reset();
 
+    // Each shard reports its ephemeral /metrics port as its first act;
+    // a port of 0 (bind failure, dead child) drops it from the fleet.
+    std::vector<std::uint32_t> shard_ports(shards, 0);
+    for (std::size_t s = 0; s < shard_port_pipes.size(); ++s) {
+        if (!read_all_fd(shard_port_pipes[s], &shard_ports[s],
+                         sizeof(shard_ports[s])))
+            shard_ports[s] = 0;
+        ::close(shard_port_pipes[s]);
+    }
+
     std::vector<pid_t> worker_pids;
     std::vector<int> stat_pipes;
+    std::vector<int> ack_pipes;
     for (std::size_t w = 0; w < workers; ++w) {
         int fds[2];
         if (::pipe(fds) != 0) fatal("pipe failed for worker stats");
+        // When the fleet view is on, a reverse (parent -> worker) ack
+        // pipe holds the worker's /metrics endpoint open until the
+        // parent has taken its final scrape — otherwise the worker
+        // would exit (and its exporter with it) the instant its stats
+        // land, and the merged view would race the teardown.
+        int ack_fds[2] = {-1, -1};
+        if (config.fleet_port >= 0 && ::pipe(ack_fds) != 0)
+            fatal("pipe failed for worker scrape ack");
         const pid_t pid = ::fork();
         if (pid < 0) fatal("fork failed for worker process");
         if (pid == 0) {
             ::close(fds[0]);
+            if (ack_fds[1] >= 0) ::close(ack_fds[1]);
             int code = 0;
             try {
+                // The stats pipe doubles as the port pipe: the
+                // /metrics port goes down it first, the stats struct
+                // follows as the worker's last act.
+                const std::string role = "worker" + std::to_string(w);
+                std::unique_ptr<obs::HttpExporter> exporter =
+                    start_child_obs(config, role, fds[1]);
                 const WorkerStats stats =
                     run_worker_node(config, problem, w, addresses);
-                const auto* bytes =
-                    reinterpret_cast<const char*>(&stats);
-                std::size_t off = 0;
-                while (off < sizeof(stats)) {
-                    const ssize_t n = ::write(fds[1], bytes + off,
-                                              sizeof(stats) - off);
-                    if (n < 0 && errno == EINTR) continue;
-                    if (n <= 0) {
-                        code = 1;
-                        break;
-                    }
-                    off += static_cast<std::size_t>(n);
+                if (!write_all_fd(fds[1], &stats, sizeof(stats)))
+                    code = 1;
+                if (ack_fds[0] >= 0) {
+                    char ack = 0;
+                    read_all_fd(ack_fds[0], &ack, 1); // parent scraped
                 }
+                finish_child_obs(config, role, std::move(exporter));
             } catch (...) {
                 code = 1;
             }
             ::close(fds[1]);
+            if (ack_fds[0] >= 0) ::close(ack_fds[0]);
             ::_exit(code);
         }
         ::close(fds[1]);
+        if (ack_fds[0] >= 0) ::close(ack_fds[0]);
         worker_pids.push_back(pid);
         stat_pipes.push_back(fds[0]);
+        ack_pipes.push_back(ack_fds[1]);
+    }
+
+    // Collect the workers' /metrics ports (written before round one).
+    std::vector<std::uint32_t> worker_ports(workers, 0);
+    if (config.fleet_port >= 0)
+        for (std::size_t w = 0; w < workers; ++w)
+            if (!read_all_fd(stat_pipes[w], &worker_ports[w],
+                             sizeof(worker_ports[w])))
+                worker_ports[w] = 0;
+
+    // All forks are done — threads are safe again. The parent becomes
+    // the control node proper: it tags its own trace, and when the
+    // fleet view is on it re-exposes the merged, node-labeled scrape
+    // of every child plus its own registry.
+    if (!config.trace_dir.empty()) {
+        obs::Tracer::global().set_enabled(true);
+        obs::Tracer::global().set_process("control");
+    }
+    std::unique_ptr<obs::FleetAggregator> fleet;
+    std::unique_ptr<obs::HttpExporter> fleet_exporter;
+    int fleet_port_bound = -1;
+    if (config.fleet_port >= 0) {
+        obs::FleetConfig fc;
+        fc.local_node = "control";
+        for (std::size_t s = 0; s < shards; ++s)
+            if (shard_ports[s] != 0)
+                fc.targets.push_back(
+                    {"shard" + std::to_string(s),
+                     {"127.0.0.1",
+                      static_cast<std::uint16_t>(shard_ports[s])}});
+        for (std::size_t w = 0; w < workers; ++w)
+            if (worker_ports[w] != 0)
+                fc.targets.push_back(
+                    {"worker" + std::to_string(w),
+                     {"127.0.0.1",
+                      static_cast<std::uint16_t>(worker_ports[w])}});
+        fleet = std::make_unique<obs::FleetAggregator>(std::move(fc));
+        obs::HttpExporterConfig hc;
+        hc.port = static_cast<std::uint16_t>(config.fleet_port);
+        hc.bind_address = "127.0.0.1";
+        hc.metrics_body = [aggregator = fleet.get()] {
+            return aggregator->merged_body();
+        };
+        fleet_exporter = std::make_unique<obs::HttpExporter>(hc);
+        if (fleet_exporter->start())
+            fleet_port_bound = fleet_exporter->port();
     }
 
     // Workers report their stats through the pipe as their last act; a
@@ -440,9 +610,19 @@ train_cluster_multiprocess(const dataset::DenseProblem& problem,
             off += static_cast<std::size_t>(n);
         }
         ::close(stat_pipes[w]);
-        if (off != sizeof(WorkerStats))
+        if (off != sizeof(WorkerStats)) {
+            if (ack_pipes[w] >= 0) ::close(ack_pipes[w]);
             fatal("worker process " + std::to_string(w) +
                   " died before reporting stats");
+        }
+        if (ack_pipes[w] >= 0) {
+            // The worker is done but parked on the ack pipe: scrape its
+            // final numbers into the last-good cache, then release it.
+            if (fleet != nullptr) fleet->merged_body();
+            const char ack = 1;
+            write_all_fd(ack_pipes[w], &ack, 1);
+            ::close(ack_pipes[w]);
+        }
     }
     reap_children(worker_pids, "worker");
 
@@ -453,9 +633,21 @@ train_cluster_multiprocess(const dataset::DenseProblem& problem,
     ControlClient control(config, addresses);
     std::vector<float> model = control.snapshot(problem.dim);
     result.metrics.shards = control.stats();
+    // Final fleet snapshot while the shards still answer; the workers
+    // (already gone) are served from their last-good scrapes.
+    if (fleet != nullptr) result.fleet_metrics = fleet->merged_body();
     control.shutdown();
     reap_children(shard_pids, "shard");
     result.wall_seconds = wall.seconds();
+    result.fleet_port = fleet_port_bound;
+    if (fleet_exporter != nullptr) fleet_exporter->stop();
+    if (!config.trace_dir.empty()) {
+        obs::export_trace_file(config.trace_dir + "/control.trace.json");
+        if (!result.fleet_metrics.empty()) {
+            std::ofstream out(config.trace_dir + "/fleet.prom");
+            out << result.fleet_metrics;
+        }
+    }
 
     result.checkpoint = make_cluster_checkpoint(config, std::move(model));
     evaluate_model(problem, config.loss, result.checkpoint.weights,

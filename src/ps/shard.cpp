@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "obs/obs.h"
+#include "obs/prom.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 
@@ -14,7 +15,15 @@ ServerShard::ServerShard(std::size_t index, std::size_t begin,
                          Transport& transport)
     : index_(index), begin_(begin), end_(end), config_(config),
       transport_(transport), weights_(end - begin, 0.0f),
-      clocks_(config.workers, 0), retired_(config.workers, false)
+      clocks_(config.workers, 0), retired_(config.workers, false),
+      staleness_histo_(
+          obs::MetricsRegistry::global().histogram("ps.staleness")),
+      hop_push_wire_(obs::MetricsRegistry::global().histogram(
+          obs::labeled("ps.hop_seconds", {{"hop", "push_wire"}}))),
+      hop_apply_(obs::MetricsRegistry::global().histogram(
+          obs::labeled("ps.hop_seconds", {{"hop", "apply"}}))),
+      ssp_bounce_rate_(
+          obs::MetricsRegistry::global().gauge("ps.ssp.bounce_rate"))
 {
     if (end <= begin) fatal("shard range must be non-empty");
     if (config.workers == 0) fatal("shard needs at least one worker");
@@ -53,6 +62,7 @@ ServerShard::run()
             ack.worker = message.worker;
             ack.accepted = true;
             ack.version = version_.load(std::memory_order_relaxed);
+            stamp_reply_trace(message, ack);
             transport_.send(message.sender, std::move(ack));
             return;
           }
@@ -74,10 +84,23 @@ void
 ServerShard::handle_push(Message&& push)
 {
     if (push.worker >= clocks_.size()) panic("push from unknown worker");
+    // Records a child span of the worker's push RPC — the server half
+    // of the cross-process trace (no-op unless tracing is on and the
+    // push carried a context).
+    obs::TracedSpan handler_span("ps", "shard.push", push.trace.ctx);
+    // Wire hop: worker send -> shard arrival. Exact on one host (forked
+    // cluster, shared CLOCK_MONOTONIC); cross-host it is offset-skewed
+    // online and corrected offline by buckwild_tracemerge.
+    if (push.trace.ctx.valid() && push.trace.send_ts_ns != 0 &&
+        push.recv_ts_ns != 0)
+        hop_push_wire_.record(
+            static_cast<double>(push.recv_ts_ns - push.trace.send_ts_ns) *
+            1e-9);
     Message ack;
     ack.kind = Message::Kind::kAck;
     ack.token = push.token;
     ack.worker = push.worker;
+    stamp_reply_trace(push, ack);
 
     // Exactly-once over a lossy fabric: a retransmission of an
     // already-applied push (its ack was dropped) is acked, not re-applied.
@@ -95,7 +118,9 @@ ServerShard::handle_push(Message&& push)
     if (lead > config_.tau) {
         ++metrics_.gated;
         BUCKWILD_OBS_COUNT("ps.shard.gated", 1);
+        BUCKWILD_OBS_COUNT("ps.ssp.bounces", 1);
         BUCKWILD_OBS_INSTANT("ps", "shard.gate_nack");
+        update_bounce_rate();
         ack.accepted = false;
         ack.version = version_.load(std::memory_order_relaxed);
         transport_.send(push.sender, std::move(ack));
@@ -110,6 +135,8 @@ ServerShard::handle_push(Message&& push)
     // uses: w -= (eta / batch) * g.
     Stopwatch apply;
     {
+        obs::TracedSpan apply_span("ps", "shard.apply",
+                                   handler_span.ctx());
         BUCKWILD_OBS_SPAN("ps", "shard.apply");
         const float c =
             -config_.step_size / static_cast<float>(config_.batch);
@@ -118,6 +145,7 @@ ServerShard::handle_push(Message&& push)
                                            1.0f, simd::biased_unit());
     }
     metrics_.apply_seconds += apply.seconds();
+    hop_apply_.record(apply.seconds());
     BUCKWILD_OBS_COUNT("ps.shard.pushes_applied", 1);
     BUCKWILD_OBS_COUNT("ps.shard.push_bytes", push.gradient.wire_bytes());
 
@@ -128,6 +156,13 @@ ServerShard::handle_push(Message&& push)
     if (metrics_.staleness_counts.size() <= lead)
         metrics_.staleness_counts.resize(lead + 1, 0);
     ++metrics_.staleness_counts[lead];
+    // The measured-staleness exposition: the exact per-(worker, lead)
+    // counter and a summary histogram, live on /metrics while the run
+    // is still going — PsMetrics::staleness_counts only surfaces after
+    // the final stats RPC.
+    staleness_counter(push.worker, lead).add(1);
+    staleness_histo_.record(static_cast<double>(lead));
+    update_bounce_rate();
     const std::uint64_t version =
         version_.fetch_add(1, std::memory_order_acq_rel) + 1;
 
@@ -137,8 +172,43 @@ ServerShard::handle_push(Message&& push)
 }
 
 void
+ServerShard::stamp_reply_trace(const Message& request, Message& reply) const
+{
+    if (!request.trace.ctx.valid()) return;
+    reply.trace.ctx = obs::child_of(request.trace.ctx);
+    reply.trace.echo_send_ts_ns = request.trace.send_ts_ns;
+    reply.trace.echo_recv_ts_ns = request.recv_ts_ns;
+    reply.trace.send_ts_ns = obs::trace_now_ns();
+}
+
+void
+ServerShard::update_bounce_rate()
+{
+    const double bounced = static_cast<double>(metrics_.gated);
+    const double applied = static_cast<double>(metrics_.pushes);
+    if (bounced + applied > 0.0)
+        ssp_bounce_rate_.set(bounced / (bounced + applied));
+}
+
+obs::Counter&
+ServerShard::staleness_counter(std::uint32_t worker,
+                               std::uint64_t staleness)
+{
+    const auto key = std::make_pair(worker, staleness);
+    const auto it = staleness_counters_.find(key);
+    if (it != staleness_counters_.end()) return *it->second;
+    obs::Counter& counter = obs::MetricsRegistry::global().counter(
+        obs::labeled("ps.staleness",
+                     {{"staleness", std::to_string(staleness)},
+                      {"worker", std::to_string(worker)}}));
+    staleness_counters_.emplace(key, &counter);
+    return counter;
+}
+
+void
 ServerShard::handle_pull(Message&& pull)
 {
+    obs::TracedSpan handler_span("ps", "shard.pull", pull.trace.ctx);
     Message reply;
     reply.kind = Message::Kind::kModel;
     reply.token = pull.token;
@@ -147,6 +217,7 @@ ServerShard::handle_pull(Message&& pull)
     reply.weights = weights_;
     ++metrics_.pulls;
     metrics_.pull_bytes += reply.wire_bytes();
+    stamp_reply_trace(pull, reply);
     transport_.send(pull.sender, std::move(reply));
 }
 
@@ -162,6 +233,7 @@ ServerShard::handle_stats(Message&& request)
     reply.worker = request.worker;
     reply.version = version_.load(std::memory_order_relaxed);
     reply.stats = shard_metrics_to_stats(metrics_);
+    stamp_reply_trace(request, reply);
     transport_.send(request.sender, std::move(reply));
 }
 
@@ -176,6 +248,7 @@ ServerShard::handle_retire(Message&& retire)
     ack.worker = retire.worker;
     ack.accepted = true;
     ack.version = version_.load(std::memory_order_relaxed);
+    stamp_reply_trace(retire, ack);
     transport_.send(retire.sender, std::move(ack));
 }
 

@@ -29,8 +29,10 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <map>
 #include <vector>
 
+#include "obs/registry.h"
 #include "ps/metrics.h"
 #include "ps/transport.h"
 #include "simd/ops.h"
@@ -81,6 +83,16 @@ class ServerShard
     void handle_stats(Message&& request);
     void handle_retire(Message&& retire);
     std::uint64_t min_live_clock() const;
+    /// Echoes a request's trace identity and timestamps onto its reply
+    /// so the requester gets a complete clock-offset sample.
+    void stamp_reply_trace(const Message& request, Message& reply) const;
+    /// Refreshes ps.ssp.bounce_rate = gated / (gated + applied).
+    void update_bounce_rate();
+    /// Live staleness exposition: the labeled per-(worker, staleness)
+    /// counter, created on first use and cached (the shard is
+    /// single-threaded, so a plain map suffices).
+    obs::Counter& staleness_counter(std::uint32_t worker,
+                                    std::uint64_t staleness);
 
     const std::size_t index_;
     const std::size_t begin_;
@@ -92,6 +104,15 @@ class ServerShard
     std::vector<bool> retired_;
     std::atomic<std::uint64_t> version_{0};
     ShardMetrics metrics_;
+    // Cached registry handles for the per-push exposition (satellite of
+    // the tracing tier: staleness and hop decomposition leave the
+    // process via /metrics instead of dying in ShardMetrics).
+    obs::Histo& staleness_histo_;
+    obs::Histo& hop_push_wire_;
+    obs::Histo& hop_apply_;
+    obs::Gauge& ssp_bounce_rate_;
+    std::map<std::pair<std::uint32_t, std::uint64_t>, obs::Counter*>
+        staleness_counters_;
 };
 
 } // namespace buckwild::ps

@@ -127,6 +127,9 @@ SocketTransport::reader_loop(const std::shared_ptr<Connection>& connection)
             warn("net: malformed message frame discarded");
             continue;
         }
+        // Arrival timestamp on the receiver's steady clock: the `b1` of
+        // the NTP clock-offset pair and the far edge of the wire hop.
+        message.recv_ts_ns = obs::trace_now_ns();
         Mailbox* mailbox = local_mailbox(dest);
         if (mailbox == nullptr) {
             std::string locals;
@@ -265,6 +268,7 @@ SocketTransport::send(std::size_t to, Message&& message)
     }
 
     if (Mailbox* mailbox = local_mailbox(to)) {
+        message.recv_ts_ns = obs::trace_now_ns();
         mailbox->push(std::move(message));
         return;
     }

@@ -102,6 +102,10 @@ InProcTransport::send(std::size_t to, Message&& message)
         if (delay_us > 0)
             std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
     }
+    // Delivery timestamp for hop decomposition and clock-offset echoes.
+    // In-proc "delivery" is this push; the socket fabric stamps in its
+    // reader loop instead.
+    message.recv_ts_ns = obs::trace_now_ns();
     mailboxes_[to]->push(std::move(message));
 }
 
@@ -130,6 +134,15 @@ RpcClient::call(std::size_t to, Message request)
     request.sender = static_cast<std::uint32_t>(self_);
     request.token = next_token_++;
 
+    // Mint the distributed-trace identity at the RPC origin. The root
+    // context (or one the caller pre-attached) rides the wire with each
+    // attempt; the responder's spans and the clock-offset sample from
+    // its reply all carry the same trace id.
+    if (obs::Tracer::global().enabled() && !request.trace.ctx.valid())
+        request.trace.ctx = obs::make_root_context();
+    const std::int64_t call_start_ns =
+        request.trace.ctx.valid() ? obs::trace_now_ns() : 0;
+
     // The per-attempt reply timeout must comfortably exceed both the
     // fabric's latency floor and the injected jitter (both directions),
     // or healthy-but-slow messages would be retransmitted forever.
@@ -145,6 +158,11 @@ RpcClient::call(std::size_t to, Message request)
             BUCKWILD_OBS_INSTANT("ps", "rpc.retransmit");
         }
         Message copy = request;
+        // Stamp per attempt: the responder echoes the send_ts of the
+        // transmission it actually answered, keeping the NTP sample
+        // honest across retransmits.
+        if (copy.trace.ctx.valid())
+            copy.trace.send_ts_ns = obs::trace_now_ns();
         transport_.send(to, std::move(copy));
 
         const auto deadline = std::chrono::steady_clock::now() +
@@ -161,7 +179,24 @@ RpcClient::call(std::size_t to, Message request)
                     fatal("rpc: transport closed mid-call");
                 break; // timeout: retransmit
             }
-            if (reply.token == request.token) return reply;
+            if (reply.token == request.token) {
+                if (reply.trace.ctx.valid()) {
+                    const std::int64_t recv_ns = reply.recv_ts_ns != 0
+                                                     ? reply.recv_ts_ns
+                                                     : obs::trace_now_ns();
+                    const obs::ClockSample sample =
+                        obs::clock_sample_from_reply(reply.trace, recv_ns);
+                    if (sample.valid)
+                        obs::Tracer::global().clocksync(
+                            "ps", reply.trace.ctx, sample.offset_ns,
+                            sample.rtt_ns);
+                    obs::Tracer::global().complete(
+                        "ps", "rpc.call", call_start_ns,
+                        obs::trace_now_ns() - call_start_ns,
+                        request.trace.ctx);
+                }
+                return reply;
+            }
             // Stale duplicate from an earlier retransmission: discard.
         }
     }

@@ -38,6 +38,7 @@
 #include <mutex>
 #include <vector>
 
+#include "obs/tracectx.h"
 #include "ps/quantize.h"
 #include "rng/xorshift.h"
 
@@ -86,6 +87,15 @@ struct Message
     WireGradient gradient;     ///< kPush payload
     std::vector<float> weights; ///< kModel payload
     std::vector<double> stats;  ///< kStats reply: flattened ShardMetrics
+
+    /// Distributed-trace context + timestamps. On the socket fabric this
+    /// travels as the optional trailing wire block (ps/wire.h); with an
+    /// invalid context nothing is emitted and the frame bytes match the
+    /// pre-trace format exactly.
+    obs::WireTrace trace;
+    /// Local steady clock when this message was delivered (stamped by
+    /// the receiving transport; never serialized). 0 = not stamped.
+    std::int64_t recv_ts_ns = 0;
 
     /// True for the kinds a client initiates (a shard replies to these);
     /// the socket transport learns reply routes only from them.

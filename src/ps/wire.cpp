@@ -105,6 +105,8 @@ class Reader
     }
 
     bool done() const { return pos_ == n_; }
+    std::size_t remaining() const { return n_ - pos_; }
+    const std::uint8_t* cursor() const { return data_ + pos_; }
 
   private:
     const std::uint8_t* data_;
@@ -134,7 +136,8 @@ serialized_bytes(const Message& message)
 {
     return kFixedBytes + 4 + message.gradient.norms.size() * 4 + 4 +
            message.gradient.payload.size() + 4 +
-           message.weights.size() * 4 + 4 + message.stats.size() * 8;
+           message.weights.size() * 4 + 4 + message.stats.size() * 8 +
+           (message.trace.ctx.valid() ? obs::kTraceBlockBytes : 0);
 }
 
 std::vector<std::uint8_t>
@@ -163,6 +166,10 @@ serialize_message(const Message& message)
     for (const float w : message.weights) put_f32(out, w);
     put_u32(out, static_cast<std::uint32_t>(message.stats.size()));
     for (const double s : message.stats) put_f64(out, s);
+    // The optional trace block rides strictly last and only when a
+    // context exists, so tracing-off output is byte-identical to the
+    // pre-trace wire format.
+    if (message.trace.ctx.valid()) obs::append_trace_block(out, message.trace);
     return out;
 }
 
@@ -199,7 +206,15 @@ deserialize_message(const std::uint8_t* data, std::size_t n, Message& out)
     }
     if (!read_array(reader, out.weights, &Reader::f32)) return false;
     if (!read_array(reader, out.stats, &Reader::f64)) return false;
-    return reader.done();
+    // Trailing bytes are legal in exactly one shape: one well-formed
+    // trace block. An old-format frame ends here (no context); anything
+    // else — truncation, a lone pad byte, a corrupt block — stays a
+    // parse failure.
+    out.trace = obs::WireTrace{};
+    if (reader.done()) return true;
+    if (reader.remaining() != obs::kTraceBlockBytes) return false;
+    return obs::parse_trace_block(reader.cursor(), reader.remaining(),
+                                  out.trace);
 }
 
 } // namespace buckwild::ps

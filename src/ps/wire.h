@@ -21,6 +21,13 @@
  *     ...     4     payload size P, then P payload bytes
  *     ...     4     weight count W, then W * 4 bytes of float weights
  *     ...     4     stats count K, then K * 8 bytes of double stats
+ *     ...     58    OPTIONAL trailing trace block (obs/tracectx.h):
+ *                   present only when the message carries a valid
+ *                   TraceContext, so tracing-off frames are
+ *                   byte-identical to the pre-trace format and parse in
+ *                   old code; old-format frames (no block) parse in new
+ *                   code as "no context". Trailing bytes that are not
+ *                   exactly one well-formed block still fail the parse.
  *
  * Floats and doubles travel as their IEEE-754 bit patterns, so the CsQ /
  * Cs8 / Cs1 codec output a worker encoded in one process decodes

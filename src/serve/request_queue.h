@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "obs/registry.h"
+#include "obs/tracectx.h"
 #include "serve/engine.h"
 
 namespace buckwild::serve {
@@ -102,6 +103,10 @@ struct Request
     std::chrono::steady_clock::time_point enqueued;
     std::optional<std::promise<ScoreResult>> reply;
     ReplySlot* slot = nullptr;
+    /// Distributed-tracing identity; when valid (a traced front door
+    /// submitted this request), the scoring worker records a per-request
+    /// engine span under it even though requests travel in batches.
+    obs::TraceContext ctx;
 
     bool is_sparse() const
     {

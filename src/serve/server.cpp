@@ -147,6 +147,10 @@ Server::worker_loop()
         double numbers = 0.0;
         latencies.clear();
         for (Request& request : batch) {
+            // Context survives the batching: a traced request gets its
+            // own engine span inside the shared batch.score span.
+            obs::TracedSpan request_span("serve", "engine.score",
+                                         request.ctx);
             try {
                 if (!model)
                     throw std::runtime_error(

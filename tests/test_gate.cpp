@@ -24,6 +24,7 @@
 #include "net/net.h"
 #include "obs/prom.h"
 #include "obs/registry.h"
+#include "obs/tracectx.h"
 #include "serve/serve.h"
 #include "test_common.h"
 
@@ -177,6 +178,85 @@ TEST(GateWire, RejectsCorruptFields)
     std::vector<std::uint8_t> lying = good;
     lying[24] = 0x10; // claims 16 features, carries 1
     EXPECT_FALSE(gate::deserialize(lying.data(), lying.size(), out));
+}
+
+TEST(GateWire, TraceBlockRoundTripsOnRequestAndResponse)
+{
+    gate::ScoreRequest request = sample_request();
+    const std::vector<std::uint8_t> plain = serialize(request);
+
+    request.trace.ctx.trace_lo = 0x0102030405060708ull;
+    request.trace.ctx.trace_hi = 0x1112131415161718ull;
+    request.trace.ctx.span = 0x21;
+    request.trace.send_ts_ns = 999;
+    const std::vector<std::uint8_t> traced = serialize(request);
+
+    // Strictly additive and off the wire when tracing is off — the
+    // goldens above never see it.
+    ASSERT_EQ(traced.size(), plain.size() + obs::kTraceBlockBytes);
+    EXPECT_EQ(std::memcmp(traced.data(), plain.data(), plain.size()), 0);
+
+    gate::ScoreRequest out;
+    ASSERT_TRUE(gate::deserialize(traced.data(), traced.size(), out));
+    EXPECT_EQ(out.trace.ctx.trace_lo, request.trace.ctx.trace_lo);
+    EXPECT_EQ(out.trace.ctx.trace_hi, request.trace.ctx.trace_hi);
+    EXPECT_EQ(out.trace.ctx.span, request.trace.ctx.span);
+    EXPECT_EQ(out.trace.send_ts_ns, request.trace.send_ts_ns);
+    EXPECT_EQ(out.dense, request.dense);
+    gate::ScoreRequest old_format;
+    ASSERT_TRUE(gate::deserialize(plain.data(), plain.size(), old_format));
+    EXPECT_FALSE(old_format.trace.ctx.valid());
+
+    // Responses carry the echo timestamps that make them clock samples.
+    gate::ScoreResponse response;
+    response.request_id = 7;
+    response.status = gate::Status::kOk;
+    response.trace.ctx = obs::make_root_context();
+    response.trace.send_ts_ns = 300;      // b2
+    response.trace.echo_send_ts_ns = 100; // a1
+    response.trace.echo_recv_ts_ns = 250; // b1
+    const std::vector<std::uint8_t> rbytes = serialize(response);
+    gate::ScoreResponse rout;
+    ASSERT_TRUE(gate::deserialize(rbytes.data(), rbytes.size(), rout));
+    EXPECT_TRUE(rout.trace.ctx.same_trace(response.trace.ctx));
+    const obs::ClockSample sample =
+        obs::clock_sample_from_reply(rout.trace, 400); // a2
+    ASSERT_TRUE(sample.valid);
+    EXPECT_EQ(sample.offset_ns, 25);  // ((250-100)+(300-400))/2
+    EXPECT_EQ(sample.rtt_ns, 250);    // (400-100)-(300-250)
+}
+
+TEST(GateWire, TraceBlockTruncationSweep)
+{
+    gate::ScoreRequest request = sample_request();
+    request.trace.ctx = obs::make_root_context();
+    request.trace.send_ts_ns = 1;
+    const std::vector<std::uint8_t> bytes = serialize(request);
+    const std::size_t base = bytes.size() - obs::kTraceBlockBytes;
+
+    gate::ScoreRequest out;
+    for (std::size_t n = 0; n <= bytes.size(); ++n) {
+        const bool ok = gate::deserialize(bytes.data(), n, out);
+        if (n == base) {
+            EXPECT_TRUE(ok) << "base-layout prefix must stay parseable";
+            EXPECT_FALSE(out.trace.ctx.valid());
+        } else if (n == bytes.size()) {
+            EXPECT_TRUE(ok);
+            EXPECT_TRUE(out.trace.ctx.valid());
+        } else {
+            EXPECT_FALSE(ok) << "accepted a " << n << "-byte prefix";
+        }
+    }
+
+    std::vector<std::uint8_t> bad = bytes;
+    bad[base] = 0x00; // tag
+    EXPECT_FALSE(gate::deserialize(bad.data(), bad.size(), out));
+    bad = bytes;
+    bad[base + 1] = obs::kTraceBlockVersion + 1;
+    EXPECT_FALSE(gate::deserialize(bad.data(), bad.size(), out));
+    std::vector<std::uint8_t> padded = bytes;
+    padded.push_back(0);
+    EXPECT_FALSE(gate::deserialize(padded.data(), padded.size(), out));
 }
 
 TEST(GateWire, Q8ShipsQuarterTheBytesWithinHalfQuantum)

@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "dmgc/signature.h"
+#include "obs/fleet.h"
 #include "obs/obs.h"
 #include "test_common.h"
 
@@ -293,6 +294,104 @@ TEST(ObsHttp, ServesMetricsAndHealthOverARealSocket)
     EXPECT_GE(exporter.requests_served(), 5u);
     exporter.stop();
     EXPECT_FALSE(exporter.running());
+}
+
+// ----------------------------------------------------------------- fleet
+
+TEST(ObsFleet, RelabelInjectsNodeIntoEverySampleLine)
+{
+    const std::string body = "# HELP a_total a\n"
+                             "# TYPE a_total counter\n"
+                             "a_total 5\n"
+                             "lat{quantile=\"0.5\"} 2.5\n"
+                             "empty{} 0\n";
+    const std::string want = "# HELP a_total a\n"
+                             "# TYPE a_total counter\n"
+                             "a_total{node=\"shard0\"} 5\n"
+                             "lat{node=\"shard0\",quantile=\"0.5\"} 2.5\n"
+                             "empty{node=\"shard0\"} 0\n";
+    EXPECT_EQ(obs::FleetAggregator::relabel(body, "shard0"), want);
+
+    // Label values go through prom escaping, and a body with no final
+    // newline still comes back terminated.
+    EXPECT_EQ(obs::FleetAggregator::relabel("x 1", "a\"b"),
+              "x{node=\"a\\\"b\"} 1\n");
+}
+
+TEST(ObsFleet, MergesLiveEndpointsWithNodeLabelsAndCommentDedup)
+{
+    // Two "remote" nodes with the same metric family plus the
+    // aggregating process's own registry: the merged body must carry
+    // all three node labels but only one HELP/TYPE pair per family.
+    obs::MetricsRegistry reg_a, reg_b, reg_local;
+    reg_a.counter("ps.push").add(7);
+    reg_b.counter("ps.push").add(11);
+    reg_local.gauge("cluster.nodes").set(3);
+
+    obs::HttpExporterConfig cfg;
+    cfg.port = 0;
+    cfg.bind_address = "127.0.0.1";
+    cfg.registry = &reg_a;
+    obs::HttpExporter exp_a(cfg);
+    ASSERT_TRUE(exp_a.start());
+    cfg.registry = &reg_b;
+    obs::HttpExporter exp_b(cfg);
+    ASSERT_TRUE(exp_b.start());
+
+    obs::FleetConfig fleet_cfg;
+    fleet_cfg.local_node = "control";
+    fleet_cfg.local_registry = &reg_local;
+    obs::FleetAggregator fleet(fleet_cfg);
+    fleet.add_target({"worker0", {"127.0.0.1", exp_a.port()}});
+    fleet.add_target({"worker1", {"127.0.0.1", exp_b.port()}});
+    EXPECT_EQ(fleet.target_count(), 2u);
+
+    const std::string merged = fleet.merged_body();
+    EXPECT_NE(merged.find("cluster_nodes{node=\"control\"} 3\n"),
+              std::string::npos)
+        << merged;
+    EXPECT_NE(merged.find("ps_push_total{node=\"worker0\"} 7\n"),
+              std::string::npos);
+    EXPECT_NE(merged.find("ps_push_total{node=\"worker1\"} 11\n"),
+              std::string::npos);
+    // One TYPE line for the shared family, not one per node.
+    const std::string type_line = "# TYPE ps_push_total counter\n";
+    const std::size_t first = merged.find(type_line);
+    ASSERT_NE(first, std::string::npos);
+    EXPECT_EQ(merged.find(type_line, first + 1), std::string::npos)
+        << "HELP/TYPE must be deduplicated across nodes";
+    EXPECT_EQ(fleet.scrape_failures(), 0u);
+
+    // A node that dies keeps answering from its last good scrape: the
+    // workers exit before the run ends, but their final numbers must
+    // stay visible in the merged view.
+    exp_b.stop();
+    const std::string after = fleet.merged_body();
+    EXPECT_NE(after.find("ps_push_total{node=\"worker0\"} 7\n"),
+              std::string::npos);
+    EXPECT_NE(after.find("ps_push_total{node=\"worker1\"} 11\n"),
+              std::string::npos)
+        << "dead node must be served from the last-good cache";
+    exp_a.stop();
+}
+
+TEST(ObsFleet, NeverScrapedTargetIsAbsentAndCounted)
+{
+    obs::MetricsRegistry reg_local;
+    reg_local.counter("up").add(1);
+    obs::FleetConfig cfg;
+    cfg.local_node = "control";
+    cfg.local_registry = &reg_local;
+    cfg.scrape_timeout = std::chrono::milliseconds(50);
+    obs::FleetAggregator fleet(cfg);
+    // Port 1 on loopback: connection refused, never any last-good body.
+    fleet.add_target({"ghost", {"127.0.0.1", 1}});
+
+    const std::string merged = fleet.merged_body();
+    EXPECT_NE(merged.find("up_total{node=\"control\"} 1\n"),
+              std::string::npos);
+    EXPECT_EQ(merged.find("ghost"), std::string::npos);
+    EXPECT_GE(fleet.scrape_failures(), 1u);
 }
 
 // ----------------------------------------------------------- conformance

@@ -15,6 +15,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <cstring>
@@ -23,6 +24,7 @@
 
 #include "net/net.h"
 #include "obs/registry.h"
+#include "obs/tracectx.h"
 #include "ps/ps.h"
 #include "rng/xorshift.h"
 #include "test_common.h"
@@ -311,6 +313,91 @@ TEST(NetWire, RejectsTruncationAndTrailingGarbage)
     bad_kind[0] = 250;
     EXPECT_FALSE(
         ps::deserialize_message(bad_kind.data(), bad_kind.size(), out));
+}
+
+TEST(NetWire, TraceBlockRoundTripsOnMessages)
+{
+    Message m = sample_push();
+    const std::vector<std::uint8_t> plain = ps::serialize_message(m);
+
+    m.trace.ctx.trace_lo = 0x1111222233334444ull;
+    m.trace.ctx.trace_hi = 0x5555666677778888ull;
+    m.trace.ctx.span = 0xAAAA;
+    m.trace.ctx.parent = 0xBBBB;
+    m.trace.send_ts_ns = 123456789;
+    m.trace.echo_send_ts_ns = 111;
+    m.trace.echo_recv_ts_ns = 222;
+    const std::vector<std::uint8_t> traced = ps::serialize_message(m);
+
+    // The trace block is strictly additive: same prefix, 58 more bytes.
+    ASSERT_EQ(traced.size(), plain.size() + obs::kTraceBlockBytes);
+    EXPECT_EQ(ps::serialized_bytes(m), traced.size());
+    EXPECT_EQ(std::memcmp(traced.data(), plain.data(), plain.size()), 0);
+
+    Message out;
+    ASSERT_TRUE(
+        ps::deserialize_message(traced.data(), traced.size(), out));
+    EXPECT_EQ(out.trace.ctx.trace_lo, m.trace.ctx.trace_lo);
+    EXPECT_EQ(out.trace.ctx.trace_hi, m.trace.ctx.trace_hi);
+    EXPECT_EQ(out.trace.ctx.span, m.trace.ctx.span);
+    EXPECT_EQ(out.trace.ctx.parent, m.trace.ctx.parent);
+    EXPECT_EQ(out.trace.send_ts_ns, m.trace.send_ts_ns);
+    EXPECT_EQ(out.trace.echo_send_ts_ns, m.trace.echo_send_ts_ns);
+    EXPECT_EQ(out.trace.echo_recv_ts_ns, m.trace.echo_recv_ts_ns);
+    EXPECT_EQ(out.clock, m.clock) << "regular fields still round-trip";
+
+    // Backward compatibility: an old-format (traceless) frame parses in
+    // new code as a message with no context.
+    Message old_format;
+    ASSERT_TRUE(
+        ps::deserialize_message(plain.data(), plain.size(), old_format));
+    EXPECT_FALSE(old_format.trace.ctx.valid());
+}
+
+TEST(NetWire, TraceBlockTruncationSweep)
+{
+    Message m = sample_push();
+    m.weights = {1.0f};
+    m.stats = {2.0};
+    m.trace.ctx = obs::make_root_context();
+    m.trace.send_ts_ns = 42;
+    const std::vector<std::uint8_t> bytes = ps::serialize_message(m);
+    const std::size_t base = bytes.size() - obs::kTraceBlockBytes;
+
+    // Exactly two prefixes parse: the traceless base layout (an old
+    // sender) and the full traced frame. Every cut INSIDE the trace
+    // block is trailing garbage and must reject the whole message.
+    Message out;
+    for (std::size_t n = 0; n <= bytes.size(); ++n) {
+        const bool ok = ps::deserialize_message(bytes.data(), n, out);
+        if (n == base) {
+            EXPECT_TRUE(ok) << "base-layout prefix must stay parseable";
+            EXPECT_FALSE(out.trace.ctx.valid());
+        } else if (n == bytes.size()) {
+            EXPECT_TRUE(ok);
+            EXPECT_TRUE(out.trace.ctx.valid());
+        } else {
+            EXPECT_FALSE(ok) << "accepted a " << n << "-byte prefix";
+        }
+    }
+
+    // A block-sized tail that is not a well-formed trace block is
+    // garbage, not a context: corrupt tag, corrupt version, zeroed ids.
+    std::vector<std::uint8_t> bad = bytes;
+    bad[base] = 0xCF; // tag
+    EXPECT_FALSE(ps::deserialize_message(bad.data(), bad.size(), out));
+    bad = bytes;
+    bad[base + 1] = obs::kTraceBlockVersion + 1;
+    EXPECT_FALSE(ps::deserialize_message(bad.data(), bad.size(), out));
+    bad = bytes;
+    std::fill(bad.begin() + static_cast<long>(base) + 2,
+              bad.begin() + static_cast<long>(base) + 18, 0);
+    EXPECT_FALSE(ps::deserialize_message(bad.data(), bad.size(), out))
+        << "a zero trace id cannot have been emitted";
+    std::vector<std::uint8_t> padded = bytes;
+    padded.push_back(0);
+    EXPECT_FALSE(
+        ps::deserialize_message(padded.data(), padded.size(), out));
 }
 
 // ======================================================== NetGolden
@@ -638,7 +725,9 @@ TEST(NetCluster, SocketClusterMatchesInProcessConvergence)
         EXPECT_LT(socket.final_loss, inproc.final_loss + 0.1)
             << codec.name();
     }
-    // The real framed traffic registered in the obs counters.
+#if BUCKWILD_OBS_ENABLED
+    // The real framed traffic registered in the obs counters (compiled
+    // out — and so legitimately zero — under -DBUCKWILD_OBS=OFF).
     EXPECT_GT(obs::MetricsRegistry::global()
                   .counter("net.sent_bytes")
                   .value(),
@@ -647,6 +736,7 @@ TEST(NetCluster, SocketClusterMatchesInProcessConvergence)
                   .counter("net.frames_recv")
                   .value(),
               0u);
+#endif
 }
 
 TEST(NetCluster, SurvivesFaultInjectionOverSockets)

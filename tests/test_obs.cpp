@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "obs/obs.h"
+#include "obs/tracectx.h"
 #include "test_common.h"
 #include "util/stats.h"
 
@@ -261,6 +262,105 @@ TEST(ObsTrace, FlushMergesThreadRingsSortedByTimestamp)
     EXPECT_EQ(tids.size(), static_cast<std::size_t>(kThreads));
 }
 
+// -------------------------------------------------------------- tracectx
+
+TEST(ObsTraceCtx, RootAndChildLineage)
+{
+    const obs::TraceContext a = obs::make_root_context();
+    const obs::TraceContext b = obs::make_root_context();
+    EXPECT_TRUE(a.valid());
+    EXPECT_TRUE(b.valid());
+    EXPECT_FALSE(a.same_trace(b)) << "roots must not share a trace id";
+    EXPECT_EQ(a.parent, 0u);
+
+    const obs::TraceContext child = obs::child_of(a);
+    EXPECT_TRUE(child.valid());
+    EXPECT_TRUE(child.same_trace(a));
+    EXPECT_EQ(child.parent, a.span);
+    EXPECT_NE(child.span, a.span);
+
+    EXPECT_FALSE(obs::child_of(obs::TraceContext{}).valid());
+}
+
+TEST(ObsTraceCtx, HexIdsAreFixedWidthLowercase)
+{
+    obs::TraceContext ctx;
+    ctx.trace_lo = 0xabc;
+    ctx.trace_hi = 0x1;
+    EXPECT_EQ(obs::trace_id_hex(ctx),
+              "00000000000000010000000000000abc");
+    EXPECT_EQ(obs::span_id_hex(0xDEADBEEFull), "00000000deadbeef");
+}
+
+TEST(ObsTraceCtx, WireBlockRoundTripAndRejections)
+{
+    obs::WireTrace in;
+    in.ctx.trace_lo = 0x1111;
+    in.ctx.trace_hi = 0x2222;
+    in.ctx.span = 0x3333;
+    in.ctx.parent = 0x4444;
+    in.send_ts_ns = 1234567;
+    in.echo_send_ts_ns = 7;
+    in.echo_recv_ts_ns = 9;
+    std::vector<std::uint8_t> bytes;
+    obs::append_trace_block(bytes, in);
+    ASSERT_EQ(bytes.size(), obs::kTraceBlockBytes);
+    EXPECT_EQ(bytes[0], obs::kTraceBlockTag);
+    EXPECT_EQ(bytes[1], obs::kTraceBlockVersion);
+
+    obs::WireTrace out;
+    ASSERT_TRUE(obs::parse_trace_block(bytes.data(), bytes.size(), out));
+    EXPECT_EQ(out.ctx.trace_lo, in.ctx.trace_lo);
+    EXPECT_EQ(out.ctx.trace_hi, in.ctx.trace_hi);
+    EXPECT_EQ(out.ctx.span, in.ctx.span);
+    EXPECT_EQ(out.ctx.parent, in.ctx.parent);
+    EXPECT_EQ(out.send_ts_ns, in.send_ts_ns);
+    EXPECT_EQ(out.echo_send_ts_ns, in.echo_send_ts_ns);
+    EXPECT_EQ(out.echo_recv_ts_ns, in.echo_recv_ts_ns);
+
+    // The parser takes exactly one block — nothing shorter or longer.
+    for (std::size_t n = 0; n < bytes.size(); ++n)
+        EXPECT_FALSE(obs::parse_trace_block(bytes.data(), n, out));
+    std::vector<std::uint8_t> longer = bytes;
+    longer.push_back(0);
+    EXPECT_FALSE(
+        obs::parse_trace_block(longer.data(), longer.size(), out));
+
+    std::vector<std::uint8_t> bad = bytes;
+    bad[0] = 0xCF; // tag
+    EXPECT_FALSE(obs::parse_trace_block(bad.data(), bad.size(), out));
+    bad = bytes;
+    bad[1] = obs::kTraceBlockVersion + 1;
+    EXPECT_FALSE(obs::parse_trace_block(bad.data(), bad.size(), out));
+    bad = bytes;
+    std::fill(bad.begin() + 2, bad.begin() + 18, 0); // zero trace id
+    EXPECT_FALSE(obs::parse_trace_block(bad.data(), bad.size(), out));
+}
+
+TEST(ObsTraceCtx, ClockSampleFromReply)
+{
+    // The NTP identity on a hand-built exchange: request sent at a1,
+    // received at b1 (responder clock), reply sent at b2, received at
+    // a2 (local clock again).
+    obs::WireTrace reply;
+    reply.ctx.trace_lo = 1;
+    reply.echo_send_ts_ns = 1000; // a1
+    reply.echo_recv_ts_ns = 5400; // b1
+    reply.send_ts_ns = 5600;      // b2
+    const obs::ClockSample s = obs::clock_sample_from_reply(reply, 2000);
+    ASSERT_TRUE(s.valid);
+    EXPECT_EQ(s.offset_ns, 4000); // ((5400-1000)+(5600-2000))/2
+    EXPECT_EQ(s.rtt_ns, 800);     // (2000-1000)-(5600-5400)
+
+    // A request block (no echoes) is not a sample.
+    obs::WireTrace request;
+    request.ctx.trace_lo = 1;
+    request.send_ts_ns = 42;
+    EXPECT_FALSE(obs::clock_sample_from_reply(request, 100).valid);
+    // Non-causal timestamps (a2 < a1) are refused, not averaged in.
+    EXPECT_FALSE(obs::clock_sample_from_reply(reply, 500).valid);
+}
+
 // --------------------------------------------------------------- export
 
 TEST(ObsExport, ChromeTraceGoldenJson)
@@ -295,6 +395,60 @@ TEST(ObsExport, ChromeTraceGoldenJson)
         ",{\"name\":\"mark\",\"cat\":\"io\",\"pid\":1,\"tid\":2,"
         "\"ts\":2.5,\"ph\":\"i\",\"s\":\"t\"}]}\n";
     EXPECT_EQ(out.str(), golden);
+}
+
+TEST(ObsExport, ProcessMetadataAndTraceArgs)
+{
+    std::vector<obs::TraceEvent> events(2);
+    events[0].category = "gate";
+    events[0].name = "gate.score";
+    events[0].type = obs::TraceEvent::Type::kComplete;
+    events[0].tid = 1;
+    events[0].ts_ns = 1000;
+    events[0].dur_ns = 500;
+    events[0].ctx.trace_lo = 0xab;
+    events[0].ctx.span = 2;
+    events[0].ctx.parent = 1;
+    events[1].category = "gate";
+    events[1].name = "clocksync";
+    events[1].type = obs::TraceEvent::Type::kClockSync;
+    events[1].tid = 1;
+    events[1].ts_ns = 2000;
+    events[1].value = 250.0; // offset_ns
+    events[1].dur_ns = 80;   // rtt_ns
+    events[1].ctx.trace_lo = 0xab;
+    events[1].ctx.span = 3;
+
+    obs::TraceProcessInfo process;
+    process.label = "worker1";
+    process.pid = 42;
+    std::ostringstream out;
+    obs::write_chrome_trace(out, events, process);
+    const std::string text = out.str();
+    // Process metadata names the pid buckwild_tracemerge shows.
+    EXPECT_NE(text.find("\"name\":\"process_name\""), std::string::npos)
+        << text;
+    EXPECT_NE(text.find("\"name\":\"worker1\""), std::string::npos);
+    EXPECT_NE(text.find("\"pid\":42"), std::string::npos);
+    // Traced events carry their fixed-width hex identity in args.
+    EXPECT_NE(
+        text.find(
+            "\"trace\":\"000000000000000000000000000000ab\""),
+        std::string::npos);
+    EXPECT_NE(text.find("\"span\":\"0000000000000002\""),
+              std::string::npos);
+    EXPECT_NE(text.find("\"parent\":\"0000000000000001\""),
+              std::string::npos);
+    // The clocksync instant exposes its offset/rtt for the merge tool.
+    EXPECT_NE(text.find("\"offset_ns\":250"), std::string::npos);
+    EXPECT_NE(text.find("\"rtt_ns\":80"), std::string::npos);
+
+    // Without a label the traditional single-process shape is emitted:
+    // fixed pid 1, no metadata event (the golden above pins it).
+    std::ostringstream plain;
+    obs::write_chrome_trace(plain, events);
+    EXPECT_EQ(plain.str().find("process_name"), std::string::npos);
+    EXPECT_NE(plain.str().find("\"pid\":1,"), std::string::npos);
 }
 
 TEST(ObsExport, FlatMetricsGoldenJson)

@@ -552,7 +552,11 @@ TEST(PsShard, DeduplicatesRetransmittedPush)
     h.transport.close();
     h.thread.join();
     EXPECT_EQ(h.shard.metrics().pushes, 1u);
-    EXPECT_EQ(h.shard.metrics().duplicates, 1u);
+    // At least the deliberate resend; RpcClient retransmits on a 200us
+    // in-proc timer, so a descheduled shard thread (sanitizer runs)
+    // legitimately mints extra duplicates. Exactly-once is the pushes
+    // count above, not the duplicate tally.
+    EXPECT_GE(h.shard.metrics().duplicates, 1u);
 }
 
 TEST(PsShard, GatesRunawayWorkerUntilPeersCatchUp)

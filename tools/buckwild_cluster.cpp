@@ -98,6 +98,16 @@ usage()
         "  --worker-index W       which worker --connect runs (default 0)\n"
         "  --control A1,A2,...    snapshot + evaluate + stats, then shut\n"
         "                         the listed shards down\n"
+        "  --trace-dir DIR        (--spawn) distributed tracing: every\n"
+        "                         process writes DIR/<role>.trace.json\n"
+        "                         (control, shardN, workerN); stitch them\n"
+        "                         with buckwild_tracemerge --dir DIR\n"
+        "                         (a multi-tier sweep overwrites per tier)\n"
+        "  --fleet-port N         (--spawn) control node scrapes every\n"
+        "                         child and serves ONE merged,\n"
+        "                         node-labeled /metrics on port N (0 =\n"
+        "                         any free port); the final snapshot is\n"
+        "                         kept as DIR/fleet.prom under --trace-dir\n"
         "\n"
         "fault injection (the transport's FaultModel; multi-process modes\n"
         "apply it sender-side at workers and control):\n"
@@ -247,6 +257,15 @@ parse_args(int argc, char** argv)
         } else if (a == "--control") {
             opt.mode = Mode::kControl;
             opt.shard_addresses = parse_address_list(need(i, "--control"));
+        } else if (a == "--trace-dir") {
+            opt.cluster.trace_dir = need(i, "--trace-dir");
+        } else if (a == "--fleet-port") {
+            const char* v = need(i, "--fleet-port");
+            char* rest = nullptr;
+            const long port = std::strtol(v, &rest, 10);
+            if (rest == v || *rest != '\0' || port < 0 || port > 65535)
+                die("bad --fleet-port (want 0..65535): " + std::string(v));
+            opt.cluster.fleet_port = static_cast<int>(port);
         } else if (a == "--drop") {
             opt.cluster.faults.drop_prob =
                 std::strtod(need(i, "--drop"), nullptr);
@@ -362,9 +381,12 @@ run_sweep(const Options& opt, const dataset::DenseProblem& problem)
         session.emplace(opt.obs, workload);
     else if (!opt.obs.trace_path.empty()) {
         obs::Tracer::global().set_enabled(true);
-        std::fprintf(stderr,
-                     "note: --spawn traces cover only this (control) "
-                     "process; worker/shard spans die with their forks\n");
+        if (opt.cluster.trace_dir.empty())
+            std::fprintf(stderr,
+                         "note: --trace-out under --spawn covers only "
+                         "this (control) process; use --trace-dir for "
+                         "per-process traces that buckwild_tracemerge "
+                         "can stitch\n");
     }
 
     for (const ps::Codec& codec : opt.codecs) {
@@ -385,6 +407,18 @@ run_sweep(const Options& opt, const dataset::DenseProblem& problem)
 
     table.print(std::cout);
     if (opt.csv) table.print_csv(std::cout);
+
+    if (spawn && last) {
+        if (last->fleet_port >= 0)
+            std::printf("fleet: merged node-labeled /metrics served on "
+                        "port %d (final snapshot %zu bytes)\n",
+                        last->fleet_port, last->fleet_metrics.size());
+        if (!opt.cluster.trace_dir.empty())
+            std::printf("traces: per-process Chrome traces in %s — merge "
+                        "with: buckwild_tracemerge --dir %s\n",
+                        opt.cluster.trace_dir.c_str(),
+                        opt.cluster.trace_dir.c_str());
+    }
 
     if (last) {
         if (!spawn)
@@ -425,6 +459,7 @@ run_shard(const Options& opt, const dataset::DenseProblem& problem)
     workload.signature = dmgc::Signature::dense_hogwild();
     workload.threads = opt.cluster.workers;
     workload.model_size = opt.dim;
+    workload.process = "shard" + std::to_string(opt.shard_index);
     tools::ObsSession session(opt.obs, workload);
 
     ps::ShardNodeOptions node;
@@ -454,6 +489,16 @@ run_worker(const Options& opt, const dataset::DenseProblem& problem)
                 opt.worker_index, opt.shard_addresses.size(),
                 opt.cluster.codec.name().c_str());
     std::fflush(stdout);
+
+    tools::ObsSession::Workload workload;
+    workload.signature = dmgc::Signature::dense_hogwild();
+    workload.threads = 1;
+    workload.model_size = opt.dim;
+    workload.numbers_gauge = "ps.worker.numbers";
+    workload.seconds_gauge = "ps.worker.seconds";
+    workload.process = "worker" + std::to_string(opt.worker_index);
+    tools::ObsSession session(opt.obs, workload);
+
     const ps::WorkerStats stats = ps::run_worker_node(
         opt.cluster, problem, opt.worker_index, opt.shard_addresses);
     std::printf("worker %zu done: %llu rounds in %.3fs, %llu retries, "
@@ -462,6 +507,7 @@ run_worker(const Options& opt, const dataset::DenseProblem& problem)
                 static_cast<unsigned long long>(stats.rounds), stats.seconds,
                 static_cast<unsigned long long>(stats.retries),
                 static_cast<unsigned long long>(stats.encoded_bytes));
+    session.finish();
     return 0;
 }
 
@@ -470,6 +516,13 @@ run_worker(const Options& opt, const dataset::DenseProblem& problem)
 int
 run_control(const Options& opt, const dataset::DenseProblem& problem)
 {
+    tools::ObsSession::Workload workload;
+    workload.signature = dmgc::Signature::dense_hogwild();
+    workload.threads = 1;
+    workload.model_size = opt.dim;
+    workload.process = "control";
+    tools::ObsSession session(opt.obs, workload);
+
     ps::ControlClient control(opt.cluster, opt.shard_addresses);
     const std::vector<float> model = control.snapshot(problem.dim);
     double loss = 0.0, accuracy = 0.0;
@@ -504,6 +557,7 @@ run_control(const Options& opt, const dataset::DenseProblem& problem)
     std::printf("control: %zu shards shut down (%llu rpc retries)\n",
                 shards.size(),
                 static_cast<unsigned long long>(control.retries()));
+    session.finish();
     return 0;
 }
 

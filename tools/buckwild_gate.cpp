@@ -41,6 +41,9 @@
 
 #include "gate/gate.h"
 #include "net/socket.h"
+#include "obs/obs.h"
+#include "obs/prom.h"
+#include "obs_cli.h"
 #include "simd/registry.h"
 #include "util/table.h"
 
@@ -71,7 +74,14 @@ usage()
         "                         (default 0 = none)\n"
         "  --encoding E           f32 | q8 feature payload (default f32)\n"
         "  --seed X               RNG seed (default 1)\n"
-        "  --json PATH            write the sweep as JSON ('-' = stdout)\n");
+        "  --json PATH            write the sweep as JSON ('-' = stdout)\n"
+        "\n"
+        "observability (client-side per-lane latency percentiles and\n"
+        "shed counters land in the registry as gate.client.* series;\n"
+        "with --trace-out the driver also stamps a trace context onto\n"
+        "every request, which the gate echoes for clock correlation):\n"
+        "%s",
+        tools::obs_cli_usage());
 }
 
 [[noreturn]] void
@@ -95,6 +105,7 @@ struct Options
     bool q8 = false;
     std::uint64_t seed = 1;
     std::string json_path;
+    tools::ObsCliOptions obs;
 };
 
 std::vector<double>
@@ -156,6 +167,8 @@ parse_args(int argc, char** argv)
             opt.seed = std::strtoull(need(i, "--seed"), nullptr, 10);
         } else if (a == "--json") {
             opt.json_path = need(i, "--json");
+        } else if (tools::parse_obs_flag(opt.obs, argc, argv, i)) {
+            // shared observability flag, consumed
         } else {
             die("unknown flag: " + a);
         }
@@ -228,6 +241,54 @@ percentile_us(std::vector<double>& xs, double p)
     std::nth_element(xs.begin(), xs.begin() + static_cast<long>(k),
                      xs.end());
     return xs[k];
+}
+
+/// The client's view of the step, published as gate.client.* series so
+/// a live scrape (or --metrics-out) sees the driver's observed per-lane
+/// percentiles and shed counters next to the gate's own server-side
+/// gate.hop_seconds decomposition.
+void
+publish_step_metrics(const Tally& tally, double offered_qps,
+                     const double (&p50_us)[gate::kLanes],
+                     const double (&p99_us)[gate::kLanes])
+{
+    static const char* const kLaneNames[gate::kLanes] = {"interactive",
+                                                         "batch"};
+    auto& registry = obs::MetricsRegistry::global();
+    registry.gauge("gate.client.offered_qps").set(offered_qps);
+    registry.counter("gate.client.sent").add(tally.sent);
+    registry
+        .counter(obs::labeled("gate.client.shed",
+                              {{"reason", "resource_exhausted"}}))
+        .add(tally.resource_exhausted);
+    registry
+        .counter(obs::labeled("gate.client.shed",
+                              {{"reason", "deadline_exceeded"}}))
+        .add(tally.deadline_exceeded);
+    registry
+        .counter(obs::labeled("gate.client.shed", {{"reason", "other"}}))
+        .add(tally.other_errors);
+    for (std::size_t l = 0; l < gate::kLanes; ++l) {
+        const char* lane = kLaneNames[l];
+        registry.counter(obs::labeled("gate.client.ok", {{"lane", lane}}))
+            .add(tally.lanes[l].ok);
+        std::vector<double> seconds;
+        seconds.reserve(tally.lanes[l].latency_us.size());
+        for (const double us : tally.lanes[l].latency_us)
+            seconds.push_back(us * 1e-6);
+        registry
+            .histogram(obs::labeled("gate.client.latency_seconds",
+                                    {{"lane", lane}}))
+            .record_many(seconds);
+        registry
+            .gauge(obs::labeled("gate.client.latency_us",
+                                {{"lane", lane}, {"q", "p50"}}))
+            .set(p50_us[l]);
+        registry
+            .gauge(obs::labeled("gate.client.latency_us",
+                                {{"lane", lane}, {"q", "p99"}}))
+            .set(p99_us[l]);
+    }
 }
 
 /// One offered-load step: `opt.connections` threads, each its own
@@ -364,6 +425,13 @@ main(int argc, char** argv)
                 "BUCKWILD_KERNEL_IMPL overrides)\n",
                 simd::to_string(simd::best_impl()));
 
+    tools::ObsSession::Workload workload;
+    workload.signature = dmgc::Signature::dense_hogwild();
+    workload.threads = opt.connections;
+    workload.model_size = opt.dim;
+    workload.process = "gate_driver";
+    tools::ObsSession session(opt.obs, workload);
+
     TablePrinter table(
         "open-loop gate sweep (" + opt.model + ", dim " +
             std::to_string(opt.dim) + (opt.q8 ? ", q8" : ", f32") + ")",
@@ -383,14 +451,16 @@ main(int argc, char** argv)
             tally.sent > 0 ? static_cast<double>(tally.shed()) /
                                  static_cast<double>(tally.sent)
                            : 0.0;
-        const double int_p50 =
-            percentile_us(tally.lanes[0].latency_us, 50.0);
-        const double int_p99 =
-            percentile_us(tally.lanes[0].latency_us, 99.0);
-        const double bat_p50 =
-            percentile_us(tally.lanes[1].latency_us, 50.0);
-        const double bat_p99 =
-            percentile_us(tally.lanes[1].latency_us, 99.0);
+        double p50_us[gate::kLanes], p99_us[gate::kLanes];
+        for (std::size_t l = 0; l < gate::kLanes; ++l) {
+            p50_us[l] = percentile_us(tally.lanes[l].latency_us, 50.0);
+            p99_us[l] = percentile_us(tally.lanes[l].latency_us, 99.0);
+        }
+        publish_step_metrics(tally, qps, p50_us, p99_us);
+        const double int_p50 = p50_us[0];
+        const double int_p99 = p99_us[0];
+        const double bat_p50 = p50_us[1];
+        const double bat_p99 = p99_us[1];
         table.add_row({format_num(qps, 5), std::to_string(tally.sent),
                        std::to_string(ok), std::to_string(tally.shed()),
                        format_num(shed_rate * 100.0, 3),
@@ -422,5 +492,6 @@ main(int argc, char** argv)
             std::printf("wrote %s\n", opt.json_path.c_str());
         }
     }
+    session.finish();
     return 0;
 }

@@ -482,6 +482,7 @@ main(int argc, char** argv)
             workload.signature = dmgc::Signature::dense_hogwild();
             workload.threads = opt.workers;
             workload.model_size = model->dim();
+            workload.process = "serve";
             tools::ObsSession session(opt.obs, workload);
             const int rc = run_gate(opt, saved, precision);
             session.finish();

@@ -208,6 +208,7 @@ main(int argc, char** argv)
             workload.model_size = dim;
             workload.numbers_gauge = "train.numbers";
             workload.seconds_gauge = "train.seconds";
+            workload.process = "train";
             session =
                 std::make_unique<tools::ObsSession>(opt.obs, workload);
         };

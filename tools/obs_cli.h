@@ -195,6 +195,10 @@ class ObsSession
         std::size_t model_size = 0;
         std::string numbers_gauge = "serve.numbers";
         std::string seconds_gauge = "serve.busy_seconds";
+        /// Process label stamped into the trace (process_name metadata);
+        /// this is what buckwild_tracemerge shows per pid. Empty = keep
+        /// the exporter's traditional single-process output.
+        std::string process;
     };
 
     ObsSession(const ObsCliOptions& opt, const Workload& workload)
@@ -202,6 +206,8 @@ class ObsSession
     {
         if (!opt_.trace_path.empty())
             obs::Tracer::global().set_enabled(true);
+        if (!workload.process.empty())
+            obs::Tracer::global().set_process(workload.process);
         // Resolved-kernel gauges go into every export (--metrics-out and
         // live scrapes alike), not just live sessions.
         auto& registry = obs::MetricsRegistry::global();
