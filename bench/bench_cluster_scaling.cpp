@@ -193,6 +193,51 @@ main()
         bench::emit(table);
     }
 
+    // ---- 2c. Sparse workload vs the same examples densified ----
+    // One RCV1-style synthetic problem (5% density) trained through the
+    // sparse push path and, densified, through the dense path — the
+    // bytes/round delta is the GradientView refactor's wire win (the
+    // full density sweep lives in bench_sparse_density).
+    {
+        const auto sparse_problem =
+            dataset::generate_logistic_sparse(512, 2048, 0.05, 17);
+        dataset::DenseProblem densified;
+        densified.dim = sparse_problem.dim;
+        densified.examples = sparse_problem.examples();
+        densified.y = sparse_problem.y;
+        densified.w_true = sparse_problem.w_true;
+        densified.x.assign(densified.examples * densified.dim, 0.0f);
+        for (std::size_t i = 0; i < densified.examples; ++i) {
+            const auto& row = sparse_problem.rows[i];
+            for (std::size_t j = 0; j < row.index.size(); ++j)
+                densified.x[i * densified.dim + row.index[j]] =
+                    row.value[j];
+        }
+        TablePrinter table("sparse pushes vs densified, in-process, "
+                           "n = 512 at 5% density, 2 shards, 2 workers, "
+                           "150 rounds/worker",
+                           {"comm", "final loss", "accuracy", "B/round",
+                            "rounds/s", "gated", "stale", "wall s"});
+        for (const ps::Codec& codec :
+             {ps::Codec::from_bits(32), ps::Codec::qsgd(4)}) {
+            Cell sparse_cell;
+            sparse_cell.mode = "sparse";
+            sparse_cell.workers = 2;
+            sparse_cell.result = ps::train_cluster(
+                sparse_problem, cell_config(2, codec, 300));
+            add_result_row(table, sparse_cell);
+            cells.push_back(std::move(sparse_cell));
+            Cell dense_cell;
+            dense_cell.mode = "densified";
+            dense_cell.workers = 2;
+            dense_cell.result =
+                ps::train_cluster(densified, cell_config(2, codec, 300));
+            add_result_row(table, dense_cell);
+            cells.push_back(std::move(dense_cell));
+        }
+        bench::emit(table);
+    }
+
     // ---- 3. Codec microbench: encode/decode ns per call ----
     std::vector<double> enc_ns(tiers.size()), dec_ns(tiers.size());
     {
@@ -234,6 +279,8 @@ main()
                        ? static_cast<double>(r.rounds) / r.wall_seconds
                        : 0.0);
         json.key("push_bytes").value(r.metrics.total_push_bytes());
+        json.key("sparse_nnz").value(r.metrics.total_sparse_nnz());
+        json.key("sparse_bytes").value(r.metrics.total_sparse_bytes());
         json.key("rounds").value(r.rounds);
         json.key("gated").value(r.metrics.total_gated());
         json.key("max_staleness")

@@ -1,0 +1,408 @@
+/**
+ * @file
+ * Extension: sparse-gradient efficiency vs density — where does the
+ * sparse path stop paying?
+ *
+ * The sparse cluster path (GradientView -> gamma-coded sparse pushes ->
+ * gather/scatter shard applies) only wins while the work and the wire
+ * traffic scale with nnz instead of the dimension. Three sections sweep
+ * the nonzero fraction to locate the dense crossover on each axis:
+ *
+ *  1. Kernel GNPS vs density: the registered sparse dot/AXPY kernels
+ *     (SparseOps<i32>) on an nnz-length (index, value) stream vs the
+ *     dense float kernels over the full model. The crossover density —
+ *     above which the dense kernel is faster per example — is printed
+ *     under the table.
+ *  2. Wire bytes vs density: encode_sparse_gradient (values through the
+ *     codec + Elias-gamma index gaps) vs the same gradient densified
+ *     through encode_gradient, at Cs8 and CsQ4.
+ *  3. Cluster bytes/round: train_cluster on a synthetic RCV1-style
+ *     sparse problem vs the SAME examples expanded to a dense problem,
+ *     at Cs32 and CsQ4 — real measured traffic, with the checkpoint's
+ *     Table-1 style DMGC signature row (D32fi32M32f + async C term).
+ *
+ * Expected shape: sparse wins every axis at RCV1-like densities (~0.1%
+ * to 5%); the kernel crossover lands somewhere past ~10% (gather/scatter
+ * overhead per touched coordinate), and the wire crossover near ~50%
+ * (gamma index stream ~1 byte per coordinate vs the dense payload's
+ * fixed per-coordinate cost). The acceptance gate — asserted into the
+ * JSON and the exit code — is that sparse encoding moves measurably
+ * fewer bytes than the densified encoding of the same gradient at every
+ * density <= 10% (both Cs8 and CsQ4), and that the full Cs32 cluster
+ * run pushes fewer bytes/round than its densified twin.
+ *
+ * A finding the cluster table makes visible: at the QUANTIZED tiers the
+ * error-feedback residual keeps every once-touched coordinate alive in
+ * later pushes (a coordinate with pending feedback must eventually be
+ * transmitted), so the per-push support saturates toward the slice
+ * dimension over a long run — the nnz/push column shows it. Cs32 has no
+ * residual, so its support stays at the minibatch union and the sparse
+ * byte win survives end-to-end.
+ */
+#include <cstdint>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "dataset/problem.h"
+#include "obs/export.h"
+#include "ps/ps.h"
+#include "rng/xorshift.h"
+#include "simd/ops.h"
+#include "simd/sparse_ops.h"
+
+namespace {
+
+using namespace buckwild;
+
+constexpr double kAssertMaxDensity = 0.10; ///< the <= 10% acceptance gate
+
+/// nnz evenly spread, strictly ascending coordinates over [0, dim).
+std::vector<std::uint32_t>
+spread_indices(std::size_t dim, std::size_t nnz)
+{
+    std::vector<std::uint32_t> idx(nnz);
+    for (std::size_t j = 0; j < nnz; ++j)
+        idx[j] = static_cast<std::uint32_t>(j * dim / nnz);
+    return idx;
+}
+
+std::vector<float>
+random_floats(std::size_t n, std::uint64_t seed)
+{
+    std::vector<float> out(n);
+    rng::Xorshift128Plus rng(seed);
+    for (std::size_t k = 0; k < n; ++k)
+        out[k] = rng::to_unit_float(static_cast<std::uint32_t>(rng() >> 32)) -
+                 0.5f;
+    return out;
+}
+
+struct KernelRow
+{
+    double density = 0.0;
+    std::size_t nnz = 0;
+    double sparse_dot_ns = 0.0, dense_dot_ns = 0.0;
+    double sparse_axpy_ns = 0.0, dense_axpy_ns = 0.0;
+    double sparse_gnps = 0.0, dense_gnps = 0.0;
+};
+
+struct WireRow
+{
+    double density = 0.0;
+    std::size_t nnz = 0;
+    std::string comm;
+    std::size_t sparse_bytes = 0, dense_bytes = 0;
+};
+
+struct ClusterRow
+{
+    double density = 0.0;
+    std::string signature; ///< Table-1-style DMGC row of the checkpoint
+    double nnz_per_push = 0.0; ///< support saturation indicator
+    ps::ClusterResult sparse, dense;
+};
+
+/// The same examples expanded to a row-major dense problem, so the dense
+/// path trains on identical data (what tests/test_common.h::densify does).
+dataset::DenseProblem
+densify(const dataset::SparseProblem& sparse)
+{
+    dataset::DenseProblem dense;
+    dense.dim = sparse.dim;
+    dense.examples = sparse.examples();
+    dense.y = sparse.y;
+    dense.w_true = sparse.w_true;
+    dense.x.assign(dense.examples * dense.dim, 0.0f);
+    for (std::size_t i = 0; i < dense.examples; ++i) {
+        const auto& row = sparse.rows[i];
+        for (std::size_t j = 0; j < row.index.size(); ++j)
+            dense.x[i * dense.dim + row.index[j]] = row.value[j];
+    }
+    return dense;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace buckwild;
+    bench::banner(
+        "Extension — sparse gradient efficiency vs density "
+        "(kernel GNPS crossover, wire bytes, cluster bytes/round)",
+        "sparse wins all three axes at libsvm-like densities; the dense "
+        "kernel crossover lands well past 10%; CsQ4-sparse moves fewer "
+        "bytes than densified CsQ4 at every density <= 10% (asserted)");
+
+    simd::warm_sparse_kernels();
+    const std::vector<double> densities = {0.005, 0.01, 0.02, 0.05,
+                                           0.1,   0.25, 0.5,  1.0};
+
+    // ---- 1. Kernel GNPS vs density ------------------------------------
+    std::vector<KernelRow> kernel_rows;
+    double kernel_crossover = -1.0;
+    {
+        constexpr std::size_t kDim = 16384;
+        using Sparse = simd::SparseOps<std::uint32_t>;
+        using Dense = simd::DenseOps<float, float>;
+        const auto w = random_floats(kDim, 11);
+        TablePrinter table(
+            "sparse vs dense kernels, model n = " + std::to_string(kDim) +
+                ", i32 absolute indices, ns per call",
+            {"density", "nnz", "sp dot", "dn dot", "sp axpy", "dn axpy",
+             "sp GNPS", "dn GNPS"});
+        for (const double d : densities) {
+            KernelRow row;
+            row.density = d;
+            row.nnz = static_cast<std::size_t>(d * kDim);
+            const auto idx = spread_indices(kDim, row.nnz);
+            const auto val = random_floats(row.nnz, 23);
+            auto model = w;
+            volatile float sink = 0.0f;
+            row.sparse_dot_ns =
+                measure_seconds_per_call(
+                    [&](std::size_t) {
+                        sink = Sparse::dot(val.data(), idx.data(), row.nnz,
+                                           model.data(), 1.0f,
+                                           simd::sparse::IndexMode::kAbsolute);
+                    },
+                    0.02) *
+                1e9;
+            row.dense_dot_ns =
+                measure_seconds_per_call(
+                    [&](std::size_t) {
+                        sink = Dense::dot(w.data(), model.data(), kDim, 1.0f,
+                                          1.0f);
+                    },
+                    0.02) *
+                1e9;
+            row.sparse_axpy_ns =
+                measure_seconds_per_call(
+                    [&](std::size_t) {
+                        Sparse::axpy(model.data(), val.data(), idx.data(),
+                                     row.nnz, 1e-6f,
+                                     simd::sparse::IndexMode::kAbsolute);
+                    },
+                    0.02) *
+                1e9;
+            const simd::DitherBlock dither{};
+            row.dense_axpy_ns =
+                measure_seconds_per_call(
+                    [&](std::size_t) {
+                        Dense::axpy(model.data(), w.data(), kDim, 1e-6f, 1.0f,
+                                    1.0f, dither);
+                    },
+                    0.02) *
+                1e9;
+            (void)sink;
+            row.sparse_gnps = static_cast<double>(row.nnz) /
+                              row.sparse_dot_ns; // numbers/ns == GNPS
+            row.dense_gnps = static_cast<double>(kDim) / row.dense_dot_ns;
+            if (kernel_crossover < 0.0 &&
+                row.sparse_dot_ns > row.dense_dot_ns)
+                kernel_crossover = d;
+            table.add_row({format_num(d), std::to_string(row.nnz),
+                           format_num(row.sparse_dot_ns, 4),
+                           format_num(row.dense_dot_ns, 4),
+                           format_num(row.sparse_axpy_ns, 4),
+                           format_num(row.dense_axpy_ns, 4),
+                           format_num(row.sparse_gnps, 3),
+                           format_num(row.dense_gnps, 3)});
+            kernel_rows.push_back(row);
+        }
+        bench::emit(table);
+        if (kernel_crossover >= 0.0)
+            std::printf("kernel crossover: dense dot is faster from "
+                        "density %.3g up\n",
+                        kernel_crossover);
+        else
+            std::printf("kernel crossover: sparse dot won at every swept "
+                        "density\n");
+    }
+
+    // ---- 2. Wire bytes vs density -------------------------------------
+    std::vector<WireRow> wire_rows;
+    {
+        constexpr std::size_t kDim = 4096;
+        TablePrinter table(
+            "encoded wire bytes, gradient dim = " + std::to_string(kDim) +
+                ": sparse (values + gamma index gaps) vs densified",
+            {"density", "nnz", "comm", "sparse B", "dense B", "ratio"});
+        for (const double d : densities) {
+            const std::size_t nnz = static_cast<std::size_t>(d * kDim);
+            const auto idx = spread_indices(kDim, nnz);
+            const auto val = random_floats(nnz, 31);
+            std::vector<float> dense_g(kDim, 0.0f);
+            for (std::size_t j = 0; j < nnz; ++j)
+                dense_g[idx[j]] = val[j];
+            for (const ps::Codec& codec :
+                 {ps::Codec::from_bits(8), ps::Codec::qsgd(4)}) {
+                WireRow row;
+                row.density = d;
+                row.nnz = nnz;
+                row.comm = codec.name();
+                std::vector<float> residual(nnz, 0.0f);
+                const auto sparse_view = ps::GradientView::sparse_view(
+                    val.data(), idx.data(), nnz, kDim,
+                    simd::sparse::IndexMode::kAbsolute);
+                const ps::WireGradient sparse_wire =
+                    ps::encode_sparse_gradient(sparse_view, codec,
+                                               residual.data());
+                std::vector<float> dense_residual(kDim, 0.0f);
+                const ps::WireGradient dense_wire = ps::encode_gradient(
+                    dense_g.data(), kDim, codec, dense_residual.data());
+                row.sparse_bytes = sparse_wire.wire_bytes();
+                row.dense_bytes = dense_wire.wire_bytes();
+                table.add_row(
+                    {format_num(d), std::to_string(nnz), row.comm,
+                     std::to_string(row.sparse_bytes),
+                     std::to_string(row.dense_bytes),
+                     format_num(static_cast<double>(row.sparse_bytes) /
+                                    static_cast<double>(row.dense_bytes),
+                                3)});
+                wire_rows.push_back(row);
+            }
+        }
+        bench::emit(table);
+    }
+
+    // ---- 3. Cluster bytes/round: sparse vs densified, Cs32 + CsQ4 ------
+    std::vector<ClusterRow> cluster_rows;
+    {
+        TablePrinter table(
+            "train_cluster, 2 workers x 2 shards, dim 512, 150 rounds: "
+            "sparse path vs the same examples densified",
+            {"density", "signature", "comm", "nnz/push", "sp B/round",
+             "dn B/round", "sp acc", "dn acc", "sp GNPS"});
+        for (const double d : {0.02, 0.05, 0.10}) {
+            const auto problem =
+                dataset::generate_logistic_sparse(512, 1024, d, 59);
+            const auto dense_problem = densify(problem);
+            for (const ps::Codec& codec :
+                 {ps::Codec::from_bits(32), ps::Codec::qsgd(4)}) {
+                ps::ClusterConfig cfg;
+                cfg.workers = 2;
+                cfg.shards = 2;
+                cfg.codec = codec;
+                cfg.rounds = 150;
+                cfg.batch = 16;
+                cfg.tau = 8;
+                cfg.step_size = 0.25f;
+                ClusterRow row;
+                row.density = d;
+                row.sparse = ps::train_cluster(problem, cfg);
+                row.dense = ps::train_cluster(dense_problem, cfg);
+                row.signature = row.sparse.checkpoint.signature.to_string();
+                const std::uint64_t pushes =
+                    row.sparse.metrics.total_pushes();
+                row.nnz_per_push =
+                    pushes > 0 ? static_cast<double>(
+                                     row.sparse.metrics.total_sparse_nnz()) /
+                                     static_cast<double>(pushes)
+                               : 0.0;
+                table.add_row({format_num(d), row.signature,
+                               row.sparse.comm,
+                               format_num(row.nnz_per_push, 4),
+                               format_num(row.sparse.bytes_per_round, 4),
+                               format_num(row.dense.bytes_per_round, 4),
+                               format_num(row.sparse.accuracy),
+                               format_num(row.dense.accuracy),
+                               format_num(row.sparse.metrics.gnps(), 3)});
+                cluster_rows.push_back(std::move(row));
+            }
+        }
+        bench::emit(table);
+        std::printf("note: at the quantized tiers error feedback keeps "
+                    "once-touched coordinates in the push support, so "
+                    "nnz/push saturates toward the 256-wide slice over a "
+                    "long run; Cs32 carries no residual and keeps the "
+                    "minibatch-union support\n");
+    }
+
+    // ---- Machine-readable sweep + the acceptance asserts ---------------
+    // Every row at density <= 10% carries an explicit boolean; a failed
+    // assert also fails the process so CI catches a regressed codec.
+    bool asserts_ok = true;
+    std::printf("-- json --\n");
+    obs::JsonWriter json(std::cout);
+    json.begin_array();
+    for (const KernelRow& r : kernel_rows) {
+        std::cout << '\n';
+        json.begin_object();
+        json.key("section").value("kernel");
+        json.key("density").value(r.density);
+        json.key("nnz").value(static_cast<std::uint64_t>(r.nnz));
+        json.key("sparse_dot_ns").value(r.sparse_dot_ns);
+        json.key("dense_dot_ns").value(r.dense_dot_ns);
+        json.key("sparse_axpy_ns").value(r.sparse_axpy_ns);
+        json.key("dense_axpy_ns").value(r.dense_axpy_ns);
+        json.key("sparse_gnps").value(r.sparse_gnps);
+        json.key("dense_gnps").value(r.dense_gnps);
+        json.end_object();
+    }
+    std::cout << '\n';
+    json.begin_object();
+    json.key("section").value("kernel_crossover");
+    json.key("density").value(kernel_crossover);
+    json.end_object();
+    for (const WireRow& r : wire_rows) {
+        const bool gated = r.density <= kAssertMaxDensity;
+        const bool fewer = r.sparse_bytes < r.dense_bytes;
+        if (gated && !fewer) asserts_ok = false;
+        std::cout << '\n';
+        json.begin_object();
+        json.key("section").value("wire");
+        json.key("density").value(r.density);
+        json.key("nnz").value(static_cast<std::uint64_t>(r.nnz));
+        json.key("comm").value(r.comm);
+        json.key("sparse_bytes")
+            .value(static_cast<std::uint64_t>(r.sparse_bytes));
+        json.key("dense_bytes")
+            .value(static_cast<std::uint64_t>(r.dense_bytes));
+        if (gated) json.key("assert_sparse_fewer_bytes").value(fewer);
+        json.end_object();
+    }
+    for (const ClusterRow& r : cluster_rows) {
+        // The end-to-end assert holds at Cs32 (no residual, support stays
+        // at the minibatch union); the quantized tiers saturate their
+        // support through error feedback, so their rows are reported but
+        // not gated — the per-gradient CsQ4 assert lives in the wire rows.
+        const bool gated = r.density <= kAssertMaxDensity &&
+                           r.sparse.comm == "Cs32";
+        const bool fewer =
+            r.sparse.bytes_per_round < r.dense.bytes_per_round;
+        if (gated && !fewer) asserts_ok = false;
+        std::cout << '\n';
+        json.begin_object();
+        json.key("section").value("cluster");
+        json.key("density").value(r.density);
+        json.key("signature").value(r.signature);
+        json.key("comm").value(r.sparse.comm);
+        json.key("nnz_per_push").value(r.nnz_per_push);
+        json.key("sparse_bytes_per_round").value(r.sparse.bytes_per_round);
+        json.key("dense_bytes_per_round").value(r.dense.bytes_per_round);
+        json.key("sparse_accuracy").value(r.sparse.accuracy);
+        json.key("dense_accuracy").value(r.dense.accuracy);
+        json.key("sparse_nnz")
+            .value(r.sparse.metrics.total_sparse_nnz());
+        json.key("sparse_wire_bytes")
+            .value(r.sparse.metrics.total_sparse_bytes());
+        json.key("sparse_gnps").value(r.sparse.metrics.gnps());
+        if (gated) json.key("assert_sparse_fewer_bytes").value(fewer);
+        json.end_object();
+    }
+    json.end_array();
+    std::cout << '\n';
+
+    if (!asserts_ok) {
+        std::fprintf(stderr,
+                     "FAIL: sparse encoding moved >= as many bytes as the "
+                     "densified path at a density <= %.0f%%\n",
+                     kAssertMaxDensity * 100.0);
+        return 1;
+    }
+    return 0;
+}

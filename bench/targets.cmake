@@ -29,6 +29,7 @@ set(BUCKWILD_BENCHES
   bench_ext_async_staleness
   bench_serve_throughput
   bench_cluster_scaling
+  bench_sparse_density
   bench_lowp_round
   bench_kernel_registry
   bench_gate_overload)

@@ -68,6 +68,18 @@ struct CommSgdResult
 CommSgdResult train_comm_sgd(const dataset::DenseProblem& problem,
                              const CommSgdConfig& config);
 
+/**
+ * The sparse-workload sibling: each worker accumulates its mini-batch
+ * gradient over only the touched coordinates, carries a *sparse*
+ * error-feedback residual, and exchanges a quantized sparse gradient —
+ * a ps::GradientView with delta-encoded low-precision (u16) indices,
+ * zero-padded where a gap overflows the rep (paper footnote 6) — through
+ * the real wire codec round-trip. bytes_per_round is measured from the
+ * encoded frames (sparse traffic is nnz-dependent at every tier).
+ */
+CommSgdResult train_comm_sgd(const dataset::SparseProblem& problem,
+                             const CommSgdConfig& config);
+
 } // namespace buckwild::core
 
 #endif // BUCKWILD_CORE_COMM_SGD_H

@@ -32,6 +32,28 @@ SparseProblem::nnz() const
     return total;
 }
 
+SparseStats
+sparse_stats(const SparseProblem& problem)
+{
+    SparseStats stats;
+    stats.examples = problem.examples();
+    stats.dim = problem.dim;
+    if (problem.rows.empty()) return stats;
+    stats.min_row_nnz = problem.rows.front().index.size();
+    for (const auto& row : problem.rows) {
+        const std::size_t nnz = row.index.size();
+        stats.nnz += nnz;
+        stats.min_row_nnz = std::min(stats.min_row_nnz, nnz);
+        stats.max_row_nnz = std::max(stats.max_row_nnz, nnz);
+    }
+    stats.mean_row_nnz = static_cast<double>(stats.nnz) /
+                         static_cast<double>(stats.examples);
+    if (problem.dim > 0)
+        stats.density = stats.mean_row_nnz /
+                        static_cast<double>(problem.dim);
+    return stats;
+}
+
 DenseProblem
 generate_logistic_dense(std::size_t dim, std::size_t examples,
                         std::uint64_t seed)

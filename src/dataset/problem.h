@@ -50,6 +50,22 @@ struct SparseProblem
     std::size_t nnz() const;
 };
 
+/// Density / nnz summary of a sparse problem — what the sparse cluster
+/// tools print at startup and the density benches report.
+struct SparseStats
+{
+    std::size_t examples = 0;
+    std::size_t dim = 0;
+    std::size_t nnz = 0;         ///< total nonzeros
+    std::size_t min_row_nnz = 0; ///< sparsest example
+    std::size_t max_row_nnz = 0; ///< densest example
+    double mean_row_nnz = 0.0;   ///< nnz / examples
+    double density = 0.0;        ///< nnz / (examples * dim)
+};
+
+/// Computes the density/nnz summary of `problem` in one pass.
+SparseStats sparse_stats(const SparseProblem& problem);
+
 /**
  * Samples a dense logistic-regression problem from the generative model:
  * w* ~ U[-1,1]^n, x_i ~ U[-1,1]^n, y_i = +1 with prob sigmoid(w*.x_i).

@@ -5,18 +5,22 @@
 #include <thread>
 
 #include "ps/node.h"
+#include "ps/workload.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
 
 namespace buckwild::ps {
 
+namespace {
+
+template <typename Problem>
 ClusterResult
-train_cluster(const dataset::DenseProblem& problem,
-              const ClusterConfig& config, serve::ModelRegistry* registry)
+train_cluster_impl(const Problem& problem, const ClusterConfig& config,
+                   serve::ModelRegistry* registry)
 {
     if (config.rounds == 0) fatal("rounds must be >= 1");
-    if (problem.examples < config.workers)
+    if (detail::example_count(problem) < config.workers)
         fatal("need at least one example per worker");
 
     PsConfig ps_cfg;
@@ -79,7 +83,9 @@ train_cluster(const dataset::DenseProblem& problem,
 
     // Final state: snapshot it once, publish that exact version (the one
     // a serving cluster ends on), evaluate it, then stop the shards.
-    result.checkpoint = server.checkpoint();
+    result.checkpoint = detail::is_sparse_workload(problem)
+        ? make_cluster_checkpoint(config, server.snapshot(), true)
+        : server.checkpoint();
     if (registry != nullptr)
         result.published_versions.push_back(
             registry->publish(result.checkpoint, config.publish_precision));
@@ -99,14 +105,34 @@ train_cluster(const dataset::DenseProblem& problem,
     }
     result.metrics.numbers = static_cast<double>(result.rounds) *
                              static_cast<double>(config.batch) *
-                             static_cast<double>(problem.dim);
+                             detail::numbers_per_example(problem);
+    // Sparse pushes are nnz-dependent at every tier, so their traffic is
+    // always measured; dense fixed-size codecs stay statically computed.
+    const bool measured = config.codec.kind == CodecKind::kQsgd ||
+                          detail::is_sparse_workload(problem);
     result.bytes_per_round =
-        config.codec.kind == CodecKind::kQsgd
-            ? (result.rounds > 0 ? static_cast<double>(encoded_total) /
-                                       static_cast<double>(result.rounds)
-                                 : 0.0)
-            : fixed_bytes_per_round(config, problem.dim);
+        measured ? (result.rounds > 0
+                        ? static_cast<double>(encoded_total) /
+                              static_cast<double>(result.rounds)
+                        : 0.0)
+                 : fixed_bytes_per_round(config, problem.dim);
     return result;
+}
+
+} // namespace
+
+ClusterResult
+train_cluster(const dataset::DenseProblem& problem,
+              const ClusterConfig& config, serve::ModelRegistry* registry)
+{
+    return train_cluster_impl(problem, config, registry);
+}
+
+ClusterResult
+train_cluster(const dataset::SparseProblem& problem,
+              const ClusterConfig& config, serve::ModelRegistry* registry)
+{
+    return train_cluster_impl(problem, config, registry);
 }
 
 } // namespace buckwild::ps

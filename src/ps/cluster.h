@@ -117,6 +117,19 @@ ClusterResult train_cluster(const dataset::DenseProblem& problem,
                             const ClusterConfig& config,
                             serve::ModelRegistry* registry = nullptr);
 
+/**
+ * The sparse-workload sibling: workers run the sparse round loop
+ * (touched-coordinate accumulation, sparse error feedback) and every
+ * push on the fabric is a quantized sparse gradient — nnz values plus an
+ * Elias-gamma index-gap stream — applied at the shards through the
+ * gather-scatter sparse kernels. bytes_per_round is always measured
+ * (sparse traffic is nnz-dependent at every tier) and the checkpoint
+ * carries the sparse DMGC signature row.
+ */
+ClusterResult train_cluster(const dataset::SparseProblem& problem,
+                            const ClusterConfig& config,
+                            serve::ModelRegistry* registry = nullptr);
+
 } // namespace buckwild::ps
 
 #endif // BUCKWILD_PS_CLUSTER_H

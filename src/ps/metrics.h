@@ -34,6 +34,8 @@ struct ShardMetrics
     std::uint64_t pull_bytes = 0; ///< wire bytes of served kModel replies
     double apply_seconds = 0.0;   ///< time inside the update kernel
     double numbers = 0.0;         ///< gradient numbers applied (GNPS numerator)
+    std::uint64_t sparse_nnz = 0;   ///< nonzeros applied via sparse pushes
+    std::uint64_t sparse_bytes = 0; ///< wire bytes of applied sparse pushes
     /// staleness_counts[s] = applied pushes whose worker was s rounds
     /// ahead of the slowest live worker at apply time.
     std::vector<std::uint64_t> staleness_counts;
@@ -50,7 +52,8 @@ struct ShardMetrics
 /// Flattens shard counters into the kStats reply vector — how a shard
 /// process reports its metrics to the control endpoint over the wire.
 /// Layout: [pushes, duplicates, gated, pulls, push_bytes, pull_bytes,
-/// apply_seconds, numbers, staleness_counts...].
+/// apply_seconds, numbers, sparse_nnz, sparse_bytes,
+/// staleness_counts...].
 inline std::vector<double>
 shard_metrics_to_stats(const ShardMetrics& metrics)
 {
@@ -63,6 +66,8 @@ shard_metrics_to_stats(const ShardMetrics& metrics)
         static_cast<double>(metrics.pull_bytes),
         metrics.apply_seconds,
         metrics.numbers,
+        static_cast<double>(metrics.sparse_nnz),
+        static_cast<double>(metrics.sparse_bytes),
     };
     for (const std::uint64_t count : metrics.staleness_counts)
         stats.push_back(static_cast<double>(count));
@@ -86,7 +91,9 @@ shard_metrics_from_stats(const std::vector<double>& stats)
     metrics.pull_bytes = u64(5);
     metrics.apply_seconds = 6 < stats.size() ? stats[6] : 0.0;
     metrics.numbers = 7 < stats.size() ? stats[7] : 0.0;
-    for (std::size_t i = 8; i < stats.size(); ++i)
+    metrics.sparse_nnz = u64(8);
+    metrics.sparse_bytes = u64(9);
+    for (std::size_t i = 10; i < stats.size(); ++i)
         metrics.staleness_counts.push_back(
             static_cast<std::uint64_t>(stats[i]));
     return metrics;
@@ -137,6 +144,22 @@ struct PsMetrics
         return total;
     }
 
+    std::uint64_t
+    total_sparse_nnz() const
+    {
+        std::uint64_t total = 0;
+        for (const auto& s : shards) total += s.sparse_nnz;
+        return total;
+    }
+
+    std::uint64_t
+    total_sparse_bytes() const
+    {
+        std::uint64_t total = 0;
+        for (const auto& s : shards) total += s.sparse_bytes;
+        return total;
+    }
+
     std::size_t
     max_staleness() const
     {
@@ -179,6 +202,8 @@ struct PsMetrics
         registry.counter(prefix + "push_bytes").add(total_push_bytes());
         registry.counter(prefix + "pull_bytes").add(total_pull_bytes());
         registry.counter(prefix + "gated").add(total_gated());
+        registry.counter(prefix + "sparse_nnz").add(total_sparse_nnz());
+        registry.counter(prefix + "sparse_bytes").add(total_sparse_bytes());
         registry.counter(prefix + "messages_sent").add(messages_sent);
         registry.counter(prefix + "messages_dropped").add(messages_dropped);
         registry.counter(prefix + "wire_bytes_sent").add(wire_bytes_sent);

@@ -16,12 +16,87 @@
 #include "obs/prom.h"
 #include "ps/shard.h"
 #include "ps/wire.h"
+#include "ps/workload.h"
+#include "simd/sparse_ops.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 
 namespace buckwild::ps {
 
 // ------------------------------------------------------ worker rounds
+
+namespace {
+
+/// Pulls every shard's slice into the local model replica. Slices may
+/// sit at different versions — that inconsistency is the asynchrony the
+/// C-term error feedback has to absorb.
+void
+pull_model(RpcClient& rpc, const ClusterConfig& config, std::size_t dim,
+           std::size_t worker, std::vector<float>& model)
+{
+    for (std::size_t s = 0; s < config.shards; ++s) {
+        Message pull;
+        pull.kind = Message::Kind::kPull;
+        pull.worker = static_cast<std::uint32_t>(worker);
+        const Message reply = rpc.call(s, std::move(pull));
+        std::copy(reply.weights.begin(), reply.weights.end(),
+                  model.begin() + static_cast<std::ptrdiff_t>(slice_begin(
+                                      dim, config.shards, s)));
+    }
+}
+
+/// Pushes one wire gradient to shard `s`, backing off and retrying while
+/// the SSP gate nacks it. Time spent bounced lands in the ssp_wait hop
+/// histogram.
+void
+push_with_backoff(RpcClient& rpc, std::size_t s, std::size_t worker,
+                  std::uint64_t round, const WireGradient& wire,
+                  obs::Histo& hop_ssp_wait)
+{
+    Stopwatch gate_clock;
+    bool gated = false;
+    for (;;) {
+        Message push;
+        push.kind = Message::Kind::kPush;
+        push.worker = static_cast<std::uint32_t>(worker);
+        push.clock = round;
+        push.gradient = wire;
+        const Message ack = rpc.call(s, std::move(push));
+        if (ack.accepted) {
+            if (gated) hop_ssp_wait.record(gate_clock.seconds());
+            return;
+        }
+        if (!gated) {
+            gated = true;
+            gate_clock = Stopwatch();
+        }
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+}
+
+/// Leaves the SSP gate so the remaining workers are not held to this
+/// worker's final clock.
+void
+retire_worker(RpcClient& rpc, const ClusterConfig& config,
+              std::size_t worker)
+{
+    for (std::size_t s = 0; s < config.shards; ++s) {
+        Message retire;
+        retire.kind = Message::Kind::kRetire;
+        retire.worker = static_cast<std::uint32_t>(worker);
+        rpc.call(s, std::move(retire));
+    }
+}
+
+obs::Histo&
+ssp_wait_histogram()
+{
+    static obs::Histo& histo = obs::MetricsRegistry::global().histogram(
+        obs::labeled("ps.hop_seconds", {{"hop", "ssp_wait"}}));
+    return histo;
+}
+
+} // namespace
 
 WorkerStats
 run_worker_rounds(const ClusterConfig& config,
@@ -60,18 +135,7 @@ run_worker_rounds(const ClusterConfig& config,
     for (std::uint64_t round = 1; round <= config.rounds; ++round) {
         BUCKWILD_OBS_SPAN("ps", "worker.round");
         Stopwatch round_clock;
-        // Pull every shard's slice into the local replica. Slices may
-        // sit at different versions — that inconsistency is the
-        // asynchrony the C-term error feedback has to absorb.
-        for (std::size_t s = 0; s < shards; ++s) {
-            Message pull;
-            pull.kind = Message::Kind::kPull;
-            pull.worker = static_cast<std::uint32_t>(worker);
-            const Message reply = rpc.call(s, std::move(pull));
-            std::copy(reply.weights.begin(), reply.weights.end(),
-                      model.begin() + static_cast<std::ptrdiff_t>(
-                                          slice_begin(dim, shards, s)));
-        }
+        pull_model(rpc, config, dim, worker, model);
 
         {
             // Mini-batch gradient on this worker's data slice.
@@ -105,11 +169,6 @@ run_worker_rounds(const ClusterConfig& config,
         // Quantize and push each shard's slice; a staleness-gated
         // nack means this worker ran too far ahead — back off and
         // retry (the shard's gate opens as the slow workers apply).
-        // Time spent bounced is the "gate wait" hop of the push's
-        // latency decomposition.
-        static obs::Histo& hop_ssp_wait =
-            obs::MetricsRegistry::global().histogram(
-                obs::labeled("ps.hop_seconds", {{"hop", "ssp_wait"}}));
         for (std::size_t s = 0; s < shards; ++s) {
             const std::size_t begin = slice_begin(dim, shards, s);
             const WireGradient wire = encode_gradient(
@@ -119,25 +178,8 @@ run_worker_rounds(const ClusterConfig& config,
             stats.encoded_bytes += wire.wire_bytes();
             BUCKWILD_OBS_COUNT("ps.worker.encoded_bytes",
                                wire.wire_bytes());
-            Stopwatch gate_clock;
-            bool gated = false;
-            for (;;) {
-                Message push;
-                push.kind = Message::Kind::kPush;
-                push.worker = static_cast<std::uint32_t>(worker);
-                push.clock = round;
-                push.gradient = wire;
-                const Message ack = rpc.call(s, std::move(push));
-                if (ack.accepted) {
-                    if (gated) hop_ssp_wait.record(gate_clock.seconds());
-                    break;
-                }
-                if (!gated) {
-                    gated = true;
-                    gate_clock = Stopwatch();
-                }
-                std::this_thread::sleep_for(std::chrono::microseconds(100));
-            }
+            push_with_backoff(rpc, s, worker, round, wire,
+                              ssp_wait_histogram());
         }
         ++stats.rounds;
         if (rounds_done != nullptr)
@@ -146,14 +188,165 @@ run_worker_rounds(const ClusterConfig& config,
                            round_clock.seconds());
     }
 
-    // Leave the SSP gate so the remaining workers are not held to
-    // this worker's final clock.
-    for (std::size_t s = 0; s < shards; ++s) {
-        Message retire;
-        retire.kind = Message::Kind::kRetire;
-        retire.worker = static_cast<std::uint32_t>(worker);
-        rpc.call(s, std::move(retire));
+    retire_worker(rpc, config, worker);
+
+    stats.seconds = clock.seconds();
+    stats.retries = rpc.retries();
+    return stats;
+}
+
+WorkerStats
+run_worker_rounds(const ClusterConfig& config,
+                  const dataset::SparseProblem& problem, std::size_t worker,
+                  Transport& transport,
+                  std::atomic<std::uint64_t>* rounds_done)
+{
+    Stopwatch clock;
+    WorkerStats stats;
+    const std::size_t dim = problem.dim;
+    const std::size_t shards = config.shards;
+    const std::size_t workers = config.workers;
+    RpcClient rpc(transport, worker_endpoint_of(config, worker));
+
+    const std::size_t ex_begin = worker * problem.examples() / workers;
+    const std::size_t ex_end = (worker + 1) * problem.examples() / workers;
+    const std::size_t ex_count = ex_end - ex_begin;
+
+    std::vector<float> model(dim, 0.0f);
+    // Sparse accumulation: a dense scratch accumulator plus an explicit
+    // support list, so a round costs O(touched), not O(dim).
+    std::vector<float> acc(dim, 0.0f);
+    std::vector<std::uint8_t> in_support(dim, 0);
+    std::vector<std::uint32_t> touched;
+    const bool feedback =
+        config.error_feedback && config.codec.kind != CodecKind::kDense;
+    // The error-feedback residual is itself sparse: the coordinates the
+    // worker has pushed with nonzero untransmitted remainder.
+    std::vector<std::uint32_t> residual_index;
+    std::vector<float> residual_value;
+    std::vector<std::uint32_t> next_residual_index;
+    std::vector<float> next_residual_value;
+
+    std::uint64_t seed_state =
+        0xC5C0DEull + static_cast<std::uint64_t>(worker);
+    rng::Xorshift128Plus codec_rng(rng::splitmix64(seed_state));
+
+    std::vector<std::uint32_t> slice_index;
+    std::vector<float> slice_value;
+    std::vector<float> slice_residual;
+
+    for (std::uint64_t round = 1; round <= config.rounds; ++round) {
+        BUCKWILD_OBS_SPAN("ps", "worker.round");
+        Stopwatch round_clock;
+        pull_model(rpc, config, dim, worker, model);
+
+        std::size_t batch_numbers = 0;
+        {
+            // Mini-batch gradient over only the touched coordinates.
+            BUCKWILD_OBS_SPAN("ps", "worker.minibatch");
+            Stopwatch minibatch_clock;
+            for (std::size_t b = 0; b < config.batch; ++b) {
+                const std::size_t i =
+                    ex_begin + ((round - 1) * config.batch + b) % ex_count;
+                const dataset::SparseRow& x = problem.rows[i];
+                const std::size_t nnz = x.value.size();
+                batch_numbers += nnz;
+                const float z = simd::SparseOps<std::uint32_t>::dot(
+                    config.impl, x.value.data(), x.index.data(), nnz,
+                    model.data(), 1.0f,
+                    simd::sparse::IndexMode::kAbsolute);
+                const float g = core::loss_gradient_coefficient(
+                    config.loss, z, problem.y[i]);
+                if (g == 0.0f) continue;
+                for (std::size_t j = 0; j < nnz; ++j) {
+                    const std::uint32_t k = x.index[j];
+                    if (!in_support[k]) {
+                        in_support[k] = 1;
+                        touched.push_back(k);
+                    }
+                    acc[k] += g * x.value[j];
+                }
+            }
+            // Carried residual joins the round's support (a coordinate
+            // with pending feedback is pushed even if this minibatch
+            // missed it).
+            for (std::size_t j = 0; j < residual_index.size(); ++j) {
+                const std::uint32_t k = residual_index[j];
+                if (!in_support[k]) {
+                    in_support[k] = 1;
+                    touched.push_back(k);
+                }
+                acc[k] += residual_value[j];
+            }
+            BUCKWILD_OBS_GAUGE_ADD("ps.worker.numbers",
+                                   static_cast<double>(batch_numbers));
+            BUCKWILD_OBS_GAUGE_ADD("ps.worker.seconds",
+                                   minibatch_clock.seconds());
+        }
+        std::sort(touched.begin(), touched.end());
+
+        // Per-range nnz split: each shard gets the (slice-local) run of
+        // touched coordinates inside its range — an empty run still
+        // pushes, so clocks/dedup/SSP behave exactly like the dense loop.
+        next_residual_index.clear();
+        next_residual_value.clear();
+        auto lo = touched.begin();
+        for (std::size_t s = 0; s < shards; ++s) {
+            const std::size_t begin = slice_begin(dim, shards, s);
+            const std::size_t end = slice_end(dim, shards, s);
+            const auto hi = std::lower_bound(
+                lo, touched.end(), static_cast<std::uint32_t>(end));
+            slice_index.clear();
+            slice_value.clear();
+            for (auto it = lo; it != hi; ++it) {
+                slice_index.push_back(
+                    static_cast<std::uint32_t>(*it - begin));
+                slice_value.push_back(acc[*it]);
+            }
+            const std::size_t nnz = slice_index.size();
+            slice_residual.assign(nnz, 0.0f);
+            const GradientView view =
+                GradientView::sparse_view<std::uint32_t>(
+                    slice_value.data(), slice_index.data(), nnz,
+                    static_cast<std::uint32_t>(end - begin),
+                    simd::sparse::IndexMode::kAbsolute);
+            const WireGradient wire = encode_sparse_gradient(
+                view, config.codec,
+                feedback ? slice_residual.data() : nullptr, &codec_rng);
+            stats.encoded_bytes += wire.wire_bytes();
+            stats.encoded_nnz += nnz;
+            BUCKWILD_OBS_COUNT("ps.worker.encoded_bytes",
+                               wire.wire_bytes());
+            if (feedback)
+                for (std::size_t j = 0; j < nnz; ++j)
+                    if (slice_residual[j] != 0.0f) {
+                        next_residual_index.push_back(
+                            static_cast<std::uint32_t>(begin) +
+                            slice_index[j]);
+                        next_residual_value.push_back(slice_residual[j]);
+                    }
+            push_with_backoff(rpc, s, worker, round, wire,
+                              ssp_wait_histogram());
+            lo = hi;
+        }
+        residual_index.swap(next_residual_index);
+        residual_value.swap(next_residual_value);
+
+        // Reset the scratch accumulator in O(touched).
+        for (const std::uint32_t k : touched) {
+            acc[k] = 0.0f;
+            in_support[k] = 0;
+        }
+        touched.clear();
+
+        ++stats.rounds;
+        if (rounds_done != nullptr)
+            rounds_done->fetch_add(1, std::memory_order_acq_rel);
+        BUCKWILD_OBS_HISTO("ps.worker.round_seconds",
+                           round_clock.seconds());
     }
+
+    retire_worker(rpc, config, worker);
 
     stats.seconds = clock.seconds();
     stats.retries = rpc.retries();
@@ -198,10 +391,15 @@ run_shard_node(const ClusterConfig& config, std::size_t dim,
     return shard.metrics();
 }
 
+namespace {
+
+/// Shared socket bring-up of a worker node: dial the shards, run the
+/// given round loop, close the fabric.
+template <typename Problem>
 WorkerStats
-run_worker_node(const ClusterConfig& config,
-                const dataset::DenseProblem& problem, std::size_t worker,
-                const std::vector<net::Address>& shard_addresses)
+run_worker_node_impl(const ClusterConfig& config, const Problem& problem,
+                     std::size_t worker,
+                     const std::vector<net::Address>& shard_addresses)
 {
     if (worker >= config.workers) fatal("worker index out of range");
     if (shard_addresses.size() != config.shards)
@@ -217,6 +415,24 @@ run_worker_node(const ClusterConfig& config,
         run_worker_rounds(config, problem, worker, transport, nullptr);
     transport.close();
     return stats;
+}
+
+} // namespace
+
+WorkerStats
+run_worker_node(const ClusterConfig& config,
+                const dataset::DenseProblem& problem, std::size_t worker,
+                const std::vector<net::Address>& shard_addresses)
+{
+    return run_worker_node_impl(config, problem, worker, shard_addresses);
+}
+
+WorkerStats
+run_worker_node(const ClusterConfig& config,
+                const dataset::SparseProblem& problem, std::size_t worker,
+                const std::vector<net::Address>& shard_addresses)
+{
+    return run_worker_node_impl(config, problem, worker, shard_addresses);
 }
 
 namespace {
@@ -308,12 +524,33 @@ evaluate_model(const dataset::DenseProblem& problem, core::Loss loss,
         static_cast<double>(correct) / static_cast<double>(problem.examples);
 }
 
+void
+evaluate_model(const dataset::SparseProblem& problem, core::Loss loss,
+               const std::vector<float>& model, double* out_loss,
+               double* out_accuracy)
+{
+    double total = 0.0;
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < problem.examples(); ++i) {
+        const dataset::SparseRow& x = problem.rows[i];
+        const float z = simd::SparseOps<std::uint32_t>::dot(
+            x.value.data(), x.index.data(), x.value.size(), model.data(),
+            1.0f, simd::sparse::IndexMode::kAbsolute);
+        total += core::loss_value(loss, z, problem.y[i]);
+        if (core::loss_correct(loss, z, problem.y[i])) ++correct;
+    }
+    *out_loss = total / static_cast<double>(problem.examples());
+    *out_accuracy = static_cast<double>(correct) /
+                    static_cast<double>(problem.examples());
+}
+
 core::SavedModel
 make_cluster_checkpoint(const ClusterConfig& config,
-                        std::vector<float> weights)
+                        std::vector<float> weights, bool sparse)
 {
     core::SavedModel model;
-    model.signature = dmgc::Signature::dense_hogwild();
+    model.signature = sparse ? dmgc::Signature::sparse_hogwild()
+                             : dmgc::Signature::dense_hogwild();
     model.signature.communication = dmgc::Communication::kAsynchronous;
     model.signature.comm_precision = config.codec.kind == CodecKind::kDense
         ? dmgc::Precision::full()
@@ -423,14 +660,17 @@ reap_children(const std::vector<pid_t>& pids, const char* role)
     }
 }
 
-} // namespace
+using detail::example_count;
+using detail::is_sparse_workload;
+using detail::numbers_per_example;
 
+template <typename Problem>
 ClusterResult
-train_cluster_multiprocess(const dataset::DenseProblem& problem,
-                           const ClusterConfig& config)
+train_cluster_multiprocess_impl(const Problem& problem,
+                                const ClusterConfig& config)
 {
     if (config.rounds == 0) fatal("rounds must be >= 1");
-    if (problem.examples < config.workers)
+    if (example_count(problem) < config.workers)
         fatal("need at least one example per worker");
     if (config.shards == 0 || config.shards > problem.dim)
         fatal("bad shard count for this model dimension");
@@ -649,7 +889,8 @@ train_cluster_multiprocess(const dataset::DenseProblem& problem,
         }
     }
 
-    result.checkpoint = make_cluster_checkpoint(config, std::move(model));
+    result.checkpoint = make_cluster_checkpoint(config, std::move(model),
+                                                is_sparse_workload(problem));
     evaluate_model(problem, config.loss, result.checkpoint.weights,
                    &result.final_loss, &result.accuracy);
 
@@ -663,14 +904,34 @@ train_cluster_multiprocess(const dataset::DenseProblem& problem,
     result.metrics.rpc_retries += control.retries();
     result.metrics.numbers = static_cast<double>(result.rounds) *
                              static_cast<double>(config.batch) *
-                             static_cast<double>(problem.dim);
+                             numbers_per_example(problem);
+    // Sparse pushes are nnz-dependent at every tier, so their traffic is
+    // always measured; dense fixed-size codecs stay statically computed.
+    const bool measured = config.codec.kind == CodecKind::kQsgd ||
+                          is_sparse_workload(problem);
     result.bytes_per_round =
-        config.codec.kind == CodecKind::kQsgd
-            ? (result.rounds > 0 ? static_cast<double>(encoded_total) /
-                                       static_cast<double>(result.rounds)
-                                 : 0.0)
-            : fixed_bytes_per_round(config, problem.dim);
+        measured ? (result.rounds > 0
+                        ? static_cast<double>(encoded_total) /
+                              static_cast<double>(result.rounds)
+                        : 0.0)
+                 : fixed_bytes_per_round(config, problem.dim);
     return result;
+}
+
+} // namespace
+
+ClusterResult
+train_cluster_multiprocess(const dataset::DenseProblem& problem,
+                           const ClusterConfig& config)
+{
+    return train_cluster_multiprocess_impl(problem, config);
+}
+
+ClusterResult
+train_cluster_multiprocess(const dataset::SparseProblem& problem,
+                           const ClusterConfig& config)
+{
+    return train_cluster_multiprocess_impl(problem, config);
 }
 
 } // namespace buckwild::ps

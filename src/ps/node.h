@@ -97,6 +97,7 @@ struct WorkerStats
     std::uint64_t retries = 0;     ///< RPC retransmissions
     std::uint64_t rounds = 0;      ///< rounds completed
     std::uint64_t encoded_bytes = 0; ///< wire bytes of pushed gradients
+    std::uint64_t encoded_nnz = 0;   ///< nonzeros pushed (sparse rounds)
 };
 
 /**
@@ -107,6 +108,21 @@ struct WorkerStats
  */
 WorkerStats run_worker_rounds(const ClusterConfig& config,
                               const dataset::DenseProblem& problem,
+                              std::size_t worker, Transport& transport,
+                              std::atomic<std::uint64_t>* rounds_done);
+
+/**
+ * The sparse sibling of run_worker_rounds(): minibatch gradients are
+ * accumulated over only the touched coordinates (CSR rows through the
+ * registered sparse dot kernels), error feedback is a sparse residual,
+ * and each shard receives the nnz run falling inside its range as a
+ * sparse push (encode_sparse_gradient) — including an empty push when
+ * no coordinate landed there, so the SSP clocks advance uniformly.
+ * Shared by the in-process trainer and the socket worker, like the
+ * dense loop.
+ */
+WorkerStats run_worker_rounds(const ClusterConfig& config,
+                              const dataset::SparseProblem& problem,
                               std::size_t worker, Transport& transport,
                               std::atomic<std::uint64_t>* rounds_done);
 
@@ -134,6 +150,12 @@ ShardMetrics run_shard_node(const ClusterConfig& config, std::size_t dim,
 /// (index s = shard s). Blocks until the rounds are done.
 WorkerStats run_worker_node(const ClusterConfig& config,
                             const dataset::DenseProblem& problem,
+                            std::size_t worker,
+                            const std::vector<net::Address>& shard_addresses);
+
+/// Sparse-workload worker process (same fabric, sparse round loop).
+WorkerStats run_worker_node(const ClusterConfig& config,
+                            const dataset::SparseProblem& problem,
                             std::size_t worker,
                             const std::vector<net::Address>& shard_addresses);
 
@@ -169,11 +191,19 @@ void evaluate_model(const dataset::DenseProblem& problem, core::Loss loss,
                     const std::vector<float>& model, double* out_loss,
                     double* out_accuracy);
 
+/// Sparse evaluation: per-example dots through the registered sparse
+/// kernels over the CSR rows.
+void evaluate_model(const dataset::SparseProblem& problem, core::Loss loss,
+                    const std::vector<float>& model, double* out_loss,
+                    double* out_accuracy);
+
 /// Wraps final weights in the async-C DMGC provenance signature at the
 /// configured wire codec (what ParameterServer::checkpoint does, without
-/// needing a live server).
+/// needing a live server). `sparse` selects the sparse signature row
+/// (D32f i32 M32f with the async C term) for sparse-workload runs.
 core::SavedModel make_cluster_checkpoint(const ClusterConfig& config,
-                                         std::vector<float> weights);
+                                         std::vector<float> weights,
+                                         bool sparse = false);
 
 /// Static per-round push bytes (header + payload per shard slice) for
 /// the fixed-size codecs; 0 for the variable-bit CsQ tiers, whose
@@ -192,6 +222,14 @@ double fixed_bytes_per_round(const ClusterConfig& config, std::size_t dim);
  * @throws std::runtime_error on invalid config or a failed child.
  */
 ClusterResult train_cluster_multiprocess(const dataset::DenseProblem& problem,
+                                         const ClusterConfig& config);
+
+/// Multi-process training on a sparse (RCV1-style) workload: worker
+/// children run the sparse round loop and every push on the wire is a
+/// quantized sparse gradient. bytes_per_round is always measured from
+/// the encoded traffic (sparse payloads are nnz-dependent even at the
+/// fixed tiers).
+ClusterResult train_cluster_multiprocess(const dataset::SparseProblem& problem,
                                          const ClusterConfig& config);
 
 } // namespace buckwild::ps

@@ -225,6 +225,8 @@ class BitReader
         return v;
     }
 
+    std::size_t bit_position() const { return bit_; }
+
   private:
     const std::uint8_t* data_;
     std::size_t bit_;
@@ -315,6 +317,37 @@ decode_qsgd(const WireGradient& wire)
     return g;
 }
 
+/// Decodes the packed value run of `wire` — `count` values, which is the
+/// dimension for a dense gradient and the nnz for a sparse one. The
+/// value codecs are identical either way; only index decoding differs.
+std::vector<float>
+decode_values(const WireGradient& wire)
+{
+    validate_codec({wire.kind, wire.bits});
+    if (wire.kind == CodecKind::kQsgd) return decode_qsgd(wire);
+
+    if (!wire.norms.empty())
+        fatal("only CsQ wire gradients carry per-bucket norms");
+    const std::size_t n = wire.count;
+    if (wire.payload.size() != payload_bytes(n, wire.bits))
+        fatal("wire gradient payload size does not match its count");
+    std::vector<float> g(n);
+    if (wire.bits >= 32) {
+        if (n != 0) // empty sparse pushes have no payload to copy
+            std::memcpy(g.data(), wire.payload.data(), n * sizeof(float));
+    } else if (wire.bits == 8) {
+        for (std::size_t k = 0; k < n; ++k)
+            g[k] = static_cast<float>(
+                       static_cast<std::int8_t>(wire.payload[k])) *
+                   wire.scale;
+    } else {
+        for (std::size_t k = 0; k < n; ++k)
+            g[k] = (wire.payload[k / 8] >> (k % 8)) & 1u ? -wire.scale
+                                                         : wire.scale;
+    }
+    return g;
+}
+
 } // namespace
 
 std::vector<float>
@@ -356,28 +389,97 @@ encode_gradient(const float* g, std::size_t n, int bits, float* residual)
 std::vector<float>
 decode_gradient(const WireGradient& wire)
 {
-    validate_codec({wire.kind, wire.bits});
-    if (wire.kind == CodecKind::kQsgd) return decode_qsgd(wire);
-
-    if (!wire.norms.empty())
-        fatal("only CsQ wire gradients carry per-bucket norms");
-    const std::size_t n = wire.count;
-    if (wire.payload.size() != payload_bytes(n, wire.bits))
-        fatal("wire gradient payload size does not match its count");
-    std::vector<float> g(n);
-    if (wire.bits >= 32) {
-        std::memcpy(g.data(), wire.payload.data(), n * sizeof(float));
-    } else if (wire.bits == 8) {
-        for (std::size_t k = 0; k < n; ++k)
-            g[k] = static_cast<float>(
-                       static_cast<std::int8_t>(wire.payload[k])) *
-                   wire.scale;
-    } else {
-        for (std::size_t k = 0; k < n; ++k)
-            g[k] = (wire.payload[k / 8] >> (k % 8)) & 1u ? -wire.scale
-                                                         : wire.scale;
+    if (wire.sparse()) {
+        const SparseGradient s = decode_sparse_gradient(wire);
+        std::vector<float> g(s.dim, 0.0f);
+        for (std::size_t j = 0; j < s.nnz(); ++j)
+            g[s.index[j]] = s.value[j];
+        return g;
     }
-    return g;
+    return decode_values(wire);
+}
+
+WireGradient
+encode_sparse_gradient(const GradientView& view, const Codec& codec,
+                       float* residual, rng::Xorshift128Plus* rng)
+{
+    validate_codec(codec);
+    if (view.dim == 0)
+        fatal("sparse gradient dimension must be non-zero");
+    if (view.count == 0) {
+        // The empty push a sparse worker still sends per shard per round
+        // (its SSP clock must advance): a zero-length value run and no
+        // index stream. Built directly — an empty view's spans may be
+        // null, and the value codecs assume valid pointers. The scale
+        // matches what the codecs emit for a zero-length run.
+        WireGradient wire;
+        wire.kind = codec.kind;
+        wire.bits = codec.bits;
+        wire.count = 0;
+        wire.dim = view.dim;
+        if (codec.kind == CodecKind::kLinear) wire.scale = 1.0f;
+        return wire;
+    }
+    if (!view.sparse())
+        fatal("encode_sparse_gradient requires a sparse view");
+
+    // Normalize the view's index rep/mode to absolute u32 coordinates —
+    // the wire form is index-rep independent (always the gamma stream).
+    std::vector<std::uint32_t> index(view.count);
+    std::size_t j = 0;
+    view.for_each([&](std::size_t k, float) {
+        index[j++] = static_cast<std::uint32_t>(k);
+    });
+    for (std::size_t i = 1; i < index.size(); ++i)
+        if (index[i] <= index[i - 1])
+            fatal("sparse gradient indices must be strictly ascending");
+
+    // Value run: the same codec machinery as a dense gradient of length
+    // nnz — CsQ buckets norms over nnz runs, Cs8 scales over the nnz max.
+    WireGradient wire = encode_gradient(view.values, view.count, codec,
+                                        residual, rng);
+    wire.dim = view.dim;
+    BitWriter writer(wire.index_payload);
+    for (std::size_t i = 0; i < index.size(); ++i) {
+        const std::uint32_t gap =
+            i == 0 ? index[0] + 1 : index[i] - index[i - 1];
+        writer.put_gamma(gap);
+    }
+    return wire;
+}
+
+SparseGradient
+decode_sparse_gradient(const WireGradient& wire)
+{
+    if (!wire.sparse())
+        fatal("decode_sparse_gradient requires a sparse wire gradient");
+    SparseGradient s;
+    s.dim = wire.dim;
+    s.value = decode_values(wire);
+
+    const std::size_t nnz = wire.count;
+    s.index.resize(nnz);
+    if (nnz == 0) {
+        if (!wire.index_payload.empty())
+            fatal("empty sparse gradient carries index bytes");
+        return s;
+    }
+    BitReader reader(wire.index_payload.data(), wire.index_payload.size(),
+                     0);
+    std::uint64_t cursor = 0;
+    for (std::size_t i = 0; i < nnz; ++i) {
+        const std::uint32_t gap = reader.get_gamma(); // >= 1 by gamma
+        cursor = i == 0 ? static_cast<std::uint64_t>(gap) - 1
+                        : cursor + gap;
+        if (cursor >= s.dim)
+            fatal("sparse gradient index exceeds its dimension");
+        s.index[i] = static_cast<std::uint32_t>(cursor);
+    }
+    // The stream must fill the payload to its last byte — anything past
+    // bit padding is a wire-format violation, same as a truncated run.
+    if ((reader.bit_position() + 7) / 8 != wire.index_payload.size())
+        fatal("sparse gradient index payload has trailing bytes");
+    return s;
 }
 
 } // namespace buckwild::ps

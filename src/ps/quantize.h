@@ -41,6 +41,7 @@
 #include <string>
 #include <vector>
 
+#include "ps/gradient_view.h"
 #include "rng/xorshift.h"
 
 namespace buckwild::ps {
@@ -125,13 +126,39 @@ struct WireGradient
     /// bitmap followed by the Elias-gamma level bitstream (CsQ).
     std::vector<std::uint8_t> payload;
 
+    // ---- sparse extension (Cs*-sparse / CsQ*-sparse) ----
+
+    /// Sparse marker: the logical coordinate span the indices address.
+    /// 0 = dense (the pre-sparse wire format; `count` is the dimension).
+    /// Non-zero = sparse: `count` is the nnz, `payload`/`norms` cover
+    /// only the nnz value run, and `index_payload` locates each value.
+    std::uint32_t dim = 0;
+    /// Sparse only: Elias-gamma coded index stream — gamma(index0 + 1)
+    /// then gamma(index_j - index_{j-1}) for the strictly ascending
+    /// remainder (footnote 6's delta encoding, self-delimiting so i8-
+    /// narrow gaps cost 1 bit and wide gaps still fit).
+    std::vector<std::uint8_t> index_payload;
+
+    bool sparse() const { return dim != 0; }
+
     /// Bytes this message occupies on the wire (header + norms +
-    /// payload).
+    /// payload + sparse index stream).
     std::size_t wire_bytes() const
     {
         return kWireHeaderBytes + norms.size() * sizeof(float) +
-               payload.size();
+               payload.size() + index_payload.size();
     }
+};
+
+/// A sparse gradient in decoded form: absolute, strictly ascending
+/// coordinates over [0, dim) with their dequantized values.
+struct SparseGradient
+{
+    std::uint32_t dim = 0;
+    std::vector<std::uint32_t> index;
+    std::vector<float> value;
+
+    std::size_t nnz() const { return value.size(); }
 };
 
 /**
@@ -151,10 +178,36 @@ WireGradient encode_gradient(const float* g, std::size_t n,
 WireGradient encode_gradient(const float* g, std::size_t n, int bits,
                              float* residual);
 
-/// Unpacks a wire gradient back into dequantized float values.
+/// Unpacks a wire gradient back into dequantized float values. A sparse
+/// wire gradient densifies to its full `dim` coordinates.
 /// @throws std::runtime_error on a malformed payload (size mismatch,
 /// truncated bitstream, out-of-range level).
 std::vector<float> decode_gradient(const WireGradient& wire);
+
+/**
+ * Quantizes and packs a sparse gradient view: the nnz value run goes
+ * through the same codec machinery as a dense gradient of length nnz
+ * (so CsQ buckets its L2 norms over nnz runs, not coordinates), and the
+ * coordinates travel as the Elias-gamma index stream. The view may use
+ * any index rep/mode (i8/i16/i32, absolute or delta with padding
+ * entries); the wire form is always the gamma gap stream.
+ *
+ * `residual[0..view.count)` receives the per-entry quantization error,
+ * aligned with the view's stored entries (error feedback; padding
+ * entries get residual 0). `rng` as in encode_gradient().
+ *
+ * @throws std::runtime_error on a dense view, a non-ascending index
+ * stream, or an index >= view.dim.
+ */
+WireGradient encode_sparse_gradient(const GradientView& view,
+                                    const Codec& codec, float* residual,
+                                    rng::Xorshift128Plus* rng = nullptr);
+
+/// Unpacks a sparse wire gradient into absolute (index, value) form.
+/// Decoded values are bit-identical to what the encoder subtracted from
+/// its residual. @throws std::runtime_error on a dense wire gradient or
+/// a malformed index/value payload.
+SparseGradient decode_sparse_gradient(const WireGradient& wire);
 
 } // namespace buckwild::ps
 

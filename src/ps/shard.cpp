@@ -5,6 +5,7 @@
 
 #include "obs/obs.h"
 #include "obs/prom.h"
+#include "simd/sparse_ops.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 
@@ -32,6 +33,7 @@ ServerShard::ServerShard(std::size_t index, std::size_t begin,
     // The first push is acked under the RPC retransmit timeout; pay the
     // one-time kernel-registry resolution here, not on that deadline.
     simd::warm_dense_kernels();
+    simd::warm_sparse_kernels();
 }
 
 void
@@ -127,19 +129,39 @@ ServerShard::handle_push(Message&& push)
         return;
     }
 
-    if (push.gradient.count != size())
+    const bool sparse = push.gradient.sparse();
+    if (sparse ? push.gradient.dim != size()
+               : push.gradient.count != size())
         panic("push gradient does not match the shard slice");
-    const std::vector<float> gradient = decode_gradient(push.gradient);
 
-    // Apply through the same float AXPY kernel the Hogwild! trainer
-    // uses: w -= (eta / batch) * g.
+    // Apply through the registered kernels: the dense float AXPY the
+    // Hogwild! trainer uses, or — for a sparse push — the gather-scatter
+    // sparse AXPY over only the pushed coordinates: w -= (eta/batch) * g.
     Stopwatch apply;
-    {
+    const float c = -config_.step_size / static_cast<float>(config_.batch);
+    std::size_t applied_numbers = size();
+    if (sparse) {
+        const SparseGradient gradient =
+            decode_sparse_gradient(push.gradient);
+        {
+            obs::TracedSpan apply_span("ps", "shard.apply",
+                                       handler_span.ctx());
+            BUCKWILD_OBS_SPAN("ps", "shard.apply");
+            simd::SparseOps<std::uint32_t>::axpy(
+                config_.impl, weights_.data(), gradient.value.data(),
+                gradient.index.data(), gradient.nnz(), c,
+                simd::sparse::IndexMode::kAbsolute);
+        }
+        applied_numbers = gradient.nnz();
+        metrics_.sparse_nnz += gradient.nnz();
+        metrics_.sparse_bytes += push.gradient.wire_bytes();
+        BUCKWILD_OBS_COUNT("ps.sparse_nnz", gradient.nnz());
+        BUCKWILD_OBS_COUNT("ps.sparse_bytes", push.gradient.wire_bytes());
+    } else {
+        const std::vector<float> gradient = decode_gradient(push.gradient);
         obs::TracedSpan apply_span("ps", "shard.apply",
                                    handler_span.ctx());
         BUCKWILD_OBS_SPAN("ps", "shard.apply");
-        const float c =
-            -config_.step_size / static_cast<float>(config_.batch);
         simd::DenseOps<float, float>::axpy(config_.impl, weights_.data(),
                                            gradient.data(), size(), c, 1.0f,
                                            1.0f, simd::biased_unit());
@@ -152,7 +174,7 @@ ServerShard::handle_push(Message&& push)
     clocks_[push.worker] = push.clock;
     ++metrics_.pushes;
     metrics_.push_bytes += push.gradient.wire_bytes();
-    metrics_.numbers += static_cast<double>(size());
+    metrics_.numbers += static_cast<double>(applied_numbers);
     if (metrics_.staleness_counts.size() <= lead)
         metrics_.staleness_counts.resize(lead + 1, 0);
     ++metrics_.staleness_counts[lead];

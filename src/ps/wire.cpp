@@ -137,6 +137,9 @@ serialized_bytes(const Message& message)
     return kFixedBytes + 4 + message.gradient.norms.size() * 4 + 4 +
            message.gradient.payload.size() + 4 +
            message.weights.size() * 4 + 4 + message.stats.size() * 8 +
+           (message.gradient.sparse()
+                ? 8 + message.gradient.index_payload.size()
+                : 0) +
            (message.trace.ctx.valid() ? obs::kTraceBlockBytes : 0);
 }
 
@@ -146,7 +149,9 @@ serialize_message(const Message& message)
     std::vector<std::uint8_t> out;
     out.reserve(serialized_bytes(message));
     out.push_back(static_cast<std::uint8_t>(message.kind));
-    out.push_back(message.accepted ? 1 : 0);
+    out.push_back(static_cast<std::uint8_t>(
+        (message.accepted ? 1u : 0u) |
+        (message.gradient.sparse() ? 2u : 0u)));
     out.push_back(static_cast<std::uint8_t>(message.gradient.kind));
     out.push_back(static_cast<std::uint8_t>(message.gradient.bits));
     put_u32(out, message.sender);
@@ -166,6 +171,15 @@ serialize_message(const Message& message)
     for (const float w : message.weights) put_f32(out, w);
     put_u32(out, static_cast<std::uint32_t>(message.stats.size()));
     for (const double s : message.stats) put_f64(out, s);
+    // The sparse extension is flag-gated, so dense frames stay
+    // byte-identical to the pre-sparse wire format.
+    if (message.gradient.sparse()) {
+        put_u32(out, message.gradient.dim);
+        put_u32(out, static_cast<std::uint32_t>(
+                         message.gradient.index_payload.size()));
+        out.insert(out.end(), message.gradient.index_payload.begin(),
+                   message.gradient.index_payload.end());
+    }
     // The optional trace block rides strictly last and only when a
     // context exists, so tracing-off output is byte-identical to the
     // pre-trace wire format.
@@ -188,6 +202,10 @@ deserialize_message(const std::uint8_t* data, std::size_t n, Message& out)
         return false;
     if (codec_kind > static_cast<std::uint8_t>(CodecKind::kQsgd))
         return false;
+    // Unknown flag bits fail the parse — a frame from a future format
+    // revision must not be silently misread as today's layout.
+    if ((flags & ~0x3u) != 0) return false;
+    const bool sparse = (flags & 2u) != 0;
     out.kind = static_cast<Message::Kind>(kind);
     out.accepted = (flags & 1u) != 0;
     out.gradient.kind = static_cast<CodecKind>(codec_kind);
@@ -206,6 +224,16 @@ deserialize_message(const std::uint8_t* data, std::size_t n, Message& out)
     }
     if (!read_array(reader, out.weights, &Reader::f32)) return false;
     if (!read_array(reader, out.stats, &Reader::f64)) return false;
+    out.gradient.dim = 0;
+    out.gradient.index_payload.clear();
+    if (sparse) {
+        std::uint32_t index_size = 0;
+        if (!reader.u32(&out.gradient.dim)) return false;
+        if (out.gradient.dim == 0) return false;
+        if (!reader.u32(&index_size)) return false;
+        if (!reader.bytes(&out.gradient.index_payload, index_size))
+            return false;
+    }
     // Trailing bytes are legal in exactly one shape: one well-formed
     // trace block. An old-format frame ends here (no context); anything
     // else — truncation, a lone pad byte, a corrupt block — stays a

@@ -7,7 +7,9 @@
  *
  *     offset  size  field
  *     0       1     message kind (Message::Kind)
- *     1       1     flags (bit0 = accepted)
+ *     1       1     flags (bit0 = accepted, bit1 = sparse gradient;
+ *                   any other bit set fails the parse, versioning the
+ *                   format against silent reinterpretation)
  *     2       1     gradient codec kind (CodecKind)
  *     3       1     gradient codec bits
  *     4       4     sender endpoint
@@ -15,12 +17,21 @@
  *     12      8     token
  *     20      8     clock
  *     28      8     version
- *     36      4     gradient count
+ *     36      4     gradient count (dimension when dense, nnz when
+ *                   sparse)
  *     40      4     gradient scale (IEEE-754 float bits)
  *     44      4     norm count N, then N * 4 bytes of float norms
  *     ...     4     payload size P, then P payload bytes
  *     ...     4     weight count W, then W * 4 bytes of float weights
  *     ...     4     stats count K, then K * 8 bytes of double stats
+ *     ...     8+X   ONLY when flags bit1 is set (the sparse-push
+ *                   extension): gradient dimension (u32, non-zero),
+ *                   then index payload size X (u32) and X bytes of the
+ *                   Elias-gamma index-gap stream (ps/quantize.h). A
+ *                   dense message emits nothing here, so every
+ *                   pre-sparse frame is byte-identical and parses in
+ *                   old binaries; sparse frames are rejected by old
+ *                   parsers (unknown flag) rather than misread.
  *     ...     58    OPTIONAL trailing trace block (obs/tracectx.h):
  *                   present only when the message carries a valid
  *                   TraceContext, so tracing-off frames are

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Per-workload-kind facts shared by the cluster assemblers — the small
+ * surface on which dense and sparse problems differ, so the trainer and
+ * the fork choreography are each written once and templated over the
+ * problem type.
+ */
+#ifndef BUCKWILD_PS_WORKLOAD_H
+#define BUCKWILD_PS_WORKLOAD_H
+
+#include <cstddef>
+
+#include "dataset/problem.h"
+
+namespace buckwild::ps::detail {
+
+inline std::size_t
+example_count(const dataset::DenseProblem& problem)
+{
+    return problem.examples;
+}
+
+inline std::size_t
+example_count(const dataset::SparseProblem& problem)
+{
+    return problem.examples();
+}
+
+/// Gradient numbers one example contributes: the full dimension for a
+/// dense row, the mean nnz for a sparse one.
+inline double
+numbers_per_example(const dataset::DenseProblem& problem)
+{
+    return static_cast<double>(problem.dim);
+}
+
+inline double
+numbers_per_example(const dataset::SparseProblem& problem)
+{
+    return static_cast<double>(problem.nnz()) /
+           static_cast<double>(problem.examples());
+}
+
+constexpr bool
+is_sparse_workload(const dataset::DenseProblem&)
+{
+    return false;
+}
+
+constexpr bool
+is_sparse_workload(const dataset::SparseProblem&)
+{
+    return true;
+}
+
+} // namespace buckwild::ps::detail
+
+#endif // BUCKWILD_PS_WORKLOAD_H

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Sparse kernel registration and per-index-rep vtable resolution.
+ *
+ * Two backends (reference scalar, unrolled "avx2 tier") x three index
+ * reps (i8 / i16 / i32) x {dot, axpy} register into the KernelLibrary
+ * under stable op names with the normalized SparseOps signatures. The
+ * unrolled tier only applies to absolute index streams — delta decoding
+ * carries a loop dependence — so its adapters fall back to the scalar
+ * loop for IndexMode::kDelta rather than mis-decoding.
+ */
+#include "simd/sparse_ops.h"
+
+namespace buckwild::simd {
+
+namespace {
+
+template <typename I>
+float
+ref_dot(const float* val, const I* idx, std::size_t nnz, const float* w,
+        float scale, sparse::IndexMode mode)
+{
+    return sparse::dot<float, float, I>(val, idx, nnz, w, scale, mode);
+}
+
+template <typename I>
+void
+ref_axpy(float* w, const float* val, const I* idx, std::size_t nnz,
+         float c, sparse::IndexMode mode)
+{
+    sparse::axpy<float, float, I>(w, val, idx, nnz, FixedScalar{0, 0}, c,
+                                  biased_unit(), mode);
+}
+
+template <typename I>
+float
+unrolled_dot(const float* val, const I* idx, std::size_t nnz,
+             const float* w, float scale, sparse::IndexMode mode)
+{
+    if (mode == sparse::IndexMode::kDelta)
+        return sparse::dot<float, float, I>(val, idx, nnz, w, scale, mode);
+    return sparse::dot_unrolled<float, float, I>(val, idx, nnz, w, scale);
+}
+
+/// 4-way unrolled scatter. The stores stay in program order (each
+/// statement is a separate read-modify-write), so duplicate indices —
+/// which the gradient path never produces, but the contract tolerates —
+/// still apply sequentially.
+template <typename I>
+void
+unrolled_axpy(float* w, const float* val, const I* idx, std::size_t nnz,
+              float c, sparse::IndexMode mode)
+{
+    if (mode == sparse::IndexMode::kDelta) {
+        ref_axpy<I>(w, val, idx, nnz, c, mode);
+        return;
+    }
+    std::size_t j = 0;
+    for (; j + 4 <= nnz; j += 4) {
+        w[idx[j]] += c * val[j];
+        w[idx[j + 1]] += c * val[j + 1];
+        w[idx[j + 2]] += c * val[j + 2];
+        w[idx[j + 3]] += c * val[j + 3];
+    }
+    for (; j < nnz; ++j) w[idx[j]] += c * val[j];
+}
+
+template <typename I>
+void
+register_index_rep(KernelLibrary& lib)
+{
+    lib.add(SparseIndexNames<I>::dot, Impl::kReference,
+            reinterpret_cast<void*>(&ref_dot<I>), nullptr);
+    lib.add(SparseIndexNames<I>::axpy, Impl::kReference,
+            reinterpret_cast<void*>(&ref_axpy<I>), nullptr);
+    // The unrolled tier is portable C++ (no intrinsics — sparse access
+    // is gather bound), registered under kAvx2 so forced-tier sweeps and
+    // the fallback chain treat it like the dense hand-optimized tier.
+    lib.add(SparseIndexNames<I>::dot, Impl::kAvx2,
+            reinterpret_cast<void*>(&unrolled_dot<I>), nullptr);
+    lib.add(SparseIndexNames<I>::axpy, Impl::kAvx2,
+            reinterpret_cast<void*>(&unrolled_axpy<I>), nullptr);
+}
+
+} // namespace
+
+void
+register_sparse_kernels()
+{
+    static const bool once = [] {
+        KernelLibrary& lib = KernelLibrary::instance();
+        register_index_rep<std::uint8_t>(lib);
+        register_index_rep<std::uint16_t>(lib);
+        register_index_rep<std::uint32_t>(lib);
+        return true;
+    }();
+    (void)once;
+}
+
+template <typename I>
+const typename SparseOps<I>::Vtable&
+SparseOps<I>::vtable()
+{
+    static const Vtable vt = [] {
+        register_sparse_kernels();
+        const KernelLibrary& lib = KernelLibrary::instance();
+        Vtable t;
+        for (Impl impl : kAllImpls) {
+            t.dot[impl_index(impl)] =
+                lib.get<DotFn>(SparseIndexNames<I>::dot, impl);
+            t.axpy[impl_index(impl)] =
+                lib.get<AxpyFn>(SparseIndexNames<I>::axpy, impl);
+        }
+        return t;
+    }();
+    return vt;
+}
+
+template const SparseOps<std::uint8_t>::Vtable&
+SparseOps<std::uint8_t>::vtable();
+template const SparseOps<std::uint16_t>::Vtable&
+SparseOps<std::uint16_t>::vtable();
+template const SparseOps<std::uint32_t>::Vtable&
+SparseOps<std::uint32_t>::vtable();
+
+void
+warm_sparse_kernels()
+{
+    (void)SparseOps<std::uint8_t>::vtable();
+    (void)SparseOps<std::uint16_t>::vtable();
+    (void)SparseOps<std::uint32_t>::vtable();
+}
+
+} // namespace buckwild::simd

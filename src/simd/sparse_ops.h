@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Registry facade for the sparse gradient kernels.
+ *
+ * The sparse path of the cluster tier (worker minibatch dots, shard
+ * gather-scatter applies, serve-side sparse scoring) works on float
+ * values against a float model, with the *index stream* stored at one of
+ * the lowp index precisions (i8 / i16 / i32, absolute or delta-encoded —
+ * paper §3 + footnote 6). SparseOps<I> mirrors DenseOps: per-index-rep
+ * vtables of registry-resolved function pointers, one slot per `Impl`,
+ * resolved once per process, so the hot path is a single indirect call.
+ *
+ * Variant tiers (sparse kernels are gather/scatter bound, so the ladder
+ * is short — Fig 4b is exactly the warning that wide SIMD can lose here):
+ *   - kReference: the scalar loops from simd/sparse_kernels.h (the
+ *     semantic contract; double accumulation for dot);
+ *   - kAvx2: the "hand-optimized" tier — 4-way unrolled independent
+ *     accumulators for absolute indices, falling back to the scalar loop
+ *     for delta streams (gap decoding carries a loop dependence).
+ * Both tiers are portable C++; the kAvx2 registration exists so the
+ * forced-tier comparator and fuzz sweeps exercise the unrolled path like
+ * every dense op, and so a genuinely vectorized gather variant can slot
+ * in later without touching callers.
+ */
+#ifndef BUCKWILD_SIMD_SPARSE_OPS_H
+#define BUCKWILD_SIMD_SPARSE_OPS_H
+
+#include <cstddef>
+#include <cstdint>
+
+#include "simd/registry.h"
+#include "simd/sparse_kernels.h"
+
+namespace buckwild::simd {
+
+template <typename I>
+struct SparseOps
+{
+    /// Registry-normalized signatures. `scale` multiplies the dot result
+    /// (1.0 for plain float gradients); `c` is the AXPY coefficient in
+    /// w[k] += c * val[j]. The index stream decodes per `mode`.
+    using DotFn = float (*)(const float*, const I*, std::size_t,
+                            const float*, float, sparse::IndexMode);
+    using AxpyFn = void (*)(float*, const float*, const I*, std::size_t,
+                            float, sparse::IndexMode);
+
+    struct Vtable
+    {
+        DotFn dot[kImplCount];
+        AxpyFn axpy[kImplCount];
+    };
+
+    /// The per-index-rep kernel table, resolved once per process from
+    /// the KernelLibrary (defined in sparse_ops.cpp for i8/i16/i32).
+    static const Vtable& vtable();
+
+    static float
+    dot(Impl impl, const float* val, const I* idx, std::size_t nnz,
+        const float* w, float scale, sparse::IndexMode mode)
+    {
+        return vtable().dot[impl_index(impl)](val, idx, nnz, w, scale,
+                                              mode);
+    }
+
+    static void
+    axpy(Impl impl, float* w, const float* val, const I* idx,
+         std::size_t nnz, float c, sparse::IndexMode mode)
+    {
+        vtable().axpy[impl_index(impl)](w, val, idx, nnz, c, mode);
+    }
+
+    // Ambient dispatch: the per-process resolver's pick, honoring the
+    // BUCKWILD_KERNEL_IMPL / force_impl() override at call time.
+    static float
+    dot(const float* val, const I* idx, std::size_t nnz, const float* w,
+        float scale, sparse::IndexMode mode)
+    {
+        return dot(best_impl(), val, idx, nnz, w, scale, mode);
+    }
+
+    static void
+    axpy(float* w, const float* val, const I* idx, std::size_t nnz,
+         float c, sparse::IndexMode mode)
+    {
+        axpy(best_impl(), w, val, idx, nnz, c, mode);
+    }
+};
+
+/// Registers the sparse op family ("simd.sparse.dot_i8", ...) into the
+/// KernelLibrary. Idempotent, called implicitly by vtable resolution.
+void register_sparse_kernels();
+
+/// Resolves every SparseOps<I> vtable now — same rationale as
+/// warm_dense_kernels(): keep one-time registration out of RPC deadlines.
+void warm_sparse_kernels();
+
+/// Registry op names per index rep ("simd.sparse.dot_i8", ...), for
+/// sweeps that pair a vtable with its library entries.
+template <typename I>
+struct SparseIndexNames;
+
+#define BUCKWILD_SPARSE_INDEX_NAMES(I, SUFFIX)                             \
+    template <>                                                            \
+    struct SparseIndexNames<I>                                             \
+    {                                                                      \
+        static constexpr const char* suffix = #SUFFIX;                     \
+        static constexpr const char* dot = "simd.sparse.dot_" #SUFFIX;     \
+        static constexpr const char* axpy = "simd.sparse.axpy_" #SUFFIX;   \
+    };
+
+BUCKWILD_SPARSE_INDEX_NAMES(std::uint8_t, i8)
+BUCKWILD_SPARSE_INDEX_NAMES(std::uint16_t, i16)
+BUCKWILD_SPARSE_INDEX_NAMES(std::uint32_t, i32)
+
+#undef BUCKWILD_SPARSE_INDEX_NAMES
+
+} // namespace buckwild::simd
+
+#endif // BUCKWILD_SIMD_SPARSE_OPS_H

@@ -25,9 +25,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <cstring>
+#include <limits>
 #include <string>
 #include <type_traits>
 #include <vector>
@@ -39,6 +41,7 @@
 #include "simd/fixed_scalar.h"
 #include "simd/ops.h"
 #include "simd/registry.h"
+#include "simd/sparse_ops.h"
 #include "util/aligned_buffer.h"
 
 namespace buckwild::testutil {
@@ -365,6 +368,173 @@ compare_dense_pair()
                     }
                 }
             }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Sparse index-rep comparator
+// ---------------------------------------------------------------------
+
+namespace detail {
+
+/// One generated sparse stream: stored indices (absolute coordinates or
+/// delta gaps), matching values, and the model span they address.
+template <typename I>
+struct SparseStream
+{
+    AlignedBuffer<I> index;
+    AlignedBuffer<float> value;
+    std::size_t dim = 1;
+
+    SparseStream(std::size_t count, std::size_t off)
+        : index(count + off), value(count + off)
+    {}
+};
+
+/// Distinct strictly-ascending absolute coordinates that fit the index
+/// rep — the shape a CSR row slice has after range splitting.
+template <typename I>
+SparseStream<I>
+sparse_absolute_stream(std::size_t nnz, std::size_t off,
+                       std::uint32_t seed)
+{
+    constexpr std::size_t kMaxIndex = std::numeric_limits<I>::max();
+    SparseStream<I> stream(nnz, off);
+    rng::Xorshift128 gen(seed);
+    const std::size_t limit =
+        std::min<std::size_t>(kMaxIndex, 4 * nnz + 64);
+    const std::size_t gap_cap =
+        nnz > 0 && limit >= 2 * nnz
+            ? std::max<std::size_t>(1, limit / nnz - 1)
+            : 1;
+    std::size_t cursor = 0;
+    for (std::size_t j = 0; j < nnz; ++j) {
+        cursor += j == 0 ? gen() % gap_cap : 1 + gen() % gap_cap;
+        stream.index[off + j] = static_cast<I>(cursor);
+        stream.value[off + j] = rng::to_unit_float(gen()) * 2.0f - 1.0f;
+    }
+    stream.dim = cursor + 1;
+    return stream;
+}
+
+/// Delta-encoded gap stream replicating the dataset builder's padding
+/// rule: a gap wider than the rep becomes explicit max-gap entries with
+/// zero values (the i8 edge case the paper's footnote 6 implies). The
+/// padding gap is the rep's exact maximum for i8/i16; capped for i32,
+/// where padding never occurs in practice but large gaps still must
+/// decode.
+template <typename I>
+SparseStream<I>
+sparse_delta_stream(std::size_t count, std::size_t off,
+                    std::uint32_t seed)
+{
+    constexpr std::size_t kMaxIndex = std::numeric_limits<I>::max();
+    const std::size_t pad_gap = std::min<std::size_t>(kMaxIndex, 65536);
+    SparseStream<I> stream(count, off);
+    rng::Xorshift128 gen(seed);
+    // A handful of padding entries per stream, bounded so the model span
+    // (and the comparator's model buffers) stay small at large counts.
+    const std::size_t pad_stride = std::max<std::size_t>(5, count / 4);
+    std::size_t cursor = 0;
+    for (std::size_t j = 0; j < count; ++j) {
+        const bool padding = j % pad_stride == pad_stride - 1;
+        const std::size_t gap = padding ? pad_gap
+                                : j == 0 ? gen() % 3
+                                         : 1 + gen() % 19;
+        cursor += gap;
+        stream.index[off + j] = static_cast<I>(gap);
+        stream.value[off + j] =
+            padding ? 0.0f : rng::to_unit_float(gen()) * 2.0f - 1.0f;
+    }
+    stream.dim = cursor + 1;
+    return stream;
+}
+
+} // namespace detail
+
+/**
+ * Sweeps every runnable registered variant of one index rep's sparse dot
+ * and AXPY against the reference over nnz = comparator_dims() (0..129
+ * plus large) x kComparatorOffsets, in both index modes: absolute
+ * coordinates (when nnz distinct coordinates fit the rep) and
+ * delta-encoded gaps with builder-style max-gap zero padding (the i8
+ * gap-overflow edge case).
+ */
+template <typename I>
+void
+compare_sparse_index_rep()
+{
+    using Ops = simd::SparseOps<I>;
+    using Names = simd::SparseIndexNames<I>;
+    using DotFn = typename Ops::DotFn;
+    using AxpyFn = typename Ops::AxpyFn;
+
+    simd::register_sparse_kernels();
+    const auto& lib = simd::KernelLibrary::instance();
+    const auto dots = comparator_variants<DotFn>(Names::dot);
+    const auto axpys = comparator_variants<AxpyFn>(Names::axpy);
+    ASSERT_FALSE(dots.empty()) << Names::dot;
+    ASSERT_FALSE(axpys.empty()) << Names::axpy;
+    const DotFn ref_dot =
+        lib.get<DotFn>(Names::dot, simd::Impl::kReference);
+    const AxpyFn ref_axpy =
+        lib.get<AxpyFn>(Names::axpy, simd::Impl::kReference);
+
+    constexpr std::size_t kMaxIndex = std::numeric_limits<I>::max();
+    constexpr float kCs[] = {0.5f, -0.25f, 1.5f, -1.9f, 0.03f, 0.9f};
+
+    const auto sweep = [&](const auto& stream, std::size_t count,
+                           std::size_t off, std::uint32_t seed,
+                           simd::sparse::IndexMode mode,
+                           const char* mode_tag) {
+        const float c = kCs[(count + off) % 6];
+        const auto wbuf = comparator_floats(
+            stream.dim + off, seed + 7);
+        const float* val = stream.value.data() + off;
+        const I* idx = stream.index.data() + off;
+
+        const float r =
+            ref_dot(val, idx, count, wbuf.data() + off, 1.0f, mode);
+        for (const auto& [impl, fn] : dots) {
+            const float v =
+                fn(val, idx, count, wbuf.data() + off, 1.0f, mode);
+            EXPECT_NEAR(r, v,
+                        1e-4f * (static_cast<float>(count) + 1.0f) +
+                            std::fabs(r) * 1e-4f + 1e-3f)
+                << Names::dot << " " << simd::to_string(impl) << " "
+                << mode_tag << " nnz=" << count << " off=" << off;
+        }
+
+        auto w_ref = wbuf;
+        ref_axpy(w_ref.data() + off, val, idx, count, c, mode);
+        for (const auto& [impl, fn] : axpys) {
+            auto w_var = wbuf;
+            fn(w_var.data() + off, val, idx, count, c, mode);
+            expect_span_near(w_ref.data() + off, w_var.data() + off,
+                             stream.dim, 1e-5,
+                             std::string(Names::axpy) + " " +
+                                 simd::to_string(impl) + " " + mode_tag +
+                                 " nnz=" + std::to_string(count) +
+                                 " off=" + std::to_string(off));
+        }
+    };
+
+    for (std::size_t nnz : comparator_dims()) {
+        for (std::size_t off : kComparatorOffsets) {
+            const auto s =
+                static_cast<std::uint32_t>(0xC2B2AE35u * nnz + 31u * off);
+            // Absolute coordinates only when nnz distinct ones fit.
+            if (nnz <= kMaxIndex + 1) {
+                const auto stream =
+                    detail::sparse_absolute_stream<I>(nnz, off, s + 1);
+                sweep(stream, nnz, off, s + 1,
+                      simd::sparse::IndexMode::kAbsolute, "abs");
+            }
+            const auto stream =
+                detail::sparse_delta_stream<I>(nnz, off, s + 2);
+            sweep(stream, nnz, off, s + 2,
+                  simd::sparse::IndexMode::kDelta, "delta");
         }
     }
 }

@@ -56,6 +56,36 @@ cluster_problem()
     return kProblem;
 }
 
+/// The canonical sparse cluster-training problem: an RCV1-style
+/// synthetic libsvm workload (256 dims x 1024 examples at 5% density,
+/// seed 77), cached like cluster_problem().
+inline const dataset::SparseProblem&
+sparse_cluster_problem()
+{
+    static const auto kProblem =
+        dataset::generate_logistic_sparse(256, 1024, 0.05, 77);
+    return kProblem;
+}
+
+/// The same examples expanded to a row-major DenseProblem, so sparse
+/// runs can be scored against the dense path on identical data.
+inline dataset::DenseProblem
+densify(const dataset::SparseProblem& sparse)
+{
+    dataset::DenseProblem dense;
+    dense.dim = sparse.dim;
+    dense.examples = sparse.examples();
+    dense.y = sparse.y;
+    dense.w_true = sparse.w_true;
+    dense.x.assign(dense.examples * dense.dim, 0.0f);
+    for (std::size_t i = 0; i < dense.examples; ++i) {
+        const auto& row = sparse.rows[i];
+        for (std::size_t j = 0; j < row.index.size(); ++j)
+            dense.x[i * dense.dim + row.index[j]] = row.value[j];
+    }
+    return dense;
+}
+
 /// Synthetic digits as a binary DenseProblem (digit >= 5 labeled +1) —
 /// the conversion test_serve and the serving CLI both use.
 inline dataset::DenseProblem

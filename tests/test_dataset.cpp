@@ -84,6 +84,43 @@ TEST(LogisticSparse, DensityAndSortedDistinctIndices)
     EXPECT_EQ(p.nnz(), 3000u);
 }
 
+TEST(LogisticSparse, StatsSummarizeDensity)
+{
+    const auto p = generate_logistic_sparse(1000, 100, 0.03, 5);
+    const auto stats = dataset::sparse_stats(p);
+    EXPECT_EQ(stats.examples, 100u);
+    EXPECT_EQ(stats.dim, 1000u);
+    EXPECT_EQ(stats.nnz, 3000u);
+    EXPECT_EQ(stats.min_row_nnz, 30u);
+    EXPECT_EQ(stats.max_row_nnz, 30u);
+    EXPECT_DOUBLE_EQ(stats.mean_row_nnz, 30.0);
+    EXPECT_DOUBLE_EQ(stats.density, 0.03);
+}
+
+TEST(LogisticSparse, StatsHandleRaggedAndEmptyProblems)
+{
+    dataset::SparseProblem p;
+    p.dim = 16;
+    const auto empty = dataset::sparse_stats(p);
+    EXPECT_EQ(empty.examples, 0u);
+    EXPECT_EQ(empty.nnz, 0u);
+    EXPECT_DOUBLE_EQ(empty.density, 0.0);
+
+    p.rows.resize(3);
+    p.y.assign(3, 1.0f);
+    p.rows[0].index = {1, 5};
+    p.rows[0].value = {1.0f, 2.0f};
+    p.rows[1].index = {}; // an all-zero example
+    p.rows[2].index = {0, 3, 7, 9};
+    p.rows[2].value = {1.0f, 1.0f, 1.0f, 1.0f};
+    const auto ragged = dataset::sparse_stats(p);
+    EXPECT_EQ(ragged.nnz, 6u);
+    EXPECT_EQ(ragged.min_row_nnz, 0u);
+    EXPECT_EQ(ragged.max_row_nnz, 4u);
+    EXPECT_DOUBLE_EQ(ragged.mean_row_nnz, 2.0);
+    EXPECT_DOUBLE_EQ(ragged.density, 2.0 / 16.0);
+}
+
 TEST(LogisticSparse, RejectsBadDensity)
 {
     EXPECT_THROW(generate_logistic_sparse(10, 10, 0.0, 1),

@@ -11,6 +11,7 @@
 #include "buckwild/buckwild.h"
 #include "core/model_io.h"
 #include "dataset/libsvm.h"
+#include "test_common.h"
 
 namespace buckwild {
 namespace {
@@ -93,6 +94,38 @@ TEST(Libsvm, SaveLoadRoundTrip)
         for (std::size_t j = 0; j < original.rows[i].value.size(); ++j)
             EXPECT_NEAR(reloaded.rows[i].value[j],
                         original.rows[i].value[j], 1e-5f);
+    }
+}
+
+TEST(Libsvm, FileSaveLoadRoundTripPreservesStats)
+{
+    // The on-disk variant the sparse cluster tools use, checked through
+    // the density summary: save -> load must preserve every nnz count.
+    const auto original =
+        dataset::generate_logistic_sparse(200, 64, 0.04, 46);
+    const auto before = dataset::sparse_stats(original);
+    EXPECT_EQ(before.examples, 64u);
+    EXPECT_EQ(before.dim, 200u);
+    EXPECT_EQ(before.nnz, original.nnz());
+    // ceil(0.04 * 200) = 8 nonzeros in every generated row.
+    EXPECT_EQ(before.min_row_nnz, 8u);
+    EXPECT_EQ(before.max_row_nnz, 8u);
+    EXPECT_DOUBLE_EQ(before.mean_row_nnz, 8.0);
+    EXPECT_DOUBLE_EQ(before.density, 8.0 / 200.0);
+
+    testutil::TempFile file("libsvm_roundtrip");
+    dataset::save_libsvm_file(original, file.path());
+    const auto reloaded =
+        dataset::load_libsvm_file(file.path(), original.dim);
+    const auto after = dataset::sparse_stats(reloaded);
+    EXPECT_EQ(after.examples, before.examples);
+    EXPECT_EQ(after.dim, before.dim);
+    EXPECT_EQ(after.nnz, before.nnz);
+    EXPECT_EQ(after.min_row_nnz, before.min_row_nnz);
+    EXPECT_EQ(after.max_row_nnz, before.max_row_nnz);
+    for (std::size_t i = 0; i < original.examples(); ++i) {
+        EXPECT_EQ(reloaded.y[i], original.y[i]);
+        ASSERT_EQ(reloaded.rows[i].index, original.rows[i].index);
     }
 }
 

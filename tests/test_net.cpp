@@ -400,6 +400,168 @@ TEST(NetWire, TraceBlockTruncationSweep)
         ps::deserialize_message(padded.data(), padded.size(), out));
 }
 
+/// A sparse Cs8 push with a known encoding (see SparseCs8MessageBytes
+/// for the byte-level walk-through).
+Message
+sample_sparse_push()
+{
+    Message m;
+    m.kind = ps::Message::Kind::kPush;
+    m.accepted = false;
+    m.sender = 2;
+    m.worker = 3;
+    m.token = 0x0102030405060708ull;
+    m.clock = 9;
+    m.version = 10;
+    const float value[2] = {127.0f, -127.0f};
+    const std::uint32_t index[2] = {3, 10};
+    const ps::GradientView view = ps::GradientView::sparse_view(
+        value, index, 2, /*dim=*/32, simd::sparse::IndexMode::kAbsolute);
+    m.gradient = ps::encode_sparse_gradient(view, ps::Codec::from_bits(8),
+                                            nullptr);
+    return m;
+}
+
+TEST(NetWire, SparsePushRoundTripsThroughSerialization)
+{
+    const Message m = sample_sparse_push();
+    ASSERT_TRUE(m.gradient.sparse());
+    const std::vector<std::uint8_t> bytes = ps::serialize_message(m);
+    EXPECT_EQ(bytes.size(), ps::serialized_bytes(m));
+
+    Message out;
+    ASSERT_TRUE(ps::deserialize_message(bytes.data(), bytes.size(), out));
+    EXPECT_EQ(out.gradient.dim, m.gradient.dim);
+    EXPECT_EQ(out.gradient.count, m.gradient.count);
+    EXPECT_EQ(out.gradient.index_payload, m.gradient.index_payload);
+    EXPECT_EQ(out.gradient.payload, m.gradient.payload);
+
+    // Cross-process bit identity of the sparse decode.
+    const ps::SparseGradient a = ps::decode_sparse_gradient(m.gradient);
+    const ps::SparseGradient b = ps::decode_sparse_gradient(out.gradient);
+    EXPECT_EQ(a.index, b.index);
+    EXPECT_EQ(a.value, b.value);
+    EXPECT_EQ(a.index, (std::vector<std::uint32_t>{3, 10}));
+    EXPECT_EQ(a.value, (std::vector<float>{127.0f, -127.0f}));
+}
+
+TEST(NetWire, SparsePushTruncationSweep)
+{
+    // Without a trace block only the full frame parses: a cut at the
+    // pre-sparse base layout still has flags bit1 set, so the missing
+    // sparse block fails the parse instead of silently reading dense.
+    Message m = sample_sparse_push();
+    const std::vector<std::uint8_t> plain = ps::serialize_message(m);
+    Message out;
+    for (std::size_t n = 0; n < plain.size(); ++n)
+        EXPECT_FALSE(ps::deserialize_message(plain.data(), n, out))
+            << "accepted a " << n << "-byte prefix";
+    ASSERT_TRUE(
+        ps::deserialize_message(plain.data(), plain.size(), out));
+    EXPECT_TRUE(out.gradient.sparse());
+
+    // With a trace block: exactly two parse points, the traceless sparse
+    // frame and the full frame — same contract as the dense sweep.
+    m.trace.ctx = obs::make_root_context();
+    m.trace.send_ts_ns = 42;
+    const std::vector<std::uint8_t> traced = ps::serialize_message(m);
+    const std::size_t base = traced.size() - obs::kTraceBlockBytes;
+    for (std::size_t n = 0; n <= traced.size(); ++n) {
+        const bool ok = ps::deserialize_message(traced.data(), n, out);
+        if (n == base) {
+            EXPECT_TRUE(ok) << "traceless sparse frame must stay parseable";
+            EXPECT_TRUE(out.gradient.sparse());
+            EXPECT_FALSE(out.trace.ctx.valid());
+        } else if (n == traced.size()) {
+            EXPECT_TRUE(ok);
+            EXPECT_TRUE(out.gradient.sparse());
+            EXPECT_TRUE(out.trace.ctx.valid());
+        } else {
+            EXPECT_FALSE(ok) << "accepted a " << n << "-byte prefix";
+        }
+    }
+
+    // Trailing garbage after the sparse block, a zero dimension, and an
+    // unknown flag bit are each a parse failure, not a guess.
+    std::vector<std::uint8_t> padded = plain;
+    padded.push_back(0);
+    EXPECT_FALSE(
+        ps::deserialize_message(padded.data(), padded.size(), out));
+    std::vector<std::uint8_t> zero_dim = plain;
+    const std::size_t dim_at =
+        plain.size() - 8 - m.gradient.index_payload.size();
+    std::fill(zero_dim.begin() + static_cast<long>(dim_at),
+              zero_dim.begin() + static_cast<long>(dim_at) + 4, 0);
+    EXPECT_FALSE(
+        ps::deserialize_message(zero_dim.data(), zero_dim.size(), out));
+    std::vector<std::uint8_t> bad_flags = plain;
+    bad_flags[1] |= 4;
+    EXPECT_FALSE(
+        ps::deserialize_message(bad_flags.data(), bad_flags.size(), out));
+}
+
+TEST(NetWire, SparsePushFuzzRoundTrip)
+{
+    // Random supports and values through every codec tier: the frame
+    // must round-trip field-exact and decode bit-identically on the
+    // "receiver" side.
+    rng::Xorshift128Plus fuzz(0xF00D);
+    const ps::Codec codecs[] = {ps::Codec::from_bits(32),
+                                ps::Codec::from_bits(8),
+                                ps::Codec::from_bits(1), ps::Codec::qsgd(4)};
+    for (int trial = 0; trial < 60; ++trial) {
+        const std::uint32_t dim = 8 + fuzz() % 3000;
+        const std::size_t nnz = fuzz() % std::min<std::uint32_t>(dim, 300);
+        std::vector<std::uint32_t> index;
+        std::uint32_t cursor = 0;
+        for (std::size_t j = 0; j < nnz && cursor < dim; ++j) {
+            index.push_back(cursor);
+            cursor += 1 + fuzz() % ((dim / 16) + 1);
+        }
+        std::vector<float> value(index.size());
+        for (auto& v : value)
+            v = rng::to_unit_float(static_cast<std::uint32_t>(fuzz())) *
+                    8.0f -
+                4.0f;
+        std::vector<float> residual(index.size(), 0.0f);
+
+        const ps::Codec& codec = codecs[trial % 4];
+        const ps::GradientView view = ps::GradientView::sparse_view(
+            value.data(), index.data(), index.size(), dim,
+            simd::sparse::IndexMode::kAbsolute);
+        Message m;
+        m.kind = ps::Message::Kind::kPush;
+        m.sender = static_cast<std::uint32_t>(fuzz());
+        m.worker = static_cast<std::uint32_t>(fuzz() % 64);
+        m.token = fuzz();
+        m.clock = fuzz() % 1000;
+        m.gradient =
+            ps::encode_sparse_gradient(view, codec, residual.data(), &fuzz);
+
+        const std::vector<std::uint8_t> bytes = ps::serialize_message(m);
+        ASSERT_EQ(bytes.size(), ps::serialized_bytes(m));
+        Message out;
+        ASSERT_TRUE(
+            ps::deserialize_message(bytes.data(), bytes.size(), out))
+            << "trial " << trial;
+        EXPECT_EQ(out.gradient.dim, dim);
+        EXPECT_EQ(out.gradient.count, index.size());
+
+        const ps::SparseGradient sent =
+            ps::decode_sparse_gradient(m.gradient);
+        const ps::SparseGradient received =
+            ps::decode_sparse_gradient(out.gradient);
+        ASSERT_EQ(received.index, index) << "trial " << trial;
+        ASSERT_EQ(received.index, sent.index);
+        ASSERT_EQ(received.value, sent.value);
+        // And the error-feedback invariant held through the pack:
+        // r == g - q entry-by-entry, bit-exact against the decoded q.
+        for (std::size_t j = 0; j < index.size(); ++j)
+            ASSERT_EQ(residual[j], value[j] - received.value[j])
+                << "trial " << trial << " j=" << j;
+    }
+}
+
 // ======================================================== NetGolden
 
 TEST(NetGolden, Cs8PayloadBytes)
@@ -447,6 +609,38 @@ TEST(NetGolden, CsQ4PayloadBytes)
     EXPECT_EQ(decoded[0], 5.0f);
     EXPECT_EQ(decoded[1], 0.0f);
     EXPECT_EQ(residual[0], 0.0f);
+}
+
+TEST(NetGolden, SparseCs8MessageBytes)
+{
+    // The sparse-push extension golden: a full serialized frame, byte by
+    // byte. Values {127, -127} at coordinates {3, 10} of a 32-dim slice,
+    // Cs8: maxabs 127 over 127 levels -> scale 1.0, levels 0x7F / 0x81.
+    // Index stream, Elias gamma MSB-first: gamma(first+1) = gamma(4) =
+    // 00100, then the gap gamma(10-3) = gamma(7) = 00111 -> bytes
+    // 0x21 0xC0. This is the cross-process contract for sparse pushes —
+    // change it consciously.
+    const Message m = sample_sparse_push();
+    const std::vector<std::uint8_t> bytes = ps::serialize_message(m);
+    const std::vector<std::uint8_t> golden = {
+        0, 2, 1, 8,              // kind=kPush, flags=sparse, Cs8 codec
+        2, 0, 0, 0,              // sender
+        3, 0, 0, 0,              // worker
+        8, 7, 6, 5, 4, 3, 2, 1,  // token (LE)
+        9, 0, 0, 0, 0, 0, 0, 0,  // clock
+        10, 0, 0, 0, 0, 0, 0, 0, // version
+        2, 0, 0, 0,              // gradient count = nnz
+        0x00, 0x00, 0x80, 0x3F,  // scale 1.0f
+        0, 0, 0, 0,              // norm count
+        2, 0, 0, 0,              // payload size
+        0x7F, 0x81,              // int8 levels 127, -127
+        0, 0, 0, 0,              // weight count
+        0, 0, 0, 0,              // stats count
+        32, 0, 0, 0,             // sparse dimension
+        2, 0, 0, 0,              // index payload size
+        0x21, 0xC0,              // gamma(4) gamma(7)
+    };
+    EXPECT_EQ(bytes, golden);
 }
 
 // ========================================================== NetQsgd
@@ -644,9 +838,9 @@ TEST(NetTransport, PayloadsCrossTheSocketBitIdentically)
 /// over loopback — threads standing in for processes, same fabric the
 /// forked topology uses (tests/test_net must stay runnable under TSan,
 /// where fork-based assertions would not be).
+template <typename Problem>
 ps::ClusterResult
-train_over_sockets(const dataset::DenseProblem& problem,
-                   const ps::ClusterConfig& cfg)
+train_over_sockets(const Problem& problem, const ps::ClusterConfig& cfg)
 {
     const std::size_t shards = cfg.shards;
     // Bind every shard listener first: race-free advertised ports.
@@ -755,6 +949,25 @@ TEST(NetCluster, SurvivesFaultInjectionOverSockets)
     EXPECT_EQ(r.metrics.total_pushes(), 2u * 2u * 100u);
     EXPECT_LE(r.metrics.max_staleness(), 6u);
     EXPECT_GT(r.accuracy, 0.75);
+}
+
+TEST(NetCluster, SparsePushesCrossRealSockets)
+{
+    // The sparse gradient path over the REAL socket fabric: gamma-coded
+    // index streams framed, shipped, and gather-scatter applied, with
+    // nnz accounting surviving the trip.
+    const auto& problem = testutil::sparse_cluster_problem();
+    for (const ps::Codec& codec :
+         {ps::Codec::from_bits(32), ps::Codec::qsgd(4)}) {
+        const ps::ClusterConfig cfg = socket_cluster_config(codec);
+        const ps::ClusterResult socket = train_over_sockets(problem, cfg);
+        const ps::ClusterResult inproc = ps::train_cluster(problem, cfg);
+        EXPECT_EQ(socket.rounds, 200u) << codec.name();
+        EXPECT_EQ(socket.metrics.total_pushes(), 400u) << codec.name();
+        EXPECT_GT(socket.metrics.total_sparse_nnz(), 0u) << codec.name();
+        EXPECT_GT(socket.metrics.total_sparse_bytes(), 0u) << codec.name();
+        EXPECT_NEAR(socket.accuracy, inproc.accuracy, 0.05) << codec.name();
+    }
 }
 
 } // namespace

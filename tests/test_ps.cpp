@@ -149,6 +149,189 @@ TEST(PsQuantize, WireBytesCollapseTwentyFoldAtOneBit)
     EXPECT_GE(full / onebit, 20.0);
 }
 
+// =============================================== PsQuantize (sparse)
+
+/// Scatter a decoded sparse gradient into a dense vector of `dim`.
+std::vector<float>
+scatter(const ps::SparseGradient& g)
+{
+    std::vector<float> out(g.dim, 0.0f);
+    for (std::size_t j = 0; j < g.nnz(); ++j) out[g.index[j]] += g.value[j];
+    return out;
+}
+
+TEST(PsQuantize, SparseIndexRepsDecodeAlike)
+{
+    // One logical gradient, three index representations: absolute u32,
+    // absolute u16, and delta u8 with zero-valued padding entries where
+    // a gap overflows the rep (footnote 6). The wire form normalizes
+    // them all to the same gamma gap stream; for the scale-stable tiers
+    // (Cs32, Cs8 — padding zeros leave maxabs untouched) the scattered
+    // decode is identical.
+    const std::vector<float> value = {4.0f, -2.0f, 1.0f, 0.5f};
+    const std::vector<std::uint32_t> abs32 = {3, 200, 460, 461};
+    const std::vector<std::uint16_t> abs16(abs32.begin(), abs32.end());
+    const std::uint32_t dim = 500;
+
+    std::vector<float> delta_value;
+    std::vector<std::uint8_t> delta_gap;
+    std::uint32_t prev = 0;
+    for (std::size_t j = 0; j < abs32.size(); ++j) {
+        std::uint32_t gap = abs32[j] - prev;
+        while (gap > 255) {
+            delta_gap.push_back(255);
+            delta_value.push_back(0.0f);
+            gap -= 255;
+        }
+        delta_gap.push_back(static_cast<std::uint8_t>(gap));
+        delta_value.push_back(value[j]);
+        prev = abs32[j];
+    }
+    ASSERT_GT(delta_gap.size(), abs32.size()) << "gaps forced padding";
+
+    for (const int bits : {32, 8}) {
+        const ps::Codec codec = ps::Codec::from_bits(bits);
+        const auto a32 = ps::encode_sparse_gradient(
+            ps::GradientView::sparse_view(value.data(), abs32.data(),
+                                          value.size(), dim,
+                                          simd::sparse::IndexMode::kAbsolute),
+            codec, nullptr);
+        const auto a16 = ps::encode_sparse_gradient(
+            ps::GradientView::sparse_view(value.data(), abs16.data(),
+                                          value.size(), dim,
+                                          simd::sparse::IndexMode::kAbsolute),
+            codec, nullptr);
+        const auto d8 = ps::encode_sparse_gradient(
+            ps::GradientView::sparse_view(delta_value.data(),
+                                          delta_gap.data(),
+                                          delta_value.size(), dim,
+                                          simd::sparse::IndexMode::kDelta),
+            codec, nullptr);
+        // Same rep-independent wire form for the absolute views...
+        EXPECT_EQ(a32.index_payload, a16.index_payload) << "bits " << bits;
+        EXPECT_EQ(a32.payload, a16.payload) << "bits " << bits;
+        // ...and the padded delta stream scatters to the same dense
+        // gradient (its wire frame carries the extra zero entries).
+        EXPECT_EQ(d8.count, delta_value.size());
+        testutil::expect_all_eq(
+            scatter(ps::decode_sparse_gradient(d8)),
+            scatter(ps::decode_sparse_gradient(a32)),
+            ("bits " + std::to_string(bits)).c_str());
+    }
+}
+
+TEST(PsQuantize, SparseResidualInvariantFuzz)
+{
+    // Error feedback over the nnz entries: the residual the encoder
+    // leaves behind is bit-exactly g - q against the decoded values,
+    // for every codec tier, entry-aligned with the stored stream.
+    rng::Xorshift128Plus rng(515);
+    const ps::Codec codecs[] = {ps::Codec::from_bits(32),
+                                ps::Codec::from_bits(8),
+                                ps::Codec::from_bits(1), ps::Codec::qsgd(4)};
+    for (int trial = 0; trial < 40; ++trial) {
+        const std::uint32_t dim = 16 + rng() % 2000;
+        std::vector<std::uint32_t> index;
+        std::uint32_t cursor = rng() % 4;
+        while (cursor < dim && index.size() < 400) {
+            index.push_back(cursor);
+            cursor += 1 + rng() % 11;
+        }
+        const auto value = fuzz_vector(rng, index.size(), 2.0f);
+        std::vector<float> residual(index.size(), 1e9f); // must be overwritten
+        const ps::Codec& codec = codecs[trial % 4];
+        const auto wire = ps::encode_sparse_gradient(
+            ps::GradientView::sparse_view(value.data(), index.data(),
+                                          index.size(), dim,
+                                          simd::sparse::IndexMode::kAbsolute),
+            codec, residual.data(), &rng);
+        EXPECT_EQ(wire.count, index.size());
+        EXPECT_EQ(wire.dim, dim);
+        const ps::SparseGradient q = ps::decode_sparse_gradient(wire);
+        ASSERT_EQ(q.index, index) << "trial " << trial;
+        for (std::size_t j = 0; j < index.size(); ++j)
+            ASSERT_EQ(residual[j], value[j] - q.value[j])
+                << codec.name() << " trial " << trial << " j=" << j;
+        if (codec.kind == ps::CodecKind::kDense)
+            for (const float r : residual) ASSERT_EQ(r, 0.0f);
+    }
+}
+
+TEST(PsQuantize, SparseEmptyPushEncodesAndDecodes)
+{
+    // Every worker pushes every round (uniform SSP clocks), so a round
+    // that touches nothing on a shard still crosses the wire: nnz 0,
+    // dim preserved, empty payloads.
+    for (const ps::Codec& codec :
+         {ps::Codec::from_bits(32), ps::Codec::from_bits(8),
+          ps::Codec::from_bits(1), ps::Codec::qsgd(4)}) {
+        const auto view = ps::GradientView::sparse_view<std::uint32_t>(
+            nullptr, nullptr, 0, 64, simd::sparse::IndexMode::kAbsolute);
+        const auto wire =
+            ps::encode_sparse_gradient(view, codec, nullptr);
+        EXPECT_TRUE(wire.sparse()) << codec.name();
+        EXPECT_EQ(wire.count, 0u) << codec.name();
+        EXPECT_EQ(wire.dim, 64u) << codec.name();
+        const ps::SparseGradient g = ps::decode_sparse_gradient(wire);
+        EXPECT_EQ(g.nnz(), 0u) << codec.name();
+        EXPECT_EQ(g.dim, 64u) << codec.name();
+    }
+}
+
+TEST(PsQuantize, SparseEncodeRejectsMalformedViews)
+{
+    const float value[2] = {1.0f, 2.0f};
+    const ps::Codec codec = ps::Codec::from_bits(8);
+    { // a dense view is not a sparse push
+        const float g[4] = {1, 2, 3, 4};
+        EXPECT_THROW(ps::encode_sparse_gradient(
+                         ps::GradientView::dense(g, 4), codec, nullptr),
+                     std::runtime_error);
+    }
+    { // duplicate / non-ascending coordinates
+        const std::uint32_t dup[2] = {5, 5};
+        EXPECT_THROW(ps::encode_sparse_gradient(
+                         ps::GradientView::sparse_view(
+                             value, dup, 2, 16,
+                             simd::sparse::IndexMode::kAbsolute),
+                         codec, nullptr),
+                     std::runtime_error);
+        const std::uint32_t desc[2] = {9, 3};
+        EXPECT_THROW(ps::encode_sparse_gradient(
+                         ps::GradientView::sparse_view(
+                             value, desc, 2, 16,
+                             simd::sparse::IndexMode::kAbsolute),
+                         codec, nullptr),
+                     std::runtime_error);
+    }
+    { // coordinate out of the declared span
+        const std::uint32_t big[2] = {3, 16};
+        EXPECT_THROW(ps::encode_sparse_gradient(
+                         ps::GradientView::sparse_view(
+                             value, big, 2, 16,
+                             simd::sparse::IndexMode::kAbsolute),
+                         codec, nullptr),
+                     std::runtime_error);
+    }
+    { // decoding a dense wire gradient as sparse
+        float residual[2] = {};
+        ps::WireGradient dense =
+            ps::encode_gradient(value, 2, 8, residual);
+        EXPECT_THROW(ps::decode_sparse_gradient(dense),
+                     std::runtime_error);
+    }
+    { // a truncated index payload
+        const std::uint32_t index[2] = {1, 7};
+        ps::WireGradient wire = ps::encode_sparse_gradient(
+            ps::GradientView::sparse_view(
+                value, index, 2, 16, simd::sparse::IndexMode::kAbsolute),
+            codec, nullptr);
+        wire.index_payload.pop_back();
+        EXPECT_THROW(ps::decode_sparse_gradient(wire),
+                     std::runtime_error);
+    }
+}
+
 // ===================================================== PsCommSgd
 
 /// A verbatim replica of the seed's train_comm_sgd (with its embedded
@@ -591,6 +774,41 @@ TEST(PsShard, RetiredWorkerLeavesTheGate)
     EXPECT_TRUE(h.push(0, 3, g).accepted);
 }
 
+TEST(PsShard, AppliesSparsePushGatherScatter)
+{
+    ShardHarness h(8, shard_config(1, 16));
+    const float value[2] = {2.0f, 4.0f};
+    const std::uint32_t index[2] = {1, 6};
+    ps::Message m;
+    m.kind = ps::Message::Kind::kPush;
+    m.worker = 0;
+    m.clock = 1;
+    m.gradient = ps::encode_sparse_gradient(
+        ps::GradientView::sparse_view(value, index, 2, 8,
+                                      simd::sparse::IndexMode::kAbsolute),
+        ps::Codec::from_bits(32), nullptr);
+    const ps::Message ack = h.rpc.call(0, std::move(m));
+    EXPECT_TRUE(ack.accepted);
+
+    // Only the pushed coordinates moved: w[k] = -eta * g[k] / batch.
+    const auto w = h.pull();
+    ASSERT_EQ(w.size(), 8u);
+    for (std::size_t k = 0; k < 8; ++k) {
+        if (k == 1)
+            EXPECT_FLOAT_EQ(w[k], -0.5f * 2.0f);
+        else if (k == 6)
+            EXPECT_FLOAT_EQ(w[k], -0.5f * 4.0f);
+        else
+            EXPECT_EQ(w[k], 0.0f) << k;
+    }
+    h.transport.close();
+    h.thread.join();
+    EXPECT_EQ(h.shard.metrics().sparse_nnz, 2u);
+    EXPECT_GT(h.shard.metrics().sparse_bytes, 0u);
+    // Numbers processed counts the nnz actually applied, not the dim.
+    EXPECT_DOUBLE_EQ(h.shard.metrics().numbers, 2.0);
+}
+
 TEST(PsShard, CountsStalenessHistogram)
 {
     ShardHarness h(2, shard_config(2, 8));
@@ -816,6 +1034,131 @@ TEST(PsCluster, RejectsBadConfig)
     EXPECT_THROW(ps::train_cluster(problem, bad), std::runtime_error);
     bad = cluster_config(32);
     bad.rounds = 0;
+    EXPECT_THROW(ps::train_cluster(problem, bad), std::runtime_error);
+}
+
+// ================================================ PsSparseCluster
+
+using testutil::sparse_cluster_problem;
+
+TEST(PsSparseCluster, ConvergesWithinOnePointOfDensePath)
+{
+    // The acceptance comparison: the sparse gradient path (worker
+    // touched-coordinate accumulation -> sparse wire push -> shard
+    // gather-scatter apply) on the same examples the dense path trains
+    // on, row-major expanded. Statistical efficiency must match.
+    const auto& problem = sparse_cluster_problem();
+    static const dataset::DenseProblem dense = testutil::densify(problem);
+
+    auto cfg = cluster_config(32);
+    cfg.rounds = 250;
+    const auto sparse_run = ps::train_cluster(problem, cfg);
+    const auto dense_run = ps::train_cluster(dense, cfg);
+
+    EXPECT_GT(dense_run.accuracy, 0.8);
+    EXPECT_GE(sparse_run.accuracy, dense_run.accuracy - 0.01)
+        << "sparse path must stay within 1pp of the dense path";
+    EXPECT_LT(sparse_run.final_loss, dense_run.final_loss + 0.05);
+
+    // Exactly-once protocol accounting holds on the sparse path too.
+    EXPECT_EQ(sparse_run.rounds, 500u);
+    EXPECT_EQ(sparse_run.metrics.total_pushes(),
+              cfg.workers * cfg.shards * cfg.rounds);
+    EXPECT_GT(sparse_run.metrics.total_sparse_nnz(), 0u);
+    EXPECT_GT(sparse_run.metrics.total_sparse_bytes(), 0u);
+
+    // Sparse traffic is measured from the encoded frames and beats the
+    // densified closed form even at full precision (5% rows, batch 16:
+    // the round union stays well under the dimension).
+    EXPECT_GT(sparse_run.bytes_per_round, 0.0);
+    EXPECT_LT(sparse_run.bytes_per_round, dense_run.bytes_per_round);
+
+    // The checkpoint records the sparse signature with i32 indices.
+    EXPECT_TRUE(sparse_run.checkpoint.signature.sparse);
+    EXPECT_EQ(sparse_run.checkpoint.signature.index_bits, 32);
+    EXPECT_EQ(sparse_run.checkpoint.weights.size(), problem.dim);
+}
+
+TEST(PsSparseCluster, QuantizedSparsePushesCutBytesFurther)
+{
+    const auto& problem = sparse_cluster_problem();
+    auto cfg = cluster_config(32);
+    cfg.rounds = 60;
+    const auto full = ps::train_cluster(problem, cfg);
+    cfg.codec = ps::Codec::qsgd(4);
+    const auto q4 = ps::train_cluster(problem, cfg);
+    EXPECT_EQ(q4.comm, "CsQ4");
+    // CsQ4-sparse: same gamma index stream, ~4-bit values instead of
+    // 32-bit floats — a clear per-round byte cut at matched nnz.
+    EXPECT_LT(q4.bytes_per_round, full.bytes_per_round / 1.8);
+    EXPECT_NEAR(q4.accuracy, full.accuracy, 0.05);
+}
+
+TEST(PsSparseCluster, SurvivesFaultInjectionAndPublishesToServing)
+{
+    // The sparse end-to-end acceptance path: worker -> quantized sparse
+    // push through a faulty fabric -> shard gather-scatter -> checkpoint
+    // publish -> serve sparse scores. Runs under TSan in CI.
+    const auto& problem = sparse_cluster_problem();
+
+    serve::ModelRegistry registry;
+    auto cfg = cluster_config(8);
+    cfg.rounds = 150;
+    cfg.tau = 6;
+    cfg.publish_every = 60;
+    cfg.faults.drop_prob = 0.05;
+    cfg.faults.jitter_us = 5;
+    cfg.faults.reorder_window = 3;
+    const auto r = ps::train_cluster(problem, cfg, &registry);
+
+    // The fabric really misbehaved, and the protocol still applied
+    // every sparse round exactly once within the staleness bound.
+    EXPECT_GT(r.metrics.messages_dropped, 0u);
+    EXPECT_GT(r.metrics.rpc_retries, 0u);
+    EXPECT_EQ(r.metrics.total_pushes(),
+              cfg.workers * cfg.shards * cfg.rounds);
+    EXPECT_LE(r.metrics.max_staleness(), cfg.tau);
+    EXPECT_GT(r.accuracy, 0.75);
+    EXPECT_GT(r.metrics.total_sparse_nnz(), 0u);
+
+    // Published mid-run and finally; the registry serves the sparse
+    // checkpoint.
+    ASSERT_GE(r.published_versions.size(), 2u);
+    EXPECT_EQ(registry.current_version(), r.published_versions.back());
+    EXPECT_TRUE(registry.current()->trained_signature().sparse);
+
+    // Score the training rows sparsely through the serving front end.
+    serve::ServerConfig serve_cfg;
+    serve_cfg.workers = 1;
+    serve_cfg.max_batch = 16;
+    serve::Server server(registry, serve_cfg);
+    std::size_t correct = 0;
+    const std::size_t scored = 512;
+    for (std::size_t i = 0; i < scored; ++i) {
+        const auto& row = problem.rows[i];
+        auto pending = server.submit_sparse(row.index, row.value);
+        ASSERT_TRUE(pending.has_value());
+        const serve::ScoreResult score = pending->get();
+        if (score.label == problem.y[i]) ++correct;
+    }
+    server.stop();
+    const double accuracy =
+        static_cast<double>(correct) / static_cast<double>(scored);
+    EXPECT_NEAR(accuracy, r.accuracy, 0.08)
+        << "served sparse accuracy must track training accuracy";
+}
+
+TEST(PsSparseCluster, RejectsBadConfig)
+{
+    const auto& problem = sparse_cluster_problem();
+    auto bad = cluster_config(32);
+    bad.workers = 0;
+    EXPECT_THROW(ps::train_cluster(problem, bad), std::runtime_error);
+    bad = cluster_config(32);
+    bad.shards = problem.dim + 1;
+    EXPECT_THROW(ps::train_cluster(problem, bad), std::runtime_error);
+    bad = cluster_config(32);
+    bad.batch = 0;
     EXPECT_THROW(ps::train_cluster(problem, bad), std::runtime_error);
 }
 

@@ -75,6 +75,21 @@ TEST(KernelComparator, DFMF)
     testutil::compare_dense_pair<float, float>();
 }
 
+// Sparse dot/AXPY, per index rep: every registered variant against the
+// reference, absolute + delta streams with rep-edge gap padding.
+TEST(KernelComparator, SparseI8)
+{
+    testutil::compare_sparse_index_rep<std::uint8_t>();
+}
+TEST(KernelComparator, SparseI16)
+{
+    testutil::compare_sparse_index_rep<std::uint16_t>();
+}
+TEST(KernelComparator, SparseI32)
+{
+    testutil::compare_sparse_index_rep<std::uint32_t>();
+}
+
 // --------------------------------------------- instruction-level corners
 
 TEST(DotParity, D8M8ExtremeValuesNoMaddubsOverflow)

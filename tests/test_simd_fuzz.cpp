@@ -7,6 +7,7 @@
  */
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 
@@ -17,6 +18,7 @@
 #include "simd/dense_ref.h"
 #include "simd/ops.h"
 #include "simd/sparse_kernels.h"
+#include "simd/sparse_ops.h"
 #include "util/aligned_buffer.h"
 
 namespace buckwild::simd {
@@ -265,6 +267,68 @@ TEST_P(KernelFuzz, RegistryForcedDispatchMatchesReference)
                     1e-4f * (static_cast<float>(n) + 1.0f) +
                         std::fabs(rf) * 1e-4f)
             << "impl=" << to_string(forced) << " n=" << n;
+    }
+}
+
+TEST_P(KernelFuzz, SparseForcedDispatchMatchesReference)
+{
+    // The sparse op family through the registry: force a random Impl and
+    // check ambient SparseOps dispatch against the explicit reference
+    // variant, for both index modes. Dot gets the float summation-order
+    // tolerance (the unrolled tier reassociates); AXPY touches each
+    // coordinate once here, so per-element agreement is tight.
+    Fuzz fuzz(GetParam() ^ 0x5A9Eu);
+    register_sparse_kernels();
+    using Ops16 = SparseOps<std::uint16_t>;
+    constexpr std::size_t kModel = 512;
+    for (int round = 0; round < 6; ++round) {
+        const Impl forced =
+            kAllImpls[fuzz.gen() % static_cast<std::uint32_t>(kImplCount)];
+        ForcedImplGuard guard(forced);
+
+        const std::size_t nnz = fuzz.gen() % 96;
+        const auto val = fuzz.floats(nnz);
+        const auto w = fuzz.floats(kModel);
+        // Distinct ascending absolute indices bounded by the model.
+        AlignedBuffer<std::uint16_t> idx(nnz);
+        const std::size_t gap_cap = nnz > 0
+            ? std::max<std::size_t>(1, (kModel - nnz - 1) / (nnz + 1))
+            : 1;
+        std::size_t cursor = 0;
+        for (std::size_t j = 0; j < nnz; ++j) {
+            cursor += 1 + fuzz.gen() % gap_cap;
+            idx[j] = static_cast<std::uint16_t>(cursor);
+        }
+        // And the same support as u16 delta gaps.
+        AlignedBuffer<std::uint16_t> gaps(nnz);
+        for (std::size_t j = 0; j < nnz; ++j)
+            gaps[j] = static_cast<std::uint16_t>(
+                j == 0 ? idx[0] : idx[j] - idx[j - 1]);
+
+        for (const auto mode : {sparse::IndexMode::kAbsolute,
+                                sparse::IndexMode::kDelta}) {
+            const std::uint16_t* stream =
+                mode == sparse::IndexMode::kAbsolute ? idx.data()
+                                                     : gaps.data();
+            const float r = Ops16::dot(Impl::kReference, val.data(), stream,
+                                       nnz, w.data(), 0.5f, mode);
+            const float amb =
+                Ops16::dot(val.data(), stream, nnz, w.data(), 0.5f, mode);
+            ASSERT_NEAR(r, amb,
+                        1e-4f * (static_cast<float>(nnz) + 1.0f) +
+                            std::fabs(r) * 1e-4f + 1e-3f)
+                << "impl=" << to_string(forced) << " nnz=" << nnz;
+
+            auto w_ref = w;
+            auto w_amb = w;
+            const float c = fuzz.coefficient(1.5f);
+            Ops16::axpy(Impl::kReference, w_ref.data(), val.data(), stream,
+                        nnz, c, mode);
+            Ops16::axpy(w_amb.data(), val.data(), stream, nnz, c, mode);
+            for (std::size_t k = 0; k < kModel; ++k)
+                ASSERT_NEAR(w_ref[k], w_amb[k], 1e-5f)
+                    << "impl=" << to_string(forced) << " k=" << k;
+        }
     }
 }
 

@@ -12,6 +12,16 @@
  *     buckwild_cluster --bits 1 --drop 0.02 --jitter-us 50 --reorder 4
  *     buckwild_cluster --bits 8 --publish-every 100 --save model.bw
  *
+ * --sparse switches the workload to a synthetic RCV1-style sparse
+ * logistic problem (libsvm-shaped CSR rows at --density); every push on
+ * the wire is then a quantized sparse gradient — nnz values plus an
+ * Elias-gamma index-gap stream. --libsvm PATH trains on a real libsvm
+ * file instead:
+ *
+ *     buckwild_cluster --sparse --density 0.02 --bits 32,Q4
+ *     buckwild_cluster --spawn --sparse --bits Q4   # sparse over TCP
+ *     buckwild_cluster --libsvm rcv1.svm --bits 8
+ *
  * By default the cluster is worker *threads* over the in-process
  * transport. The same cluster runs as real processes over TCP:
  *
@@ -48,6 +58,7 @@
 #include <string>
 #include <vector>
 
+#include "dataset/libsvm.h"
 #include "dataset/problem.h"
 #include "net/net.h"
 #include "obs/obs.h"
@@ -69,6 +80,14 @@ usage()
         "problem:\n"
         "  --dense DIM EXAMPLES   synthetic dense logistic problem\n"
         "                         (default 256 4096)\n"
+        "  --sparse               synthetic RCV1-style sparse logistic\n"
+        "                         problem instead (libsvm-shaped rows at\n"
+        "                         --density over the --dense geometry);\n"
+        "                         pushes become quantized sparse gradients\n"
+        "  --density D            sparse nonzero fraction per row\n"
+        "                         (default 0.05; implies --sparse)\n"
+        "  --libsvm PATH          train on a libsvm file (implies --sparse;\n"
+        "                         dim inferred from the data)\n"
         "  --loss L               logistic | squared | hinge\n"
         "  --seed X               problem RNG seed (default 0x5EED)\n"
         "\n"
@@ -143,6 +162,9 @@ struct Options
     Mode mode = Mode::kSweep;
     std::size_t dim = 256;
     std::size_t examples = 4096;
+    bool sparse = false;
+    double density = 0.05;
+    std::string libsvm_path;
     core::Loss loss = core::Loss::kLogistic;
     std::uint64_t seed = 0x5EED;
     ps::ClusterConfig cluster;
@@ -206,6 +228,14 @@ parse_args(int argc, char** argv)
         } else if (a == "--dense") {
             opt.dim = std::strtoull(need(i, "--dense"), nullptr, 10);
             opt.examples = std::strtoull(need(i, "--dense"), nullptr, 10);
+        } else if (a == "--sparse") {
+            opt.sparse = true;
+        } else if (a == "--density") {
+            opt.sparse = true;
+            opt.density = std::strtod(need(i, "--density"), nullptr);
+        } else if (a == "--libsvm") {
+            opt.sparse = true;
+            opt.libsvm_path = need(i, "--libsvm");
         } else if (a == "--loss") {
             const std::string l = need(i, "--loss");
             if (l == "logistic") opt.loss = core::Loss::kLogistic;
@@ -291,6 +321,8 @@ parse_args(int argc, char** argv)
         }
     }
     if (opt.dim == 0 || opt.examples == 0) die("need --dense DIM EXAMPLES >= 1");
+    if (opt.sparse && (opt.density <= 0.0 || opt.density > 1.0))
+        die("need --density in (0, 1]");
     opt.cluster.codec = opt.codecs.front();
     if (opt.mode == Mode::kShard && opt.shard_index >= opt.cluster.shards)
         die("--shard-index out of range");
@@ -302,12 +334,18 @@ parse_args(int argc, char** argv)
     return opt;
 }
 
-void
-print_cluster_banner(const Options& opt, const dataset::DenseProblem& problem,
-                     const char* fabric)
+/// The provenance row the obs roofline is matched against: dense worker
+/// compute is the dense Hogwild! row, sparse workloads the sparse one.
+dmgc::Signature
+workload_signature(const Options& opt)
 {
-    std::printf("problem: dense logistic, dim %zu, %zu examples\n",
-                problem.dim, problem.examples);
+    return opt.sparse ? dmgc::Signature::sparse_hogwild()
+                      : dmgc::Signature::dense_hogwild();
+}
+
+void
+print_cluster_lines(const Options& opt, const char* fabric)
+{
     std::printf("cluster: %zu workers x %zu shards over %s, tau %zu, "
                 "%zu rounds x batch %zu, step %.3g, kernels %s%s\n",
                 opt.cluster.workers, opt.cluster.shards, fabric,
@@ -320,6 +358,30 @@ print_cluster_banner(const Options& opt, const dataset::DenseProblem& problem,
                     opt.cluster.faults.drop_prob,
                     opt.cluster.faults.jitter_us,
                     opt.cluster.faults.reorder_window);
+}
+
+void
+print_cluster_banner(const Options& opt, const dataset::DenseProblem& problem,
+                     const char* fabric)
+{
+    std::printf("problem: dense logistic, dim %zu, %zu examples\n",
+                problem.dim, problem.examples);
+    print_cluster_lines(opt, fabric);
+}
+
+void
+print_cluster_banner(const Options& opt, const dataset::SparseProblem& problem,
+                     const char* fabric)
+{
+    const dataset::SparseStats stats = dataset::sparse_stats(problem);
+    std::printf("problem: sparse logistic (%s), dim %zu, %zu examples, "
+                "%llu nnz (density %.4g, %zu..%zu per row)\n",
+                opt.libsvm_path.empty() ? "synthetic libsvm"
+                                        : opt.libsvm_path.c_str(),
+                stats.dim, stats.examples,
+                static_cast<unsigned long long>(stats.nnz), stats.density,
+                stats.min_row_nnz, stats.max_row_nnz);
+    print_cluster_lines(opt, fabric);
 }
 
 void
@@ -341,9 +403,12 @@ add_sweep_row(TablePrinter& table, const ps::ClusterResult& r)
 }
 
 /// The default mode: sweep the codec tiers in-process (--spawn: as
-/// forked processes over loopback TCP).
+/// forked processes over loopback TCP). Templated over the problem so
+/// the dense and sparse (libsvm) workloads share every code path — the
+/// ps overloads pick the dense or sparse round loop by type.
+template <typename Problem>
 int
-run_sweep(const Options& opt, const dataset::DenseProblem& problem)
+run_sweep(const Options& opt, const Problem& problem)
 {
     const serve::Precision precision = serve::parse_precision(opt.precision);
     const bool spawn = opt.mode == Mode::kSpawn;
@@ -363,9 +428,10 @@ run_sweep(const Options& opt, const dataset::DenseProblem& problem)
 
     // Worker compute is float minibatch gradients (the quantization is
     // on the wire, not in the arithmetic), so the roofline is the dense
-    // D32fM32f row at the worker count.
+    // D32fM32f row at the worker count — or the sparse i32 row when the
+    // gradients are CSR accumulations.
     tools::ObsSession::Workload workload;
-    workload.signature = dmgc::Signature::dense_hogwild();
+    workload.signature = workload_signature(opt);
     workload.threads = opt.cluster.workers;
     workload.model_size = opt.dim;
     workload.numbers_gauge = "ps.worker.numbers";
@@ -440,8 +506,11 @@ run_sweep(const Options& opt, const dataset::DenseProblem& problem)
 }
 
 /// --listen: serve one shard until a control client shuts it down.
+/// Shards are problem-agnostic (they apply whatever pushes arrive); the
+/// problem only fixes the model dimension.
+template <typename Problem>
 int
-run_shard(const Options& opt, const dataset::DenseProblem& problem)
+run_shard(const Options& opt, const Problem& problem)
 {
     // Bind here (not inside run_shard_node) so the actual port is
     // printed before serving — scripts block on this line.
@@ -456,7 +525,7 @@ run_shard(const Options& opt, const dataset::DenseProblem& problem)
     std::fflush(stdout);
 
     tools::ObsSession::Workload workload;
-    workload.signature = dmgc::Signature::dense_hogwild();
+    workload.signature = workload_signature(opt);
     workload.threads = opt.cluster.workers;
     workload.model_size = opt.dim;
     workload.process = "shard" + std::to_string(opt.shard_index);
@@ -482,8 +551,9 @@ run_shard(const Options& opt, const dataset::DenseProblem& problem)
 }
 
 /// --connect: run one worker's rounds against remote shards.
+template <typename Problem>
 int
-run_worker(const Options& opt, const dataset::DenseProblem& problem)
+run_worker(const Options& opt, const Problem& problem)
 {
     std::printf("worker %zu connecting to %zu shards (%s)\n",
                 opt.worker_index, opt.shard_addresses.size(),
@@ -491,7 +561,7 @@ run_worker(const Options& opt, const dataset::DenseProblem& problem)
     std::fflush(stdout);
 
     tools::ObsSession::Workload workload;
-    workload.signature = dmgc::Signature::dense_hogwild();
+    workload.signature = workload_signature(opt);
     workload.threads = 1;
     workload.model_size = opt.dim;
     workload.numbers_gauge = "ps.worker.numbers";
@@ -513,11 +583,12 @@ run_worker(const Options& opt, const dataset::DenseProblem& problem)
 
 /// --control: snapshot + evaluate the remote model, print shard stats,
 /// shut the cluster down.
+template <typename Problem>
 int
-run_control(const Options& opt, const dataset::DenseProblem& problem)
+run_control(const Options& opt, const Problem& problem)
 {
     tools::ObsSession::Workload workload;
-    workload.signature = dmgc::Signature::dense_hogwild();
+    workload.signature = workload_signature(opt);
     workload.threads = 1;
     workload.model_size = opt.dim;
     workload.process = "control";
@@ -530,23 +601,34 @@ run_control(const Options& opt, const dataset::DenseProblem& problem)
     std::printf("control: final_loss %.6f accuracy %.6f\n", loss, accuracy);
 
     const std::vector<ps::ShardMetrics> shards = control.stats();
-    TablePrinter table("remote shard stats",
-                       {"shard", "pushes", "dup", "gated", "pulls",
-                        "push B", "pull B", "stale"});
+    std::vector<std::string> columns = {"shard",  "pushes", "dup",
+                                        "gated",  "pulls",  "push B",
+                                        "pull B", "stale"};
+    if (opt.sparse) {
+        columns.push_back("nnz");
+        columns.push_back("sparse B");
+    }
+    TablePrinter table("remote shard stats", columns);
     for (std::size_t s = 0; s < shards.size(); ++s) {
         const auto& m = shards[s];
-        table.add_row({std::to_string(s), std::to_string(m.pushes),
-                       std::to_string(m.duplicates), std::to_string(m.gated),
-                       std::to_string(m.pulls), std::to_string(m.push_bytes),
-                       std::to_string(m.pull_bytes),
-                       std::to_string(m.max_staleness())});
+        std::vector<std::string> row = {
+            std::to_string(s),          std::to_string(m.pushes),
+            std::to_string(m.duplicates), std::to_string(m.gated),
+            std::to_string(m.pulls),    std::to_string(m.push_bytes),
+            std::to_string(m.pull_bytes),
+            std::to_string(m.max_staleness())};
+        if (opt.sparse) {
+            row.push_back(std::to_string(m.sparse_nnz));
+            row.push_back(std::to_string(m.sparse_bytes));
+        }
+        table.add_row(std::move(row));
     }
     table.print(std::cout);
     if (opt.csv) table.print_csv(std::cout);
 
     if (!opt.save_path.empty()) {
         const core::SavedModel saved =
-            ps::make_cluster_checkpoint(opt.cluster, model);
+            ps::make_cluster_checkpoint(opt.cluster, model, opt.sparse);
         core::save_model_file(saved, opt.save_path);
         std::printf("saved %s (%s) to %s\n", opt.cluster.codec.name().c_str(),
                     saved.signature.to_string().c_str(),
@@ -561,22 +643,43 @@ run_control(const Options& opt, const dataset::DenseProblem& problem)
     return 0;
 }
 
+template <typename Problem>
+int
+dispatch(const Options& opt, const Problem& problem)
+{
+    switch (opt.mode) {
+    case Mode::kSweep:
+    case Mode::kSpawn: return run_sweep(opt, problem);
+    case Mode::kShard: return run_shard(opt, problem);
+    case Mode::kWorker: return run_worker(opt, problem);
+    case Mode::kControl: return run_control(opt, problem);
+    }
+    return 0;
+}
+
 } // namespace
 
 int
 main(int argc, char** argv)
 {
     try {
-        const Options opt = parse_args(argc, argv);
+        Options opt = parse_args(argc, argv);
+        if (opt.sparse) {
+            const auto problem =
+                opt.libsvm_path.empty()
+                    ? dataset::generate_logistic_sparse(
+                          opt.dim, opt.examples, opt.density, opt.seed)
+                    : dataset::load_libsvm_file(opt.libsvm_path);
+            // A loaded file decides its own geometry; the hand-assembled
+            // multi-process roles size shards and rooflines off opt.dim,
+            // so it must agree with the data in every process.
+            opt.dim = problem.dim;
+            opt.examples = problem.examples();
+            return dispatch(opt, problem);
+        }
         const auto problem =
             dataset::generate_logistic_dense(opt.dim, opt.examples, opt.seed);
-        switch (opt.mode) {
-        case Mode::kSweep:
-        case Mode::kSpawn: return run_sweep(opt, problem);
-        case Mode::kShard: return run_shard(opt, problem);
-        case Mode::kWorker: return run_worker(opt, problem);
-        case Mode::kControl: return run_control(opt, problem);
-        }
+        return dispatch(opt, problem);
     } catch (const std::exception& e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;
